@@ -1,0 +1,371 @@
+(* scj — the staircase join command line.
+
+   Subcommands:
+     scj gen     generate an XMark-style auction document
+     scj encode  parse an XML file into the pre/post encoding
+     scj info    show statistics of an encoded or XML document
+     scj table   print the doc table (Fig. 2 of the paper)
+     scj query   evaluate an XPath query under a chosen strategy *)
+
+module Doc = Scj_encoding.Doc
+module Codec = Scj_encoding.Codec
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Sj = Scj_core.Staircase
+module Eval = Scj_xpath.Eval
+module Xmark = Scj_xmlgen.Xmark
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* document loading: .scj binary or plain XML                           *)
+(* ------------------------------------------------------------------ *)
+
+let load_document path =
+  let ic = open_in_bin path in
+  let probe = really_input_string ic (min (String.length Codec.magic) (in_channel_length ic)) in
+  close_in ic;
+  if String.equal probe Codec.magic then Codec.read_file path
+  else begin
+    let content = In_channel.with_open_bin path In_channel.input_all in
+    Doc.of_string content
+  end
+
+let strategy_conv =
+  let parse s =
+    let strategy =
+      match s with
+      | "staircase" -> Some { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
+      | "staircase-noskip" -> Some { Eval.algorithm = Eval.Staircase Sj.No_skipping; pushdown = `Never }
+      | "staircase-skip" -> Some { Eval.algorithm = Eval.Staircase Sj.Skipping; pushdown = `Never }
+      | "staircase-estimate" -> Some { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never }
+      | "staircase-exact" -> Some { Eval.algorithm = Eval.Staircase Sj.Exact_size; pushdown = `Cost_based }
+      | "naive" -> Some { Eval.algorithm = Eval.Naive; pushdown = `Never }
+      | "sql" -> Some { Eval.algorithm = Eval.Sql { delimiter = true }; pushdown = `Never }
+      | "sql-nodelimiter" -> Some { Eval.algorithm = Eval.Sql { delimiter = false }; pushdown = `Never }
+      | "mpmgjn" -> Some { Eval.algorithm = Eval.Mpmgjn; pushdown = `Never }
+      | "structjoin" -> Some { Eval.algorithm = Eval.Structjoin; pushdown = `Never }
+      | _ -> None
+    in
+    match strategy with
+    | Some s -> Ok s
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Eval.strategy_to_string s) in
+  Cmdliner.Arg.conv (parse, print)
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_cmd =
+  let open Cmdliner in
+  let scale =
+    Arg.(value & opt float 0.01 & info [ "s"; "scale" ] ~docv:"F" ~doc:"XMark scale factor.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if omitted).")
+  in
+  let run scale seed output =
+    let tree = Xmark.generate (Xmark.config ~seed:(Int64.of_int seed) ~scale ()) in
+    let xml = Scj_xml.Printer.to_string ~decl:true tree in
+    (match output with
+    | None -> print_string xml
+    | Some path ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc xml);
+      Printf.eprintf "wrote %d bytes (%d nodes) to %s\n" (String.length xml)
+        (Scj_xml.Tree.node_count tree) path);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate an XMark-style auction document.")
+    Term.(const run $ scale $ seed $ output)
+
+(* ------------------------------------------------------------------ *)
+(* encode                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let encode_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"XML") in
+  let output =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Encoded output file.")
+  in
+  let run input output =
+    match
+      let* doc = load_document input in
+      Codec.write_file output doc;
+      Ok doc
+    with
+    | Ok doc ->
+      Printf.eprintf "encoded %d nodes (height %d) into %s\n" (Doc.n_nodes doc) (Doc.height doc)
+        output;
+      0
+    | Error e ->
+      prerr_endline e;
+      1
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Encode an XML document into a pre/post doc table file.")
+    Term.(const run $ input $ output)
+
+(* ------------------------------------------------------------------ *)
+(* info                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Show the N largest tag fragments.") in
+  let run input top =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc ->
+      Printf.printf "nodes:    %d\n" (Doc.n_nodes doc);
+      Printf.printf "height:   %d\n" (Doc.height doc);
+      let kinds = Doc.kind_array doc in
+      let count k = Array.fold_left (fun acc k' -> if k = k' then acc + 1 else acc) 0 kinds in
+      Printf.printf "elements: %d\nattributes: %d\ntexts: %d\ncomments: %d\npis: %d\n"
+        (count Doc.Element) (count Doc.Attribute) (count Doc.Text) (count Doc.Comment)
+        (count Doc.Pi);
+      let frag = Scj_frag.Fragmented.build doc in
+      Printf.printf "distinct element tags: %d\n" (Scj_frag.Fragmented.n_fragments frag);
+      print_endline "largest fragments:";
+      List.iteri
+        (fun i (tag, n) -> if i < top then Printf.printf "  %-24s %d\n" tag n)
+        (Scj_frag.Fragmented.tags frag);
+      0
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show document statistics.") Term.(const run $ input $ top)
+
+(* ------------------------------------------------------------------ *)
+(* table                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let table_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let limit = Arg.(value & opt int 50 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Rows to print.") in
+  let run input limit =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc ->
+      let shown = min limit (Doc.n_nodes doc) in
+      Printf.printf "%4s %6s %5s %6s %6s %s\n" "pre" "post" "level" "size" "kind" "name";
+      for pre = 0 to shown - 1 do
+        Printf.printf "%4d %6d %5d %6d %6s %s\n" pre (Doc.post doc pre) (Doc.level doc pre)
+          (Doc.size doc pre)
+          (Doc.kind_to_string (Doc.kind doc pre))
+          (match Doc.tag_name doc pre with
+          | Some n -> n
+          | None -> ( match Doc.content doc pre with Some s -> Printf.sprintf "%S" s | None -> ""))
+      done;
+      if shown < Doc.n_nodes doc then Printf.printf "... (%d more rows)\n" (Doc.n_nodes doc - shown);
+      0
+  in
+  Cmd.v (Cmd.info "table" ~doc:"Print the pre/post doc table.") Term.(const run $ input $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* query                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let query_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Axis-step strategy: staircase, staircase-noskip, staircase-skip, \
+             staircase-estimate, staircase-exact, naive, sql, sql-nodelimiter, mpmgjn, \
+             structjoin.")
+  in
+  let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.") in
+  let as_xml =
+    Arg.(value & flag & info [ "xml" ] ~doc:"Print each result node's subtree as XML.")
+  in
+  let limit = Arg.(value & opt int 20 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Result rows to print.") in
+  let run input xpath strategy show_stats as_xml limit =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      let session = Eval.session ~strategy doc in
+      let stats = Stats.create () in
+      let t0 = Unix.gettimeofday () in
+      match Eval.run ~stats session xpath with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok result ->
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        Printf.printf "%d nodes in %.2f ms (%s)\n" (Nodeseq.length result) ms
+          (Eval.strategy_to_string strategy);
+        let shown = min limit (Nodeseq.length result) in
+        for i = 0 to shown - 1 do
+          let v = Nodeseq.get result i in
+          if as_xml then
+            print_endline (Scj_xml.Printer.to_string (Doc.to_tree doc v))
+          else
+            Printf.printf "  pre=%-8d %s %s\n" v
+              (Doc.kind_to_string (Doc.kind doc v))
+              (match Doc.tag_name doc v with
+              | Some n -> n
+              | None -> (
+                match Doc.content doc v with Some s -> Printf.sprintf "%S" s | None -> ""))
+        done;
+        if shown < Nodeseq.length result then
+          Printf.printf "  ... (%d more)\n" (Nodeseq.length result - shown);
+        if show_stats then Format.printf "work: %a@." Stats.pp stats;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Evaluate an XPath query against a document.")
+    Term.(const run $ input $ xpath $ strategy $ show_stats $ as_xml $ limit)
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
+      & info [ "strategy" ] ~docv:"S" ~doc:"Axis-step strategy (see query --help).")
+  in
+  let run input xpath strategy =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      match Scj_xpath.Parse.path xpath with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok path ->
+        let session = Eval.session ~strategy doc in
+        print_string (Eval.explain session path);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the evaluation plan for an XPath query, with cost-model detail.")
+    Term.(const run $ input $ xpath $ strategy)
+
+(* ------------------------------------------------------------------ *)
+(* xquery                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let xquery_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
+      & info [ "strategy" ] ~docv:"S" ~doc:"Axis-step strategy (see query --help).")
+  in
+  let run input query strategy =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      let session = Eval.session ~strategy doc in
+      match Scj_xquery.Xq_eval.run session query with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok value ->
+        print_endline (Scj_xquery.Xq_eval.serialize session value);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "xquery" ~doc:"Evaluate an XQuery-lite (FLWOR) expression against a document.")
+    Term.(const run $ input $ query $ strategy)
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let run input =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      match Doc.validate doc with
+      | Ok () ->
+        Printf.printf "ok: %d nodes, height %d, Equation (1) holds everywhere\n"
+          (Doc.n_nodes doc) (Doc.height doc);
+        0
+      | Error e ->
+        Printf.printf "INVALID: %s\n" e;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check the pre/post encoding invariants of a document.")
+    Term.(const run $ input)
+
+(* ------------------------------------------------------------------ *)
+(* mil                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mil_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let program =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PROGRAM"
+           ~doc:"MIL program text, or a path to a .mil file.")
+  in
+  let run input program =
+    let program =
+      if Sys.file_exists program then In_channel.with_open_bin program In_channel.input_all
+      else program
+    in
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      match Scj_mil.Mil.run doc program with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok outcome ->
+        List.iter print_endline outcome.Scj_mil.Mil.printed;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "mil"
+       ~doc:"Run a MIL-style plan program (the paper's experiment scripts) against a document.")
+    Term.(const run $ input $ program)
+
+let () =
+  let open Cmdliner in
+  let doc = "staircase join: tree-aware XPath evaluation on a relational encoding" in
+  let info = Cmd.info "scj" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; xquery_cmd;
+            mil_cmd; validate_cmd;
+          ]))

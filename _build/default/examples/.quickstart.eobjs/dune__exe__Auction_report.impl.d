@@ -1,0 +1,1 @@
+examples/auction_report.ml: Array List Printf Scj_encoding Scj_xmlgen Scj_xpath Scj_xquery String Sys

@@ -1,0 +1,1 @@
+examples/axis_explorer.ml: Format Fun List Printf Scj_core Scj_encoding Scj_stats Scj_xml String

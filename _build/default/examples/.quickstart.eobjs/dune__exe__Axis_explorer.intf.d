@@ -1,0 +1,1 @@
+examples/axis_explorer.mli:

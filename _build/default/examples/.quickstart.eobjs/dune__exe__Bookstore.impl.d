@@ -1,0 +1,1 @@
+examples/bookstore.ml: List Option Printf Scj_encoding Scj_xpath String

@@ -1,0 +1,1 @@
+examples/bookstore.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Scj_encoding Scj_stats Scj_xpath

@@ -1,0 +1,1 @@
+examples/xmark_queries.ml: Array List Printf Scj_core Scj_encoding Scj_frag Scj_stats Scj_xmlgen Scj_xpath Sys Unix

@@ -1,0 +1,1 @@
+examples/xmark_suite.ml: Array List Printf Scj_encoding Scj_stats Scj_xmlgen Scj_xpath Sys Unix

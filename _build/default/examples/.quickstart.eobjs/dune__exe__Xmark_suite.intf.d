@@ -1,0 +1,1 @@
+examples/xmark_suite.mli:

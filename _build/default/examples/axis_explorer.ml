@@ -1,0 +1,108 @@
+(* Axis explorer: a guided tour of the paper's running example.
+
+   Reconstructs the 10-node document of Fig. 1, prints its pre/post plane
+   (Fig. 2), shows the document regions each XPath axis induces, and
+   demonstrates context pruning and the staircase partitions of Fig. 8.
+
+   Run with:  dune exec examples/axis_explorer.exe *)
+
+module Tree = Scj_xml.Tree
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Sj = Scj_core.Staircase
+
+(* the tree of Fig. 1: a(b(c), d, e(f(g,h), i(j))) *)
+let paper_tree =
+  Tree.elem "a"
+    [
+      Tree.elem "b" [ Tree.elem "c" [] ];
+      Tree.elem "d" [];
+      Tree.elem "e"
+        [ Tree.elem "f" [ Tree.elem "g" []; Tree.elem "h" [] ]; Tree.elem "i" [ Tree.elem "j" [] ] ];
+    ]
+
+let name doc v = match Doc.tag_name doc v with Some n -> n | None -> "?"
+
+let names doc seq =
+  if Nodeseq.is_empty seq then "(empty)"
+  else
+    String.concat ", " (List.map (name doc) (Nodeseq.to_list seq))
+
+let pre_of doc wanted =
+  let rec find v =
+    if v >= Doc.n_nodes doc then failwith ("no node " ^ wanted)
+    else if Doc.tag_name doc v = Some wanted then v
+    else find (v + 1)
+  in
+  find 0
+
+(* Render the pre/post plane as ASCII art: x = pre, y = post. *)
+let print_plane doc =
+  let n = Doc.n_nodes doc in
+  print_endline "the pre/post plane (x: preorder rank, y: postorder rank):";
+  for row = n - 1 downto 0 do
+    Printf.printf "%2d |" row;
+    for pre = 0 to n - 1 do
+      if Doc.post doc pre = row then Printf.printf " %s" (name doc pre) else print_string "  "
+    done;
+    print_newline ()
+  done;
+  print_string "   +";
+  for _ = 0 to n - 1 do
+    print_string "--"
+  done;
+  print_newline ();
+  print_string "    ";
+  for pre = 0 to n - 1 do
+    Printf.printf "%2d" pre
+  done;
+  print_newline ()
+
+let () =
+  let doc = Doc.of_tree paper_tree in
+  Format.printf "Fig. 2 — the doc table:@.%a@." Doc.pp_table doc;
+  print_plane doc;
+
+  (* Fig. 1: the four regions as seen from context node f *)
+  let f = pre_of doc "f" in
+  Printf.printf "\nregions as seen from context node f (pre=%d, post=%d):\n" f (Doc.post doc f);
+  List.iter
+    (fun axis ->
+      let region =
+        Nodeseq.of_unsorted
+          (List.filter
+             (fun v -> Axis.in_region doc axis ~context:f v)
+             (List.init (Doc.n_nodes doc) Fun.id))
+      in
+      Printf.printf "  f/%-20s = %s\n" (Axis.to_string axis) (names doc region))
+    [ Axis.Preceding; Axis.Descendant; Axis.Ancestor; Axis.Following ];
+
+  (* §2.1: (c)/following/descendant = (f, g, h, i, j) *)
+  let c = pre_of doc "c" in
+  let step1 = Sj.following doc (Nodeseq.singleton c) in
+  let step2 = Sj.desc doc step1 in
+  Printf.printf "\n(c)/following           = %s\n" (names doc step1);
+  Printf.printf "(c)/following/descendant = %s   (the paper's §2 example)\n" (names doc step2);
+
+  (* Fig. 4: pruning for an ancestor-or-self step *)
+  let ctx = Nodeseq.of_unsorted (List.map (pre_of doc) [ "d"; "e"; "f"; "h"; "i"; "j" ]) in
+  let pruned = Sj.prune_anc doc ctx in
+  Printf.printf "\nFig. 4 — context (d,e,f,h,i,j) prunes to (%s) for the ancestor axis\n"
+    (names doc pruned);
+  Printf.printf "         ancestors: %s\n" (names doc (Sj.anc doc ctx));
+
+  (* Fig. 8 — the staircase partitions *)
+  print_endline "\nFig. 8 — partitions of the ancestor staircase (d, h, j):";
+  let ctx = Nodeseq.of_unsorted (List.map (pre_of doc) [ "d"; "h"; "j" ]) in
+  List.iter
+    (fun p ->
+      Printf.printf "  scan [%d..%d] selecting post > %d\n" p.Sj.scan_from p.Sj.scan_to
+        p.Sj.boundary_post)
+    (Sj.anc_partitions doc ctx);
+
+  (* skipping at work *)
+  let stats = Scj_stats.Stats.create () in
+  let result = Sj.desc ~mode:Sj.Skipping ~stats doc ctx in
+  Format.printf "\n(d,h,j)/descendant = %s@.work: %a@." (names doc result) Scj_stats.Stats.pp
+    stats

@@ -1,0 +1,62 @@
+(* Bookstore: a data-centric document queried with the richer XPath
+   features — attributes, value comparisons, positions, counts, unions.
+
+   Run with:  dune exec examples/bookstore.exe *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Eval = Scj_xpath.Eval
+
+let xml =
+  {|<bookstore>
+  <section name="databases">
+    <book id="b1" lang="en"><title>Data on the Web</title>
+      <author>Abiteboul</author><author>Buneman</author><author>Suciu</author>
+      <price>39.95</price></book>
+    <book id="b2" lang="en"><title>Transaction Processing</title>
+      <author>Gray</author><author>Reuter</author>
+      <price>89.00</price></book>
+  </section>
+  <section name="languages">
+    <book id="b3" lang="de"><title>OCaml für Einsteiger</title>
+      <author>Meyer</author>
+      <price>29.50</price></book>
+    <book id="b4" lang="en"><title>Types and Programming Languages</title>
+      <author>Pierce</author>
+      <price>54.00</price></book>
+  </section>
+</bookstore>|}
+
+let () =
+  let doc = match Doc.of_string xml with Ok d -> d | Error e -> failwith e in
+  let session = Eval.session doc in
+  let show_titles label query =
+    match Eval.run session query with
+    | Error e -> Printf.printf "%-46s error: %s\n" label e
+    | Ok books ->
+      let titles =
+        List.filter_map
+          (fun v ->
+            match Eval.run ~context:(Nodeseq.singleton v) session "title | self::title" with
+            | Ok t -> Option.map (Doc.string_value doc) (Nodeseq.first t)
+            | Error _ -> None)
+          (Nodeseq.to_list books)
+      in
+      Printf.printf "%-46s %s\n" label (String.concat " | " titles)
+  in
+  show_titles "all books:" "//book";
+  show_titles "cheap books (price < 40):" "//book[price < 40]";
+  show_titles "multi-author books:" "//book[count(author) > 1]";
+  show_titles "German books:" "//book[@lang = 'de']";
+  show_titles "second book of each section:" "//section/book[2]";
+  show_titles "last book overall:" "/bookstore/section[last()]/book[last()]";
+  show_titles "by Gray or by Pierce:" "//book[author = 'Gray' or author = 'Pierce']";
+  show_titles "database books over 50:" "//section[@name = 'databases']/book[price > 50]";
+  show_titles "books without coauthors:" "//book[not(count(author) > 1)]";
+  show_titles "titles directly:" "//book[author = 'Abiteboul']/title";
+
+  (* navigating back up with ancestor *)
+  match Eval.run session "//book[@id = 'b3']/ancestor::section/@name" with
+  | Ok attrs ->
+    Nodeseq.iter (fun v -> Printf.printf "b3 lives in section %S\n" (Doc.string_value doc v)) attrs
+  | Error e -> prerr_endline e

@@ -1,0 +1,67 @@
+(* Quickstart: load an XML document, encode it into the pre/post plane,
+   and evaluate XPath queries with the staircase join.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Eval = Scj_xpath.Eval
+module Stats = Scj_stats.Stats
+
+let xml =
+  {|<library city="Konstanz">
+  <shelf floor="1">
+    <book year="2003"><title>Staircase Join</title><topic>XML</topic></book>
+    <book year="2002"><title>Accelerating XPath</title><topic>XML</topic></book>
+  </shelf>
+  <shelf floor="2">
+    <book year="1970"><title>A Relational Model of Data</title><topic>relational</topic></book>
+  </shelf>
+</library>|}
+
+let describe doc seq =
+  Nodeseq.fold_left
+    (fun acc v ->
+      let label =
+        match Doc.tag_name doc v with
+        | Some name -> name
+        | None -> ( match Doc.content doc v with Some s -> Printf.sprintf "%S" s | None -> "?")
+      in
+      Printf.sprintf "%s%s%s(pre=%d)" acc (if acc = "" then "" else ", ") label v)
+    "" seq
+
+let () =
+  (* 1. parse + encode *)
+  let doc =
+    match Doc.of_string xml with
+    | Ok doc -> doc
+    | Error e ->
+      prerr_endline e;
+      exit 1
+  in
+  Printf.printf "encoded %d nodes, height %d\n\n" (Doc.n_nodes doc) (Doc.height doc);
+  Format.printf "the doc table (pre/post plane):@.%a@." Doc.pp_table doc;
+
+  (* 2. run XPath queries; the session caches auxiliary structures *)
+  let session = Eval.session doc in
+  let queries =
+    [
+      "/descendant::book";
+      "//book[@year > 2000]/title";
+      "//topic[. = 'XML']";
+      "//book/ancestor::shelf";
+      "//title[1]";
+    ]
+  in
+  List.iter
+    (fun q ->
+      match Eval.run session q with
+      | Ok result -> Printf.printf "%-28s -> %s\n" q (describe doc result)
+      | Error e -> Printf.printf "%-28s -> error: %s\n" q e)
+    queries;
+
+  (* 3. observe the work the staircase join did *)
+  let stats = Stats.create () in
+  let result = Eval.run_exn ~stats session "/descendant::book" in
+  Format.printf "@./descendant::book touched: %a (result size %d)@." Stats.pp stats
+    (Nodeseq.length result)

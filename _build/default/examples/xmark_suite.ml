@@ -1,0 +1,75 @@
+(* XMark query suite: the XPath-expressible core of the XMark benchmark
+   queries, evaluated with the staircase join.
+
+   XMark (Schmidt et al., VLDB 2002) defines 20 XQuery queries over the
+   auction document; the ones below are their path/filter skeletons in the
+   XPath subset this library implements.  This is the workload family the
+   paper's XMLgen documents were designed for.
+
+   Run with:  dune exec examples/xmark_suite.exe -- [scale] *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Eval = Scj_xpath.Eval
+module Xmark = Scj_xmlgen.Xmark
+
+let suite =
+  [
+    ( "XQ1",
+      "the person with a given id",
+      "//person[@id = 'person0']/name" );
+    ( "XQ2",
+      "first bid increase of every open auction",
+      "//open_auction/bidder[1]/increase" );
+    ( "XQ5",
+      "closed auctions that sold at 40 or more",
+      "//closed_auction[price >= 40]" );
+    ( "XQ6",
+      "all items listed under regions",
+      "/site/regions/*/item" );
+    ( "XQ7",
+      "pages of prose: descriptions, annotations, mails",
+      "//description | //annotation | //mail" );
+    ( "XQ13",
+      "names of items in Australia",
+      "/site/regions/australia/item/name" );
+    ( "XQ14",
+      "items whose description mentions the word 'rose'",
+      "//item[contains(description, 'rose')]/name" );
+    ( "XQ15",
+      "deeply nested keywords",
+      "//open_auction/annotation/description/parlist/listitem/parlist/listitem/text/keyword" );
+    ( "XQ16",
+      "sellers of auctions annotated with deep keywords",
+      "//open_auction[annotation/description/parlist/listitem/parlist/listitem/text/keyword]\
+       /seller/@person" );
+    ( "XQ17",
+      "people without a homepage",
+      "//person[not(homepage)]/name" );
+    ( "XQ19",
+      "items sorted-by-location skeleton: locations of all items",
+      "//item/location" );
+    ( "XQ20",
+      "profiles in the top income bracket",
+      "//profile[@income >= 80000]" );
+  ]
+
+let () =
+  let scale = if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.01 in
+  Printf.printf "generating XMark document at scale %g ...\n%!" scale;
+  let doc = Doc.of_tree (Xmark.generate (Xmark.config ~scale ())) in
+  Printf.printf "document: %d nodes, height %d\n\n" (Doc.n_nodes doc) (Doc.height doc);
+  let session = Eval.session doc in
+  Printf.printf "%-6s %8s %10s %10s  %s\n" "query" "results" "touched" "time[ms]" "description";
+  List.iter
+    (fun (name, description, query) ->
+      let stats = Stats.create () in
+      let t0 = Unix.gettimeofday () in
+      match Eval.run ~stats session query with
+      | Error e -> Printf.printf "%-6s error: %s\n" name e
+      | Ok result ->
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        Printf.printf "%-6s %8d %10d %10.2f  %s\n" name (Nodeseq.length result)
+          (Stats.touched stats) ms description)
+    suite

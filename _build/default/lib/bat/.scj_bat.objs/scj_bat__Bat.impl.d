@@ -1,0 +1,1 @@
+lib/bat/bat.ml: Format Int_col Printf

@@ -1,0 +1,1 @@
+lib/bat/bat.mli: Format Int_col

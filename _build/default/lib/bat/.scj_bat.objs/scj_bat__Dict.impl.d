@@ -1,0 +1,1 @@
+lib/bat/dict.ml: Hashtbl Printf Str_col

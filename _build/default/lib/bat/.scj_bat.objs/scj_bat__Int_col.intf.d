@@ -1,0 +1,1 @@
+lib/bat/int_col.mli: Format

@@ -1,0 +1,1 @@
+lib/bat/str_col.mli:

@@ -1,0 +1,75 @@
+type col = Void of int | Ints of Int_col.t
+
+type t = { head : col; tail : col; count : int }
+
+let col_length count = function Void _ -> count | Ints c -> Int_col.length c
+
+let make ~head ~tail ~count =
+  if count < 0 then invalid_arg "Bat.make: negative count";
+  let check name c =
+    if col_length count c <> count then
+      invalid_arg (Printf.sprintf "Bat.make: %s column length mismatch" name)
+  in
+  check "head" head;
+  check "tail" tail;
+  { head; tail; count }
+
+let of_tail tail = make ~head:(Void 0) ~tail:(Ints tail) ~count:(Int_col.length tail)
+
+let count t = t.count
+
+let value c i = match c with Void offset -> offset + i | Ints col -> Int_col.get col i
+
+let head t i =
+  if i < 0 || i >= t.count then invalid_arg "Bat.head: row out of bounds";
+  value t.head i
+
+let tail t i =
+  if i < 0 || i >= t.count then invalid_arg "Bat.tail: row out of bounds";
+  value t.tail i
+
+let head_col t = t.head
+
+let tail_col t = t.tail
+
+let reverse t = { head = t.tail; tail = t.head; count = t.count }
+
+let slice_col c ~pos ~len =
+  match c with
+  | Void offset -> Void (offset + pos)
+  | Ints col -> Ints (Int_col.sub col ~pos ~len)
+
+let slice t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.count then invalid_arg "Bat.slice: out of bounds";
+  { head = slice_col t.head ~pos ~len; tail = slice_col t.tail ~pos ~len; count = len }
+
+let select t ~lo ~hi =
+  let heads = Int_col.create () and tails = Int_col.create () in
+  for i = 0 to t.count - 1 do
+    let v = value t.tail i in
+    if v >= lo && v <= hi then begin
+      Int_col.append_unit heads (value t.head i);
+      Int_col.append_unit tails v
+    end
+  done;
+  make ~head:(Ints heads) ~tail:(Ints tails) ~count:(Int_col.length heads)
+
+let materialize_head t =
+  match t.head with
+  | Ints _ -> t
+  | Void offset ->
+    let col = Int_col.create ~capacity:(max t.count 1) () in
+    for i = 0 to t.count - 1 do
+      Int_col.append_unit col (offset + i)
+    done;
+    { t with head = Ints col }
+
+let iter f t =
+  for i = 0 to t.count - 1 do
+    f (value t.head i) (value t.tail i)
+  done
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter (fun h tl -> Format.fprintf ppf "%d -> %d@," h tl) t;
+  Format.fprintf ppf "@]"

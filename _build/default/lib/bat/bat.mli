@@ -1,0 +1,51 @@
+(** Monet-style Binary Association Table: a two-column table of
+    (head, tail) integer pairs.
+
+    The distinguishing feature reproduced here is the [void] column type — a
+    virtual column representing the contiguous sequence [o, o+1, o+2, ...]
+    for which only the offset [o] is stored.  The [doc] table of the XPath
+    accelerator keeps its preorder ranks in a void head, so positional
+    lookup is free and the table costs a single materialized column. *)
+
+type col =
+  | Void of int  (** virtual oid column: value at row [i] is [offset + i] *)
+  | Ints of Int_col.t  (** materialized integer column *)
+
+type t
+
+(** [make ~head ~tail ~count] builds a BAT of [count] rows.
+    @raise Invalid_argument if a materialized column's length differs from
+    [count]. *)
+val make : head:col -> tail:col -> count:int -> t
+
+(** [of_tail tail] is the common doc-table shape: a void head starting at 0
+    over a materialized tail. *)
+val of_tail : Int_col.t -> t
+
+val count : t -> int
+
+val head : t -> int -> int
+
+val tail : t -> int -> int
+
+val head_col : t -> col
+
+val tail_col : t -> col
+
+(** [reverse t] swaps head and tail (Monet's [reverse]); O(1). *)
+val reverse : t -> t
+
+(** [slice t ~pos ~len] is the row range as a fresh BAT; void columns stay
+    void (with an adjusted offset). *)
+val slice : t -> pos:int -> len:int -> t
+
+(** [select t ~lo ~hi] returns the (head, tail) pairs whose tail value lies
+    in [lo, hi], in row order. *)
+val select : t -> lo:int -> hi:int -> t
+
+(** [materialize_head t] forces the head column to a materialized column. *)
+val materialize_head : t -> t
+
+val iter : (int -> int -> unit) -> t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let check t i fn =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Int_col.%s: index %d out of bounds [0,%d)" fn i t.len)
+
+let get t i =
+  check t i "get";
+  Array.unsafe_get t.data i
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let set t i v =
+  check t i "set";
+  Array.unsafe_set t.data i v
+
+let grow t needed =
+  let cap = max (2 * Array.length t.data) needed in
+  let fresh = Array.make cap 0 in
+  Array.blit t.data 0 fresh 0 t.len;
+  t.data <- fresh
+
+let append t v =
+  if t.len = Array.length t.data then grow t (t.len + 1);
+  Array.unsafe_set t.data t.len v;
+  let i = t.len in
+  t.len <- t.len + 1;
+  i
+
+let append_unit t v = ignore (append t v)
+
+let last t =
+  if t.len = 0 then invalid_arg "Int_col.last: empty column";
+  Array.unsafe_get t.data (t.len - 1)
+
+let clear t = t.len <- 0
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let of_list l = of_array (Array.of_list l)
+
+let to_array t = Array.sub t.data 0 t.len
+
+let to_list t = Array.to_list (to_array t)
+
+let unsafe_data t = t.data
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i (Array.unsafe_get t.data i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc (Array.unsafe_get t.data i)
+  done;
+  !acc
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.len then
+    invalid_arg
+      (Printf.sprintf "Int_col.sub: slice [%d,%d) out of bounds [0,%d)" pos (pos + len) t.len);
+  if len = 0 then create ~capacity:1 () else { data = Array.sub t.data pos len; len }
+
+let copy t = { data = Array.copy t.data; len = t.len }
+
+let is_sorted t =
+  let rec loop i = i >= t.len || (t.data.(i - 1) <= t.data.(i) && loop (i + 1)) in
+  loop 1
+
+let sort t =
+  let live = to_array t in
+  Array.sort compare live;
+  Array.blit live 0 t.data 0 t.len
+
+(* Binary search for the first index whose value satisfies [bound]; values
+   must be sorted so that [bound] is monotone (a run of false, then true). *)
+let first_such t bound =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if bound (Array.unsafe_get t.data mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let first_ge t key = first_such t (fun v -> v >= key)
+
+let first_gt t key = first_such t (fun v -> v > key)
+
+let mem_sorted t v =
+  let i = first_ge t v in
+  i < t.len && Array.unsafe_get t.data i = v
+
+let equal a b =
+  a.len = b.len
+  &&
+  let rec loop i = i >= a.len || (a.data.(i) = b.data.(i) && loop (i + 1)) in
+  loop 0
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[";
+  iteri (fun i v -> if i = 0 then Format.fprintf ppf "%d" v else Format.fprintf ppf ";@ %d" v) t;
+  Format.fprintf ppf "]@]"

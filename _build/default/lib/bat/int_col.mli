@@ -1,0 +1,86 @@
+(** Growable, unboxed column of integers.
+
+    This is the workhorse of the Monet-style storage layer: the [doc] table
+    holding the pre/post XML encoding is a handful of these columns, and
+    staircase join's inner loops are sequential scans over them.  All
+    accessors are O(1); [append] is amortized O(1). *)
+
+type t
+
+(** [create ?capacity ()] makes an empty column.  [capacity] pre-allocates
+    room for that many values (default 16). *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** [get col i] is the [i]-th value.  @raise Invalid_argument when [i] is
+    out of bounds. *)
+val get : t -> int -> int
+
+(** [unsafe_get col i] skips the bounds check; only for verified-hot loops. *)
+val unsafe_get : t -> int -> int
+
+(** [set col i v] overwrites position [i].  @raise Invalid_argument when
+    [i] is out of bounds. *)
+val set : t -> int -> int -> unit
+
+(** [append col v] adds [v] at the end and returns its index. *)
+val append : t -> int -> int
+
+(** [append_unit col v] adds [v] at the end, discarding the index. *)
+val append_unit : t -> int -> unit
+
+(** [last col] is the most recently appended value.
+    @raise Invalid_argument on an empty column. *)
+val last : t -> int
+
+val clear : t -> unit
+
+val of_array : int array -> t
+
+val of_list : int list -> t
+
+(** [to_array col] is a fresh array copy of the live prefix. *)
+val to_array : t -> int array
+
+val to_list : t -> int list
+
+(** [unsafe_data col] exposes the backing array; indices [>= length col]
+    hold garbage.  Only for read-only hot loops. *)
+val unsafe_data : t -> int array
+
+val iter : (int -> unit) -> t -> unit
+
+val iteri : (int -> int -> unit) -> t -> unit
+
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [sub col ~pos ~len] is a fresh column with the given slice.
+    @raise Invalid_argument when the slice is out of bounds. *)
+val sub : t -> pos:int -> len:int -> t
+
+(** [copy col] is an independent duplicate. *)
+val copy : t -> t
+
+(** [is_sorted col] checks for non-decreasing order. *)
+val is_sorted : t -> bool
+
+(** In-place ascending sort. *)
+val sort : t -> unit
+
+(** [first_ge col key] is the smallest index [i] with [get col i >= key],
+    or [length col] if none; requires [is_sorted col]. *)
+val first_ge : t -> int -> int
+
+(** [first_gt col key] is the smallest index [i] with [get col i > key],
+    or [length col] if none; requires [is_sorted col]. *)
+val first_gt : t -> int -> int
+
+(** [mem_sorted col v] is binary-search membership; requires sortedness. *)
+val mem_sorted : t -> int -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

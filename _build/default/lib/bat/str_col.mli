@@ -1,0 +1,22 @@
+(** Growable column of strings (the text/value heap of the document
+    encoding).  Same interface discipline as {!Int_col}. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+(** @raise Invalid_argument when out of bounds. *)
+val get : t -> int -> string
+
+(** [append col s] adds [s] and returns its index. *)
+val append : t -> string -> int
+
+val of_array : string array -> t
+
+val to_array : t -> string array
+
+val iteri : (int -> string -> unit) -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/btree/btree.ml: Array Format Int List Scj_stats

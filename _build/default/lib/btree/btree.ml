@@ -1,0 +1,636 @@
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type key
+
+  type 'a t
+
+  val create : ?order:int -> unit -> 'a t
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  val height : 'a t -> int
+
+  val insert : 'a t -> key -> 'a -> unit
+
+  val find : ?stats:Scj_stats.Stats.t -> 'a t -> key -> 'a option
+
+  val mem : 'a t -> key -> bool
+
+  val delete : 'a t -> key -> bool
+
+  val iter_range :
+    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> unit) -> unit
+
+  val iter_range_while :
+    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> bool) -> unit
+
+  val fold_range :
+    ?stats:Scj_stats.Stats.t ->
+    ?lo:key ->
+    ?hi:key ->
+    'a t ->
+    init:'b ->
+    f:('b -> key -> 'a -> 'b) ->
+    'b
+
+  val iter : 'a t -> (key -> 'a -> unit) -> unit
+
+  val to_list : 'a t -> (key * 'a) list
+
+  val min_binding : 'a t -> (key * 'a) option
+
+  val max_binding : 'a t -> (key * 'a) option
+
+  val of_sorted_array : ?order:int -> (key * 'a) array -> 'a t
+
+  val check_invariants : 'a t -> (unit, string) result
+
+  val node_counts : 'a t -> int * int
+end
+
+module Make (Key : KEY) : S with type key = Key.t = struct
+  type key = Key.t
+
+  (* Arrays are sized [order + 1] (keys) so a node may temporarily hold one
+     key too many right after an insert; the overflow is resolved by an
+     immediate split.  [lkeys]/[ikeys] slots at index >= n hold stale
+     values and must never be read. *)
+  type 'a leaf = {
+    mutable lkeys : key array;
+    mutable lvals : 'a array;
+    mutable ln : int;
+    mutable next : 'a leaf option;
+  }
+
+  type 'a node = Leaf of 'a leaf | Node of 'a internal
+
+  and 'a internal = { mutable ikeys : key array; mutable kids : 'a node array; mutable kn : int }
+
+  type 'a t = { mutable root : 'a node; order : int; mutable size : int }
+
+  let min_order = 4
+
+  let normalize_order order =
+    let order = max order min_order in
+    if order mod 2 = 0 then order else order + 1
+
+  let empty_leaf () = { lkeys = [||]; lvals = [||]; ln = 0; next = None }
+
+  let create ?(order = 64) () =
+    { root = Leaf (empty_leaf ()); order = normalize_order order; size = 0 }
+
+  let length t = t.size
+
+  let is_empty t = t.size = 0
+
+  let height t =
+    let rec depth = function Leaf _ -> 1 | Node n -> 1 + depth n.kids.(0) in
+    depth t.root
+
+  let min_fill order = order / 2
+
+  (* --- searching within a node ------------------------------------- *)
+
+  (* First index in [keys[0..n)] whose key is >= k. *)
+  let leaf_position keys n k =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Key.compare keys.(mid) k >= 0 then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* Child to descend into: first index i with k < ikeys[i], else kn. *)
+  let child_index node k =
+    let lo = ref 0 and hi = ref node.kn in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Key.compare k node.ikeys.(mid) < 0 then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* --- insertion ---------------------------------------------------- *)
+
+  let ensure_leaf_capacity t l k v =
+    if Array.length l.lkeys = 0 then begin
+      l.lkeys <- Array.make (t.order + 1) k;
+      l.lvals <- Array.make (t.order + 1) v
+    end
+
+  let leaf_insert_at l pos k v =
+    Array.blit l.lkeys pos l.lkeys (pos + 1) (l.ln - pos);
+    Array.blit l.lvals pos l.lvals (pos + 1) (l.ln - pos);
+    l.lkeys.(pos) <- k;
+    l.lvals.(pos) <- v;
+    l.ln <- l.ln + 1
+
+  let split_leaf l =
+    let total = l.ln in
+    let keep = (total + 1) / 2 in
+    let moved = total - keep in
+    let right =
+      {
+        lkeys = Array.copy l.lkeys;
+        lvals = Array.copy l.lvals;
+        ln = moved;
+        next = l.next;
+      }
+    in
+    Array.blit l.lkeys keep right.lkeys 0 moved;
+    Array.blit l.lvals keep right.lvals 0 moved;
+    l.ln <- keep;
+    l.next <- Some right;
+    (right.lkeys.(0), Leaf right)
+
+  let internal_insert_at node pos sep child =
+    Array.blit node.ikeys pos node.ikeys (pos + 1) (node.kn - pos);
+    Array.blit node.kids (pos + 1) node.kids (pos + 2) (node.kn - pos);
+    node.ikeys.(pos) <- sep;
+    node.kids.(pos + 1) <- child;
+    node.kn <- node.kn + 1
+
+  let split_internal node =
+    let total = node.kn in
+    let mid = total / 2 in
+    let sep = node.ikeys.(mid) in
+    let right_keys = total - mid - 1 in
+    let right =
+      { ikeys = Array.copy node.ikeys; kids = Array.copy node.kids; kn = right_keys }
+    in
+    Array.blit node.ikeys (mid + 1) right.ikeys 0 right_keys;
+    Array.blit node.kids (mid + 1) right.kids 0 (right_keys + 1);
+    node.kn <- mid;
+    (sep, Node right)
+
+  let insert t k v =
+    let rec descend = function
+      | Leaf l ->
+        ensure_leaf_capacity t l k v;
+        let pos = leaf_position l.lkeys l.ln k in
+        if pos < l.ln && Key.compare l.lkeys.(pos) k = 0 then begin
+          l.lvals.(pos) <- v;
+          None
+        end
+        else begin
+          leaf_insert_at l pos k v;
+          t.size <- t.size + 1;
+          if l.ln > t.order then Some (split_leaf l) else None
+        end
+      | Node node -> (
+        let j = child_index node k in
+        match descend node.kids.(j) with
+        | None -> None
+        | Some (sep, right) ->
+          internal_insert_at node j sep right;
+          if node.kn > t.order then Some (split_internal node) else None)
+    in
+    match descend t.root with
+    | None -> ()
+    | Some (sep, right) ->
+      let ikeys = Array.make (t.order + 1) sep in
+      let kids = Array.make (t.order + 2) right in
+      kids.(0) <- t.root;
+      kids.(1) <- right;
+      t.root <- Node { ikeys; kids; kn = 1 }
+
+  (* --- lookup -------------------------------------------------------- *)
+
+  let touch stats n =
+    match stats with
+    | None -> ()
+    | Some s -> s.Scj_stats.Stats.index_nodes <- s.Scj_stats.Stats.index_nodes + n
+
+  let probe stats =
+    match stats with
+    | None -> ()
+    | Some s -> s.Scj_stats.Stats.index_probes <- s.Scj_stats.Stats.index_probes + 1
+
+  let find ?stats t k =
+    probe stats;
+    let rec descend = function
+      | Leaf l ->
+        touch stats 1;
+        let pos = leaf_position l.lkeys l.ln k in
+        if pos < l.ln && Key.compare l.lkeys.(pos) k = 0 then Some l.lvals.(pos) else None
+      | Node node ->
+        touch stats 1;
+        descend node.kids.(child_index node k)
+    in
+    descend t.root
+
+  let mem t k = find t k <> None
+
+  (* --- range scans ---------------------------------------------------- *)
+
+  (* Leftmost leaf that may contain a key >= lo (or the leftmost leaf). *)
+  let seek_leaf ?stats t lo =
+    probe stats;
+    let rec descend = function
+      | Leaf l ->
+        touch stats 1;
+        l
+      | Node node ->
+        touch stats 1;
+        let j = match lo with None -> 0 | Some k -> child_index node k in
+        descend node.kids.(j)
+    in
+    descend t.root
+
+  let iter_range_while ?stats ?lo ?hi t f =
+    let leaf = seek_leaf ?stats t lo in
+    let above_hi k = match hi with None -> false | Some h -> Key.compare k h > 0 in
+    let start l = match lo with None -> 0 | Some k -> leaf_position l.lkeys l.ln k in
+    let current = ref (Some leaf) in
+    let pos = ref (start leaf) in
+    let continue = ref true in
+    while !continue do
+      match !current with
+      | None -> continue := false
+      | Some l ->
+        if !pos >= l.ln then begin
+          (match l.next with None -> () | Some _ -> touch stats 1);
+          current := l.next;
+          pos := 0
+        end
+        else begin
+          let k = l.lkeys.(!pos) in
+          if above_hi k then continue := false
+          else if f k l.lvals.(!pos) then incr pos
+          else continue := false
+        end
+    done
+
+  let iter_range ?stats ?lo ?hi t f =
+    iter_range_while ?stats ?lo ?hi t (fun k v ->
+        f k v;
+        true)
+
+  let fold_range ?stats ?lo ?hi t ~init ~f =
+    let acc = ref init in
+    iter_range ?stats ?lo ?hi t (fun k v -> acc := f !acc k v);
+    !acc
+
+  let iter t f = iter_range t f
+
+  let to_list t = List.rev (fold_range t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let min_binding t =
+    let leaf = seek_leaf t None in
+    if leaf.ln = 0 then None else Some (leaf.lkeys.(0), leaf.lvals.(0))
+
+  let max_binding t =
+    let rec descend = function
+      | Leaf l -> if l.ln = 0 then None else Some (l.lkeys.(l.ln - 1), l.lvals.(l.ln - 1))
+      | Node node -> descend node.kids.(node.kn)
+    in
+    descend t.root
+
+  (* --- deletion ------------------------------------------------------- *)
+
+  let leaf_remove_at l pos =
+    Array.blit l.lkeys (pos + 1) l.lkeys pos (l.ln - pos - 1);
+    Array.blit l.lvals (pos + 1) l.lvals pos (l.ln - pos - 1);
+    l.ln <- l.ln - 1
+
+  let internal_remove_at node pos =
+    (* removes separator [pos] and child [pos + 1] *)
+    Array.blit node.ikeys (pos + 1) node.ikeys pos (node.kn - pos - 1);
+    Array.blit node.kids (pos + 2) node.kids (pos + 1) (node.kn - pos - 1);
+    node.kn <- node.kn - 1
+
+  let leaf_underflow t l = l.ln < min_fill t.order
+
+  let node_underflow t n = n.kn < min_fill t.order
+
+  let fix_leaf_child t parent j =
+    let cur = match parent.kids.(j) with Leaf l -> l | Node _ -> assert false in
+    let left = if j > 0 then Some (match parent.kids.(j - 1) with Leaf l -> l | Node _ -> assert false) else None in
+    let right =
+      if j < parent.kn then Some (match parent.kids.(j + 1) with Leaf l -> l | Node _ -> assert false)
+      else None
+    in
+    match (left, right) with
+    | Some l, _ when l.ln > min_fill t.order ->
+      (* borrow the largest entry of the left sibling *)
+      leaf_insert_at cur 0 l.lkeys.(l.ln - 1) l.lvals.(l.ln - 1);
+      l.ln <- l.ln - 1;
+      parent.ikeys.(j - 1) <- cur.lkeys.(0)
+    | _, Some r when r.ln > min_fill t.order ->
+      (* borrow the smallest entry of the right sibling *)
+      ensure_leaf_capacity t cur r.lkeys.(0) r.lvals.(0);
+      leaf_insert_at cur cur.ln r.lkeys.(0) r.lvals.(0);
+      leaf_remove_at r 0;
+      parent.ikeys.(j) <- r.lkeys.(0)
+    | Some l, _ ->
+      (* merge [cur] into the left sibling *)
+      Array.blit cur.lkeys 0 l.lkeys l.ln cur.ln;
+      Array.blit cur.lvals 0 l.lvals l.ln cur.ln;
+      l.ln <- l.ln + cur.ln;
+      l.next <- cur.next;
+      internal_remove_at parent (j - 1)
+    | None, Some r ->
+      (* merge the right sibling into [cur] *)
+      ensure_leaf_capacity t cur r.lkeys.(0) r.lvals.(0);
+      Array.blit r.lkeys 0 cur.lkeys cur.ln r.ln;
+      Array.blit r.lvals 0 cur.lvals cur.ln r.ln;
+      cur.ln <- cur.ln + r.ln;
+      cur.next <- r.next;
+      internal_remove_at parent j
+    | None, None -> assert false
+
+  let fix_internal_child t parent j =
+    let cur = match parent.kids.(j) with Node n -> n | Leaf _ -> assert false in
+    let left = if j > 0 then Some (match parent.kids.(j - 1) with Node n -> n | Leaf _ -> assert false) else None in
+    let right =
+      if j < parent.kn then Some (match parent.kids.(j + 1) with Node n -> n | Leaf _ -> assert false)
+      else None
+    in
+    match (left, right) with
+    | Some l, _ when l.kn > min_fill t.order ->
+      (* rotate right through the parent separator *)
+      Array.blit cur.ikeys 0 cur.ikeys 1 cur.kn;
+      Array.blit cur.kids 0 cur.kids 1 (cur.kn + 1);
+      cur.ikeys.(0) <- parent.ikeys.(j - 1);
+      cur.kids.(0) <- l.kids.(l.kn);
+      cur.kn <- cur.kn + 1;
+      parent.ikeys.(j - 1) <- l.ikeys.(l.kn - 1);
+      l.kn <- l.kn - 1
+    | _, Some r when r.kn > min_fill t.order ->
+      (* rotate left through the parent separator *)
+      cur.ikeys.(cur.kn) <- parent.ikeys.(j);
+      cur.kids.(cur.kn + 1) <- r.kids.(0);
+      cur.kn <- cur.kn + 1;
+      parent.ikeys.(j) <- r.ikeys.(0);
+      Array.blit r.ikeys 1 r.ikeys 0 (r.kn - 1);
+      Array.blit r.kids 1 r.kids 0 r.kn;
+      r.kn <- r.kn - 1
+    | Some l, _ ->
+      (* merge [cur] into the left sibling *)
+      l.ikeys.(l.kn) <- parent.ikeys.(j - 1);
+      Array.blit cur.ikeys 0 l.ikeys (l.kn + 1) cur.kn;
+      Array.blit cur.kids 0 l.kids (l.kn + 1) (cur.kn + 1);
+      l.kn <- l.kn + cur.kn + 1;
+      internal_remove_at parent (j - 1)
+    | None, Some r ->
+      (* merge the right sibling into [cur] *)
+      cur.ikeys.(cur.kn) <- parent.ikeys.(j);
+      Array.blit r.ikeys 0 cur.ikeys (cur.kn + 1) r.kn;
+      Array.blit r.kids 0 cur.kids (cur.kn + 1) (r.kn + 1);
+      cur.kn <- cur.kn + r.kn + 1;
+      internal_remove_at parent j
+    | None, None -> assert false
+
+  let delete t k =
+    let rec descend = function
+      | Leaf l ->
+        let pos = leaf_position l.lkeys l.ln k in
+        if pos < l.ln && Key.compare l.lkeys.(pos) k = 0 then begin
+          leaf_remove_at l pos;
+          t.size <- t.size - 1;
+          true
+        end
+        else false
+      | Node node ->
+        let j = child_index node k in
+        let deleted = descend node.kids.(j) in
+        if deleted then begin
+          match node.kids.(j) with
+          | Leaf l -> if leaf_underflow t l then fix_leaf_child t node j
+          | Node n -> if node_underflow t n then fix_internal_child t node j
+        end;
+        deleted
+    in
+    let deleted = descend t.root in
+    (match t.root with
+    | Node node when node.kn = 0 -> t.root <- node.kids.(0)
+    | Node _ | Leaf _ -> ());
+    deleted
+
+  (* --- bulk loading ----------------------------------------------------- *)
+
+  (* Chunk [n] items into runs of at most [limit], at least [low] each
+     (except when n < low, which only happens for a lone root).  Returns
+     run lengths. *)
+  let chunk_sizes n ~limit ~low =
+    if n <= limit then [ n ]
+    else begin
+      let full = n / limit and rest = n mod limit in
+      let runs = ref [] in
+      for _ = 1 to full do
+        runs := limit :: !runs
+      done;
+      if rest > 0 then begin
+        if rest >= low then runs := rest :: !runs
+        else
+          match !runs with
+          | prev :: tl ->
+            let total = prev + rest in
+            if total <= limit then runs := total :: tl
+            else
+              let first = (total + 1) / 2 in
+              runs := (total - first) :: first :: tl
+          | [] -> runs := [ rest ]
+      end;
+      List.rev !runs
+    end
+
+  let of_sorted_array ?(order = 64) pairs =
+    let order = normalize_order order in
+    let n = Array.length pairs in
+    for i = 1 to n - 1 do
+      if Key.compare (fst pairs.(i - 1)) (fst pairs.(i)) >= 0 then
+        invalid_arg "Btree.of_sorted_array: keys must be strictly increasing"
+    done;
+    if n = 0 then create ~order ()
+    else begin
+      (* build the leaf level *)
+      let runs = chunk_sizes n ~limit:order ~low:(min_fill order) in
+      let pos = ref 0 in
+      let leaves =
+        List.map
+          (fun len ->
+            let k0, v0 = pairs.(!pos) in
+            let l =
+              {
+                lkeys = Array.make (order + 1) k0;
+                lvals = Array.make (order + 1) v0;
+                ln = len;
+                next = None;
+              }
+            in
+            for i = 0 to len - 1 do
+              let k, v = pairs.(!pos + i) in
+              l.lkeys.(i) <- k;
+              l.lvals.(i) <- v
+            done;
+            pos := !pos + len;
+            l)
+          runs
+      in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+          a.next <- Some b;
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link leaves;
+      (* build internal levels bottom-up; track each subtree's min key *)
+      let level = List.map (fun l -> (l.lkeys.(0), Leaf l)) leaves in
+      let rec build level =
+        match level with
+        | [] -> assert false
+        | [ (_, node) ] -> node
+        | _ ->
+          let nodes = Array.of_list level in
+          let runs =
+            chunk_sizes (Array.length nodes) ~limit:(order + 1) ~low:(min_fill order + 1)
+          in
+          let pos = ref 0 in
+          let parents =
+            List.map
+              (fun len ->
+                let min0, _ = nodes.(!pos) in
+                let _, kid0 = nodes.(!pos) in
+                let internal =
+                  {
+                    ikeys = Array.make (order + 1) min0;
+                    kids = Array.make (order + 2) kid0;
+                    kn = len - 1;
+                  }
+                in
+                for i = 0 to len - 1 do
+                  let mink, kid = nodes.(!pos + i) in
+                  internal.kids.(i) <- kid;
+                  if i > 0 then internal.ikeys.(i - 1) <- mink
+                done;
+                pos := !pos + len;
+                (min0, Node internal))
+              runs
+          in
+          build parents
+      in
+      { root = build level; order; size = n }
+    end
+
+  (* --- invariants -------------------------------------------------------- *)
+
+  let node_counts t =
+    let internals = ref 0 and leaves = ref 0 in
+    let rec walk = function
+      | Leaf _ -> incr leaves
+      | Node n ->
+        incr internals;
+        for i = 0 to n.kn do
+          walk n.kids.(i)
+        done
+    in
+    walk t.root;
+    (!internals, !leaves)
+
+  let check_invariants t =
+    let exception Violation of string in
+    let fail fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt in
+    let count = ref 0 in
+    (* Returns (depth, min_key option, max_key option). *)
+    let rec walk ~is_root ~lo ~hi = function
+      | Leaf l ->
+        if not is_root then begin
+          if l.ln < min_fill t.order then fail "leaf underfull: %d < %d" l.ln (min_fill t.order)
+        end;
+        if l.ln > t.order then fail "leaf overfull: %d > %d" l.ln t.order;
+        for i = 1 to l.ln - 1 do
+          if Key.compare l.lkeys.(i - 1) l.lkeys.(i) >= 0 then
+            fail "leaf keys not strictly increasing at %d" i
+        done;
+        for i = 0 to l.ln - 1 do
+          let k = l.lkeys.(i) in
+          (match lo with
+          | Some b when Key.compare k b < 0 -> fail "leaf key below separator bound"
+          | Some _ | None -> ());
+          match hi with
+          | Some b when Key.compare k b >= 0 -> fail "leaf key at/above separator bound"
+          | Some _ | None -> ()
+        done;
+        count := !count + l.ln;
+        1
+      | Node n ->
+        if not is_root then begin
+          if n.kn < min_fill t.order then fail "internal underfull: %d" n.kn
+        end
+        else if n.kn < 1 then fail "internal root without keys";
+        if n.kn > t.order then fail "internal overfull: %d" n.kn;
+        for i = 1 to n.kn - 1 do
+          if Key.compare n.ikeys.(i - 1) n.ikeys.(i) >= 0 then
+            fail "separators not strictly increasing at %d" i
+        done;
+        let depth = ref (-1) in
+        for i = 0 to n.kn do
+          let child_lo = if i = 0 then lo else Some n.ikeys.(i - 1) in
+          let child_hi = if i = n.kn then hi else Some n.ikeys.(i) in
+          let d = walk ~is_root:false ~lo:child_lo ~hi:child_hi n.kids.(i) in
+          if !depth = -1 then depth := d
+          else if d <> !depth then fail "leaves at non-uniform depth"
+        done;
+        !depth + 1
+    in
+    try
+      let _ = walk ~is_root:true ~lo:None ~hi:None t.root in
+      if !count <> t.size then fail "size mismatch: counted %d, recorded %d" !count t.size;
+      (* leaf chain must visit every key in ascending order *)
+      let chain = ref 0 in
+      let prev = ref None in
+      let rec leftmost = function Leaf l -> l | Node n -> leftmost n.kids.(0) in
+      let leaf = ref (Some (leftmost t.root)) in
+      let continue = ref true in
+      while !continue do
+        match !leaf with
+        | None -> continue := false
+        | Some l ->
+          for i = 0 to l.ln - 1 do
+            (match !prev with
+            | Some p when Key.compare p l.lkeys.(i) >= 0 -> fail "leaf chain out of order"
+            | Some _ | None -> ());
+            prev := Some l.lkeys.(i);
+            incr chain
+          done;
+          leaf := l.next
+      done;
+      if !chain <> t.size then fail "leaf chain misses keys: %d <> %d" !chain t.size;
+      Ok ()
+    with Violation msg -> Error msg
+end
+
+module Int = Make (struct
+  type t = int
+
+  let compare = Int.compare
+
+  let pp = Format.pp_print_int
+end)
+
+module Packed = struct
+  let bits = 31
+
+  let mask = (1 lsl bits) - 1
+
+  let make ~pre ~post =
+    assert (pre >= 0 && pre <= mask && post >= 0 && post <= mask);
+    (pre lsl bits) lor post
+
+  let pre key = key lsr bits
+
+  let post key = key land mask
+
+  let lo ~pre = pre lsl bits
+
+  let hi ~pre = (pre lsl bits) lor mask
+end

@@ -1,0 +1,112 @@
+(** B+-tree with in-order leaf chaining and instrumented range scans.
+
+    This powers the tree-unaware RDBMS baseline of the paper (Fig. 3): the
+    [doc] table is indexed by a B-tree over (pre, post) and axis steps are
+    evaluated as per-context-node index range scans.  The staircase join
+    itself never needs this structure — that asymmetry is the point of the
+    paper — but the baseline must be real for the comparison (Fig. 11 (e),
+    (f)) to mean anything.
+
+    The tree is mutable, supports insertion, deletion (with borrow/merge
+    rebalancing), point and range lookups, and sorted bulk loading.  Range
+    scans optionally report touched pages into a {!Scj_stats.Stats.t}. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module type S = sig
+  type key
+
+  type 'a t
+
+  (** [create ?order ()] makes an empty tree.  [order] is the maximal
+      number of keys per node (default 64; minimum 4; even values only —
+      odd values are rounded up). *)
+  val create : ?order:int -> unit -> 'a t
+
+  val length : 'a t -> int
+
+  val is_empty : 'a t -> bool
+
+  (** Levels from root to leaf; an empty tree has height 1 (a root leaf). *)
+  val height : 'a t -> int
+
+  (** [insert t k v] binds [k] to [v], replacing any previous binding. *)
+  val insert : 'a t -> key -> 'a -> unit
+
+  val find : ?stats:Scj_stats.Stats.t -> 'a t -> key -> 'a option
+
+  val mem : 'a t -> key -> bool
+
+  (** [delete t k] removes the binding for [k]; returns [false] when [k]
+      was not bound. *)
+  val delete : 'a t -> key -> bool
+
+  (** [iter_range ?stats ?lo ?hi t f] applies [f] to every binding with
+      [lo <= k <= hi] in ascending key order.  Omitted bounds are
+      unbounded.  [stats] records index probes and pages visited. *)
+  val iter_range :
+    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> unit) -> unit
+
+  (** Like {!iter_range} but stops as soon as [f] returns [false] — this is
+      the "predicate evaluated during the index scan" shape of the Fig. 3
+      plan. *)
+  val iter_range_while :
+    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> bool) -> unit
+
+  val fold_range :
+    ?stats:Scj_stats.Stats.t ->
+    ?lo:key ->
+    ?hi:key ->
+    'a t ->
+    init:'b ->
+    f:('b -> key -> 'a -> 'b) ->
+    'b
+
+  val iter : 'a t -> (key -> 'a -> unit) -> unit
+
+  val to_list : 'a t -> (key * 'a) list
+
+  val min_binding : 'a t -> (key * 'a) option
+
+  val max_binding : 'a t -> (key * 'a) option
+
+  (** [of_sorted_array ?order pairs] bulk-loads from strictly increasing
+      keys.  @raise Invalid_argument if keys are not strictly increasing. *)
+  val of_sorted_array : ?order:int -> (key * 'a) array -> 'a t
+
+  (** Structural sanity check: key order inside nodes, separator
+      correctness, minimal fill, uniform leaf depth, intact leaf chain, and
+      size consistency.  Returns a diagnostic on the first violation. *)
+  val check_invariants : 'a t -> (unit, string) result
+
+  (** (internal nodes, leaf nodes). *)
+  val node_counts : 'a t -> int * int
+end
+
+module Make (Key : KEY) : S with type key = Key.t
+
+(** Plain integer keys. *)
+module Int : S with type key = int
+
+(** Packing of (pre, post) rank pairs into a single ordered integer key —
+    the moral equivalent of DB2's concatenated (pre, post) B-tree key in
+    the paper.  Requires both ranks in [0, 2^31). *)
+module Packed : sig
+  val make : pre:int -> post:int -> int
+
+  val pre : int -> int
+
+  val post : int -> int
+
+  (** Smallest possible key with the given [pre] (post = 0). *)
+  val lo : pre:int -> int
+
+  (** Largest possible key with the given [pre]. *)
+  val hi : pre:int -> int
+end

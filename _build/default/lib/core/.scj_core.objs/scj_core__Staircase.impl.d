@@ -1,0 +1,1 @@
+lib/core/staircase.ml: Array List Scj_bat Scj_encoding Scj_stats

@@ -1,0 +1,1 @@
+lib/core/staircase.mli: Scj_encoding Scj_stats

@@ -1,0 +1,459 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+
+type skip_mode = No_skipping | Skipping | Estimation | Exact_size
+
+let skip_mode_to_string = function
+  | No_skipping -> "no-skipping"
+  | Skipping -> "skipping"
+  | Estimation -> "estimation"
+  | Exact_size -> "exact-size"
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+(* ------------------------------------------------------------------ *)
+(* pruning (Algorithm 1)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Keep context nodes with strictly increasing post (pre is increasing by
+   the Nodeseq invariant): dropped nodes are descendants of a kept one. *)
+let prune_desc ?stats doc context =
+  let stats = ensure_stats stats in
+  let posts = Doc.post_array doc in
+  let ctx = Nodeseq.unsafe_array context in
+  let out = Int_col.create ~capacity:(max 1 (Array.length ctx)) () in
+  let prev = ref (-1) in
+  Array.iter
+    (fun c ->
+      if posts.(c) > !prev then begin
+        Int_col.append_unit out c;
+        prev := posts.(c)
+      end
+      else stats.Stats.pruned <- stats.Stats.pruned + 1)
+    ctx;
+  Nodeseq.of_sorted_array (Int_col.to_array out)
+
+(* Drop context nodes that are ancestors of a later context node: scanning
+   right to left, an ancestor shows up as a node whose post exceeds the
+   minimum post seen so far. *)
+let prune_anc ?stats doc context =
+  let stats = ensure_stats stats in
+  let posts = Doc.post_array doc in
+  let ctx = Nodeseq.unsafe_array context in
+  let m = Array.length ctx in
+  let keep = Array.make m false in
+  let kept = ref 0 in
+  let min_post = ref max_int in
+  for k = m - 1 downto 0 do
+    let c = ctx.(k) in
+    if posts.(c) < !min_post then begin
+      keep.(k) <- true;
+      incr kept;
+      min_post := posts.(c)
+    end
+    else stats.Stats.pruned <- stats.Stats.pruned + 1
+  done;
+  if !kept = m then context
+  else begin
+    let out = Array.make !kept 0 in
+    let j = ref 0 in
+    for k = 0 to m - 1 do
+      if keep.(k) then begin
+        out.(!j) <- ctx.(k);
+        incr j
+      end
+    done;
+    Nodeseq.of_sorted_array out
+  end
+
+(* §3.1: all context nodes except the one with minimal postorder rank can
+   be pruned for the following axis. *)
+let prune_following ?stats doc context =
+  let stats = ensure_stats stats in
+  let posts = Doc.post_array doc in
+  match Nodeseq.length context with
+  | 0 -> Nodeseq.empty
+  | m ->
+    let best = ref (Nodeseq.get context 0) in
+    Nodeseq.iter (fun c -> if posts.(c) < posts.(!best) then best := c) context;
+    stats.Stats.pruned <- stats.Stats.pruned + (m - 1);
+    Nodeseq.singleton !best
+
+(* ... and all except the one with maximal preorder rank for preceding. *)
+let prune_preceding ?stats doc context =
+  let stats = ensure_stats stats in
+  ignore doc;
+  match Nodeseq.last context with
+  | None -> Nodeseq.empty
+  | Some c ->
+    stats.Stats.pruned <- stats.Stats.pruned + (Nodeseq.length context - 1);
+    Nodeseq.singleton c
+
+let is_staircase doc context =
+  let posts = Doc.post_array doc in
+  let ctx = Nodeseq.unsafe_array context in
+  let rec loop k =
+    k >= Array.length ctx || (posts.(ctx.(k - 1)) < posts.(ctx.(k)) && loop (k + 1))
+  in
+  loop 1
+
+(* ------------------------------------------------------------------ *)
+(* partitions (Fig. 8)                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type partition = { scan_from : int; scan_to : int; boundary_post : int }
+
+let desc_partitions doc context =
+  let posts = Doc.post_array doc in
+  let context = prune_desc doc context in
+  let ctx = Nodeseq.unsafe_array context in
+  let m = Array.length ctx in
+  let n = Doc.n_nodes doc in
+  List.init m (fun k ->
+      let c = ctx.(k) in
+      let scan_to = if k + 1 < m then ctx.(k + 1) - 1 else n - 1 in
+      { scan_from = c + 1; scan_to; boundary_post = posts.(c) })
+
+let anc_partitions doc context =
+  let posts = Doc.post_array doc in
+  let context = prune_anc doc context in
+  let ctx = Nodeseq.unsafe_array context in
+  let m = Array.length ctx in
+  List.init m (fun k ->
+      let c = ctx.(k) in
+      let scan_from = if k = 0 then 0 else ctx.(k - 1) + 1 in
+      { scan_from; scan_to = c - 1; boundary_post = posts.(c) })
+
+(* ------------------------------------------------------------------ *)
+(* staircase join, descendant axis (Algorithms 2, 3, 4)                 *)
+(* ------------------------------------------------------------------ *)
+
+let desc ?(mode = Estimation) ?stats doc context =
+  let stats = ensure_stats stats in
+  let context = prune_desc ~stats doc context in
+  let m = Nodeseq.length context in
+  if m = 0 then Nodeseq.empty
+  else begin
+    let n = Doc.n_nodes doc in
+    let posts = Doc.post_array doc in
+    let sizes = Doc.size_array doc in
+    let kinds = Doc.kind_array doc in
+    let ctx = Nodeseq.unsafe_array context in
+    let result = Int_col.create ~capacity:256 () in
+    let append i =
+      if kinds.(i) <> Doc.Attribute then begin
+        Int_col.append_unit result i;
+        stats.Stats.appended <- stats.Stats.appended + 1
+      end
+    in
+    (* scan [i .. scan_to] comparing posts against [boundary]; stops at the
+       first node outside the boundary when skipping is on *)
+    let scan_phase ~skip i scan_to boundary =
+      let i = ref i in
+      let break = ref false in
+      while (not !break) && !i <= scan_to do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if posts.(!i) < boundary then begin
+          append !i;
+          incr i
+        end
+        else if skip then begin
+          stats.Stats.skipped <- stats.Stats.skipped + (scan_to - !i);
+          break := true
+        end
+        else incr i
+      done
+    in
+    let copy_phase from upto =
+      for i = from to upto do
+        stats.Stats.copied <- stats.Stats.copied + 1;
+        append i
+      done
+    in
+    for k = 0 to m - 1 do
+      let c = ctx.(k) in
+      let boundary = posts.(c) in
+      let scan_to = if k + 1 < m then ctx.(k + 1) - 1 else n - 1 in
+      match mode with
+      | No_skipping -> scan_phase ~skip:false (c + 1) scan_to boundary
+      | Skipping -> scan_phase ~skip:true (c + 1) scan_to boundary
+      | Estimation ->
+        (* the first post(c) - pre(c) nodes after c are descendants for
+           sure (Equation 1): copy them without looking at their posts *)
+        let copy_to = min scan_to boundary in
+        copy_phase (c + 1) copy_to;
+        scan_phase ~skip:true (max (c + 1) (copy_to + 1)) scan_to boundary
+      | Exact_size ->
+        let copy_to = min scan_to (c + sizes.(c)) in
+        copy_phase (c + 1) copy_to;
+        stats.Stats.skipped <- stats.Stats.skipped + (scan_to - copy_to)
+    done;
+    Nodeseq.of_sorted_array (Int_col.to_array result)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* staircase join, ancestor axis                                        *)
+(* ------------------------------------------------------------------ *)
+
+let anc ?(mode = Estimation) ?stats doc context =
+  let stats = ensure_stats stats in
+  let context = prune_anc ~stats doc context in
+  let m = Nodeseq.length context in
+  if m = 0 then Nodeseq.empty
+  else begin
+    let posts = Doc.post_array doc in
+    let sizes = Doc.size_array doc in
+    let ctx = Nodeseq.unsafe_array context in
+    let result = Int_col.create ~capacity:64 () in
+    let append i =
+      (* ancestors are element nodes by construction: no attribute filter *)
+      Int_col.append_unit result i;
+      stats.Stats.appended <- stats.Stats.appended + 1
+    in
+    let scan_partition scan_from scan_to boundary =
+      let i = ref scan_from in
+      while !i <= scan_to do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if posts.(!i) > boundary then begin
+          append !i;
+          incr i
+        end
+        else begin
+          (* [!i] together with its whole subtree lies in preceding(c):
+             hop over it (§3.3).  The hop width is the Equation-(1) lower
+             bound, or the exact size with the footnote-5 encoding. *)
+          let hop =
+            match mode with
+            | No_skipping -> 0
+            | Skipping | Estimation -> max 0 (posts.(!i) - !i)
+            | Exact_size -> sizes.(!i)
+          in
+          let hop = min hop (scan_to - !i) in
+          stats.Stats.skipped <- stats.Stats.skipped + hop;
+          i := !i + hop + 1
+        end
+      done
+    in
+    for k = 0 to m - 1 do
+      let c = ctx.(k) in
+      let scan_from = if k = 0 then 0 else ctx.(k - 1) + 1 in
+      scan_partition scan_from (c - 1) posts.(c)
+    done;
+    Nodeseq.of_sorted_array (Int_col.to_array result)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* following / preceding: degenerate single region queries (§3.1)       *)
+(* ------------------------------------------------------------------ *)
+
+let following ?(mode = Estimation) ?stats doc context =
+  let stats = ensure_stats stats in
+  let context = prune_following ~stats doc context in
+  match Nodeseq.first context with
+  | None -> Nodeseq.empty
+  | Some c ->
+    let n = Doc.n_nodes doc in
+    let posts = Doc.post_array doc in
+    let kinds = Doc.kind_array doc in
+    let result = Int_col.create ~capacity:64 () in
+    let append ~counted i =
+      if kinds.(i) <> Doc.Attribute then begin
+        Int_col.append_unit result i;
+        stats.Stats.appended <- stats.Stats.appended + 1
+      end;
+      if counted then stats.Stats.copied <- stats.Stats.copied + 1
+    in
+    let start =
+      match mode with
+      | No_skipping -> c + 1
+      | Skipping | Estimation ->
+        (* hop over the guaranteed descendants, then walk off the rest of
+           the subtree by comparison *)
+        let i = ref (c + 1 + max 0 (posts.(c) - c)) in
+        stats.Stats.skipped <- stats.Stats.skipped + (!i - (c + 1));
+        while !i < n && posts.(!i) < posts.(c) do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          incr i
+        done;
+        !i
+      | Exact_size ->
+        stats.Stats.skipped <- stats.Stats.skipped + Doc.size doc c;
+        c + Doc.size doc c + 1
+    in
+    (match mode with
+    | No_skipping ->
+      for i = start to n - 1 do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if posts.(i) > posts.(c) then append ~counted:false i
+      done
+    | Skipping | Estimation | Exact_size ->
+      (* everything past the subtree follows the context node *)
+      for i = start to n - 1 do
+        append ~counted:true i
+      done);
+    Nodeseq.of_sorted_array (Int_col.to_array result)
+
+let preceding ?(mode = Estimation) ?stats doc context =
+  let stats = ensure_stats stats in
+  ignore mode;
+  let context = prune_preceding ~stats doc context in
+  match Nodeseq.first context with
+  | None -> Nodeseq.empty
+  | Some c ->
+    let posts = Doc.post_array doc in
+    let kinds = Doc.kind_array doc in
+    let result = Int_col.create ~capacity:64 () in
+    (* every node before c is either an ancestor (post > post c) or in the
+       preceding region: a single bounded scan, no skipping opportunity
+       beyond the ancestors themselves *)
+    for i = 0 to c - 1 do
+      stats.Stats.scanned <- stats.Stats.scanned + 1;
+      if posts.(i) < posts.(c) && kinds.(i) <> Doc.Attribute then begin
+        Int_col.append_unit result i;
+        stats.Stats.appended <- stats.Stats.appended + 1
+      end
+    done;
+    Nodeseq.of_sorted_array (Int_col.to_array result)
+
+(* ------------------------------------------------------------------ *)
+(* views: staircase join over a document subset                         *)
+(* ------------------------------------------------------------------ *)
+
+module View = struct
+  type t = { pres : int array; posts : int array }
+
+  let of_nodeseq doc seq =
+    let doc_posts = Doc.post_array doc in
+    let pres = Nodeseq.to_array seq in
+    let posts = Array.map (fun pre -> doc_posts.(pre)) pres in
+    { pres; posts }
+
+  let of_doc doc =
+    let n = Doc.n_nodes doc in
+    { pres = Array.init n (fun i -> i); posts = Array.copy (Doc.post_array doc) }
+
+  let of_tag doc name = of_nodeseq doc (Nodeseq.of_sorted_array (Doc.tag_positions doc name))
+
+  let length v = Array.length v.pres
+
+  let to_nodeseq v = Nodeseq.of_sorted_array (Array.copy v.pres)
+end
+
+(* First view index whose pre rank is >= key. *)
+let view_lower_bound (v : View.t) key =
+  let pres = v.View.pres in
+  let lo = ref 0 and hi = ref (Array.length pres) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pres.(mid) >= key then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let desc_view ?(mode = Estimation) ?stats doc view context =
+  let stats = ensure_stats stats in
+  let context = prune_desc ~stats doc context in
+  let m = Nodeseq.length context in
+  if m = 0 || View.length view = 0 then Nodeseq.empty
+  else begin
+    let doc_posts = Doc.post_array doc in
+    let sizes = Doc.size_array doc in
+    let kinds = Doc.kind_array doc in
+    let pres = view.View.pres and vposts = view.View.posts in
+    let vn = Array.length pres in
+    let ctx = Nodeseq.unsafe_array context in
+    let result = Int_col.create ~capacity:64 () in
+    let append vi =
+      let pre = pres.(vi) in
+      if kinds.(pre) <> Doc.Attribute then begin
+        Int_col.append_unit result pre;
+        stats.Stats.appended <- stats.Stats.appended + 1
+      end
+    in
+    let scan_phase ~skip vi hi boundary =
+      let vi = ref vi in
+      let break = ref false in
+      while (not !break) && !vi < hi do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if vposts.(!vi) < boundary then begin
+          append !vi;
+          incr vi
+        end
+        else if skip then begin
+          stats.Stats.skipped <- stats.Stats.skipped + (hi - !vi - 1);
+          break := true
+        end
+        else incr vi
+      done
+    in
+    for k = 0 to m - 1 do
+      let c = ctx.(k) in
+      let boundary = doc_posts.(c) in
+      let lo = view_lower_bound view (c + 1) in
+      let hi = if k + 1 < m then view_lower_bound view ctx.(k + 1) else vn in
+      match mode with
+      | No_skipping -> scan_phase ~skip:false lo hi boundary
+      | Skipping -> scan_phase ~skip:true lo hi boundary
+      | Estimation ->
+        (* view nodes with pre <= post(c) are guaranteed descendants *)
+        let copy_hi = max lo (min hi (view_lower_bound view (boundary + 1))) in
+        for vi = lo to copy_hi - 1 do
+          stats.Stats.copied <- stats.Stats.copied + 1;
+          append vi
+        done;
+        scan_phase ~skip:true copy_hi hi boundary
+      | Exact_size ->
+        let copy_hi = max lo (min hi (view_lower_bound view (c + sizes.(c) + 1))) in
+        for vi = lo to copy_hi - 1 do
+          stats.Stats.copied <- stats.Stats.copied + 1;
+          append vi
+        done;
+        stats.Stats.skipped <- stats.Stats.skipped + (hi - copy_hi)
+    done;
+    Nodeseq.of_sorted_array (Int_col.to_array result)
+  end
+
+let anc_view ?(mode = Estimation) ?stats doc view context =
+  let stats = ensure_stats stats in
+  let context = prune_anc ~stats doc context in
+  let m = Nodeseq.length context in
+  if m = 0 || View.length view = 0 then Nodeseq.empty
+  else begin
+    let doc_posts = Doc.post_array doc in
+    let sizes = Doc.size_array doc in
+    let pres = view.View.pres and vposts = view.View.posts in
+    let ctx = Nodeseq.unsafe_array context in
+    let result = Int_col.create ~capacity:64 () in
+    let scan_window lo hi boundary =
+      let vi = ref lo in
+      while !vi < hi do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if vposts.(!vi) > boundary then begin
+          Int_col.append_unit result pres.(!vi);
+          stats.Stats.appended <- stats.Stats.appended + 1;
+          incr vi
+        end
+        else begin
+          let pre = pres.(!vi) in
+          let subtree_end =
+            match mode with
+            | No_skipping -> pre
+            | Skipping | Estimation -> pre + max 0 (vposts.(!vi) - pre)
+            | Exact_size -> pre + sizes.(pre)
+          in
+          let next = max (!vi + 1) (view_lower_bound view (subtree_end + 1)) in
+          let next = min next hi in
+          stats.Stats.skipped <- stats.Stats.skipped + (next - !vi - 1);
+          vi := next
+        end
+      done
+    in
+    for k = 0 to m - 1 do
+      let c = ctx.(k) in
+      let lo = if k = 0 then 0 else view_lower_bound view (ctx.(k - 1) + 1) in
+      let hi = view_lower_bound view c in
+      scan_window lo hi doc_posts.(c)
+    done;
+    Nodeseq.of_sorted_array (Int_col.to_array result)
+  end

@@ -1,0 +1,138 @@
+(** The staircase join (§3 of the paper): tree-aware evaluation of the four
+    partitioning XPath axes over the pre/post plane.
+
+    The operator encapsulates three pieces of "tree knowledge":
+
+    + {b Pruning} (§3.1, Algorithm 1): context nodes whose axis region is
+      covered by another context node are removed.  For [descendant] and
+      [ancestor] the surviving context forms a proper staircase (increasing
+      pre {e and} post); for [preceding]/[following] a single context node
+      survives and the join degenerates to one region query.
+    + {b Partitioned single scan} (§3.2, Algorithm 2): one sequential pass
+      over the document, partitioned at the context nodes' preorder ranks,
+      emits every result node exactly once, in document order — no
+      duplicate removal, no sort.
+    + {b Skipping} (§3.3, Algorithms 3/4): the empty-region analysis of
+      Fig. 7 lets the scan terminate a [descendant] partition at the first
+      non-result node and hop over whole subtrees for [ancestor];
+      {e estimation-based} skipping splits the [descendant] partition into
+      a comparison-free copy phase of [post c - pre c] nodes (Equation 1)
+      and a short scan phase of at most [height] nodes.
+
+    All functions take the context as a {!Scj_encoding.Nodeseq.t} (sorted,
+    duplicate-free — XPath's document-order invariant) and return the step
+    result with the same invariant.  Results never contain attribute nodes
+    (paper footnote 6); use the encoding's [Attribute] axis for those.
+
+    Pass a {!Scj_stats.Stats.t} to observe the work done: [scanned] counts
+    compared nodes, [copied] counts comparison-free appends, [skipped]
+    counts nodes never touched, [pruned] counts removed context nodes. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+
+type skip_mode =
+  | No_skipping
+      (** Algorithm 2 verbatim: scan every node from the first context node
+          to the end of the partition structure. *)
+  | Skipping
+      (** Algorithm 3: stop a [descendant] partition at the first following
+          node; hop over subtrees by the Equation-(1) lower bound for
+          [ancestor]. *)
+  | Estimation
+      (** Algorithm 4: comparison-free copy phase for [descendant]
+          (for [ancestor] this behaves like [Skipping], which already is
+          estimation-based there — §3.3). *)
+  | Exact_size
+      (** The footnote-5 variant: the encoding's exact subtree sizes make
+          the copy phase cover the whole partition ([descendant]) and the
+          hop exact ([ancestor]). *)
+
+val skip_mode_to_string : skip_mode -> string
+
+(** {1 Pruning (Algorithm 1)} *)
+
+(** Remove context nodes that are descendants of other context nodes.
+    The result covers the same [descendant] region. *)
+val prune_desc : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** Remove context nodes that are ancestors of other context nodes. *)
+val prune_anc : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** Keep only the context node with minimal postorder rank — its
+    [following] region covers every other context node's (§3.1). *)
+val prune_following : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** Keep only the context node with maximal preorder rank. *)
+val prune_preceding : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** [is_staircase doc ctx] checks the proper-staircase property (strictly
+    increasing pre and post) that {!desc}/{!anc} rely on after pruning. *)
+val is_staircase : Doc.t -> Nodeseq.t -> bool
+
+(** {1 Staircase joins} *)
+
+(** [desc doc context] is [context/descendant::node()] (attributes
+    filtered).  Prunes internally; [mode] defaults to [Estimation]. *)
+val desc : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** [anc doc context] is [context/ancestor::node()]. *)
+val anc : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** [following doc context]: prunes to a singleton, then one region scan
+    that skips straight over the context node's subtree. *)
+val following : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** [preceding doc context]: prunes to a singleton, then one region scan
+    over the prefix of the document. *)
+val preceding : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+(** {1 Partition structure}
+
+    The partition boundaries that the join scans (Fig. 8) — exposed so the
+    fragmentation layer can evaluate partitions independently (the paper's
+    parallel XPath execution strategy). *)
+
+type partition = { scan_from : int; scan_to : int; boundary_post : int }
+
+(** Partitions of the pruned [descendant] staircase: partition [k] selects
+    nodes [i] in [scan_from..scan_to] with [post i < boundary_post]. *)
+val desc_partitions : Doc.t -> Nodeseq.t -> partition list
+
+(** Partitions of the pruned [ancestor] staircase: selects nodes with
+    [post i > boundary_post]. *)
+val anc_partitions : Doc.t -> Nodeseq.t -> partition list
+
+(** {1 Joins over document subsets (views)}
+
+    A view is a pre-sorted subset of the document's nodes, e.g. all
+    elements with a given tag name.  "The tree properties used by the
+    staircase join ... remain valid for a subset of nodes" (§4.4,
+    Experiment 3) — this is what makes name-test pushdown and tag-name
+    fragmentation work. *)
+
+module View : sig
+  type t
+
+  (** [of_doc doc] is the whole document as a view. *)
+  val of_doc : Doc.t -> t
+
+  (** [of_tag doc name] is the view of all nodes named [name]. *)
+  val of_tag : Doc.t -> string -> t
+
+  (** [of_nodeseq doc seq] views an arbitrary node sequence. *)
+  val of_nodeseq : Doc.t -> Nodeseq.t -> t
+
+  (** Number of nodes in the view. *)
+  val length : t -> int
+
+  val to_nodeseq : t -> Nodeseq.t
+end
+
+(** [desc_view view doc context] evaluates the descendant step returning
+    only nodes of [view]; context nodes come from the full document. *)
+val desc_view :
+  ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t
+
+val anc_view :
+  ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t

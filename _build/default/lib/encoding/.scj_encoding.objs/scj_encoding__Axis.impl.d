@@ -1,0 +1,1 @@
+lib/encoding/axis.ml: Array Doc Format List String

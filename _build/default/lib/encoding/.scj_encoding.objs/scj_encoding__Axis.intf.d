@@ -1,0 +1,1 @@
+lib/encoding/axis.mli: Doc Format

@@ -1,0 +1,1 @@
+lib/encoding/codec.ml: Array Bytes Doc Fun Int64 Printf String

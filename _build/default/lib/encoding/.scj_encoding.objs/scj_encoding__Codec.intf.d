@@ -1,0 +1,1 @@
+lib/encoding/codec.mli: Doc

@@ -1,0 +1,1 @@
+lib/encoding/doc.ml: Array Buffer Format In_channel List Option Printf Scj_bat Scj_xml

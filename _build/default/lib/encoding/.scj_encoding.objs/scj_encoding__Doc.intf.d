@@ -1,0 +1,1 @@
+lib/encoding/doc.mli: Format Scj_bat Scj_xml

@@ -1,0 +1,1 @@
+lib/encoding/nodeseq.ml: Array Format Seq

@@ -1,0 +1,1 @@
+lib/encoding/nodeseq.mli: Format

@@ -1,0 +1,67 @@
+type t =
+  | Ancestor
+  | Ancestor_or_self
+  | Attribute
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Following
+  | Following_sibling
+  | Namespace
+  | Parent
+  | Preceding
+  | Preceding_sibling
+  | Self
+
+let all =
+  [
+    Ancestor; Ancestor_or_self; Attribute; Child; Descendant; Descendant_or_self; Following;
+    Following_sibling; Namespace; Parent; Preceding; Preceding_sibling; Self;
+  ]
+
+let to_string = function
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Attribute -> "attribute"
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Following -> "following"
+  | Following_sibling -> "following-sibling"
+  | Namespace -> "namespace"
+  | Parent -> "parent"
+  | Preceding -> "preceding"
+  | Preceding_sibling -> "preceding-sibling"
+  | Self -> "self"
+
+let of_string s = List.find_opt (fun a -> String.equal (to_string a) s) all
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let reflexive = function
+  | Ancestor_or_self | Descendant_or_self | Self -> true
+  | Ancestor | Attribute | Child | Descendant | Following | Following_sibling | Namespace
+  | Parent | Preceding | Preceding_sibling ->
+    false
+
+let in_region doc axis ~context v =
+  let c = context in
+  let post = Doc.post_array doc in
+  let parent = Doc.parent_array doc in
+  let not_attr v = Doc.kind doc v <> Doc.Attribute in
+  let strict_desc v = v > c && post.(v) < post.(c) in
+  let strict_anc v = v < c && post.(v) > post.(c) in
+  match axis with
+  | Self -> v = c
+  | Descendant -> strict_desc v && not_attr v
+  | Descendant_or_self -> v = c || (strict_desc v && not_attr v)
+  | Ancestor -> strict_anc v
+  | Ancestor_or_self -> v = c || strict_anc v
+  | Following -> v > c && post.(v) > post.(c) && not_attr v
+  | Preceding -> v < c && post.(v) < post.(c) && not_attr v
+  | Child -> parent.(v) = c && not_attr v
+  | Parent -> v = parent.(c) && c > 0 && v >= 0
+  | Attribute -> parent.(v) = c && Doc.kind doc v = Doc.Attribute
+  | Following_sibling -> v > c && parent.(v) = parent.(c) && parent.(c) >= 0 && not_attr v
+  | Preceding_sibling -> v < c && parent.(v) = parent.(c) && parent.(c) >= 0 && not_attr v
+  | Namespace -> false

@@ -1,0 +1,50 @@
+(** The XPath axes and their region semantics in the pre/post plane.
+
+    For a context node [c], the four partitioning axes carve the plane into
+    the rectangular regions of the paper's Fig. 2:
+
+    - [descendant]: pre > pre(c) and post < post(c) (lower right),
+    - [ancestor]:   pre < pre(c) and post > post(c) (upper left),
+    - [preceding]:  pre < pre(c) and post < post(c) (lower left),
+    - [following]:  pre > pre(c) and post > post(c) (upper right).
+
+    All remaining axes are super-/subsets of these regions refined by
+    [level]/[parent] predicates [8].  Per the XPath data model, only the
+    [attribute] axis yields attribute nodes; every other axis filters them
+    out.  The [namespace] axis is accepted but always empty: namespace
+    nodes are not materialized by this encoding (prefixes stay part of the
+    node name). *)
+
+type t =
+  | Ancestor
+  | Ancestor_or_self
+  | Attribute
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Following
+  | Following_sibling
+  | Namespace
+  | Parent
+  | Preceding
+  | Preceding_sibling
+  | Self
+
+val all : t list
+
+val to_string : t -> string
+
+(** Parses the XPath axis name (e.g. ["ancestor-or-self"]). *)
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+(** [in_region doc axis ~context v] decides whether node [v] belongs to
+    [context/axis::node()].  This is the executable specification of the
+    axis semantics — O(1) per test via the encoding's columns; evaluating a
+    whole step with it costs O(n·|context|), which is exactly the naive
+    region-query baseline of §3.1. *)
+val in_region : Doc.t -> t -> context:int -> int -> bool
+
+(** [reflexive axis] is true for the [-or-self] axes and [Self]. *)
+val reflexive : t -> bool

@@ -1,0 +1,20 @@
+(** Binary persistence for encoded documents.
+
+    The paper computes the pre/post encoding once at document loading time
+    and reuses it across queries; this codec plays that role so the CLI can
+    encode a document once ([scj encode]) and run experiments against the
+    stored table.  The format is a self-describing little-endian layout
+    (magic ["SCJDOC1"]), independent of OCaml's [Marshal]. *)
+
+val magic : string
+
+(** [write_channel oc doc] serializes the full column set. *)
+val write_channel : out_channel -> Doc.t -> unit
+
+(** [read_channel ic] loads a document.
+    Validates the magic header and re-checks {!Doc.validate} on load. *)
+val read_channel : in_channel -> (Doc.t, string) result
+
+val write_file : string -> Doc.t -> unit
+
+val read_file : string -> (Doc.t, string) result

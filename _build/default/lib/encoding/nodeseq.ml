@@ -1,0 +1,149 @@
+type t = int array
+
+let empty = [||]
+
+let singleton pre =
+  if pre < 0 then invalid_arg "Nodeseq.singleton: negative preorder rank";
+  [| pre |]
+
+let of_sorted_array a =
+  let n = Array.length a in
+  if n > 0 && a.(0) < 0 then invalid_arg "Nodeseq.of_sorted_array: negative preorder rank";
+  for i = 1 to n - 1 do
+    if a.(i - 1) >= a.(i) then
+      invalid_arg "Nodeseq.of_sorted_array: ranks must be strictly increasing"
+  done;
+  a
+
+let of_unsorted l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then empty
+  else begin
+    if a.(0) < 0 then invalid_arg "Nodeseq.of_unsorted: negative preorder rank";
+    let out = Array.make n a.(0) in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      if a.(i) <> out.(!j) then begin
+        incr j;
+        out.(!j) <- a.(i)
+      end
+    done;
+    Array.sub out 0 (!j + 1)
+  end
+
+let of_list = of_unsorted
+
+let length = Array.length
+
+let is_empty s = Array.length s = 0
+
+let get s i =
+  if i < 0 || i >= Array.length s then invalid_arg "Nodeseq.get: index out of bounds";
+  s.(i)
+
+let first s = if Array.length s = 0 then None else Some s.(0)
+
+let last s = if Array.length s = 0 then None else Some s.(Array.length s - 1)
+
+let mem s pre =
+  let lo = ref 0 and hi = ref (Array.length s) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.(mid) >= pre then hi := mid else lo := mid + 1
+  done;
+  !lo < Array.length s && s.(!lo) = pre
+
+let to_array s = Array.copy s
+
+let unsafe_array s = s
+
+let to_list = Array.to_list
+
+let iter = Array.iter
+
+let fold_left = Array.fold_left
+
+let filter p s = Array.of_seq (Seq.filter p (Array.to_seq s))
+
+let union a b =
+  let na = Array.length a and nb = Array.length b in
+  if na = 0 then b
+  else if nb = 0 then a
+  else begin
+    let out = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      let va = a.(!i) and vb = b.(!j) in
+      let v =
+        if va < vb then begin
+          incr i;
+          va
+        end
+        else if vb < va then begin
+          incr j;
+          vb
+        end
+        else begin
+          incr i;
+          incr j;
+          va
+        end
+      in
+      out.(!k) <- v;
+      incr k
+    done;
+    while !i < na do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < nb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    Array.sub out 0 !k
+  end
+
+let inter a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (min na nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na && !j < nb do
+    let va = a.(!i) and vb = b.(!j) in
+    if va < vb then incr i
+    else if vb < va then incr j
+    else begin
+      out.(!k) <- va;
+      incr i;
+      incr j;
+      incr k
+    end
+  done;
+  Array.sub out 0 !k
+
+let diff a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make na 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while !i < na do
+    let va = a.(!i) in
+    while !j < nb && b.(!j) < va do
+      incr j
+    done;
+    if !j >= nb || b.(!j) <> va then begin
+      out.(!k) <- va;
+      incr k
+    end;
+    incr i
+  done;
+  Array.sub out 0 !k
+
+let equal a b = a = b
+
+let pp ppf s =
+  Format.fprintf ppf "@[<h>(";
+  Array.iteri (fun i v -> if i = 0 then Format.fprintf ppf "%d" v else Format.fprintf ppf ",@ %d" v) s;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,1 @@
+lib/engine/mpmgjn.ml: Array Operators Scj_bat Scj_encoding Scj_stats

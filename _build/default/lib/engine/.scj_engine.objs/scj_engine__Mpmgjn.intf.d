@@ -1,0 +1,1 @@
+lib/engine/mpmgjn.mli: Scj_encoding Scj_stats

@@ -1,0 +1,1 @@
+lib/engine/naive.ml: Array Operators Scj_bat Scj_encoding Scj_stats

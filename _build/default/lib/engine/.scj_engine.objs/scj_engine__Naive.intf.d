@@ -1,0 +1,1 @@
+lib/engine/naive.mli: Scj_encoding Scj_stats

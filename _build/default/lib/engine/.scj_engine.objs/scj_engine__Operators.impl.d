@@ -1,0 +1,1 @@
+lib/engine/operators.ml: Array List Scj_bat Scj_encoding Scj_stats

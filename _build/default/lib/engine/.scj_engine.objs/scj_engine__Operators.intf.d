@@ -1,0 +1,1 @@
+lib/engine/operators.mli: Scj_bat Scj_encoding Scj_stats

@@ -1,0 +1,1 @@
+lib/engine/sql_plan.ml: Array Operators Scj_bat Scj_btree Scj_encoding Scj_stats

@@ -1,0 +1,1 @@
+lib/engine/sql_plan.mli: Scj_encoding Scj_stats

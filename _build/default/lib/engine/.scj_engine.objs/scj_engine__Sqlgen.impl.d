@@ -1,0 +1,1 @@
+lib/engine/sqlgen.ml: Buffer List Printf String

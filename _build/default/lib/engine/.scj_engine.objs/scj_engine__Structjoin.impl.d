@@ -1,0 +1,1 @@
+lib/engine/structjoin.ml: Array Hashtbl Operators Scj_bat Scj_encoding Scj_stats

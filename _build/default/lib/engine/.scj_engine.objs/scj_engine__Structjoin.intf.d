@@ -1,0 +1,1 @@
+lib/engine/structjoin.mli: Scj_encoding Scj_stats

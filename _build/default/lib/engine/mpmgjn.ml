@@ -1,0 +1,81 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+(* Zhang et al. encode a node as (start : end); with the pre/post scheme
+   start = pre and end = pre + size.  Containment d inside a is
+   start(a) < start(d) && end(d) <= end(a); since intervals nest, the
+   second conjunct is equivalent to start(d) <= end(a). *)
+
+let desc ?stats doc context =
+  let stats = ensure_stats stats in
+  let n = Doc.n_nodes doc in
+  let sizes = Doc.size_array doc in
+  let kinds = Doc.kind_array doc in
+  let hits = Int_col.create ~capacity:64 () in
+  (* outer: context (ancestor side); inner: the document tuples.  Both
+     lists are merged by start position: the inner cursor advances tuple
+     by tuple through the gaps between context intervals (a merge join
+     cannot jump), and it backs up to each context interval's start —
+     overlapping context intervals therefore re-scan shared tuples. *)
+  let cursor = ref 0 in
+  Nodeseq.iter
+    (fun c ->
+      (* advance the merge cursor to the context tuple, touching the gap *)
+      while !cursor <= c do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        stats.Stats.compared <- stats.Stats.compared + 1;
+        incr cursor
+      done;
+      let last = c + sizes.(c) in
+      (* back up to the interval start for this (possibly nested) context *)
+      let d = ref (c + 1) in
+      while !d <= last && !d < n do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        stats.Stats.compared <- stats.Stats.compared + 1;
+        if kinds.(!d) <> Doc.Attribute then begin
+          Int_col.append_unit hits !d;
+          stats.Stats.appended <- stats.Stats.appended + 1
+        end;
+        incr d
+      done;
+      cursor := max !cursor !d)
+    context;
+  Operators.sort_unique ~stats hits
+
+let anc ?stats doc context =
+  let stats = ensure_stats stats in
+  let n = Doc.n_nodes doc in
+  let sizes = Doc.size_array doc in
+  let ctx = Nodeseq.unsafe_array context in
+  let m = Array.length ctx in
+  let hits = Int_col.create ~capacity:64 () in
+  (* outer: document tuples in start order (potential ancestors); inner:
+     context list.  [lo] tracks the first context node that can still be
+     contained in the current or any later outer interval; because outer
+     intervals nest, the inner scan must restart from [lo] for every outer
+     tuple — the repeated iteration the paper criticizes in §5. *)
+  let lo = ref 0 in
+  for a = 0 to n - 1 do
+    (* every document tuple is visited by the outer merge cursor *)
+    stats.Stats.scanned <- stats.Stats.scanned + 1;
+    let last = a + sizes.(a) in
+    while !lo < m && ctx.(!lo) < a do
+      incr lo
+    done;
+    let j = ref !lo in
+    let matched = ref false in
+    while (not !matched) && !j < m && ctx.(!j) <= last do
+      stats.Stats.scanned <- stats.Stats.scanned + 1;
+      stats.Stats.compared <- stats.Stats.compared + 1;
+      if ctx.(!j) > a then matched := true else incr j
+    done;
+    if !matched then begin
+      Int_col.append_unit hits a;
+      stats.Stats.appended <- stats.Stats.appended + 1
+    end
+  done;
+  Operators.sort_unique ~stats hits

@@ -1,0 +1,30 @@
+(** Multi-Predicate Merge Join (MPMGJN, Zhang et al., SIGMOD 2001) — the
+    containment join the paper discusses in §5.
+
+    Both inputs are sorted by preorder rank (the interval start position in
+    Zhang et al.'s (start : end, level) encoding — our [pre] and
+    [pre + size] play the roles of start and end).  The join exploits
+    interval containment to bound each inner scan, but it is {e not}
+    tree-aware beyond that: the context is not pruned, overlapping context
+    intervals re-scan the same document tuples, and the node projection
+    produces duplicates that must be removed afterwards.  "Due to pruning
+    and skipping, staircase join touches and tests less nodes than
+    MPMGJN." *)
+
+(** [desc ?stats doc context] — result nodes below some context node.
+    [stats]: [scanned] (tuples touched, re-scans included), [compared],
+    [duplicates], [sorted]. *)
+val desc :
+  ?stats:Scj_stats.Stats.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t
+
+(** [anc ?stats doc context] — result nodes enclosing some context node
+    (outer scan over the document's intervals, inner scan over the context
+    list, with back-up for nested outer intervals). *)
+val anc :
+  ?stats:Scj_stats.Stats.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t

@@ -1,0 +1,67 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+let step ?stats doc context axis =
+  let stats = ensure_stats stats in
+  let n = Doc.n_nodes doc in
+  let hits = Int_col.create ~capacity:64 () in
+  Nodeseq.iter
+    (fun c ->
+      for v = 0 to n - 1 do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if Axis.in_region doc axis ~context:c v then begin
+          Int_col.append_unit hits v;
+          stats.Stats.appended <- stats.Stats.appended + 1
+        end
+      done)
+    context;
+  Operators.sort_unique ~stats hits
+
+(* Number of attribute nodes with preorder rank < [pre], as a prefix-sum
+   table; built once per document and memoized on the document's physical
+   identity. *)
+let attr_prefix_table = ref None
+
+let attr_prefix doc =
+  match !attr_prefix_table with
+  | Some (d, table) when d == doc -> table
+  | Some _ | None ->
+    let n = Doc.n_nodes doc in
+    let kinds = Doc.kind_array doc in
+    let table = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      table.(v + 1) <- (table.(v) + if kinds.(v) = Doc.Attribute then 1 else 0)
+    done;
+    attr_prefix_table := Some (doc, table);
+    table
+
+let count_with_duplicates doc context axis =
+  let attrs = attr_prefix doc in
+  let n = Doc.n_nodes doc in
+  let attrs_in ~from ~until =
+    (* attributes with preorder rank in [from, until) *)
+    if until <= from then 0 else attrs.(until) - attrs.(from)
+  in
+  let per_context c =
+    match axis with
+    | Axis.Descendant ->
+      let last = c + Doc.size doc c in
+      Doc.size doc c - attrs_in ~from:(c + 1) ~until:(last + 1)
+    | Axis.Ancestor -> Doc.level doc c
+    | Axis.Following ->
+      let first = c + Doc.size doc c + 1 in
+      n - first - attrs_in ~from:first ~until:n
+    | Axis.Preceding ->
+      (* everything before c minus its ancestors, minus attributes there *)
+      c - Doc.level doc c - attrs_in ~from:0 ~until:c
+    | Axis.Ancestor_or_self | Axis.Attribute | Axis.Child | Axis.Descendant_or_self
+    | Axis.Following_sibling | Axis.Namespace | Axis.Parent | Axis.Preceding_sibling
+    | Axis.Self ->
+      invalid_arg "Naive.count_with_duplicates: only the four partitioning axes"
+  in
+  Nodeseq.fold_left (fun acc c -> acc + per_context c) 0 context

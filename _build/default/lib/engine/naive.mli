@@ -1,0 +1,27 @@
+(** The naive axis-step strategy of §3.1: evaluate the region query
+    independently for every context node and assemble the end result with
+    an explicit duplicate-removing union.
+
+    This is the reference point of Experiment 1 (Fig. 11 (a)): for Q2's
+    ancestor step it produces ≈4 ancestor tuples per context node of which
+    ≈75 % are duplicates. *)
+
+(** [step ?stats doc context axis] materializes each context node's region
+    by a full scan, then merges.  [stats] records [scanned] (n per context
+    node), [duplicates], and [sorted]. *)
+val step :
+  ?stats:Scj_stats.Stats.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Axis.t ->
+  Scj_encoding.Nodeseq.t
+
+(** [count_with_duplicates doc context axis] is the number of result
+    tuples the naive strategy produces {e before} duplicate removal, for
+    the four partitioning axes — computed analytically from the encoding
+    (size/level arithmetic) in O(|context|), so the Fig. 11 (a) series can
+    be generated for documents where actually materializing the naive
+    result would be prohibitive.  Attribute nodes are excluded, as in
+    the axis semantics. *)
+val count_with_duplicates :
+  Scj_encoding.Doc.t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Axis.t -> int

@@ -1,0 +1,32 @@
+module Int_col = Scj_bat.Int_col
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+let sort_unique ?stats hits =
+  let stats = ensure_stats stats in
+  let a = Int_col.to_array hits in
+  stats.Stats.sorted <- stats.Stats.sorted + Array.length a;
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then Nodeseq.empty
+  else begin
+    let out = Array.make n a.(0) in
+    let j = ref 0 in
+    for i = 1 to n - 1 do
+      if a.(i) <> out.(!j) then begin
+        incr j;
+        out.(!j) <- a.(i)
+      end
+      else stats.Stats.duplicates <- stats.Stats.duplicates + 1
+    done;
+    Nodeseq.of_sorted_array (Array.sub out 0 (!j + 1))
+  end
+
+let merge_union ?stats seqs =
+  let stats = ensure_stats stats in
+  let before = List.fold_left (fun acc s -> acc + Nodeseq.length s) 0 seqs in
+  let merged = List.fold_left Nodeseq.union Nodeseq.empty seqs in
+  stats.Stats.duplicates <- stats.Stats.duplicates + (before - Nodeseq.length merged);
+  merged

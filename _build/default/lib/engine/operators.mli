@@ -1,0 +1,19 @@
+(** Shared physical operators for the baseline algorithms: explicit sorting
+    and duplicate elimination.
+
+    The staircase join never needs these — its output is born sorted and
+    duplicate-free — but every tree-unaware strategy in this library ends
+    with the [unique]/[sort] post-processing of the paper's Fig. 3 plan.
+    Keeping them here makes the cost visible in one place and lets the
+    stats record how much data was sorted and how many duplicates were
+    removed. *)
+
+(** [sort_unique ?stats hits] turns an unordered multiset of preorder ranks
+    into a node sequence.  Records [sorted] (input tuples) and
+    [duplicates] (tuples removed). *)
+val sort_unique : ?stats:Scj_stats.Stats.t -> Scj_bat.Int_col.t -> Scj_encoding.Nodeseq.t
+
+(** [merge_union ?stats seqs] n-way merge of already-sorted sequences,
+    recording removed duplicates. *)
+val merge_union :
+  ?stats:Scj_stats.Stats.t -> Scj_encoding.Nodeseq.t list -> Scj_encoding.Nodeseq.t

@@ -1,0 +1,70 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+module Btree = Scj_btree.Btree
+module Packed = Scj_btree.Btree.Packed
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+type index = { tree : int Btree.Int.t; height : int }
+
+let build_index ?(order = 64) doc =
+  let n = Doc.n_nodes doc in
+  let pairs =
+    Array.init n (fun pre ->
+        (Packed.make ~pre ~post:(Doc.post doc pre), Doc.tag doc pre))
+  in
+  (* packed keys are strictly increasing in pre, hence sorted *)
+  { tree = Btree.Int.of_sorted_array ~order pairs; height = Doc.height doc }
+
+let index_pages idx = Btree.Int.node_counts idx.tree
+
+type options = { delimiter : bool; early_nametest : string option }
+
+let default_options = { delimiter = true; early_nametest = None }
+
+let step ?stats ?(options = default_options) idx doc context axis =
+  let stats = ensure_stats stats in
+  let n = Doc.n_nodes doc in
+  let nametest_sym =
+    match options.early_nametest with
+    | None -> None
+    | Some name -> (
+      match Doc.tag_symbol doc name with
+      | Some sym -> Some sym
+      | None -> Some (-2) (* name absent from the document: match nothing *))
+  in
+  let keep tag = match nametest_sym with None -> true | Some sym -> tag = sym in
+  let kinds = Doc.kind_array doc in
+  let hits = Int_col.create ~capacity:64 () in
+  let scan_one c =
+    let post_c = Doc.post doc c in
+    match axis with
+    | `Descendant ->
+      (* index range scan: pre in (c, end]; with the Equation-(1)
+         delimiter the scan stops at pre = post(c) + height *)
+      let hi_pre = if options.delimiter then min (n - 1) (post_c + idx.height) else n - 1 in
+      if hi_pre > c then
+        Btree.Int.iter_range ~stats ~lo:(Packed.lo ~pre:(c + 1)) ~hi:(Packed.hi ~pre:hi_pre)
+          idx.tree (fun key tag ->
+            stats.Stats.scanned <- stats.Stats.scanned + 1;
+            let pre = Packed.pre key and post = Packed.post key in
+            if post < post_c && keep tag && kinds.(pre) <> Doc.Attribute then begin
+              Int_col.append_unit hits pre;
+              stats.Stats.appended <- stats.Stats.appended + 1
+            end)
+    | `Ancestor ->
+      (* the RDBMS can only delimit on pre: scan the whole prefix *)
+      if c > 0 then
+        Btree.Int.iter_range ~stats ~lo:(Packed.lo ~pre:0) ~hi:(Packed.hi ~pre:(c - 1)) idx.tree
+          (fun key tag ->
+            stats.Stats.scanned <- stats.Stats.scanned + 1;
+            let pre = Packed.pre key and post = Packed.post key in
+            if post > post_c && keep tag then begin
+              Int_col.append_unit hits pre;
+              stats.Stats.appended <- stats.Stats.appended + 1
+            end)
+  in
+  Nodeseq.iter scan_one context;
+  Operators.sort_unique ~stats hits

@@ -1,0 +1,48 @@
+(** The tree-unaware RDBMS baseline: an executable rendition of the query
+    plan IBM DB2 chose for the paper's region queries (Fig. 3).
+
+    The [doc] table is indexed by a B-tree over concatenated
+    [(pre, post, tag)] keys.  An axis step is evaluated as, per context
+    node, an index range scan delimited on [pre] with the [post] predicate
+    (and optionally the tag predicate — the "early name test" DB2 performs)
+    checked during the scan.  The collected tuples are then sorted and
+    de-duplicated, exactly the [unique]/[sort pre] tail of the plan.
+
+    The optional Equation-(1) range delimiter is the paper's line-7 rewrite
+    (§2.1): with it, the descendant range scan is bounded by
+    [pre <= post c + height] instead of running to the end of the index —
+    the "limited tree awareness" an RDBMS can express in pure SQL.
+
+    What this plan {e cannot} do — and what staircase join adds — is prune
+    the context, share one scan across all context nodes, avoid generating
+    duplicates, and skip empty regions. *)
+
+type index
+
+(** [build_index doc] bulk-loads the B-tree over packed (pre, post) keys,
+    with the tag symbol as the indexed value. *)
+val build_index : ?order:int -> Scj_encoding.Doc.t -> index
+
+(** Number of B-tree pages (internal, leaf). *)
+val index_pages : index -> int * int
+
+type options = {
+  delimiter : bool;  (** apply the Equation-(1) pre-range delimiter (§2.1, line 7) *)
+  early_nametest : string option;
+      (** evaluate a name test inside the index scan (concatenated tag key) *)
+}
+
+val default_options : options
+
+(** [step ?stats ?options index doc context axis] evaluates a
+    [`Descendant] or [`Ancestor] step.  [stats] records [index_probes],
+    [index_nodes], [scanned] (tuples touched during range scans),
+    [duplicates] and [sorted]. *)
+val step :
+  ?stats:Scj_stats.Stats.t ->
+  ?options:options ->
+  index ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  [ `Descendant | `Ancestor ] ->
+  Scj_encoding.Nodeseq.t

@@ -1,0 +1,64 @@
+type step = {
+  axis : [ `Ancestor | `Descendant | `Following | `Preceding ];
+  name_test : string option;
+}
+
+(* Region predicate between the step input (given as SQL expressions for
+   its pre and post rank) and the output table alias [dst]
+   (cf. Fig. 2: descendant = lower right quadrant, etc.). *)
+let region_predicates ~src_pre ~src_post ~dst axis =
+  let p fmt a b = Printf.sprintf fmt a b in
+  match axis with
+  | `Descendant -> [ p "%s.pre > %s" dst src_pre; p "%s.post < %s" dst src_post ]
+  | `Ancestor -> [ p "%s.pre < %s" dst src_pre; p "%s.post > %s" dst src_post ]
+  | `Following -> [ p "%s.pre > %s" dst src_pre; p "%s.post > %s" dst src_post ]
+  | `Preceding -> [ p "%s.pre < %s" dst src_pre; p "%s.post < %s" dst src_post ]
+
+(* §2.1, line 7: the Equation-(1) delimiter for descendant range scans.
+   (The paper prints the second bound as "v2.post >= v1.pre + h"; the
+   sound direction for a lower bound is "- h", which is what we emit.) *)
+let delimiter_predicates ~src_pre ~src_post ~dst = function
+  | `Descendant ->
+    [
+      Printf.sprintf "%s.pre <= %s + :h" dst src_post;
+      Printf.sprintf "%s.post >= %s - :h" dst src_pre;
+    ]
+  | `Ancestor | `Following | `Preceding -> []
+
+let of_steps ?(delimiter = false) steps =
+  if steps = [] then invalid_arg "Sqlgen.of_steps: empty path";
+  let n = List.length steps in
+  let alias i = Printf.sprintf "v%d" i in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "SELECT DISTINCT %s.pre\n" (alias n));
+  let froms = List.init n (fun i -> Printf.sprintf "doc %s" (alias (i + 1))) in
+  Buffer.add_string buf ("FROM   " ^ String.concat ", " froms ^ "\n");
+  let predicates =
+    List.concat
+      (List.mapi
+         (fun i step ->
+           let dst = alias (i + 1) in
+           let src_pre, src_post =
+             if i = 0 then ("pre(:ctx)", "post(:ctx)")
+             else (alias i ^ ".pre", alias i ^ ".post")
+           in
+           let region = region_predicates ~src_pre ~src_post ~dst step.axis in
+           let delim =
+             if delimiter then delimiter_predicates ~src_pre ~src_post ~dst step.axis else []
+           in
+           let name =
+             match step.name_test with
+             | None -> []
+             | Some tag -> [ Printf.sprintf "%s.tag = '%s'" dst tag ]
+           in
+           region @ delim @ name)
+         steps)
+  in
+  List.iteri
+    (fun i p ->
+      Buffer.add_string buf (if i = 0 then "WHERE  " else "AND    ");
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\n')
+    predicates;
+  Buffer.add_string buf (Printf.sprintf "ORDER BY %s.pre" (alias n));
+  Buffer.contents buf

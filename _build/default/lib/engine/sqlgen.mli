@@ -1,0 +1,25 @@
+(** The systematic XPath-to-SQL translation of §2.1.
+
+    "The pre/post plane encoding enables an RDBMS to translate XPath path
+    expressions to pure SQL queries": a path of [n] region steps becomes a
+    self-join of [n] copies of the [doc] table whose join predicates trace
+    the axis regions.  The generated text is what a tree-unaware RDBMS
+    (the paper's DB2 setup) would execute — the repository's
+    {!Sql_plan} is the corresponding physical plan.
+
+    This module renders the SQL for documentation, the CLI's [explain]
+    command, and tests; it does not parse SQL back. *)
+
+type step = {
+  axis : [ `Ancestor | `Descendant | `Following | `Preceding ];
+  name_test : string option;
+}
+
+(** [of_steps ?delimiter steps] renders the query for evaluating [steps]
+    starting from a context node bound to the placeholders [pre(:ctx)] /
+    [post(:ctx)].  With [delimiter] (default [false]) the Equation-(1)
+    range restriction of §2.1 (the line-7 predicate, with [:h] standing
+    for the document height) is added to descendant steps.
+
+    @raise Invalid_argument on an empty step list. *)
+val of_steps : ?delimiter:bool -> step list -> string

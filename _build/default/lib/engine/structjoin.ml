@@ -1,0 +1,60 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+let desc ?stats doc context =
+  let stats = ensure_stats stats in
+  let n = Doc.n_nodes doc in
+  let sizes = Doc.size_array doc in
+  let kinds = Doc.kind_array doc in
+  let ctx = Nodeseq.unsafe_array context in
+  let m = Array.length ctx in
+  let hits = Int_col.create ~capacity:64 () in
+  (* stack of [interval end] values of the currently open context nodes *)
+  let stack = Array.make (Doc.height doc + 2) 0 in
+  let depth = ref 0 in
+  let next_ctx = ref 0 in
+  for v = 0 to n - 1 do
+    stats.Stats.scanned <- stats.Stats.scanned + 1;
+    (* close context intervals that ended before v *)
+    while !depth > 0 && stack.(!depth - 1) < v do
+      decr depth
+    done;
+    (* a node below an open context interval is a result — including a
+       nested context node itself *)
+    if !depth > 0 && kinds.(v) <> Doc.Attribute then begin
+      Int_col.append_unit hits v;
+      stats.Stats.appended <- stats.Stats.appended + 1
+    end;
+    if !next_ctx < m && ctx.(!next_ctx) = v then begin
+      stack.(!depth) <- v + sizes.(v);
+      incr depth;
+      incr next_ctx
+    end
+  done;
+  Nodeseq.of_sorted_array (Int_col.to_array hits)
+
+let anc ?stats doc context =
+  let stats = ensure_stats stats in
+  let parents = Doc.parent_array doc in
+  let visited = Hashtbl.create 256 in
+  let hits = Int_col.create ~capacity:64 () in
+  Nodeseq.iter
+    (fun c ->
+      let v = ref parents.(c) in
+      let stop = ref false in
+      while (not !stop) && !v >= 0 do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if Hashtbl.mem visited !v then stop := true
+        else begin
+          Hashtbl.add visited !v ();
+          Int_col.append_unit hits !v;
+          stats.Stats.appended <- stats.Stats.appended + 1;
+          v := parents.(!v)
+        end
+      done)
+    context;
+  Operators.sort_unique ~stats hits

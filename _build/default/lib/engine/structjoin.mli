@@ -1,0 +1,23 @@
+(** Sorted-list structural joins, the §5 related-work baselines in the
+    style of Al-Khalifa et al. / Chien et al. [5]:
+
+    - {!desc} is the stack-based merge ("stack-tree"): one pass over the
+      document with a stack of open context intervals.  No duplicates, and
+      the output is already in document order — but, unlike staircase
+      join, every document tuple is touched (no skipping).
+    - {!anc} chases parent pointers from each context node upward, marking
+      visited nodes — the classic ancestor-list algorithm.  Work is
+      proportional to the number of distinct (ancestor, origin) edges
+      rather than to the result, and the output must still be sorted. *)
+
+val desc :
+  ?stats:Scj_stats.Stats.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t
+
+val anc :
+  ?stats:Scj_stats.Stats.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t

@@ -1,0 +1,1 @@
+lib/frag/fragmented.ml: Array Hashtbl List Scj_bat Scj_core Scj_encoding

@@ -1,0 +1,1 @@
+lib/frag/fragmented.mli: Scj_core Scj_encoding Scj_stats

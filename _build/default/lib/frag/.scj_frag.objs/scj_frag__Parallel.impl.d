@@ -1,0 +1,1 @@
+lib/frag/parallel.ml: Array Domain Scj_bat Scj_core Scj_encoding

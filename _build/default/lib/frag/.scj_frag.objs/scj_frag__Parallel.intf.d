@@ -1,0 +1,1 @@
+lib/frag/parallel.mli: Scj_core Scj_encoding

@@ -1,0 +1,57 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+module Sj = Scj_core.Staircase
+
+type t = { doc : Doc.t; by_tag : (string, Sj.View.t) Hashtbl.t }
+
+let build doc =
+  let n = Doc.n_nodes doc in
+  let kinds = Doc.kind_array doc in
+  (* collect element positions per tag symbol in one pass *)
+  let buckets : (int, Int_col.t) Hashtbl.t = Hashtbl.create 64 in
+  for pre = 0 to n - 1 do
+    if kinds.(pre) = Doc.Element then begin
+      let sym = Doc.tag doc pre in
+      let bucket =
+        match Hashtbl.find_opt buckets sym with
+        | Some b -> b
+        | None ->
+          let b = Int_col.create ~capacity:16 () in
+          Hashtbl.add buckets sym b;
+          b
+      in
+      Int_col.append_unit bucket pre
+    end
+  done;
+  let by_tag = Hashtbl.create (Hashtbl.length buckets) in
+  Hashtbl.iter
+    (fun sym bucket ->
+      let name = Scj_bat.Dict.name (Doc.names doc) sym in
+      let seq = Nodeseq.of_sorted_array (Int_col.to_array bucket) in
+      Hashtbl.replace by_tag name (Sj.View.of_nodeseq doc seq))
+    buckets;
+  { doc; by_tag }
+
+let doc t = t.doc
+
+let n_fragments t = Hashtbl.length t.by_tag
+
+let fragment t name = Hashtbl.find_opt t.by_tag name
+
+let fragment_size t name =
+  match fragment t name with None -> 0 | Some v -> Sj.View.length v
+
+let tags t =
+  let all = Hashtbl.fold (fun name v acc -> (name, Sj.View.length v) :: acc) t.by_tag [] in
+  List.sort (fun (_, a) (_, b) -> compare b a) all
+
+let desc_step ?mode ?stats t context ~tag =
+  match fragment t tag with
+  | None -> Nodeseq.empty
+  | Some view -> Sj.desc_view ?mode ?stats t.doc view context
+
+let anc_step ?mode ?stats t context ~tag =
+  match fragment t tag with
+  | None -> Nodeseq.empty
+  | Some view -> Sj.anc_view ?mode ?stats t.doc view context

@@ -1,0 +1,112 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+module Sj = Scj_core.Staircase
+
+(* Evaluate one descendant partition into a private buffer. *)
+let scan_desc_partition ~mode ~posts ~sizes ~kinds (p : Sj.partition) out =
+  let append i = if kinds.(i) <> Doc.Attribute then Int_col.append_unit out i in
+  let boundary = p.Sj.boundary_post in
+  let c = p.Sj.scan_from - 1 in
+  match mode with
+  | Sj.No_skipping ->
+    for i = p.Sj.scan_from to p.Sj.scan_to do
+      if posts.(i) < boundary then append i
+    done
+  | Sj.Skipping | Sj.Estimation ->
+    let copy_to = if mode = Sj.Estimation then min p.Sj.scan_to boundary else c in
+    for i = p.Sj.scan_from to copy_to do
+      append i
+    done;
+    let i = ref (max p.Sj.scan_from (copy_to + 1)) in
+    let break = ref false in
+    while (not !break) && !i <= p.Sj.scan_to do
+      if posts.(!i) < boundary then begin
+        append !i;
+        incr i
+      end
+      else break := true
+    done
+  | Sj.Exact_size ->
+    let copy_to = min p.Sj.scan_to (c + sizes.(c)) in
+    for i = p.Sj.scan_from to copy_to do
+      append i
+    done
+
+let scan_anc_partition ~mode ~posts ~sizes (p : Sj.partition) out =
+  let boundary = p.Sj.boundary_post in
+  let i = ref p.Sj.scan_from in
+  while !i <= p.Sj.scan_to do
+    if posts.(!i) > boundary then begin
+      Int_col.append_unit out !i;
+      incr i
+    end
+    else begin
+      let hop =
+        match mode with
+        | Sj.No_skipping -> 0
+        | Sj.Skipping | Sj.Estimation -> max 0 (posts.(!i) - !i)
+        | Sj.Exact_size -> sizes.(!i)
+      in
+      i := !i + min hop (p.Sj.scan_to - !i) + 1
+    end
+  done
+
+let run_partitions scan partitions domains =
+  let parts = Array.of_list partitions in
+  let n = Array.length parts in
+  if n = 0 then Nodeseq.empty
+  else begin
+    let workers = max 1 (min domains n) in
+    (* static round-robin-free chunking: worker w owns a contiguous slice
+       of partitions so its output is a contiguous slice of the result *)
+    let slice w =
+      let per = n / workers and extra = n mod workers in
+      let start = (w * per) + min w extra in
+      let len = per + if w < extra then 1 else 0 in
+      (start, len)
+    in
+    let work w =
+      let start, len = slice w in
+      let out = Int_col.create ~capacity:256 () in
+      for k = start to start + len - 1 do
+        scan parts.(k) out
+      done;
+      out
+    in
+    let results =
+      if workers = 1 then [| work 0 |]
+      else begin
+        let handles = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> work (w + 1))) in
+        let first = work 0 in
+        Array.append [| first |] (Array.map Domain.join handles)
+      end
+    in
+    let total = Array.fold_left (fun acc c -> acc + Int_col.length c) 0 results in
+    let out = Array.make total 0 in
+    let pos = ref 0 in
+    Array.iter
+      (fun col ->
+        let a = Int_col.to_array col in
+        Array.blit a 0 out !pos (Array.length a);
+        pos := !pos + Array.length a)
+      results;
+    Nodeseq.of_sorted_array out
+  end
+
+let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+let desc ?domains ?(mode = Sj.Estimation) doc context =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let partitions = Sj.desc_partitions doc context in
+  let posts = Doc.post_array doc in
+  let sizes = Doc.size_array doc in
+  let kinds = Doc.kind_array doc in
+  run_partitions (scan_desc_partition ~mode ~posts ~sizes ~kinds) partitions domains
+
+let anc ?domains ?(mode = Sj.Estimation) doc context =
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let partitions = Sj.anc_partitions doc context in
+  let posts = Doc.post_array doc in
+  let sizes = Doc.size_array doc in
+  run_partitions (scan_anc_partition ~mode ~posts ~sizes) partitions domains

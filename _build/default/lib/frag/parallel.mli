@@ -1,0 +1,29 @@
+(** Partition-parallel staircase join.
+
+    The staircase partitions of Fig. 8 "separate the ancestor-or-self
+    paths in the document tree", and the paper observes (§3.2, §6) that the
+    partitioned pre/post plane naturally leads to a parallel XPath
+    execution strategy: each partition can be scanned by an independent
+    worker, and because partitions are disjoint, ascending pre ranges, the
+    concatenated per-partition outputs are already in document order.
+
+    This module realizes that strategy with OCaml 5 domains.  Workers share
+    the read-only encoding columns; each one owns its result buffer. *)
+
+(** [desc ?domains ?mode doc context] — like {!Scj_core.Staircase.desc},
+    evaluated by [domains] workers (default: [Domain.recommended_domain_count],
+    capped by the number of partitions). *)
+val desc :
+  ?domains:int ->
+  ?mode:Scj_core.Staircase.skip_mode ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t
+
+(** [anc ?domains ?mode doc context] — parallel ancestor join. *)
+val anc :
+  ?domains:int ->
+  ?mode:Scj_core.Staircase.skip_mode ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t

@@ -1,0 +1,1 @@
+lib/mil/mil.ml: Array Format List Printf Result Scj_core Scj_encoding Scj_engine Scj_frag Scj_stats String

@@ -1,0 +1,1 @@
+lib/mil/mil.mli: Scj_encoding Scj_stats

@@ -1,0 +1,305 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Sj = Scj_core.Staircase
+
+type value = Document | Seq of Nodeseq.t | Int of int | Str of string | Bool of bool
+
+let value_to_string doc = function
+  | Document -> Printf.sprintf "<document: %d nodes>" (Doc.n_nodes doc)
+  | Seq s ->
+    if Nodeseq.length s <= 12 then Format.asprintf "%a" Nodeseq.pp s
+    else Printf.sprintf "<sequence: %d nodes>" (Nodeseq.length s)
+  | Int i -> string_of_int i
+  | Str s -> Printf.sprintf "%S" s
+  | Bool b -> string_of_bool b
+
+type outcome = { bindings : (string * value) list; printed : string list; stats : Stats.t }
+
+(* ------------------------------------------------------------------ *)
+(* syntax                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token = Tname of string | Tstr of string | Tint of int | Tassign | Tlparen | Trparen | Tcomma | Tsemi | Teof
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_name_char c = is_name_start c || (match c with '0' .. '9' -> true | _ -> false)
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match input.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '#' ->
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    | ':' when !i + 1 < n && input.[!i + 1] = '=' ->
+      out := Tassign :: !out;
+      i := !i + 2
+    | '(' ->
+      out := Tlparen :: !out;
+      incr i
+    | ')' ->
+      out := Trparen :: !out;
+      incr i
+    | ',' ->
+      out := Tcomma :: !out;
+      incr i
+    | ';' ->
+      out := Tsemi :: !out;
+      incr i
+    | '"' ->
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && input.[!j] <> '"' do
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal";
+      out := Tstr (String.sub input start (!j - start)) :: !out;
+      i := !j + 1
+    | '0' .. '9' ->
+      let start = !i in
+      while !i < n && (match input.[!i] with '0' .. '9' -> true | _ -> false) do
+        incr i
+      done;
+      out := Tint (int_of_string (String.sub input start (!i - start))) :: !out
+    | c when is_name_start c ->
+      let start = !i in
+      while !i < n && is_name_char input.[!i] do
+        incr i
+      done;
+      out := Tname (String.sub input start (!i - start)) :: !out
+    | c -> fail "unexpected character %C" c);
+    ()
+  done;
+  Array.of_list (List.rev (Teof :: !out))
+
+type ast = Call of string * ast list | Var of string | Lit_str of string | Lit_int of int
+
+type stmt = Assign of string * ast | Expr of ast
+
+type parser_state = { tokens : token array; mutable pos : int }
+
+let current st = st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let rec parse_expr st =
+  match current st with
+  | Tstr s ->
+    advance st;
+    Lit_str s
+  | Tint i ->
+    advance st;
+    Lit_int i
+  | Tname name -> (
+    advance st;
+    match current st with
+    | Tlparen ->
+      advance st;
+      let args =
+        if current st = Trparen then []
+        else begin
+          let rec more acc =
+            match current st with
+            | Tcomma ->
+              advance st;
+              more (parse_expr st :: acc)
+            | _ -> List.rev acc
+          in
+          more [ parse_expr st ]
+        end
+      in
+      (match current st with
+      | Trparen -> advance st
+      | _ -> fail "expected ')' in call of %s" name);
+      Call (name, args)
+    | _ -> Var name)
+  | Tassign | Tlparen | Trparen | Tcomma | Tsemi | Teof -> fail "expected an expression"
+
+let parse_program input =
+  let st = { tokens = tokenize input; pos = 0 } in
+  let stmts = ref [] in
+  let rec loop () =
+    match current st with
+    | Teof -> ()
+    | Tsemi ->
+      advance st;
+      loop ()
+    | Tname name when st.tokens.(st.pos + 1) = Tassign ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      stmts := Assign (name, e) :: !stmts;
+      loop ()
+    | _ ->
+      let e = parse_expr st in
+      stmts := Expr e :: !stmts;
+      loop ()
+  in
+  loop ();
+  List.rev !stmts
+
+(* ------------------------------------------------------------------ *)
+(* interpreter                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type env = {
+  doc : Doc.t;
+  mutable vars : (string * value) list;
+  mutable printed : string list;
+  mutable fragments : Scj_frag.Fragmented.t option;
+  stats : Stats.t;
+}
+
+let as_doc = function
+  | Document -> ()
+  | v -> fail "expected the document, got %s" (match v with Seq _ -> "a sequence" | Int _ -> "an int" | Str _ -> "a string" | Bool _ -> "a bool" | Document -> assert false)
+
+let as_seq = function
+  | Seq s -> s
+  | Document -> fail "expected a node sequence, got the document"
+  | Int _ | Str _ | Bool _ -> fail "expected a node sequence"
+
+let as_str = function Str s -> s | _ -> fail "expected a string literal"
+
+let mode_of_string = function
+  | "no-skipping" -> Sj.No_skipping
+  | "skipping" -> Sj.Skipping
+  | "estimation" -> Sj.Estimation
+  | "exact-size" -> Sj.Exact_size
+  | m -> fail "unknown skip mode %S" m
+
+let kind_of_string = function
+  | "element" -> Doc.Element
+  | "attribute" -> Doc.Attribute
+  | "text" -> Doc.Text
+  | "comment" -> Doc.Comment
+  | "pi" -> Doc.Pi
+  | k -> fail "unknown node kind %S" k
+
+let staircase_call fn args =
+  let mode =
+    match args with
+    | [ _; _ ] -> Sj.Estimation
+    | [ _; _; m ] -> mode_of_string (as_str m)
+    | _ -> fail "%s expects (doc, seq [, mode])" fn
+  in
+  let seq =
+    match args with
+    | (d : value) :: s :: _ ->
+      as_doc d;
+      as_seq s
+    | _ -> assert false
+  in
+  (mode, seq)
+
+let nametest env seq tag =
+  match Doc.tag_symbol env.doc tag with
+  | None -> Nodeseq.empty
+  | Some sym ->
+    Nodeseq.filter
+      (fun v -> Doc.kind env.doc v = Doc.Element && Doc.tag env.doc v = sym)
+      seq
+
+let fragments env =
+  match env.fragments with
+  | Some f -> f
+  | None ->
+    let f = Scj_frag.Fragmented.build env.doc in
+    env.fragments <- Some f;
+    f
+
+let rec eval env = function
+  | Lit_str s -> Str s
+  | Lit_int i -> Int i
+  | Var "doc" -> Document
+  | Var x -> (
+    match List.assoc_opt x env.vars with
+    | Some v -> v
+    | None -> fail "unbound variable %s" x)
+  | Call (fn, args) -> eval_call env fn (List.map (eval env) args)
+
+and eval_call env fn args =
+  let stats = env.stats in
+  match (fn, args) with
+  | "root", [ d ] ->
+    as_doc d;
+    Seq (Nodeseq.singleton (Doc.root env.doc))
+  | "staircasejoin_desc", _ ->
+    let mode, seq = staircase_call fn args in
+    Seq (Sj.desc ~mode ~stats env.doc seq)
+  | "staircasejoin_anc", _ ->
+    let mode, seq = staircase_call fn args in
+    Seq (Sj.anc ~mode ~stats env.doc seq)
+  | "staircasejoin_following", [ d; s ] ->
+    as_doc d;
+    Seq (Sj.following ~stats env.doc (as_seq s))
+  | "staircasejoin_prec", [ d; s ] ->
+    as_doc d;
+    Seq (Sj.preceding ~stats env.doc (as_seq s))
+  | "prune_desc", [ d; s ] ->
+    as_doc d;
+    Seq (Sj.prune_desc ~stats env.doc (as_seq s))
+  | "prune_anc", [ d; s ] ->
+    as_doc d;
+    Seq (Sj.prune_anc ~stats env.doc (as_seq s))
+  | "mpmgjn_desc", [ d; s ] ->
+    as_doc d;
+    Seq (Scj_engine.Mpmgjn.desc ~stats env.doc (as_seq s))
+  | "mpmgjn_anc", [ d; s ] ->
+    as_doc d;
+    Seq (Scj_engine.Mpmgjn.anc ~stats env.doc (as_seq s))
+  | "nametest", [ s; tag ] -> Seq (nametest env (as_seq s) (as_str tag))
+  | "kindtest", [ s; k ] ->
+    let kind = kind_of_string (as_str k) in
+    Seq (Nodeseq.filter (fun v -> Doc.kind env.doc v = kind) (as_seq s))
+  | "fragment", [ d; tag ] -> (
+    as_doc d;
+    match Scj_frag.Fragmented.fragment (fragments env) (as_str tag) with
+    | None -> Seq Nodeseq.empty
+    | Some view -> Seq (Sj.View.to_nodeseq view))
+  | "union", [ a; b ] -> Seq (Nodeseq.union (as_seq a) (as_seq b))
+  | "intersect", [ a; b ] -> Seq (Nodeseq.inter (as_seq a) (as_seq b))
+  | "difference", [ a; b ] -> Seq (Nodeseq.diff (as_seq a) (as_seq b))
+  | "count", [ s ] -> Int (Nodeseq.length (as_seq s))
+  | "empty", [ s ] -> Bool (Nodeseq.is_empty (as_seq s))
+  | "first", [ s ] -> (
+    match Nodeseq.first (as_seq s) with Some v -> Int v | None -> fail "first of an empty sequence")
+  | "last", [ s ] -> (
+    match Nodeseq.last (as_seq s) with Some v -> Int v | None -> fail "last of an empty sequence")
+  | "print", [ v ] ->
+    env.printed <- value_to_string env.doc v :: env.printed;
+    v
+  | "stats", [] ->
+    let rendered = Format.asprintf "%a" Stats.pp env.stats in
+    env.printed <- rendered :: env.printed;
+    Str rendered
+  | ( ( "root" | "staircasejoin_following" | "staircasejoin_prec" | "prune_desc" | "prune_anc"
+      | "mpmgjn_desc" | "mpmgjn_anc" | "nametest" | "kindtest" | "fragment" | "union"
+      | "intersect" | "difference" | "count" | "empty" | "first" | "last" | "print" | "stats" ),
+      _ ) ->
+    fail "wrong number of arguments for %s" fn
+  | fn, _ -> fail "unknown primitive %s" fn
+
+let run doc input =
+  try
+    let stmts = parse_program input in
+    let env = { doc; vars = []; printed = []; fragments = None; stats = Stats.create () } in
+    List.iter
+      (fun stmt ->
+        match stmt with
+        | Assign (x, e) -> env.vars <- (x, eval env e) :: env.vars
+        | Expr e -> ignore (eval env e))
+      stmts;
+    Ok { bindings = List.rev env.vars; printed = List.rev env.printed; stats = env.stats }
+  with Error msg -> Result.Error (Printf.sprintf "MIL error: %s" msg)

@@ -1,0 +1,59 @@
+(** A MIL-flavored plan language.
+
+    The paper runs its experiments as Monet Interpreter Language programs;
+    §4.4 shows query Q2 evaluated as
+
+    {v
+r  := root(doc);
+s1 := nametest(staircasejoin_desc(doc, r), "increase");
+s2 := nametest(staircasejoin_anc(doc, s1), "bidder");
+print(count(s2));
+    v}
+
+    This module interprets exactly that style of program against an
+    encoded document, so the paper's plans can be replayed verbatim — and
+    varied: every staircase-join primitive takes an optional skip-mode
+    flag, the baseline joins are exposed alongside, and [stats()] reads
+    the work counters accumulated so far.
+
+    {2 Values}
+
+    documents, node sequences, integers, strings, booleans.
+
+    {2 Primitives}
+
+    - [root(doc)] — singleton sequence of the root's preorder rank
+    - [staircasejoin_desc(doc, seq [, "no-skipping"|"skipping"|"estimation"|"exact-size"])]
+    - [staircasejoin_anc(doc, seq [, mode])]
+    - [staircasejoin_following(doc, seq)], [staircasejoin_prec(doc, seq)]
+    - [prune_desc(doc, seq)], [prune_anc(doc, seq)]
+    - [mpmgjn_desc(doc, seq)], [mpmgjn_anc(doc, seq)] — the §5 baseline
+    - [nametest(seq, "tag")] — keep elements named [tag]
+    - [kindtest(seq, "element"|"attribute"|"text"|"comment"|"pi")]
+    - [fragment(doc, "tag")] — the tag-name fragment as a sequence (§6)
+    - [union(seq, seq)], [intersect(seq, seq)], [difference(seq, seq)]
+    - [count(seq)], [empty(seq)], [first(seq)], [last(seq)]
+    - [print(v)] — append the rendered value to the output
+    - [stats()] — render the work counters accumulated so far
+
+    A program is a sequence of [var := expr;] bindings and expression
+    statements ([;] after a statement is optional).  [doc] is bound to the
+    loaded document. *)
+
+type value =
+  | Document
+  | Seq of Scj_encoding.Nodeseq.t
+  | Int of int
+  | Str of string
+  | Bool of bool
+
+val value_to_string : Scj_encoding.Doc.t -> value -> string
+
+type outcome = {
+  bindings : (string * value) list;  (** final environment, binding order *)
+  printed : string list;  (** output of [print]/[stats], in order *)
+  stats : Scj_stats.Stats.t;  (** work accumulated by all primitives *)
+}
+
+(** [run doc program] parses and executes [program]. *)
+val run : Scj_encoding.Doc.t -> string -> (outcome, string) result

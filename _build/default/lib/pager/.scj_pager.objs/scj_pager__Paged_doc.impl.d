@@ -1,0 +1,1 @@
+lib/pager/paged_doc.ml: Array Buffer_pool Printf Scj_bat Scj_encoding

@@ -1,0 +1,1 @@
+lib/pager/paged_doc.mli: Buffer_pool Scj_encoding

@@ -1,0 +1,88 @@
+module Store = struct
+  type t = { data : int array; page_ints : int }
+
+  let create ~page_ints data =
+    if page_ints <= 0 then invalid_arg "Buffer_pool.Store.create: page_ints must be positive";
+    { data; page_ints }
+
+  let page_ints t = t.page_ints
+
+  let n_pages t = (Array.length t.data + t.page_ints - 1) / t.page_ints
+
+  let length t = Array.length t.data
+
+  (* Simulated disk read: copy the page out of the backing array. *)
+  let read_page t page =
+    let start = page * t.page_ints in
+    let len = min t.page_ints (Array.length t.data - start) in
+    Array.sub t.data start len
+end
+
+type frame = { page : int; data : int array; mutable last_used : int }
+
+type t = {
+  store : Store.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable faults : int;
+  mutable evictions : int;
+}
+
+let create ~capacity store =
+  if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  { store; capacity; frames = Hashtbl.create (2 * capacity); clock = 0; hits = 0; faults = 0; evictions = 0 }
+
+let touch t frame =
+  t.clock <- t.clock + 1;
+  frame.last_used <- t.clock
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ frame acc ->
+        match acc with
+        | None -> Some frame
+        | Some best -> if frame.last_used < best.last_used then Some frame else acc)
+      t.frames None
+  in
+  match victim with
+  | None -> ()
+  | Some frame ->
+    Hashtbl.remove t.frames frame.page;
+    t.evictions <- t.evictions + 1
+
+let frame_of_page t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some frame ->
+    t.hits <- t.hits + 1;
+    touch t frame;
+    frame
+  | None ->
+    t.faults <- t.faults + 1;
+    if Hashtbl.length t.frames >= t.capacity then evict_lru t;
+    let frame = { page; data = Store.read_page t.store page; last_used = 0 } in
+    touch t frame;
+    Hashtbl.replace t.frames page frame;
+    frame
+
+let read t i =
+  if i < 0 || i >= Store.length t.store then
+    invalid_arg (Printf.sprintf "Buffer_pool.read: index %d out of bounds" i);
+  let page = i / Store.page_ints t.store in
+  let frame = frame_of_page t page in
+  frame.data.(i - (page * Store.page_ints t.store))
+
+let resident t = Hashtbl.length t.frames
+
+let is_resident t page = Hashtbl.mem t.frames page
+
+let stats t = (t.hits, t.faults, t.evictions)
+
+let reset_stats t =
+  t.hits <- 0;
+  t.faults <- 0;
+  t.evictions <- 0
+
+let flush t = Hashtbl.reset t.frames

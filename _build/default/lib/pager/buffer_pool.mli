@@ -1,0 +1,51 @@
+(** A buffer pool over a simulated disk of integer pages.
+
+    The paper's staircase join was built into a main-memory kernel; its §6
+    future work asks how it behaves in a disk-based RDBMS.  This module
+    provides the substrate for that experiment: a fixed-capacity pool of
+    page frames with LRU replacement in front of a page store, counting
+    hits, faults, and evictions.  The access-pattern contrast — staircase
+    join reads pages strictly sequentially, per-context index scans hop
+    around — then becomes measurable as fault counts. *)
+
+module Store : sig
+  type t
+
+  (** [create ~page_ints data] wraps [data] as a disk of pages holding
+      [page_ints] integers each (the last page may be partial).
+      @raise Invalid_argument if [page_ints <= 0]. *)
+  val create : page_ints:int -> int array -> t
+
+  val page_ints : t -> int
+
+  (** Number of pages. *)
+  val n_pages : t -> int
+
+  (** Total number of integers. *)
+  val length : t -> int
+end
+
+type t
+
+(** [create ~capacity store] — a pool of at most [capacity] resident page
+    frames.  @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> Store.t -> t
+
+(** [read pool i] returns the integer at global index [i], faulting the
+    containing page in if needed.
+    @raise Invalid_argument when out of bounds. *)
+val read : t -> int -> int
+
+(** Number of currently resident pages. *)
+val resident : t -> int
+
+(** [is_resident pool page] — without touching LRU state. *)
+val is_resident : t -> int -> bool
+
+(** (hits, faults, evictions) since creation or the last {!reset_stats}. *)
+val stats : t -> int * int * int
+
+val reset_stats : t -> unit
+
+(** Drop every frame (keeps counters). *)
+val flush : t -> unit

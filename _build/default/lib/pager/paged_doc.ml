@@ -1,0 +1,152 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Int_col = Scj_bat.Int_col
+
+type t = { pool : Buffer_pool.t; n : int; height : int }
+
+(* column layout on the simulated disk: [post | kind | size] *)
+let load ?(page_ints = 1024) ~capacity doc =
+  let n = Doc.n_nodes doc in
+  let data = Array.make (3 * n) 0 in
+  let posts = Doc.post_array doc in
+  let kinds = Doc.kind_array doc in
+  let sizes = Doc.size_array doc in
+  for i = 0 to n - 1 do
+    data.(i) <- posts.(i);
+    data.(n + i) <- (if kinds.(i) = Doc.Attribute then 1 else 0);
+    data.(2 * n + i) <- sizes.(i)
+  done;
+  let store = Buffer_pool.Store.create ~page_ints data in
+  { pool = Buffer_pool.create ~capacity store; n; height = Doc.height doc }
+
+let pool t = t.pool
+
+let n_nodes t = t.n
+
+let check t i fn =
+  if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Paged_doc.%s: rank %d out of bounds" fn i)
+
+let post t i =
+  check t i "post";
+  Buffer_pool.read t.pool i
+
+let is_attribute t i =
+  check t i "is_attribute";
+  Buffer_pool.read t.pool (t.n + i) = 1
+
+let size t i =
+  check t i "size";
+  Buffer_pool.read t.pool ((2 * t.n) + i)
+
+let prune t context =
+  let out = Int_col.create ~capacity:(max 1 (Nodeseq.length context)) () in
+  let prev = ref (-1) in
+  Nodeseq.iter
+    (fun c ->
+      let p = post t c in
+      if p > !prev then begin
+        Int_col.append_unit out c;
+        prev := p
+      end)
+    context;
+  Nodeseq.of_sorted_array (Int_col.to_array out)
+
+(* staircase join with skipping (Algorithm 3) over the paged post column *)
+let desc t context =
+  let context = prune t context in
+  let result = Int_col.create ~capacity:64 () in
+  let m = Nodeseq.length context in
+  for k = 0 to m - 1 do
+    let c = Nodeseq.get context k in
+    let boundary = post t c in
+    let scan_to = if k + 1 < m then Nodeseq.get context (k + 1) - 1 else t.n - 1 in
+    let i = ref (c + 1) in
+    let break = ref false in
+    while (not !break) && !i <= scan_to do
+      if post t !i < boundary then begin
+        if not (is_attribute t !i) then Int_col.append_unit result !i;
+        incr i
+      end
+      else break := true
+    done
+  done;
+  Nodeseq.of_sorted_array (Int_col.to_array result)
+
+(* the tree-unaware plan: per context node, a binary search on the packed
+   (pre, post) index — random page probes — followed by the delimited
+   range scan; duplicates removed afterwards *)
+let index_desc t context =
+  let hits = Int_col.create ~capacity:64 () in
+  Nodeseq.iter
+    (fun c ->
+      let post_c = post t c in
+      (* binary search emulating the B-tree descent over paged leaves *)
+      let lo = ref 0 and hi = ref (t.n - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        (* probe the index page holding mid *)
+        let (_ : int) = post t mid in
+        if mid <= c then lo := mid + 1 else hi := mid
+      done;
+      let stop = min (t.n - 1) (post_c + t.height) in
+      for i = c + 1 to stop do
+        if post t i < post_c && not (is_attribute t i) then Int_col.append_unit hits i
+      done)
+    context;
+  let sorted = Int_col.to_array hits in
+  Array.sort compare sorted;
+  Nodeseq.of_unsorted (Array.to_list sorted)
+
+let prune_anc t context =
+  let m = Nodeseq.length context in
+  let keep = Array.make m false in
+  let min_post = ref max_int in
+  for k = m - 1 downto 0 do
+    let p = post t (Nodeseq.get context k) in
+    if p < !min_post then begin
+      keep.(k) <- true;
+      min_post := p
+    end
+  done;
+  let out = Int_col.create ~capacity:(max m 1) () in
+  for k = 0 to m - 1 do
+    if keep.(k) then Int_col.append_unit out (Nodeseq.get context k)
+  done;
+  Nodeseq.of_sorted_array (Int_col.to_array out)
+
+let anc t context =
+  let context = prune_anc t context in
+  let result = Int_col.create ~capacity:64 () in
+  let m = Nodeseq.length context in
+  for k = 0 to m - 1 do
+    let c = Nodeseq.get context k in
+    let boundary = post t c in
+    let scan_from = if k = 0 then 0 else Nodeseq.get context (k - 1) + 1 in
+    let i = ref scan_from in
+    while !i <= c - 1 do
+      let p = post t !i in
+      if p > boundary then begin
+        Int_col.append_unit result !i;
+        incr i
+      end
+      else begin
+        let hop = min (max 0 (p - !i)) (c - 1 - !i) in
+        i := !i + hop + 1
+      end
+    done
+  done;
+  Nodeseq.of_sorted_array (Int_col.to_array result)
+
+let index_anc t context =
+  let hits = Int_col.create ~capacity:64 () in
+  Nodeseq.iter
+    (fun c ->
+      let post_c = post t c in
+      (* the index delimits only on pre: the whole prefix is scanned *)
+      for i = 0 to c - 1 do
+        if post t i > post_c then Int_col.append_unit hits i
+      done)
+    context;
+  let sorted = Int_col.to_array hits in
+  Array.sort compare sorted;
+  Nodeseq.of_unsorted (Array.to_list sorted)

@@ -1,0 +1,49 @@
+(** A document whose encoding columns live behind a buffer pool — the §6
+    "disk-based RDBMS" scenario.
+
+    The post, kind, and size columns are laid out on consecutive disk
+    pages; every column access goes through a shared {!Buffer_pool}.  The
+    two axis-step implementations mirror the in-memory ones:
+
+    - {!desc} is the staircase join with skipping: one strictly sequential
+      sweep whose page faults are bounded by the pages the result and
+      context actually live on;
+    - {!index_desc} is the tree-unaware per-context-node plan: for each
+      context node a binary search (random probes) plus a bounded range
+      scan — the access pattern of the Fig. 3 index plan.
+
+    Both return exactly the same node sequence; the interesting output is
+    {!Buffer_pool.stats}. *)
+
+type t
+
+(** [load ?page_ints ~capacity doc] lays the columns out on pages of
+    [page_ints] integers (default 1024 ≈ an 8 KB page of 64-bit ranks) and
+    attaches a pool of [capacity] frames. *)
+val load : ?page_ints:int -> capacity:int -> Scj_encoding.Doc.t -> t
+
+val pool : t -> Buffer_pool.t
+
+val n_nodes : t -> int
+
+(** Paged accessors (each may fault a page in). *)
+val post : t -> int -> int
+
+val size : t -> int -> int
+
+val is_attribute : t -> int -> bool
+
+(** Staircase join, descendant axis, with skipping, over paged columns. *)
+val desc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+
+(** The per-context-node index plan over the same pages (range delimited
+    by Equation (1), as in §2.1 line 7). *)
+val index_desc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+
+(** Staircase join, ancestor axis, with subtree hops. *)
+val anc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+
+(** The tree-unaware ancestor plan: for every context node the index can
+    only delimit on pre, so the whole document prefix is scanned — per
+    context node.  This is where the disk-based comparison bites. *)
+val index_anc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t

@@ -1,0 +1,84 @@
+type t = {
+  mutable scanned : int;
+  mutable copied : int;
+  mutable skipped : int;
+  mutable appended : int;
+  mutable compared : int;
+  mutable index_probes : int;
+  mutable index_nodes : int;
+  mutable duplicates : int;
+  mutable sorted : int;
+  mutable pruned : int;
+}
+
+let create () =
+  {
+    scanned = 0;
+    copied = 0;
+    skipped = 0;
+    appended = 0;
+    compared = 0;
+    index_probes = 0;
+    index_nodes = 0;
+    duplicates = 0;
+    sorted = 0;
+    pruned = 0;
+  }
+
+let reset t =
+  t.scanned <- 0;
+  t.copied <- 0;
+  t.skipped <- 0;
+  t.appended <- 0;
+  t.compared <- 0;
+  t.index_probes <- 0;
+  t.index_nodes <- 0;
+  t.duplicates <- 0;
+  t.sorted <- 0;
+  t.pruned <- 0
+
+let add dst src =
+  dst.scanned <- dst.scanned + src.scanned;
+  dst.copied <- dst.copied + src.copied;
+  dst.skipped <- dst.skipped + src.skipped;
+  dst.appended <- dst.appended + src.appended;
+  dst.compared <- dst.compared + src.compared;
+  dst.index_probes <- dst.index_probes + src.index_probes;
+  dst.index_nodes <- dst.index_nodes + src.index_nodes;
+  dst.duplicates <- dst.duplicates + src.duplicates;
+  dst.sorted <- dst.sorted + src.sorted;
+  dst.pruned <- dst.pruned + src.pruned
+
+let copy t =
+  let fresh = create () in
+  add fresh t;
+  fresh
+
+let touched t = t.scanned + t.copied
+
+let to_assoc t =
+  let all =
+    [
+      ("scanned", t.scanned);
+      ("copied", t.copied);
+      ("skipped", t.skipped);
+      ("appended", t.appended);
+      ("compared", t.compared);
+      ("index_probes", t.index_probes);
+      ("index_nodes", t.index_nodes);
+      ("duplicates", t.duplicates);
+      ("sorted", t.sorted);
+      ("pruned", t.pruned);
+    ]
+  in
+  List.filter (fun (_, v) -> v <> 0) all
+
+let pp ppf t =
+  let fields = to_assoc t in
+  if fields = [] then Format.fprintf ppf "(no work recorded)"
+  else
+    Format.fprintf ppf "@[<h>%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+         (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
+      fields

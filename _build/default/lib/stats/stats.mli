@@ -1,0 +1,44 @@
+(** Instrumentation counters shared by every axis-step algorithm.
+
+    The experiments of the paper (Fig. 11 (a), (c)) are stated in terms of
+    node counts: how many document nodes an algorithm touched, how many it
+    copied without a comparison, how many it skipped, how many duplicates a
+    tree-unaware algorithm generated.  Every algorithm in this repository
+    threads an optional [t] through its inner loops and bumps these
+    counters, so that benches and tests can observe the exact work done. *)
+
+type t = {
+  mutable scanned : int;
+      (** Nodes touched by a sequential scan and subjected to a comparison. *)
+  mutable copied : int;
+      (** Nodes copied to the result without any comparison
+          (estimation-based skipping copy phase). *)
+  mutable skipped : int;
+      (** Nodes skipped over, i.e. never touched at all. *)
+  mutable appended : int;  (** Nodes appended to a result sequence. *)
+  mutable compared : int;  (** Key comparisons (joins, B-trees). *)
+  mutable index_probes : int;  (** B-tree descents from the root. *)
+  mutable index_nodes : int;  (** B-tree pages (nodes) visited. *)
+  mutable duplicates : int;
+      (** Duplicate result tuples produced (before duplicate removal). *)
+  mutable sorted : int;  (** Tuples fed into an explicit sort. *)
+  mutable pruned : int;  (** Context nodes removed by pruning. *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+(** [add dst src] accumulates [src]'s counters into [dst]. *)
+val add : t -> t -> unit
+
+val copy : t -> t
+
+(** Total document nodes touched in any way ([scanned] + [copied]). *)
+val touched : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** [to_assoc t] lists the non-zero counters with their names, in a fixed
+    order; convenient for CSV-ish bench output. *)
+val to_assoc : t -> (string * int) list

@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Format List String Tree Uchar

@@ -1,0 +1,355 @@
+type event =
+  | Start_element of { name : string; attributes : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+type error = { position : int; line : int; column : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "XML parse error at line %d, column %d: %s" e.line e.column e.message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Parse_error of int * string
+
+type state = { input : string; len : int; mutable pos : int }
+
+let fail st fmt = Format.kasprintf (fun msg -> raise (Parse_error (st.pos, msg))) fmt
+
+let peek st = if st.pos < st.len then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st prefix =
+  let n = String.length prefix in
+  st.pos + n <= st.len && String.sub st.input st.pos n = prefix
+
+let expect st prefix =
+  if looking_at st prefix then st.pos <- st.pos + String.length prefix
+  else fail st "expected %S" prefix
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while st.pos < st.len && is_space st.input.[st.pos] do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let read_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | Some c -> fail st "invalid name start character %C" c
+  | None -> fail st "unexpected end of input in name");
+  while st.pos < st.len && is_name_char st.input.[st.pos] do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Scan until [stop] and return the part before it; consumes [stop]. *)
+let read_until st stop =
+  let start = st.pos in
+  let n = String.length stop in
+  let rec search i =
+    if i + n > st.len then fail st "unterminated construct: missing %S" stop
+    else if String.sub st.input i n = stop then i
+    else search (i + 1)
+  in
+  let hit = search start in
+  st.pos <- hit + n;
+  String.sub st.input start (hit - start)
+
+let decode_entity st =
+  (* called just past '&' *)
+  if looking_at st "#x" || looking_at st "#X" then begin
+    st.pos <- st.pos + 2;
+    let digits = read_until st ";" in
+    match int_of_string_opt ("0x" ^ digits) with
+    | Some code when code > 0 && code <= 0x10FFFF ->
+      let b = Buffer.create 4 in
+      Buffer.add_utf_8_uchar b (Uchar.of_int code);
+      Buffer.contents b
+    | Some _ | None -> fail st "invalid character reference &#x%s;" digits
+  end
+  else if looking_at st "#" then begin
+    advance st;
+    let digits = read_until st ";" in
+    match int_of_string_opt digits with
+    | Some code when code > 0 && code <= 0x10FFFF ->
+      let b = Buffer.create 4 in
+      Buffer.add_utf_8_uchar b (Uchar.of_int code);
+      Buffer.contents b
+    | Some _ | None -> fail st "invalid character reference &#%s;" digits
+  end
+  else
+    let name = read_until st ";" in
+    match name with
+    | "amp" -> "&"
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "quot" -> "\""
+    | "apos" -> "'"
+    | _ -> fail st "unknown entity &%s;" name
+
+let read_attribute_value st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) ->
+      advance st;
+      q
+    | Some c -> fail st "expected quoted attribute value, found %C" c
+    | None -> fail st "unexpected end of input in attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated attribute value"
+    | Some c when c = quote ->
+      advance st;
+      Buffer.contents buf
+    | Some '&' ->
+      advance st;
+      Buffer.add_string buf (decode_entity st);
+      loop ()
+    | Some '<' -> fail st "literal '<' in attribute value"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let read_attributes st =
+  let rec loop acc =
+    skip_space st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = read_name st in
+      skip_space st;
+      expect st "=";
+      skip_space st;
+      let value = read_attribute_value st in
+      if List.mem_assoc name acc then fail st "duplicate attribute %s" name;
+      loop ((name, value) :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+let read_text st =
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    match peek st with
+    | None | Some '<' -> Buffer.contents buf
+    | Some '&' ->
+      advance st;
+      Buffer.add_string buf (decode_entity st);
+      loop ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      loop ()
+  in
+  loop ()
+
+let skip_doctype st =
+  (* just past "<!DOCTYPE"; skip to the matching '>' allowing one level of
+     internal-subset brackets *)
+  let depth = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    match peek st with
+    | None -> fail st "unterminated DOCTYPE"
+    | Some '[' ->
+      incr depth;
+      advance st
+    | Some ']' ->
+      decr depth;
+      advance st
+    | Some '>' when !depth = 0 ->
+      advance st;
+      finished := true
+    | Some _ -> advance st
+  done
+
+let is_blank s =
+  let rec loop i = i >= String.length s || (is_space s.[i] && loop (i + 1)) in
+  loop 0
+
+let line_column input pos =
+  let line = ref 1 and col = ref 1 in
+  let limit = min pos (String.length input) in
+  for i = 0 to limit - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let utf8_bom = "\xEF\xBB\xBF"
+
+let fold ?(strip_ws = false) input ~init ~f =
+  let st = { input; len = String.length input; pos = 0 } in
+  if st.len >= 3 && String.sub input 0 3 = utf8_bom then st.pos <- 3;
+  let acc = ref init in
+  let emit ev = acc := f !acc ev in
+  let stack = ref [] in
+  let seen_root = ref false in
+  try
+    let rec document () =
+      skip_space st;
+      match peek st with
+      | None ->
+        if not !seen_root then fail st "no root element";
+        ()
+      | Some '<' -> (
+        advance st;
+        match peek st with
+        | Some '?' ->
+          advance st;
+          let target = read_name st in
+          skip_space st;
+          let data = read_until st "?>" in
+          if not (String.lowercase_ascii target = "xml") then
+            emit (Pi { target; data = String.trim data });
+          content_or_document ()
+        | Some '!' ->
+          advance st;
+          if looking_at st "--" then begin
+            st.pos <- st.pos + 2;
+            let body = read_until st "-->" in
+            emit (Comment body);
+            content_or_document ()
+          end
+          else if looking_at st "DOCTYPE" then begin
+            st.pos <- st.pos + String.length "DOCTYPE";
+            skip_doctype st;
+            document ()
+          end
+          else fail st "unexpected markup declaration"
+        | Some c when is_name_start c ->
+          if !seen_root && !stack = [] then fail st "document has more than one root element";
+          seen_root := true;
+          start_element ()
+        | Some c -> fail st "unexpected character %C after '<'" c
+        | None -> fail st "unexpected end of input after '<'")
+      | Some c ->
+        if is_space c then document ()
+        else fail st "text %C outside the root element" c
+    and content_or_document () = if !stack = [] then document () else content ()
+    and start_element () =
+      let name = read_name st in
+      let attributes = read_attributes st in
+      skip_space st;
+      if looking_at st "/>" then begin
+        st.pos <- st.pos + 2;
+        emit (Start_element { name; attributes });
+        emit (End_element name);
+        content_or_document ()
+      end
+      else begin
+        expect st ">";
+        emit (Start_element { name; attributes });
+        stack := name :: !stack;
+        content ()
+      end
+    and content () =
+      match peek st with
+      | None -> fail st "unexpected end of input inside <%s>" (List.hd !stack)
+      | Some '<' -> (
+        advance st;
+        match peek st with
+        | Some '/' ->
+          advance st;
+          let name = read_name st in
+          skip_space st;
+          expect st ">";
+          (match !stack with
+          | top :: rest ->
+            if not (String.equal top name) then
+              fail st "mismatched end tag </%s>, expected </%s>" name top;
+            stack := rest;
+            emit (End_element name)
+          | [] -> fail st "unexpected end tag </%s>" name);
+          content_or_document ()
+        | Some '!' ->
+          advance st;
+          if looking_at st "--" then begin
+            st.pos <- st.pos + 2;
+            let body = read_until st "-->" in
+            emit (Comment body);
+            content ()
+          end
+          else if looking_at st "[CDATA[" then begin
+            st.pos <- st.pos + String.length "[CDATA[";
+            let body = read_until st "]]>" in
+            if not (strip_ws && is_blank body) then emit (Text body);
+            content ()
+          end
+          else fail st "unexpected markup declaration in content"
+        | Some '?' ->
+          advance st;
+          let target = read_name st in
+          skip_space st;
+          let data = read_until st "?>" in
+          emit (Pi { target; data = String.trim data });
+          content ()
+        | Some c when is_name_start c -> start_element ()
+        | Some c -> fail st "unexpected character %C after '<'" c
+        | None -> fail st "unexpected end of input after '<'")
+      | Some _ ->
+        let txt = read_text st in
+        if not (strip_ws && is_blank txt) then emit (Text txt);
+        content ()
+    in
+    document ();
+    skip_space st;
+    if st.pos < st.len then fail st "trailing content after the root element";
+    Ok !acc
+  with Parse_error (pos, message) ->
+    let line, column = line_column input pos in
+    Error { position = pos; line; column; message }
+
+type builder = { children : Tree.t list; pending : (string * (string * string) list * Tree.t list) list }
+
+let parse_string ?strip_ws input =
+  let step b ev =
+    match ev with
+    | Start_element { name; attributes } ->
+      { children = []; pending = (name, attributes, b.children) :: b.pending }
+    | End_element _ -> (
+      match b.pending with
+      | (name, attributes, siblings) :: rest ->
+        let el = Tree.Element { name; attributes; children = List.rev b.children } in
+        { children = el :: siblings; pending = rest }
+      | [] -> assert false)
+    | Text s -> { b with children = Tree.Text s :: b.children }
+    | Comment s -> { b with children = Tree.Comment s :: b.children }
+    | Pi { target; data } -> { b with children = Tree.Pi { target; data } :: b.children }
+  in
+  match fold ?strip_ws input ~init:{ children = []; pending = [] } ~f:step with
+  | Error _ as e -> e
+  | Ok { children; pending = [] } -> (
+    (* the root element is the last Element among top-level nodes *)
+    match List.find_opt (function Tree.Element _ -> true | _ -> false) children with
+    | Some root -> Ok root
+    | None ->
+      Error { position = 0; line = 1; column = 1; message = "no root element" })
+  | Ok _ -> Error { position = 0; line = 1; column = 1; message = "unbalanced document" }
+
+let parse_file ?strip_ws path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  parse_string ?strip_ws content

@@ -1,0 +1,36 @@
+(** Non-validating XML parser.
+
+    Supports the features needed for real-world documents and the XMark
+    data set: elements, attributes (single or double quoted), text, CDATA
+    sections, comments, processing instructions, the XML declaration, a
+    skipped DOCTYPE (including an internal subset), the five predefined
+    entities and decimal/hexadecimal character references.
+
+    The parser is exposed both as a SAX-style event fold (no tree is
+    materialized — this is how large documents are loaded straight into the
+    pre/post encoding) and as a tree builder on top of it. *)
+
+type event =
+  | Start_element of { name : string; attributes : (string * string) list }
+  | End_element of string
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+type error = { position : int; line : int; column : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val error_to_string : error -> string
+
+(** [fold ?strip_ws input ~init ~f] runs [f] over the document events in
+    order.  [strip_ws] (default [false]) drops text events that consist
+    only of whitespace — the usual choice when loading data-centric
+    documents.  Checks well-formedness (single root, matching tags). *)
+val fold : ?strip_ws:bool -> string -> init:'a -> f:('a -> event -> 'a) -> ('a, error) result
+
+(** [parse_string ?strip_ws input] builds the root element's tree. *)
+val parse_string : ?strip_ws:bool -> string -> (Tree.t, error) result
+
+(** [parse_file ?strip_ws path] reads and parses a whole file. *)
+val parse_file : ?strip_ws:bool -> string -> (Tree.t, error) result

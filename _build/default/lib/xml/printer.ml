@@ -1,0 +1,103 @@
+let escape_into buf ~attr s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when attr -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape_text s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:false s;
+  Buffer.contents buf
+
+let escape_attribute s =
+  let buf = Buffer.create (String.length s + 8) in
+  escape_into buf ~attr:true s;
+  Buffer.contents buf
+
+let add_attributes buf attributes =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      escape_into buf ~attr:true v;
+      Buffer.add_char buf '"')
+    attributes
+
+let rec add_to_buffer buf node =
+  match node with
+  | Tree.Text s -> escape_into buf ~attr:false s
+  | Tree.Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Tree.Pi { target; data } ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if data <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf data
+    end;
+    Buffer.add_string buf "?>"
+  | Tree.Element { name; attributes; children } ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    add_attributes buf attributes;
+    if children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (add_to_buffer buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+
+let rec add_indented buf depth node =
+  let pad () =
+    for _ = 1 to depth do
+      Buffer.add_string buf "  "
+    done
+  in
+  match node with
+  | Tree.Element { name; attributes; children } ->
+    pad ();
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    add_attributes buf attributes;
+    let only_text = List.for_all (function Tree.Text _ -> true | _ -> false) children in
+    if children = [] then Buffer.add_string buf "/>\n"
+    else if only_text then begin
+      Buffer.add_char buf '>';
+      List.iter (add_to_buffer buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_string buf ">\n"
+    end
+    else begin
+      Buffer.add_string buf ">\n";
+      List.iter (add_indented buf (depth + 1)) children;
+      pad ();
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_string buf ">\n"
+    end
+  | Tree.Text _ | Tree.Comment _ | Tree.Pi _ ->
+    pad ();
+    add_to_buffer buf node;
+    Buffer.add_char buf '\n'
+
+let to_string ?(decl = false) ?(indent = false) t =
+  let buf = Buffer.create 1024 in
+  if decl then Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  if indent then add_indented buf 0 t else add_to_buffer buf t;
+  Buffer.contents buf
+
+let to_file ?decl ?indent path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string ?decl ?indent t);
+  close_out oc

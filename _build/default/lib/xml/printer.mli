@@ -1,0 +1,23 @@
+(** XML serializer: the inverse of {!Parser.parse_string}.
+
+    Text and attribute values are escaped so that
+    [parse_string (to_string t) = Ok t] for any tree (modulo an optional
+    indentation mode that inserts whitespace). *)
+
+(** Escape a string for use as element content ([&], [<], [>]). *)
+val escape_text : string -> string
+
+(** Escape a string for use inside a double-quoted attribute value. *)
+val escape_attribute : string -> string
+
+(** [add_to_buffer buf t] serializes compactly (no added whitespace). *)
+val add_to_buffer : Buffer.t -> Tree.t -> unit
+
+(** [to_string ?decl ?indent t] serializes the tree.  [decl] (default
+    [false]) prepends an XML declaration.  [indent] (default [false])
+    pretty-prints with two-space indentation — only safe for data-centric
+    documents since it adds whitespace text. *)
+val to_string : ?decl:bool -> ?indent:bool -> Tree.t -> string
+
+(** [to_file ?decl ?indent path t] writes the serialized tree to a file. *)
+val to_file : ?decl:bool -> ?indent:bool -> string -> Tree.t -> unit

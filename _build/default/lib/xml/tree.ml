@@ -1,0 +1,69 @@
+type t =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { name : string; attributes : (string * string) list; children : t list }
+
+let elem ?(attributes = []) name children = Element { name; attributes; children }
+
+let text s = Text s
+
+let name = function
+  | Element e -> Some e.name
+  | Pi { target; _ } -> Some target
+  | Text _ | Comment _ -> None
+
+let attribute el k =
+  List.find_map (fun (k', v) -> if String.equal k k' then Some v else None) el.attributes
+
+let rec node_count = function
+  | Element e ->
+    1 + List.length e.attributes + List.fold_left (fun n c -> n + node_count c) 0 e.children
+  | Text _ | Comment _ | Pi _ -> 1
+
+let rec height = function
+  | Element e ->
+    let deepest = List.fold_left (fun h c -> max h (height c)) (-1) e.children in
+    let attr_floor = if e.attributes = [] then -1 else 0 in
+    1 + max deepest attr_floor |> max 0
+  | Text _ | Comment _ | Pi _ -> 0
+
+let string_value node =
+  let buf = Buffer.create 64 in
+  let rec walk = function
+    | Text s -> Buffer.add_string buf s
+    | Element e -> List.iter walk e.children
+    | Comment _ | Pi _ -> ()
+  in
+  walk node;
+  Buffer.contents buf
+
+let rec equal a b =
+  match (a, b) with
+  | Text s, Text s' -> String.equal s s'
+  | Comment s, Comment s' -> String.equal s s'
+  | Pi { target; data }, Pi { target = t'; data = d' } ->
+    String.equal target t' && String.equal data d'
+  | Element e, Element e' ->
+    String.equal e.name e'.name
+    && List.length e.attributes = List.length e'.attributes
+    && List.for_all2
+         (fun (k, v) (k', v') -> String.equal k k' && String.equal v v')
+         e.attributes e'.attributes
+    && List.length e.children = List.length e'.children
+    && List.for_all2 equal e.children e'.children
+  | (Text _ | Comment _ | Pi _ | Element _), _ -> false
+
+let rec pp ppf = function
+  | Text s -> Format.fprintf ppf "Text %S" s
+  | Comment s -> Format.fprintf ppf "Comment %S" s
+  | Pi { target; data } -> Format.fprintf ppf "Pi (%s, %S)" target data
+  | Element e ->
+    Format.fprintf ppf "@[<v 2>Element %s%a" e.name
+      (fun ppf attrs ->
+        List.iter (fun (k, v) -> Format.fprintf ppf "@ @@%s=%S" k v) attrs)
+      e.attributes;
+    List.iter (fun c -> Format.fprintf ppf "@ %a" pp c) e.children;
+    Format.fprintf ppf "@]"

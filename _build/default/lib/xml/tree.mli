@@ -1,0 +1,42 @@
+(** In-memory XML document model.
+
+    The node kinds mirror the XPath data model subset used by the paper
+    (Fig. 1): elements, attributes, text, comments, and processing
+    instructions.  Namespaces are treated literally (prefixes are part of
+    the name), which matches the XPath accelerator's encoding. *)
+
+type t =
+  | Element of element
+  | Text of string
+  | Comment of string
+  | Pi of { target : string; data : string }
+
+and element = { name : string; attributes : (string * string) list; children : t list }
+
+(** Convenience constructor for elements. *)
+val elem : ?attributes:(string * string) list -> string -> t list -> t
+
+val text : string -> t
+
+(** [name node] is the tag name, attribute name, or PI target, and [None]
+    for text/comment nodes. *)
+val name : t -> string option
+
+(** [attribute el k] is the value of attribute [k], if present. *)
+val attribute : element -> string -> string option
+
+(** Total number of XPath nodes in the subtree, counting the node itself
+    and its attributes (attributes are nodes in the pre/post plane). *)
+val node_count : t -> int
+
+(** Length of the longest path from this node down to a leaf (a lone leaf
+    has height 0).  Attributes do not add height. *)
+val height : t -> int
+
+(** String-value in the XPath sense: concatenation of all descendant text
+    node contents (attributes excluded). *)
+val string_value : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/xmlgen/prng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/xmlgen/words.ml: Buffer Prng

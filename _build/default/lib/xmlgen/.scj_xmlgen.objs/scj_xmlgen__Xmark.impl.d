@@ -1,0 +1,1 @@
+lib/xmlgen/xmark.ml: Float List Printf Prng Scj_xml String Words

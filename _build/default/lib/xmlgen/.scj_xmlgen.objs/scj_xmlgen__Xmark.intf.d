@@ -1,0 +1,1 @@
+lib/xmlgen/xmark.mli: Scj_xml

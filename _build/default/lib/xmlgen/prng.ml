@@ -1,0 +1,42 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix1 = 0xBF58476D1CE4E5B9L
+
+let mix2 = 0x94D049BB133111EBL
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) mix1 in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) mix2 in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (next t) land max_int in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let geometric t ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Prng.geometric: p must be in (0,1]";
+  let rec loop n = if bool t p then n else loop (n + 1) in
+  loop 0
+
+let split t = create (next t)

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Self-contained so that generated XMark documents are bit-identical
+    across OCaml versions and platforms — reproducible experiments need
+    reproducible inputs. *)
+
+type t
+
+val create : int64 -> t
+
+(** Next raw 64-bit value. *)
+val next : t -> int64
+
+(** [int t bound] is uniform-ish in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform-ish in [lo, hi] (inclusive). *)
+val int_in : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** [bool t p] is true with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [choice t arr] picks a uniform element.
+    @raise Invalid_argument on an empty array. *)
+val choice : t -> 'a array -> 'a
+
+(** [geometric t ~p] counts Bernoulli([p]) failures before the first
+    success; mean (1-p)/p.  [p] must be in (0, 1]. *)
+val geometric : t -> p:float -> int
+
+(** [split t] derives an independent generator; the parent advances once. *)
+val split : t -> t

@@ -1,0 +1,66 @@
+let prose =
+  [|
+    "against"; "age"; "all"; "ancient"; "and"; "arms"; "bare"; "bear"; "beauty"; "bed";
+    "being"; "beloved"; "besiege"; "blood"; "brow"; "bud"; "buriest"; "by"; "child"; "cold";
+    "content"; "couldst"; "count"; "creatures"; "cruel"; "days"; "decease"; "deep"; "desire";
+    "die"; "dig"; "eat"; "else"; "eyes"; "fair"; "famine"; "feel"; "field"; "flame"; "foe";
+    "fond"; "forty"; "fresh"; "fuel"; "gaudy"; "gazed"; "glass"; "glutton"; "grave"; "held";
+    "her"; "herald"; "his"; "hold"; "how"; "increase"; "lands"; "lies"; "light"; "livery";
+    "lusty"; "made"; "make"; "memory"; "might"; "never"; "niggarding"; "now"; "only"; "or";
+    "ornament"; "own"; "pity"; "praise"; "proud"; "repair"; "riper"; "rose"; "say"; "self";
+    "shall"; "shame"; "small"; "spring"; "spend"; "substantial"; "succession"; "sum"; "sunken";
+    "tattered"; "tender"; "the"; "thereby"; "thine"; "this"; "thou"; "thriftless"; "thy";
+    "time"; "to"; "tombs"; "treasure"; "trenches"; "where"; "winters"; "within"; "world";
+    "worth"; "youth";
+  |]
+
+let first_names =
+  [|
+    "Ada"; "Alan"; "Barbara"; "Boris"; "Carla"; "Chen"; "Dilip"; "Edgar"; "Elena"; "Fatima";
+    "Grace"; "Hector"; "Ines"; "Jiro"; "Kofi"; "Leila"; "Magnus"; "Nadia"; "Omar"; "Priya";
+    "Quentin"; "Rosa"; "Sven"; "Tarik"; "Uma"; "Viktor"; "Wendy"; "Xavier"; "Yuki"; "Zofia";
+  |]
+
+let last_names =
+  [|
+    "Abiteboul"; "Bancilhon"; "Codd"; "Date"; "Ellis"; "Fagin"; "Gray"; "Hellerstein";
+    "Imielinski"; "Jagadish"; "Kossmann"; "Lorie"; "Maier"; "Naughton"; "Ozsu"; "Pirahesh";
+    "Quass"; "Ramakrishnan"; "Stonebraker"; "Tsichritzis"; "Ullman"; "Vardi"; "Widom";
+    "Xu"; "Yannakakis"; "Zaniolo";
+  |]
+
+let countries =
+  [|
+    "United States"; "Germany"; "Netherlands"; "France"; "Japan"; "Brazil"; "Kenya";
+    "Australia"; "Canada"; "India"; "Italy"; "Spain"; "Sweden"; "Poland"; "Mexico";
+    "South Africa"; "South Korea"; "Argentina"; "Norway"; "Switzerland";
+  |]
+
+let cities =
+  [|
+    "Berlin"; "Konstanz"; "Enschede"; "Amsterdam"; "Tokyo"; "Nairobi"; "Sydney"; "Toronto";
+    "Mumbai"; "Rome"; "Madrid"; "Stockholm"; "Warsaw"; "Oaxaca"; "Cape Town"; "Seoul";
+    "Buenos Aires"; "Oslo"; "Zurich"; "Lyon";
+  |]
+
+let streets =
+  [|
+    "Main Street"; "Oak Avenue"; "Lakeview Drive"; "Station Road"; "Market Square";
+    "Harbor Lane"; "Mill Road"; "Church Street"; "Park Boulevard"; "River Walk";
+  |]
+
+let education_levels = [| "High School"; "College"; "Graduate School"; "Other" |]
+
+let item_adjectives =
+  [| "ancient"; "gilded"; "rare"; "tattered"; "pristine"; "curious"; "massive"; "tiny" |]
+
+let item_nouns =
+  [| "folio"; "astrolabe"; "tapestry"; "manuscript"; "amphora"; "locket"; "engraving"; "globe" |]
+
+let sentence prng n =
+  let buf = Buffer.create (n * 7) in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Prng.choice prng prose)
+  done;
+  Buffer.contents buf

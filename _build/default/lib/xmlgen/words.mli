@@ -1,0 +1,24 @@
+(** Vocabulary for the XMark-style generator: the original XMLgen drew its
+    prose from Shakespeare; we embed a compatible fixed word list plus name
+    and location tables. *)
+
+val prose : string array
+
+val first_names : string array
+
+val last_names : string array
+
+val countries : string array
+
+val cities : string array
+
+val streets : string array
+
+val education_levels : string array
+
+val item_adjectives : string array
+
+val item_nouns : string array
+
+(** [sentence prng n] builds an [n]-word lowercase sentence. *)
+val sentence : Prng.t -> int -> string

@@ -1,0 +1,313 @@
+module Tree = Scj_xml.Tree
+
+type config = { scale : float; seed : int64 }
+
+let config ?(seed = 42L) ~scale () =
+  if not (scale > 0.0) then invalid_arg "Xmark.config: scale must be positive";
+  { scale; seed }
+
+let base_counts =
+  [
+    ("categories", 1000);
+    ("items", 21750);
+    ("persons", 25500);
+    ("open_auctions", 12000);
+    ("closed_auctions", 3000);
+  ]
+
+let base name = List.assoc name base_counts
+
+let scaled cfg base = max 1 (int_of_float (Float.round (float_of_int base *. cfg.scale)))
+
+(* ------------------------------------------------------------------ *)
+(* small value generators                                               *)
+(* ------------------------------------------------------------------ *)
+
+let money prng lo hi = Printf.sprintf "%d.%02d" (Prng.int_in prng lo hi) (Prng.int prng 100)
+
+let date prng =
+  Printf.sprintf "%02d/%02d/%04d" (Prng.int_in prng 1 12) (Prng.int_in prng 1 28)
+    (Prng.int_in prng 1998 2003)
+
+let time prng =
+  Printf.sprintf "%02d:%02d:%02d" (Prng.int prng 24) (Prng.int prng 60) (Prng.int prng 60)
+
+let person_name prng =
+  Prng.choice prng Words.first_names ^ " " ^ Prng.choice prng Words.last_names
+
+let item_name prng =
+  Prng.choice prng Words.item_adjectives ^ " " ^ Prng.choice prng Words.item_nouns
+
+let leaf name txt = Tree.elem name [ Tree.text txt ]
+
+(* ------------------------------------------------------------------ *)
+(* rich text: text | bold | keyword | emph, and parlist nesting         *)
+(* ------------------------------------------------------------------ *)
+
+(* <text> mixed content; markup children push the document height to ~11
+   as in the original XMark data. *)
+let gen_text prng =
+  (* adjacent text nodes are coalesced so that the tree is stable under a
+     serialize/parse roundtrip *)
+  let pieces = ref [] in
+  let push_text s =
+    match !pieces with
+    | Tree.Text prev :: rest -> pieces := Tree.Text (prev ^ " " ^ s) :: rest
+    | _ -> pieces := Tree.text s :: !pieces
+  in
+  let n = Prng.int_in prng 1 3 in
+  for _ = 1 to n do
+    push_text (Words.sentence prng (Prng.int_in prng 3 12));
+    if Prng.bool prng 0.3 then begin
+      let markup = Prng.choice prng [| "bold"; "keyword"; "emph" |] in
+      pieces := Tree.elem markup [ Tree.text (Words.sentence prng (Prng.int_in prng 1 3)) ] :: !pieces
+    end
+  done;
+  Tree.elem "text" (List.rev !pieces)
+
+let rec gen_parlist prng depth =
+  let n_items = Prng.int_in prng 1 3 in
+  let items =
+    List.init n_items (fun _ ->
+        let body =
+          if depth < 2 && Prng.bool prng 0.3 then gen_parlist prng (depth + 1) else gen_text prng
+        in
+        Tree.elem "listitem" [ body ])
+  in
+  Tree.elem "parlist" items
+
+let gen_description prng =
+  let body = if Prng.bool prng 0.4 then gen_parlist prng 1 else gen_text prng in
+  Tree.elem "description" [ body ]
+
+(* ------------------------------------------------------------------ *)
+(* entities                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_category prng i =
+  Tree.elem
+    ~attributes:[ ("id", Printf.sprintf "category%d" i) ]
+    "category"
+    [ leaf "name" (Words.sentence prng 2); gen_description prng ]
+
+let gen_catgraph prng n_categories n_edges =
+  let edges =
+    List.init n_edges (fun _ ->
+        Tree.elem "edge"
+          ~attributes:
+            [
+              ("from", Printf.sprintf "category%d" (Prng.int prng n_categories));
+              ("to", Printf.sprintf "category%d" (Prng.int prng n_categories));
+            ]
+          [])
+  in
+  Tree.elem "catgraph" edges
+
+let gen_mail prng =
+  Tree.elem "mail"
+    [
+      leaf "from" (person_name prng);
+      leaf "to" (person_name prng);
+      leaf "date" (date prng);
+      gen_text prng;
+    ]
+
+let gen_item prng ~n_categories i =
+  let n_incat = Prng.int_in prng 1 3 in
+  let incategories =
+    List.init n_incat (fun _ ->
+        Tree.elem "incategory"
+          ~attributes:[ ("category", Printf.sprintf "category%d" (Prng.int prng n_categories)) ]
+          [])
+  in
+  let n_mail = Prng.int prng 3 in
+  let mailbox = Tree.elem "mailbox" (List.init n_mail (fun _ -> gen_mail prng)) in
+  Tree.elem
+    ~attributes:[ ("id", Printf.sprintf "item%d" i); ("featured", if Prng.bool prng 0.1 then "yes" else "no") ]
+    "item"
+    ([
+       leaf "location" (Prng.choice prng Words.countries);
+       leaf "quantity" (string_of_int (Prng.int_in prng 1 10));
+       leaf "name" (item_name prng);
+       Tree.elem "payment" [ Tree.text "Creditcard" ];
+       gen_description prng;
+       Tree.elem "shipping" [ Tree.text "Will ship internationally" ];
+     ]
+    @ incategories @ [ mailbox ])
+
+(* The probability structure below fixes the paper's workload ratios:
+   half the persons have a profile, half of the profiles have an
+   education entry (cf. Table 1: 63,793 education under 127,984
+   profile for 255,000 persons). *)
+let gen_profile prng =
+  let interests =
+    List.init (Prng.int prng 4) (fun _ ->
+        Tree.elem "interest"
+          ~attributes:[ ("category", Printf.sprintf "category%d" (Prng.int prng 1000)) ]
+          [])
+  in
+  let education =
+    if Prng.bool prng 0.5 then [ leaf "education" (Prng.choice prng Words.education_levels) ]
+    else []
+  in
+  let gender = if Prng.bool prng 0.5 then [ leaf "gender" (if Prng.bool prng 0.5 then "male" else "female") ] else [] in
+  let age = if Prng.bool prng 0.5 then [ leaf "age" (string_of_int (Prng.int_in prng 18 80)) ] else [] in
+  Tree.elem
+    ~attributes:[ ("income", money prng 9_000 100_000) ]
+    "profile"
+    (interests @ education @ gender @ [ leaf "business" (if Prng.bool prng 0.5 then "Yes" else "No") ] @ age)
+
+let gen_person prng ~n_auctions i =
+  let address =
+    if Prng.bool prng 0.6 then
+      [
+        Tree.elem "address"
+          [
+            leaf "street" (Printf.sprintf "%d %s" (Prng.int_in prng 1 99) (Prng.choice prng Words.streets));
+            leaf "city" (Prng.choice prng Words.cities);
+            leaf "country" (Prng.choice prng Words.countries);
+            leaf "zipcode" (string_of_int (Prng.int_in prng 10000 99999));
+          ];
+      ]
+    else []
+  in
+  let phone = if Prng.bool prng 0.5 then [ leaf "phone" (Printf.sprintf "+%d (%d) %d" (Prng.int_in prng 1 99) (Prng.int_in prng 100 999) (Prng.int_in prng 1000000 9999999)) ] else [] in
+  let homepage = if Prng.bool prng 0.3 then [ leaf "homepage" (Printf.sprintf "http://www.example.com/~person%d" i) ] else [] in
+  let creditcard = if Prng.bool prng 0.4 then [ leaf "creditcard" (Printf.sprintf "%04d %04d %04d %04d" (Prng.int prng 10000) (Prng.int prng 10000) (Prng.int prng 10000) (Prng.int prng 10000)) ] else [] in
+  let profile = if Prng.bool prng 0.5 then [ gen_profile prng ] else [] in
+  let watches =
+    if Prng.bool prng 0.3 && n_auctions > 0 then
+      [
+        Tree.elem "watches"
+          (List.init (Prng.int_in prng 1 3) (fun _ ->
+               Tree.elem "watch"
+                 ~attributes:[ ("open_auction", Printf.sprintf "open_auction%d" (Prng.int prng n_auctions)) ]
+                 []));
+      ]
+    else []
+  in
+  Tree.elem
+    ~attributes:[ ("id", Printf.sprintf "person%d" i) ]
+    "person"
+    ([ leaf "name" (person_name prng); leaf "emailaddress" (Printf.sprintf "mailto:person%d@example.com" i) ]
+    @ phone @ address @ homepage @ creditcard @ profile @ watches)
+
+let gen_bidder prng ~n_persons =
+  Tree.elem "bidder"
+    [
+      leaf "date" (date prng);
+      leaf "time" (time prng);
+      Tree.elem "personref"
+        ~attributes:[ ("person", Printf.sprintf "person%d" (Prng.int prng n_persons)) ]
+        [];
+      leaf "increase" (money prng 1 50);
+    ]
+
+let gen_annotation prng ~n_persons =
+  Tree.elem "annotation"
+    [
+      Tree.elem "author"
+        ~attributes:[ ("person", Printf.sprintf "person%d" (Prng.int prng n_persons)) ]
+        [];
+      gen_description prng;
+      leaf "happiness" (string_of_int (Prng.int_in prng 1 10));
+    ]
+
+(* Bidder multiplicity: 10% of auctions attract no bidder; the others get
+   1 + Geometric(0.22) bidders (mean ≈ 4.5, so ≈5 increase nodes per
+   bidding auction — the shape behind Q2's ancestor statistics). *)
+let gen_open_auction prng ~n_persons ~n_items i =
+  let bidders =
+    if Prng.bool prng 0.1 then []
+    else List.init (min 20 (1 + Prng.geometric prng ~p:0.22)) (fun _ -> gen_bidder prng ~n_persons)
+  in
+  let reserve = if Prng.bool prng 0.4 then [ leaf "reserve" (money prng 50 500) ] else [] in
+  let privacy = if Prng.bool prng 0.3 then [ leaf "privacy" "Yes" ] else [] in
+  Tree.elem
+    ~attributes:[ ("id", Printf.sprintf "open_auction%d" i) ]
+    "open_auction"
+    ([ leaf "initial" (money prng 1 100) ]
+    @ reserve @ bidders
+    @ [ leaf "current" (money prng 1 1000) ]
+    @ privacy
+    @ [
+        Tree.elem "itemref" ~attributes:[ ("item", Printf.sprintf "item%d" (Prng.int prng n_items)) ] [];
+        Tree.elem "seller" ~attributes:[ ("person", Printf.sprintf "person%d" (Prng.int prng n_persons)) ] [];
+        gen_annotation prng ~n_persons;
+        leaf "quantity" (string_of_int (Prng.int_in prng 1 10));
+        leaf "type" (if Prng.bool prng 0.5 then "Regular" else "Featured");
+        Tree.elem "interval" [ leaf "start" (date prng); leaf "end" (date prng) ];
+      ])
+
+let gen_closed_auction prng ~n_persons ~n_items =
+  Tree.elem "closed_auction"
+    [
+      Tree.elem "seller" ~attributes:[ ("person", Printf.sprintf "person%d" (Prng.int prng n_persons)) ] [];
+      Tree.elem "buyer" ~attributes:[ ("person", Printf.sprintf "person%d" (Prng.int prng n_persons)) ] [];
+      Tree.elem "itemref" ~attributes:[ ("item", Printf.sprintf "item%d" (Prng.int prng n_items)) ] [];
+      leaf "price" (money prng 1 1000);
+      leaf "date" (date prng);
+      leaf "quantity" (string_of_int (Prng.int_in prng 1 5));
+      leaf "type" (if Prng.bool prng 0.5 then "Regular" else "Featured");
+      gen_annotation prng ~n_persons;
+    ]
+
+(* Region shares of the item population, mirroring XMark. *)
+let region_shares =
+  [
+    ("africa", 0.0253); ("asia", 0.092); ("australia", 0.1011); ("europe", 0.2759);
+    ("namerica", 0.4597); ("samerica", 0.046);
+  ]
+
+let generate cfg =
+  let prng = Prng.create cfg.seed in
+  let n_categories = scaled cfg (base "categories") in
+  let n_items = scaled cfg (base "items") in
+  let n_persons = scaled cfg (base "persons") in
+  let n_open = scaled cfg (base "open_auctions") in
+  let n_closed = scaled cfg (base "closed_auctions") in
+  let n_edges = scaled cfg 3800 in
+  let item_counter = ref 0 in
+  let regions =
+    let remaining = ref n_items in
+    let n_regions = List.length region_shares in
+    Tree.elem "regions"
+      (List.mapi
+         (fun idx (region, share) ->
+           let count =
+             if idx = n_regions - 1 then !remaining
+             else
+               let c = min !remaining (int_of_float (Float.round (float_of_int n_items *. share))) in
+               c
+           in
+           remaining := !remaining - count;
+           Tree.elem region
+             (List.init count (fun _ ->
+                  let i = !item_counter in
+                  incr item_counter;
+                  gen_item prng ~n_categories i)))
+         region_shares)
+  in
+  let categories =
+    Tree.elem "categories" (List.init n_categories (fun i -> gen_category prng i))
+  in
+  let catgraph = gen_catgraph prng n_categories n_edges in
+  let people = Tree.elem "people" (List.init n_persons (fun i -> gen_person prng ~n_auctions:n_open i)) in
+  let open_auctions =
+    Tree.elem "open_auctions"
+      (List.init n_open (fun i -> gen_open_auction prng ~n_persons ~n_items i))
+  in
+  let closed_auctions =
+    Tree.elem "closed_auctions"
+      (List.init n_closed (fun _ -> gen_closed_auction prng ~n_persons ~n_items))
+  in
+  Tree.elem "site" [ regions; categories; catgraph; people; open_auctions; closed_auctions ]
+
+let element_count tree name =
+  let rec walk acc = function
+    | Tree.Element e ->
+      let acc = if String.equal e.Tree.name name then acc + 1 else acc in
+      List.fold_left walk acc e.Tree.children
+    | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> acc
+  in
+  walk 0 tree

@@ -1,0 +1,40 @@
+(** XMark-style auction document generator (re-implementation of XMLgen
+    from the XMark benchmark project, which the paper uses as its document
+    source).
+
+    The document follows the XMark [site] DTD closely enough that the
+    paper's workload properties hold:
+
+    - query Q1's path [/descendant::profile/descendant::education] finds
+      [profile] elements at level 3 and [education] at level 4;
+    - query Q2's path [/descendant::increase/ancestor::bidder] finds
+      [increase] at level 4 with exactly one [bidder] ancestor at level 3,
+      where sibling bidders share the [open_auction] ancestor — the source
+      of the ≈75 % duplicate ratio in Fig. 11 (a);
+    - document height is ≈11 (deep [parlist]/[listitem] nesting inside
+      item descriptions), matching the "all documents were of height 11"
+      setup of Section 4.4.
+
+    Element and attribute counts scale linearly with the scale factor:
+    scale 1.0 corresponds to the original XMark scale 1 (≈ 100 MB of XML).
+    Generation is deterministic in (scale, seed). *)
+
+type config = { scale : float; seed : int64 }
+
+(** [config ~scale ()] with the default seed [42L]. *)
+val config : ?seed:int64 -> scale:float -> unit -> config
+
+(** Base entity counts at scale 1.0, as (entity, count) pairs:
+    categories, items, persons, open_auctions, closed_auctions. *)
+val base_counts : (string * int) list
+
+(** [scaled cfg base] is the number of instances to generate for an entity
+    with the given base count: [max 1 (round (base *. cfg.scale))]. *)
+val scaled : config -> int -> int
+
+(** Generate the [site] document tree. *)
+val generate : config -> Scj_xml.Tree.t
+
+(** [element_count t name] counts elements named [name] in [t] — handy for
+    workload sanity checks. *)
+val element_count : Scj_xml.Tree.t -> string -> int

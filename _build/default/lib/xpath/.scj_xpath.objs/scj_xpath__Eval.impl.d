@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Array Ast Buffer Float Format Fun Hashtbl List Option Parse Printf Scj_bat Scj_core Scj_encoding Scj_engine Scj_stats Seq String

@@ -1,0 +1,1 @@
+lib/xpath/eval.mli: Ast Scj_core Scj_encoding Scj_stats

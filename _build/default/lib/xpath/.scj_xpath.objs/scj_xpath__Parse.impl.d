@@ -1,0 +1,1 @@
+lib/xpath/parse.ml: Array Ast Format List Printf Result Scj_encoding String

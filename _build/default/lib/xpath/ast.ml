@@ -1,0 +1,167 @@
+module Axis = Scj_encoding.Axis
+
+type kind_test = Any_node | Text_node | Comment_node | Pi_node of string option
+
+type node_test = Name_test of string | Wildcard | Kind_test of kind_test
+
+type expr =
+  | Path_expr of path
+  | Literal of string
+  | Number of float
+  | Position
+  | Last
+  | Count of path
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Compare of cmp * expr * expr
+  | Fn_string of expr option
+  | Fn_number of expr option
+  | Fn_boolean of expr
+  | Fn_true
+  | Fn_false
+  | Fn_name of path option
+  | Fn_local_name of path option
+  | Fn_concat of expr list
+  | Fn_contains of expr * expr
+  | Fn_starts_with of expr * expr
+  | Fn_substring of expr * expr * expr option
+  | Fn_substring_before of expr * expr
+  | Fn_substring_after of expr * expr
+  | Fn_translate of expr * expr * expr
+  | Fn_string_length of expr option
+  | Fn_normalize_space of expr option
+  | Fn_sum of path
+  | Fn_floor of expr
+  | Fn_ceiling of expr
+  | Fn_round of expr
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+and step = { axis : Axis.t; test : node_test; predicates : expr list }
+
+and path = { absolute : bool; steps : step list }
+
+type query = path list
+
+(* Does the expression mention position() or last() anywhere? *)
+let rec mentions_position = function
+  | Position | Last -> true
+  | Number _ | Path_expr _ | Literal _ | Count _ | Fn_true | Fn_false | Fn_name _
+  | Fn_local_name _ | Fn_sum _ ->
+    false
+  | Not e | Fn_boolean e | Fn_floor e | Fn_ceiling e | Fn_round e -> mentions_position e
+  | Fn_string e | Fn_number e | Fn_string_length e | Fn_normalize_space e -> (
+    match e with None -> false | Some e -> mentions_position e)
+  | Fn_concat es -> List.exists mentions_position es
+  | Fn_contains (a, b) | Fn_starts_with (a, b) | Fn_substring_before (a, b)
+  | Fn_substring_after (a, b) ->
+    mentions_position a || mentions_position b
+  | Fn_translate (a, b, c) -> mentions_position a || mentions_position b || mentions_position c
+  | Fn_substring (a, b, c) ->
+    mentions_position a || mentions_position b
+    || (match c with None -> false | Some c -> mentions_position c)
+  | And (a, b) | Or (a, b) | Compare (_, a, b) -> mentions_position a || mentions_position b
+
+(* A predicate whose value is a number is compared against the context
+   position (XPath 1.0 §2.4) — so any number-valued top-level expression
+   is positional, while a numeric literal nested inside a comparison is
+   just a number. *)
+let yields_number = function
+  | Number _ | Count _ | Position | Last | Fn_number _ | Fn_sum _ | Fn_string_length _
+  | Fn_floor _ | Fn_ceiling _ | Fn_round _ ->
+    true
+  | Path_expr _ | Literal _ | Not _ | And _ | Or _ | Compare _ | Fn_string _ | Fn_boolean _
+  | Fn_true | Fn_false | Fn_name _ | Fn_local_name _ | Fn_concat _ | Fn_contains _
+  | Fn_starts_with _ | Fn_substring _ | Fn_substring_before _ | Fn_substring_after _
+  | Fn_translate _ | Fn_normalize_space _ ->
+    false
+
+let positional e = yields_number e || mentions_position e
+
+let step ?(predicates = []) axis test = { axis; test; predicates }
+
+let pp_kind_test ppf = function
+  | Any_node -> Format.pp_print_string ppf "node()"
+  | Text_node -> Format.pp_print_string ppf "text()"
+  | Comment_node -> Format.pp_print_string ppf "comment()"
+  | Pi_node None -> Format.pp_print_string ppf "processing-instruction()"
+  | Pi_node (Some t) -> Format.fprintf ppf "processing-instruction('%s')" t
+
+let pp_node_test ppf = function
+  | Name_test n -> Format.pp_print_string ppf n
+  | Wildcard -> Format.pp_print_char ppf '*'
+  | Kind_test k -> pp_kind_test ppf k
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Path_expr p -> pp_path ppf p
+  | Literal s -> Format.fprintf ppf "'%s'" s
+  | Number f ->
+    if Float.is_integer f then Format.fprintf ppf "%d" (int_of_float f)
+    else Format.fprintf ppf "%g" f
+  | Position -> Format.pp_print_string ppf "position()"
+  | Last -> Format.pp_print_string ppf "last()"
+  | Count p -> Format.fprintf ppf "count(%a)" pp_path p
+  | Not e -> Format.fprintf ppf "not(%a)" pp_expr e
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp_expr a pp_expr b
+  | Compare (c, a, b) -> Format.fprintf ppf "%a %s %a" pp_expr a (cmp_to_string c) pp_expr b
+  | Fn_string e -> pp_fn_opt ppf "string" e
+  | Fn_number e -> pp_fn_opt ppf "number" e
+  | Fn_boolean e -> Format.fprintf ppf "boolean(%a)" pp_expr e
+  | Fn_true -> Format.pp_print_string ppf "true()"
+  | Fn_false -> Format.pp_print_string ppf "false()"
+  | Fn_name p -> pp_fn_path_opt ppf "name" p
+  | Fn_local_name p -> pp_fn_path_opt ppf "local-name" p
+  | Fn_concat es ->
+    Format.fprintf ppf "concat(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_expr)
+      es
+  | Fn_contains (a, b) -> Format.fprintf ppf "contains(%a, %a)" pp_expr a pp_expr b
+  | Fn_starts_with (a, b) -> Format.fprintf ppf "starts-with(%a, %a)" pp_expr a pp_expr b
+  | Fn_substring (a, b, None) -> Format.fprintf ppf "substring(%a, %a)" pp_expr a pp_expr b
+  | Fn_substring (a, b, Some c) ->
+    Format.fprintf ppf "substring(%a, %a, %a)" pp_expr a pp_expr b pp_expr c
+  | Fn_substring_before (a, b) ->
+    Format.fprintf ppf "substring-before(%a, %a)" pp_expr a pp_expr b
+  | Fn_substring_after (a, b) ->
+    Format.fprintf ppf "substring-after(%a, %a)" pp_expr a pp_expr b
+  | Fn_translate (a, b, c) ->
+    Format.fprintf ppf "translate(%a, %a, %a)" pp_expr a pp_expr b pp_expr c
+  | Fn_string_length e -> pp_fn_opt ppf "string-length" e
+  | Fn_normalize_space e -> pp_fn_opt ppf "normalize-space" e
+  | Fn_sum p -> Format.fprintf ppf "sum(%a)" pp_path p
+  | Fn_floor e -> Format.fprintf ppf "floor(%a)" pp_expr e
+  | Fn_ceiling e -> Format.fprintf ppf "ceiling(%a)" pp_expr e
+  | Fn_round e -> Format.fprintf ppf "round(%a)" pp_expr e
+
+and pp_fn_opt ppf name = function
+  | None -> Format.fprintf ppf "%s()" name
+  | Some e -> Format.fprintf ppf "%s(%a)" name pp_expr e
+
+and pp_fn_path_opt ppf name = function
+  | None -> Format.fprintf ppf "%s()" name
+  | Some p -> Format.fprintf ppf "%s(%a)" name pp_path p
+
+and pp_step ppf s =
+  Format.fprintf ppf "%s::%a" (Axis.to_string s.axis) pp_node_test s.test;
+  List.iter (fun p -> Format.fprintf ppf "[%a]" pp_expr p) s.predicates
+
+and pp_path ppf p =
+  if p.absolute then Format.pp_print_char ppf '/';
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '/')
+    pp_step ppf p.steps
+
+let pp_query ppf q =
+  Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp_path ppf q
+
+let path_to_string p = Format.asprintf "%a" pp_path p

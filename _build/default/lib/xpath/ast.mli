@@ -1,0 +1,81 @@
+(** Abstract syntax for the supported XPath 1.0 subset.
+
+    Location paths with all thirteen axes, name/wildcard/kind node tests,
+    and predicates built from relative paths, comparisons, positions,
+    [count], [not], [and]/[or].  This covers the paper's workload (axis
+    steps with name tests, e.g.
+    [/descendant::bidder[descendant::increase]]) plus enough of the
+    predicate language for realistic applications. *)
+
+type kind_test =
+  | Any_node  (** [node()] *)
+  | Text_node  (** [text()] *)
+  | Comment_node  (** [comment()] *)
+  | Pi_node of string option  (** [processing-instruction(target?)] *)
+
+type node_test =
+  | Name_test of string
+  | Wildcard
+  | Kind_test of kind_test
+
+type expr =
+  | Path_expr of path  (** node-set valued; as a boolean: non-empty? *)
+  | Literal of string
+  | Number of float
+  | Position
+  | Last
+  | Count of path
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Compare of cmp * expr * expr
+  (* XPath 1.0 core function library (the subset useful without
+     namespaces and ids) *)
+  | Fn_string of expr option  (** [string(x?)]; no argument: context node *)
+  | Fn_number of expr option
+  | Fn_boolean of expr
+  | Fn_true
+  | Fn_false
+  | Fn_name of path option  (** [name(p?)]: tag name of the (first) node *)
+  | Fn_local_name of path option
+  | Fn_concat of expr list  (** two or more arguments *)
+  | Fn_contains of expr * expr
+  | Fn_starts_with of expr * expr
+  | Fn_substring of expr * expr * expr option
+      (** [substring(s, start, len?)], 1-based with XPath rounding *)
+  | Fn_substring_before of expr * expr
+  | Fn_substring_after of expr * expr
+  | Fn_translate of expr * expr * expr
+      (** [translate(s, from, to)]: map characters of [from] to [to];
+          characters of [from] beyond [to]'s length are removed *)
+  | Fn_string_length of expr option
+  | Fn_normalize_space of expr option
+  | Fn_sum of path
+  | Fn_floor of expr
+  | Fn_ceiling of expr
+  | Fn_round of expr
+
+and cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+and step = { axis : Scj_encoding.Axis.t; test : node_test; predicates : expr list }
+
+and path = { absolute : bool; steps : step list }
+
+(** A query is a union ([|]) of paths. *)
+type query = path list
+
+(** [positional e] — does [e] mention [position()]/[last()], or is it a
+    number-valued top-level expression (which XPath compares against the
+    context position)?  Positional predicates force per-context-node
+    evaluation. *)
+val positional : expr -> bool
+
+val step : ?predicates:expr list -> Scj_encoding.Axis.t -> node_test -> step
+
+val pp_step : Format.formatter -> step -> unit
+
+val pp_path : Format.formatter -> path -> unit
+
+val pp_query : Format.formatter -> query -> unit
+
+val path_to_string : path -> string

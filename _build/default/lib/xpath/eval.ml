@@ -1,0 +1,765 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+module Sj = Scj_core.Staircase
+module Naive = Scj_engine.Naive
+module Sql_plan = Scj_engine.Sql_plan
+module Mpmgjn = Scj_engine.Mpmgjn
+module Structjoin = Scj_engine.Structjoin
+
+type algorithm =
+  | Staircase of Sj.skip_mode
+  | Naive
+  | Sql of { delimiter : bool }
+  | Mpmgjn
+  | Structjoin
+
+type pushdown = [ `Never | `Always | `Cost_based ]
+
+type strategy = { algorithm : algorithm; pushdown : pushdown }
+
+let default_strategy = { algorithm = Staircase Sj.Estimation; pushdown = `Cost_based }
+
+let algorithm_to_string = function
+  | Staircase mode -> "staircase/" ^ Sj.skip_mode_to_string mode
+  | Naive -> "naive"
+  | Sql { delimiter } -> if delimiter then "sql+delimiter" else "sql"
+  | Mpmgjn -> "mpmgjn"
+  | Structjoin -> "structjoin"
+
+let strategy_to_string s =
+  let pd =
+    match s.pushdown with `Never -> "never" | `Always -> "always" | `Cost_based -> "cost"
+  in
+  Printf.sprintf "%s(pushdown=%s)" (algorithm_to_string s.algorithm) pd
+
+type session = {
+  doc : Doc.t;
+  strategy : strategy;
+  mutable sql_index : Sql_plan.index option;
+  views : (string, Sj.View.t) Hashtbl.t;
+}
+
+let session ?(strategy = default_strategy) doc =
+  { doc; strategy; sql_index = None; views = Hashtbl.create 16 }
+
+let doc_of_session s = s.doc
+
+let sql_index session =
+  match session.sql_index with
+  | Some idx -> idx
+  | None ->
+    let idx = Sql_plan.build_index session.doc in
+    session.sql_index <- Some idx;
+    idx
+
+(* Element-only view of a tag name (the principal node kind of name tests
+   on non-attribute axes). *)
+let tag_view session name =
+  match Hashtbl.find_opt session.views name with
+  | Some v -> v
+  | None ->
+    let doc = session.doc in
+    let positions = Doc.tag_positions doc name in
+    let kinds = Doc.kind_array doc in
+    let elements = Array.of_seq (Seq.filter (fun p -> kinds.(p) = Doc.Element) (Array.to_seq positions)) in
+    let view = Sj.View.of_nodeseq doc (Nodeseq.of_sorted_array elements) in
+    Hashtbl.add session.views name view;
+    view
+
+(* ------------------------------------------------------------------ *)
+(* cost model                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let estimated_step_touches session context direction =
+  let doc = session.doc in
+  match direction with
+  | `Descendant ->
+    (* pruned subtrees are disjoint, so the Equation-(1) sizes sum to the
+       exact number of nodes the un-pushed join touches *)
+    let pruned = Sj.prune_desc doc context in
+    Nodeseq.fold_left (fun acc c -> acc + Doc.size doc c) 0 pruned
+  | `Ancestor ->
+    let pruned = Sj.prune_anc doc context in
+    Nodeseq.fold_left (fun acc c -> acc + Doc.level doc c) 0 pruned
+
+let decide_pushdown session context direction ~tag =
+  let view = tag_view session tag in
+  Sj.View.length view < estimated_step_touches session context direction
+
+(* ------------------------------------------------------------------ *)
+(* axis evaluation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the element children of [c] (attributes skipped) using subtree
+   sizes: first child of c sits at c+1, siblings hop by size+1. *)
+let iter_children doc stats c f =
+  let sizes = Doc.size_array doc in
+  let kinds = Doc.kind_array doc in
+  let stop = c + sizes.(c) in
+  let i = ref (c + 1) in
+  while !i <= stop do
+    stats.Stats.scanned <- stats.Stats.scanned + 1;
+    if kinds.(!i) <> Doc.Attribute then f !i;
+    i := !i + sizes.(!i) + 1
+  done
+
+let structural_axis session stats context axis =
+  let doc = session.doc in
+  let sizes = Doc.size_array doc in
+  let kinds = Doc.kind_array doc in
+  let parents = Doc.parent_array doc in
+  let hits = Int_col.create ~capacity:32 () in
+  let collect c =
+    match axis with
+    | Axis.Child -> iter_children doc stats c (Int_col.append_unit hits)
+    | Axis.Attribute ->
+      let i = ref (c + 1) in
+      while !i < Doc.n_nodes doc && kinds.(!i) = Doc.Attribute && parents.(!i) = c do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        Int_col.append_unit hits !i;
+        incr i
+      done
+    | Axis.Parent -> if parents.(c) >= 0 then Int_col.append_unit hits parents.(c)
+    | Axis.Following_sibling ->
+      let p = parents.(c) in
+      if p >= 0 then begin
+        let stop = p + sizes.(p) in
+        let i = ref (c + sizes.(c) + 1) in
+        while !i <= stop do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          if kinds.(!i) <> Doc.Attribute then Int_col.append_unit hits !i;
+          i := !i + sizes.(!i) + 1
+        done
+      end
+    | Axis.Preceding_sibling ->
+      let p = parents.(c) in
+      if p >= 0 then
+        iter_children doc stats p (fun v -> if v < c then Int_col.append_unit hits v)
+    | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Descendant | Axis.Descendant_or_self
+    | Axis.Following | Axis.Namespace | Axis.Preceding | Axis.Self ->
+      assert false
+  in
+  Nodeseq.iter collect context;
+  (* sibling/child sets of distinct context nodes are disjoint, but they
+     interleave when context nodes are nested — sort once *)
+  Nodeseq.of_unsorted (Int_col.to_list hits)
+
+(* Partitioning-axis dispatch.  Returns the node sequence plus a flag
+   telling the caller that a name test was already applied (pushdown). *)
+let partitioning_axis session stats context axis test =
+  let doc = session.doc in
+  let direction =
+    match axis with
+    | Axis.Descendant -> Some `Descendant
+    | Axis.Ancestor -> Some `Ancestor
+    | Axis.Following | Axis.Preceding | Axis.Ancestor_or_self | Axis.Attribute | Axis.Child
+    | Axis.Descendant_or_self | Axis.Following_sibling | Axis.Namespace | Axis.Parent
+    | Axis.Preceding_sibling | Axis.Self ->
+      None
+  in
+  match (axis, session.strategy.algorithm) with
+  | (Axis.Descendant | Axis.Ancestor), Staircase mode -> (
+    let direction = Option.get direction in
+    let pushdown_tag =
+      match (test, session.strategy.pushdown) with
+      | Ast.Name_test tag, `Always -> Some tag
+      | Ast.Name_test tag, `Cost_based when decide_pushdown session context direction ~tag ->
+        Some tag
+      | (Ast.Name_test _ | Ast.Wildcard | Ast.Kind_test _), (`Never | `Always | `Cost_based) ->
+        None
+    in
+    match (direction, pushdown_tag) with
+    | `Descendant, None -> (Sj.desc ~mode ~stats doc context, false)
+    | `Ancestor, None -> (Sj.anc ~mode ~stats doc context, false)
+    | `Descendant, Some tag -> (Sj.desc_view ~mode ~stats doc (tag_view session tag) context, true)
+    | `Ancestor, Some tag -> (Sj.anc_view ~mode ~stats doc (tag_view session tag) context, true))
+  | Axis.Descendant, Naive -> (Naive.step ~stats doc context Axis.Descendant, false)
+  | Axis.Ancestor, Naive -> (Naive.step ~stats doc context Axis.Ancestor, false)
+  | (Axis.Descendant | Axis.Ancestor), Sql { delimiter } ->
+    let options = { Sql_plan.delimiter; early_nametest = None } in
+    let dir = if axis = Axis.Descendant then `Descendant else `Ancestor in
+    (Sql_plan.step ~stats ~options (sql_index session) doc context dir, false)
+  | Axis.Descendant, Mpmgjn -> (Mpmgjn.desc ~stats doc context, false)
+  | Axis.Ancestor, Mpmgjn -> (Mpmgjn.anc ~stats doc context, false)
+  | Axis.Descendant, Structjoin -> (Structjoin.desc ~stats doc context, false)
+  | Axis.Ancestor, Structjoin -> (Structjoin.anc ~stats doc context, false)
+  | Axis.Following, Naive -> (Naive.step ~stats doc context Axis.Following, false)
+  | Axis.Preceding, Naive -> (Naive.step ~stats doc context Axis.Preceding, false)
+  | Axis.Following, (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
+    (* the baselines of §4.4 are descendant/ancestor algorithms; the
+       degenerate single region query serves every strategy here *)
+    (Sj.following ~stats doc context, false)
+  | Axis.Preceding, (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
+    (Sj.preceding ~stats doc context, false)
+  | ( ( Axis.Ancestor_or_self | Axis.Attribute | Axis.Child | Axis.Descendant_or_self
+      | Axis.Following_sibling | Axis.Namespace | Axis.Parent | Axis.Preceding_sibling
+      | Axis.Self ),
+      _ ) ->
+    assert false
+
+(* ------------------------------------------------------------------ *)
+(* node tests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let apply_node_test doc axis test nodes =
+  let principal = if axis = Axis.Attribute then Doc.Attribute else Doc.Element in
+  let kinds = Doc.kind_array doc in
+  match test with
+  | Ast.Kind_test Ast.Any_node -> nodes
+  | Ast.Wildcard -> Nodeseq.filter (fun v -> kinds.(v) = principal) nodes
+  | Ast.Name_test name -> (
+    match Doc.tag_symbol doc name with
+    | None -> Nodeseq.empty
+    | Some sym -> Nodeseq.filter (fun v -> kinds.(v) = principal && Doc.tag doc v = sym) nodes)
+  | Ast.Kind_test Ast.Text_node -> Nodeseq.filter (fun v -> kinds.(v) = Doc.Text) nodes
+  | Ast.Kind_test Ast.Comment_node -> Nodeseq.filter (fun v -> kinds.(v) = Doc.Comment) nodes
+  | Ast.Kind_test (Ast.Pi_node target) ->
+    Nodeseq.filter
+      (fun v ->
+        kinds.(v) = Doc.Pi
+        &&
+        match target with
+        | None -> true
+        | Some t -> ( match Doc.tag_name doc v with Some name -> String.equal name t | None -> false))
+      nodes
+
+let eval_axis session stats context axis test =
+  match axis with
+  | Axis.Descendant | Axis.Ancestor | Axis.Following | Axis.Preceding ->
+    partitioning_axis session stats context axis test
+  | Axis.Descendant_or_self ->
+    (* desc-or-self::T = desc::T ∪ self::T — passing the test through
+       keeps name-test pushdown available for the descendant part *)
+    let desc, tested = partitioning_axis session stats context Axis.Descendant test in
+    let self =
+      if tested then apply_node_test session.doc Axis.Descendant_or_self test context
+      else context
+    in
+    (Nodeseq.union desc self, tested)
+  | Axis.Ancestor_or_self ->
+    let anc, tested = partitioning_axis session stats context Axis.Ancestor test in
+    let self =
+      if tested then apply_node_test session.doc Axis.Ancestor_or_self test context else context
+    in
+    (Nodeseq.union anc self, tested)
+  | Axis.Self -> (context, false)
+  | Axis.Namespace -> (Nodeseq.empty, false)
+  | Axis.Child | Axis.Attribute | Axis.Parent | Axis.Following_sibling | Axis.Preceding_sibling
+    ->
+    (structural_axis session stats context axis, false)
+
+let reverse_axis = function
+  | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Preceding | Axis.Preceding_sibling | Axis.Parent
+    ->
+    true
+  | Axis.Attribute | Axis.Child | Axis.Descendant | Axis.Descendant_or_self | Axis.Following
+  | Axis.Following_sibling | Axis.Namespace | Axis.Self ->
+    false
+
+(* ------------------------------------------------------------------ *)
+(* predicate expressions (XPath 1.0 value model)                        *)
+(* ------------------------------------------------------------------ *)
+
+type value = Nodes of Nodeseq.t | Bool of bool | Num of float | Str of string
+
+let to_bool = function
+  | Bool b -> b
+  | Nodes s -> not (Nodeseq.is_empty s)
+  | Num f -> f <> 0.0 && not (Float.is_nan f)
+  | Str s -> String.length s > 0
+
+let number_of_string s = match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan
+
+let to_num doc = function
+  | Num f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | Str s -> number_of_string s
+  | Nodes s -> (
+    match Nodeseq.first s with None -> Float.nan | Some v -> number_of_string (Doc.string_value doc v))
+
+(* XPath 1.0 string() conversion. *)
+let to_str doc = function
+  | Str s -> s
+  | Bool b -> if b then "true" else "false"
+  | Num f ->
+    if Float.is_nan f then "NaN"
+    else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+    else string_of_float f
+  | Nodes s -> (
+    match Nodeseq.first s with None -> "" | Some v -> Doc.string_value doc v)
+
+let is_xml_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let normalize_space s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      if is_xml_space c then begin
+        if Buffer.length buf > 0 then pending := true
+      end
+      else begin
+        if !pending then Buffer.add_char buf ' ';
+        pending := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+(* substring(s, start, len?) with the XPath 1.0 rounding rules: positions
+   are 1-based, both arguments are round()-ed, NaN bounds yield "".
+   Positions are bytes, not code points — documented in the README. *)
+let xpath_substring s start len =
+  let n = String.length s in
+  let round_half_up f = Float.round f in
+  if Float.is_nan start then ""
+  else begin
+    let first = round_half_up start in
+    let limit =
+      match len with
+      | None -> Float.of_int (n + 1)
+      | Some l -> if Float.is_nan l then Float.neg_infinity else first +. round_half_up l
+    in
+    let buf = Buffer.create n in
+    for p = 1 to n do
+      let fp = Float.of_int p in
+      if fp >= first && fp < limit then Buffer.add_char buf s.[p - 1]
+    done;
+    Buffer.contents buf
+  end
+
+let string_contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let starts_with ~prefix s =
+  String.length prefix <= String.length s
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* first occurrence of [sep] in [s], or None *)
+let find_sub s sep =
+  let n = String.length sep and h = String.length s in
+  if n = 0 then None
+  else
+    let rec at i = if i + n > h then None else if String.sub s i n = sep then Some i else at (i + 1) in
+    at 0
+
+let substring_before s sep =
+  match find_sub s sep with None -> "" | Some i -> String.sub s 0 i
+
+let substring_after s sep =
+  match find_sub s sep with
+  | None -> ""
+  | Some i -> String.sub s (i + String.length sep) (String.length s - i - String.length sep)
+
+(* translate(s, from, into): map the i-th character of [from] to the i-th
+   of [into]; characters of [from] without a counterpart are deleted *)
+let translate s ~from ~into =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match String.index_opt from c with
+      | None -> Buffer.add_char buf c
+      | Some i -> if i < String.length into then Buffer.add_char buf into.[i])
+    s;
+  Buffer.contents buf
+
+let local_name name =
+  match String.rindex_opt name ':' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+let cmp_num op a b =
+  match op with
+  | Ast.Eq -> a = b
+  | Ast.Neq -> a <> b
+  | Ast.Lt -> a < b
+  | Ast.Le -> a <= b
+  | Ast.Gt -> a > b
+  | Ast.Ge -> a >= b
+
+let cmp_str op a b =
+  match op with
+  | Ast.Eq -> String.equal a b
+  | Ast.Neq -> not (String.equal a b)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> cmp_num op (number_of_string a) (number_of_string b)
+
+(* XPath 1.0 comparison: node-sets compare existentially. *)
+let rec compare_values doc op left right =
+  match (left, right) with
+  | Nodes ls, Nodes rs ->
+    let values s = List.map (Doc.string_value doc) (Nodeseq.to_list s) in
+    let rvals = values rs in
+    List.exists (fun l -> List.exists (fun r -> cmp_str op l r) rvals) (values ls)
+  | Nodes ls, other ->
+    List.exists
+      (fun v -> compare_values doc op (Str (Doc.string_value doc v)) other)
+      (Nodeseq.to_list ls)
+  | other, Nodes rs ->
+    List.exists
+      (fun v -> compare_values doc op other (Str (Doc.string_value doc v)))
+      (Nodeseq.to_list rs)
+  | (Bool _, _ | _, Bool _) when op = Ast.Eq || op = Ast.Neq ->
+    cmp_num op (to_num doc left) (to_num doc right)
+  | (Num _, _ | _, Num _) -> cmp_num op (to_num doc left) (to_num doc right)
+  | Str a, Str b -> cmp_str op a b
+  | (Bool _ | Str _), (Bool _ | Str _) -> cmp_num op (to_num doc left) (to_num doc right)
+
+(* ------------------------------------------------------------------ *)
+(* full path evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval_expr session stats ~node ~pos ~last = function
+  | Ast.Literal s -> Str s
+  | Ast.Number f -> Num f
+  | Ast.Position -> Num (float_of_int pos)
+  | Ast.Last -> Num (float_of_int last)
+  | Ast.Path_expr p -> Nodes (eval_path_inner session stats (Nodeseq.singleton node) p)
+  | Ast.Count p -> Num (float_of_int (Nodeseq.length (eval_path_inner session stats (Nodeseq.singleton node) p)))
+  | Ast.Not e -> Bool (not (to_bool (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.And (a, b) ->
+    Bool
+      (to_bool (eval_expr session stats ~node ~pos ~last a)
+      && to_bool (eval_expr session stats ~node ~pos ~last b))
+  | Ast.Or (a, b) ->
+    Bool
+      (to_bool (eval_expr session stats ~node ~pos ~last a)
+      || to_bool (eval_expr session stats ~node ~pos ~last b))
+  | Ast.Compare (op, a, b) ->
+    let va = eval_expr session stats ~node ~pos ~last a in
+    let vb = eval_expr session stats ~node ~pos ~last b in
+    Bool (compare_values session.doc op va vb)
+  | Ast.Fn_true -> Bool true
+  | Ast.Fn_false -> Bool false
+  | Ast.Fn_boolean e -> Bool (to_bool (eval_expr session stats ~node ~pos ~last e))
+  | Ast.Fn_string e -> (
+    match e with
+    | None -> Str (Doc.string_value session.doc node)
+    | Some e -> Str (to_str session.doc (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.Fn_number e -> (
+    match e with
+    | None -> Num (number_of_string (Doc.string_value session.doc node))
+    | Some e -> Num (to_num session.doc (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.Fn_name p -> Str (name_of_path session stats ~node p ~local:false)
+  | Ast.Fn_local_name p -> Str (name_of_path session stats ~node p ~local:true)
+  | Ast.Fn_concat es ->
+    Str
+      (String.concat ""
+         (List.map (fun e -> to_str session.doc (eval_expr session stats ~node ~pos ~last e)) es))
+  | Ast.Fn_contains (a, b) ->
+    let ha = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
+    let ne = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    Bool (string_contains ~needle:ne ha)
+  | Ast.Fn_starts_with (a, b) ->
+    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
+    let prefix = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    Bool (starts_with ~prefix s)
+  | Ast.Fn_substring (a, b, c) ->
+    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
+    let start = to_num session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let len =
+      Option.map (fun e -> to_num session.doc (eval_expr session stats ~node ~pos ~last e)) c
+    in
+    Str (xpath_substring s start len)
+  | Ast.Fn_substring_before (a, b) ->
+    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
+    let sep = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    Str (substring_before s sep)
+  | Ast.Fn_substring_after (a, b) ->
+    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
+    let sep = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    Str (substring_after s sep)
+  | Ast.Fn_translate (a, b, c) ->
+    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
+    let from = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let into = to_str session.doc (eval_expr session stats ~node ~pos ~last c) in
+    Str (translate s ~from ~into)
+  | Ast.Fn_string_length e ->
+    let s =
+      match e with
+      | None -> Doc.string_value session.doc node
+      | Some e -> to_str session.doc (eval_expr session stats ~node ~pos ~last e)
+    in
+    Num (float_of_int (String.length s))
+  | Ast.Fn_normalize_space e ->
+    let s =
+      match e with
+      | None -> Doc.string_value session.doc node
+      | Some e -> to_str session.doc (eval_expr session stats ~node ~pos ~last e)
+    in
+    Str (normalize_space s)
+  | Ast.Fn_sum p ->
+    let nodes = eval_path_inner session stats (Nodeseq.singleton node) p in
+    Num
+      (Nodeseq.fold_left
+         (fun acc v -> acc +. number_of_string (Doc.string_value session.doc v))
+         0.0 nodes)
+  | Ast.Fn_floor e -> Num (Float.floor (to_num session.doc (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.Fn_ceiling e ->
+    Num (Float.ceil (to_num session.doc (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.Fn_round e ->
+    (* XPath round(): half goes toward positive infinity *)
+    Num (Float.floor (to_num session.doc (eval_expr session stats ~node ~pos ~last e) +. 0.5))
+
+and name_of_path session stats ~node p ~local =
+  let target =
+    match p with
+    | None -> Some node
+    | Some p -> Nodeseq.first (eval_path_inner session stats (Nodeseq.singleton node) p)
+  in
+  match target with
+  | None -> ""
+  | Some v -> (
+    match Doc.tag_name session.doc v with
+    | None -> ""
+    | Some name -> if local then local_name name else name)
+
+(* Predicate truth: a numeric predicate value means position() = value. *)
+and predicate_holds session stats ~node ~pos ~last expr =
+  match eval_expr session stats ~node ~pos ~last expr with
+  | Num f -> float_of_int pos = f
+  | (Bool _ | Str _ | Nodes _) as v -> to_bool v
+
+(* Apply the predicate list to an ordered candidate list (axis order). *)
+and apply_predicates session stats ~ordered predicates =
+  List.fold_left
+    (fun candidates expr ->
+      let last = List.length candidates in
+      List.filteri
+        (fun i node -> predicate_holds session stats ~node ~pos:(i + 1) ~last expr)
+        candidates)
+    ordered predicates
+
+and eval_step session stats context (s : Ast.step) =
+  if s.Ast.predicates = [] || not (List.exists Ast.positional s.Ast.predicates) then begin
+    (* set-at-a-time: evaluate the axis for the whole context, filter *)
+    let nodes, tested = eval_axis session stats context s.Ast.axis s.Ast.test in
+    let nodes = if tested then nodes else apply_node_test session.doc s.Ast.axis s.Ast.test nodes in
+    match s.Ast.predicates with
+    | [] -> nodes
+    | predicates ->
+      (* non-positional predicates are per-node boolean filters *)
+      Nodeseq.filter
+        (fun node ->
+          List.for_all (fun e -> predicate_holds session stats ~node ~pos:1 ~last:1 e) predicates)
+        nodes
+  end
+  else begin
+    (* positional predicates: XPath proximity positions are relative to
+       each context node's own axis result, so evaluate per context node *)
+    let results =
+      Nodeseq.fold_left
+        (fun acc c ->
+          let single = Nodeseq.singleton c in
+          let nodes, tested = eval_axis session stats single s.Ast.axis s.Ast.test in
+          let nodes =
+            if tested then nodes else apply_node_test session.doc s.Ast.axis s.Ast.test nodes
+          in
+          let ordered =
+            let l = Nodeseq.to_list nodes in
+            if reverse_axis s.Ast.axis then List.rev l else l
+          in
+          let kept = apply_predicates session stats ~ordered s.Ast.predicates in
+          Nodeseq.of_unsorted kept :: acc)
+        [] context
+    in
+    List.fold_left Nodeseq.union Nodeseq.empty results
+  end
+
+(* the '//' abbreviation inserts this bridge step *)
+and is_bridge (s : Ast.step) =
+  s.Ast.axis = Axis.Descendant_or_self
+  && s.Ast.test = Ast.Kind_test Ast.Any_node
+  && s.Ast.predicates = []
+
+(* Standard rewrite: descendant-or-self::node()/child::T = descendant::T
+   — sound whenever T's predicates are not positional (positions in the
+   original are relative to each parent, in the rewrite to the whole
+   descendant set).  This lets '//tag' profit from name-test pushdown. *)
+and rewrite_path (p : Ast.path) =
+  let rec rewrite steps =
+    match steps with
+    | bridge :: (next : Ast.step) :: rest
+      when is_bridge bridge
+           && next.Ast.axis = Axis.Child
+           && not (List.exists Ast.positional next.Ast.predicates) ->
+      rewrite ({ next with Ast.axis = Axis.Descendant } :: rest)
+    | s :: rest -> s :: rewrite rest
+    | [] -> []
+  in
+  { p with Ast.steps = rewrite p.Ast.steps }
+
+(* An absolute path starts at the (virtual) document node, which the
+   encoding does not materialize.  The first step is remapped onto the
+   root element: [child::T] of the document node selects the root element
+   itself; [descendant(-or-self)::T] selects the root element and its
+   descendants; the remaining axes are empty at the document node.  The
+   lone path [/] denotes the root element (divergence from XPath's
+   document node, documented in the README). *)
+and eval_document_step session stats (s : Ast.step) =
+  let root = Nodeseq.singleton (Doc.root session.doc) in
+  let remapped_axis =
+    match s.Ast.axis with
+    | Axis.Child | Axis.Self -> Some Axis.Self
+    | Axis.Descendant | Axis.Descendant_or_self -> Some Axis.Descendant_or_self
+    | Axis.Ancestor_or_self -> Some Axis.Self
+    | Axis.Ancestor | Axis.Attribute | Axis.Following | Axis.Following_sibling | Axis.Namespace
+    | Axis.Parent | Axis.Preceding | Axis.Preceding_sibling ->
+      None
+  in
+  match remapped_axis with
+  | None -> Nodeseq.empty
+  | Some axis -> eval_step session stats root { s with Ast.axis }
+
+and eval_path_inner session stats context (p : Ast.path) =
+  let p = rewrite_path p in
+  if p.Ast.absolute then
+    match p.Ast.steps with
+    | [] -> Nodeseq.singleton (Doc.root session.doc)
+    | bridge :: second :: rest when is_bridge bridge && second.Ast.axis = Axis.Child ->
+      (* '//x': the root element is a child of the document node, so it
+         belongs to the result when it matches — evaluate it via self *)
+      let start = eval_document_step session stats bridge in
+      let via_children = eval_step session stats start second in
+      let via_root =
+        eval_step session stats
+          (Nodeseq.singleton (Doc.root session.doc))
+          { second with Ast.axis = Axis.Self }
+      in
+      List.fold_left
+        (fun ctx s -> eval_step session stats ctx s)
+        (Nodeseq.union via_children via_root)
+        rest
+    | first :: rest ->
+      let start = eval_document_step session stats first in
+      List.fold_left (fun ctx s -> eval_step session stats ctx s) start rest
+  else List.fold_left (fun ctx s -> eval_step session stats ctx s) context p.Ast.steps
+
+let ensure_stats = function None -> Stats.create () | Some s -> s
+
+let step ?stats session context s = eval_step session (ensure_stats stats) context s
+
+let default_context session = Nodeseq.singleton (Doc.root session.doc)
+
+let eval_path ?stats ?context session p =
+  let context = match context with Some c -> c | None -> default_context session in
+  eval_path_inner session (ensure_stats stats) context p
+
+let eval_query ?stats ?context session q =
+  let stats = ensure_stats stats in
+  let context = match context with Some c -> c | None -> default_context session in
+  List.fold_left
+    (fun acc p -> Nodeseq.union acc (eval_path_inner session stats context p))
+    Nodeseq.empty q
+
+(* ------------------------------------------------------------------ *)
+(* explain                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let explain ?context session (p : Ast.path) =
+  let doc = session.doc in
+  let buf = Buffer.create 512 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "path: %s\n" (Ast.path_to_string p);
+  let p =
+    let rewritten = rewrite_path p in
+    if rewritten <> p then
+      out "rewritten: %s   (desc-or-self/child collapsed to descendant)\n"
+        (Ast.path_to_string rewritten);
+    rewritten
+  in
+  out "strategy: %s\n" (strategy_to_string session.strategy);
+  let start =
+    if p.Ast.absolute then Nodeseq.singleton (Doc.root doc)
+    else match context with Some c -> c | None -> Nodeseq.singleton (Doc.root doc)
+  in
+  if p.Ast.absolute then
+    out "start: document node (emulated at the root element, pre=0)\n"
+  else out "start: context of %d node(s)\n" (Nodeseq.length start);
+  let describe_step i ctx (s : Ast.step) =
+    let stats = Stats.create () in
+    let result =
+      if p.Ast.absolute && i = 0 then eval_document_step session stats s
+      else eval_step session stats ctx s
+    in
+    out "step %d: %s\n" (i + 1) (Format.asprintf "%a" Ast.pp_step s);
+    (match (s.Ast.axis, session.strategy.algorithm, s.Ast.test) with
+    | (Axis.Descendant | Axis.Ancestor | Axis.Descendant_or_self | Axis.Ancestor_or_self), Staircase mode, test ->
+      out "  algorithm: staircase join (%s)\n" (Sj.skip_mode_to_string mode);
+      (match test with
+      | Ast.Name_test tag ->
+        let direction =
+          match s.Ast.axis with
+          | Axis.Descendant | Axis.Descendant_or_self -> `Descendant
+          | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Attribute | Axis.Child
+          | Axis.Following | Axis.Following_sibling | Axis.Namespace | Axis.Parent
+          | Axis.Preceding | Axis.Preceding_sibling | Axis.Self ->
+            `Ancestor
+        in
+        let fragment = Sj.View.length (tag_view session tag) in
+        let estimate = estimated_step_touches session ctx direction in
+        let pushed =
+          match session.strategy.pushdown with
+          | `Never -> false
+          | `Always -> true
+          | `Cost_based -> fragment < estimate
+        in
+        out "  name test '%s': fragment %d node(s) vs. estimated scan of %d node(s)\n" tag
+          fragment estimate;
+        out "  pushdown: %s\n" (if pushed then "yes (join over the tag fragment)" else "no (filter after the join)")
+      | Ast.Wildcard | Ast.Kind_test _ -> ())
+    | (Axis.Descendant | Axis.Ancestor), algorithm, _ ->
+      out "  algorithm: %s\n" (algorithm_to_string algorithm)
+    | (Axis.Following | Axis.Preceding), _, _ ->
+      out "  algorithm: pruned single region query (context degenerates, §3.1)\n"
+    | (Axis.Child | Axis.Parent | Axis.Attribute | Axis.Following_sibling
+      | Axis.Preceding_sibling | Axis.Self | Axis.Namespace | Axis.Descendant_or_self
+      | Axis.Ancestor_or_self), _, _ ->
+      out "  algorithm: structural size/parent arithmetic\n");
+    if s.Ast.predicates <> [] then
+      out "  predicates: %d, %s\n"
+        (List.length s.Ast.predicates)
+        (if List.exists Ast.positional s.Ast.predicates then
+           "positional -> per-context-node evaluation"
+        else "non-positional -> set-at-a-time filter");
+    out "  cardinality: %d -> %d   work: %s\n" (Nodeseq.length ctx) (Nodeseq.length result)
+      (Format.asprintf "%a" Stats.pp stats);
+    result
+  in
+  let _final = List.fold_left (fun (i, ctx) s -> (i + 1, describe_step i ctx s)) (0, start) p.Ast.steps in
+  (* the pure-SQL rendition of §2.1, when the path is translatable *)
+  let sql_steps =
+    List.map
+      (fun (s : Ast.step) ->
+        let name_test =
+          match s.Ast.test with
+          | Ast.Name_test tag -> Some (Some tag)
+          | Ast.Kind_test Ast.Any_node -> Some None
+          | Ast.Wildcard | Ast.Kind_test _ -> None
+        in
+        match (s.Ast.axis, name_test, s.Ast.predicates) with
+        | Axis.Descendant, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Descendant; name_test = nt }
+        | Axis.Ancestor, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Ancestor; name_test = nt }
+        | Axis.Following, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Following; name_test = nt }
+        | Axis.Preceding, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Preceding; name_test = nt }
+        | _, _, _ -> None)
+      p.Ast.steps
+  in
+  (if sql_steps <> [] && List.for_all Option.is_some sql_steps then
+     let steps = List.filter_map Fun.id sql_steps in
+     out "\nequivalent pure-SQL translation (§2.1):\n%s\n" (Scj_engine.Sqlgen.of_steps steps));
+  Buffer.contents buf
+
+let run ?stats ?context session input =
+  match Parse.query input with
+  | Ok q -> Ok (eval_query ?stats ?context session q)
+  | Error _ as e -> e
+
+let run_exn ?stats ?context session input =
+  match run ?stats ?context session input with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Eval.run_exn: " ^ e)

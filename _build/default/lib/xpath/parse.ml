@@ -1,0 +1,589 @@
+module Axis = Scj_encoding.Axis
+
+type token =
+  | Slash
+  | Dslash
+  | Axis_sep
+  | Lbrack
+  | Rbrack
+  | Lparen
+  | Rparen
+  | At
+  | Pipe
+  | Dot
+  | Dotdot
+  | Star
+  | Comma
+  | Dollar
+  | Assign
+  | Lbrace
+  | Rbrace
+  | Plus
+  | Minus
+  | Name of string
+  | Lit of string
+  | Num of float
+  | Op of string
+  | Eof
+
+let token_to_string = function
+  | Slash -> "/"
+  | Dslash -> "//"
+  | Axis_sep -> "::"
+  | Lbrack -> "["
+  | Rbrack -> "]"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | At -> "@"
+  | Pipe -> "|"
+  | Dot -> "."
+  | Dotdot -> ".."
+  | Star -> "*"
+  | Comma -> ","
+  | Dollar -> "$"
+  | Assign -> ":="
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Name n -> n
+  | Lit s -> Printf.sprintf "'%s'" s
+  | Num f -> string_of_float f
+  | Op o -> o
+  | Eof -> "<end of input>"
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* lexer                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let is_name_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_name_char c = is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some input.[!i + k] else None in
+  while !i < n do
+    let c = input.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '/' ->
+      if peek 1 = Some '/' then begin
+        push Dslash;
+        i := !i + 2
+      end
+      else begin
+        push Slash;
+        incr i
+      end
+    | ':' ->
+      if peek 1 = Some ':' then begin
+        push Axis_sep;
+        i := !i + 2
+      end
+      else if peek 1 = Some '=' then begin
+        push Assign;
+        i := !i + 2
+      end
+      else fail "stray ':' at offset %d" !i
+    | '[' ->
+      push Lbrack;
+      incr i
+    | ']' ->
+      push Rbrack;
+      incr i
+    | '(' ->
+      push Lparen;
+      incr i
+    | ')' ->
+      push Rparen;
+      incr i
+    | '@' ->
+      push At;
+      incr i
+    | '|' ->
+      push Pipe;
+      incr i
+    | ',' ->
+      push Comma;
+      incr i
+    | '$' ->
+      push Dollar;
+      incr i
+    | '{' ->
+      push Lbrace;
+      incr i
+    | '}' ->
+      push Rbrace;
+      incr i
+    | '+' ->
+      push Plus;
+      incr i
+    | '-' ->
+      push Minus;
+      incr i
+    | '*' ->
+      push Star;
+      incr i
+    | '.' ->
+      if peek 1 = Some '.' then begin
+        push Dotdot;
+        i := !i + 2
+      end
+      else if (match peek 1 with Some d when is_digit d -> true | _ -> false) then begin
+        (* .5 style number *)
+        let start = !i in
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done;
+        push (Num (float_of_string ("0" ^ String.sub input start (!i - start))))
+      end
+      else begin
+        push Dot;
+        incr i
+      end
+    | '=' ->
+      push (Op "=");
+      incr i
+    | '!' ->
+      if peek 1 = Some '=' then begin
+        push (Op "!=");
+        i := !i + 2
+      end
+      else fail "stray '!' at offset %d" !i
+    | '<' ->
+      if peek 1 = Some '=' then begin
+        push (Op "<=");
+        i := !i + 2
+      end
+      else begin
+        push (Op "<");
+        incr i
+      end
+    | '>' ->
+      if peek 1 = Some '=' then begin
+        push (Op ">=");
+        i := !i + 2
+      end
+      else begin
+        push (Op ">");
+        incr i
+      end
+    | '\'' | '"' ->
+      let quote = c in
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && input.[!j] <> quote do
+        incr j
+      done;
+      if !j >= n then fail "unterminated string literal at offset %d" !i;
+      push (Lit (String.sub input start (!j - start)));
+      i := !j + 1
+    | d when is_digit d ->
+      let start = !i in
+      while !i < n && is_digit input.[!i] do
+        incr i
+      done;
+      if !i < n && input.[!i] = '.' && (match peek 1 with Some d when is_digit d -> true | _ -> false)
+      then begin
+        incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      push (Num (float_of_string (String.sub input start (!i - start))))
+    | c when is_name_start c ->
+      let start = !i in
+      let continue = ref true in
+      while !continue do
+        while !i < n && is_name_char input.[!i] do
+          incr i
+        done;
+        (* a single ':' followed by a name char is a QName separator; a
+           double ':' terminates the name (axis separator) *)
+        if
+          !i < n
+          && input.[!i] = ':'
+          && (match peek 1 with Some c when is_name_start c -> peek 1 <> None && input.[!i + 1] <> ':' | _ -> false)
+        then incr i
+        else continue := false
+      done;
+      push (Name (String.sub input start (!i - start)))
+    | c -> fail "unexpected character %C at offset %d" c !i);
+    ()
+  done;
+  push Eof;
+  List.rev !tokens |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* parser                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type state = { tokens : token array; mutable pos : int }
+
+let current st = st.tokens.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st t =
+  if current st = t then advance st
+  else fail "expected %s, found %s" (token_to_string t) (token_to_string (current st))
+
+let axis_of_name name =
+  match Axis.of_string name with
+  | Some axis -> axis
+  | None -> fail "unknown axis %s" name
+
+let rec parse_query st =
+  let first = parse_path st in
+  let rec more acc =
+    match current st with
+    | Pipe ->
+      advance st;
+      more (parse_path st :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+and parse_path st =
+  match current st with
+  | Slash -> (
+    advance st;
+    match current st with
+    | Eof | Rbrack | Rparen | Rbrace | Pipe | Op _ | Comma -> { Ast.absolute = true; steps = [] }
+    | _ -> { Ast.absolute = true; steps = parse_relative st })
+  | Dslash ->
+    advance st;
+    let steps = parse_relative st in
+    {
+      Ast.absolute = true;
+      steps = Ast.step Axis.Descendant_or_self (Ast.Kind_test Ast.Any_node) :: steps;
+    }
+  | _ -> { Ast.absolute = false; steps = parse_relative st }
+
+and parse_relative st =
+  let first = parse_step st in
+  let rec more acc =
+    match current st with
+    | Slash ->
+      advance st;
+      more (parse_step st :: acc)
+    | Dslash ->
+      advance st;
+      let bridge = Ast.step Axis.Descendant_or_self (Ast.Kind_test Ast.Any_node) in
+      more (parse_step st :: bridge :: acc)
+    | _ -> List.rev acc
+  in
+  more [ first ]
+
+and parse_step st =
+  match current st with
+  | Dot ->
+    advance st;
+    Ast.step Axis.Self (Ast.Kind_test Ast.Any_node)
+  | Dotdot ->
+    advance st;
+    Ast.step Axis.Parent (Ast.Kind_test Ast.Any_node)
+  | At ->
+    advance st;
+    let test = parse_node_test st in
+    let predicates = parse_predicates st in
+    Ast.step ~predicates Axis.Attribute test
+  | Name name when st.tokens.(st.pos + 1) = Axis_sep ->
+    advance st;
+    advance st;
+    let axis = axis_of_name name in
+    let test = parse_node_test st in
+    let predicates = parse_predicates st in
+    Ast.step ~predicates axis test
+  | Name _ | Star ->
+    let test = parse_node_test st in
+    let predicates = parse_predicates st in
+    Ast.step ~predicates Axis.Child test
+  | t -> fail "expected a step, found %s" (token_to_string t)
+
+and parse_node_test st =
+  match current st with
+  | Star ->
+    advance st;
+    Ast.Wildcard
+  | Name name when st.tokens.(st.pos + 1) = Lparen -> (
+    match name with
+    | "node" ->
+      advance st;
+      expect st Lparen;
+      expect st Rparen;
+      Ast.Kind_test Ast.Any_node
+    | "text" ->
+      advance st;
+      expect st Lparen;
+      expect st Rparen;
+      Ast.Kind_test Ast.Text_node
+    | "comment" ->
+      advance st;
+      expect st Lparen;
+      expect st Rparen;
+      Ast.Kind_test Ast.Comment_node
+    | "processing-instruction" -> (
+      advance st;
+      expect st Lparen;
+      match current st with
+      | Rparen ->
+        advance st;
+        Ast.Kind_test (Ast.Pi_node None)
+      | Lit target ->
+        advance st;
+        expect st Rparen;
+        Ast.Kind_test (Ast.Pi_node (Some target))
+      | t -> fail "expected a PI target literal, found %s" (token_to_string t))
+    | _ -> fail "unknown node-kind test %s()" name)
+  | Name name ->
+    advance st;
+    Ast.Name_test name
+  | t -> fail "expected a node test, found %s" (token_to_string t)
+
+and parse_predicates st =
+  match current st with
+  | Lbrack ->
+    advance st;
+    let e = parse_expr st in
+    expect st Rbrack;
+    e :: parse_predicates st
+  | _ -> []
+
+and parse_expr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  match current st with
+  | Name "or" ->
+    advance st;
+    Ast.Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_compare st in
+  match current st with
+  | Name "and" ->
+    advance st;
+    Ast.And (left, parse_and st)
+  | _ -> left
+
+and parse_compare st =
+  let left = parse_primary st in
+  match current st with
+  | Op o ->
+    advance st;
+    let right = parse_primary st in
+    let cmp =
+      match o with
+      | "=" -> Ast.Eq
+      | "!=" -> Ast.Neq
+      | "<" -> Ast.Lt
+      | "<=" -> Ast.Le
+      | ">" -> Ast.Gt
+      | ">=" -> Ast.Ge
+      | _ -> fail "unknown comparison operator %s" o
+    in
+    Ast.Compare (cmp, left, right)
+  | _ -> left
+
+and parse_primary st =
+  match current st with
+  | Lit s ->
+    advance st;
+    Ast.Literal s
+  | Num f ->
+    advance st;
+    Ast.Number f
+  | Lparen ->
+    advance st;
+    let e = parse_expr st in
+    expect st Rparen;
+    e
+  | Name name
+    when st.tokens.(st.pos + 1) = Lparen
+         && not (List.mem name [ "node"; "text"; "comment"; "processing-instruction" ]) ->
+    (* a function call; node-type names fall through to path parsing *)
+    advance st;
+    parse_function st name
+  | Slash | Dslash | Dot | Dotdot | At | Name _ | Star -> Ast.Path_expr (parse_path st)
+  | t -> fail "expected an expression, found %s" (token_to_string t)
+
+(* generic argument list: '(' expr (',' expr)* ')' *)
+and parse_args st =
+  expect st Lparen;
+  if current st = Rparen then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec more acc =
+      match current st with
+      | Comma ->
+        advance st;
+        more (parse_expr st :: acc)
+      | _ ->
+        expect st Rparen;
+        List.rev acc
+    in
+    more [ parse_expr st ]
+  end
+
+(* functions whose argument is syntactically a path *)
+and parse_path_arg st =
+  expect st Lparen;
+  let p = parse_path st in
+  expect st Rparen;
+  p
+
+and parse_opt_path_arg st =
+  expect st Lparen;
+  if current st = Rparen then begin
+    advance st;
+    None
+  end
+  else begin
+    let p = parse_path st in
+    expect st Rparen;
+    Some p
+  end
+
+and parse_function st name =
+  let arity_error expected got =
+    fail "%s() expects %s argument(s), got %d" name expected got
+  in
+  match name with
+  | "count" -> Ast.Count (parse_path_arg st)
+  | "sum" -> Ast.Fn_sum (parse_path_arg st)
+  | "name" -> Ast.Fn_name (parse_opt_path_arg st)
+  | "local-name" -> Ast.Fn_local_name (parse_opt_path_arg st)
+  | _ -> (
+    let args = parse_args st in
+    match (name, args) with
+    | "position", [] -> Ast.Position
+    | "last", [] -> Ast.Last
+    | "not", [ e ] -> Ast.Not e
+    | "true", [] -> Ast.Fn_true
+    | "false", [] -> Ast.Fn_false
+    | "boolean", [ e ] -> Ast.Fn_boolean e
+    | "string", [] -> Ast.Fn_string None
+    | "string", [ e ] -> Ast.Fn_string (Some e)
+    | "number", [] -> Ast.Fn_number None
+    | "number", [ e ] -> Ast.Fn_number (Some e)
+    | "concat", (_ :: _ :: _ as es) -> Ast.Fn_concat es
+    | "contains", [ a; b ] -> Ast.Fn_contains (a, b)
+    | "starts-with", [ a; b ] -> Ast.Fn_starts_with (a, b)
+    | "substring", [ a; b ] -> Ast.Fn_substring (a, b, None)
+    | "substring", [ a; b; c ] -> Ast.Fn_substring (a, b, Some c)
+    | "substring-before", [ a; b ] -> Ast.Fn_substring_before (a, b)
+    | "substring-after", [ a; b ] -> Ast.Fn_substring_after (a, b)
+    | "translate", [ a; b; c ] -> Ast.Fn_translate (a, b, c)
+    | "string-length", [] -> Ast.Fn_string_length None
+    | "string-length", [ e ] -> Ast.Fn_string_length (Some e)
+    | "normalize-space", [] -> Ast.Fn_normalize_space None
+    | "normalize-space", [ e ] -> Ast.Fn_normalize_space (Some e)
+    | "floor", [ e ] -> Ast.Fn_floor e
+    | "ceiling", [ e ] -> Ast.Fn_ceiling e
+    | "round", [ e ] -> Ast.Fn_round e
+    | ("position" | "last" | "true" | "false"), args -> arity_error "no" (List.length args)
+    | ("not" | "boolean" | "floor" | "ceiling" | "round"), args ->
+      arity_error "exactly 1" (List.length args)
+    | ("contains" | "starts-with" | "substring-before" | "substring-after"), args ->
+      arity_error "exactly 2" (List.length args)
+    | "translate", args -> arity_error "exactly 3" (List.length args)
+    | "substring", args -> arity_error "2 or 3" (List.length args)
+    | ("string" | "number" | "string-length" | "normalize-space"), args ->
+      arity_error "0 or 1" (List.length args)
+    | "concat", args -> arity_error "at least 2" (List.length args)
+    | _, _ -> fail "unknown function %s()" name)
+
+let run parser_fn input =
+  try
+    let st = { tokens = tokenize input; pos = 0 } in
+    let result = parser_fn st in
+    (match current st with
+    | Eof -> ()
+    | t -> fail "trailing input starting at %s" (token_to_string t));
+    Ok result
+  with Error msg -> Result.Error (Printf.sprintf "XPath syntax error: %s" msg)
+
+let query input = run parse_query input
+
+let path input =
+  match run parse_query input with
+  | Ok [ p ] -> Ok p
+  | Ok _ -> Result.Error "XPath syntax error: union not allowed here"
+  | Error _ as e -> e
+
+let path_exn input =
+  match path input with Ok p -> p | Error e -> invalid_arg ("Parse.path_exn: " ^ e)
+
+
+(* ------------------------------------------------------------------ *)
+(* token-level embedding API                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Tokens = struct
+  type nonrec token = token =
+    | Slash
+    | Dslash
+    | Axis_sep
+    | Lbrack
+    | Rbrack
+    | Lparen
+    | Rparen
+    | At
+    | Pipe
+    | Dot
+    | Dotdot
+    | Star
+    | Comma
+    | Dollar
+    | Assign
+    | Lbrace
+    | Rbrace
+    | Plus
+    | Minus
+    | Name of string
+    | Lit of string
+    | Num of float
+    | Op of string
+    | Eof
+
+  let token_to_string = token_to_string
+
+  type nonrec state = state
+
+  let tokenize input =
+    try Ok { tokens = tokenize input; pos = 0 }
+    with Error msg -> Result.Error (Printf.sprintf "syntax error: %s" msg)
+
+  let current = current
+
+  let peek st k =
+    let i = st.pos + k in
+    if i < Array.length st.tokens then st.tokens.(i) else Eof
+
+  let advance = advance
+
+  let expect st t =
+    try Ok (expect st t) with Error msg -> Result.Error (Printf.sprintf "syntax error: %s" msg)
+
+  let parse_path_here st =
+    try Ok (parse_path st) with Error msg -> Result.Error (Printf.sprintf "syntax error: %s" msg)
+
+  let parse_relative_here st =
+    try Ok { Ast.absolute = false; steps = parse_relative st }
+    with Error msg -> Result.Error (Printf.sprintf "syntax error: %s" msg)
+end

@@ -1,0 +1,79 @@
+(** Parser for the XPath subset of {!Ast}.
+
+    Accepts the full axis syntax ([ancestor-or-self::node()]) and the
+    abbreviations of XPath 1.0:
+
+    - [//]   for [/descendant-or-self::node()/]
+    - [@n]   for [attribute::n]
+    - [.]    for [self::node()]
+    - [..]   for [parent::node()]
+    - [name] for [child::name]
+    - a bare number predicate [p[3]] for [p[position() = 3]]
+
+    plus top-level unions [p1 | p2]. *)
+
+(** [query s] parses a union of paths. *)
+val query : string -> (Ast.query, string) result
+
+(** [path s] parses a single path; unions are rejected. *)
+val path : string -> (Ast.path, string) result
+
+(** [path_exn s] is [path] raising [Invalid_argument] — for statically
+    known query strings in examples and benchmarks. *)
+val path_exn : string -> Ast.path
+
+(** Token-level access to the XPath grammar, for embedding path
+    expressions into a host language (the XQuery-lite layer).  The lexer
+    also recognizes the host tokens [$], [:=], [{], [}] — the XPath
+    grammar itself never accepts them. *)
+module Tokens : sig
+  type token =
+    | Slash
+    | Dslash
+    | Axis_sep
+    | Lbrack
+    | Rbrack
+    | Lparen
+    | Rparen
+    | At
+    | Pipe
+    | Dot
+    | Dotdot
+    | Star
+    | Comma
+    | Dollar
+    | Assign
+    | Lbrace
+    | Rbrace
+    | Plus
+    | Minus
+    | Name of string
+    | Lit of string
+    | Num of float
+    | Op of string
+    | Eof
+
+  val token_to_string : token -> string
+
+  type state
+
+  (** [tokenize s] lexes the whole input. *)
+  val tokenize : string -> (state, string) result
+
+  val current : state -> token
+
+  (** Lookahead [k] tokens past the cursor. *)
+  val peek : state -> int -> token
+
+  val advance : state -> unit
+
+  (** [expect st t] consumes [t] or returns an error. *)
+  val expect : state -> token -> (unit, string) result
+
+  (** Parse a path starting at the cursor (absolute if it starts with
+      [/]), leaving the cursor on the first token after it. *)
+  val parse_path_here : state -> (Ast.path, string) result
+
+  (** Parse a relative path (first token must start a step). *)
+  val parse_relative_here : state -> (Ast.path, string) result
+end

@@ -1,0 +1,1 @@
+lib/xquery/xq_ast.ml: Float Format List Scj_xpath

@@ -1,0 +1,1 @@
+lib/xquery/xq_ast.mli: Format Scj_xpath

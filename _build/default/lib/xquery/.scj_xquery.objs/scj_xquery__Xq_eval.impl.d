@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.ml: Buffer Float Format Hashtbl List Option Result Scj_encoding Scj_xml Scj_xpath String Xq_ast Xq_parse

@@ -1,0 +1,1 @@
+lib/xquery/xq_eval.mli: Scj_xml Scj_xpath Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_parse.ml: Format List Printf Result Scj_encoding Scj_xpath String Xq_ast

@@ -1,0 +1,1 @@
+lib/xquery/xq_parse.mli: Xq_ast

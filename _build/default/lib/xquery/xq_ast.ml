@@ -1,0 +1,105 @@
+type fn =
+  | Count
+  | Exists
+  | Empty
+  | Not
+  | String_fn
+  | Number_fn
+  | Sum
+  | Name_fn
+  | Data
+  | Concat_fn
+  | Distinct_values
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Literal of string
+  | Number of float
+  | Var of string
+  | Path of Scj_xpath.Ast.path
+  | Apply of expr * Scj_xpath.Ast.path
+  | Seq of expr list
+  | Flwor of flwor
+  | If of expr * expr * expr
+  | Element of string * expr
+  | Text of expr
+  | Call of fn * expr list
+  | Binop of binop * expr * expr
+  | Cmp of Scj_xpath.Ast.cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+
+and flwor = {
+  clauses : clause list;
+  where : expr option;
+  order_by : (expr * order) option;
+  return : expr;
+}
+
+and order = Ascending | Descending
+
+and clause = For of string * string option * expr | Let of string * expr
+
+let fn_name = function
+  | Count -> "count"
+  | Exists -> "exists"
+  | Empty -> "empty"
+  | Not -> "not"
+  | String_fn -> "string"
+  | Number_fn -> "number"
+  | Sum -> "sum"
+  | Name_fn -> "name"
+  | Data -> "data"
+  | Concat_fn -> "concat"
+  | Distinct_values -> "distinct-values"
+
+let binop_name = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div" | Mod -> "mod"
+
+let cmp_name = function
+  | Scj_xpath.Ast.Eq -> "="
+  | Scj_xpath.Ast.Neq -> "!="
+  | Scj_xpath.Ast.Lt -> "<"
+  | Scj_xpath.Ast.Le -> "<="
+  | Scj_xpath.Ast.Gt -> ">"
+  | Scj_xpath.Ast.Ge -> ">="
+
+let rec pp ppf = function
+  | Literal s -> Format.fprintf ppf "'%s'" s
+  | Number f ->
+    if Float.is_integer f then Format.fprintf ppf "%d" (int_of_float f)
+    else Format.fprintf ppf "%g" f
+  | Var x -> Format.fprintf ppf "$%s" x
+  | Path p -> Scj_xpath.Ast.pp_path ppf p
+  | Apply (e, p) -> Format.fprintf ppf "%a/%a" pp e Scj_xpath.Ast.pp_path p
+  | Seq es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      es
+  | Flwor { clauses; where; order_by; return } ->
+    List.iter
+      (fun c ->
+        match c with
+        | For (x, None, e) -> Format.fprintf ppf "for $%s in %a " x pp e
+        | For (x, Some i, e) -> Format.fprintf ppf "for $%s at $%s in %a " x i pp e
+        | Let (x, e) -> Format.fprintf ppf "let $%s := %a " x pp e)
+      clauses;
+    (match where with None -> () | Some w -> Format.fprintf ppf "where %a " pp w);
+    (match order_by with
+    | None -> ()
+    | Some (k, Ascending) -> Format.fprintf ppf "order by %a " pp k
+    | Some (k, Descending) -> Format.fprintf ppf "order by %a descending " pp k);
+    Format.fprintf ppf "return %a" pp return
+  | If (c, t, e) -> Format.fprintf ppf "if (%a) then %a else %a" pp c pp t pp e
+  | Element (name, body) -> Format.fprintf ppf "element %s { %a }" name pp body
+  | Text body -> Format.fprintf ppf "text { %a }" pp body
+  | Call (fn, args) ->
+    Format.fprintf ppf "%s(%a)" (fn_name fn)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+      args
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b
+  | Cmp (op, a, b) -> Format.fprintf ppf "%a %s %a" pp a (cmp_name op) pp b
+  | And (a, b) -> Format.fprintf ppf "(%a and %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a or %a)" pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,68 @@
+(** Abstract syntax of XQuery-lite.
+
+    The paper develops the staircase join as the back-end operator for the
+    Pathfinder XQuery compiler: "expressions compute arbitrary context
+    nodes and then traverse from there" (§2).  This layer reproduces that
+    usage scenario with the FLWOR core of XQuery 1.0:
+
+    - [for]/[let] clauses, [where] filters, [return] bodies;
+    - path expressions (absolute, or applied to a bound variable) that are
+      evaluated by the staircase-join XPath engine;
+    - computed element/text constructors;
+    - sequences, conditionals, arithmetic, general comparisons, and a few
+      core functions.
+
+    Every axis step an XQuery-lite program performs bottoms out in a
+    staircase join over the pre/post encoding. *)
+
+type fn =
+  | Count
+  | Exists
+  | Empty
+  | Not
+  | String_fn
+  | Number_fn
+  | Sum
+  | Name_fn
+  | Data  (** atomization *)
+  | Concat_fn
+  | Distinct_values
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type expr =
+  | Literal of string
+  | Number of float
+  | Var of string
+  | Path of Scj_xpath.Ast.path  (** absolute path *)
+  | Apply of expr * Scj_xpath.Ast.path  (** [e/relative/path] *)
+  | Seq of expr list  (** [(e1, e2, ...)]; [()] is the empty sequence *)
+  | Flwor of flwor  (** for/let clauses, where, order by, return *)
+  | If of expr * expr * expr
+  | Element of string * expr  (** [element name { e }] *)
+  | Text of expr  (** [text { e }] *)
+  | Call of fn * expr list
+  | Binop of binop * expr * expr
+  | Cmp of Scj_xpath.Ast.cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+
+and flwor = {
+  clauses : clause list;
+  where : expr option;
+  order_by : (expr * order) option;
+  return : expr;
+}
+
+and order = Ascending | Descending
+
+and clause =
+  | For of string * string option * expr
+      (** [for $x (at $i)? in e] — the optional positional variable *)
+  | Let of string * expr
+
+val fn_name : fn -> string
+
+val pp : Format.formatter -> expr -> unit
+
+val to_string : expr -> string

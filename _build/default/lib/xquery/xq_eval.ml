@@ -1,0 +1,316 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Eval = Scj_xpath.Eval
+module Tree = Scj_xml.Tree
+
+type atom = Str of string | Num of float | Bool of bool
+
+type item = Node of int | Atom of atom | Tree of Tree.t
+
+type value = item list
+
+type error = string
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type env = { session : Eval.session; vars : (string * value) list }
+
+let lookup env x =
+  match List.assoc_opt x env.vars with
+  | Some v -> v
+  | None -> fail "unbound variable $%s" x
+
+let atom_to_string = function
+  | Str s -> s
+  | Bool b -> if b then "true" else "false"
+  | Num f ->
+    if Float.is_nan f then "NaN"
+    else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+    else string_of_float f
+
+(* atomization: data() *)
+let atomize_item env = function
+  | Atom a -> a
+  | Node v -> Str (Doc.string_value (Eval.doc_of_session env.session) v)
+  | Tree t -> Str (Tree.string_value t)
+
+let number_of_atom = function
+  | Num f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | Str s -> ( match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan)
+
+(* effective boolean value *)
+let ebv = function
+  | [] -> false
+  | Node _ :: _ | Tree _ :: _ -> true
+  | [ Atom (Bool b) ] -> b
+  | [ Atom (Num f) ] -> f <> 0.0 && not (Float.is_nan f)
+  | [ Atom (Str s) ] -> String.length s > 0
+  | Atom _ :: _ :: _ -> fail "effective boolean value of a multi-atom sequence"
+
+let node_context _env value =
+  let pres =
+    List.map
+      (function
+        | Node v -> v
+        | Atom _ -> fail "path step applied to an atomic value"
+        | Tree _ -> fail "path step applied to a constructed tree")
+      value
+  in
+  Nodeseq.of_unsorted pres
+
+let compare_atoms op a b =
+  let num_cmp x y =
+    match op with
+    | Scj_xpath.Ast.Eq -> x = y
+    | Scj_xpath.Ast.Neq -> x <> y
+    | Scj_xpath.Ast.Lt -> x < y
+    | Scj_xpath.Ast.Le -> x <= y
+    | Scj_xpath.Ast.Gt -> x > y
+    | Scj_xpath.Ast.Ge -> x >= y
+  in
+  match (a, b) with
+  | Num x, y | y, Num x ->
+    (* numeric comparison when either side is a number *)
+    let other = number_of_atom y in
+    if a = Num x then num_cmp x other else num_cmp other x
+  | Bool _, _ | _, Bool _ -> num_cmp (number_of_atom a) (number_of_atom b)
+  | Str x, Str y -> (
+    match op with
+    | Scj_xpath.Ast.Eq -> String.equal x y
+    | Scj_xpath.Ast.Neq -> not (String.equal x y)
+    | Scj_xpath.Ast.Lt | Scj_xpath.Ast.Le | Scj_xpath.Ast.Gt | Scj_xpath.Ast.Ge ->
+      num_cmp (number_of_atom a) (number_of_atom b))
+
+(* turn a value into element-constructor content: adjacent atoms merge
+   into one text node separated by spaces (XQuery 3.7.1), and attribute
+   nodes become attributes of the constructed element *)
+let content_of_value env value =
+  let doc = Eval.doc_of_session env.session in
+  let attributes = ref [] in
+  let flush_atoms atoms acc =
+    match atoms with
+    | [] -> acc
+    | _ -> Tree.Text (String.concat " " (List.rev_map atom_to_string atoms)) :: acc
+  in
+  let rec walk atoms acc = function
+    | [] -> List.rev (flush_atoms atoms acc)
+    | Atom a :: rest -> walk (a :: atoms) acc rest
+    | Node v :: rest when Doc.kind doc v = Doc.Attribute ->
+      let name = Option.value ~default:"" (Doc.tag_name doc v) in
+      let value = Option.value ~default:"" (Doc.content doc v) in
+      attributes := (name, value) :: !attributes;
+      walk atoms acc rest
+    | Node v :: rest -> walk [] (Doc.to_tree doc v :: flush_atoms atoms acc) rest
+    | Tree t :: rest -> walk [] (t :: flush_atoms atoms acc) rest
+  in
+  let children = walk [] [] value in
+  (List.rev !attributes, children)
+
+let rec eval_expr env (e : Xq_ast.expr) : value =
+  match e with
+  | Xq_ast.Literal s -> [ Atom (Str s) ]
+  | Xq_ast.Number f -> [ Atom (Num f) ]
+  | Xq_ast.Var x -> lookup env x
+  | Xq_ast.Path p -> nodes_of (Eval.eval_path env.session p)
+  | Xq_ast.Apply (e, p) ->
+    let ctx = node_context env (eval_expr env e) in
+    if Nodeseq.is_empty ctx then []
+    else nodes_of (Eval.eval_path ~context:ctx env.session p)
+  | Xq_ast.Seq es -> List.concat_map (eval_expr env) es
+  | Xq_ast.Flwor { Xq_ast.clauses; where; order_by; return } ->
+    let envs = List.fold_left bind_clause [ env ] clauses in
+    let envs =
+      List.filter
+        (fun env -> match where with None -> true | Some w -> ebv (eval_expr env w))
+        envs
+    in
+    let envs =
+      match order_by with
+      | None -> envs
+      | Some (key, direction) ->
+        let keyed =
+          List.map
+            (fun env ->
+              let k =
+                match eval_expr env key with
+                | [] -> `Empty
+                | item :: _ -> (
+                  match atomize_item env item with
+                  | Num f -> `Num f
+                  | a -> (
+                    (* untyped values sort numerically when they parse *)
+                    let s = atom_to_string a in
+                    match float_of_string_opt (String.trim s) with
+                    | Some f -> `Num f
+                    | None -> `Str s))
+              in
+              (k, env))
+            envs
+        in
+        let compare_keys a b =
+          match (a, b) with
+          | `Empty, `Empty -> 0
+          | `Empty, _ -> -1 (* empty least, as with "empty least" default *)
+          | _, `Empty -> 1
+          | `Num x, `Num y -> Float.compare x y
+          | `Num _, `Str _ -> -1
+          | `Str _, `Num _ -> 1
+          | `Str x, `Str y -> String.compare x y
+        in
+        let sorted = List.stable_sort (fun (a, _) (b, _) -> compare_keys a b) keyed in
+        let sorted = match direction with Xq_ast.Ascending -> sorted | Xq_ast.Descending -> List.rev sorted in
+        List.map snd sorted
+    in
+    List.concat_map (fun env -> eval_expr env return) envs
+  | Xq_ast.If (c, t, e) -> if ebv (eval_expr env c) then eval_expr env t else eval_expr env e
+  | Xq_ast.Element (name, body) ->
+    let attributes, children = content_of_value env (eval_expr env body) in
+    [ Tree (Tree.elem ~attributes name children) ]
+  | Xq_ast.Text body ->
+    let atoms = List.map (atomize_item env) (eval_expr env body) in
+    [ Tree (Tree.text (String.concat " " (List.map atom_to_string atoms))) ]
+  | Xq_ast.Call (fn, args) -> eval_call env fn args
+  | Xq_ast.Binop (op, a, b) -> (
+    match (eval_expr env a, eval_expr env b) with
+    | [], _ | _, [] -> [] (* arithmetic on () is () *)
+    | va, vb ->
+      let x = number_of_atom (atomize_item env (List.hd va)) in
+      let y = number_of_atom (atomize_item env (List.hd vb)) in
+      let r =
+        match op with
+        | Xq_ast.Add -> x +. y
+        | Xq_ast.Sub -> x -. y
+        | Xq_ast.Mul -> x *. y
+        | Xq_ast.Div -> x /. y
+        | Xq_ast.Mod -> Float.rem x y
+      in
+      [ Atom (Num r) ])
+  | Xq_ast.Cmp (op, a, b) ->
+    let va = List.map (atomize_item env) (eval_expr env a) in
+    let vb = List.map (atomize_item env) (eval_expr env b) in
+    [ Atom (Bool (List.exists (fun x -> List.exists (fun y -> compare_atoms op x y) vb) va)) ]
+  | Xq_ast.And (a, b) -> [ Atom (Bool (ebv (eval_expr env a) && ebv (eval_expr env b))) ]
+  | Xq_ast.Or (a, b) -> [ Atom (Bool (ebv (eval_expr env a) || ebv (eval_expr env b))) ]
+
+and nodes_of seq = List.map (fun v -> Node v) (Nodeseq.to_list seq)
+
+and bind_clause envs clause =
+  match clause with
+  | Xq_ast.For (x, at, e) ->
+    List.concat_map
+      (fun env ->
+        List.mapi
+          (fun i item ->
+            let vars = (x, [ item ]) :: env.vars in
+            let vars =
+              match at with
+              | None -> vars
+              | Some idx -> (idx, [ Atom (Num (float_of_int (i + 1))) ]) :: vars
+            in
+            { env with vars })
+          (eval_expr env e))
+      envs
+  | Xq_ast.Let (x, e) ->
+    List.map (fun env -> { env with vars = (x, eval_expr env e) :: env.vars }) envs
+
+and eval_call env fn args =
+  let arity n =
+    if List.length args <> n then fail "%s() expects %d argument(s)" (Xq_ast.fn_name fn) n
+  in
+  match fn with
+  | Xq_ast.Count ->
+    arity 1;
+    [ Atom (Num (float_of_int (List.length (eval_expr env (List.hd args))))) ]
+  | Xq_ast.Exists ->
+    arity 1;
+    [ Atom (Bool (eval_expr env (List.hd args) <> [])) ]
+  | Xq_ast.Empty ->
+    arity 1;
+    [ Atom (Bool (eval_expr env (List.hd args) = [])) ]
+  | Xq_ast.Not ->
+    arity 1;
+    [ Atom (Bool (not (ebv (eval_expr env (List.hd args))))) ]
+  | Xq_ast.String_fn ->
+    arity 1;
+    let s =
+      match eval_expr env (List.hd args) with
+      | [] -> ""
+      | item :: _ -> atom_to_string (atomize_item env item)
+    in
+    [ Atom (Str s) ]
+  | Xq_ast.Number_fn ->
+    arity 1;
+    let f =
+      match eval_expr env (List.hd args) with
+      | [] -> Float.nan
+      | item :: _ -> number_of_atom (atomize_item env item)
+    in
+    [ Atom (Num f) ]
+  | Xq_ast.Sum ->
+    arity 1;
+    let total =
+      List.fold_left
+        (fun acc item -> acc +. number_of_atom (atomize_item env item))
+        0.0
+        (eval_expr env (List.hd args))
+    in
+    [ Atom (Num total) ]
+  | Xq_ast.Name_fn -> (
+    arity 1;
+    match eval_expr env (List.hd args) with
+    | Node v :: _ -> (
+      match Doc.tag_name (Eval.doc_of_session env.session) v with
+      | Some n -> [ Atom (Str n) ]
+      | None -> [ Atom (Str "") ])
+    | Tree (Tree.Element { name; _ }) :: _ -> [ Atom (Str name) ]
+    | _ -> [ Atom (Str "") ])
+  | Xq_ast.Data ->
+    arity 1;
+    List.map (fun item -> Atom (atomize_item env item)) (eval_expr env (List.hd args))
+  | Xq_ast.Distinct_values ->
+    arity 1;
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun item ->
+        let a = atomize_item env item in
+        let key = atom_to_string a in
+        if Hashtbl.mem seen key then None
+        else begin
+          Hashtbl.add seen key ();
+          Some (Atom a)
+        end)
+      (eval_expr env (List.hd args))
+  | Xq_ast.Concat_fn ->
+    if List.length args < 2 then fail "concat() expects at least 2 arguments";
+    let parts =
+      List.map
+        (fun a ->
+          match eval_expr env a with
+          | [] -> ""
+          | item :: _ -> atom_to_string (atomize_item env item))
+        args
+    in
+    [ Atom (Str (String.concat "" parts)) ]
+
+let eval session expr =
+  try Ok (eval_expr { session; vars = [] } expr) with Error msg -> Result.Error msg
+
+let run session input =
+  match Xq_parse.parse input with
+  | Ok expr -> eval session expr
+  | Error _ as e -> e
+
+let serialize session value =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i item ->
+      if i > 0 then Buffer.add_char buf '\n';
+      match item with
+      | Atom a -> Buffer.add_string buf (atom_to_string a)
+      | Node v -> Buffer.add_string buf (Scj_xml.Printer.to_string (Doc.to_tree (Eval.doc_of_session session) v))
+      | Tree t -> Buffer.add_string buf (Scj_xml.Printer.to_string t))
+    value;
+  Buffer.contents buf

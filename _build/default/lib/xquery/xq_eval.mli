@@ -1,0 +1,41 @@
+(** Evaluator for XQuery-lite over an XPath session.
+
+    Values are item sequences in the XQuery sense: document nodes
+    (preorder ranks of the session's document), atomic values, or newly
+    constructed trees.  Every embedded path expression is evaluated by
+    {!Scj_xpath.Eval} — i.e. with the staircase join under the session's
+    strategy — which is precisely the Pathfinder runtime scenario the
+    paper was built for: FLWOR iteration computes arbitrary context
+    sequences, the axis steps traverse from there.
+
+    Deliberate simplifications (documented divergences from XQuery 1.0):
+    no schema types (node atomization yields strings), general comparisons
+    compare numerically when either operand is numeric, arithmetic on an
+    empty sequence yields the empty sequence, and paths cannot be applied
+    to constructed trees. *)
+
+type atom = Str of string | Num of float | Bool of bool
+
+type item =
+  | Node of int  (** a node of the session document, by preorder rank *)
+  | Atom of atom
+  | Tree of Scj_xml.Tree.t  (** a constructed element/text *)
+
+type value = item list
+
+type error = string
+
+(** [eval session expr] evaluates a parsed expression with no variables in
+    scope. *)
+val eval : Scj_xpath.Eval.session -> Xq_ast.expr -> (value, error) result
+
+(** [run session input] parses and evaluates. *)
+val run : Scj_xpath.Eval.session -> string -> (value, error) result
+
+(** [serialize session v] renders the sequence: nodes and constructed
+    trees as XML, atoms as their string values, items separated by
+    newlines. *)
+val serialize : Scj_xpath.Eval.session -> value -> string
+
+(** [atom_to_string a] is the XPath string value of an atom. *)
+val atom_to_string : atom -> string

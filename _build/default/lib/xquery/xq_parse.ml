@@ -1,0 +1,302 @@
+module T = Scj_xpath.Parse.Tokens
+module Xp_ast = Scj_xpath.Ast
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> raise (Error e)
+
+let expect st t =
+  let* () = T.expect st t in
+  ()
+
+let expect_keyword st kw =
+  match T.current st with
+  | T.Name n when String.equal n kw -> T.advance st
+  | t -> fail "expected '%s', found %s" kw (T.token_to_string t)
+
+let variable st =
+  expect st T.Dollar;
+  match T.current st with
+  | T.Name x ->
+    T.advance st;
+    x
+  | t -> fail "expected a variable name after '$', found %s" (T.token_to_string t)
+
+let keywords =
+  [ "for"; "let"; "in"; "at"; "where"; "order"; "by"; "ascending"; "descending"; "return"; "if";
+    "then"; "else"; "element"; "text"; "div"; "mod"; "and"; "or" ]
+
+let fn_of_name = function
+  | "count" -> Some Xq_ast.Count
+  | "exists" -> Some Xq_ast.Exists
+  | "empty" -> Some Xq_ast.Empty
+  | "not" -> Some Xq_ast.Not
+  | "string" -> Some Xq_ast.String_fn
+  | "number" -> Some Xq_ast.Number_fn
+  | "sum" -> Some Xq_ast.Sum
+  | "name" -> Some Xq_ast.Name_fn
+  | "data" -> Some Xq_ast.Data
+  | "concat" -> Some Xq_ast.Concat_fn
+  | "distinct-values" -> Some Xq_ast.Distinct_values
+  | _ -> None
+
+let rec parse_expr st =
+  match T.current st with
+  | T.Name ("for" | "let") -> parse_flwor st
+  | T.Name "if" when T.peek st 1 = T.Lparen -> parse_if st
+  | _ -> parse_or st
+
+and parse_flwor st =
+  let rec clauses acc =
+    match T.current st with
+    | T.Name "for" ->
+      T.advance st;
+      let rec bindings acc =
+        let x = variable st in
+        let at =
+          match T.current st with
+          | T.Name "at" ->
+            T.advance st;
+            Some (variable st)
+          | _ -> None
+        in
+        expect_keyword st "in";
+        let e = parse_or_or_if st in
+        let acc = Xq_ast.For (x, at, e) :: acc in
+        if T.current st = T.Comma then begin
+          T.advance st;
+          bindings acc
+        end
+        else acc
+      in
+      clauses (bindings acc)
+    | T.Name "let" ->
+      T.advance st;
+      let rec bindings acc =
+        let x = variable st in
+        expect st T.Assign;
+        let e = parse_or_or_if st in
+        let acc = Xq_ast.Let (x, e) :: acc in
+        if T.current st = T.Comma then begin
+          T.advance st;
+          bindings acc
+        end
+        else acc
+      in
+      clauses (bindings acc)
+    | _ -> List.rev acc
+  in
+  let clauses = clauses [] in
+  if clauses = [] then fail "expected a for/let clause";
+  let where =
+    match T.current st with
+    | T.Name "where" ->
+      T.advance st;
+      Some (parse_or_or_if st)
+    | _ -> None
+  in
+  let order_by =
+    match (T.current st, T.peek st 1) with
+    | T.Name "order", T.Name "by" ->
+      T.advance st;
+      T.advance st;
+      let key = parse_or_or_if st in
+      let direction =
+        match T.current st with
+        | T.Name "descending" ->
+          T.advance st;
+          Xq_ast.Descending
+        | T.Name "ascending" ->
+          T.advance st;
+          Xq_ast.Ascending
+        | _ -> Xq_ast.Ascending
+      in
+      Some (key, direction)
+    | _ -> None
+  in
+  expect_keyword st "return";
+  let return = parse_expr st in
+  Xq_ast.Flwor { Xq_ast.clauses; where; order_by; return }
+
+(* expressions allowed in clause bodies: anything but a bare FLWOR (which
+   would swallow the 'return' keyword); parenthesize to nest *)
+and parse_or_or_if st =
+  match T.current st with
+  | T.Name "if" when T.peek st 1 = T.Lparen -> parse_if st
+  | _ -> parse_or st
+
+and parse_if st =
+  expect_keyword st "if";
+  expect st T.Lparen;
+  let c = parse_expr st in
+  expect st T.Rparen;
+  expect_keyword st "then";
+  let t = parse_expr st in
+  expect_keyword st "else";
+  let e = parse_expr st in
+  Xq_ast.If (c, t, e)
+
+and parse_or st =
+  let left = parse_and st in
+  match T.current st with
+  | T.Name "or" ->
+    T.advance st;
+    Xq_ast.Or (left, parse_or st)
+  | _ -> left
+
+and parse_and st =
+  let left = parse_cmp st in
+  match T.current st with
+  | T.Name "and" ->
+    T.advance st;
+    Xq_ast.And (left, parse_and st)
+  | _ -> left
+
+and parse_cmp st =
+  let left = parse_add st in
+  match T.current st with
+  | T.Op o ->
+    T.advance st;
+    let right = parse_add st in
+    let cmp =
+      match o with
+      | "=" -> Xp_ast.Eq
+      | "!=" -> Xp_ast.Neq
+      | "<" -> Xp_ast.Lt
+      | "<=" -> Xp_ast.Le
+      | ">" -> Xp_ast.Gt
+      | ">=" -> Xp_ast.Ge
+      | _ -> fail "unknown comparison %s" o
+    in
+    Xq_ast.Cmp (cmp, left, right)
+  | _ -> left
+
+and parse_add st =
+  let rec more left =
+    match T.current st with
+    | T.Plus ->
+      T.advance st;
+      more (Xq_ast.Binop (Xq_ast.Add, left, parse_mul st))
+    | T.Minus ->
+      T.advance st;
+      more (Xq_ast.Binop (Xq_ast.Sub, left, parse_mul st))
+    | _ -> left
+  in
+  more (parse_mul st)
+
+and parse_mul st =
+  let rec more left =
+    match T.current st with
+    | T.Star ->
+      (* after a complete operand, '*' is multiplication (as in XPath's
+         disambiguation rule), never a wildcard *)
+      T.advance st;
+      more (Xq_ast.Binop (Xq_ast.Mul, left, parse_post st))
+    | T.Name "div" ->
+      T.advance st;
+      more (Xq_ast.Binop (Xq_ast.Div, left, parse_post st))
+    | T.Name "mod" ->
+      T.advance st;
+      more (Xq_ast.Binop (Xq_ast.Mod, left, parse_post st))
+    | _ -> left
+  in
+  more (parse_post st)
+
+and parse_post st =
+  let rec loop e =
+    match T.current st with
+    | T.Slash ->
+      T.advance st;
+      let* p = T.parse_relative_here st in
+      loop (Xq_ast.Apply (e, p))
+    | T.Dslash ->
+      T.advance st;
+      let* p = T.parse_relative_here st in
+      let bridge = Xp_ast.step Scj_encoding.Axis.Descendant_or_self (Xp_ast.Kind_test Xp_ast.Any_node) in
+      loop (Xq_ast.Apply (e, { p with Xp_ast.steps = bridge :: p.Xp_ast.steps }))
+    | _ -> e
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match T.current st with
+  | T.Lit s ->
+    T.advance st;
+    Xq_ast.Literal s
+  | T.Num f ->
+    T.advance st;
+    Xq_ast.Number f
+  | T.Dollar -> Xq_ast.Var (variable st)
+  | T.Slash | T.Dslash ->
+    let* p = T.parse_path_here st in
+    Xq_ast.Path p
+  | T.Lparen ->
+    T.advance st;
+    if T.current st = T.Rparen then begin
+      T.advance st;
+      Xq_ast.Seq []
+    end
+    else begin
+      let first = parse_expr st in
+      let rec more acc =
+        match T.current st with
+        | T.Comma ->
+          T.advance st;
+          more (parse_expr st :: acc)
+        | _ ->
+          expect st T.Rparen;
+          List.rev acc
+      in
+      match more [ first ] with [ single ] -> single | several -> Xq_ast.Seq several
+    end
+  | T.Name "element" -> (
+    T.advance st;
+    match T.current st with
+    | T.Name name ->
+      T.advance st;
+      expect st T.Lbrace;
+      let body = parse_expr st in
+      expect st T.Rbrace;
+      Xq_ast.Element (name, body)
+    | t -> fail "expected an element name, found %s" (T.token_to_string t))
+  | T.Name "text" when T.peek st 1 = T.Lbrace ->
+    T.advance st;
+    expect st T.Lbrace;
+    let body = parse_expr st in
+    expect st T.Rbrace;
+    Xq_ast.Text body
+  | T.Name name when T.peek st 1 = T.Lparen && fn_of_name name <> None -> (
+    T.advance st;
+    expect st T.Lparen;
+    let args =
+      if T.current st = T.Rparen then []
+      else begin
+        let rec more acc =
+          match T.current st with
+          | T.Comma ->
+            T.advance st;
+            more (parse_expr st :: acc)
+          | _ -> List.rev acc
+        in
+        more [ parse_expr st ]
+      end
+    in
+    expect st T.Rparen;
+    match fn_of_name name with
+    | Some fn -> Xq_ast.Call (fn, args)
+    | None -> assert false)
+  | T.Name name when not (List.mem name keywords) ->
+    fail "unexpected name '%s' (XQuery-lite paths must start with '/', '//' or a variable)" name
+  | t -> fail "expected an expression, found %s" (T.token_to_string t)
+
+let parse input =
+  try
+    let* st = T.tokenize input in
+    let e = parse_expr st in
+    (match T.current st with
+    | T.Eof -> ()
+    | t -> fail "trailing input at %s" (T.token_to_string t));
+    Ok e
+  with Error msg -> Result.Error (Printf.sprintf "XQuery syntax error: %s" msg)

@@ -1,0 +1,24 @@
+(** Parser for XQuery-lite.
+
+    Grammar (precedence low to high):
+
+    {v
+expr     := flwor | if | or
+flwor    := (for-clause | let-clause)+ ('where' expr)? 'return' expr
+for      := 'for' $x 'in' expr (',' $y 'in' expr)*
+let      := 'let' $x ':=' expr (',' $y ':=' expr)*
+if       := 'if' '(' expr ')' 'then' expr 'else' expr
+or       := and ('or' and)*
+and      := cmp ('and' cmp)*
+cmp      := add (('='|'!='|'<'|'<='|'>'|'>=') add)?
+add      := mul (('+'|'-') mul)*
+mul      := post (('*'|'div'|'mod') post)*
+post     := primary (('/'|'//') relative-path)*
+primary  := literal | number | $x | absolute-path | '(' expr,* ')'
+          | 'element' name '{' expr '}' | 'text' '{' expr '}'
+          | fn '(' expr,* ')'
+    v}
+
+    Embedded paths use the full XPath grammar of {!Scj_xpath.Parse}. *)
+
+val parse : string -> (Xq_ast.expr, string) result

@@ -1,0 +1,1 @@
+test/test_bat.ml: Alcotest Array Gen List QCheck QCheck_alcotest Scj_bat String

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Int List Map Printf QCheck QCheck_alcotest Scj_btree Scj_stats

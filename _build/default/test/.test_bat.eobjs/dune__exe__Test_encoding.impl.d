@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Buffer Filename Fun In_channel Int Lazy List Option Out_channel QCheck QCheck_alcotest Scj_encoding Scj_xml Set String Sys Test_support

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Lazy List Printf QCheck QCheck_alcotest Scj_bat Scj_core Scj_encoding Scj_engine Scj_stats Scj_xmlgen String Test_support

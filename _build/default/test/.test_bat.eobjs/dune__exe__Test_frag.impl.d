@@ -1,0 +1,1 @@
+test/test_frag.ml: Alcotest Array Format Lazy List Printf QCheck QCheck_alcotest Scj_core Scj_encoding Scj_frag Scj_stats Scj_xmlgen Test_support

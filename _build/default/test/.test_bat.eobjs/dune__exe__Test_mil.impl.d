@@ -1,0 +1,1 @@
+test/test_mil.ml: Alcotest Lazy List Printf Scj_core Scj_encoding Scj_mil Scj_stats Scj_xmlgen String Test_support

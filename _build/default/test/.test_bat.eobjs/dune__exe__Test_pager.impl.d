@@ -1,0 +1,1 @@
+test/test_pager.ml: Alcotest Array Fun Gen Lazy List Printf QCheck QCheck_alcotest Scj_core Scj_encoding Scj_pager Scj_xmlgen Test_support

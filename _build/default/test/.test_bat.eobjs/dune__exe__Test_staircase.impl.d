@@ -1,0 +1,1 @@
+test/test_staircase.ml: Alcotest Array Fun Lazy List Printf QCheck QCheck_alcotest Scj_core Scj_encoding Scj_stats Scj_xml Scj_xmlgen Test_support

@@ -1,0 +1,1 @@
+test/test_xmlgen.ml: Alcotest Array Digest Hashtbl Lazy List Printf Scj_xml Scj_xmlgen String

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Format Lazy List Printf QCheck QCheck_alcotest Scj_core Scj_encoding Scj_stats Scj_xmlgen Scj_xpath String Test_support

@@ -1,0 +1,1 @@
+test/test_xquery.ml: Alcotest Lazy List QCheck QCheck_alcotest Scj_encoding Scj_xml Scj_xmlgen Scj_xpath Scj_xquery String Test_support

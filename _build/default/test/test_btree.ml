@@ -1,0 +1,295 @@
+(* Tests for the B+-tree (lib/btree): unit tests on small orders plus
+   model-based property tests against Stdlib.Map. *)
+
+module Btree = Scj_btree.Btree
+module Stats = Scj_stats.Stats
+module Int_tree = Btree.Int
+module Int_map = Map.Make (Int)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_invariants ?(msg = "invariants") t =
+  match Int_tree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" msg e
+
+(* ------------------------------------------------------------------ *)
+(* basics                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_empty () =
+  let t = Int_tree.create () in
+  check_int "length" 0 (Int_tree.length t);
+  check_bool "is_empty" true (Int_tree.is_empty t);
+  check_int "height" 1 (Int_tree.height t);
+  Alcotest.(check (option int)) "find" None (Int_tree.find t 1);
+  Alcotest.(check (option (pair int int))) "min" None (Int_tree.min_binding t);
+  Alcotest.(check (option (pair int int))) "max" None (Int_tree.max_binding t);
+  check_invariants t
+
+let test_insert_find () =
+  let t = Int_tree.create ~order:4 () in
+  for i = 0 to 999 do
+    Int_tree.insert t ((i * 37) mod 1000) i
+  done;
+  check_int "length" 1000 (Int_tree.length t);
+  check_invariants t;
+  for k = 0 to 999 do
+    match Int_tree.find t k with
+    | None -> Alcotest.failf "key %d missing" k
+    | Some v -> check_int "value" k ((v * 37) mod 1000)
+  done;
+  Alcotest.(check (option int)) "missing key" None (Int_tree.find t 1000)
+
+let test_replace () =
+  let t = Int_tree.create ~order:4 () in
+  Int_tree.insert t 5 1;
+  Int_tree.insert t 5 2;
+  check_int "no duplicate" 1 (Int_tree.length t);
+  Alcotest.(check (option int)) "replaced" (Some 2) (Int_tree.find t 5);
+  check_invariants t
+
+let test_height_grows () =
+  let t = Int_tree.create ~order:4 () in
+  for i = 1 to 500 do
+    Int_tree.insert t i i
+  done;
+  check_bool "height > 2" true (Int_tree.height t > 2);
+  check_invariants t
+
+let test_min_max () =
+  let t = Int_tree.create ~order:4 () in
+  List.iter (fun k -> Int_tree.insert t k (k * 10)) [ 42; 7; 99; 13 ];
+  Alcotest.(check (option (pair int int))) "min" (Some (7, 70)) (Int_tree.min_binding t);
+  Alcotest.(check (option (pair int int))) "max" (Some (99, 990)) (Int_tree.max_binding t)
+
+let test_to_list_sorted () =
+  let t = Int_tree.create ~order:4 () in
+  List.iter (fun k -> Int_tree.insert t k k) [ 9; 3; 7; 1; 5 ];
+  Alcotest.(check (list (pair int int)))
+    "ascending"
+    [ (1, 1); (3, 3); (5, 5); (7, 7); (9, 9) ]
+    (Int_tree.to_list t)
+
+(* ------------------------------------------------------------------ *)
+(* range scans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let build_range_tree () =
+  let t = Int_tree.create ~order:4 () in
+  for i = 0 to 99 do
+    Int_tree.insert t (2 * i) i (* even keys 0..198 *)
+  done;
+  t
+
+let collect_range ?lo ?hi t =
+  List.rev (Int_tree.fold_range ?lo ?hi t ~init:[] ~f:(fun acc k _ -> k :: acc))
+
+let test_range_inclusive () =
+  let t = build_range_tree () in
+  Alcotest.(check (list int)) "inside" [ 10; 12; 14 ] (collect_range ~lo:10 ~hi:14 t);
+  Alcotest.(check (list int)) "between keys" [ 10; 12; 14 ] (collect_range ~lo:9 ~hi:15 t);
+  Alcotest.(check (list int)) "open low" [ 0; 2; 4 ] (collect_range ~hi:4 t);
+  Alcotest.(check (list int)) "open high" [ 194; 196; 198 ] (collect_range ~lo:194 t);
+  Alcotest.(check (list int)) "empty window" [] (collect_range ~lo:11 ~hi:11 t);
+  check_int "full scan" 100 (List.length (collect_range t))
+
+let test_range_while_stops () =
+  let t = build_range_tree () in
+  let seen = ref [] in
+  Int_tree.iter_range_while ~lo:0 t (fun k _ ->
+      seen := k :: !seen;
+      k < 8);
+  Alcotest.(check (list int)) "stopped at first false" [ 0; 2; 4; 6; 8 ] (List.rev !seen)
+
+let test_range_stats () =
+  let t = build_range_tree () in
+  let stats = Stats.create () in
+  Int_tree.iter_range ~stats ~lo:50 ~hi:60 t (fun _ _ -> ());
+  check_int "one probe" 1 stats.Stats.index_probes;
+  check_bool "visited pages" true (stats.Stats.index_nodes > 0)
+
+(* ------------------------------------------------------------------ *)
+(* deletion                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_delete_simple () =
+  let t = Int_tree.create ~order:4 () in
+  List.iter (fun k -> Int_tree.insert t k k) [ 1; 2; 3 ];
+  check_bool "delete hit" true (Int_tree.delete t 2);
+  check_bool "delete miss" false (Int_tree.delete t 2);
+  check_int "length" 2 (Int_tree.length t);
+  Alcotest.(check (option int)) "gone" None (Int_tree.find t 2);
+  Alcotest.(check (option int)) "kept" (Some 3) (Int_tree.find t 3);
+  check_invariants t
+
+let test_delete_everything () =
+  let t = Int_tree.create ~order:4 () in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    Int_tree.insert t i i
+  done;
+  (* delete in a scattered order to exercise borrows and merges *)
+  for i = 0 to n - 1 do
+    let k = (i * 263) mod n in
+    check_bool "deleted" true (Int_tree.delete t k);
+    if i mod 50 = 0 then check_invariants ~msg:(Printf.sprintf "after %d deletes" (i + 1)) t
+  done;
+  check_int "empty" 0 (Int_tree.length t);
+  check_invariants t
+
+let test_delete_reinsert () =
+  let t = Int_tree.create ~order:4 () in
+  for i = 0 to 99 do
+    Int_tree.insert t i i
+  done;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then ignore (Int_tree.delete t i)
+  done;
+  for i = 0 to 99 do
+    if i mod 2 = 0 then Int_tree.insert t i (-i)
+  done;
+  check_int "length" 100 (Int_tree.length t);
+  Alcotest.(check (option int)) "reinserted" (Some (-42)) (Int_tree.find t 42);
+  check_invariants t
+
+(* ------------------------------------------------------------------ *)
+(* bulk load                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_bulk_load () =
+  List.iter
+    (fun n ->
+      let pairs = Array.init n (fun i -> (3 * i, i)) in
+      let t = Int_tree.of_sorted_array ~order:8 pairs in
+      check_int (Printf.sprintf "size %d" n) n (Int_tree.length t);
+      check_invariants ~msg:(Printf.sprintf "bulk %d" n) t;
+      if n > 0 then begin
+        Alcotest.(check (option int)) "first" (Some 0) (Int_tree.find t 0);
+        Alcotest.(check (option int)) "last" (Some (n - 1)) (Int_tree.find t (3 * (n - 1)))
+      end)
+    [ 0; 1; 7; 8; 9; 63; 64; 65; 100; 1000 ]
+
+let test_bulk_load_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Btree.of_sorted_array: keys must be strictly increasing") (fun () ->
+      ignore (Int_tree.of_sorted_array [| (1, ()); (1, ()) |]))
+
+let test_bulk_load_matches_inserts () =
+  let n = 2000 in
+  let pairs = Array.init n (fun i -> (i, i * i)) in
+  let bulk = Int_tree.of_sorted_array ~order:6 pairs in
+  let dyn = Int_tree.create ~order:6 () in
+  Array.iter (fun (k, v) -> Int_tree.insert dyn k v) pairs;
+  Alcotest.(check bool) "same contents" true (Int_tree.to_list bulk = Int_tree.to_list dyn)
+
+(* ------------------------------------------------------------------ *)
+(* packed keys                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_packed () =
+  let module P = Btree.Packed in
+  let k = P.make ~pre:12345 ~post:67890 in
+  check_int "pre" 12345 (P.pre k);
+  check_int "post" 67890 (P.post k);
+  check_bool "order by pre first" true (P.make ~pre:1 ~post:1000000 < P.make ~pre:2 ~post:0);
+  check_bool "order by post second" true (P.make ~pre:5 ~post:3 < P.make ~pre:5 ~post:4);
+  check_bool "lo bound" true (P.lo ~pre:7 <= P.make ~pre:7 ~post:0);
+  check_bool "hi bound" true (P.hi ~pre:7 >= P.make ~pre:7 ~post:1_000_000_000)
+
+(* ------------------------------------------------------------------ *)
+(* model-based properties                                              *)
+(* ------------------------------------------------------------------ *)
+
+type op = Insert of int * int | Delete of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun k v -> Insert (k, v)) (int_bound 200) (int_bound 10_000));
+        (2, map (fun k -> Delete k) (int_bound 200));
+      ])
+
+let op_print = function
+  | Insert (k, v) -> Printf.sprintf "ins(%d,%d)" k v
+  | Delete k -> Printf.sprintf "del(%d)" k
+
+let ops_arbitrary = QCheck.make ~print:QCheck.Print.(list op_print) QCheck.Gen.(list_size (int_bound 400) op_gen)
+
+let apply_model model = function
+  | Insert (k, v) -> Int_map.add k v model
+  | Delete k -> Int_map.remove k model
+
+let apply_tree t = function
+  | Insert (k, v) -> Int_tree.insert t k v
+  | Delete k -> ignore (Int_tree.delete t k)
+
+let prop_model_equivalence order =
+  QCheck.Test.make ~count:150
+    ~name:(Printf.sprintf "btree(order=%d) == Map under random ops" order)
+    ops_arbitrary
+    (fun ops ->
+      let t = Int_tree.create ~order () in
+      let model = List.fold_left (fun m op -> apply_tree t op; apply_model m op) Int_map.empty ops in
+      (match Int_tree.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_reportf "invariant broken: %s" e);
+      Int_tree.to_list t = Int_map.bindings model)
+
+let prop_range_scan =
+  QCheck.Test.make ~count:150 ~name:"range scan equals Map filter"
+    QCheck.(triple (list (pair (int_bound 300) (int_bound 100))) (int_bound 300) (int_bound 300))
+    (fun (pairs, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = Int_tree.create ~order:4 () in
+      let model =
+        List.fold_left
+          (fun m (k, v) ->
+            Int_tree.insert t k v;
+            Int_map.add k v m)
+          Int_map.empty pairs
+      in
+      let scanned = List.rev (Int_tree.fold_range ~lo ~hi t ~init:[] ~f:(fun acc k v -> (k, v) :: acc)) in
+      let expected = Int_map.bindings (Int_map.filter (fun k _ -> k >= lo && k <= hi) model) in
+      scanned = expected)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_model_equivalence 4; prop_model_equivalence 8; prop_model_equivalence 64; prop_range_scan ]
+
+let () =
+  Alcotest.run "scj_btree"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty tree" `Quick test_empty;
+          Alcotest.test_case "insert/find 1000" `Quick test_insert_find;
+          Alcotest.test_case "insert replaces" `Quick test_replace;
+          Alcotest.test_case "height grows" `Quick test_height_grows;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "to_list sorted" `Quick test_to_list_sorted;
+        ] );
+      ( "ranges",
+        [
+          Alcotest.test_case "inclusive bounds" `Quick test_range_inclusive;
+          Alcotest.test_case "early stop" `Quick test_range_while_stops;
+          Alcotest.test_case "stats recorded" `Quick test_range_stats;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "simple delete" `Quick test_delete_simple;
+          Alcotest.test_case "delete everything" `Quick test_delete_everything;
+          Alcotest.test_case "delete and reinsert" `Quick test_delete_reinsert;
+        ] );
+      ( "bulk",
+        [
+          Alcotest.test_case "bulk load sizes" `Quick test_bulk_load;
+          Alcotest.test_case "rejects unsorted" `Quick test_bulk_load_rejects_unsorted;
+          Alcotest.test_case "matches dynamic inserts" `Quick test_bulk_load_matches_inserts;
+        ] );
+      ("packed keys", [ Alcotest.test_case "pack/unpack/order" `Quick test_packed ]);
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,291 @@
+(* Tests for the baseline axis-step algorithms (lib/engine): the naive
+   per-context strategy, the Fig.-3 SQL plan over a B-tree, MPMGJN, and
+   the sorted-list structural joins.  All must agree with the region
+   specification; the interesting assertions are about the *work* they do
+   compared to the staircase join. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Stats = Scj_stats.Stats
+module Sj = Scj_core.Staircase
+module Naive = Scj_engine.Naive
+module Sql_plan = Scj_engine.Sql_plan
+module Mpmgjn = Scj_engine.Mpmgjn
+module Structjoin = Scj_engine.Structjoin
+module Operators = Scj_engine.Operators
+
+let nodeseq = Alcotest.testable Nodeseq.pp Nodeseq.equal
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let doc () = Lazy.force Test_support.paper_doc
+
+let pre name = Test_support.pre_of_name (doc ()) name
+
+let seq names = Nodeseq.of_unsorted (List.map pre names)
+
+(* ------------------------------------------------------------------ *)
+(* operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_sort_unique () =
+  let stats = Stats.create () in
+  let hits = Scj_bat.Int_col.of_list [ 5; 1; 5; 3; 1; 1 ] in
+  let out = Operators.sort_unique ~stats hits in
+  Alcotest.check nodeseq "sorted, unique" (Nodeseq.of_unsorted [ 1; 3; 5 ]) out;
+  check_int "sorted counter" 6 stats.Stats.sorted;
+  check_int "duplicates removed" 3 stats.Stats.duplicates
+
+let test_merge_union () =
+  let stats = Stats.create () in
+  let a = Nodeseq.of_unsorted [ 1; 2 ] and b = Nodeseq.of_unsorted [ 2; 3 ] in
+  let out = Operators.merge_union ~stats [ a; b ] in
+  Alcotest.check nodeseq "merged" (Nodeseq.of_unsorted [ 1; 2; 3 ]) out;
+  check_int "duplicates" 1 stats.Stats.duplicates
+
+(* ------------------------------------------------------------------ *)
+(* naive strategy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_naive_counts_duplicates () =
+  let d = doc () in
+  (* g and j share the ancestor a; naive produces a twice *)
+  let stats = Stats.create () in
+  let out = Naive.step ~stats d (seq [ "g"; "j" ]) Axis.Ancestor in
+  Alcotest.check nodeseq "ancestors" (seq [ "a"; "e"; "f"; "i" ]) out;
+  (* anc(g) = {a,e,f}, anc(j) = {a,e,i}: a and e arrive twice *)
+  check_int "two duplicates (a, e)" 2 stats.Stats.duplicates;
+  check_int "scans n per context" (2 * Doc.n_nodes d) stats.Stats.scanned
+
+let test_naive_count_analytic_paper () =
+  let d = doc () in
+  let ctx = seq [ "g"; "j" ] in
+  check_int "ancestor tuples" 6 (Naive.count_with_duplicates d ctx Axis.Ancestor);
+  check_int "descendant tuples" (Doc.size d (pre "e") + Doc.size d (pre "b"))
+    (Naive.count_with_duplicates d (seq [ "b"; "e" ]) Axis.Descendant)
+
+let prop_naive_count_matches_materialization =
+  List.map
+    (fun axis ->
+      QCheck.Test.make ~count:200
+        ~name:
+          (Printf.sprintf "analytic duplicate count = materialized count (%s)"
+             (Axis.to_string axis))
+        (Test_support.doc_with_context_arbitrary ())
+        (fun (d, ctx) ->
+          let stats = Stats.create () in
+          let out = Naive.step ~stats d ctx axis in
+          Naive.count_with_duplicates d ctx axis = Nodeseq.length out + stats.Stats.duplicates))
+    [ Axis.Descendant; Axis.Ancestor; Axis.Following; Axis.Preceding ]
+
+(* ------------------------------------------------------------------ *)
+(* SQL plan                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sql_plan_paper () =
+  let d = doc () in
+  let idx = Sql_plan.build_index d in
+  Alcotest.check nodeseq "descendants of b,e"
+    (seq [ "c"; "f"; "g"; "h"; "i"; "j" ])
+    (Sql_plan.step idx d (seq [ "b"; "e" ]) `Descendant);
+  Alcotest.check nodeseq "ancestors of g,j"
+    (seq [ "a"; "e"; "f"; "i" ])
+    (Sql_plan.step idx d (seq [ "g"; "j" ]) `Ancestor)
+
+let test_sql_plan_early_nametest () =
+  let d = doc () in
+  let idx = Sql_plan.build_index d in
+  let options = { Sql_plan.delimiter = true; early_nametest = Some "f" } in
+  Alcotest.check nodeseq "only f" (seq [ "f" ])
+    (Sql_plan.step ~options idx d (seq [ "a" ]) `Descendant);
+  let options = { Sql_plan.delimiter = true; early_nametest = Some "nosuch" } in
+  Alcotest.check nodeseq "unknown name matches nothing" Nodeseq.empty
+    (Sql_plan.step ~options idx d (seq [ "a" ]) `Descendant)
+
+let test_sql_plan_delimiter_reduces_scans () =
+  let d = Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.005 ())) in
+  let idx = Sql_plan.build_index d in
+  let profiles = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
+  let run delimiter =
+    let stats = Stats.create () in
+    let out =
+      Sql_plan.step ~stats ~options:{ Sql_plan.delimiter; early_nametest = None } idx d profiles
+        `Descendant
+    in
+    (out, stats.Stats.scanned)
+  in
+  let out_without, scans_without = run false in
+  let out_with, scans_with = run true in
+  Alcotest.check nodeseq "same result" out_without out_with;
+  check_bool
+    (Printf.sprintf "delimiter cuts touched tuples (%d < %d / 10)" scans_with scans_without)
+    true
+    (scans_with < scans_without / 10)
+
+let test_sql_plan_duplicates () =
+  let d = doc () in
+  let idx = Sql_plan.build_index d in
+  let stats = Stats.create () in
+  let _ = Sql_plan.step ~stats idx d (seq [ "g"; "j" ]) `Ancestor in
+  (* a and e found from both g and j *)
+  check_int "duplicates generated then removed" 2 stats.Stats.duplicates;
+  check_bool "probes recorded" true (stats.Stats.index_probes >= 2)
+
+let prop_sql_plan_agrees axis_tag axis =
+  List.map
+    (fun delimiter ->
+      QCheck.Test.make ~count:200
+        ~name:
+          (Printf.sprintf "sql plan %s = specification (delimiter=%b)" axis_tag delimiter)
+        (Test_support.doc_with_context_arbitrary ())
+        (fun (d, ctx) ->
+          let idx = Sql_plan.build_index ~order:4 d in
+          let expected = Test_support.spec_step d axis ctx in
+          let actual =
+            Sql_plan.step ~options:{ Sql_plan.delimiter; early_nametest = None } idx d ctx
+              (match axis with Axis.Descendant -> `Descendant | _ -> `Ancestor)
+          in
+          (* the SQL descendant plan keeps attribute filtering; ancestor
+             never yields attributes *)
+          Nodeseq.equal expected actual))
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* MPMGJN and structural joins                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_baseline_agrees name axis run =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "%s = specification (%s)" name (Axis.to_string axis))
+    (Test_support.doc_with_context_arbitrary ())
+    (fun (d, ctx) ->
+      let expected = Test_support.spec_step d axis ctx in
+      let actual = run d ctx in
+      if Nodeseq.equal expected actual then true
+      else QCheck.Test.fail_reportf "expected %a, got %a" Nodeseq.pp expected Nodeseq.pp actual)
+
+let test_mpmgjn_rescans () =
+  let d = doc () in
+  (* overlapping context (e covers f): MPMGJN does not prune, so f's
+     partition tuples are scanned twice *)
+  let stats = Stats.create () in
+  let _ = Mpmgjn.desc ~stats d (seq [ "e"; "f" ]) in
+  let region = Doc.size d (pre "e") in
+  check_bool "rescanning exceeds region size" true (stats.Stats.scanned > region);
+  check_bool "duplicates produced" true (stats.Stats.duplicates > 0)
+
+let test_structjoin_touches_whole_doc () =
+  let d = doc () in
+  let stats = Stats.create () in
+  let _ = Structjoin.desc ~stats d (seq [ "i" ]) in
+  check_int "stack-tree scans every node" (Doc.n_nodes d) stats.Stats.scanned
+
+let test_baselines_touch_more_than_staircase () =
+  let d = Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.005 ())) in
+  let increases = Nodeseq.of_sorted_array (Doc.tag_positions d "increase") in
+  let touches run =
+    let stats = Stats.create () in
+    let (_ : Nodeseq.t) = run stats in
+    Stats.touched stats
+  in
+  let sj = touches (fun stats -> Sj.anc ~stats d increases) in
+  let mp = touches (fun stats -> Mpmgjn.anc ~stats d increases) in
+  let naive = touches (fun stats -> Naive.step ~stats d increases Axis.Ancestor) in
+  check_bool (Printf.sprintf "staircase %d < mpmgjn %d" sj mp) true (sj < mp);
+  check_bool (Printf.sprintf "mpmgjn %d < naive %d" mp naive) true (mp <= naive)
+
+(* ------------------------------------------------------------------ *)
+(* SQL generation (§2.1)                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Sqlgen = Scj_engine.Sqlgen
+
+let test_sqlgen_paper_query () =
+  (* the Fig.-3 query: (c)/following::node()/descendant::node() *)
+  let sql =
+    Sqlgen.of_steps
+      [
+        { Sqlgen.axis = `Following; name_test = None };
+        { Sqlgen.axis = `Descendant; name_test = None };
+      ]
+  in
+  let expected =
+    "SELECT DISTINCT v2.pre\n\
+     FROM   doc v1, doc v2\n\
+     WHERE  v1.pre > pre(:ctx)\n\
+     AND    v1.post > post(:ctx)\n\
+     AND    v2.pre > v1.pre\n\
+     AND    v2.post < v1.post\n\
+     ORDER BY v2.pre"
+  in
+  Alcotest.(check string) "Fig. 3 translation" expected sql
+
+let test_sqlgen_delimiter_and_nametest () =
+  let sql =
+    Sqlgen.of_steps ~delimiter:true
+      [ { Sqlgen.axis = `Descendant; name_test = Some "profile" } ]
+  in
+  let has fragment =
+    let n = String.length fragment and h = String.length sql in
+    let rec at i = i + n <= h && (String.sub sql i n = fragment || at (i + 1)) in
+    check_bool (Printf.sprintf "contains %S" fragment) true (at 0)
+  in
+  has "v1.pre <= post(:ctx) + :h";
+  has "v1.post >= pre(:ctx) - :h";
+  has "v1.tag = 'profile'"
+
+let test_sqlgen_empty_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Sqlgen.of_steps: empty path") (fun () ->
+      ignore (Sqlgen.of_steps []))
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    (prop_naive_count_matches_materialization
+    @ prop_sql_plan_agrees "descendant" Axis.Descendant
+    @ prop_sql_plan_agrees "ancestor" Axis.Ancestor
+    @ [
+        prop_baseline_agrees "naive" Axis.Descendant (fun d c -> Naive.step d c Axis.Descendant);
+        prop_baseline_agrees "naive" Axis.Following (fun d c -> Naive.step d c Axis.Following);
+        prop_baseline_agrees "mpmgjn" Axis.Descendant (fun d c -> Mpmgjn.desc d c);
+        prop_baseline_agrees "mpmgjn" Axis.Ancestor (fun d c -> Mpmgjn.anc d c);
+        prop_baseline_agrees "stack-tree" Axis.Descendant (fun d c -> Structjoin.desc d c);
+        prop_baseline_agrees "parent-chase" Axis.Ancestor (fun d c -> Structjoin.anc d c);
+      ])
+
+let () =
+  Alcotest.run "scj_engine"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "sort_unique" `Quick test_sort_unique;
+          Alcotest.test_case "merge_union" `Quick test_merge_union;
+        ] );
+      ( "naive",
+        [
+          Alcotest.test_case "duplicates on paper tree" `Quick test_naive_counts_duplicates;
+          Alcotest.test_case "analytic counts" `Quick test_naive_count_analytic_paper;
+        ] );
+      ( "sql plan",
+        [
+          Alcotest.test_case "paper tree steps" `Quick test_sql_plan_paper;
+          Alcotest.test_case "early name test" `Quick test_sql_plan_early_nametest;
+          Alcotest.test_case "Eq.-1 delimiter cuts scans" `Quick test_sql_plan_delimiter_reduces_scans;
+          Alcotest.test_case "duplicate generation" `Quick test_sql_plan_duplicates;
+        ] );
+      ( "sqlgen",
+        [
+          Alcotest.test_case "Fig. 3 translation" `Quick test_sqlgen_paper_query;
+          Alcotest.test_case "delimiter and name test" `Quick test_sqlgen_delimiter_and_nametest;
+          Alcotest.test_case "empty path rejected" `Quick test_sqlgen_empty_rejected;
+        ] );
+      ( "containment joins",
+        [
+          Alcotest.test_case "mpmgjn rescans overlaps" `Quick test_mpmgjn_rescans;
+          Alcotest.test_case "stack-tree full scan" `Quick test_structjoin_touches_whole_doc;
+          Alcotest.test_case "work ordering on xmark" `Quick test_baselines_touch_more_than_staircase;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,178 @@
+(* Tests for tag-name fragmentation and the partition-parallel staircase
+   join (lib/frag). *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Stats = Scj_stats.Stats
+module Sj = Scj_core.Staircase
+module Fragmented = Scj_frag.Fragmented
+module Parallel = Scj_frag.Parallel
+
+let nodeseq = Alcotest.testable Nodeseq.pp Nodeseq.equal
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let doc () = Lazy.force Test_support.paper_doc
+
+let pre name = Test_support.pre_of_name (doc ()) name
+
+let seq names = Nodeseq.of_unsorted (List.map pre names)
+
+let xmark = lazy (Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.003 ())))
+
+(* ------------------------------------------------------------------ *)
+(* fragmentation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_paper () =
+  let f = Fragmented.build (doc ()) in
+  (* ten distinct single-letter tags *)
+  check_int "ten fragments" 10 (Fragmented.n_fragments f);
+  check_int "size of a" 1 (Fragmented.fragment_size f "a");
+  check_int "missing tag" 0 (Fragmented.fragment_size f "zz");
+  check_bool "fragment lookup" true (Fragmented.fragment f "f" <> None)
+
+let test_fragment_sizes_cover_elements () =
+  let d = Lazy.force xmark in
+  let f = Fragmented.build d in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Fragmented.tags f) in
+  let elements = ref 0 in
+  let kinds = Doc.kind_array d in
+  Array.iter (fun k -> if k = Doc.Element then incr elements) kinds;
+  check_int "fragments partition the elements" !elements total
+
+let test_desc_step_paper () =
+  let f = Fragmented.build (doc ()) in
+  Alcotest.check nodeseq "descendant::f from root" (seq [ "f" ])
+    (Fragmented.desc_step f (seq [ "a" ]) ~tag:"f");
+  Alcotest.check nodeseq "descendant::g from e" (seq [ "g" ])
+    (Fragmented.desc_step f (seq [ "e" ]) ~tag:"g");
+  Alcotest.check nodeseq "no match" Nodeseq.empty (Fragmented.desc_step f (seq [ "b" ]) ~tag:"g")
+
+let test_anc_step_paper () =
+  let f = Fragmented.build (doc ()) in
+  Alcotest.check nodeseq "ancestor::e of g,j" (seq [ "e" ])
+    (Fragmented.anc_step f (seq [ "g"; "j" ]) ~tag:"e");
+  Alcotest.check nodeseq "ancestor::a" (seq [ "a" ]) (Fragmented.anc_step f (seq [ "g" ]) ~tag:"a")
+
+(* The future-work experiment: fragmented evaluation matches the plain
+   staircase join followed by a name test, while touching only fragment
+   nodes. *)
+let test_fragment_matches_full_join_on_xmark () =
+  let d = Lazy.force xmark in
+  let f = Fragmented.build d in
+  let root = Nodeseq.singleton (Doc.root d) in
+  let stats_frag = Stats.create () in
+  let profiles = Fragmented.desc_step ~stats:stats_frag f root ~tag:"profile" in
+  let educations = Fragmented.desc_step f profiles ~tag:"education" in
+  (* reference: full staircase join + name filter *)
+  let filter_tag seq tag =
+    match Doc.tag_symbol d tag with
+    | None -> Nodeseq.empty
+    | Some sym ->
+      Nodeseq.filter (fun v -> Doc.kind d v = Doc.Element && Doc.tag d v = sym) seq
+  in
+  let stats_full = Stats.create () in
+  let profiles' = filter_tag (Sj.desc ~stats:stats_full d root) "profile" in
+  let educations' = filter_tag (Sj.desc d profiles') "education" in
+  Alcotest.check nodeseq "same profiles" profiles' profiles;
+  Alcotest.check nodeseq "same educations" educations' educations;
+  check_bool
+    (Printf.sprintf "fragment touches far fewer nodes (%d vs %d)" (Stats.touched stats_frag)
+       (Stats.touched stats_full))
+    true
+    (Stats.touched stats_frag * 10 < Stats.touched stats_full)
+
+let prop_fragment_steps_agree =
+  QCheck.Test.make ~count:200 ~name:"fragmented steps = filtered staircase joins"
+    (QCheck.make
+       ~print:(fun ((d, c), tag) ->
+         Printf.sprintf "%s ctx=%s tag=%s" (Test_support.doc_print d)
+           (Format.asprintf "%a" Nodeseq.pp c)
+           tag)
+       (QCheck.Gen.pair
+          (Test_support.doc_with_context_gen ())
+          (QCheck.Gen.oneofl [ "a"; "b"; "item"; "x"; "root" ])))
+    (fun ((d, ctx), tag) ->
+      let f = Fragmented.build d in
+      let filter_tag seq =
+        match Doc.tag_symbol d tag with
+        | None -> Nodeseq.empty
+        | Some sym ->
+          Nodeseq.filter (fun v -> Doc.kind d v = Doc.Element && Doc.tag d v = sym) seq
+      in
+      Nodeseq.equal (Fragmented.desc_step f ctx ~tag) (filter_tag (Sj.desc d ctx))
+      && Nodeseq.equal (Fragmented.anc_step f ctx ~tag) (filter_tag (Sj.anc d ctx)))
+
+(* ------------------------------------------------------------------ *)
+(* parallel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let all_modes = [ Sj.No_skipping; Sj.Skipping; Sj.Estimation; Sj.Exact_size ]
+
+let test_parallel_paper () =
+  let d = doc () in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun mode ->
+          Alcotest.check nodeseq
+            (Printf.sprintf "desc domains=%d mode=%s" domains (Sj.skip_mode_to_string mode))
+            (Sj.desc d (seq [ "b"; "e" ]))
+            (Parallel.desc ~domains ~mode d (seq [ "b"; "e" ]));
+          Alcotest.check nodeseq
+            (Printf.sprintf "anc domains=%d mode=%s" domains (Sj.skip_mode_to_string mode))
+            (Sj.anc d (seq [ "g"; "j" ]))
+            (Parallel.anc ~domains ~mode d (seq [ "g"; "j" ])))
+        all_modes)
+    [ 1; 2; 4 ]
+
+let test_parallel_empty_context () =
+  let d = doc () in
+  Alcotest.check nodeseq "empty" Nodeseq.empty (Parallel.desc ~domains:4 d Nodeseq.empty)
+
+let test_parallel_xmark () =
+  let d = Lazy.force xmark in
+  let increases = Nodeseq.of_sorted_array (Doc.tag_positions d "increase") in
+  Alcotest.check nodeseq "parallel anc on xmark" (Sj.anc d increases)
+    (Parallel.anc ~domains:4 d increases);
+  let profiles = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
+  Alcotest.check nodeseq "parallel desc on xmark" (Sj.desc d profiles)
+    (Parallel.desc ~domains:4 d profiles)
+
+let prop_parallel_agrees =
+  List.map
+    (fun mode ->
+      QCheck.Test.make ~count:100
+        ~name:(Printf.sprintf "parallel = sequential (%s)" (Sj.skip_mode_to_string mode))
+        (Test_support.doc_with_context_arbitrary ())
+        (fun (d, ctx) ->
+          Nodeseq.equal (Parallel.desc ~domains:3 ~mode d ctx) (Sj.desc ~mode d ctx)
+          && Nodeseq.equal (Parallel.anc ~domains:3 ~mode d ctx) (Sj.anc ~mode d ctx)))
+    all_modes
+
+let qsuite = List.map QCheck_alcotest.to_alcotest (prop_fragment_steps_agree :: prop_parallel_agrees)
+
+let () =
+  Alcotest.run "scj_frag"
+    [
+      ( "fragmentation",
+        [
+          Alcotest.test_case "build on paper doc" `Quick test_build_paper;
+          Alcotest.test_case "fragments partition elements" `Quick test_fragment_sizes_cover_elements;
+          Alcotest.test_case "descendant steps" `Quick test_desc_step_paper;
+          Alcotest.test_case "ancestor steps" `Quick test_anc_step_paper;
+          Alcotest.test_case "xmark Q1 equivalence + savings" `Quick
+            test_fragment_matches_full_join_on_xmark;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "paper doc, all modes/domains" `Quick test_parallel_paper;
+          Alcotest.test_case "empty context" `Quick test_parallel_empty_context;
+          Alcotest.test_case "xmark steps" `Quick test_parallel_xmark;
+        ] );
+      ("properties", qsuite);
+    ]

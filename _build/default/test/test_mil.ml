@@ -1,0 +1,187 @@
+(* Tests for the MIL-flavored plan language (lib/mil): the paper's §4.4
+   experiment programs, replayed against the library. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Sj = Scj_core.Staircase
+module Mil = Scj_mil.Mil
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let doc () = Lazy.force Test_support.paper_doc
+
+let xmark = lazy (Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.003 ())))
+
+let run_ok d program =
+  match Mil.run d program with
+  | Ok outcome -> outcome
+  | Error e -> Alcotest.failf "program failed: %s" e
+
+let run_err d program =
+  match Mil.run d program with
+  | Ok _ -> Alcotest.failf "expected failure for %S" program
+  | Error e -> e
+
+let binding outcome x =
+  match List.assoc_opt x outcome.Mil.bindings with
+  | Some v -> v
+  | None -> Alcotest.failf "no binding for %s" x
+
+let seq_of outcome x =
+  match binding outcome x with
+  | Mil.Seq s -> s
+  | _ -> Alcotest.failf "%s is not a sequence" x
+
+(* ------------------------------------------------------------------ *)
+(* the paper's Q2 program                                              *)
+(* ------------------------------------------------------------------ *)
+
+let paper_q2 =
+  {|r  := root(doc);
+    s1 := nametest(staircasejoin_desc(doc, r), "increase");
+    s2 := nametest(staircasejoin_anc(doc, s1), "bidder");
+    print(count(s2));|}
+
+let test_paper_program_runs () =
+  let d = Lazy.force xmark in
+  let outcome = run_ok d paper_q2 in
+  (* cross-check against direct library calls *)
+  let root = Nodeseq.singleton (Doc.root d) in
+  let filter tag seq =
+    match Doc.tag_symbol d tag with
+    | None -> Nodeseq.empty
+    | Some sym -> Nodeseq.filter (fun v -> Doc.kind d v = Doc.Element && Doc.tag d v = sym) seq
+  in
+  let s1 = filter "increase" (Sj.desc d root) in
+  let s2 = filter "bidder" (Sj.anc d s1) in
+  check_bool "s1 matches" true (Nodeseq.equal s1 (seq_of outcome "s1"));
+  check_bool "s2 matches" true (Nodeseq.equal s2 (seq_of outcome "s2"));
+  Alcotest.(check (list string))
+    "printed the count"
+    [ string_of_int (Nodeseq.length s2) ]
+    outcome.Mil.printed;
+  check_bool "work was recorded" true (Scj_stats.Stats.touched outcome.Mil.stats > 0)
+
+let test_skip_modes_agree () =
+  let d = Lazy.force xmark in
+  let result mode =
+    let program =
+      Printf.sprintf
+        {|s := staircasejoin_desc(doc, nametest(staircasejoin_desc(doc, root(doc)), "profile"), "%s");
+          print(count(s))|}
+        mode
+    in
+    (run_ok d program).Mil.printed
+  in
+  let reference = result "no-skipping" in
+  List.iter
+    (fun mode -> Alcotest.(check (list string)) mode reference (result mode))
+    [ "skipping"; "estimation"; "exact-size" ]
+
+let test_set_operations () =
+  let d = doc () in
+  let outcome =
+    run_ok d
+      {|a := nametest(staircasejoin_desc(doc, root(doc)), "f");
+        b := staircasejoin_desc(doc, a);
+        u := union(a, b);
+        i := intersect(u, b);
+        e := difference(b, b)|}
+  in
+  check_int "a" 1 (Nodeseq.length (seq_of outcome "a"));
+  check_int "b = g,h" 2 (Nodeseq.length (seq_of outcome "b"));
+  check_int "union" 3 (Nodeseq.length (seq_of outcome "u"));
+  check_int "intersect" 2 (Nodeseq.length (seq_of outcome "i"));
+  check_int "difference" 0 (Nodeseq.length (seq_of outcome "e"))
+
+let test_fragment_and_kindtest () =
+  let d = Lazy.force xmark in
+  let outcome =
+    run_ok d
+      {|f := fragment(doc, "bidder");
+        viajoin := nametest(staircasejoin_desc(doc, root(doc)), "bidder");
+        same := count(difference(f, viajoin))|}
+  in
+  check_bool "fragment non-empty" true (Nodeseq.length (seq_of outcome "f") > 0);
+  (match binding outcome "same" with
+  | Mil.Int 0 -> ()
+  | v -> Alcotest.failf "fragment differs from join: %s" (Mil.value_to_string d v));
+  let outcome2 =
+    run_ok d {|t := kindtest(staircasejoin_desc(doc, root(doc)), "text"); print(empty(t))|}
+  in
+  Alcotest.(check (list string)) "texts exist" [ "false" ] outcome2.Mil.printed
+
+let test_pruning_primitives () =
+  let d = doc () in
+  let outcome =
+    run_ok d
+      {|all := staircasejoin_desc(doc, root(doc));
+        p := prune_desc(doc, all)|}
+  in
+  (* pruning descendants of the full node set keeps only the root's children *)
+  check_int "staircase after pruning" 3 (Nodeseq.length (seq_of outcome "p"))
+
+let test_mpmgjn_primitives () =
+  let d = Lazy.force xmark in
+  let outcome =
+    run_ok d
+      {|c := nametest(staircasejoin_desc(doc, root(doc)), "increase");
+        a := staircasejoin_anc(doc, c);
+        b := mpmgjn_anc(doc, c);
+        diff := count(difference(a, b))|}
+  in
+  match binding outcome "diff" with
+  | Mil.Int 0 -> ()
+  | v -> Alcotest.failf "mpmgjn disagrees: %s" (Mil.value_to_string d v)
+
+let test_stats_and_comments () =
+  let d = doc () in
+  let outcome =
+    run_ok d
+      {|# evaluate a step, then report the work
+        s := staircasejoin_desc(doc, root(doc), "skipping");
+        stats()|}
+  in
+  check_int "one printed line" 1 (List.length outcome.Mil.printed);
+  check_bool "mentions appended" true
+    (let s = List.hd outcome.Mil.printed in
+     String.length s > 0)
+
+let test_first_last () =
+  let d = doc () in
+  let outcome = run_ok d {|s := staircasejoin_desc(doc, root(doc)); print(first(s)) print(last(s))|} in
+  Alcotest.(check (list string)) "first and last" [ "1"; "9" ] outcome.Mil.printed
+
+let test_errors () =
+  let d = doc () in
+  let has needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "unbound" true (has "unbound" (run_err d "print(x)"));
+  check_bool "unknown primitive" true (has "unknown primitive" (run_err d "frobnicate()"));
+  check_bool "type error" true (has "expected" (run_err d {|count(doc)|}));
+  check_bool "bad mode" true
+    (has "unknown skip mode" (run_err d {|staircasejoin_desc(doc, root(doc), "warp")|}));
+  check_bool "syntax" true (has "MIL error" (run_err d {|a := := b|}));
+  check_bool "unterminated string" true (has "unterminated" (run_err d {|print("oops)|}))
+
+let () =
+  Alcotest.run "scj_mil"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "paper Q2 program" `Quick test_paper_program_runs;
+          Alcotest.test_case "skip modes agree" `Quick test_skip_modes_agree;
+          Alcotest.test_case "set operations" `Quick test_set_operations;
+          Alcotest.test_case "fragment and kindtest" `Quick test_fragment_and_kindtest;
+          Alcotest.test_case "pruning primitives" `Quick test_pruning_primitives;
+          Alcotest.test_case "mpmgjn primitives" `Quick test_mpmgjn_primitives;
+          Alcotest.test_case "stats and comments" `Quick test_stats_and_comments;
+          Alcotest.test_case "first/last" `Quick test_first_last;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

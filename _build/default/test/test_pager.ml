@@ -1,0 +1,193 @@
+(* Tests for the disk-based substrate (lib/pager): buffer pool semantics
+   and the paged staircase join. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Sj = Scj_core.Staircase
+module Buffer_pool = Scj_pager.Buffer_pool
+module Paged_doc = Scj_pager.Paged_doc
+
+let nodeseq = Alcotest.testable Nodeseq.pp Nodeseq.equal
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_geometry () =
+  let store = Buffer_pool.Store.create ~page_ints:4 (Array.init 10 Fun.id) in
+  check_int "page_ints" 4 (Buffer_pool.Store.page_ints store);
+  check_int "pages (partial last)" 3 (Buffer_pool.Store.n_pages store);
+  check_int "length" 10 (Buffer_pool.Store.length store);
+  Alcotest.check_raises "bad page size"
+    (Invalid_argument "Buffer_pool.Store.create: page_ints must be positive") (fun () ->
+      ignore (Buffer_pool.Store.create ~page_ints:0 [||]))
+
+(* ------------------------------------------------------------------ *)
+(* pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let make_pool ?(n = 64) ?(page_ints = 8) ~capacity () =
+  let store = Buffer_pool.Store.create ~page_ints (Array.init n (fun i -> i * 10)) in
+  Buffer_pool.create ~capacity store
+
+let test_pool_reads_all_values () =
+  let pool = make_pool ~capacity:2 () in
+  for i = 0 to 63 do
+    check_int (Printf.sprintf "value %d" i) (i * 10) (Buffer_pool.read pool i)
+  done
+
+let test_pool_hit_fault_accounting () =
+  let pool = make_pool ~capacity:4 () in
+  (* first touch of a page faults, further touches hit *)
+  ignore (Buffer_pool.read pool 0);
+  ignore (Buffer_pool.read pool 1);
+  ignore (Buffer_pool.read pool 7);
+  ignore (Buffer_pool.read pool 8);
+  let hits, faults, evictions = Buffer_pool.stats pool in
+  check_int "hits" 2 hits;
+  check_int "faults" 2 faults;
+  check_int "no evictions yet" 0 evictions
+
+let test_pool_capacity_respected () =
+  let pool = make_pool ~capacity:3 () in
+  for i = 0 to 63 do
+    ignore (Buffer_pool.read pool i)
+  done;
+  check_bool "resident <= capacity" true (Buffer_pool.resident pool <= 3);
+  let _, faults, evictions = Buffer_pool.stats pool in
+  check_int "faulted every page once (sequential)" 8 faults;
+  check_int "evicted the rest" 5 evictions
+
+let test_pool_lru_order () =
+  let pool = make_pool ~capacity:2 () in
+  ignore (Buffer_pool.read pool 0) (* page 0 *);
+  ignore (Buffer_pool.read pool 8) (* page 1 *);
+  ignore (Buffer_pool.read pool 0) (* refresh page 0 *);
+  ignore (Buffer_pool.read pool 16) (* page 2: evicts page 1 (LRU) *);
+  check_bool "page 0 kept" true (Buffer_pool.is_resident pool 0);
+  check_bool "page 1 evicted" false (Buffer_pool.is_resident pool 1);
+  check_bool "page 2 resident" true (Buffer_pool.is_resident pool 2)
+
+let test_pool_reset_flush () =
+  let pool = make_pool ~capacity:2 () in
+  ignore (Buffer_pool.read pool 0);
+  Buffer_pool.reset_stats pool;
+  let hits, faults, _ = Buffer_pool.stats pool in
+  check_int "hits reset" 0 hits;
+  check_int "faults reset" 0 faults;
+  Buffer_pool.flush pool;
+  check_int "flushed" 0 (Buffer_pool.resident pool);
+  ignore (Buffer_pool.read pool 0);
+  let _, faults, _ = Buffer_pool.stats pool in
+  check_int "re-faulted after flush" 1 faults
+
+let test_pool_bounds () =
+  let pool = make_pool ~capacity:2 () in
+  Alcotest.check_raises "negative" (Invalid_argument "Buffer_pool.read: index -1 out of bounds")
+    (fun () -> ignore (Buffer_pool.read pool (-1)))
+
+let prop_pool_transparent =
+  QCheck.Test.make ~count:200 ~name:"pool reads = direct array reads (any capacity)"
+    QCheck.(triple (int_range 1 6) (int_range 1 5) (list_of_size (Gen.int_range 1 60) (int_bound 59)))
+    (fun (capacity, page_ints, accesses) ->
+      let data = Array.init 60 (fun i -> (i * 7) mod 13) in
+      let pool = Buffer_pool.create ~capacity (Buffer_pool.Store.create ~page_ints data) in
+      List.for_all (fun i -> Buffer_pool.read pool i = data.(i)) accesses)
+
+(* ------------------------------------------------------------------ *)
+(* paged document                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_paged_accessors () =
+  let d = Lazy.force Test_support.paper_doc in
+  let pd = Paged_doc.load ~page_ints:4 ~capacity:2 d in
+  check_int "n_nodes" (Doc.n_nodes d) (Paged_doc.n_nodes pd);
+  for v = 0 to Doc.n_nodes d - 1 do
+    check_int "post" (Doc.post d v) (Paged_doc.post pd v);
+    check_int "size" (Doc.size d v) (Paged_doc.size pd v);
+    check_bool "kind" (Doc.kind d v = Doc.Attribute) (Paged_doc.is_attribute pd v)
+  done
+
+let prop_paged_desc_agrees =
+  QCheck.Test.make ~count:200 ~name:"paged staircase desc = in-memory desc"
+    (Test_support.doc_with_context_arbitrary ())
+    (fun (d, ctx) ->
+      let pd = Paged_doc.load ~page_ints:4 ~capacity:3 d in
+      Nodeseq.equal (Paged_doc.desc pd ctx) (Sj.desc d ctx))
+
+let prop_paged_index_desc_agrees =
+  QCheck.Test.make ~count:200 ~name:"paged index plan desc = in-memory desc"
+    (Test_support.doc_with_context_arbitrary ())
+    (fun (d, ctx) ->
+      let pd = Paged_doc.load ~page_ints:4 ~capacity:3 d in
+      Nodeseq.equal (Paged_doc.index_desc pd ctx) (Sj.desc d ctx))
+
+let prop_paged_anc_agrees =
+  QCheck.Test.make ~count:200 ~name:"paged staircase anc = in-memory anc"
+    (Test_support.doc_with_context_arbitrary ())
+    (fun (d, ctx) ->
+      let pd = Paged_doc.load ~page_ints:4 ~capacity:3 d in
+      Nodeseq.equal (Paged_doc.anc pd ctx) (Sj.anc d ctx)
+      && Nodeseq.equal (Paged_doc.index_anc pd ctx) (Sj.anc d ctx))
+
+(* the headline of the disk experiment: under memory pressure the
+   single-pass staircase join faults far less than the per-context prefix
+   scans a tree-unaware index plan is stuck with (ancestor axis) *)
+let test_fault_comparison_on_xmark () =
+  let d = Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.005 ())) in
+  let increases = Nodeseq.of_sorted_array (Doc.tag_positions d "increase") in
+  let faults step =
+    let pd = Paged_doc.load ~page_ints:256 ~capacity:8 d in
+    let result = step pd increases in
+    let _, faults, _ = Buffer_pool.stats (Paged_doc.pool pd) in
+    (result, faults)
+  in
+  let r_sj, f_sj = faults Paged_doc.anc in
+  let r_ix, f_ix = faults Paged_doc.index_anc in
+  Alcotest.check nodeseq "same result" r_sj r_ix;
+  check_bool
+    (Printf.sprintf "staircase faults %d <<< index faults %d" f_sj f_ix)
+    true
+    (f_sj * 10 < f_ix);
+  (* the descendant step with the Eq.-1 delimiter has comparable locality:
+     no dramatic gap expected, but staircase must not lose badly *)
+  let profiles = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
+  let pd = Paged_doc.load ~page_ints:256 ~capacity:8 d in
+  let _ = Paged_doc.desc pd profiles in
+  let _, f_desc, _ = Buffer_pool.stats (Paged_doc.pool pd) in
+  let pd2 = Paged_doc.load ~page_ints:256 ~capacity:8 d in
+  let _ = Paged_doc.index_desc pd2 profiles in
+  let _, f_ixdesc, _ = Buffer_pool.stats (Paged_doc.pool pd2) in
+  check_bool
+    (Printf.sprintf "desc faults comparable (%d vs %d)" f_desc f_ixdesc)
+    true
+    (f_desc < 2 * f_ixdesc)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pool_transparent; prop_paged_desc_agrees; prop_paged_index_desc_agrees; prop_paged_anc_agrees ]
+
+let () =
+  Alcotest.run "scj_pager"
+    [
+      ("store", [ Alcotest.test_case "geometry" `Quick test_store_geometry ]);
+      ( "pool",
+        [
+          Alcotest.test_case "reads all values" `Quick test_pool_reads_all_values;
+          Alcotest.test_case "hit/fault accounting" `Quick test_pool_hit_fault_accounting;
+          Alcotest.test_case "capacity respected" `Quick test_pool_capacity_respected;
+          Alcotest.test_case "LRU eviction order" `Quick test_pool_lru_order;
+          Alcotest.test_case "reset and flush" `Quick test_pool_reset_flush;
+          Alcotest.test_case "bounds" `Quick test_pool_bounds;
+        ] );
+      ( "paged document",
+        [
+          Alcotest.test_case "accessors" `Quick test_paged_accessors;
+          Alcotest.test_case "fault comparison (xmark)" `Quick test_fault_comparison_on_xmark;
+        ] );
+      ("properties", qsuite);
+    ]

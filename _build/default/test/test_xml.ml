@@ -1,0 +1,302 @@
+(* Tests for the XML data model, parser, and serializer (lib/xml). *)
+
+module Tree = Scj_xml.Tree
+module Parser = Scj_xml.Parser
+module Printer = Scj_xml.Printer
+
+let parse_ok ?strip_ws s =
+  match Parser.parse_string ?strip_ws s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "unexpected parse error: %s" (Parser.error_to_string e)
+
+let parse_err ?strip_ws s =
+  match Parser.parse_string ?strip_ws s with
+  | Ok _ -> Alcotest.failf "expected a parse error for %S" s
+  | Error e -> e
+
+let tree_testable = Alcotest.testable Tree.pp Tree.equal
+
+let check_tree = Alcotest.check tree_testable
+
+(* ------------------------------------------------------------------ *)
+(* data model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let paper_tree =
+  (* the 10-node instance of Fig. 1: a(b(c), d?, ...) — we use a
+     structurally equivalent shape: a with children b(c,d) e(f(g) h) i(j) *)
+  Tree.elem "a"
+    [
+      Tree.elem "b" [ Tree.elem "c" []; Tree.elem "d" [] ];
+      Tree.elem "e" [ Tree.elem "f" [ Tree.elem "g" [] ]; Tree.elem "h" [] ];
+      Tree.elem "i" [ Tree.elem "j" [] ];
+    ]
+
+let test_node_count () =
+  Alcotest.(check int) "10 nodes" 10 (Tree.node_count paper_tree);
+  Alcotest.(check int)
+    "attributes count as nodes" 3
+    (Tree.node_count (Tree.elem ~attributes:[ ("x", "1"); ("y", "2") ] "a" []));
+  Alcotest.(check int) "text node" 1 (Tree.node_count (Tree.text "hi"))
+
+let test_height () =
+  Alcotest.(check int) "paper tree height" 3 (Tree.height paper_tree);
+  Alcotest.(check int) "leaf element" 0 (Tree.height (Tree.elem "a" []));
+  Alcotest.(check int) "attr adds one" 1 (Tree.height (Tree.elem ~attributes:[ ("k", "v") ] "a" []));
+  Alcotest.(check int) "text leaf" 0 (Tree.height (Tree.text "x"))
+
+let test_string_value () =
+  let t =
+    Tree.elem "r"
+      [ Tree.text "a"; Tree.elem "x" [ Tree.text "b"; Tree.Comment "nope" ]; Tree.text "c" ]
+  in
+  Alcotest.(check string) "concatenated" "abc" (Tree.string_value t)
+
+let test_attribute_lookup () =
+  match Tree.elem ~attributes:[ ("id", "7"); ("class", "x") ] "a" [] with
+  | Tree.Element e ->
+    Alcotest.(check (option string)) "hit" (Some "7") (Tree.attribute e "id");
+    Alcotest.(check (option string)) "miss" None (Tree.attribute e "missing")
+  | _ -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_minimal () =
+  check_tree "self closing" (Tree.elem "a" []) (parse_ok "<a/>");
+  check_tree "empty pair" (Tree.elem "a" []) (parse_ok "<a></a>");
+  check_tree "nested"
+    (Tree.elem "a" [ Tree.elem "b" []; Tree.elem "c" [ Tree.elem "d" [] ] ])
+    (parse_ok "<a><b/><c><d/></c></a>")
+
+let test_parse_attributes () =
+  check_tree "double and single quotes"
+    (Tree.elem ~attributes:[ ("x", "1"); ("y", "two") ] "a" [])
+    (parse_ok "<a x=\"1\" y='two'/>");
+  check_tree "entity in attribute"
+    (Tree.elem ~attributes:[ ("t", "a&b<c\"d") ] "a" [])
+    (parse_ok "<a t=\"a&amp;b&lt;c&quot;d\"/>")
+
+let test_parse_text_and_entities () =
+  check_tree "plain text" (Tree.elem "a" [ Tree.text "hello world" ]) (parse_ok "<a>hello world</a>");
+  check_tree "entities"
+    (Tree.elem "a" [ Tree.text "x < y & z > 'w' \"v\"" ])
+    (parse_ok "<a>x &lt; y &amp; z &gt; &apos;w&apos; &quot;v&quot;</a>");
+  check_tree "char refs" (Tree.elem "a" [ Tree.text "AB\xE2\x82\xAC" ]) (parse_ok "<a>&#65;&#x42;&#x20AC;</a>")
+
+let test_parse_mixed_content () =
+  check_tree "mixed"
+    (Tree.elem "p" [ Tree.text "one "; Tree.elem "b" [ Tree.text "two" ]; Tree.text " three" ])
+    (parse_ok "<p>one <b>two</b> three</p>")
+
+let test_parse_comment_pi_cdata () =
+  check_tree "comment" (Tree.elem "a" [ Tree.Comment " hi " ]) (parse_ok "<a><!-- hi --></a>");
+  check_tree "pi"
+    (Tree.elem "a" [ Tree.Pi { target = "php"; data = "echo" } ])
+    (parse_ok "<a><?php echo?></a>");
+  check_tree "cdata keeps markup"
+    (Tree.elem "a" [ Tree.text "<not><xml>&amp;" ])
+    (parse_ok "<a><![CDATA[<not><xml>&amp;]]></a>")
+
+let test_parse_bom () =
+  check_tree "UTF-8 BOM skipped" (Tree.elem "a" []) (parse_ok "\xEF\xBB\xBF<a/>");
+  check_tree "BOM with declaration" (Tree.elem "a" [])
+    (parse_ok "\xEF\xBB\xBF<?xml version=\"1.0\"?><a/>")
+
+let test_parse_prolog_doctype () =
+  check_tree "declaration and doctype"
+    (Tree.elem "a" [])
+    (parse_ok "<?xml version=\"1.0\"?>\n<!DOCTYPE a [ <!ELEMENT a EMPTY> ]>\n<a/>");
+  check_tree "comment before root" (Tree.elem "a" []) (parse_ok "<!-- leading --><a/>")
+
+let test_strip_ws () =
+  check_tree "whitespace kept by default"
+    (Tree.elem "a" [ Tree.text "\n  "; Tree.elem "b" []; Tree.text "\n" ])
+    (parse_ok "<a>\n  <b/>\n</a>");
+  check_tree "whitespace stripped"
+    (Tree.elem "a" [ Tree.elem "b" [] ])
+    (parse_ok ~strip_ws:true "<a>\n  <b/>\n</a>");
+  check_tree "significant text survives stripping"
+    (Tree.elem "a" [ Tree.text " x " ])
+    (parse_ok ~strip_ws:true "<a> x </a>")
+
+let string_contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let test_parse_errors () =
+  let check_msg input fragment =
+    let e = parse_err input in
+    if not (string_contains ~needle:fragment e.Parser.message) then
+      Alcotest.failf "error %S does not mention %S" e.Parser.message fragment
+  in
+  check_msg "<a><b></a>" "mismatched end tag";
+  check_msg "<a>" "unexpected end of input";
+  check_msg "<a/><b/>" "more than one root";
+  check_msg "just text" "outside the root";
+  check_msg "<a>&nope;</a>" "unknown entity";
+  check_msg "<a x=1/>" "quoted attribute";
+  check_msg "<a x=\"1\" x=\"2\"/>" "duplicate attribute";
+  check_msg "<a><!-- unterminated </a>" "missing";
+  check_msg "" "no root element"
+
+let test_error_position () =
+  let e = parse_err "<a>\n<b></c>\n</a>" in
+  Alcotest.(check int) "line" 2 e.Parser.line;
+  Alcotest.(check bool) "column sane" true (e.Parser.column > 1)
+
+(* ------------------------------------------------------------------ *)
+(* printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_print_basic () =
+  Alcotest.(check string) "self-close" "<a/>" (Printer.to_string (Tree.elem "a" []));
+  Alcotest.(check string)
+    "escaping" "<a x=\"&quot;&amp;\">&lt;&amp;&gt;</a>"
+    (Printer.to_string (Tree.elem ~attributes:[ ("x", "\"&") ] "a" [ Tree.text "<&>" ]));
+  Alcotest.(check string)
+    "declaration" "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a/>"
+    (Printer.to_string ~decl:true (Tree.elem "a" []))
+
+let test_print_parse_roundtrip_fixed () =
+  let doc =
+    Tree.elem "site"
+      [
+        Tree.elem ~attributes:[ ("id", "person0") ] "person"
+          [ Tree.elem "name" [ Tree.text "J. Doe & Sons <quoted>" ]; Tree.Comment "x" ];
+        Tree.Pi { target = "sort"; data = "by=name" };
+      ]
+  in
+  check_tree "roundtrip" doc (parse_ok (Printer.to_string doc))
+
+(* qcheck generator for random trees *)
+let name_gen = QCheck.Gen.oneofl [ "a"; "b"; "item"; "x-1"; "ns:t" ]
+
+let text_gen =
+  QCheck.Gen.(
+    map
+      (fun parts -> String.concat "" parts)
+      (list_size (int_range 1 4) (oneofl [ "x"; " "; "&"; "<"; ">"; "\""; "'"; "Zürich"; "1" ])))
+
+let tree_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 5) @@ fix (fun self n ->
+        let leaf =
+          frequency
+            [
+              (3, map Tree.text text_gen);
+              (1, map (fun s -> Tree.Comment s) (oneofl [ "c"; " note " ]));
+              (1, return (Tree.Pi { target = "pi"; data = "d" }));
+              (2, map (fun name -> Tree.elem name []) name_gen);
+            ]
+        in
+        if n = 0 then leaf
+        else
+          frequency
+            [
+              (1, leaf);
+              ( 3,
+                map3
+                  (fun name attrs children -> Tree.elem ~attributes:attrs name children)
+                  name_gen
+                  (oneofl [ []; [ ("k", "v&1") ]; [ ("k", "v"); ("l", "w'\"") ] ])
+                  (list_size (int_range 0 4) (self (n / 2))) );
+            ]))
+
+(* Wrap into a root element so the whole value is a well-formed document;
+   merge adjacent text nodes since serialization cannot distinguish them. *)
+let rec normalize t =
+  match t with
+  | Tree.Element e ->
+    let children =
+      List.fold_right
+        (fun c acc ->
+          let c = normalize c in
+          match (c, acc) with
+          | Tree.Text a, Tree.Text b :: rest -> Tree.Text (a ^ b) :: rest
+          | c, acc -> c :: acc)
+        e.Tree.children []
+    in
+    let children = List.filter (function Tree.Text "" -> false | _ -> true) children in
+    Tree.Element { e with Tree.children }
+  | t -> t
+
+let doc_arbitrary =
+  QCheck.make
+    ~print:(fun t -> Printer.to_string t)
+    QCheck.Gen.(map (fun children -> normalize (Tree.elem "root" children)) (list_size (int_bound 5) tree_gen))
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"parse (print t) = t" doc_arbitrary (fun doc ->
+      match Parser.parse_string (Printer.to_string doc) with
+      | Ok t -> Tree.equal t doc
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" (Parser.error_to_string e))
+
+let prop_roundtrip_indented =
+  QCheck.Test.make ~count:100 ~name:"indented output reparses (modulo whitespace strip)"
+    doc_arbitrary (fun doc ->
+      (* Only check on documents without significant text: indentation
+         inserts whitespace text nodes that stripping must remove again. *)
+      let rec textless = function
+        | Tree.Text s -> String.trim s = ""
+        | Tree.Element e -> List.for_all textless e.Tree.children
+        | Tree.Comment _ | Tree.Pi _ -> true
+      in
+      QCheck.assume (textless doc);
+      let rec drop_text t =
+        match t with
+        | Tree.Element e ->
+          Tree.Element
+            {
+              e with
+              Tree.children =
+                List.filter_map
+                  (fun c -> match c with Tree.Text _ -> None | c -> Some (drop_text c))
+                  e.Tree.children;
+            }
+        | t -> t
+      in
+      match Parser.parse_string ~strip_ws:true (Printer.to_string ~indent:true doc) with
+      | Ok t -> Tree.equal t (drop_text doc)
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" (Parser.error_to_string e))
+
+let prop_node_count_positive =
+  QCheck.Test.make ~count:200 ~name:"node_count >= 1 and >= height" doc_arbitrary (fun doc ->
+      Tree.node_count doc >= 1 && Tree.node_count doc > Tree.height doc)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_roundtrip; prop_roundtrip_indented; prop_node_count_positive ]
+
+let () =
+  Alcotest.run "scj_xml"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "node_count" `Quick test_node_count;
+          Alcotest.test_case "height" `Quick test_height;
+          Alcotest.test_case "string_value" `Quick test_string_value;
+          Alcotest.test_case "attribute lookup" `Quick test_attribute_lookup;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "minimal documents" `Quick test_parse_minimal;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "text and entities" `Quick test_parse_text_and_entities;
+          Alcotest.test_case "mixed content" `Quick test_parse_mixed_content;
+          Alcotest.test_case "comment/pi/cdata" `Quick test_parse_comment_pi_cdata;
+          Alcotest.test_case "prolog and doctype" `Quick test_parse_prolog_doctype;
+          Alcotest.test_case "UTF-8 BOM" `Quick test_parse_bom;
+          Alcotest.test_case "whitespace stripping" `Quick test_strip_ws;
+          Alcotest.test_case "error cases" `Quick test_parse_errors;
+          Alcotest.test_case "error positions" `Quick test_error_position;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "basics" `Quick test_print_basic;
+          Alcotest.test_case "fixed roundtrip" `Quick test_print_parse_roundtrip_fixed;
+        ] );
+      ("properties", qsuite);
+    ]

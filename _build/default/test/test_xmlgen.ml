@@ -1,0 +1,222 @@
+(* Tests for the XMark-style generator (lib/xmlgen). *)
+
+module Tree = Scj_xml.Tree
+module Parser = Scj_xml.Parser
+module Printer = Scj_xml.Printer
+module Prng = Scj_xmlgen.Prng
+module Xmark = Scj_xmlgen.Xmark
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* PRNG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7L and b = Prng.create 7L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 7L and b = Prng.create 8L in
+  check_bool "different streams" true (Prng.next a <> Prng.next b)
+
+let test_prng_ranges () =
+  let p = Prng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Prng.int p 10 in
+    check_bool "int in range" true (v >= 0 && v < 10);
+    let w = Prng.int_in p 5 7 in
+    check_bool "int_in in range" true (w >= 5 && w <= 7);
+    let f = Prng.float p in
+    check_bool "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_distribution () =
+  (* crude uniformity check: each of 10 buckets gets a fair share *)
+  let p = Prng.create 99L in
+  let buckets = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Prng.int p 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < n / 20 || c > n / 5 then Alcotest.failf "bucket %d suspicious: %d of %d" i c n)
+    buckets
+
+let test_prng_bool_probability () =
+  let p = Prng.create 5L in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Prng.bool p 0.25 then incr hits
+  done;
+  let ratio = float_of_int !hits /. float_of_int n in
+  check_bool "P(true) near 0.25" true (ratio > 0.22 && ratio < 0.28)
+
+let test_prng_geometric_mean () =
+  let p = Prng.create 11L in
+  let total = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    total := !total + Prng.geometric p ~p:0.25
+  done;
+  (* mean of Geometric(0.25) failures-before-success is 3 *)
+  let mean = float_of_int !total /. float_of_int n in
+  check_bool "mean near 3" true (mean > 2.7 && mean < 3.3)
+
+let test_prng_invalid_args () =
+  let p = Prng.create 1L in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int p 0));
+  Alcotest.check_raises "empty choice" (Invalid_argument "Prng.choice: empty array") (fun () ->
+      ignore (Prng.choice p [||]));
+  Alcotest.check_raises "bad p" (Invalid_argument "Prng.geometric: p must be in (0,1]") (fun () ->
+      ignore (Prng.geometric p ~p:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let small = Xmark.config ~scale:0.002 ()
+
+let small_doc = lazy (Xmark.generate small)
+
+let test_deterministic () =
+  let a = Xmark.generate small and b = Xmark.generate small in
+  check_bool "same tree for same config" true (Tree.equal a b);
+  let c = Xmark.generate (Xmark.config ~seed:43L ~scale:0.002 ()) in
+  check_bool "different seed differs" false (Tree.equal a c)
+
+let test_root_structure () =
+  match Lazy.force small_doc with
+  | Tree.Element e ->
+    Alcotest.(check string) "root" "site" e.Tree.name;
+    let names = List.filter_map Tree.name e.Tree.children in
+    Alcotest.(check (list string))
+      "sections"
+      [ "regions"; "categories"; "catgraph"; "people"; "open_auctions"; "closed_auctions" ]
+      names
+  | _ -> Alcotest.fail "root is not an element"
+
+let test_scaled_counts () =
+  let doc = Lazy.force small_doc in
+  check_int "persons" (Xmark.scaled small 25500) (Xmark.element_count doc "person");
+  check_int "open auctions" (Xmark.scaled small 12000) (Xmark.element_count doc "open_auction");
+  check_int "closed auctions" (Xmark.scaled small 3000) (Xmark.element_count doc "closed_auction");
+  check_int "items" (Xmark.scaled small 21750) (Xmark.element_count doc "item");
+  check_int "categories" (Xmark.scaled small 1000) (Xmark.element_count doc "category")
+
+let test_workload_ratios () =
+  (* generated at a larger scale so the ratios have room to converge *)
+  let doc = Xmark.generate (Xmark.config ~scale:0.02 ()) in
+  let persons = Xmark.element_count doc "person" in
+  let profiles = Xmark.element_count doc "profile" in
+  let educations = Xmark.element_count doc "education" in
+  let auctions = Xmark.element_count doc "open_auction" in
+  let bidders = Xmark.element_count doc "bidder" in
+  let increases = Xmark.element_count doc "increase" in
+  check_int "one increase per bidder" bidders increases;
+  let ratio a b = float_of_int a /. float_of_int b in
+  check_bool "about half of persons have a profile" true
+    (ratio profiles persons > 0.4 && ratio profiles persons < 0.6);
+  check_bool "about half of profiles have education" true
+    (ratio educations profiles > 0.38 && ratio educations profiles < 0.62);
+  check_bool "about 5 bidders per auction" true
+    (ratio bidders auctions > 3.5 && ratio bidders auctions < 6.0)
+
+let test_height () =
+  let h = Tree.height (Lazy.force small_doc) in
+  check_bool (Printf.sprintf "height %d in [8,13]" h) true (h >= 8 && h <= 13)
+
+(* The levels that Q1/Q2 rely on: profile at 3, education at 4, bidder at
+   3, increase at 4 (root = level 0). *)
+let test_levels () =
+  let doc = Lazy.force small_doc in
+  let seen = Hashtbl.create 16 in
+  let rec walk level = function
+    | Tree.Element e ->
+      (match Hashtbl.find_opt seen e.Tree.name with
+      | Some l -> check_int (Printf.sprintf "level of %s stable" e.Tree.name) l level
+      | None -> if List.mem e.Tree.name [ "profile"; "education"; "bidder"; "increase" ] then Hashtbl.add seen e.Tree.name level);
+      List.iter (walk (level + 1)) e.Tree.children
+    | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> ()
+  in
+  walk 0 doc;
+  check_int "profile level" 3 (Hashtbl.find seen "profile");
+  check_int "education level" 4 (Hashtbl.find seen "education");
+  check_int "bidder level" 3 (Hashtbl.find seen "bidder");
+  check_int "increase level" 4 (Hashtbl.find seen "increase")
+
+let test_serializes_and_reparses () =
+  let doc = Lazy.force small_doc in
+  let xml = Printer.to_string ~decl:true doc in
+  match Parser.parse_string xml with
+  | Ok t -> check_bool "roundtrip" true (Tree.equal t doc)
+  | Error e -> Alcotest.failf "generated document does not reparse: %s" (Parser.error_to_string e)
+
+let test_scaling_monotonic () =
+  let nodes scale = Tree.node_count (Xmark.generate (Xmark.config ~scale ())) in
+  let a = nodes 0.001 and b = nodes 0.004 in
+  check_bool "node count grows" true (b > 2 * a)
+
+(* Pin the generator output across releases: experiments cite documents by
+   (scale, seed), so the bytes must never drift silently.  If this test
+   fails after an intentional generator change, update the hash and note
+   the change in EXPERIMENTS.md. *)
+let test_snapshot_stability () =
+  let doc = Xmark.generate (Xmark.config ~scale:0.001 ()) in
+  let xml = Printer.to_string doc in
+  Alcotest.(check int) "byte size" 38233 (String.length xml);
+  Alcotest.(check string) "digest" "4f67bf682a3e7ea781d3ded6e6a94888" (Digest.to_hex (Digest.string xml))
+
+let test_references_valid () =
+  let doc = Lazy.force small_doc in
+  let n_persons = Xmark.element_count doc "person" in
+  let ok = ref true in
+  let rec walk = function
+    | Tree.Element e ->
+      (if String.equal e.Tree.name "personref" then
+         match Tree.attribute e "person" with
+         | Some id ->
+           let num = int_of_string (String.sub id 6 (String.length id - 6)) in
+           if num < 0 || num >= n_persons then ok := false
+         | None -> ok := false);
+      List.iter walk e.Tree.children
+    | Tree.Text _ | Tree.Comment _ | Tree.Pi _ -> ()
+  in
+  walk doc;
+  check_bool "personrefs point at existing persons" true !ok
+
+let () =
+  Alcotest.run "scj_xmlgen"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "uniformity" `Quick test_prng_distribution;
+          Alcotest.test_case "bool probability" `Quick test_prng_bool_probability;
+          Alcotest.test_case "geometric mean" `Quick test_prng_geometric_mean;
+          Alcotest.test_case "invalid arguments" `Quick test_prng_invalid_args;
+        ] );
+      ( "xmark",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "root structure" `Quick test_root_structure;
+          Alcotest.test_case "scaled counts" `Quick test_scaled_counts;
+          Alcotest.test_case "workload ratios" `Quick test_workload_ratios;
+          Alcotest.test_case "document height" `Quick test_height;
+          Alcotest.test_case "key element levels" `Quick test_levels;
+          Alcotest.test_case "serialize/reparse" `Quick test_serializes_and_reparses;
+          Alcotest.test_case "scaling monotonic" `Quick test_scaling_monotonic;
+          Alcotest.test_case "snapshot stability" `Quick test_snapshot_stability;
+          Alcotest.test_case "references valid" `Quick test_references_valid;
+        ] );
+    ]

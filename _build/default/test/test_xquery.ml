@@ -1,0 +1,320 @@
+(* Tests for the XQuery-lite layer (lib/xquery): the Pathfinder-style
+   usage scenario where FLWOR iteration produces arbitrary context
+   sequences for staircase-join axis steps. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Eval = Scj_xpath.Eval
+module Xq = Scj_xquery.Xq_eval
+module Xq_parse = Scj_xquery.Xq_parse
+module Xq_ast = Scj_xquery.Xq_ast
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+let bookstore =
+  lazy
+    (match
+       Doc.of_string
+         "<bookstore>\
+            <book id='b1'><title>Data on the Web</title><price>39.95</price><year>1999</year></book>\
+            <book id='b2'><title>XQuery</title><price>49.00</price><year>2003</year></book>\
+            <book id='b3'><title>XML Databases</title><price>25.50</price><year>2003</year></book>\
+          </bookstore>"
+     with
+    | Ok d -> d
+    | Error e -> failwith e)
+
+let session () = Eval.session (Lazy.force bookstore)
+
+let run q =
+  match Xq.run (session ()) q with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "XQuery %S failed: %s" q e
+
+let run_err q =
+  match Xq.run (session ()) q with
+  | Ok _ -> Alcotest.failf "expected %S to fail" q
+  | Error e -> e
+
+let atoms v =
+  List.map
+    (function Xq.Atom a -> Xq.atom_to_string a | _ -> Alcotest.fail "expected an atom")
+    v
+
+(* ------------------------------------------------------------------ *)
+(* parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse_ok q =
+  match Xq_parse.parse q with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "parse %S: %s" q e
+
+let test_parse_shapes () =
+  (match parse_ok "for $b in //book where $b/price > 30 return $b/title" with
+  | Xq_ast.Flwor
+      {
+        Xq_ast.clauses = [ Xq_ast.For ("b", None, _) ];
+        where = Some _;
+        order_by = None;
+        return = Xq_ast.Apply (Xq_ast.Var "b", _);
+      } ->
+    ()
+  | e -> Alcotest.failf "unexpected FLWOR shape: %s" (Xq_ast.to_string e));
+  (match parse_ok "let $x := 1 return $x + 2" with
+  | Xq_ast.Flwor
+      {
+        Xq_ast.clauses = [ Xq_ast.Let ("x", _) ];
+        where = None;
+        order_by = None;
+        return = Xq_ast.Binop (Xq_ast.Add, _, _);
+      } ->
+    ()
+  | e -> Alcotest.failf "unexpected let shape: %s" (Xq_ast.to_string e));
+  (match parse_ok "for $b at $i in //book order by $b/price descending return $i" with
+  | Xq_ast.Flwor
+      {
+        Xq_ast.clauses = [ Xq_ast.For ("b", Some "i", _) ];
+        order_by = Some (_, Xq_ast.Descending);
+        _;
+      } ->
+    ()
+  | e -> Alcotest.failf "unexpected order-by shape: %s" (Xq_ast.to_string e));
+  (match parse_ok "element result { () }" with
+  | Xq_ast.Element ("result", Xq_ast.Seq []) -> ()
+  | e -> Alcotest.failf "unexpected constructor shape: %s" (Xq_ast.to_string e));
+  match parse_ok "if (exists(//book)) then 1 else 2" with
+  | Xq_ast.If (_, _, _) -> ()
+  | e -> Alcotest.failf "unexpected if shape: %s" (Xq_ast.to_string e)
+
+let test_parse_precedence () =
+  check_string "mul binds tighter than add" "(1 + (2 * 3))" (Xq_ast.to_string (parse_ok "1 + 2 * 3"));
+  check_string "cmp above arithmetic" "(1 + 1) = 2" (Xq_ast.to_string (parse_ok "1 + 1 = 2"));
+  check_string "and below cmp" "(1 = 1 and 2 = 2)" (Xq_ast.to_string (parse_ok "1 = 1 and 2 = 2"))
+
+let test_parse_errors () =
+  let bad q =
+    match Xq_parse.parse q with
+    | Ok _ -> Alcotest.failf "expected syntax error for %S" q
+    | Error _ -> ()
+  in
+  bad "for $x in //book";
+  (* missing return *)
+  bad "let $x = 1 return $x";
+  (* = instead of := *)
+  bad "book";
+  (* bare relative path *)
+  bad "for in //book return 1";
+  bad "element { 1 }";
+  bad "1 +"
+
+(* ------------------------------------------------------------------ *)
+(* evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_atoms_and_arithmetic () =
+  Alcotest.(check (list string)) "literal" [ "xq" ] (atoms (run "'xq'"));
+  Alcotest.(check (list string)) "arithmetic" [ "7" ] (atoms (run "1 + 2 * 3"));
+  Alcotest.(check (list string)) "div/mod" [ "2"; "1" ] (atoms (run "(4 div 2, 7 mod 2)"));
+  Alcotest.(check (list string)) "subtraction" [ "-1" ] (atoms (run "1 - 2"));
+  Alcotest.(check (list string)) "empty arith is empty" [] (atoms (run "1 + ()"));
+  Alcotest.(check (list string)) "sequence flattening" [ "1"; "2"; "3" ]
+    (atoms (run "(1, (2, 3))"))
+
+let test_paths () =
+  check_int "absolute path" 3 (List.length (run "//book"));
+  check_int "apply to variable" 3
+    (List.length (run "for $b in //book return $b/title"));
+  check_int "double slash apply" 3
+    (List.length (run "for $s in /bookstore return $s//title"));
+  check_int "path on empty" 0 (List.length (run "for $b in () return $b"))
+
+let test_flwor () =
+  Alcotest.(check (list string)) "where filter" [ "XQuery" ]
+    (atoms (run "for $b in //book where $b/price > 40 return string($b/title)"));
+  Alcotest.(check (list string)) "let binding" [ "3" ]
+    (atoms (run "let $n := count(//book) return $n"));
+  Alcotest.(check (list string)) "nested for (cartesian)" [ "9" ]
+    (atoms (run "count(for $a in //book, $b in //book return ($a, $b)) div 2"));
+  Alcotest.(check (list string)) "multiple clauses" [ "b2" ]
+    (atoms
+       (run
+          "for $b in //book let $p := $b/price where $p > 40 return string($b/@id)"))
+
+let test_order_by_and_at () =
+  Alcotest.(check (list string)) "order by price ascending"
+    [ "XML Databases"; "Data on the Web"; "XQuery" ]
+    (atoms (run "for $b in //book order by $b/price return string($b/title)"));
+  Alcotest.(check (list string)) "order by price descending"
+    [ "XQuery"; "Data on the Web"; "XML Databases" ]
+    (atoms (run "for $b in //book order by $b/price descending return string($b/title)"));
+  Alcotest.(check (list string)) "positional variable" [ "1"; "2"; "3" ]
+    (atoms (run "for $b at $i in //book return $i"));
+  Alcotest.(check (list string)) "at with where" [ "2" ]
+    (atoms (run "for $b at $i in //book where $b/title = 'XQuery' return $i"))
+
+let test_distinct_values () =
+  Alcotest.(check (list string)) "distinct years" [ "1999"; "2003" ]
+    (atoms (run "distinct-values(//book/year)"));
+  Alcotest.(check (list string)) "distinct atoms" [ "1"; "2" ]
+    (atoms (run "distinct-values((1, 2, 1, 2, 1))"))
+
+let test_comparisons () =
+  Alcotest.(check (list string)) "general comparison exists" [ "true" ]
+    (atoms (run "//book/price > 40"));
+  Alcotest.(check (list string)) "string equality" [ "true" ]
+    (atoms (run "//book/title = 'XQuery'"));
+  Alcotest.(check (list string)) "and/or" [ "true" ]
+    (atoms (run "1 = 1 and (2 = 3 or 4 = 4)"))
+
+let test_conditionals () =
+  Alcotest.(check (list string)) "then branch" [ "cheap" ]
+    (atoms (run "for $b in //book where $b/@id = 'b3' return if ($b/price < 30) then 'cheap' else 'pricey'"));
+  Alcotest.(check (list string)) "else branch" [ "pricey" ]
+    (atoms (run "for $b in //book where $b/@id = 'b2' return if ($b/price < 30) then 'cheap' else 'pricey'"))
+
+let test_functions () =
+  Alcotest.(check (list string)) "count" [ "3" ] (atoms (run "count(//book)"));
+  Alcotest.(check (list string)) "exists/empty" [ "true"; "true" ]
+    (atoms (run "(exists(//book), empty(//pamphlet))"));
+  Alcotest.(check (list string)) "sum" [ "114.45" ] (atoms (run "sum(//book/price)"));
+  Alcotest.(check (list string)) "name" [ "bookstore" ] (atoms (run "name(/)"));
+  Alcotest.(check (list string)) "concat" [ "b1+b2" ]
+    (atoms (run "concat(string(//book[1]/@id), '+', string(//book[2]/@id))"));
+  Alcotest.(check (list string)) "data atomizes" [ "XQuery" ]
+    (atoms (run "data(//book[@id = 'b2']/title)"))
+
+let test_constructors () =
+  let v = run "element summary { for $b in //book where $b/price > 40 return $b/title }" in
+  match v with
+  | [ Xq.Tree (Scj_xml.Tree.Element e) ] ->
+    check_string "name" "summary" e.Scj_xml.Tree.name;
+    check_int "one child title" 1 (List.length e.Scj_xml.Tree.children)
+  | _ -> Alcotest.fail "expected one constructed element"
+
+let test_constructor_text_merging () =
+  match run "element t { ('a', 'b', 'c') }" with
+  | [ Xq.Tree (Scj_xml.Tree.Element { children = [ Scj_xml.Tree.Text s ]; _ }) ] ->
+    check_string "atoms joined with spaces" "a b c" s
+  | _ -> Alcotest.fail "expected a single text child"
+
+let test_constructor_attributes () =
+  (* an attribute node in constructor content becomes an attribute of the
+     constructed element *)
+  match run "for $b in //book where $b/@id = 'b2' return element copy { ($b/@id, $b/title) }" with
+  | [ Xq.Tree (Scj_xml.Tree.Element e) ] ->
+    Alcotest.(check (list (pair string string))) "attribute" [ ("id", "b2") ] e.Scj_xml.Tree.attributes;
+    check_int "one child" 1 (List.length e.Scj_xml.Tree.children)
+  | _ -> Alcotest.fail "expected one constructed element"
+
+let test_serialize () =
+  let session = session () in
+  match Xq.run session "element out { text { 'hi' } }" with
+  | Ok v -> check_string "serialized" "<out>hi</out>" (Xq.serialize session v)
+  | Error e -> Alcotest.fail e
+
+let test_eval_errors () =
+  check_bool "unbound variable" true
+    (String.length (run_err "$nope") > 0);
+  check_bool "path on atom" true (String.length (run_err "for $x in (1, 2) return $x/title") > 0)
+
+(* ------------------------------------------------------------------ *)
+(* the Pathfinder scenario on XMark                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_xmark_flwor () =
+  let doc = Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.003 ())) in
+  let session = Eval.session doc in
+  (* XMark Q2-flavored: the increases of busy auctions *)
+  let q =
+    "for $a in //open_auction where count($a/bidder) >= 4 \
+     return element busy { ($a/@id, count($a/bidder)) }"
+  in
+  match Xq.run session q with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+    check_bool "some busy auctions" true (List.length v > 0);
+    List.iter
+      (function
+        | Xq.Tree (Scj_xml.Tree.Element { name = "busy"; _ }) -> ()
+        | _ -> Alcotest.fail "expected constructed busy elements")
+      v;
+    (* cross-check the where filter against plain XPath *)
+    let expected =
+      Nodeseq.length (Eval.run_exn session "//open_auction[count(bidder) >= 4]")
+    in
+    check_int "agrees with XPath predicate" expected (List.length v)
+
+(* differential: a bare path in XQuery must agree with the XPath engine *)
+let prop_path_agrees_with_xpath =
+  QCheck.Test.make ~count:200 ~name:"XQuery path evaluation = XPath engine"
+    (QCheck.make (Test_support.doc_gen ~max_nodes:40 ()))
+    (fun d ->
+      let session = Eval.session d in
+      let queries = [ "//a"; "//item"; "/descendant::node()"; "//a/ancestor::node()" ] in
+      List.for_all
+        (fun q ->
+          let via_xpath = Nodeseq.to_list (Eval.run_exn session q) in
+          match Xq.run session q with
+          | Error e -> QCheck.Test.fail_reportf "xquery failed on %s: %s" q e
+          | Ok items ->
+            let via_xq =
+              List.map (function Xq.Node v -> v | _ -> -1) items
+            in
+            via_xq = via_xpath)
+        queries)
+
+(* FLWOR over a for-bound sequence re-traverses per binding but must
+   reproduce the set-at-a-time XPath result *)
+let prop_flwor_matches_xpath_step =
+  QCheck.Test.make ~count:100 ~name:"per-binding FLWOR traversal = set-at-a-time XPath"
+    (QCheck.make (Test_support.doc_gen ~max_nodes:40 ()))
+    (fun d ->
+      let session = Eval.session d in
+      let via_xpath = Nodeseq.to_list (Eval.run_exn session "//a/descendant::node()") in
+      match Xq.run session "for $x in //a return $x/descendant::node()" with
+      | Error e -> QCheck.Test.fail_reportf "xquery failed: %s" e
+      | Ok items ->
+        (* per-binding iteration may produce duplicates (overlapping
+           subtrees) in iteration order; the distinct sorted set matches *)
+        let via_xq =
+          List.sort_uniq compare (List.map (function Xq.Node v -> v | _ -> -1) items)
+        in
+        via_xq = via_xpath)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_path_agrees_with_xpath; prop_flwor_matches_xpath_step ]
+
+let () =
+  Alcotest.run "scj_xquery"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "expression shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+        ] );
+      ( "evaluation",
+        [
+          Alcotest.test_case "atoms and arithmetic" `Quick test_atoms_and_arithmetic;
+          Alcotest.test_case "paths" `Quick test_paths;
+          Alcotest.test_case "flwor" `Quick test_flwor;
+          Alcotest.test_case "order by and at" `Quick test_order_by_and_at;
+          Alcotest.test_case "distinct-values" `Quick test_distinct_values;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "conditionals" `Quick test_conditionals;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "text merging" `Quick test_constructor_text_merging;
+          Alcotest.test_case "constructor attributes" `Quick test_constructor_attributes;
+          Alcotest.test_case "serialization" `Quick test_serialize;
+          Alcotest.test_case "evaluation errors" `Quick test_eval_errors;
+        ] );
+      ("xmark", [ Alcotest.test_case "pathfinder scenario" `Quick test_xmark_flwor ]);
+      ("properties", qsuite);
+    ]
