@@ -29,6 +29,8 @@ module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
+module Trace = Scj_trace.Trace
 module Sj = Scj_core.Staircase
 module Naive = Scj_engine.Naive
 module Mpmgjn = Scj_engine.Mpmgjn
@@ -43,20 +45,37 @@ module Parallel = Scj_frag.Parallel
 (* measurement helpers (bechamel)                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* When set (--json / --smoke), every experiment and every measurement
+   runs inside a span of this tracer; the span tree is emitted as JSON at
+   the end — the same span data 'scj analyze' produces. *)
+let tracer : Trace.t option ref = ref None
+
+(* Execution context for the measured closures: counters go to the
+   tracer's tracked stats, so measurement spans report real work. *)
+let bench_exec ?mode ?domains () =
+  match !tracer with
+  | Some tr -> Exec.make ?mode ?domains ~stats:(Trace.stats tr) ()
+  | None -> Exec.make ?mode ?domains ()
+
 (* Estimated nanoseconds per run of [fn], via bechamel's OLS analysis. *)
 let measure_ns ~name fn =
-  let open Bechamel in
-  let test = Test.make ~name (Staged.stage fn) in
-  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None () in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
-  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
-  | [ result ] -> (
-    match Analyze.OLS.estimates result with
-    | Some (t :: _) -> t
-    | Some [] | None -> Float.nan)
-  | _ -> Float.nan
+  Trace.span !tracer name (fun () ->
+      let ns =
+        let open Bechamel in
+        let test = Test.make ~name (Staged.stage fn) in
+        let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None () in
+        let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] test in
+        let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+        let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+        match Hashtbl.fold (fun _ v acc -> v :: acc) results [] with
+        | [ result ] -> (
+          match Analyze.OLS.estimates result with
+          | Some (t :: _) -> t
+          | Some [] | None -> Float.nan)
+        | _ -> Float.nan
+      in
+      Trace.annot !tracer "ns_per_run" (Printf.sprintf "%.1f" ns);
+      ns)
 
 let ms_of_ns ns = ns /. 1_000_000.0
 
@@ -64,10 +83,15 @@ let ms_of_ns ns = ns /. 1_000_000.0
 (* the document sweep                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let scales =
-  match Sys.getenv_opt "SCJ_BENCH_SCALES" with
-  | Some s -> List.map float_of_string (String.split_on_char ',' s)
-  | None -> [ 0.004; 0.016; 0.064 ]
+let scale_override : float list option ref = ref None
+
+let scales () =
+  match !scale_override with
+  | Some s -> s
+  | None -> (
+    match Sys.getenv_opt "SCJ_BENCH_SCALES" with
+    | Some s -> List.map float_of_string (String.split_on_char ',' s)
+    | None -> [ 0.004; 0.016; 0.064 ])
 
 let doc_cache : (float, Doc.t) Hashtbl.t = Hashtbl.create 8
 
@@ -109,9 +133,9 @@ let table1 () =
     (fun scale ->
       let doc = doc_at scale in
       let root = root_seq doc in
-      let step1 = Sj.desc doc root in
+      let step1 = Sj.desc ~exec:(bench_exec ()) doc root in
       let profiles = tags doc "profile" in
-      let step2 = Sj.desc doc profiles in
+      let step2 = Sj.desc ~exec:(bench_exec ()) doc profiles in
       let educations = tags doc "education" in
       Printf.printf row_format
         (Printf.sprintf "%.1f" (mb_of doc))
@@ -120,16 +144,16 @@ let table1 () =
         (string_of_int (Nodeseq.length step2))
         (string_of_int (Nodeseq.length educations))
         "")
-    scales;
+    (scales ());
   Printf.printf "Q2: /descendant::increase/ancestor::bidder\n";
   Printf.printf row_format "size[MB]" "step1" "increase" "step2" "bidder" "";
   List.iter
     (fun scale ->
       let doc = doc_at scale in
       let root = root_seq doc in
-      let step1 = Sj.desc doc root in
+      let step1 = Sj.desc ~exec:(bench_exec ()) doc root in
       let increases = tags doc "increase" in
-      let step2 = Sj.anc doc increases in
+      let step2 = Sj.anc ~exec:(bench_exec ()) doc increases in
       let bidders =
         match Doc.tag_symbol doc "bidder" with
         | None -> Nodeseq.empty
@@ -142,7 +166,7 @@ let table1 () =
         (string_of_int (Nodeseq.length step2))
         (string_of_int (Nodeseq.length bidders))
         "")
-    scales
+    (scales ())
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 11 (a): avoiding duplicates (Q2 ancestor step)                  *)
@@ -156,14 +180,14 @@ let fig11a () =
       let doc = doc_at scale in
       let _, increases = q2_contexts doc in
       let naive_tuples = Naive.count_with_duplicates doc increases Axis.Ancestor in
-      let staircase = Nodeseq.length (Sj.anc doc increases) in
+      let staircase = Nodeseq.length (Sj.anc ~exec:(bench_exec ()) doc increases) in
       let duplicates = naive_tuples - staircase in
       Printf.printf row_format
         (Printf.sprintf "%.1f" (mb_of doc))
         (string_of_int naive_tuples) (string_of_int staircase) (string_of_int duplicates)
         (Printf.sprintf "%.0f%%" (100.0 *. float_of_int duplicates /. float_of_int naive_tuples))
         "")
-    scales;
+    (scales ());
   print_endline "(paper: ~75% of the naive result tuples are duplicates)"
 
 (* ------------------------------------------------------------------ *)
@@ -182,14 +206,14 @@ let fig11b () =
           doc
       in
       let q2 = "/descendant::increase/ancestor::bidder" in
-      let ns = measure_ns ~name:"fig11b" (fun () -> ignore (Eval.run_exn session q2)) in
+      let ns = measure_ns ~name:"fig11b" (fun () -> ignore (Eval.run_exn ~exec:(bench_exec ()) session q2)) in
       Printf.printf row_format
         (Printf.sprintf "%.1f" (mb_of doc))
         (string_of_int (Doc.n_nodes doc))
         (Printf.sprintf "%.3f" (ms_of_ns ns))
         (Printf.sprintf "%.1f" (ns /. float_of_int (Doc.n_nodes doc)))
         "" "")
-    scales;
+    (scales ());
   print_endline "(paper: execution time grows linearly with document size — ns/node ~ constant)"
 
 (* ------------------------------------------------------------------ *)
@@ -205,10 +229,10 @@ let fig11c () =
       let _, profiles = q1_contexts doc in
       let touched mode =
         let stats = Stats.create () in
-        let (_ : Nodeseq.t) = Sj.desc ~mode ~stats doc profiles in
+        let (_ : Nodeseq.t) = Sj.desc ~exec:(Exec.make ~mode ~stats ()) doc profiles in
         Stats.touched stats
       in
-      let result = Nodeseq.length (Sj.desc doc profiles) in
+      let result = Nodeseq.length (Sj.desc ~exec:(bench_exec ()) doc profiles) in
       Printf.printf row_format
         (Printf.sprintf "%.1f" (mb_of doc))
         (string_of_int (touched Sj.No_skipping))
@@ -216,7 +240,7 @@ let fig11c () =
         (string_of_int result)
         (string_of_int (Nodeseq.length profiles))
         "")
-    scales;
+    (scales ());
   print_endline
     "(paper: skipping accesses at most |result|+|context| nodes, independent of document size)"
 
@@ -235,7 +259,7 @@ let fig11d () =
         ms_of_ns
           (measure_ns
              ~name:(Sj.skip_mode_to_string mode)
-             (fun () -> ignore (Sj.desc ~mode doc profiles)))
+             (fun () -> ignore (Sj.desc ~exec:(bench_exec ~mode ()) doc profiles)))
       in
       Printf.printf row_format
         (Printf.sprintf "%.1f" (mb_of doc))
@@ -244,7 +268,7 @@ let fig11d () =
         (Printf.sprintf "%.3f" (time Sj.Estimation))
         (Printf.sprintf "%.3f" (time Sj.Exact_size))
         "")
-    scales;
+    (scales ());
   print_endline "(paper: skipping about halves the time; estimation gains another ~20%)"
 
 (* ------------------------------------------------------------------ *)
@@ -269,7 +293,7 @@ let comparison ~fig ~query ~sql_query () =
         (* warm the session caches (B-tree index, tag views) outside of
            the timed region, as the paper builds its index at load time *)
         ignore (Eval.run_exn session q);
-        ms_of_ns (measure_ns ~name:fig (fun () -> ignore (Eval.run_exn session q)))
+        ms_of_ns (measure_ns ~name:fig (fun () -> ignore (Eval.run_exn ~exec:(bench_exec ()) session q)))
       in
       let t_scj = time strategy_staircase query in
       let t_push = time strategy_pushdown query in
@@ -281,7 +305,7 @@ let comparison ~fig ~query ~sql_query () =
         (Printf.sprintf "%.3f" t_sql)
         (Printf.sprintf "%.0fx" (t_sql /. t_push))
         "")
-    scales;
+    (scales ());
   print_endline
     "(paper: name-test pushdown ~3x faster; the SQL plan trails by orders of magnitude)"
 
@@ -310,7 +334,7 @@ let frag () =
       let root = root_seq doc in
       let run_plain () =
         let session = Eval.session ~strategy:strategy_staircase doc in
-        ignore (Eval.run_exn session "/descendant::profile/descendant::education")
+        ignore (Eval.run_exn ~exec:(bench_exec ()) session "/descendant::profile/descendant::education")
       in
       let run_frag () =
         let profiles = Fragmented.desc_step fragmented root ~tag:"profile" in
@@ -318,9 +342,10 @@ let frag () =
       in
       let t_plain = ms_of_ns (measure_ns ~name:"plain" run_plain) in
       let t_frag = ms_of_ns (measure_ns ~name:"frag" run_frag) in
-      let stats = Stats.create () in
-      let profiles = Fragmented.desc_step ~stats fragmented root ~tag:"profile" in
-      ignore (Fragmented.desc_step ~stats fragmented profiles ~tag:"education");
+      let exec = Exec.make () in
+      let stats = exec.Exec.stats in
+      let profiles = Fragmented.desc_step ~exec fragmented root ~tag:"profile" in
+      ignore (Fragmented.desc_step ~exec fragmented profiles ~tag:"education");
       Printf.printf row_format
         (Printf.sprintf "%.1f" (mb_of doc))
         (Printf.sprintf "%.3f" t_plain)
@@ -328,7 +353,7 @@ let frag () =
         (Printf.sprintf "%.0fx" (t_plain /. t_frag))
         (string_of_int (Stats.touched stats))
         "")
-    scales;
+    (scales ());
   print_endline "(paper: fragmentation brought Q1 from 345 ms down to 39 ms — about 9x)"
 
 (* ------------------------------------------------------------------ *)
@@ -343,9 +368,10 @@ let copyphase () =
       let doc = doc_at scale in
       let root = root_seq doc in
       let stats = Stats.create () in
-      let result = Sj.desc ~mode:Sj.Estimation ~stats doc root in
+      let result = Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats ()) doc root in
       let ns =
-        measure_ns ~name:"copyphase" (fun () -> ignore (Sj.desc ~mode:Sj.Estimation doc root))
+        measure_ns ~name:"copyphase" (fun () ->
+            ignore (Sj.desc ~exec:(bench_exec ~mode:Sj.Estimation ()) doc root))
       in
       (* read the post column + write the result, 8-byte ints (§4.3) *)
       let bytes = float_of_int ((Stats.touched stats + Nodeseq.length result) * 8) in
@@ -357,7 +383,7 @@ let copyphase () =
         (string_of_int (Nodeseq.length result))
         (Printf.sprintf "%.0f" mbps)
         "")
-    scales;
+    (scales ());
   print_endline
     "(paper: the experiment is almost entirely copy phase; comparisons are bounded by h)"
 
@@ -376,6 +402,8 @@ let baselines () =
       let touches f =
         let stats = Stats.create () in
         let (_ : Nodeseq.t) = f stats in
+        (* fold the isolated per-algorithm counters into the ambient span *)
+        Stats.add (bench_exec ()).Exec.stats stats;
         Stats.touched stats
       in
       let _, profiles = q1_contexts doc in
@@ -388,16 +416,16 @@ let baselines () =
           step (touches sj) (touches mp) (touches stj) (touches sql) naive_touches
       in
       line "Q1/desc" profiles
-        (fun stats -> Sj.desc ~mode:Sj.Skipping ~stats doc profiles)
-        (fun stats -> Mpmgjn.desc ~stats doc profiles)
-        (fun stats -> Structjoin.desc ~stats doc profiles)
-        (fun stats -> Sql_plan.step ~stats idx doc profiles `Descendant);
+        (fun stats -> Sj.desc ~exec:(Exec.make ~mode:Sj.Skipping ~stats ()) doc profiles)
+        (fun stats -> Mpmgjn.desc ~exec:(Exec.make ~stats ()) doc profiles)
+        (fun stats -> Structjoin.desc ~exec:(Exec.make ~stats ()) doc profiles)
+        (fun stats -> Sql_plan.step ~exec:(Exec.make ~stats ()) idx doc profiles `Descendant);
       line "Q2/anc" increases
-        (fun stats -> Sj.anc ~mode:Sj.Skipping ~stats doc increases)
-        (fun stats -> Mpmgjn.anc ~stats doc increases)
-        (fun stats -> Structjoin.anc ~stats doc increases)
-        (fun stats -> Sql_plan.step ~stats idx doc increases `Ancestor))
-    scales;
+        (fun stats -> Sj.anc ~exec:(Exec.make ~mode:Sj.Skipping ~stats ()) doc increases)
+        (fun stats -> Mpmgjn.anc ~exec:(Exec.make ~stats ()) doc increases)
+        (fun stats -> Structjoin.anc ~exec:(Exec.make ~stats ()) doc increases)
+        (fun stats -> Sql_plan.step ~exec:(Exec.make ~stats ()) idx doc increases `Ancestor))
+    (scales ());
   print_endline "(paper §5: staircase join touches and tests fewer nodes than MPMGJN et al.)"
 
 (* ------------------------------------------------------------------ *)
@@ -406,7 +434,7 @@ let baselines () =
 
 let ablation () =
   header "Ablation: skip mode x name-test pushdown (Q1, largest sweep document)";
-  let scale = List.fold_left max 0.0 scales in
+  let scale = List.fold_left max 0.0 (scales ()) in
   let doc = doc_at scale in
   let q1 = "/descendant::profile/descendant::education" in
   Printf.printf "%22s %12s %12s %12s\n" "skip-mode" "never[ms]" "always[ms]" "cost[ms]";
@@ -416,7 +444,7 @@ let ablation () =
         let strategy = { Eval.algorithm = Eval.Staircase mode; pushdown } in
         let session = Eval.session ~strategy doc in
         ignore (Eval.run_exn session q1);
-        ms_of_ns (measure_ns ~name:"ablation" (fun () -> ignore (Eval.run_exn session q1)))
+        ms_of_ns (measure_ns ~name:"ablation" (fun () -> ignore (Eval.run_exn ~exec:(bench_exec ()) session q1)))
       in
       Printf.printf "%22s %12.3f %12.3f %12.3f\n"
         (Sj.skip_mode_to_string mode)
@@ -429,14 +457,15 @@ let ablation () =
 
 let parallel () =
   header "§3.2/§6: partition-parallel staircase join (Q2 ancestor step)";
-  let scale = List.fold_left max 0.0 scales in
+  let scale = List.fold_left max 0.0 (scales ()) in
   let doc = doc_at scale in
   let _, increases = q2_contexts doc in
   Printf.printf "%10s %12s\n" "domains" "time[ms]";
   List.iter
     (fun domains ->
       let ns =
-        measure_ns ~name:"parallel" (fun () -> ignore (Parallel.anc ~domains doc increases))
+        measure_ns ~name:"parallel" (fun () ->
+            ignore (Parallel.anc ~exec:(bench_exec ~domains ()) doc increases))
       in
       Printf.printf "%10d %12.3f\n" domains (ms_of_ns ns))
     [ 1; 2; 4 ];
@@ -471,7 +500,7 @@ let disk () =
         (Printf.sprintf "%.1f" (mb_of doc))
         n_pages capacity f_sj f_ix
         (float_of_int f_ix /. float_of_int f_sj))
-    scales;
+    (scales ());
   print_endline
     "(the paper leaves disk-based operation to future work; the sequential access pattern\n\
     \ of the staircase join is exactly what makes it buffer-friendly there)"
@@ -497,8 +526,17 @@ let experiments =
     ("disk", disk);
   ]
 
+(* quick non-bechamel subset, used as a CI smoke test *)
+let smoke_experiments = [ "table1"; "fig11a"; "fig11c"; "baselines" ]
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let smoke = List.mem "--smoke" args in
+  let requested = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
+  if smoke then scale_override := Some [ 0.002 ];
+  if json || smoke then tracer := Some (Trace.create (Stats.create ()));
+  let requested = if requested = [] && smoke then smoke_experiments else requested in
   let selected =
     match requested with
     | [] -> experiments
@@ -514,11 +552,17 @@ let () =
         names
   in
   Printf.printf "document sweep scales: %s\n"
-    (String.concat ", " (List.map string_of_float scales));
+    (String.concat ", " (List.map string_of_float (scales ())));
   List.iter
     (fun scale ->
       let doc = doc_at scale in
       Printf.printf "  scale %g: %d nodes (%0.1f MB serialized equivalent)\n" scale
         (Doc.n_nodes doc) (mb_of doc))
-    scales;
-  List.iter (fun (_, fn) -> fn ()) selected
+    (scales ());
+  List.iter (fun (name, fn) -> Trace.span !tracer name fn) selected;
+  match !tracer with
+  | Some tr ->
+    (* one span per experiment, measurements nested inside — the same
+       span shape 'scj analyze --json' emits *)
+    print_endline (Trace.to_json tr)
+  | None -> ()

@@ -5,12 +5,19 @@
      scj encode  parse an XML file into the pre/post encoding
      scj info    show statistics of an encoded or XML document
      scj table   print the doc table (Fig. 2 of the paper)
-     scj query   evaluate an XPath query under a chosen strategy *)
+     scj query   evaluate an XPath query under a chosen strategy
+     scj explain show the static evaluation plan with cost-model detail
+     scj analyze evaluate and print the traced plan (EXPLAIN ANALYZE)
+
+   The binary's main module is also called Scj, so it links the component
+   libraries directly instead of the scj umbrella. *)
 
 module Doc = Scj_encoding.Doc
 module Codec = Scj_encoding.Codec
 module Nodeseq = Scj_encoding.Nodeseq
 module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
+module Trace = Scj_trace.Trace
 module Sj = Scj_core.Staircase
 module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
@@ -200,9 +207,9 @@ let query_cmd =
       1
     | Ok doc -> (
       let session = Eval.session ~strategy doc in
-      let stats = Stats.create () in
+      let exec = Exec.make () in
       let t0 = Unix.gettimeofday () in
-      match Eval.run ~stats session xpath with
+      match Eval.run ~exec session xpath with
       | Error e ->
         prerr_endline e;
         1
@@ -225,7 +232,7 @@ let query_cmd =
         done;
         if shown < Nodeseq.length result then
           Printf.printf "  ... (%d more)\n" (Nodeseq.length result - shown);
-        if show_stats then Format.printf "work: %a@." Stats.pp stats;
+        if show_stats then Format.printf "work:@.%a@." Stats.pp exec.Exec.stats;
         0)
   in
   Cmd.v
@@ -264,6 +271,52 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the evaluation plan for an XPath query, with cost-model detail.")
     Term.(const run $ input $ xpath $ strategy)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
+      & info [ "strategy" ] ~docv:"S" ~doc:"Axis-step strategy (see query --help).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the trace as a JSON span tree.")
+  in
+  let run input xpath strategy json =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      match Scj_xpath.Parse.path xpath with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok path ->
+        let session = Eval.session ~strategy doc in
+        let result, trace = Eval.analyze session path in
+        if json then print_endline (Trace.to_json trace)
+        else begin
+          Format.printf "%a@." Trace.pp_tree trace;
+          Printf.printf "result: %d node(s)\n" (Nodeseq.length result);
+          Format.printf "totals:@.%a@." Stats.pp (Trace.stats trace)
+        end;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Evaluate an XPath query and print the traced execution plan: one span per step with \
+          the algorithm chosen, the pushdown decision, partitions, cardinalities, work \
+          counters and wall-clock timings (EXPLAIN ANALYZE).")
+    Term.(const run $ input $ xpath $ strategy $ json)
 
 (* ------------------------------------------------------------------ *)
 (* xquery                                                               *)
@@ -366,6 +419,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; xquery_cmd;
-            mil_cmd; validate_cmd;
+            gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; analyze_cmd;
+            xquery_cmd; mil_cmd; validate_cmd;
           ]))

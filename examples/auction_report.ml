@@ -5,10 +5,10 @@
 
    Run with:  dune exec examples/auction_report.exe -- [scale] *)
 
-module Doc = Scj_encoding.Doc
-module Eval = Scj_xpath.Eval
-module Xq = Scj_xquery.Xq_eval
-module Xmark = Scj_xmlgen.Xmark
+module Doc = Scj.Doc
+module Eval = Scj.Eval
+module Xq = Scj.Xq_eval
+module Xmark = Scj.Xmark
 
 let queries =
   [

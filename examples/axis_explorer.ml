@@ -6,11 +6,11 @@
 
    Run with:  dune exec examples/axis_explorer.exe *)
 
-module Tree = Scj_xml.Tree
-module Doc = Scj_encoding.Doc
-module Nodeseq = Scj_encoding.Nodeseq
-module Axis = Scj_encoding.Axis
-module Sj = Scj_core.Staircase
+module Tree = Scj.Tree
+module Doc = Scj.Doc
+module Nodeseq = Scj.Nodeseq
+module Axis = Scj.Axis
+module Sj = Scj.Staircase
 
 (* the tree of Fig. 1: a(b(c), d, e(f(g,h), i(j))) *)
 let paper_tree =
@@ -102,7 +102,7 @@ let () =
     (Sj.anc_partitions doc ctx);
 
   (* skipping at work *)
-  let stats = Scj_stats.Stats.create () in
-  let result = Sj.desc ~mode:Sj.Skipping ~stats doc ctx in
-  Format.printf "\n(d,h,j)/descendant = %s@.work: %a@." (names doc result) Scj_stats.Stats.pp
-    stats
+  let exec = Scj.Exec.make ~mode:Sj.Skipping () in
+  let result = Sj.desc ~exec doc ctx in
+  Format.printf "\n(d,h,j)/descendant = %s@.work: %a@." (names doc result) Scj.Stats.pp_inline
+    exec.Scj.Exec.stats

@@ -3,9 +3,9 @@
 
    Run with:  dune exec examples/bookstore.exe *)
 
-module Doc = Scj_encoding.Doc
-module Nodeseq = Scj_encoding.Nodeseq
-module Eval = Scj_xpath.Eval
+module Doc = Scj.Doc
+module Nodeseq = Scj.Nodeseq
+module Eval = Scj.Eval
 
 let xml =
   {|<bookstore>

@@ -3,10 +3,10 @@
 
    Run with:  dune exec examples/quickstart.exe *)
 
-module Doc = Scj_encoding.Doc
-module Nodeseq = Scj_encoding.Nodeseq
-module Eval = Scj_xpath.Eval
-module Stats = Scj_stats.Stats
+module Doc = Scj.Doc
+module Nodeseq = Scj.Nodeseq
+module Eval = Scj.Eval
+module Stats = Scj.Stats
 
 let xml =
   {|<library city="Konstanz">
@@ -61,7 +61,7 @@ let () =
     queries;
 
   (* 3. observe the work the staircase join did *)
-  let stats = Stats.create () in
-  let result = Eval.run_exn ~stats session "/descendant::book" in
-  Format.printf "@./descendant::book touched: %a (result size %d)@." Stats.pp stats
-    (Nodeseq.length result)
+  let exec = Scj.Exec.make () in
+  let result = Eval.run_exn ~exec session "/descendant::book" in
+  Format.printf "@./descendant::book touched: %a (result size %d)@." Stats.pp_inline
+    exec.Scj.Exec.stats (Nodeseq.length result)

@@ -5,12 +5,12 @@
    Run with:  dune exec examples/xmark_queries.exe -- [scale]
    (default scale 0.01 ≈ a 1 MB document) *)
 
-module Doc = Scj_encoding.Doc
-module Nodeseq = Scj_encoding.Nodeseq
-module Stats = Scj_stats.Stats
-module Sj = Scj_core.Staircase
-module Eval = Scj_xpath.Eval
-module Xmark = Scj_xmlgen.Xmark
+module Doc = Scj.Doc
+module Nodeseq = Scj.Nodeseq
+module Stats = Scj.Stats
+module Sj = Scj.Staircase
+module Eval = Scj.Eval
+module Xmark = Scj.Xmark
 
 let strategies =
   [
@@ -56,8 +56,9 @@ let () =
       List.iter
         (fun (name, strategy) ->
           let session = Eval.session ~strategy doc in
-          let stats = Stats.create () in
-          let result, ms = time (fun () -> Eval.run_exn ~stats session query) in
+          let exec = Scj.Exec.make () in
+          let stats = exec.Scj.Exec.stats in
+          let result, ms = time (fun () -> Eval.run_exn ~exec session query) in
           Printf.printf "  %-26s %10d %12d %12d %10.2f\n" name (Nodeseq.length result)
             (Stats.touched stats) stats.Stats.duplicates ms)
         strategies;
@@ -65,12 +66,12 @@ let () =
     queries;
 
   (* the paper's future-work fragmentation experiment *)
-  let frag, build_ms = time (fun () -> Scj_frag.Fragmented.build doc) in
+  let frag, build_ms = time (fun () -> Scj.Fragmented.build doc) in
   let root = Nodeseq.singleton (Doc.root doc) in
   let (profiles, educations), frag_ms =
     time (fun () ->
-        let p = Scj_frag.Fragmented.desc_step frag root ~tag:"profile" in
-        (p, Scj_frag.Fragmented.desc_step frag p ~tag:"education"))
+        let p = Scj.Fragmented.desc_step frag root ~tag:"profile" in
+        (p, Scj.Fragmented.desc_step frag p ~tag:"education"))
   in
   Printf.printf "fragmented Q1: %d profiles -> %d educations in %.2f ms (+%.1f ms one-off build)\n"
     (Nodeseq.length profiles) (Nodeseq.length educations) frag_ms build_ms;
@@ -78,6 +79,6 @@ let () =
   (* partition-parallel execution *)
   let increases = Nodeseq.of_sorted_array (Doc.tag_positions doc "increase") in
   let seq_result, seq_ms = time (fun () -> Sj.anc doc increases) in
-  let par_result, par_ms = time (fun () -> Scj_frag.Parallel.anc ~domains:4 doc increases) in
+  let par_result, par_ms = time (fun () -> Scj.Parallel.anc ~exec:(Scj.Exec.make ~domains:4 ()) doc increases) in
   assert (Nodeseq.equal seq_result par_result);
   Printf.printf "parallel ancestor step: sequential %.2f ms, 4 domains %.2f ms\n" seq_ms par_ms

@@ -8,11 +8,11 @@
 
    Run with:  dune exec examples/xmark_suite.exe -- [scale] *)
 
-module Doc = Scj_encoding.Doc
-module Nodeseq = Scj_encoding.Nodeseq
-module Stats = Scj_stats.Stats
-module Eval = Scj_xpath.Eval
-module Xmark = Scj_xmlgen.Xmark
+module Doc = Scj.Doc
+module Nodeseq = Scj.Nodeseq
+module Stats = Scj.Stats
+module Eval = Scj.Eval
+module Xmark = Scj.Xmark
 
 let suite =
   [
@@ -64,12 +64,12 @@ let () =
   Printf.printf "%-6s %8s %10s %10s  %s\n" "query" "results" "touched" "time[ms]" "description";
   List.iter
     (fun (name, description, query) ->
-      let stats = Stats.create () in
+      let exec = Scj.Exec.make () in
       let t0 = Unix.gettimeofday () in
-      match Eval.run ~stats session query with
+      match Eval.run ~exec session query with
       | Error e -> Printf.printf "%-6s error: %s\n" name e
       | Ok result ->
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
         Printf.printf "%-6s %8d %10d %10.2f  %s\n" name (Nodeseq.length result)
-          (Stats.touched stats) ms description)
+          (Stats.touched exec.Scj.Exec.stats) ms description)
     suite

@@ -21,20 +21,20 @@ module type S = sig
 
   val insert : 'a t -> key -> 'a -> unit
 
-  val find : ?stats:Scj_stats.Stats.t -> 'a t -> key -> 'a option
+  val find : ?exec:Scj_trace.Exec.t -> 'a t -> key -> 'a option
 
   val mem : 'a t -> key -> bool
 
   val delete : 'a t -> key -> bool
 
   val iter_range :
-    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> unit) -> unit
+    ?exec:Scj_trace.Exec.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> unit) -> unit
 
   val iter_range_while :
-    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> bool) -> unit
+    ?exec:Scj_trace.Exec.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> bool) -> unit
 
   val fold_range :
-    ?stats:Scj_stats.Stats.t ->
+    ?exec:Scj_trace.Exec.t ->
     ?lo:key ->
     ?hi:key ->
     'a t ->
@@ -204,6 +204,8 @@ module Make (Key : KEY) : S with type key = Key.t = struct
 
   (* --- lookup -------------------------------------------------------- *)
 
+  let stats_of = function None -> None | Some e -> Some e.Scj_trace.Exec.stats
+
   let touch stats n =
     match stats with
     | None -> ()
@@ -214,7 +216,8 @@ module Make (Key : KEY) : S with type key = Key.t = struct
     | None -> ()
     | Some s -> s.Scj_stats.Stats.index_probes <- s.Scj_stats.Stats.index_probes + 1
 
-  let find ?stats t k =
+  let find ?exec t k =
+    let stats = stats_of exec in
     probe stats;
     let rec descend = function
       | Leaf l ->
@@ -245,7 +248,8 @@ module Make (Key : KEY) : S with type key = Key.t = struct
     in
     descend t.root
 
-  let iter_range_while ?stats ?lo ?hi t f =
+  let iter_range_while ?exec ?lo ?hi t f =
+    let stats = stats_of exec in
     let leaf = seek_leaf ?stats t lo in
     let above_hi k = match hi with None -> false | Some h -> Key.compare k h > 0 in
     let start l = match lo with None -> 0 | Some k -> leaf_position l.lkeys l.ln k in
@@ -269,14 +273,14 @@ module Make (Key : KEY) : S with type key = Key.t = struct
         end
     done
 
-  let iter_range ?stats ?lo ?hi t f =
-    iter_range_while ?stats ?lo ?hi t (fun k v ->
+  let iter_range ?exec ?lo ?hi t f =
+    iter_range_while ?exec ?lo ?hi t (fun k v ->
         f k v;
         true)
 
-  let fold_range ?stats ?lo ?hi t ~init ~f =
+  let fold_range ?exec ?lo ?hi t ~init ~f =
     let acc = ref init in
-    iter_range ?stats ?lo ?hi t (fun k v -> acc := f !acc k v);
+    iter_range ?exec ?lo ?hi t (fun k v -> acc := f !acc k v);
     !acc
 
   let iter t f = iter_range t f

@@ -9,7 +9,8 @@
 
     The tree is mutable, supports insertion, deletion (with borrow/merge
     rebalancing), point and range lookups, and sorted bulk loading.  Range
-    scans optionally report touched pages into a {!Scj_stats.Stats.t}. *)
+    scans optionally report touched pages into the counters of a
+    {!Scj_trace.Exec.t} execution context. *)
 
 module type KEY = sig
   type t
@@ -39,7 +40,7 @@ module type S = sig
   (** [insert t k v] binds [k] to [v], replacing any previous binding. *)
   val insert : 'a t -> key -> 'a -> unit
 
-  val find : ?stats:Scj_stats.Stats.t -> 'a t -> key -> 'a option
+  val find : ?exec:Scj_trace.Exec.t -> 'a t -> key -> 'a option
 
   val mem : 'a t -> key -> bool
 
@@ -47,20 +48,20 @@ module type S = sig
       was not bound. *)
   val delete : 'a t -> key -> bool
 
-  (** [iter_range ?stats ?lo ?hi t f] applies [f] to every binding with
+  (** [iter_range ?exec ?lo ?hi t f] applies [f] to every binding with
       [lo <= k <= hi] in ascending key order.  Omitted bounds are
-      unbounded.  [stats] records index probes and pages visited. *)
+      unbounded.  [exec.stats] records index probes and pages visited. *)
   val iter_range :
-    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> unit) -> unit
+    ?exec:Scj_trace.Exec.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> unit) -> unit
 
   (** Like {!iter_range} but stops as soon as [f] returns [false] — this is
       the "predicate evaluated during the index scan" shape of the Fig. 3
       plan. *)
   val iter_range_while :
-    ?stats:Scj_stats.Stats.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> bool) -> unit
+    ?exec:Scj_trace.Exec.t -> ?lo:key -> ?hi:key -> 'a t -> (key -> 'a -> bool) -> unit
 
   val fold_range :
-    ?stats:Scj_stats.Stats.t ->
+    ?exec:Scj_trace.Exec.t ->
     ?lo:key ->
     ?hi:key ->
     'a t ->

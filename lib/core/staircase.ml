@@ -2,16 +2,13 @@ module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
 
-type skip_mode = No_skipping | Skipping | Estimation | Exact_size
+type skip_mode = Exec.skip_mode = No_skipping | Skipping | Estimation | Exact_size
 
-let skip_mode_to_string = function
-  | No_skipping -> "no-skipping"
-  | Skipping -> "skipping"
-  | Estimation -> "estimation"
-  | Exact_size -> "exact-size"
+let skip_mode_to_string = Exec.skip_mode_to_string
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+let ensure_exec = function None -> Exec.make () | Some e -> e
 
 (* ------------------------------------------------------------------ *)
 (* pruning (Algorithm 1)                                                *)
@@ -19,8 +16,7 @@ let ensure_stats = function None -> Stats.create () | Some s -> s
 
 (* Keep context nodes with strictly increasing post (pre is increasing by
    the Nodeseq invariant): dropped nodes are descendants of a kept one. *)
-let prune_desc ?stats doc context =
-  let stats = ensure_stats stats in
+let prune_desc_st stats doc context =
   let posts = Doc.post_array doc in
   let ctx = Nodeseq.unsafe_array context in
   let out = Int_col.create ~capacity:(max 1 (Array.length ctx)) () in
@@ -38,8 +34,7 @@ let prune_desc ?stats doc context =
 (* Drop context nodes that are ancestors of a later context node: scanning
    right to left, an ancestor shows up as a node whose post exceeds the
    minimum post seen so far. *)
-let prune_anc ?stats doc context =
-  let stats = ensure_stats stats in
+let prune_anc_st stats doc context =
   let posts = Doc.post_array doc in
   let ctx = Nodeseq.unsafe_array context in
   let m = Array.length ctx in
@@ -70,8 +65,7 @@ let prune_anc ?stats doc context =
 
 (* §3.1: all context nodes except the one with minimal postorder rank can
    be pruned for the following axis. *)
-let prune_following ?stats doc context =
-  let stats = ensure_stats stats in
+let prune_following_st stats doc context =
   let posts = Doc.post_array doc in
   match Nodeseq.length context with
   | 0 -> Nodeseq.empty
@@ -82,14 +76,23 @@ let prune_following ?stats doc context =
     Nodeseq.singleton !best
 
 (* ... and all except the one with maximal preorder rank for preceding. *)
-let prune_preceding ?stats doc context =
-  let stats = ensure_stats stats in
+let prune_preceding_st stats doc context =
   ignore doc;
   match Nodeseq.last context with
   | None -> Nodeseq.empty
   | Some c ->
     stats.Stats.pruned <- stats.Stats.pruned + (Nodeseq.length context - 1);
     Nodeseq.singleton c
+
+let prune_desc ?exec doc context = prune_desc_st (ensure_exec exec).Exec.stats doc context
+
+let prune_anc ?exec doc context = prune_anc_st (ensure_exec exec).Exec.stats doc context
+
+let prune_following ?exec doc context =
+  prune_following_st (ensure_exec exec).Exec.stats doc context
+
+let prune_preceding ?exec doc context =
+  prune_preceding_st (ensure_exec exec).Exec.stats doc context
 
 let is_staircase doc context =
   let posts = Doc.post_array doc in
@@ -107,7 +110,7 @@ type partition = { scan_from : int; scan_to : int; boundary_post : int }
 
 let desc_partitions doc context =
   let posts = Doc.post_array doc in
-  let context = prune_desc doc context in
+  let context = prune_desc_st (Stats.create ()) doc context in
   let ctx = Nodeseq.unsafe_array context in
   let m = Array.length ctx in
   let n = Doc.n_nodes doc in
@@ -118,7 +121,7 @@ let desc_partitions doc context =
 
 let anc_partitions doc context =
   let posts = Doc.post_array doc in
-  let context = prune_anc doc context in
+  let context = prune_anc_st (Stats.create ()) doc context in
   let ctx = Nodeseq.unsafe_array context in
   let m = Array.length ctx in
   List.init m (fun k ->
@@ -130,9 +133,10 @@ let anc_partitions doc context =
 (* staircase join, descendant axis (Algorithms 2, 3, 4)                 *)
 (* ------------------------------------------------------------------ *)
 
-let desc ?(mode = Estimation) ?stats doc context =
-  let stats = ensure_stats stats in
-  let context = prune_desc ~stats doc context in
+let desc ?exec doc context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode and stats = exec.Exec.stats in
+  let context = prune_desc_st stats doc context in
   let m = Nodeseq.length context in
   if m = 0 then Nodeseq.empty
   else begin
@@ -197,9 +201,10 @@ let desc ?(mode = Estimation) ?stats doc context =
 (* staircase join, ancestor axis                                        *)
 (* ------------------------------------------------------------------ *)
 
-let anc ?(mode = Estimation) ?stats doc context =
-  let stats = ensure_stats stats in
-  let context = prune_anc ~stats doc context in
+let anc ?exec doc context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode and stats = exec.Exec.stats in
+  let context = prune_anc_st stats doc context in
   let m = Nodeseq.length context in
   if m = 0 then Nodeseq.empty
   else begin
@@ -248,9 +253,10 @@ let anc ?(mode = Estimation) ?stats doc context =
 (* following / preceding: degenerate single region queries (§3.1)       *)
 (* ------------------------------------------------------------------ *)
 
-let following ?(mode = Estimation) ?stats doc context =
-  let stats = ensure_stats stats in
-  let context = prune_following ~stats doc context in
+let following ?exec doc context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode and stats = exec.Exec.stats in
+  let context = prune_following_st stats doc context in
   match Nodeseq.first context with
   | None -> Nodeseq.empty
   | Some c ->
@@ -295,10 +301,10 @@ let following ?(mode = Estimation) ?stats doc context =
       done);
     Nodeseq.of_sorted_array (Int_col.to_array result)
 
-let preceding ?(mode = Estimation) ?stats doc context =
-  let stats = ensure_stats stats in
-  ignore mode;
-  let context = prune_preceding ~stats doc context in
+let preceding ?exec doc context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
+  let context = prune_preceding_st stats doc context in
   match Nodeseq.first context with
   | None -> Nodeseq.empty
   | Some c ->
@@ -351,9 +357,10 @@ let view_lower_bound (v : View.t) key =
   done;
   !lo
 
-let desc_view ?(mode = Estimation) ?stats doc view context =
-  let stats = ensure_stats stats in
-  let context = prune_desc ~stats doc context in
+let desc_view ?exec doc view context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode and stats = exec.Exec.stats in
+  let context = prune_desc_st stats doc context in
   let m = Nodeseq.length context in
   if m = 0 || View.length view = 0 then Nodeseq.empty
   else begin
@@ -414,9 +421,10 @@ let desc_view ?(mode = Estimation) ?stats doc view context =
     Nodeseq.of_sorted_array (Int_col.to_array result)
   end
 
-let anc_view ?(mode = Estimation) ?stats doc view context =
-  let stats = ensure_stats stats in
-  let context = prune_anc ~stats doc context in
+let anc_view ?exec doc view context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode and stats = exec.Exec.stats in
+  let context = prune_anc_st stats doc context in
   let m = Nodeseq.length context in
   if m = 0 || View.length view = 0 then Nodeseq.empty
   else begin

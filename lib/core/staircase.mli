@@ -24,14 +24,21 @@
     result with the same invariant.  Results never contain attribute nodes
     (paper footnote 6); use the encoding's [Attribute] axis for those.
 
-    Pass a {!Scj_stats.Stats.t} to observe the work done: [scanned] counts
-    compared nodes, [copied] counts comparison-free appends, [skipped]
-    counts nodes never touched, [pruned] counts removed context nodes. *)
+    Every entry point takes one optional {!Scj_trace.Exec.t} execution
+    context carrying the skipping variant, the work counters ([scanned]
+    counts compared nodes, [copied] comparison-free appends, [skipped]
+    nodes never touched, [pruned] removed context nodes) and the optional
+    tracer.  Omitting it runs with estimation-based skipping and discards
+    the counters. *)
 
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
+module Exec = Scj_trace.Exec
 
-type skip_mode =
+(** Re-export of {!Scj_trace.Exec.skip_mode} (canonical home of the
+    skipping variants, so the execution context can name them without
+    depending on this module). *)
+type skip_mode = Exec.skip_mode =
   | No_skipping
       (** Algorithm 2 verbatim: scan every node from the first context node
           to the end of the partition structure. *)
@@ -54,17 +61,17 @@ val skip_mode_to_string : skip_mode -> string
 
 (** Remove context nodes that are descendants of other context nodes.
     The result covers the same [descendant] region. *)
-val prune_desc : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val prune_desc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** Remove context nodes that are ancestors of other context nodes. *)
-val prune_anc : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val prune_anc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** Keep only the context node with minimal postorder rank — its
     [following] region covers every other context node's (§3.1). *)
-val prune_following : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val prune_following : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** Keep only the context node with maximal preorder rank. *)
-val prune_preceding : ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val prune_preceding : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** [is_staircase doc ctx] checks the proper-staircase property (strictly
     increasing pre and post) that {!desc}/{!anc} rely on after pruning. *)
@@ -73,19 +80,20 @@ val is_staircase : Doc.t -> Nodeseq.t -> bool
 (** {1 Staircase joins} *)
 
 (** [desc doc context] is [context/descendant::node()] (attributes
-    filtered).  Prunes internally; [mode] defaults to [Estimation]. *)
-val desc : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+    filtered).  Prunes internally; the skipping variant is
+    [exec.mode] (default [Estimation]). *)
+val desc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** [anc doc context] is [context/ancestor::node()]. *)
-val anc : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val anc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** [following doc context]: prunes to a singleton, then one region scan
     that skips straight over the context node's subtree. *)
-val following : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val following : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** [preceding doc context]: prunes to a singleton, then one region scan
     over the prefix of the document. *)
-val preceding : ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+val preceding : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
 (** {1 Partition structure}
 
@@ -129,10 +137,8 @@ module View : sig
   val to_nodeseq : t -> Nodeseq.t
 end
 
-(** [desc_view view doc context] evaluates the descendant step returning
+(** [desc_view doc view context] evaluates the descendant step returning
     only nodes of [view]; context nodes come from the full document. *)
-val desc_view :
-  ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t
+val desc_view : ?exec:Exec.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t
 
-val anc_view :
-  ?mode:skip_mode -> ?stats:Scj_stats.Stats.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t
+val anc_view : ?exec:Exec.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t

@@ -3,15 +3,18 @@ module Nodeseq = Scj_encoding.Nodeseq
 module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+module Exec = Scj_trace.Exec
+
+let ensure_exec = function None -> Exec.make () | Some e -> e
 
 (* Zhang et al. encode a node as (start : end); with the pre/post scheme
    start = pre and end = pre + size.  Containment d inside a is
    start(a) < start(d) && end(d) <= end(a); since intervals nest, the
    second conjunct is equivalent to start(d) <= end(a). *)
 
-let desc ?stats doc context =
-  let stats = ensure_stats stats in
+let desc ?exec doc context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let n = Doc.n_nodes doc in
   let sizes = Doc.size_array doc in
   let kinds = Doc.kind_array doc in
@@ -44,10 +47,11 @@ let desc ?stats doc context =
       done;
       cursor := max !cursor !d)
     context;
-  Operators.sort_unique ~stats hits
+  Operators.sort_unique ~exec hits
 
-let anc ?stats doc context =
-  let stats = ensure_stats stats in
+let anc ?exec doc context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let n = Doc.n_nodes doc in
   let sizes = Doc.size_array doc in
   let ctx = Nodeseq.unsafe_array context in
@@ -78,4 +82,4 @@ let anc ?stats doc context =
       stats.Stats.appended <- stats.Stats.appended + 1
     end
   done;
-  Operators.sort_unique ~stats hits
+  Operators.sort_unique ~exec hits

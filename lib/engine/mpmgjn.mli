@@ -11,20 +11,20 @@
     and skipping, staircase join touches and tests less nodes than
     MPMGJN." *)
 
-(** [desc ?stats doc context] — result nodes below some context node.
-    [stats]: [scanned] (tuples touched, re-scans included), [compared],
+(** [desc ?exec doc context] — result nodes below some context node.
+    [exec.stats]: [scanned] (tuples touched, re-scans included), [compared],
     [duplicates], [sorted]. *)
 val desc :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   Scj_encoding.Doc.t ->
   Scj_encoding.Nodeseq.t ->
   Scj_encoding.Nodeseq.t
 
-(** [anc ?stats doc context] — result nodes enclosing some context node
+(** [anc ?exec doc context] — result nodes enclosing some context node
     (outer scan over the document's intervals, inner scan over the context
     list, with back-up for nested outer intervals). *)
 val anc :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   Scj_encoding.Doc.t ->
   Scj_encoding.Nodeseq.t ->
   Scj_encoding.Nodeseq.t

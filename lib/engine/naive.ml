@@ -4,10 +4,13 @@ module Axis = Scj_encoding.Axis
 module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+module Exec = Scj_trace.Exec
 
-let step ?stats doc context axis =
-  let stats = ensure_stats stats in
+let ensure_exec = function None -> Exec.make () | Some e -> e
+
+let step ?exec doc context axis =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let n = Doc.n_nodes doc in
   let hits = Int_col.create ~capacity:64 () in
   Nodeseq.iter
@@ -20,7 +23,7 @@ let step ?stats doc context axis =
         end
       done)
     context;
-  Operators.sort_unique ~stats hits
+  Operators.sort_unique ~exec hits
 
 (* Number of attribute nodes with preorder rank < [pre], as a prefix-sum
    table; built once per document and memoized on the document's physical

@@ -6,11 +6,11 @@
     ancestor step it produces ≈4 ancestor tuples per context node of which
     ≈75 % are duplicates. *)
 
-(** [step ?stats doc context axis] materializes each context node's region
-    by a full scan, then merges.  [stats] records [scanned] (n per context
+(** [step ?exec doc context axis] materializes each context node's region
+    by a full scan, then merges.  [exec.stats] records [scanned] (n per context
     node), [duplicates], and [sorted]. *)
 val step :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   Scj_encoding.Doc.t ->
   Scj_encoding.Nodeseq.t ->
   Scj_encoding.Axis.t ->

@@ -2,10 +2,12 @@ module Int_col = Scj_bat.Int_col
 module Nodeseq = Scj_encoding.Nodeseq
 module Stats = Scj_stats.Stats
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+module Exec = Scj_trace.Exec
 
-let sort_unique ?stats hits =
-  let stats = ensure_stats stats in
+let ensure_exec = function None -> Exec.make () | Some e -> e
+
+let sort_unique ?exec hits =
+  let stats = (ensure_exec exec).Exec.stats in
   let a = Int_col.to_array hits in
   stats.Stats.sorted <- stats.Stats.sorted + Array.length a;
   Array.sort compare a;
@@ -24,8 +26,8 @@ let sort_unique ?stats hits =
     Nodeseq.of_sorted_array (Array.sub out 0 (!j + 1))
   end
 
-let merge_union ?stats seqs =
-  let stats = ensure_stats stats in
+let merge_union ?exec seqs =
+  let stats = (ensure_exec exec).Exec.stats in
   let before = List.fold_left (fun acc s -> acc + Nodeseq.length s) 0 seqs in
   let merged = List.fold_left Nodeseq.union Nodeseq.empty seqs in
   stats.Stats.duplicates <- stats.Stats.duplicates + (before - Nodeseq.length merged);

@@ -8,12 +8,12 @@
     stats record how much data was sorted and how many duplicates were
     removed. *)
 
-(** [sort_unique ?stats hits] turns an unordered multiset of preorder ranks
+(** [sort_unique ?exec hits] turns an unordered multiset of preorder ranks
     into a node sequence.  Records [sorted] (input tuples) and
     [duplicates] (tuples removed). *)
-val sort_unique : ?stats:Scj_stats.Stats.t -> Scj_bat.Int_col.t -> Scj_encoding.Nodeseq.t
+val sort_unique : ?exec:Scj_trace.Exec.t -> Scj_bat.Int_col.t -> Scj_encoding.Nodeseq.t
 
-(** [merge_union ?stats seqs] n-way merge of already-sorted sequences,
+(** [merge_union ?exec seqs] n-way merge of already-sorted sequences,
     recording removed duplicates. *)
 val merge_union :
-  ?stats:Scj_stats.Stats.t -> Scj_encoding.Nodeseq.t list -> Scj_encoding.Nodeseq.t
+  ?exec:Scj_trace.Exec.t -> Scj_encoding.Nodeseq.t list -> Scj_encoding.Nodeseq.t

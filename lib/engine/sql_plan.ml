@@ -5,7 +5,9 @@ module Stats = Scj_stats.Stats
 module Btree = Scj_btree.Btree
 module Packed = Scj_btree.Btree.Packed
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+module Exec = Scj_trace.Exec
+
+let ensure_exec = function None -> Exec.make () | Some e -> e
 
 type index = { tree : int Btree.Int.t; height : int }
 
@@ -24,8 +26,9 @@ type options = { delimiter : bool; early_nametest : string option }
 
 let default_options = { delimiter = true; early_nametest = None }
 
-let step ?stats ?(options = default_options) idx doc context axis =
-  let stats = ensure_stats stats in
+let step ?exec ?(options = default_options) idx doc context axis =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let n = Doc.n_nodes doc in
   let nametest_sym =
     match options.early_nametest with
@@ -46,7 +49,7 @@ let step ?stats ?(options = default_options) idx doc context axis =
          delimiter the scan stops at pre = post(c) + height *)
       let hi_pre = if options.delimiter then min (n - 1) (post_c + idx.height) else n - 1 in
       if hi_pre > c then
-        Btree.Int.iter_range ~stats ~lo:(Packed.lo ~pre:(c + 1)) ~hi:(Packed.hi ~pre:hi_pre)
+        Btree.Int.iter_range ~exec ~lo:(Packed.lo ~pre:(c + 1)) ~hi:(Packed.hi ~pre:hi_pre)
           idx.tree (fun key tag ->
             stats.Stats.scanned <- stats.Stats.scanned + 1;
             let pre = Packed.pre key and post = Packed.post key in
@@ -57,7 +60,7 @@ let step ?stats ?(options = default_options) idx doc context axis =
     | `Ancestor ->
       (* the RDBMS can only delimit on pre: scan the whole prefix *)
       if c > 0 then
-        Btree.Int.iter_range ~stats ~lo:(Packed.lo ~pre:0) ~hi:(Packed.hi ~pre:(c - 1)) idx.tree
+        Btree.Int.iter_range ~exec ~lo:(Packed.lo ~pre:0) ~hi:(Packed.hi ~pre:(c - 1)) idx.tree
           (fun key tag ->
             stats.Stats.scanned <- stats.Stats.scanned + 1;
             let pre = Packed.pre key and post = Packed.post key in
@@ -67,4 +70,4 @@ let step ?stats ?(options = default_options) idx doc context axis =
             end)
   in
   Nodeseq.iter scan_one context;
-  Operators.sort_unique ~stats hits
+  Operators.sort_unique ~exec hits

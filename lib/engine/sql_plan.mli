@@ -34,12 +34,12 @@ type options = {
 
 val default_options : options
 
-(** [step ?stats ?options index doc context axis] evaluates a
-    [`Descendant] or [`Ancestor] step.  [stats] records [index_probes],
+(** [step ?exec ?options index doc context axis] evaluates a
+    [`Descendant] or [`Ancestor] step.  [exec.stats] records [index_probes],
     [index_nodes], [scanned] (tuples touched during range scans),
     [duplicates] and [sorted]. *)
 val step :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   ?options:options ->
   index ->
   Scj_encoding.Doc.t ->

@@ -3,10 +3,13 @@ module Nodeseq = Scj_encoding.Nodeseq
 module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+module Exec = Scj_trace.Exec
 
-let desc ?stats doc context =
-  let stats = ensure_stats stats in
+let ensure_exec = function None -> Exec.make () | Some e -> e
+
+let desc ?exec doc context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let n = Doc.n_nodes doc in
   let sizes = Doc.size_array doc in
   let kinds = Doc.kind_array doc in
@@ -37,8 +40,9 @@ let desc ?stats doc context =
   done;
   Nodeseq.of_sorted_array (Int_col.to_array hits)
 
-let anc ?stats doc context =
-  let stats = ensure_stats stats in
+let anc ?exec doc context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let parents = Doc.parent_array doc in
   let visited = Hashtbl.create 256 in
   let hits = Int_col.create ~capacity:64 () in
@@ -57,4 +61,4 @@ let anc ?stats doc context =
         end
       done)
     context;
-  Operators.sort_unique ~stats hits
+  Operators.sort_unique ~exec hits

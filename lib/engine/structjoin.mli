@@ -11,13 +11,13 @@
       rather than to the result, and the output must still be sorted. *)
 
 val desc :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   Scj_encoding.Doc.t ->
   Scj_encoding.Nodeseq.t ->
   Scj_encoding.Nodeseq.t
 
 val anc :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   Scj_encoding.Doc.t ->
   Scj_encoding.Nodeseq.t ->
   Scj_encoding.Nodeseq.t

@@ -46,12 +46,12 @@ let tags t =
   let all = Hashtbl.fold (fun name v acc -> (name, Sj.View.length v) :: acc) t.by_tag [] in
   List.sort (fun (_, a) (_, b) -> compare b a) all
 
-let desc_step ?mode ?stats t context ~tag =
+let desc_step ?exec t context ~tag =
   match fragment t tag with
   | None -> Nodeseq.empty
-  | Some view -> Sj.desc_view ?mode ?stats t.doc view context
+  | Some view -> Sj.desc_view ?exec t.doc view context
 
-let anc_step ?mode ?stats t context ~tag =
+let anc_step ?exec t context ~tag =
   match fragment t tag with
   | None -> Nodeseq.empty
-  | Some view -> Sj.anc_view ?mode ?stats t.doc view context
+  | Some view -> Sj.anc_view ?exec t.doc view context

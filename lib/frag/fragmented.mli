@@ -28,20 +28,18 @@ val fragment_size : t -> string -> int
 (** [tags t] lists the fragment names with their sizes, largest first. *)
 val tags : t -> (string * int) list
 
-(** [desc_step t context ~tag] evaluates [context/descendant::tag] on the
+(** [desc_step ?exec t context ~tag] evaluates [context/descendant::tag] on the
     fragment — the fragmented rendition of Q1's steps. *)
 val desc_step :
-  ?mode:Scj_core.Staircase.skip_mode ->
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   t ->
   Scj_encoding.Nodeseq.t ->
   tag:string ->
   Scj_encoding.Nodeseq.t
 
-(** [anc_step t context ~tag] evaluates [context/ancestor::tag]. *)
+(** [anc_step ?exec t context ~tag] evaluates [context/ancestor::tag]. *)
 val anc_step :
-  ?mode:Scj_core.Staircase.skip_mode ->
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   t ->
   Scj_encoding.Nodeseq.t ->
   tag:string ->

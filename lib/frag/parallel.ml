@@ -1,44 +1,66 @@
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
 module Sj = Scj_core.Staircase
 
-(* Evaluate one descendant partition into a private buffer. *)
-let scan_desc_partition ~mode ~posts ~sizes ~kinds (p : Sj.partition) out =
-  let append i = if kinds.(i) <> Doc.Attribute then Int_col.append_unit out i in
+let ensure_exec = function None -> Exec.make () | Some e -> e
+
+(* Evaluate one descendant partition into a private buffer.  The counter
+   accounting mirrors Scj_core.Staircase.desc line by line, so the merged
+   per-worker counters are indistinguishable from a serial run. *)
+let scan_desc_partition ~mode ~posts ~sizes ~kinds (p : Sj.partition) out stats =
+  let append i =
+    if kinds.(i) <> Doc.Attribute then begin
+      Int_col.append_unit out i;
+      stats.Stats.appended <- stats.Stats.appended + 1
+    end
+  in
   let boundary = p.Sj.boundary_post in
   let c = p.Sj.scan_from - 1 in
-  match mode with
-  | Sj.No_skipping ->
-    for i = p.Sj.scan_from to p.Sj.scan_to do
-      if posts.(i) < boundary then append i
-    done
-  | Sj.Skipping | Sj.Estimation ->
-    let copy_to = if mode = Sj.Estimation then min p.Sj.scan_to boundary else c in
-    for i = p.Sj.scan_from to copy_to do
-      append i
-    done;
-    let i = ref (max p.Sj.scan_from (copy_to + 1)) in
+  let scan_phase ~skip from =
+    let i = ref from in
     let break = ref false in
     while (not !break) && !i <= p.Sj.scan_to do
+      stats.Stats.scanned <- stats.Stats.scanned + 1;
       if posts.(!i) < boundary then begin
         append !i;
         incr i
       end
-      else break := true
+      else if skip then begin
+        stats.Stats.skipped <- stats.Stats.skipped + (p.Sj.scan_to - !i);
+        break := true
+      end
+      else incr i
     done
-  | Sj.Exact_size ->
-    let copy_to = min p.Sj.scan_to (c + sizes.(c)) in
-    for i = p.Sj.scan_from to copy_to do
+  in
+  let copy_phase upto =
+    for i = p.Sj.scan_from to upto do
+      stats.Stats.copied <- stats.Stats.copied + 1;
       append i
     done
+  in
+  match mode with
+  | Sj.No_skipping -> scan_phase ~skip:false p.Sj.scan_from
+  | Sj.Skipping -> scan_phase ~skip:true p.Sj.scan_from
+  | Sj.Estimation ->
+    let copy_to = min p.Sj.scan_to boundary in
+    copy_phase copy_to;
+    scan_phase ~skip:true (max p.Sj.scan_from (copy_to + 1))
+  | Sj.Exact_size ->
+    let copy_to = min p.Sj.scan_to (c + sizes.(c)) in
+    copy_phase copy_to;
+    stats.Stats.skipped <- stats.Stats.skipped + (p.Sj.scan_to - copy_to)
 
-let scan_anc_partition ~mode ~posts ~sizes (p : Sj.partition) out =
+let scan_anc_partition ~mode ~posts ~sizes (p : Sj.partition) out stats =
   let boundary = p.Sj.boundary_post in
   let i = ref p.Sj.scan_from in
   while !i <= p.Sj.scan_to do
+    stats.Stats.scanned <- stats.Stats.scanned + 1;
     if posts.(!i) > boundary then begin
       Int_col.append_unit out !i;
+      stats.Stats.appended <- stats.Stats.appended + 1;
       incr i
     end
     else begin
@@ -48,16 +70,18 @@ let scan_anc_partition ~mode ~posts ~sizes (p : Sj.partition) out =
         | Sj.Skipping | Sj.Estimation -> max 0 (posts.(!i) - !i)
         | Sj.Exact_size -> sizes.(!i)
       in
-      i := !i + min hop (p.Sj.scan_to - !i) + 1
+      let hop = min hop (p.Sj.scan_to - !i) in
+      stats.Stats.skipped <- stats.Stats.skipped + hop;
+      i := !i + hop + 1
     end
   done
 
-let run_partitions scan partitions domains =
+let run_partitions exec scan partitions =
   let parts = Array.of_list partitions in
   let n = Array.length parts in
   if n = 0 then Nodeseq.empty
   else begin
-    let workers = max 1 (min domains n) in
+    let workers = max 1 (min exec.Exec.domains n) in
     (* static round-robin-free chunking: worker w owns a contiguous slice
        of partitions so its output is a contiguous slice of the result *)
     let slice w =
@@ -66,13 +90,17 @@ let run_partitions scan partitions domains =
       let len = per + if w < extra then 1 else 0 in
       (start, len)
     in
+    (* each worker owns a private result buffer and a private counter set;
+       the counters are merged into the context after the join (they are
+       plain sums, so the merged totals equal a serial run's) *)
     let work w =
       let start, len = slice w in
       let out = Int_col.create ~capacity:256 () in
+      let stats = Stats.create () in
       for k = start to start + len - 1 do
-        scan parts.(k) out
+        scan parts.(k) out stats
       done;
-      out
+      (out, stats)
     in
     let results =
       if workers = 1 then [| work 0 |]
@@ -82,11 +110,12 @@ let run_partitions scan partitions domains =
         Array.append [| first |] (Array.map Domain.join handles)
       end
     in
-    let total = Array.fold_left (fun acc c -> acc + Int_col.length c) 0 results in
+    Array.iter (fun (_, stats) -> Stats.add exec.Exec.stats stats) results;
+    let total = Array.fold_left (fun acc (c, _) -> acc + Int_col.length c) 0 results in
     let out = Array.make total 0 in
     let pos = ref 0 in
     Array.iter
-      (fun col ->
+      (fun (col, _) ->
         let a = Int_col.to_array col in
         Array.blit a 0 out !pos (Array.length a);
         pos := !pos + Array.length a)
@@ -94,19 +123,26 @@ let run_partitions scan partitions domains =
     Nodeseq.of_sorted_array out
   end
 
-let default_domains () = max 1 (min 8 (Domain.recommended_domain_count ()))
+let default_domains () = Exec.default_domains ()
 
-let desc ?domains ?(mode = Sj.Estimation) doc context =
-  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+let desc ?exec doc context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode in
+  (* prune on the coordinating thread so [pruned] is counted exactly once,
+     like the serial join does; the partitions of a pruned staircase are
+     the staircase itself, so the inner re-prune is a no-op *)
+  let context = Sj.prune_desc ~exec doc context in
   let partitions = Sj.desc_partitions doc context in
   let posts = Doc.post_array doc in
   let sizes = Doc.size_array doc in
   let kinds = Doc.kind_array doc in
-  run_partitions (scan_desc_partition ~mode ~posts ~sizes ~kinds) partitions domains
+  run_partitions exec (scan_desc_partition ~mode ~posts ~sizes ~kinds) partitions
 
-let anc ?domains ?(mode = Sj.Estimation) doc context =
-  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+let anc ?exec doc context =
+  let exec = ensure_exec exec in
+  let mode = exec.Exec.mode in
+  let context = Sj.prune_anc ~exec doc context in
   let partitions = Sj.anc_partitions doc context in
   let posts = Doc.post_array doc in
   let sizes = Doc.size_array doc in
-  run_partitions (scan_anc_partition ~mode ~posts ~sizes) partitions domains
+  run_partitions exec (scan_anc_partition ~mode ~posts ~sizes) partitions

@@ -8,22 +8,25 @@
     concatenated per-partition outputs are already in document order.
 
     This module realizes that strategy with OCaml 5 domains.  Workers share
-    the read-only encoding columns; each one owns its result buffer. *)
+    the read-only encoding columns; each one owns its result buffer {e and}
+    its own {!Scj_stats.Stats.t}, merged into [exec.stats] with
+    {!Scj_stats.Stats.add} after the join — a parallel run reports exactly
+    the counters of the equivalent serial {!Scj_core.Staircase} call.
 
-(** [desc ?domains ?mode doc context] — like {!Scj_core.Staircase.desc},
-    evaluated by [domains] workers (default: [Domain.recommended_domain_count],
-    capped by the number of partitions). *)
+    The signatures mirror the serial joins: one optional
+    {!Scj_trace.Exec.t} carries the skipping variant, the counters and the
+    worker count ([exec.domains], default
+    [Domain.recommended_domain_count] capped at 8 and by the number of
+    partitions). *)
+
+(** [desc ?exec doc context] — like {!Scj_core.Staircase.desc}, evaluated
+    by [exec.domains] workers. *)
 val desc :
-  ?domains:int ->
-  ?mode:Scj_core.Staircase.skip_mode ->
-  Scj_encoding.Doc.t ->
-  Scj_encoding.Nodeseq.t ->
-  Scj_encoding.Nodeseq.t
+  ?exec:Scj_trace.Exec.t -> Scj_encoding.Doc.t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
 
-(** [anc ?domains ?mode doc context] — parallel ancestor join. *)
+(** [anc ?exec doc context] — parallel ancestor join. *)
 val anc :
-  ?domains:int ->
-  ?mode:Scj_core.Staircase.skip_mode ->
-  Scj_encoding.Doc.t ->
-  Scj_encoding.Nodeseq.t ->
-  Scj_encoding.Nodeseq.t
+  ?exec:Scj_trace.Exec.t -> Scj_encoding.Doc.t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+
+(** The default worker count of a fresh {!Scj_trace.Exec.t}. *)
+val default_domains : unit -> int

@@ -230,6 +230,7 @@ let rec eval env = function
   | Call (fn, args) -> eval_call env fn (List.map (eval env) args)
 
 and eval_call env fn args =
+  let exec stats = Scj_trace.Exec.make ~stats () in
   let stats = env.stats in
   match (fn, args) with
   | "root", [ d ] ->
@@ -237,28 +238,28 @@ and eval_call env fn args =
     Seq (Nodeseq.singleton (Doc.root env.doc))
   | "staircasejoin_desc", _ ->
     let mode, seq = staircase_call fn args in
-    Seq (Sj.desc ~mode ~stats env.doc seq)
+    Seq (Sj.desc ~exec:(Scj_trace.Exec.make ~mode ~stats ()) env.doc seq)
   | "staircasejoin_anc", _ ->
     let mode, seq = staircase_call fn args in
-    Seq (Sj.anc ~mode ~stats env.doc seq)
+    Seq (Sj.anc ~exec:(Scj_trace.Exec.make ~mode ~stats ()) env.doc seq)
   | "staircasejoin_following", [ d; s ] ->
     as_doc d;
-    Seq (Sj.following ~stats env.doc (as_seq s))
+    Seq (Sj.following ~exec:(exec stats) env.doc (as_seq s))
   | "staircasejoin_prec", [ d; s ] ->
     as_doc d;
-    Seq (Sj.preceding ~stats env.doc (as_seq s))
+    Seq (Sj.preceding ~exec:(exec stats) env.doc (as_seq s))
   | "prune_desc", [ d; s ] ->
     as_doc d;
-    Seq (Sj.prune_desc ~stats env.doc (as_seq s))
+    Seq (Sj.prune_desc ~exec:(exec stats) env.doc (as_seq s))
   | "prune_anc", [ d; s ] ->
     as_doc d;
-    Seq (Sj.prune_anc ~stats env.doc (as_seq s))
+    Seq (Sj.prune_anc ~exec:(exec stats) env.doc (as_seq s))
   | "mpmgjn_desc", [ d; s ] ->
     as_doc d;
-    Seq (Scj_engine.Mpmgjn.desc ~stats env.doc (as_seq s))
+    Seq (Scj_engine.Mpmgjn.desc ~exec:(exec stats) env.doc (as_seq s))
   | "mpmgjn_anc", [ d; s ] ->
     as_doc d;
-    Seq (Scj_engine.Mpmgjn.anc ~stats env.doc (as_seq s))
+    Seq (Scj_engine.Mpmgjn.anc ~exec:(exec stats) env.doc (as_seq s))
   | "nametest", [ s; tag ] -> Seq (nametest env (as_seq s) (as_str tag))
   | "kindtest", [ s; k ] ->
     let kind = kind_of_string (as_str k) in
@@ -281,7 +282,7 @@ and eval_call env fn args =
     env.printed <- value_to_string env.doc v :: env.printed;
     v
   | "stats", [] ->
-    let rendered = Format.asprintf "%a" Stats.pp env.stats in
+    let rendered = Format.asprintf "%a" Stats.pp_inline env.stats in
     env.printed <- rendered :: env.printed;
     Str rendered
   | ( ( "root" | "staircasejoin_following" | "staircasejoin_prec" | "prune_desc" | "prune_anc"

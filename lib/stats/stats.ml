@@ -54,26 +54,48 @@ let copy t =
   add fresh t;
   fresh
 
+let diff ~before ~after =
+  {
+    scanned = after.scanned - before.scanned;
+    copied = after.copied - before.copied;
+    skipped = after.skipped - before.skipped;
+    appended = after.appended - before.appended;
+    compared = after.compared - before.compared;
+    index_probes = after.index_probes - before.index_probes;
+    index_nodes = after.index_nodes - before.index_nodes;
+    duplicates = after.duplicates - before.duplicates;
+    sorted = after.sorted - before.sorted;
+    pruned = after.pruned - before.pruned;
+  }
+
 let touched t = t.scanned + t.copied
 
-let to_assoc t =
-  let all =
-    [
-      ("scanned", t.scanned);
-      ("copied", t.copied);
-      ("skipped", t.skipped);
-      ("appended", t.appended);
-      ("compared", t.compared);
-      ("index_probes", t.index_probes);
-      ("index_nodes", t.index_nodes);
-      ("duplicates", t.duplicates);
-      ("sorted", t.sorted);
-      ("pruned", t.pruned);
-    ]
-  in
-  List.filter (fun (_, v) -> v <> 0) all
+let all_assoc t =
+  [
+    ("scanned", t.scanned);
+    ("copied", t.copied);
+    ("skipped", t.skipped);
+    ("appended", t.appended);
+    ("compared", t.compared);
+    ("index_probes", t.index_probes);
+    ("index_nodes", t.index_nodes);
+    ("duplicates", t.duplicates);
+    ("sorted", t.sorted);
+    ("pruned", t.pruned);
+  ]
+
+let to_assoc t = List.filter (fun (_, v) -> v <> 0) (all_assoc t)
+
+let is_zero t = to_assoc t = []
 
 let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_cut ppf ())
+       (fun ppf (k, v) -> Format.fprintf ppf "@[<h>%-12s %d@]" k v))
+    (all_assoc t)
+
+let pp_inline ppf t =
   let fields = to_assoc t in
   if fields = [] then Format.fprintf ppf "(no work recorded)"
   else
@@ -82,3 +104,14 @@ let pp ppf t =
          ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
          (fun ppf (k, v) -> Format.fprintf ppf "%s=%d" k v))
       fields
+
+let to_json t =
+  let buf = Buffer.create 160 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S:%d" k v))
+    (all_assoc t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

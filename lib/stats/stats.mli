@@ -34,11 +34,34 @@ val add : t -> t -> unit
 
 val copy : t -> t
 
+(** [diff ~before ~after] is the counter-wise difference [after - before] —
+    the work performed between two snapshots (used by {!Scj_trace} spans). *)
+val diff : before:t -> after:t -> t
+
 (** Total document nodes touched in any way ([scanned] + [copied]). *)
 val touched : t -> int
 
+(** [pp] prints every counter in a stable, labelled, one-per-line format
+    (zero counters included), e.g. [scanned      42].  Use {!pp_inline} for
+    a compact single-line rendering. *)
 val pp : Format.formatter -> t -> unit
+
+(** Compact one-line rendering of the non-zero counters
+    ([scanned=42 copied=7 ...]); prints ["(no work recorded)"] when all
+    counters are zero. *)
+val pp_inline : Format.formatter -> t -> unit
+
+(** [to_json t] is a JSON object with every counter (zeros included), in
+    the same stable order as {!pp} — the one serialization shared by the
+    bench output and EXPLAIN ANALYZE. *)
+val to_json : t -> string
 
 (** [to_assoc t] lists the non-zero counters with their names, in a fixed
     order; convenient for CSV-ish bench output. *)
 val to_assoc : t -> (string * int) list
+
+(** [all_assoc t] lists every counter including zeros, in stable order. *)
+val all_assoc : t -> (string * int) list
+
+(** [is_zero t] — no work recorded. *)
+val is_zero : t -> bool

@@ -1,0 +1,47 @@
+module Stats = Scj_stats.Stats
+
+type skip_mode = No_skipping | Skipping | Estimation | Exact_size
+
+let skip_mode_to_string = function
+  | No_skipping -> "no-skipping"
+  | Skipping -> "skipping"
+  | Estimation -> "estimation"
+  | Exact_size -> "exact-size"
+
+let skip_mode_of_string = function
+  | "no-skipping" -> Some No_skipping
+  | "skipping" -> Some Skipping
+  | "estimation" -> Some Estimation
+  | "exact-size" -> Some Exact_size
+  | _ -> None
+
+let all_skip_modes = [ No_skipping; Skipping; Estimation; Exact_size ]
+
+type t = { mode : skip_mode; stats : Stats.t; trace : Trace.t option; domains : int }
+
+let recommended_domains = lazy (max 1 (min 8 (Domain.recommended_domain_count ())))
+
+let default_domains () = Lazy.force recommended_domains
+
+let make ?(mode = Estimation) ?domains ?stats ?trace () =
+  let stats =
+    match (stats, trace) with
+    | Some s, _ -> s
+    | None, Some tr -> Trace.stats tr
+    | None, None -> Stats.create ()
+  in
+  let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  { mode; stats; trace; domains }
+
+let traced ?mode ?domains () =
+  let stats = Stats.create () in
+  let trace = Trace.create stats in
+  make ?mode ?domains ~stats ~trace ()
+
+let with_mode t mode = { t with mode }
+
+let tracing t = Trace.enabled t.trace
+
+let span t name f = Trace.span t.trace name f
+
+let annot t key value = Trace.annot t.trace key value

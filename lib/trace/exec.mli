@@ -1,0 +1,64 @@
+(** The unified execution context.
+
+    Every query-path entry point in this repository — the staircase join
+    and its baselines, the XPath evaluator, the fragmentation layer, the
+    parallel join — takes one optional [Exec.t] instead of scattered
+    [?mode]/[?stats]/[?domains] optional arguments.  The record bundles:
+
+    - the {!skip_mode} of §3.3 (which skipping variant the staircase join
+      runs with);
+    - the {!Scj_stats.Stats.t} counter set every inner loop bumps;
+    - an optional {!Trace.t} recording hierarchical spans for
+      EXPLAIN ANALYZE (absent by default: tracing costs nothing when off);
+    - the domain (worker) count for the partition-parallel join.
+
+    [Exec.t] is immutable; its [stats] field is the shared mutable
+    accumulator.  Derive a variant with {!with_mode} rather than
+    rebuilding, so the stats and tracer keep accumulating in one place. *)
+
+(** The skipping variants of §3.3 (canonical definition — re-exported by
+    {!Scj_core.Staircase} for compatibility). *)
+type skip_mode =
+  | No_skipping  (** Algorithm 2 verbatim: scan the whole partition. *)
+  | Skipping  (** Algorithm 3: terminate/hop on the first non-result. *)
+  | Estimation  (** Algorithm 4: Equation-(1) comparison-free copy phase. *)
+  | Exact_size  (** footnote 5: exact subtree sizes, no scan phase. *)
+
+val skip_mode_to_string : skip_mode -> string
+
+val skip_mode_of_string : string -> skip_mode option
+
+(** All four modes, in the order of the paper's presentation. *)
+val all_skip_modes : skip_mode list
+
+type t = {
+  mode : skip_mode;  (** skipping variant for staircase joins *)
+  stats : Scj_stats.Stats.t;  (** shared work-counter accumulator *)
+  trace : Trace.t option;  (** span recorder, [None] when not analyzing *)
+  domains : int;  (** worker count for {!Scj_frag.Parallel} *)
+}
+
+(** [make ()] — estimation-based skipping, fresh counters, no tracing,
+    {!default_domains} workers.  When [trace] is given without [stats],
+    the context adopts the tracer's own counter set so span deltas stay
+    consistent. *)
+val make :
+  ?mode:skip_mode -> ?domains:int -> ?stats:Scj_stats.Stats.t -> ?trace:Trace.t -> unit -> t
+
+(** [traced ()] — a context with a fresh counter set and a tracer bound to
+    it; the blessed constructor for EXPLAIN ANALYZE runs. *)
+val traced : ?mode:skip_mode -> ?domains:int -> unit -> t
+
+(** [Domain.recommended_domain_count], capped at 8. *)
+val default_domains : unit -> int
+
+val with_mode : t -> skip_mode -> t
+
+(** [tracer t] — [Some] iff this run is being analyzed. *)
+val tracing : t -> bool
+
+(** [span t name f] / [annot t key value] — tracing hooks delegating to
+    {!Trace.span} / {!Trace.annot}; free when no tracer is attached. *)
+val span : t -> string -> (unit -> 'a) -> 'a
+
+val annot : t -> string -> string -> unit

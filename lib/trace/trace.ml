@@ -1,0 +1,165 @@
+module Stats = Scj_stats.Stats
+
+type span = {
+  name : string;
+  mutable attrs : (string * string) list;
+  mutable elapsed_ns : float;
+  mutable work : Stats.t;
+  mutable children : span list;
+}
+
+(* An open span together with the state snapshotted at entry. *)
+type frame = { sp : span; start_ns : float; snapshot : Stats.t }
+
+type t = {
+  clock : unit -> float;
+  tracked : Stats.t;
+  mutable stack : frame list;  (* innermost first *)
+  mutable finished : span list;  (* completed roots, reversed *)
+}
+
+let default_clock () = Unix.gettimeofday () *. 1e9
+
+let create ?(clock = default_clock) tracked =
+  { clock; tracked; stack = []; finished = [] }
+
+let stats t = t.tracked
+
+let enabled = function None -> false | Some _ -> true
+
+let fresh_span name =
+  { name; attrs = []; elapsed_ns = 0.0; work = Stats.create (); children = [] }
+
+let open_span t name =
+  let frame = { sp = fresh_span name; start_ns = t.clock (); snapshot = Stats.copy t.tracked } in
+  t.stack <- frame :: t.stack
+
+let close_span t =
+  match t.stack with
+  | [] -> ()
+  | frame :: rest ->
+    frame.sp.elapsed_ns <- t.clock () -. frame.start_ns;
+    frame.sp.work <- Stats.diff ~before:frame.snapshot ~after:t.tracked;
+    t.stack <- rest;
+    (match rest with
+    | parent :: _ -> parent.sp.children <- parent.sp.children @ [ frame.sp ]
+    | [] -> t.finished <- frame.sp :: t.finished)
+
+let span t name f =
+  match t with
+  | None -> f ()
+  | Some t ->
+    open_span t name;
+    Fun.protect ~finally:(fun () -> close_span t) f
+
+let annot t key value =
+  match t with
+  | None -> ()
+  | Some t -> (
+    match t.stack with
+    | [] -> ()
+    | frame :: _ ->
+      (* per-context-node evaluation re-annotates identically — keep one *)
+      if not (List.mem (key, value) frame.sp.attrs) then
+        frame.sp.attrs <- frame.sp.attrs @ [ (key, value) ])
+
+let roots t = List.rev t.finished
+
+(* ------------------------------------------------------------------ *)
+(* rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_elapsed ppf ns =
+  if ns >= 1e6 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Format.fprintf ppf "%.1f us" (ns /. 1e3)
+  else Format.fprintf ppf "%.0f ns" ns
+
+let rec pp_span_at ppf ~prefix ~last sp =
+  let connector = if last then "`-- " else "|-- " in
+  Format.fprintf ppf "%s%s%s  [%a]@," prefix connector sp.name pp_elapsed sp.elapsed_ns;
+  let body_prefix = prefix ^ (if last then "    " else "|   ") in
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%s  %s: %s@," body_prefix k v)
+    sp.attrs;
+  if not (Stats.is_zero sp.work) then
+    Format.fprintf ppf "%s  work: %a@," body_prefix Stats.pp_inline sp.work;
+  let rec children = function
+    | [] -> ()
+    | [ c ] -> pp_span_at ppf ~prefix:body_prefix ~last:true c
+    | c :: rest ->
+      pp_span_at ppf ~prefix:body_prefix ~last:false c;
+      children rest
+  in
+  children sp.children
+
+let pp_span ppf sp =
+  Format.fprintf ppf "@[<v>";
+  pp_span_at ppf ~prefix:"" ~last:true sp;
+  Format.fprintf ppf "@]"
+
+let pp_tree ppf t =
+  let rs = roots t in
+  Format.fprintf ppf "@[<v>";
+  let rec loop = function
+    | [] -> ()
+    | [ r ] -> pp_span_at ppf ~prefix:"" ~last:true r
+    | r :: rest ->
+      pp_span_at ppf ~prefix:"" ~last:false r;
+      loop rest
+  in
+  loop rs;
+  Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec span_to_buf buf sp =
+  Buffer.add_string buf (Printf.sprintf "{\"name\":\"%s\"" (json_escape sp.name));
+  Buffer.add_string buf (Printf.sprintf ",\"elapsed_ms\":%.6f" (sp.elapsed_ns /. 1e6));
+  Buffer.add_string buf ",\"attrs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    sp.attrs;
+  Buffer.add_string buf "},\"work\":";
+  Buffer.add_string buf (Stats.to_json sp.work);
+  Buffer.add_string buf ",\"children\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      span_to_buf buf c)
+    sp.children;
+  Buffer.add_string buf "]}"
+
+let span_to_json sp =
+  let buf = Buffer.create 256 in
+  span_to_buf buf sp;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char buf ',';
+      span_to_buf buf sp)
+    (roots t);
+  Buffer.add_char buf ']';
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(** Hierarchical query tracing — the span model behind [scj analyze].
+
+    A {e span} covers one unit of work (an axis step, a predicate
+    sub-path, a bench experiment): it records wall-clock time, arbitrary
+    string annotations (algorithm chosen, pushdown decision, partition
+    count, cardinalities, ...) and the delta of a {!Scj_stats.Stats.t}
+    between entry and exit, so per-span work counters come for free from
+    the same counters every join already maintains.
+
+    A tracer is bound to the counter set it snapshots — in practice the
+    [stats] field of the {!Exec.t} it travels in.  Spans nest: a span
+    opened while another is running becomes its child, which is how
+    predicate sub-paths show up indented under their step in the plan
+    tree.
+
+    Tracing is strictly opt-in and free when off: every entry point takes
+    a [t option], and [None] short-circuits to the untraced code path. *)
+
+type span = {
+  name : string;
+  mutable attrs : (string * string) list;
+      (** annotations in insertion order (later [annot] wins on render) *)
+  mutable elapsed_ns : float;  (** wall-clock nanoseconds *)
+  mutable work : Scj_stats.Stats.t;
+      (** counter delta recorded while the span was open *)
+  mutable children : span list;  (** completed child spans, in order *)
+}
+
+type t
+
+(** [create stats] — a tracer whose spans record deltas of [stats].
+    [clock] (nanoseconds, monotone enough for plan timings) defaults to
+    [Unix.gettimeofday]-based wall time. *)
+val create : ?clock:(unit -> float) -> Scj_stats.Stats.t -> t
+
+(** The counter set this tracer snapshots. *)
+val stats : t -> Scj_stats.Stats.t
+
+(** [enabled t] — [true] iff a tracer is present. *)
+val enabled : t option -> bool
+
+(** [span t name f] runs [f] inside a fresh span ([None]: runs [f]
+    directly).  Exception-safe: the span is closed and recorded even when
+    [f] raises. *)
+val span : t option -> string -> (unit -> 'a) -> 'a
+
+(** [annot t key value] annotates the innermost open span; no-op when
+    [t] is [None] or no span is open. *)
+val annot : t option -> string -> string -> unit
+
+(** Completed top-level spans, in completion order. *)
+val roots : t -> span list
+
+(** {1 Rendering} *)
+
+(** [pp_tree ppf t] renders the completed spans as an indented plan tree:
+    one line per span with its timing, followed by its annotations and
+    non-zero work counters, then its children. *)
+val pp_tree : Format.formatter -> t -> unit
+
+val pp_span : Format.formatter -> span -> unit
+
+(** [to_json t] — the span forest as a JSON array; each span is
+    [{"name":…, "elapsed_ms":…, "attrs":{…}, "work":{…}, "children":[…]}]
+    with [work] serialized by {!Scj_stats.Stats.to_json}. *)
+val to_json : t -> string
+
+val span_to_json : span -> string
+
+(** Escape a string for embedding in JSON (shared with the bench). *)
+val json_escape : string -> string

@@ -3,6 +3,8 @@ module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
+module Trace = Scj_trace.Trace
+module Exec = Scj_trace.Exec
 module Sj = Scj_core.Staircase
 module Naive = Scj_engine.Naive
 module Sql_plan = Scj_engine.Sql_plan
@@ -106,8 +108,9 @@ let iter_children doc stats c f =
     i := !i + sizes.(!i) + 1
   done
 
-let structural_axis session stats context axis =
+let structural_axis session exec context axis =
   let doc = session.doc in
+  let stats = exec.Exec.stats in
   let sizes = Doc.size_array doc in
   let kinds = Doc.kind_array doc in
   let parents = Doc.parent_array doc in
@@ -149,7 +152,7 @@ let structural_axis session stats context axis =
 
 (* Partitioning-axis dispatch.  Returns the node sequence plus a flag
    telling the caller that a name test was already applied (pushdown). *)
-let partitioning_axis session stats context axis test =
+let partitioning_axis session exec context axis test =
   let doc = session.doc in
   let direction =
     match axis with
@@ -160,6 +163,19 @@ let partitioning_axis session stats context axis test =
     | Axis.Preceding_sibling | Axis.Self ->
       None
   in
+  (if Exec.tracing exec then
+     match (axis, session.strategy.algorithm) with
+     | (Axis.Descendant | Axis.Ancestor), Staircase _ ->
+       () (* annotated below, with partitions and the pushdown decision *)
+     | (Axis.Descendant | Axis.Ancestor), alg -> Exec.annot exec "algorithm" (algorithm_to_string alg)
+     | (Axis.Following | Axis.Preceding), Naive -> Exec.annot exec "algorithm" "naive"
+     | (Axis.Following | Axis.Preceding), (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
+       Exec.annot exec "algorithm" "pruned single region query (§3.1)"
+     | ( ( Axis.Ancestor_or_self | Axis.Attribute | Axis.Child | Axis.Descendant_or_self
+         | Axis.Following_sibling | Axis.Namespace | Axis.Parent | Axis.Preceding_sibling
+         | Axis.Self ),
+         _ ) ->
+       ());
   match (axis, session.strategy.algorithm) with
   | (Axis.Descendant | Axis.Ancestor), Staircase mode -> (
     let direction = Option.get direction in
@@ -171,29 +187,53 @@ let partitioning_axis session stats context axis test =
       | (Ast.Name_test _ | Ast.Wildcard | Ast.Kind_test _), (`Never | `Always | `Cost_based) ->
         None
     in
+    if Exec.tracing exec then begin
+      Exec.annot exec "algorithm" ("staircase join (" ^ Sj.skip_mode_to_string mode ^ ")");
+      let partitions =
+        match direction with
+        | `Descendant -> Sj.desc_partitions doc context
+        | `Ancestor -> Sj.anc_partitions doc context
+      in
+      Exec.annot exec "partitions" (string_of_int (List.length partitions));
+      match (test, session.strategy.pushdown) with
+      | Ast.Name_test tag, (`Always | `Cost_based) ->
+        let fragment = Sj.View.length (tag_view session tag) in
+        let estimate = estimated_step_touches session context direction in
+        Exec.annot exec "cost"
+          (Printf.sprintf "tag fragment '%s': %d node(s) vs. estimated scan of %d node(s)" tag
+             fragment estimate);
+        Exec.annot exec "pushdown"
+          (match pushdown_tag with
+          | Some _ -> "yes (join over the tag fragment)"
+          | None -> "no (filter after the join)")
+      | Ast.Name_test _, `Never -> Exec.annot exec "pushdown" "no (disabled)"
+      | (Ast.Wildcard | Ast.Kind_test _), (`Never | `Always | `Cost_based) -> ()
+    end;
     match (direction, pushdown_tag) with
-    | `Descendant, None -> (Sj.desc ~mode ~stats doc context, false)
-    | `Ancestor, None -> (Sj.anc ~mode ~stats doc context, false)
-    | `Descendant, Some tag -> (Sj.desc_view ~mode ~stats doc (tag_view session tag) context, true)
-    | `Ancestor, Some tag -> (Sj.anc_view ~mode ~stats doc (tag_view session tag) context, true))
-  | Axis.Descendant, Naive -> (Naive.step ~stats doc context Axis.Descendant, false)
-  | Axis.Ancestor, Naive -> (Naive.step ~stats doc context Axis.Ancestor, false)
+    | `Descendant, None -> (Sj.desc ~exec:(Exec.with_mode exec mode) doc context, false)
+    | `Ancestor, None -> (Sj.anc ~exec:(Exec.with_mode exec mode) doc context, false)
+    | `Descendant, Some tag ->
+      (Sj.desc_view ~exec:(Exec.with_mode exec mode) doc (tag_view session tag) context, true)
+    | `Ancestor, Some tag ->
+      (Sj.anc_view ~exec:(Exec.with_mode exec mode) doc (tag_view session tag) context, true))
+  | Axis.Descendant, Naive -> (Naive.step ~exec doc context Axis.Descendant, false)
+  | Axis.Ancestor, Naive -> (Naive.step ~exec doc context Axis.Ancestor, false)
   | (Axis.Descendant | Axis.Ancestor), Sql { delimiter } ->
     let options = { Sql_plan.delimiter; early_nametest = None } in
     let dir = if axis = Axis.Descendant then `Descendant else `Ancestor in
-    (Sql_plan.step ~stats ~options (sql_index session) doc context dir, false)
-  | Axis.Descendant, Mpmgjn -> (Mpmgjn.desc ~stats doc context, false)
-  | Axis.Ancestor, Mpmgjn -> (Mpmgjn.anc ~stats doc context, false)
-  | Axis.Descendant, Structjoin -> (Structjoin.desc ~stats doc context, false)
-  | Axis.Ancestor, Structjoin -> (Structjoin.anc ~stats doc context, false)
-  | Axis.Following, Naive -> (Naive.step ~stats doc context Axis.Following, false)
-  | Axis.Preceding, Naive -> (Naive.step ~stats doc context Axis.Preceding, false)
+    (Sql_plan.step ~exec ~options (sql_index session) doc context dir, false)
+  | Axis.Descendant, Mpmgjn -> (Mpmgjn.desc ~exec doc context, false)
+  | Axis.Ancestor, Mpmgjn -> (Mpmgjn.anc ~exec doc context, false)
+  | Axis.Descendant, Structjoin -> (Structjoin.desc ~exec doc context, false)
+  | Axis.Ancestor, Structjoin -> (Structjoin.anc ~exec doc context, false)
+  | Axis.Following, Naive -> (Naive.step ~exec doc context Axis.Following, false)
+  | Axis.Preceding, Naive -> (Naive.step ~exec doc context Axis.Preceding, false)
   | Axis.Following, (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
     (* the baselines of §4.4 are descendant/ancestor algorithms; the
        degenerate single region query serves every strategy here *)
-    (Sj.following ~stats doc context, false)
+    (Sj.following ~exec doc context, false)
   | Axis.Preceding, (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
-    (Sj.preceding ~stats doc context, false)
+    (Sj.preceding ~exec doc context, false)
   | ( ( Axis.Ancestor_or_self | Axis.Attribute | Axis.Child | Axis.Descendant_or_self
       | Axis.Following_sibling | Axis.Namespace | Axis.Parent | Axis.Preceding_sibling
       | Axis.Self ),
@@ -226,21 +266,21 @@ let apply_node_test doc axis test nodes =
         | Some t -> ( match Doc.tag_name doc v with Some name -> String.equal name t | None -> false))
       nodes
 
-let eval_axis session stats context axis test =
+let eval_axis session exec context axis test =
   match axis with
   | Axis.Descendant | Axis.Ancestor | Axis.Following | Axis.Preceding ->
-    partitioning_axis session stats context axis test
+    partitioning_axis session exec context axis test
   | Axis.Descendant_or_self ->
     (* desc-or-self::T = desc::T ∪ self::T — passing the test through
        keeps name-test pushdown available for the descendant part *)
-    let desc, tested = partitioning_axis session stats context Axis.Descendant test in
+    let desc, tested = partitioning_axis session exec context Axis.Descendant test in
     let self =
       if tested then apply_node_test session.doc Axis.Descendant_or_self test context
       else context
     in
     (Nodeseq.union desc self, tested)
   | Axis.Ancestor_or_self ->
-    let anc, tested = partitioning_axis session stats context Axis.Ancestor test in
+    let anc, tested = partitioning_axis session exec context Axis.Ancestor test in
     let self =
       if tested then apply_node_test session.doc Axis.Ancestor_or_self test context else context
     in
@@ -249,7 +289,8 @@ let eval_axis session stats context axis test =
   | Axis.Namespace -> (Nodeseq.empty, false)
   | Axis.Child | Axis.Attribute | Axis.Parent | Axis.Following_sibling | Axis.Preceding_sibling
     ->
-    (structural_axis session stats context axis, false)
+    if Exec.tracing exec then Exec.annot exec "algorithm" "structural size/parent arithmetic";
+    (structural_axis session exec context axis, false)
 
 let reverse_axis = function
   | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Preceding | Axis.Preceding_sibling | Axis.Parent
@@ -413,103 +454,103 @@ let rec compare_values doc op left right =
 (* full path evaluation                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let rec eval_expr session stats ~node ~pos ~last = function
+let rec eval_expr session exec ~node ~pos ~last = function
   | Ast.Literal s -> Str s
   | Ast.Number f -> Num f
   | Ast.Position -> Num (float_of_int pos)
   | Ast.Last -> Num (float_of_int last)
-  | Ast.Path_expr p -> Nodes (eval_path_inner session stats (Nodeseq.singleton node) p)
-  | Ast.Count p -> Num (float_of_int (Nodeseq.length (eval_path_inner session stats (Nodeseq.singleton node) p)))
-  | Ast.Not e -> Bool (not (to_bool (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.Path_expr p -> Nodes (eval_path_inner session exec (Nodeseq.singleton node) p)
+  | Ast.Count p -> Num (float_of_int (Nodeseq.length (eval_path_inner session exec (Nodeseq.singleton node) p)))
+  | Ast.Not e -> Bool (not (to_bool (eval_expr session exec ~node ~pos ~last e)))
   | Ast.And (a, b) ->
     Bool
-      (to_bool (eval_expr session stats ~node ~pos ~last a)
-      && to_bool (eval_expr session stats ~node ~pos ~last b))
+      (to_bool (eval_expr session exec ~node ~pos ~last a)
+      && to_bool (eval_expr session exec ~node ~pos ~last b))
   | Ast.Or (a, b) ->
     Bool
-      (to_bool (eval_expr session stats ~node ~pos ~last a)
-      || to_bool (eval_expr session stats ~node ~pos ~last b))
+      (to_bool (eval_expr session exec ~node ~pos ~last a)
+      || to_bool (eval_expr session exec ~node ~pos ~last b))
   | Ast.Compare (op, a, b) ->
-    let va = eval_expr session stats ~node ~pos ~last a in
-    let vb = eval_expr session stats ~node ~pos ~last b in
+    let va = eval_expr session exec ~node ~pos ~last a in
+    let vb = eval_expr session exec ~node ~pos ~last b in
     Bool (compare_values session.doc op va vb)
   | Ast.Fn_true -> Bool true
   | Ast.Fn_false -> Bool false
-  | Ast.Fn_boolean e -> Bool (to_bool (eval_expr session stats ~node ~pos ~last e))
+  | Ast.Fn_boolean e -> Bool (to_bool (eval_expr session exec ~node ~pos ~last e))
   | Ast.Fn_string e -> (
     match e with
     | None -> Str (Doc.string_value session.doc node)
-    | Some e -> Str (to_str session.doc (eval_expr session stats ~node ~pos ~last e)))
+    | Some e -> Str (to_str session.doc (eval_expr session exec ~node ~pos ~last e)))
   | Ast.Fn_number e -> (
     match e with
     | None -> Num (number_of_string (Doc.string_value session.doc node))
-    | Some e -> Num (to_num session.doc (eval_expr session stats ~node ~pos ~last e)))
-  | Ast.Fn_name p -> Str (name_of_path session stats ~node p ~local:false)
-  | Ast.Fn_local_name p -> Str (name_of_path session stats ~node p ~local:true)
+    | Some e -> Num (to_num session.doc (eval_expr session exec ~node ~pos ~last e)))
+  | Ast.Fn_name p -> Str (name_of_path session exec ~node p ~local:false)
+  | Ast.Fn_local_name p -> Str (name_of_path session exec ~node p ~local:true)
   | Ast.Fn_concat es ->
     Str
       (String.concat ""
-         (List.map (fun e -> to_str session.doc (eval_expr session stats ~node ~pos ~last e)) es))
+         (List.map (fun e -> to_str session.doc (eval_expr session exec ~node ~pos ~last e)) es))
   | Ast.Fn_contains (a, b) ->
-    let ha = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
-    let ne = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let ha = to_str session.doc (eval_expr session exec ~node ~pos ~last a) in
+    let ne = to_str session.doc (eval_expr session exec ~node ~pos ~last b) in
     Bool (string_contains ~needle:ne ha)
   | Ast.Fn_starts_with (a, b) ->
-    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
-    let prefix = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let s = to_str session.doc (eval_expr session exec ~node ~pos ~last a) in
+    let prefix = to_str session.doc (eval_expr session exec ~node ~pos ~last b) in
     Bool (starts_with ~prefix s)
   | Ast.Fn_substring (a, b, c) ->
-    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
-    let start = to_num session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let s = to_str session.doc (eval_expr session exec ~node ~pos ~last a) in
+    let start = to_num session.doc (eval_expr session exec ~node ~pos ~last b) in
     let len =
-      Option.map (fun e -> to_num session.doc (eval_expr session stats ~node ~pos ~last e)) c
+      Option.map (fun e -> to_num session.doc (eval_expr session exec ~node ~pos ~last e)) c
     in
     Str (xpath_substring s start len)
   | Ast.Fn_substring_before (a, b) ->
-    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
-    let sep = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let s = to_str session.doc (eval_expr session exec ~node ~pos ~last a) in
+    let sep = to_str session.doc (eval_expr session exec ~node ~pos ~last b) in
     Str (substring_before s sep)
   | Ast.Fn_substring_after (a, b) ->
-    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
-    let sep = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
+    let s = to_str session.doc (eval_expr session exec ~node ~pos ~last a) in
+    let sep = to_str session.doc (eval_expr session exec ~node ~pos ~last b) in
     Str (substring_after s sep)
   | Ast.Fn_translate (a, b, c) ->
-    let s = to_str session.doc (eval_expr session stats ~node ~pos ~last a) in
-    let from = to_str session.doc (eval_expr session stats ~node ~pos ~last b) in
-    let into = to_str session.doc (eval_expr session stats ~node ~pos ~last c) in
+    let s = to_str session.doc (eval_expr session exec ~node ~pos ~last a) in
+    let from = to_str session.doc (eval_expr session exec ~node ~pos ~last b) in
+    let into = to_str session.doc (eval_expr session exec ~node ~pos ~last c) in
     Str (translate s ~from ~into)
   | Ast.Fn_string_length e ->
     let s =
       match e with
       | None -> Doc.string_value session.doc node
-      | Some e -> to_str session.doc (eval_expr session stats ~node ~pos ~last e)
+      | Some e -> to_str session.doc (eval_expr session exec ~node ~pos ~last e)
     in
     Num (float_of_int (String.length s))
   | Ast.Fn_normalize_space e ->
     let s =
       match e with
       | None -> Doc.string_value session.doc node
-      | Some e -> to_str session.doc (eval_expr session stats ~node ~pos ~last e)
+      | Some e -> to_str session.doc (eval_expr session exec ~node ~pos ~last e)
     in
     Str (normalize_space s)
   | Ast.Fn_sum p ->
-    let nodes = eval_path_inner session stats (Nodeseq.singleton node) p in
+    let nodes = eval_path_inner session exec (Nodeseq.singleton node) p in
     Num
       (Nodeseq.fold_left
          (fun acc v -> acc +. number_of_string (Doc.string_value session.doc v))
          0.0 nodes)
-  | Ast.Fn_floor e -> Num (Float.floor (to_num session.doc (eval_expr session stats ~node ~pos ~last e)))
+  | Ast.Fn_floor e -> Num (Float.floor (to_num session.doc (eval_expr session exec ~node ~pos ~last e)))
   | Ast.Fn_ceiling e ->
-    Num (Float.ceil (to_num session.doc (eval_expr session stats ~node ~pos ~last e)))
+    Num (Float.ceil (to_num session.doc (eval_expr session exec ~node ~pos ~last e)))
   | Ast.Fn_round e ->
     (* XPath round(): half goes toward positive infinity *)
-    Num (Float.floor (to_num session.doc (eval_expr session stats ~node ~pos ~last e) +. 0.5))
+    Num (Float.floor (to_num session.doc (eval_expr session exec ~node ~pos ~last e) +. 0.5))
 
-and name_of_path session stats ~node p ~local =
+and name_of_path session exec ~node p ~local =
   let target =
     match p with
     | None -> Some node
-    | Some p -> Nodeseq.first (eval_path_inner session stats (Nodeseq.singleton node) p)
+    | Some p -> Nodeseq.first (eval_path_inner session exec (Nodeseq.singleton node) p)
   in
   match target with
   | None -> ""
@@ -519,25 +560,45 @@ and name_of_path session stats ~node p ~local =
     | Some name -> if local then local_name name else name)
 
 (* Predicate truth: a numeric predicate value means position() = value. *)
-and predicate_holds session stats ~node ~pos ~last expr =
-  match eval_expr session stats ~node ~pos ~last expr with
+and predicate_holds session exec ~node ~pos ~last expr =
+  match eval_expr session exec ~node ~pos ~last expr with
   | Num f -> float_of_int pos = f
   | (Bool _ | Str _ | Nodes _) as v -> to_bool v
 
 (* Apply the predicate list to an ordered candidate list (axis order). *)
-and apply_predicates session stats ~ordered predicates =
+and apply_predicates session exec ~ordered predicates =
   List.fold_left
     (fun candidates expr ->
       let last = List.length candidates in
       List.filteri
-        (fun i node -> predicate_holds session stats ~node ~pos:(i + 1) ~last expr)
+        (fun i node -> predicate_holds session exec ~node ~pos:(i + 1) ~last expr)
         candidates)
     ordered predicates
 
-and eval_step session stats context (s : Ast.step) =
+(* Every step — including the steps of nested predicate paths — opens one
+   tracing span; the tracer's stack nests them under the enclosing step. *)
+and eval_step session exec context (s : Ast.step) =
+  if not (Exec.tracing exec) then eval_step_inner session exec context s
+  else
+    Exec.span exec
+      (Format.asprintf "%a" Ast.pp_step s)
+      (fun () ->
+        Exec.annot exec "in" (string_of_int (Nodeseq.length context));
+        if s.Ast.predicates <> [] then
+          Exec.annot exec "predicates"
+            (Printf.sprintf "%d (%s)"
+               (List.length s.Ast.predicates)
+               (if List.exists Ast.positional s.Ast.predicates then
+                  "positional, per-context-node"
+                else "set-at-a-time filter"));
+        let result = eval_step_inner session exec context s in
+        Exec.annot exec "out" (string_of_int (Nodeseq.length result));
+        result)
+
+and eval_step_inner session exec context (s : Ast.step) =
   if s.Ast.predicates = [] || not (List.exists Ast.positional s.Ast.predicates) then begin
     (* set-at-a-time: evaluate the axis for the whole context, filter *)
-    let nodes, tested = eval_axis session stats context s.Ast.axis s.Ast.test in
+    let nodes, tested = eval_axis session exec context s.Ast.axis s.Ast.test in
     let nodes = if tested then nodes else apply_node_test session.doc s.Ast.axis s.Ast.test nodes in
     match s.Ast.predicates with
     | [] -> nodes
@@ -545,7 +606,7 @@ and eval_step session stats context (s : Ast.step) =
       (* non-positional predicates are per-node boolean filters *)
       Nodeseq.filter
         (fun node ->
-          List.for_all (fun e -> predicate_holds session stats ~node ~pos:1 ~last:1 e) predicates)
+          List.for_all (fun e -> predicate_holds session exec ~node ~pos:1 ~last:1 e) predicates)
         nodes
   end
   else begin
@@ -555,7 +616,7 @@ and eval_step session stats context (s : Ast.step) =
       Nodeseq.fold_left
         (fun acc c ->
           let single = Nodeseq.singleton c in
-          let nodes, tested = eval_axis session stats single s.Ast.axis s.Ast.test in
+          let nodes, tested = eval_axis session exec single s.Ast.axis s.Ast.test in
           let nodes =
             if tested then nodes else apply_node_test session.doc s.Ast.axis s.Ast.test nodes
           in
@@ -563,7 +624,7 @@ and eval_step session stats context (s : Ast.step) =
             let l = Nodeseq.to_list nodes in
             if reverse_axis s.Ast.axis then List.rev l else l
           in
-          let kept = apply_predicates session stats ~ordered s.Ast.predicates in
+          let kept = apply_predicates session exec ~ordered s.Ast.predicates in
           Nodeseq.of_unsorted kept :: acc)
         [] context
     in
@@ -600,7 +661,7 @@ and rewrite_path (p : Ast.path) =
    descendants; the remaining axes are empty at the document node.  The
    lone path [/] denotes the root element (divergence from XPath's
    document node, documented in the README). *)
-and eval_document_step session stats (s : Ast.step) =
+and eval_document_step session exec (s : Ast.step) =
   let root = Nodeseq.singleton (Doc.root session.doc) in
   let remapped_axis =
     match s.Ast.axis with
@@ -613,9 +674,9 @@ and eval_document_step session stats (s : Ast.step) =
   in
   match remapped_axis with
   | None -> Nodeseq.empty
-  | Some axis -> eval_step session stats root { s with Ast.axis }
+  | Some axis -> eval_step session exec root { s with Ast.axis }
 
-and eval_path_inner session stats context (p : Ast.path) =
+and eval_path_inner session exec context (p : Ast.path) =
   let p = rewrite_path p in
   if p.Ast.absolute then
     match p.Ast.steps with
@@ -623,37 +684,37 @@ and eval_path_inner session stats context (p : Ast.path) =
     | bridge :: second :: rest when is_bridge bridge && second.Ast.axis = Axis.Child ->
       (* '//x': the root element is a child of the document node, so it
          belongs to the result when it matches — evaluate it via self *)
-      let start = eval_document_step session stats bridge in
-      let via_children = eval_step session stats start second in
+      let start = eval_document_step session exec bridge in
+      let via_children = eval_step session exec start second in
       let via_root =
-        eval_step session stats
+        eval_step session exec
           (Nodeseq.singleton (Doc.root session.doc))
           { second with Ast.axis = Axis.Self }
       in
       List.fold_left
-        (fun ctx s -> eval_step session stats ctx s)
+        (fun ctx s -> eval_step session exec ctx s)
         (Nodeseq.union via_children via_root)
         rest
     | first :: rest ->
-      let start = eval_document_step session stats first in
-      List.fold_left (fun ctx s -> eval_step session stats ctx s) start rest
-  else List.fold_left (fun ctx s -> eval_step session stats ctx s) context p.Ast.steps
+      let start = eval_document_step session exec first in
+      List.fold_left (fun ctx s -> eval_step session exec ctx s) start rest
+  else List.fold_left (fun ctx s -> eval_step session exec ctx s) context p.Ast.steps
 
-let ensure_stats = function None -> Stats.create () | Some s -> s
+let ensure_exec = function None -> Exec.make () | Some e -> e
 
-let step ?stats session context s = eval_step session (ensure_stats stats) context s
+let step ?exec session context s = eval_step session (ensure_exec exec) context s
 
 let default_context session = Nodeseq.singleton (Doc.root session.doc)
 
-let eval_path ?stats ?context session p =
+let eval_path ?exec ?context session p =
   let context = match context with Some c -> c | None -> default_context session in
-  eval_path_inner session (ensure_stats stats) context p
+  eval_path_inner session (ensure_exec exec) context p
 
-let eval_query ?stats ?context session q =
-  let stats = ensure_stats stats in
+let eval_query ?exec ?context session q =
+  let exec = ensure_exec exec in
   let context = match context with Some c -> c | None -> default_context session in
   List.fold_left
-    (fun acc p -> Nodeseq.union acc (eval_path_inner session stats context p))
+    (fun acc p -> Nodeseq.union acc (eval_path_inner session exec context p))
     Nodeseq.empty q
 
 (* ------------------------------------------------------------------ *)
@@ -681,10 +742,10 @@ let explain ?context session (p : Ast.path) =
     out "start: document node (emulated at the root element, pre=0)\n"
   else out "start: context of %d node(s)\n" (Nodeseq.length start);
   let describe_step i ctx (s : Ast.step) =
-    let stats = Stats.create () in
+    let exec = Exec.make () in
     let result =
-      if p.Ast.absolute && i = 0 then eval_document_step session stats s
-      else eval_step session stats ctx s
+      if p.Ast.absolute && i = 0 then eval_document_step session exec s
+      else eval_step session exec ctx s
     in
     out "step %d: %s\n" (i + 1) (Format.asprintf "%a" Ast.pp_step s);
     (match (s.Ast.axis, session.strategy.algorithm, s.Ast.test) with
@@ -727,7 +788,7 @@ let explain ?context session (p : Ast.path) =
            "positional -> per-context-node evaluation"
         else "non-positional -> set-at-a-time filter");
     out "  cardinality: %d -> %d   work: %s\n" (Nodeseq.length ctx) (Nodeseq.length result)
-      (Format.asprintf "%a" Stats.pp stats);
+      (Format.asprintf "%a" Stats.pp_inline exec.Exec.stats);
     result
   in
   let _final = List.fold_left (fun (i, ctx) s -> (i + 1, describe_step i ctx s)) (0, start) p.Ast.steps in
@@ -754,12 +815,31 @@ let explain ?context session (p : Ast.path) =
      out "\nequivalent pure-SQL translation (§2.1):\n%s\n" (Scj_engine.Sqlgen.of_steps steps));
   Buffer.contents buf
 
-let run ?stats ?context session input =
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ?context session (p : Ast.path) =
+  let exec = Exec.traced () in
+  let trace = match exec.Exec.trace with Some tr -> tr | None -> assert false in
+  let context = match context with Some c -> c | None -> default_context session in
+  let result =
+    Exec.span exec
+      ("query: " ^ Ast.path_to_string p)
+      (fun () ->
+        Exec.annot exec "strategy" (strategy_to_string session.strategy);
+        let rewritten = rewrite_path p in
+        if rewritten <> p then Exec.annot exec "rewritten" (Ast.path_to_string rewritten);
+        eval_path_inner session exec context p)
+  in
+  (result, trace)
+
+let run ?exec ?context session input =
   match Parse.query input with
-  | Ok q -> Ok (eval_query ?stats ?context session q)
+  | Ok q -> Ok (eval_query ?exec ?context session q)
   | Error _ as e -> e
 
-let run_exn ?stats ?context session input =
-  match run ?stats ?context session input with
+let run_exn ?exec ?context session input =
+  match run ?exec ?context session input with
   | Ok r -> r
   | Error e -> invalid_arg ("Eval.run_exn: " ^ e)

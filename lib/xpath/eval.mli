@@ -50,23 +50,26 @@ val session : ?strategy:strategy -> Doc.t -> session
 
 val doc_of_session : session -> Doc.t
 
-(** [step ?stats session context s] evaluates one axis step (node test and
-    predicates included). *)
-val step : ?stats:Scj_stats.Stats.t -> session -> Nodeseq.t -> Ast.step -> Nodeseq.t
+(** [step ?exec session context s] evaluates one axis step (node test and
+    predicates included).  The {!Scj_trace.Exec.t} carries the work
+    counters and the optional tracer; when tracing is on, every step opens
+    one span annotated with the algorithm chosen, the pushdown decision,
+    the partition count and the in/out cardinalities. *)
+val step : ?exec:Scj_trace.Exec.t -> session -> Nodeseq.t -> Ast.step -> Nodeseq.t
 
-(** [eval_path ?stats ?context session path] evaluates a full path.  The
+(** [eval_path ?exec ?context session path] evaluates a full path.  The
     default context is the document root (as a singleton sequence); an
     absolute path resets the context to the root regardless. *)
 val eval_path :
-  ?stats:Scj_stats.Stats.t -> ?context:Nodeseq.t -> session -> Ast.path -> Nodeseq.t
+  ?exec:Scj_trace.Exec.t -> ?context:Nodeseq.t -> session -> Ast.path -> Nodeseq.t
 
 (** [eval_query] unions the member paths' results. *)
 val eval_query :
-  ?stats:Scj_stats.Stats.t -> ?context:Nodeseq.t -> session -> Ast.query -> Nodeseq.t
+  ?exec:Scj_trace.Exec.t -> ?context:Nodeseq.t -> session -> Ast.query -> Nodeseq.t
 
-(** [run ?stats ?context session input] parses and evaluates [input]. *)
+(** [run ?exec ?context session input] parses and evaluates [input]. *)
 val run :
-  ?stats:Scj_stats.Stats.t ->
+  ?exec:Scj_trace.Exec.t ->
   ?context:Nodeseq.t ->
   session ->
   string ->
@@ -75,7 +78,7 @@ val run :
 (** [run_exn session input] is {!run}, raising [Invalid_argument] on a
     syntax error. *)
 val run_exn :
-  ?stats:Scj_stats.Stats.t -> ?context:Nodeseq.t -> session -> string -> Nodeseq.t
+  ?exec:Scj_trace.Exec.t -> ?context:Nodeseq.t -> session -> string -> Nodeseq.t
 
 (** {1 Explain}
 
@@ -85,6 +88,16 @@ val run_exn :
     counters.  When the whole path consists of predicate-free partitioning
     steps, the equivalent §2.1 SQL translation is appended. *)
 val explain : ?context:Nodeseq.t -> session -> Ast.path -> string
+
+(** [analyze ?context session path] is EXPLAIN ANALYZE proper: the path is
+    evaluated once under a fresh tracing {!Scj_trace.Exec.t}, and the
+    resulting node sequence is returned together with the trace — a span
+    per step (nested predicate paths included), each carrying wall-clock
+    time, the {!Scj_stats.Stats} delta of the work done inside it, and the
+    planner annotations of {!step}.  Render with
+    {!Scj_trace.Trace.pp_tree} or serialize with
+    {!Scj_trace.Trace.to_json}. *)
+val analyze : ?context:Nodeseq.t -> session -> Ast.path -> Nodeseq.t * Scj_trace.Trace.t
 
 (** {1 Cost model}
 

@@ -2,6 +2,7 @@
    model-based property tests against Stdlib.Map. *)
 
 module Btree = Scj_btree.Btree
+module Exec = Scj_trace.Exec
 module Stats = Scj_stats.Stats
 module Int_tree = Btree.Int
 module Int_map = Map.Make (Int)
@@ -107,7 +108,7 @@ let test_range_while_stops () =
 let test_range_stats () =
   let t = build_range_tree () in
   let stats = Stats.create () in
-  Int_tree.iter_range ~stats ~lo:50 ~hi:60 t (fun _ _ -> ());
+  Int_tree.iter_range ~exec:(Exec.make ~stats ()) ~lo:50 ~hi:60 t (fun _ _ -> ());
   check_int "one probe" 1 stats.Stats.index_probes;
   check_bool "visited pages" true (stats.Stats.index_nodes > 0)
 

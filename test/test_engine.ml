@@ -5,6 +5,7 @@
    compared to the staircase join. *)
 
 module Doc = Scj_encoding.Doc
+module Exec = Scj_trace.Exec
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Stats = Scj_stats.Stats
@@ -34,7 +35,7 @@ let seq names = Nodeseq.of_unsorted (List.map pre names)
 let test_sort_unique () =
   let stats = Stats.create () in
   let hits = Scj_bat.Int_col.of_list [ 5; 1; 5; 3; 1; 1 ] in
-  let out = Operators.sort_unique ~stats hits in
+  let out = Operators.sort_unique ~exec:(Exec.make ~stats ()) hits in
   Alcotest.check nodeseq "sorted, unique" (Nodeseq.of_unsorted [ 1; 3; 5 ]) out;
   check_int "sorted counter" 6 stats.Stats.sorted;
   check_int "duplicates removed" 3 stats.Stats.duplicates
@@ -42,7 +43,7 @@ let test_sort_unique () =
 let test_merge_union () =
   let stats = Stats.create () in
   let a = Nodeseq.of_unsorted [ 1; 2 ] and b = Nodeseq.of_unsorted [ 2; 3 ] in
-  let out = Operators.merge_union ~stats [ a; b ] in
+  let out = Operators.merge_union ~exec:(Exec.make ~stats ()) [ a; b ] in
   Alcotest.check nodeseq "merged" (Nodeseq.of_unsorted [ 1; 2; 3 ]) out;
   check_int "duplicates" 1 stats.Stats.duplicates
 
@@ -54,7 +55,7 @@ let test_naive_counts_duplicates () =
   let d = doc () in
   (* g and j share the ancestor a; naive produces a twice *)
   let stats = Stats.create () in
-  let out = Naive.step ~stats d (seq [ "g"; "j" ]) Axis.Ancestor in
+  let out = Naive.step ~exec:(Exec.make ~stats ()) d (seq [ "g"; "j" ]) Axis.Ancestor in
   Alcotest.check nodeseq "ancestors" (seq [ "a"; "e"; "f"; "i" ]) out;
   (* anc(g) = {a,e,f}, anc(j) = {a,e,i}: a and e arrive twice *)
   check_int "two duplicates (a, e)" 2 stats.Stats.duplicates;
@@ -77,7 +78,7 @@ let prop_naive_count_matches_materialization =
         (Test_support.doc_with_context_arbitrary ())
         (fun (d, ctx) ->
           let stats = Stats.create () in
-          let out = Naive.step ~stats d ctx axis in
+          let out = Naive.step ~exec:(Exec.make ~stats ()) d ctx axis in
           Naive.count_with_duplicates d ctx axis = Nodeseq.length out + stats.Stats.duplicates))
     [ Axis.Descendant; Axis.Ancestor; Axis.Following; Axis.Preceding ]
 
@@ -112,7 +113,7 @@ let test_sql_plan_delimiter_reduces_scans () =
   let run delimiter =
     let stats = Stats.create () in
     let out =
-      Sql_plan.step ~stats ~options:{ Sql_plan.delimiter; early_nametest = None } idx d profiles
+      Sql_plan.step ~exec:(Exec.make ~stats ()) ~options:{ Sql_plan.delimiter; early_nametest = None } idx d profiles
         `Descendant
     in
     (out, stats.Stats.scanned)
@@ -129,7 +130,7 @@ let test_sql_plan_duplicates () =
   let d = doc () in
   let idx = Sql_plan.build_index d in
   let stats = Stats.create () in
-  let _ = Sql_plan.step ~stats idx d (seq [ "g"; "j" ]) `Ancestor in
+  let _ = Sql_plan.step ~exec:(Exec.make ~stats ()) idx d (seq [ "g"; "j" ]) `Ancestor in
   (* a and e found from both g and j *)
   check_int "duplicates generated then removed" 2 stats.Stats.duplicates;
   check_bool "probes recorded" true (stats.Stats.index_probes >= 2)
@@ -172,7 +173,7 @@ let test_mpmgjn_rescans () =
   (* overlapping context (e covers f): MPMGJN does not prune, so f's
      partition tuples are scanned twice *)
   let stats = Stats.create () in
-  let _ = Mpmgjn.desc ~stats d (seq [ "e"; "f" ]) in
+  let _ = Mpmgjn.desc ~exec:(Exec.make ~stats ()) d (seq [ "e"; "f" ]) in
   let region = Doc.size d (pre "e") in
   check_bool "rescanning exceeds region size" true (stats.Stats.scanned > region);
   check_bool "duplicates produced" true (stats.Stats.duplicates > 0)
@@ -180,7 +181,7 @@ let test_mpmgjn_rescans () =
 let test_structjoin_touches_whole_doc () =
   let d = doc () in
   let stats = Stats.create () in
-  let _ = Structjoin.desc ~stats d (seq [ "i" ]) in
+  let _ = Structjoin.desc ~exec:(Exec.make ~stats ()) d (seq [ "i" ]) in
   check_int "stack-tree scans every node" (Doc.n_nodes d) stats.Stats.scanned
 
 let test_baselines_touch_more_than_staircase () =
@@ -191,9 +192,9 @@ let test_baselines_touch_more_than_staircase () =
     let (_ : Nodeseq.t) = run stats in
     Stats.touched stats
   in
-  let sj = touches (fun stats -> Sj.anc ~stats d increases) in
-  let mp = touches (fun stats -> Mpmgjn.anc ~stats d increases) in
-  let naive = touches (fun stats -> Naive.step ~stats d increases Axis.Ancestor) in
+  let sj = touches (fun stats -> Sj.anc ~exec:(Exec.make ~stats ()) d increases) in
+  let mp = touches (fun stats -> Mpmgjn.anc ~exec:(Exec.make ~stats ()) d increases) in
+  let naive = touches (fun stats -> Naive.step ~exec:(Exec.make ~stats ()) d increases Axis.Ancestor) in
   check_bool (Printf.sprintf "staircase %d < mpmgjn %d" sj mp) true (sj < mp);
   check_bool (Printf.sprintf "mpmgjn %d < naive %d" mp naive) true (mp <= naive)
 

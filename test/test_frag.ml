@@ -2,6 +2,7 @@
    join (lib/frag). *)
 
 module Doc = Scj_encoding.Doc
+module Exec = Scj_trace.Exec
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Stats = Scj_stats.Stats
@@ -66,7 +67,7 @@ let test_fragment_matches_full_join_on_xmark () =
   let f = Fragmented.build d in
   let root = Nodeseq.singleton (Doc.root d) in
   let stats_frag = Stats.create () in
-  let profiles = Fragmented.desc_step ~stats:stats_frag f root ~tag:"profile" in
+  let profiles = Fragmented.desc_step ~exec:(Exec.make ~stats:stats_frag ()) f root ~tag:"profile" in
   let educations = Fragmented.desc_step f profiles ~tag:"education" in
   (* reference: full staircase join + name filter *)
   let filter_tag seq tag =
@@ -76,7 +77,7 @@ let test_fragment_matches_full_join_on_xmark () =
       Nodeseq.filter (fun v -> Doc.kind d v = Doc.Element && Doc.tag d v = sym) seq
   in
   let stats_full = Stats.create () in
-  let profiles' = filter_tag (Sj.desc ~stats:stats_full d root) "profile" in
+  let profiles' = filter_tag (Sj.desc ~exec:(Exec.make ~stats:stats_full ()) d root) "profile" in
   let educations' = filter_tag (Sj.desc d profiles') "education" in
   Alcotest.check nodeseq "same profiles" profiles' profiles;
   Alcotest.check nodeseq "same educations" educations' educations;
@@ -122,26 +123,26 @@ let test_parallel_paper () =
           Alcotest.check nodeseq
             (Printf.sprintf "desc domains=%d mode=%s" domains (Sj.skip_mode_to_string mode))
             (Sj.desc d (seq [ "b"; "e" ]))
-            (Parallel.desc ~domains ~mode d (seq [ "b"; "e" ]));
+            (Parallel.desc ~exec:(Exec.make ~domains ~mode ()) d (seq [ "b"; "e" ]));
           Alcotest.check nodeseq
             (Printf.sprintf "anc domains=%d mode=%s" domains (Sj.skip_mode_to_string mode))
             (Sj.anc d (seq [ "g"; "j" ]))
-            (Parallel.anc ~domains ~mode d (seq [ "g"; "j" ])))
+            (Parallel.anc ~exec:(Exec.make ~domains ~mode ()) d (seq [ "g"; "j" ])))
         all_modes)
     [ 1; 2; 4 ]
 
 let test_parallel_empty_context () =
   let d = doc () in
-  Alcotest.check nodeseq "empty" Nodeseq.empty (Parallel.desc ~domains:4 d Nodeseq.empty)
+  Alcotest.check nodeseq "empty" Nodeseq.empty (Parallel.desc ~exec:(Exec.make ~domains:4 ()) d Nodeseq.empty)
 
 let test_parallel_xmark () =
   let d = Lazy.force xmark in
   let increases = Nodeseq.of_sorted_array (Doc.tag_positions d "increase") in
   Alcotest.check nodeseq "parallel anc on xmark" (Sj.anc d increases)
-    (Parallel.anc ~domains:4 d increases);
+    (Parallel.anc ~exec:(Exec.make ~domains:4 ()) d increases);
   let profiles = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
   Alcotest.check nodeseq "parallel desc on xmark" (Sj.desc d profiles)
-    (Parallel.desc ~domains:4 d profiles)
+    (Parallel.desc ~exec:(Exec.make ~domains:4 ()) d profiles)
 
 let prop_parallel_agrees =
   List.map
@@ -150,8 +151,8 @@ let prop_parallel_agrees =
         ~name:(Printf.sprintf "parallel = sequential (%s)" (Sj.skip_mode_to_string mode))
         (Test_support.doc_with_context_arbitrary ())
         (fun (d, ctx) ->
-          Nodeseq.equal (Parallel.desc ~domains:3 ~mode d ctx) (Sj.desc ~mode d ctx)
-          && Nodeseq.equal (Parallel.anc ~domains:3 ~mode d ctx) (Sj.anc ~mode d ctx)))
+          Nodeseq.equal (Parallel.desc ~exec:(Exec.make ~domains:3 ~mode ()) d ctx) (Sj.desc ~exec:(Exec.make ~mode ()) d ctx)
+          && Nodeseq.equal (Parallel.anc ~exec:(Exec.make ~domains:3 ~mode ()) d ctx) (Sj.anc ~exec:(Exec.make ~mode ()) d ctx)))
     all_modes
 
 let qsuite = List.map QCheck_alcotest.to_alcotest (prop_fragment_steps_agree :: prop_parallel_agrees)

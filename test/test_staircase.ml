@@ -4,6 +4,7 @@
    region-predicate evaluation. *)
 
 module Doc = Scj_encoding.Doc
+module Exec = Scj_trace.Exec
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Stats = Scj_stats.Stats
@@ -36,7 +37,7 @@ let test_prune_anc_paper () =
   let d = doc () in
   let ctx = seq [ "d"; "e"; "f"; "h"; "i"; "j" ] in
   let stats = Stats.create () in
-  let pruned = Sj.prune_anc ~stats d ctx in
+  let pruned = Sj.prune_anc ~exec:(Exec.make ~stats ()) d ctx in
   Alcotest.check nodeseq "kept d,h,j" (seq [ "d"; "h"; "j" ]) pruned;
   check_int "3 pruned" 3 stats.Stats.pruned;
   check_bool "staircase" true (Sj.is_staircase d pruned)
@@ -91,11 +92,11 @@ let test_desc_paper () =
       Alcotest.check nodeseq
         (Printf.sprintf "e,b/descendant (%s)" (mode_name mode))
         (seq [ "c"; "f"; "g"; "h"; "i"; "j" ])
-        (Sj.desc ~mode d (seq [ "b"; "e" ]));
+        (Sj.desc ~exec:(Exec.make ~mode ()) d (seq [ "b"; "e" ]));
       Alcotest.check nodeseq
         (Printf.sprintf "root/descendant (%s)" (mode_name mode))
         (seq [ "b"; "c"; "d"; "e"; "f"; "g"; "h"; "i"; "j" ])
-        (Sj.desc ~mode d (seq [ "a" ])))
+        (Sj.desc ~exec:(Exec.make ~mode ()) d (seq [ "a" ])))
     all_modes
 
 let test_anc_paper () =
@@ -105,11 +106,11 @@ let test_anc_paper () =
       Alcotest.check nodeseq
         (Printf.sprintf "(g,j)/ancestor (%s)" (mode_name mode))
         (seq [ "a"; "e"; "f"; "i" ])
-        (Sj.anc ~mode d (seq [ "g"; "j" ]));
+        (Sj.anc ~exec:(Exec.make ~mode ()) d (seq [ "g"; "j" ]));
       Alcotest.check nodeseq
         (Printf.sprintf "root/ancestor empty (%s)" (mode_name mode))
         Nodeseq.empty
-        (Sj.anc ~mode d (seq [ "a" ])))
+        (Sj.anc ~exec:(Exec.make ~mode ()) d (seq [ "a" ])))
     all_modes
 
 let test_following_preceding_paper () =
@@ -119,16 +120,16 @@ let test_following_preceding_paper () =
       Alcotest.check nodeseq
         (Printf.sprintf "f/following (%s)" (mode_name mode))
         (seq [ "i"; "j" ])
-        (Sj.following ~mode d (seq [ "f" ]));
+        (Sj.following ~exec:(Exec.make ~mode ()) d (seq [ "f" ]));
       Alcotest.check nodeseq
         (Printf.sprintf "f/preceding (%s)" (mode_name mode))
         (seq [ "b"; "c"; "d" ])
-        (Sj.preceding ~mode d (seq [ "f" ]));
+        (Sj.preceding ~exec:(Exec.make ~mode ()) d (seq [ "f" ]));
       (* multi-node context degenerates to the singleton's region *)
       Alcotest.check nodeseq
         (Printf.sprintf "(d,f,i)/following (%s)" (mode_name mode))
         (Test_support.spec_step d Axis.Following (seq [ "d"; "f"; "i" ]))
-        (Sj.following ~mode d (seq [ "d"; "f"; "i" ])))
+        (Sj.following ~exec:(Exec.make ~mode ()) d (seq [ "d"; "f"; "i" ])))
     all_modes
 
 (* ------------------------------------------------------------------ *)
@@ -147,7 +148,7 @@ let test_desc_filters_attributes () =
   let d = attr_doc () in
   List.iter
     (fun mode ->
-      let result = Sj.desc ~mode d (Nodeseq.singleton 0) in
+      let result = Sj.desc ~exec:(Exec.make ~mode ()) d (Nodeseq.singleton 0) in
       Nodeseq.iter
         (fun v ->
           check_bool
@@ -169,7 +170,7 @@ let test_anc_of_attribute_context () =
       Alcotest.check nodeseq
         (Printf.sprintf "attr ancestors (%s)" (mode_name mode))
         (Nodeseq.of_unsorted [ 0; 2 ])
-        (Sj.anc ~mode d (Nodeseq.singleton b_pre)))
+        (Sj.anc ~exec:(Exec.make ~mode ()) d (Nodeseq.singleton b_pre)))
     all_modes
 
 (* ------------------------------------------------------------------ *)
@@ -192,13 +193,13 @@ let prop_agrees axis run =
             QCheck.Test.fail_reportf "expected %a, got %a" Nodeseq.pp expected Nodeseq.pp actual))
     all_modes
 
-let prop_desc = prop_agrees Axis.Descendant (fun ~mode d ctx -> Sj.desc ~mode d ctx)
+let prop_desc = prop_agrees Axis.Descendant (fun ~mode d ctx -> Sj.desc ~exec:(Exec.make ~mode ()) d ctx)
 
-let prop_anc = prop_agrees Axis.Ancestor (fun ~mode d ctx -> Sj.anc ~mode d ctx)
+let prop_anc = prop_agrees Axis.Ancestor (fun ~mode d ctx -> Sj.anc ~exec:(Exec.make ~mode ()) d ctx)
 
-let prop_following = prop_agrees Axis.Following (fun ~mode d ctx -> Sj.following ~mode d ctx)
+let prop_following = prop_agrees Axis.Following (fun ~mode d ctx -> Sj.following ~exec:(Exec.make ~mode ()) d ctx)
 
-let prop_preceding = prop_agrees Axis.Preceding (fun ~mode d ctx -> Sj.preceding ~mode d ctx)
+let prop_preceding = prop_agrees Axis.Preceding (fun ~mode d ctx -> Sj.preceding ~exec:(Exec.make ~mode ()) d ctx)
 
 (* ------------------------------------------------------------------ *)
 (* work bounds (§3.3): the experiment-2 claim                          *)
@@ -212,7 +213,7 @@ let prop_skipping_touch_bound =
     (fun (d, ctx) ->
       QCheck.assume (not (Nodeseq.is_empty ctx));
       let stats = Stats.create () in
-      let _ = Sj.desc ~mode:Sj.Skipping ~stats d ctx in
+      let _ = Sj.desc ~exec:(Exec.make ~mode:Sj.Skipping ~stats ()) d ctx in
       let pruned = Sj.prune_desc d ctx in
       (* region size including attributes *)
       let posts = Doc.post_array d in
@@ -233,7 +234,7 @@ let prop_estimation_comparison_bound =
     (fun (d, ctx) ->
       QCheck.assume (not (Nodeseq.is_empty ctx));
       let stats = Stats.create () in
-      let _ = Sj.desc ~mode:Sj.Estimation ~stats d ctx in
+      let _ = Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats ()) d ctx in
       let pruned = Sj.prune_desc d ctx in
       stats.Stats.scanned <= (Doc.height d + 1) * Nodeseq.length pruned)
 
@@ -243,14 +244,14 @@ let prop_exact_size_no_comparisons =
     (Test_support.doc_with_context_arbitrary ())
     (fun (d, ctx) ->
       let stats = Stats.create () in
-      let _ = Sj.desc ~mode:Sj.Exact_size ~stats d ctx in
+      let _ = Sj.desc ~exec:(Exec.make ~mode:Sj.Exact_size ~stats ()) d ctx in
       stats.Stats.scanned = 0)
 
 (* No-skipping scans every node from the first pruned context node on. *)
 let test_no_skipping_scans_everything () =
   let d = doc () in
   let stats = Stats.create () in
-  let _ = Sj.desc ~mode:Sj.No_skipping ~stats d (seq [ "b" ]) in
+  let _ = Sj.desc ~exec:(Exec.make ~mode:Sj.No_skipping ~stats ()) d (seq [ "b" ]) in
   (* partition runs from b+1 to the end of the document *)
   check_int "scanned to the end" (Doc.n_nodes d - (pre "b" + 1)) stats.Stats.scanned
 
@@ -259,7 +260,7 @@ let test_skipping_stats_smaller () =
   let profile = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
   let run mode =
     let stats = Stats.create () in
-    let r = Sj.desc ~mode ~stats d profile in
+    let r = Sj.desc ~exec:(Exec.make ~mode ~stats ()) d profile in
     (Nodeseq.length r, Stats.touched stats)
   in
   let r0, t0 = run Sj.No_skipping in
@@ -304,7 +305,7 @@ let test_chain_shapes () =
   Alcotest.check nodeseq "anc pruning keeps the leaf" (Nodeseq.singleton 100) pruned_anc;
   (* ancestors of the leaf = the whole spine, touched once each *)
   let stats = Stats.create () in
-  let result = Sj.anc ~stats d (Nodeseq.singleton 100) in
+  let result = Sj.anc ~exec:(Exec.make ~stats ()) d (Nodeseq.singleton 100) in
   check_int "100 ancestors" 100 (Nodeseq.length result);
   check_int "scanned exactly the spine" 100 stats.Stats.scanned
 
@@ -313,12 +314,12 @@ let test_star_shapes () =
   let leaves = Nodeseq.of_sorted_array (Array.init 200 (fun i -> i + 1)) in
   (* descendant step from all leaves: 200 empty partitions *)
   let stats = Stats.create () in
-  let result = Sj.desc ~mode:Sj.Skipping ~stats d leaves in
+  let result = Sj.desc ~exec:(Exec.make ~mode:Sj.Skipping ~stats ()) d leaves in
   check_int "no descendants" 0 (Nodeseq.length result);
   check_bool "at most one touch per partition" true (Stats.touched stats <= 200);
   (* ancestor step from all leaves: one shared root, no duplicates *)
   let stats = Stats.create () in
-  let result = Sj.anc ~stats d leaves in
+  let result = Sj.anc ~exec:(Exec.make ~stats ()) d leaves in
   Alcotest.check nodeseq "single shared ancestor" (Nodeseq.singleton 0) result;
   check_int "no duplicates generated" 0 stats.Stats.duplicates
 
@@ -335,7 +336,7 @@ let test_comb_shapes () =
   (* descendant from all spine nodes, pruned to the top spine node *)
   let spine = Nodeseq.of_sorted_array (Doc.tag_positions d "spine") in
   let stats = Stats.create () in
-  let result = Sj.desc ~mode:Sj.Estimation ~stats d spine in
+  let result = Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats ()) d spine in
   check_int "everything below the top" (Doc.n_nodes d - 1) (Nodeseq.length result);
   check_int "pruned to a single partition" 49 stats.Stats.pruned
 
@@ -409,7 +410,7 @@ let prop_view_desc =
           in
           let view = Sj.View.of_nodeseq d subset in
           let expected = Nodeseq.inter (Sj.desc d ctx) subset in
-          Nodeseq.equal expected (Sj.desc_view ~mode d view ctx)))
+          Nodeseq.equal expected (Sj.desc_view ~exec:(Exec.make ~mode ()) d view ctx)))
     all_modes
 
 let prop_view_anc =
@@ -425,7 +426,7 @@ let prop_view_anc =
           in
           let view = Sj.View.of_nodeseq d subset in
           let expected = Nodeseq.inter (Sj.anc d ctx) subset in
-          Nodeseq.equal expected (Sj.anc_view ~mode d view ctx)))
+          Nodeseq.equal expected (Sj.anc_view ~exec:(Exec.make ~mode ()) d view ctx)))
     all_modes
 
 let test_view_of_tag () =

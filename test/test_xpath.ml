@@ -2,6 +2,7 @@
    equivalence, predicates, and name-test pushdown. *)
 
 module Doc = Scj_encoding.Doc
+module Exec = Scj_trace.Exec
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Stats = Scj_stats.Stats
@@ -335,7 +336,7 @@ let test_pushdown_reduces_touches () =
   let run pushdown =
     let stats = Stats.create () in
     let strategy = { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown } in
-    let r = Eval.run_exn ~stats (Eval.session ~strategy d) q1 in
+    let r = Eval.run_exn ~exec:(Exec.make ~stats ()) (Eval.session ~strategy d) q1 in
     (r, Stats.touched stats)
   in
   let r_never, t_never = run `Never in

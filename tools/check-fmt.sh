@@ -1,0 +1,25 @@
+#!/bin/sh
+# Formatting gate for the tier-1 verify path (wired to the runtest alias
+# via tools/dune, so `dune runtest` covers it).
+#
+# Checks every .ml/.mli with `ocamlformat --check` when the binary is
+# available; when it is missing (minimal CI images, the default
+# container) the check is skipped with success so the test suite stays
+# runnable everywhere.  ocamlformat is invoked directly rather than via
+# `dune build @fmt` because this script itself runs under dune.
+set -eu
+
+if ! command -v ocamlformat >/dev/null 2>&1; then
+  echo "check-fmt: ocamlformat not installed, skipping format check" >&2
+  exit 0
+fi
+
+cd "$(dirname "$0")/.."
+status=0
+for f in $(find lib bin test bench examples -name '*.ml' -o -name '*.mli' | sort); do
+  if ! ocamlformat --check "$f" 2>/dev/null; then
+    echo "check-fmt: $f is not formatted" >&2
+    status=1
+  fi
+done
+exit $status
