@@ -16,6 +16,7 @@
      Fig. 11 (f)  -> fig11f      Q2: same comparison
      §6           -> frag        tag-name fragmentation of Q1
      §4.2/4.3     -> copyphase   copy/scan phase composition and bandwidth
+     (cpu)        -> copykernel  blit copy kernels vs per-node, 1/2/4 domains
      §5           -> baselines   nodes touched: scj vs MPMGJN/structural/SQL
      (ablation)   -> ablation    skip modes x pushdown policies
      §3.2/§6      -> parallel    partition-parallel staircase join
@@ -388,6 +389,89 @@ let copyphase () =
     "(paper: the experiment is almost entirely copy phase; comparisons are bounded by h)"
 
 (* ------------------------------------------------------------------ *)
+(* CPU adaptation: blit copy-phase kernel vs per-node reference         *)
+(* ------------------------------------------------------------------ *)
+
+(* The copy phase is comparison-free, so it is pure memory bandwidth —
+   the blit kernels (range fills over the attribute prefix-sum column)
+   should beat the per-node append/kind-test/counter-bump loop that
+   Sj.Reference keeps.  Also checks bit-identical results and counter
+   totals across every skip mode, and scales the parallel join over
+   1/2/4 domains. *)
+let copykernel () =
+  header "CPU adaptation: blit copy-phase kernels ((root)/descendant, estimation)";
+  let scale = List.fold_left max 0.0 (scales ()) in
+  let doc = doc_at scale in
+  let root = root_seq doc in
+  (* parity gate: blit vs per-node reference, results and counters,
+     all four skip modes *)
+  let parity =
+    List.for_all
+      (fun mode ->
+        let s_blit = Stats.create () and s_ref = Stats.create () in
+        let r_blit = Sj.desc ~exec:(Exec.make ~mode ~stats:s_blit ()) doc root in
+        let r_ref = Sj.Reference.desc ~exec:(Exec.make ~mode ~stats:s_ref ()) doc root in
+        Nodeseq.equal r_blit r_ref && Stats.all_assoc s_blit = Stats.all_assoc s_ref)
+      [ Sj.No_skipping; Sj.Skipping; Sj.Estimation; Sj.Exact_size ]
+  in
+  Trace.annot !tracer "counter_parity" (string_of_bool parity);
+  (* phase composition of the measured join *)
+  let stats = Stats.create () in
+  let (_ : Nodeseq.t) = Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats ()) doc root in
+  let work = stats.Stats.copied + stats.Stats.scanned in
+  Printf.printf "%14s %12s %12s %12s\n" "impl" "time[ms]" "Mnodes/s" "speedup";
+  let line ?(work = work) name ns base_ns =
+    let mnps = float_of_int work /. (ns /. 1e9) /. 1e6 in
+    Printf.printf "%14s %12.3f %12.1f %11.2fx\n" name (ms_of_ns ns) mnps (base_ns /. ns)
+  in
+  let ref_ns =
+    measure_ns ~name:"pernode" (fun () ->
+        ignore (Sj.Reference.desc ~exec:(bench_exec ~mode:Sj.Estimation ()) doc root))
+  in
+  line "per-node" ref_ns ref_ns;
+  let blit_ns =
+    measure_ns ~name:"blit" (fun () ->
+        ignore (Sj.desc ~exec:(bench_exec ~mode:Sj.Estimation ()) doc root))
+  in
+  line "blit" blit_ns ref_ns;
+  Trace.annot !tracer "blit_speedup" (Printf.sprintf "%.2f" (ref_ns /. blit_ns));
+  (* the parallel rows need a multi-partition staircase: the Q1 profile
+     context (one partition per surviving context node, weighted
+     chunking balances the scan lengths) *)
+  let _, profiles = q1_contexts doc in
+  let ctx_stats = Stats.create () in
+  let (_ : Nodeseq.t) =
+    Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats:ctx_stats ()) doc profiles
+  in
+  let ctx_work = ctx_stats.Stats.copied + ctx_stats.Stats.scanned in
+  let par_ref_ns =
+    measure_ns ~name:"par-pernode" (fun () ->
+        ignore (Sj.Reference.desc ~exec:(bench_exec ~mode:Sj.Estimation ()) doc profiles))
+  in
+  line ~work:ctx_work "ctx per-node" par_ref_ns par_ref_ns;
+  let ctx_blit_ns =
+    measure_ns ~name:"ctx-blit" (fun () ->
+        ignore (Sj.desc ~exec:(bench_exec ~mode:Sj.Estimation ()) doc profiles))
+  in
+  line ~work:ctx_work "ctx blit" ctx_blit_ns par_ref_ns;
+  List.iter
+    (fun domains ->
+      let ns =
+        measure_ns
+          ~name:(Printf.sprintf "blit-par%d" domains)
+          (fun () ->
+            ignore
+              (Parallel.desc ~exec:(bench_exec ~mode:Sj.Estimation ~domains ()) doc profiles))
+      in
+      line ~work:ctx_work (Printf.sprintf "ctx blit %dd" domains) ns par_ref_ns)
+    [ 1; 2; 4 ];
+  Printf.printf "copy/scan composition: %d copied, %d scanned (counter parity: %b)\n"
+    stats.Stats.copied stats.Stats.scanned parity;
+  print_endline
+    "(the copy phase is comparison-free -- Equation (1) turns it into bulk range fills;\n\
+    \ parallel rows pay one Domain.spawn per worker per run, which dominates at small scales)"
+
+(* ------------------------------------------------------------------ *)
 (* §5: nodes touched, staircase vs. related joins                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -520,6 +604,7 @@ let experiments =
     ("fig11f", fig11f);
     ("frag", frag);
     ("copyphase", copyphase);
+    ("copykernel", copykernel);
     ("baselines", baselines);
     ("ablation", ablation);
     ("parallel", parallel);
@@ -527,7 +612,7 @@ let experiments =
   ]
 
 (* quick non-bechamel subset, used as a CI smoke test *)
-let smoke_experiments = [ "table1"; "fig11a"; "fig11c"; "baselines" ]
+let smoke_experiments = [ "table1"; "fig11a"; "fig11c"; "baselines"; "copykernel" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -28,6 +28,10 @@ let grow t needed =
   Array.blit t.data 0 fresh 0 t.len;
   t.data <- fresh
 
+let reserve t extra =
+  if extra < 0 then invalid_arg "Int_col.reserve: negative count";
+  if t.len + extra > Array.length t.data then grow t (t.len + extra)
+
 let append t v =
   if t.len = Array.length t.data then grow t (t.len + 1);
   Array.unsafe_set t.data t.len v;
@@ -36,6 +40,38 @@ let append t v =
   i
 
 let append_unit t v = ignore (append t v)
+
+(* Bulk appends: the copy-phase kernels of the staircase join emit whole
+   runs of consecutive pre ranks (or slices of a view's pre column), so
+   the per-element capacity check and length bump are hoisted out of the
+   loop and the data moves with one blit / one tight fill. *)
+
+let append_slice t src ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length src then
+    invalid_arg
+      (Printf.sprintf "Int_col.append_slice: slice [%d,%d) out of bounds [0,%d)" pos (pos + len)
+         (Array.length src));
+  reserve t len;
+  Array.blit src pos t.data t.len len;
+  t.len <- t.len + len
+
+let append_range t ~lo ~hi =
+  if hi >= lo then begin
+    let n = hi - lo + 1 in
+    reserve t n;
+    let data = t.data and base = t.len in
+    for k = 0 to n - 1 do
+      Array.unsafe_set data (base + k) (lo + k)
+    done;
+    t.len <- base + n
+  end
+
+let blit_into t dst ~dst_pos =
+  if dst_pos < 0 || dst_pos + t.len > Array.length dst then
+    invalid_arg
+      (Printf.sprintf "Int_col.blit_into: [%d,%d) out of bounds [0,%d)" dst_pos (dst_pos + t.len)
+         (Array.length dst));
+  Array.blit t.data 0 dst dst_pos t.len
 
 let last t =
   if t.len = 0 then invalid_arg "Int_col.last: empty column";
@@ -84,7 +120,7 @@ let is_sorted t =
 
 let sort t =
   let live = to_array t in
-  Array.sort compare live;
+  Array.sort Int.compare live;
   Array.blit live 0 t.data 0 t.len
 
 (* Binary search for the first index whose value satisfies [bound]; values

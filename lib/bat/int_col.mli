@@ -32,6 +32,25 @@ val append : t -> int -> int
 (** [append_unit col v] adds [v] at the end, discarding the index. *)
 val append_unit : t -> int -> unit
 
+(** [reserve col n] pre-grows the backing store so the next [n] appends
+    run without a capacity check.  @raise Invalid_argument when [n < 0]. *)
+val reserve : t -> int -> unit
+
+(** [append_slice col src ~pos ~len] appends [src.(pos .. pos+len-1)] with
+    one blit.  @raise Invalid_argument when the slice is out of bounds. *)
+val append_slice : t -> int array -> pos:int -> len:int -> unit
+
+(** [append_range col ~lo ~hi] appends the consecutive run
+    [lo; lo+1; ...; hi] with one fill; no-op when [hi < lo].  This is the
+    comparison-free copy-phase primitive: a run of pre ranks materializes
+    at memory-write speed, no per-node append. *)
+val append_range : t -> lo:int -> hi:int -> unit
+
+(** [blit_into col dst ~dst_pos] copies the live prefix into [dst] at
+    [dst_pos] with one blit — zero-copy merge of per-worker buffers.
+    @raise Invalid_argument when [dst] is too small. *)
+val blit_into : t -> int array -> dst_pos:int -> unit
+
 (** [last col] is the most recently appended value.
     @raise Invalid_argument on an empty column. *)
 val last : t -> int

@@ -108,9 +108,11 @@ let is_staircase doc context =
 
 type partition = { scan_from : int; scan_to : int; boundary_post : int }
 
-let desc_partitions doc context =
+(* Partitions of a context that is already a pruned staircase — the O(n)
+   prune is *not* re-run, so callers that prune once (the joins below,
+   Scj_frag.Parallel) never pay for it twice. *)
+let desc_partitions_pruned doc context =
   let posts = Doc.post_array doc in
-  let context = prune_desc_st (Stats.create ()) doc context in
   let ctx = Nodeseq.unsafe_array context in
   let m = Array.length ctx in
   let n = Doc.n_nodes doc in
@@ -119,15 +121,20 @@ let desc_partitions doc context =
       let scan_to = if k + 1 < m then ctx.(k + 1) - 1 else n - 1 in
       { scan_from = c + 1; scan_to; boundary_post = posts.(c) })
 
-let anc_partitions doc context =
+let anc_partitions_pruned doc context =
   let posts = Doc.post_array doc in
-  let context = prune_anc_st (Stats.create ()) doc context in
   let ctx = Nodeseq.unsafe_array context in
   let m = Array.length ctx in
   List.init m (fun k ->
       let c = ctx.(k) in
       let scan_from = if k = 0 then 0 else ctx.(k - 1) + 1 in
       { scan_from; scan_to = c - 1; boundary_post = posts.(c) })
+
+let desc_partitions doc context =
+  desc_partitions_pruned doc (prune_desc_st (Stats.create ()) doc context)
+
+let anc_partitions doc context =
+  anc_partitions_pruned doc (prune_anc_st (Stats.create ()) doc context)
 
 (* ------------------------------------------------------------------ *)
 (* staircase join, descendant axis (Algorithms 2, 3, 4)                 *)
@@ -170,11 +177,16 @@ let desc ?exec doc context =
         else incr i
       done
     in
+    (* §4.2: the copy phase is comparison-free, so it runs as bulk range
+       fills (attributes carved out via the prefix sums) with the two
+       counters bumped once per phase — the batched sums equal the
+       per-node reference totals exactly *)
     let copy_phase from upto =
-      for i = from to upto do
-        stats.Stats.copied <- stats.Stats.copied + 1;
-        append i
-      done
+      if upto >= from then begin
+        let appended = Doc.append_nonattr_range doc result ~lo:from ~hi:upto in
+        stats.Stats.copied <- stats.Stats.copied + (upto - from + 1);
+        stats.Stats.appended <- stats.Stats.appended + appended
+      end
     in
     for k = 0 to m - 1 do
       let c = ctx.(k) in
@@ -264,12 +276,11 @@ let following ?exec doc context =
     let posts = Doc.post_array doc in
     let kinds = Doc.kind_array doc in
     let result = Int_col.create ~capacity:64 () in
-    let append ~counted i =
+    let append i =
       if kinds.(i) <> Doc.Attribute then begin
         Int_col.append_unit result i;
         stats.Stats.appended <- stats.Stats.appended + 1
-      end;
-      if counted then stats.Stats.copied <- stats.Stats.copied + 1
+      end
     in
     let start =
       match mode with
@@ -292,13 +303,16 @@ let following ?exec doc context =
     | No_skipping ->
       for i = start to n - 1 do
         stats.Stats.scanned <- stats.Stats.scanned + 1;
-        if posts.(i) > posts.(c) then append ~counted:false i
+        if posts.(i) > posts.(c) then append i
       done
     | Skipping | Estimation | Exact_size ->
-      (* everything past the subtree follows the context node *)
-      for i = start to n - 1 do
-        append ~counted:true i
-      done);
+      (* everything past the subtree follows the context node: one
+         comparison-free blit run, counters batched *)
+      if n - 1 >= start then begin
+        let appended = Doc.append_nonattr_range doc result ~lo:start ~hi:(n - 1) in
+        stats.Stats.copied <- stats.Stats.copied + (n - start);
+        stats.Stats.appended <- stats.Stats.appended + appended
+      end);
     Nodeseq.of_sorted_array (Int_col.to_array result)
 
 let preceding ?exec doc context =
@@ -328,17 +342,34 @@ let preceding ?exec doc context =
 (* ------------------------------------------------------------------ *)
 
 module View = struct
-  type t = { pres : int array; posts : int array }
+  type t = {
+    pres : int array;
+    posts : int array;
+    attr_prefix : int array;
+        (* [attr_prefix.(i)] = number of attribute entries among
+           [pres.(0 .. i-1)] (length |view|+1): the per-view analogue of
+           [Doc.attr_prefix_array], for blit-able view copy phases *)
+  }
+
+  let make doc pres posts =
+    let kinds = Doc.kind_array doc in
+    let vn = Array.length pres in
+    let attr_prefix = Array.make (vn + 1) 0 in
+    for i = 0 to vn - 1 do
+      attr_prefix.(i + 1) <-
+        (attr_prefix.(i) + if kinds.(pres.(i)) = Doc.Attribute then 1 else 0)
+    done;
+    { pres; posts; attr_prefix }
 
   let of_nodeseq doc seq =
     let doc_posts = Doc.post_array doc in
     let pres = Nodeseq.to_array seq in
     let posts = Array.map (fun pre -> doc_posts.(pre)) pres in
-    { pres; posts }
+    make doc pres posts
 
   let of_doc doc =
     let n = Doc.n_nodes doc in
-    { pres = Array.init n (fun i -> i); posts = Array.copy (Doc.post_array doc) }
+    make doc (Array.init n (fun i -> i)) (Array.copy (Doc.post_array doc))
 
   let of_tag doc name = of_nodeseq doc (Nodeseq.of_sorted_array (Doc.tag_positions doc name))
 
@@ -346,6 +377,51 @@ module View = struct
 
   let to_nodeseq v = Nodeseq.of_sorted_array (Array.copy v.pres)
 end
+
+(* Blit copy kernel over a view window: append the pre ranks of the
+   non-attribute view entries with indices in [lo, hi) to [out], as
+   slice blits of the view's pre column delimited by the attribute
+   entries (located by binary search on the view's prefix sums).
+   Returns the number of entries appended. *)
+let copy_view_run (v : View.t) out lo hi =
+  if hi <= lo then 0
+  else begin
+    let ap = v.View.attr_prefix and pres = v.View.pres in
+    let nonattr = hi - lo - (ap.(hi) - ap.(lo)) in
+    Int_col.reserve out nonattr;
+    if hi - lo < 16 then
+      (* short windows: a straight loop beats the run bookkeeping *)
+      for i = lo to hi - 1 do
+        if ap.(i + 1) = ap.(i) then Int_col.append_unit out pres.(i)
+      done
+    else begin
+    let i = ref lo in
+    while !i < hi do
+      let base = ap.(!i) in
+      if ap.(hi) = base then begin
+        Int_col.append_slice out pres ~pos:!i ~len:(hi - !i);
+        i := hi
+      end
+      else begin
+        (* smallest j in (!i, hi] with ap.(j) > base: the first attribute
+           entry at or after !i sits at index j - 1 *)
+        let l = ref (!i + 1) and r = ref hi in
+        while !l < !r do
+          let mid = (!l + !r) / 2 in
+          if ap.(mid) > base then r := mid else l := mid + 1
+        done;
+        let a = !l - 1 in
+        if a > !i then Int_col.append_slice out pres ~pos:!i ~len:(a - !i);
+        let j = ref a in
+        while !j < hi && ap.(!j + 1) > ap.(!j) do
+          incr j
+        done;
+        i := !j
+      end
+    done
+    end;
+    nonattr
+  end
 
 (* First view index whose pre rank is >= key. *)
 let view_lower_bound (v : View.t) key =
@@ -403,19 +479,18 @@ let desc_view ?exec doc view context =
       | No_skipping -> scan_phase ~skip:false lo hi boundary
       | Skipping -> scan_phase ~skip:true lo hi boundary
       | Estimation ->
-        (* view nodes with pre <= post(c) are guaranteed descendants *)
+        (* view nodes with pre <= post(c) are guaranteed descendants:
+           blit the window, batch the counters *)
         let copy_hi = max lo (min hi (view_lower_bound view (boundary + 1))) in
-        for vi = lo to copy_hi - 1 do
-          stats.Stats.copied <- stats.Stats.copied + 1;
-          append vi
-        done;
+        let appended = copy_view_run view result lo copy_hi in
+        stats.Stats.copied <- stats.Stats.copied + (copy_hi - lo);
+        stats.Stats.appended <- stats.Stats.appended + appended;
         scan_phase ~skip:true copy_hi hi boundary
       | Exact_size ->
         let copy_hi = max lo (min hi (view_lower_bound view (c + sizes.(c) + 1))) in
-        for vi = lo to copy_hi - 1 do
-          stats.Stats.copied <- stats.Stats.copied + 1;
-          append vi
-        done;
+        let appended = copy_view_run view result lo copy_hi in
+        stats.Stats.copied <- stats.Stats.copied + (copy_hi - lo);
+        stats.Stats.appended <- stats.Stats.appended + appended;
         stats.Stats.skipped <- stats.Stats.skipped + (hi - copy_hi)
     done;
     Nodeseq.of_sorted_array (Int_col.to_array result)
@@ -465,3 +540,116 @@ let anc_view ?exec doc view context =
     done;
     Nodeseq.of_sorted_array (Int_col.to_array result)
   end
+
+(* ------------------------------------------------------------------ *)
+(* per-node reference implementation                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Reference = struct
+  (* The pre-blit joins, kept verbatim: one append, one kind test and one
+     counter bump per node.  [desc]/[anc] above must produce bit-identical
+     node sequences *and* counter totals — the property tests and the
+     copykernel bench experiment hold the two implementations against
+     each other. *)
+
+  let desc ?exec doc context =
+    let exec = ensure_exec exec in
+    let mode = exec.Exec.mode and stats = exec.Exec.stats in
+    let context = prune_desc_st stats doc context in
+    let m = Nodeseq.length context in
+    if m = 0 then Nodeseq.empty
+    else begin
+      let n = Doc.n_nodes doc in
+      let posts = Doc.post_array doc in
+      let sizes = Doc.size_array doc in
+      let kinds = Doc.kind_array doc in
+      let ctx = Nodeseq.unsafe_array context in
+      let result = Int_col.create ~capacity:256 () in
+      let append i =
+        if kinds.(i) <> Doc.Attribute then begin
+          Int_col.append_unit result i;
+          stats.Stats.appended <- stats.Stats.appended + 1
+        end
+      in
+      let scan_phase ~skip i scan_to boundary =
+        let i = ref i in
+        let break = ref false in
+        while (not !break) && !i <= scan_to do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          if posts.(!i) < boundary then begin
+            append !i;
+            incr i
+          end
+          else if skip then begin
+            stats.Stats.skipped <- stats.Stats.skipped + (scan_to - !i);
+            break := true
+          end
+          else incr i
+        done
+      in
+      let copy_phase from upto =
+        for i = from to upto do
+          stats.Stats.copied <- stats.Stats.copied + 1;
+          append i
+        done
+      in
+      for k = 0 to m - 1 do
+        let c = ctx.(k) in
+        let boundary = posts.(c) in
+        let scan_to = if k + 1 < m then ctx.(k + 1) - 1 else n - 1 in
+        match mode with
+        | No_skipping -> scan_phase ~skip:false (c + 1) scan_to boundary
+        | Skipping -> scan_phase ~skip:true (c + 1) scan_to boundary
+        | Estimation ->
+          let copy_to = min scan_to boundary in
+          copy_phase (c + 1) copy_to;
+          scan_phase ~skip:true (max (c + 1) (copy_to + 1)) scan_to boundary
+        | Exact_size ->
+          let copy_to = min scan_to (c + sizes.(c)) in
+          copy_phase (c + 1) copy_to;
+          stats.Stats.skipped <- stats.Stats.skipped + (scan_to - copy_to)
+      done;
+      Nodeseq.of_sorted_array (Int_col.to_array result)
+    end
+
+  let anc ?exec doc context =
+    let exec = ensure_exec exec in
+    let mode = exec.Exec.mode and stats = exec.Exec.stats in
+    let context = prune_anc_st stats doc context in
+    let m = Nodeseq.length context in
+    if m = 0 then Nodeseq.empty
+    else begin
+      let posts = Doc.post_array doc in
+      let sizes = Doc.size_array doc in
+      let ctx = Nodeseq.unsafe_array context in
+      let result = Int_col.create ~capacity:64 () in
+      let scan_partition scan_from scan_to boundary =
+        let i = ref scan_from in
+        while !i <= scan_to do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          if posts.(!i) > boundary then begin
+            Int_col.append_unit result !i;
+            stats.Stats.appended <- stats.Stats.appended + 1;
+            incr i
+          end
+          else begin
+            let hop =
+              match mode with
+              | No_skipping -> 0
+              | Skipping | Estimation -> max 0 (posts.(!i) - !i)
+              | Exact_size -> sizes.(!i)
+            in
+            let hop = min hop (scan_to - !i) in
+            stats.Stats.skipped <- stats.Stats.skipped + hop;
+            i := !i + hop + 1
+          end
+        done
+      in
+      for k = 0 to m - 1 do
+        let c = ctx.(k) in
+        let scan_from = if k = 0 then 0 else ctx.(k - 1) + 1 in
+        scan_partition scan_from (c - 1) posts.(c)
+      done;
+      Nodeseq.of_sorted_array (Int_col.to_array result)
+    end
+end

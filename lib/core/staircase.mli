@@ -111,6 +111,17 @@ val desc_partitions : Doc.t -> Nodeseq.t -> partition list
     [post i > boundary_post]. *)
 val anc_partitions : Doc.t -> Nodeseq.t -> partition list
 
+(** [desc_partitions_pruned doc staircase] is {!desc_partitions} minus the
+    internal prune: [staircase] must already be a proper descendant
+    staircase (e.g. the result of {!prune_desc}).  Lets callers that have
+    already pruned — the fragmentation layer runs the O(n) prune exactly
+    once — build the partition structure without a second pass. *)
+val desc_partitions_pruned : Doc.t -> Nodeseq.t -> partition list
+
+(** [anc_partitions_pruned doc staircase]: as {!desc_partitions_pruned}
+    for the ancestor axis ([staircase] must be {!prune_anc} output). *)
+val anc_partitions_pruned : Doc.t -> Nodeseq.t -> partition list
+
 (** {1 Joins over document subsets (views)}
 
     A view is a pre-sorted subset of the document's nodes, e.g. all
@@ -142,3 +153,19 @@ end
 val desc_view : ?exec:Exec.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t
 
 val anc_view : ?exec:Exec.t -> Doc.t -> View.t -> Nodeseq.t -> Nodeseq.t
+
+(** {1 Per-node reference implementation}
+
+    {!desc} and {!anc} above run their comparison-free copy phases with
+    bulk range fills over the attribute prefix-sum column.  [Reference]
+    keeps the pre-blit per-node loops — one append, one kind test, one
+    counter bump per node — as the differential-testing oracle and the
+    baseline of the [copykernel] bench experiment.  Results and counter
+    totals must be bit-identical to the blit implementations in every
+    skipping mode. *)
+
+module Reference : sig
+  val desc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+  val anc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+end

@@ -24,7 +24,18 @@ type t = {
   texts : Str_col.t;
   height : int;
   pre_of_post : int array;
+  attr_prefix : int array;
+      (* [attr_prefix.(i)] = number of attribute nodes with pre < i
+         (length n+1): O(1) attribute counts over any pre range, and the
+         substrate of the blit copy-phase kernel *)
 }
+
+let make_attr_prefix kind n =
+  let prefix = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) + if kind.(i) = Attribute then 1 else 0
+  done;
+  prefix
 
 (* ------------------------------------------------------------------ *)
 (* loading                                                              *)
@@ -94,18 +105,20 @@ let finish_builder b =
   let n = Array.length post in
   let pre_of_post = Array.make n 0 in
   Array.iteri (fun pre p -> pre_of_post.(p) <- pre) post;
+  let kind = Array.sub b.b_kind 0 n in
   {
     post;
     level = Int_col.to_array b.b_level;
     parent = Int_col.to_array b.b_parent;
     size = Int_col.to_array b.b_size;
-    kind = Array.sub b.b_kind 0 n;
+    kind;
     tag = Int_col.to_array b.b_tag;
     content = Int_col.to_array b.b_content;
     names = b.b_names;
     texts = b.b_texts;
     height = b.max_level;
     pre_of_post;
+    attr_prefix = make_attr_prefix kind n;
   }
 
 let of_tree tree =
@@ -294,6 +307,72 @@ let size_upper_bound t pre =
   t.post.(pre) - pre + t.height
 
 (* ------------------------------------------------------------------ *)
+(* attribute prefix sums and the blit copy-phase kernel                 *)
+(* ------------------------------------------------------------------ *)
+
+let attr_prefix_array t = t.attr_prefix
+
+let attr_count_range t ~lo ~hi =
+  if hi < lo then 0
+  else begin
+    if lo < 0 || hi >= n_nodes t then
+      invalid_arg
+        (Printf.sprintf "Doc.attr_count_range: range [%d,%d] out of bounds [0,%d)" lo hi
+           (n_nodes t));
+    t.attr_prefix.(hi + 1) - t.attr_prefix.(lo)
+  end
+
+let append_nonattr_range t col ~lo ~hi =
+  if hi < lo then 0
+  else begin
+    if lo < 0 || hi >= n_nodes t then
+      invalid_arg
+        (Printf.sprintf "Doc.append_nonattr_range: range [%d,%d] out of bounds [0,%d)" lo hi
+           (n_nodes t));
+    let ap = t.attr_prefix in
+    let nonattr = hi - lo + 1 - (ap.(hi + 1) - ap.(lo)) in
+    Int_col.reserve col nonattr;
+    if hi - lo < 16 then
+      (* short ranges: a straight loop beats the run bookkeeping *)
+      for i = lo to hi do
+        if ap.(i + 1) = ap.(i) then Int_col.append_unit col i
+      done
+    else begin
+    (* attributes sit in contiguous runs right after their owner element,
+       so the non-attribute nodes of [lo, hi] form a handful of maximal
+       runs; each one is emitted with a single range fill.  The next
+       attribute is located by binary search on the prefix sums, so the
+       cost is O(runs * log n) — independent of the run lengths. *)
+    let i = ref lo in
+    while !i <= hi do
+      let base = ap.(!i) in
+      if ap.(hi + 1) = base then begin
+        Int_col.append_range col ~lo:!i ~hi;
+        i := hi + 1
+      end
+      else begin
+        (* smallest j in (!i, hi+1] with ap.(j) > base: the first
+           attribute at or after !i sits at j - 1 *)
+        let l = ref (!i + 1) and r = ref (hi + 1) in
+        while !l < !r do
+          let mid = (!l + !r) / 2 in
+          if ap.(mid) > base then r := mid else l := mid + 1
+        done;
+        let a = !l - 1 in
+        if a > !i then Int_col.append_range col ~lo:!i ~hi:(a - 1);
+        (* hop over the contiguous attribute run *)
+        let j = ref a in
+        while !j <= hi && ap.(!j + 1) > ap.(!j) do
+          incr j
+        done;
+        i := !j
+      end
+    done
+    end;
+    nonattr
+  end
+
+(* ------------------------------------------------------------------ *)
 (* reconstruction                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -392,7 +471,20 @@ module Internal = struct
     let size = Array.init n (fun pre -> post.(pre) - pre + level.(pre)) in
     let pre_of_post = Array.make n 0 in
     Array.iteri (fun pre p -> if p >= 0 && p < n then pre_of_post.(p) <- pre) post;
-    { post; level; parent; size; kind; tag; content; names; texts; height; pre_of_post }
+    {
+      post;
+      level;
+      parent;
+      size;
+      kind;
+      tag;
+      content;
+      names;
+      texts;
+      height;
+      pre_of_post;
+      attr_prefix = make_attr_prefix kind n;
+    }
 end
 
 let pp_table ppf t =

@@ -124,6 +124,31 @@ val size_lower_bound : t -> int -> int
 (** Upper bound [post v - pre v + height t]. *)
 val size_upper_bound : t -> int -> int
 
+(** {1 Attribute prefix sums and the copy-phase kernel}
+
+    The paper's special attribute encoding (§3, footnote 6) places the
+    attributes of an element as the {e first leaves of its subtree}, so a
+    pre-rank run minus its attributes is a short list of maximal
+    attribute-free runs.  A prefix-sum column over the attribute flags
+    makes the attribute count of any range O(1) and lets the
+    comparison-free copy phase of the staircase join emit those runs with
+    bulk fills instead of a per-node kind test. *)
+
+(** The live prefix-sum array: entry [i] is the number of attribute nodes
+    with [pre < i] (length [n_nodes + 1]).  Callers must not mutate it. *)
+val attr_prefix_array : t -> int array
+
+(** [attr_count_range t ~lo ~hi] is the number of attribute nodes with
+    [lo <= pre <= hi], in O(1); [0] when [hi < lo]. *)
+val attr_count_range : t -> lo:int -> hi:int -> int
+
+(** [append_nonattr_range t col ~lo ~hi] appends every non-attribute pre
+    rank in [lo, hi] (in order) to [col] using range fills — the blit
+    copy-phase kernel.  Returns the number of ranks appended.  Cost is
+    O(attribute-runs * log n) bookkeeping plus the bulk fills; no
+    per-node branching. *)
+val append_nonattr_range : t -> Scj_bat.Int_col.t -> lo:int -> hi:int -> int
+
 (** {1 Reconstruction}
 
     The encoding is lossless (modulo stripped ignorable whitespace):

@@ -15,9 +15,16 @@ let of_sorted_array a =
   done;
   a
 
+let of_range ~lo ~hi =
+  if hi < lo then empty
+  else begin
+    if lo < 0 then invalid_arg "Nodeseq.of_range: negative preorder rank";
+    Array.init (hi - lo + 1) (fun i -> lo + i)
+  end
+
 let of_unsorted l =
   let a = Array.of_list l in
-  Array.sort compare a;
+  Array.sort Int.compare a;
   let n = Array.length a in
   if n = 0 then empty
   else begin

@@ -15,6 +15,11 @@ val singleton : int -> t
     @raise Invalid_argument unless strictly increasing and non-negative. *)
 val of_sorted_array : int array -> t
 
+(** [of_range ~lo ~hi] is the consecutive run [lo; lo+1; ...; hi] — the
+    shape a comparison-free copy phase emits; empty when [hi < lo].
+    @raise Invalid_argument when [lo < 0] and the range is non-empty. *)
+val of_range : lo:int -> hi:int -> t
+
 (** [of_unsorted l] sorts and removes duplicates. *)
 val of_unsorted : int list -> t
 

@@ -10,7 +10,7 @@ let sort_unique ?exec hits =
   let stats = (ensure_exec exec).Exec.stats in
   let a = Int_col.to_array hits in
   stats.Stats.sorted <- stats.Stats.sorted + Array.length a;
-  Array.sort compare a;
+  Array.sort Int.compare a;
   let n = Array.length a in
   if n = 0 then Nodeseq.empty
   else begin

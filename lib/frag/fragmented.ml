@@ -44,7 +44,7 @@ let fragment_size t name =
 
 let tags t =
   let all = Hashtbl.fold (fun name v acc -> (name, Sj.View.length v) :: acc) t.by_tag [] in
-  List.sort (fun (_, a) (_, b) -> compare b a) all
+  List.sort (fun (_, a) (_, b) -> Int.compare b a) all
 
 let desc_step ?exec t context ~tag =
   match fragment t tag with

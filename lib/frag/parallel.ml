@@ -8,15 +8,11 @@ module Sj = Scj_core.Staircase
 let ensure_exec = function None -> Exec.make () | Some e -> e
 
 (* Evaluate one descendant partition into a private buffer.  The counter
-   accounting mirrors Scj_core.Staircase.desc line by line, so the merged
-   per-worker counters are indistinguishable from a serial run. *)
-let scan_desc_partition ~mode ~posts ~sizes ~kinds (p : Sj.partition) out stats =
-  let append i =
-    if kinds.(i) <> Doc.Attribute then begin
-      Int_col.append_unit out i;
-      stats.Stats.appended <- stats.Stats.appended + 1
-    end
-  in
+   accounting mirrors Scj_core.Staircase.desc line by line — copy phases
+   are bulk range fills over the attribute prefix-sum column with one
+   [copied]/[appended] update per phase — so the merged per-worker
+   counters are indistinguishable from a serial run. *)
+let scan_desc_partition ~mode ~doc ~posts ~sizes ~kinds (p : Sj.partition) out stats =
   let boundary = p.Sj.boundary_post in
   let c = p.Sj.scan_from - 1 in
   let scan_phase ~skip from =
@@ -25,7 +21,10 @@ let scan_desc_partition ~mode ~posts ~sizes ~kinds (p : Sj.partition) out stats 
     while (not !break) && !i <= p.Sj.scan_to do
       stats.Stats.scanned <- stats.Stats.scanned + 1;
       if posts.(!i) < boundary then begin
-        append !i;
+        if kinds.(!i) <> Doc.Attribute then begin
+          Int_col.append_unit out !i;
+          stats.Stats.appended <- stats.Stats.appended + 1
+        end;
         incr i
       end
       else if skip then begin
@@ -36,10 +35,11 @@ let scan_desc_partition ~mode ~posts ~sizes ~kinds (p : Sj.partition) out stats 
     done
   in
   let copy_phase upto =
-    for i = p.Sj.scan_from to upto do
-      stats.Stats.copied <- stats.Stats.copied + 1;
-      append i
-    done
+    if upto >= p.Sj.scan_from then begin
+      let appended = Doc.append_nonattr_range doc out ~lo:p.Sj.scan_from ~hi:upto in
+      stats.Stats.copied <- stats.Stats.copied + (upto - p.Sj.scan_from + 1);
+      stats.Stats.appended <- stats.Stats.appended + appended
+    end
   in
   match mode with
   | Sj.No_skipping -> scan_phase ~skip:false p.Sj.scan_from
@@ -76,28 +76,45 @@ let scan_anc_partition ~mode ~posts ~sizes (p : Sj.partition) out stats =
     end
   done
 
+(* Load-balanced contiguous chunking: partition [k] costs roughly its scan
+   length (the nodes the worker will touch), not 1, so boundaries are cut
+   where the scan-length prefix sum crosses the per-worker quota.  A
+   single huge partition no longer rides with half the document while the
+   other workers idle.  Slices stay contiguous so the concatenated
+   per-worker outputs remain in document order; empty slices are
+   harmless. *)
+let weighted_boundaries parts workers =
+  let n = Array.length parts in
+  let cum = Array.make (n + 1) 0 in
+  for k = 0 to n - 1 do
+    let p = parts.(k) in
+    cum.(k + 1) <- cum.(k) + (max 0 (p.Sj.scan_to - p.Sj.scan_from + 1) + 1)
+  done;
+  let total = cum.(n) in
+  let bounds = Array.make (workers + 1) n in
+  bounds.(0) <- 0;
+  for w = 1 to workers - 1 do
+    let quota = w * total / workers in
+    let k = ref bounds.(w - 1) in
+    while !k < n && cum.(!k) < quota do incr k done;
+    bounds.(w) <- !k
+  done;
+  bounds
+
 let run_partitions exec scan partitions =
   let parts = Array.of_list partitions in
   let n = Array.length parts in
   if n = 0 then Nodeseq.empty
   else begin
     let workers = max 1 (min exec.Exec.domains n) in
-    (* static round-robin-free chunking: worker w owns a contiguous slice
-       of partitions so its output is a contiguous slice of the result *)
-    let slice w =
-      let per = n / workers and extra = n mod workers in
-      let start = (w * per) + min w extra in
-      let len = per + if w < extra then 1 else 0 in
-      (start, len)
-    in
+    let bounds = weighted_boundaries parts workers in
     (* each worker owns a private result buffer and a private counter set;
        the counters are merged into the context after the join (they are
        plain sums, so the merged totals equal a serial run's) *)
     let work w =
-      let start, len = slice w in
       let out = Int_col.create ~capacity:256 () in
       let stats = Stats.create () in
-      for k = start to start + len - 1 do
+      for k = bounds.(w) to bounds.(w + 1) - 1 do
         scan parts.(k) out stats
       done;
       (out, stats)
@@ -112,13 +129,14 @@ let run_partitions exec scan partitions =
     in
     Array.iter (fun (_, stats) -> Stats.add exec.Exec.stats stats) results;
     let total = Array.fold_left (fun acc (c, _) -> acc + Int_col.length c) 0 results in
+    (* zero-copy merge: blit each worker's live prefix straight into the
+       result array — no intermediate to_array copies *)
     let out = Array.make total 0 in
     let pos = ref 0 in
     Array.iter
       (fun (col, _) ->
-        let a = Int_col.to_array col in
-        Array.blit a 0 out !pos (Array.length a);
-        pos := !pos + Array.length a)
+        Int_col.blit_into col out ~dst_pos:!pos;
+        pos := !pos + Int_col.length col)
       results;
     Nodeseq.of_sorted_array out
   end
@@ -129,20 +147,20 @@ let desc ?exec doc context =
   let exec = ensure_exec exec in
   let mode = exec.Exec.mode in
   (* prune on the coordinating thread so [pruned] is counted exactly once,
-     like the serial join does; the partitions of a pruned staircase are
-     the staircase itself, so the inner re-prune is a no-op *)
+     like the serial join does; the partitions are then built directly from
+     the pruned staircase — the O(n) prune runs exactly once per join *)
   let context = Sj.prune_desc ~exec doc context in
-  let partitions = Sj.desc_partitions doc context in
+  let partitions = Sj.desc_partitions_pruned doc context in
   let posts = Doc.post_array doc in
   let sizes = Doc.size_array doc in
   let kinds = Doc.kind_array doc in
-  run_partitions exec (scan_desc_partition ~mode ~posts ~sizes ~kinds) partitions
+  run_partitions exec (scan_desc_partition ~mode ~doc ~posts ~sizes ~kinds) partitions
 
 let anc ?exec doc context =
   let exec = ensure_exec exec in
   let mode = exec.Exec.mode in
   let context = Sj.prune_anc ~exec doc context in
-  let partitions = Sj.anc_partitions doc context in
+  let partitions = Sj.anc_partitions_pruned doc context in
   let posts = Doc.post_array doc in
   let sizes = Doc.size_array doc in
   run_partitions exec (scan_anc_partition ~mode ~posts ~sizes) partitions

@@ -13,6 +13,16 @@
     {!Scj_stats.Stats.add} after the join — a parallel run reports exactly
     the counters of the equivalent serial {!Scj_core.Staircase} call.
 
+    Work is distributed by {e scan length}, not partition count: each
+    worker takes a contiguous run of partitions whose summed scan ranges
+    approximate an equal share of the touched nodes, so one huge partition
+    no longer serializes the join.  The context is pruned exactly once (on
+    the coordinating thread), partitions are built from the pruned
+    staircase directly, copy phases use the bulk attribute-prefix kernel
+    of {!Scj_encoding.Doc.append_nonattr_range}, and the final merge blits
+    each worker's buffer prefix straight into the result array — no
+    intermediate copies.
+
     The signatures mirror the serial joins: one optional
     {!Scj_trace.Exec.t} carries the skipping variant, the counters and the
     worker count ([exec.domains], default

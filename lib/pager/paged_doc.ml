@@ -4,18 +4,21 @@ module Int_col = Scj_bat.Int_col
 
 type t = { pool : Buffer_pool.t; n : int; height : int }
 
-(* column layout on the simulated disk: [post | kind | size] *)
+(* column layout on the simulated disk: [post | attr_prefix | size].  The
+   attribute column is stored as its prefix sums (n + 1 ints, entry j =
+   number of attributes with pre < j): a range's attribute count costs two
+   reads, attribute runs are found by binary search, and the estimation
+   copy phase can emit whole runs while faulting only prefix pages —
+   never the post column. *)
 let load ?(page_ints = 1024) ~capacity doc =
   let n = Doc.n_nodes doc in
-  let data = Array.make (3 * n) 0 in
+  let data = Array.make ((3 * n) + 1) 0 in
   let posts = Doc.post_array doc in
-  let kinds = Doc.kind_array doc in
+  let prefix = Doc.attr_prefix_array doc in
   let sizes = Doc.size_array doc in
-  for i = 0 to n - 1 do
-    data.(i) <- posts.(i);
-    data.(n + i) <- (if kinds.(i) = Doc.Attribute then 1 else 0);
-    data.(2 * n + i) <- sizes.(i)
-  done;
+  Array.blit posts 0 data 0 n;
+  Array.blit prefix 0 data n (n + 1);
+  Array.blit sizes 0 data ((2 * n) + 1) n;
   let store = Buffer_pool.Store.create ~page_ints data in
   { pool = Buffer_pool.create ~capacity store; n; height = Doc.height doc }
 
@@ -30,13 +33,46 @@ let post t i =
   check t i "post";
   Buffer_pool.read t.pool i
 
+(* prefix-sum column entry j, 0 <= j <= n *)
+let prefix t j = Buffer_pool.read t.pool (t.n + j)
+
 let is_attribute t i =
   check t i "is_attribute";
-  Buffer_pool.read t.pool (t.n + i) = 1
+  prefix t (i + 1) - prefix t i = 1
 
 let size t i =
   check t i "size";
-  Buffer_pool.read t.pool ((2 * t.n) + i)
+  Buffer_pool.read t.pool ((2 * t.n) + 1 + i)
+
+(* Bulk copy-phase kernel over the paged prefix column: append every
+   non-attribute rank in [lo, hi] with range fills, locating attribute
+   runs by binary search on the prefix sums.  Page faults touch the
+   prefix column only. *)
+let append_nonattr_range t col ~lo ~hi =
+  if hi >= lo then begin
+    let i = ref lo in
+    while !i <= hi do
+      let base = prefix t !i in
+      if prefix t (hi + 1) = base then begin
+        Int_col.append_range col ~lo:!i ~hi;
+        i := hi + 1
+      end
+      else begin
+        (* smallest j in (!i, hi+1] with prefix j > base: first attribute
+           of the range sits at j - 1 *)
+        let l = ref (!i + 1) and r = ref (hi + 1) in
+        while !l < !r do
+          let mid = (!l + !r) / 2 in
+          if prefix t mid > base then r := mid else l := mid + 1
+        done;
+        let a = !l - 1 in
+        if a > !i then Int_col.append_range col ~lo:!i ~hi:(a - 1);
+        let j = ref a in
+        while !j <= hi && prefix t (!j + 1) > prefix t !j do incr j done;
+        i := !j
+      end
+    done
+  end
 
 let prune t context =
   let out = Int_col.create ~capacity:(max 1 (Nodeseq.length context)) () in
@@ -51,7 +87,11 @@ let prune t context =
     context;
   Nodeseq.of_sorted_array (Int_col.to_array out)
 
-(* staircase join with skipping (Algorithm 3) over the paged post column *)
+(* staircase join with estimation-based skipping (Algorithm 4) over the
+   paged columns: the comparison-free copy phase of [post c - pre c]
+   nodes runs as bulk range fills against the prefix column, then the
+   short scan phase (at most [height] comparisons) reads the post
+   column until the boundary is crossed *)
 let desc t context =
   let context = prune t context in
   let result = Int_col.create ~capacity:64 () in
@@ -60,7 +100,9 @@ let desc t context =
     let c = Nodeseq.get context k in
     let boundary = post t c in
     let scan_to = if k + 1 < m then Nodeseq.get context (k + 1) - 1 else t.n - 1 in
-    let i = ref (c + 1) in
+    let copy_to = min scan_to boundary in
+    append_nonattr_range t result ~lo:(c + 1) ~hi:copy_to;
+    let i = ref (max (c + 1) (copy_to + 1)) in
     let break = ref false in
     while (not !break) && !i <= scan_to do
       if post t !i < boundary then begin
@@ -94,7 +136,7 @@ let index_desc t context =
       done)
     context;
   let sorted = Int_col.to_array hits in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Nodeseq.of_unsorted (Array.to_list sorted)
 
 let prune_anc t context =
@@ -148,5 +190,5 @@ let index_anc t context =
       done)
     context;
   let sorted = Int_col.to_array hits in
-  Array.sort compare sorted;
+  Array.sort Int.compare sorted;
   Nodeseq.of_unsorted (Array.to_list sorted)

@@ -1,13 +1,19 @@
 (** A document whose encoding columns live behind a buffer pool — the §6
     "disk-based RDBMS" scenario.
 
-    The post, kind, and size columns are laid out on consecutive disk
-    pages; every column access goes through a shared {!Buffer_pool}.  The
-    two axis-step implementations mirror the in-memory ones:
+    The post, attribute, and size columns are laid out on consecutive
+    disk pages; every column access goes through a shared {!Buffer_pool}.
+    The attribute column is stored as prefix sums (n + 1 entries, entry
+    [j] = number of attributes with [pre < j]), so attribute tests cost
+    two reads and the copy phase can emit whole attribute-free runs with
+    bulk fills while faulting {e only} prefix pages.  The two axis-step
+    implementations mirror the in-memory ones:
 
-    - {!desc} is the staircase join with skipping: one strictly sequential
-      sweep whose page faults are bounded by the pages the result and
-      context actually live on;
+    - {!desc} is the staircase join with estimation-based skipping: a
+      comparison-free copy phase of [post c - pre c] nodes against the
+      prefix column, then a short sequential scan (at most [height]
+      post-column comparisons) — page faults are bounded by the pages
+      the result and context actually live on;
     - {!index_desc} is the tree-unaware per-context-node plan: for each
       context node a binary search (random probes) plus a bounded range
       scan — the access pattern of the Fig. 3 index plan.
@@ -33,7 +39,8 @@ val size : t -> int -> int
 
 val is_attribute : t -> int -> bool
 
-(** Staircase join, descendant axis, with skipping, over paged columns. *)
+(** Staircase join, descendant axis, with estimation-based skipping
+    (bulk copy phase + bounded scan), over paged columns. *)
 val desc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
 
 (** The per-context-node index plan over the same pages (range delimited

@@ -103,6 +103,52 @@ let test_equal_copy () =
   check_bool "not equal after set" false (Int_col.equal a b);
   check_int "copy independent" 1 (Int_col.get a 0)
 
+let test_bulk_ops () =
+  let c = Int_col.of_list [ 10; 11 ] in
+  Int_col.append_slice c [| 0; 1; 2; 3; 4 |] ~pos:1 ~len:3;
+  check_int_list "append_slice" [ 10; 11; 1; 2; 3 ] (Int_col.to_list c);
+  Int_col.append_slice c [| 9 |] ~pos:0 ~len:0;
+  check_int "empty slice is a no-op" 5 (Int_col.length c);
+  Int_col.append_range c ~lo:7 ~hi:9;
+  check_int_list "append_range" [ 10; 11; 1; 2; 3; 7; 8; 9 ] (Int_col.to_list c);
+  Int_col.append_range c ~lo:5 ~hi:4;
+  check_int "empty range is a no-op" 8 (Int_col.length c);
+  let dst = Array.make 10 (-1) in
+  Int_col.blit_into c dst ~dst_pos:1;
+  Alcotest.(check (array int))
+    "blit_into writes the live prefix"
+    [| -1; 10; 11; 1; 2; 3; 7; 8; 9; -1 |]
+    dst;
+  Alcotest.check_raises "bad slice"
+    (Invalid_argument "Int_col.append_slice: slice [1,4) out of bounds [0,2)") (fun () ->
+      Int_col.append_slice c [| 0; 1 |] ~pos:1 ~len:3);
+  Alcotest.check_raises "bad blit"
+    (Invalid_argument "Int_col.blit_into: [5,13) out of bounds [0,10)") (fun () ->
+      Int_col.blit_into c dst ~dst_pos:5)
+
+let test_reserve () =
+  let c = Int_col.create ~capacity:1 () in
+  Int_col.reserve c 100;
+  Int_col.append_unit c 1;
+  check_int "reserve keeps contents growable" 1 (Int_col.length c);
+  Alcotest.check_raises "negative reserve"
+    (Invalid_argument "Int_col.reserve: negative count") (fun () -> Int_col.reserve c (-1))
+
+(* Property: the bulk appends agree with element-wise appends. *)
+let prop_bulk_matches_pointwise =
+  QCheck.Test.make ~count:300 ~name:"append_slice/append_range = per-element appends"
+    QCheck.(triple (list small_signed_int) (array small_signed_int) small_nat)
+    (fun (seed, src, span) ->
+      let bulk = Int_col.of_list seed and point = Int_col.of_list seed in
+      Int_col.append_slice bulk src ~pos:0 ~len:(Array.length src);
+      Array.iter (Int_col.append_unit point) src;
+      let lo = 3 and hi = 3 + span - 1 in
+      Int_col.append_range bulk ~lo ~hi;
+      for v = lo to hi do
+        Int_col.append_unit point v
+      done;
+      Int_col.equal bulk point)
+
 (* Property: a column behaves like a growable array. *)
 let prop_model =
   QCheck.Test.make ~count:300 ~name:"int_col behaves like list"
@@ -207,7 +253,9 @@ let test_bat_mismatch () =
     (Invalid_argument "Bat.make: tail column length mismatch") (fun () ->
       ignore (Bat.make ~head:(Bat.Void 0) ~tail:(Bat.Ints (Int_col.of_list [ 1 ])) ~count:2))
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_model; prop_first_ge; prop_dict_bijection ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_model; prop_first_ge; prop_bulk_matches_pointwise; prop_dict_bijection ]
 
 let () =
   Alcotest.run "scj_bat"
@@ -224,6 +272,8 @@ let () =
           Alcotest.test_case "sort and binary search" `Quick test_sort_and_search;
           Alcotest.test_case "fold/iteri" `Quick test_fold_iter;
           Alcotest.test_case "equal/copy" `Quick test_equal_copy;
+          Alcotest.test_case "bulk appends and blit" `Quick test_bulk_ops;
+          Alcotest.test_case "reserve" `Quick test_reserve;
         ] );
       ( "str_col+dict",
         [

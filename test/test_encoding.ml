@@ -263,6 +263,15 @@ let test_nodeseq_construction () =
     (Invalid_argument "Nodeseq.singleton: negative preorder rank") (fun () ->
       ignore (Nodeseq.singleton (-1)))
 
+let test_nodeseq_of_range () =
+  Alcotest.check nodeseq "consecutive run" (Nodeseq.of_unsorted [ 3; 4; 5 ])
+    (Nodeseq.of_range ~lo:3 ~hi:5);
+  Alcotest.check nodeseq "singleton run" (Nodeseq.singleton 7) (Nodeseq.of_range ~lo:7 ~hi:7);
+  Alcotest.check nodeseq "empty when hi < lo" Nodeseq.empty (Nodeseq.of_range ~lo:5 ~hi:4);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Nodeseq.of_range: negative preorder rank") (fun () ->
+      ignore (Nodeseq.of_range ~lo:(-1) ~hi:2))
+
 let test_nodeseq_set_ops () =
   let a = Nodeseq.of_unsorted [ 1; 3; 5; 7 ] and b = Nodeseq.of_unsorted [ 3; 4; 7; 9 ] in
   Alcotest.check nodeseq "union" (Nodeseq.of_unsorted [ 1; 3; 4; 5; 7; 9 ]) (Nodeseq.union a b);
@@ -282,6 +291,55 @@ let prop_nodeseq_ops =
       Nodeseq.to_list (Nodeseq.union a b) = IS.elements (IS.union sa sb)
       && Nodeseq.to_list (Nodeseq.inter a b) = IS.elements (IS.inter sa sb)
       && Nodeseq.to_list (Nodeseq.diff a b) = IS.elements (IS.diff sa sb))
+
+(* ------------------------------------------------------------------ *)
+(* attribute prefix sums and the blit copy-phase kernel                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_attr_prefix =
+  QCheck.Test.make ~count:300 ~name:"attr prefix sums count attributes exactly"
+    (Test_support.doc_arbitrary ())
+    (fun d ->
+      let n = Doc.n_nodes d in
+      let kinds = Doc.kind_array d in
+      let ap = Doc.attr_prefix_array d in
+      let ok = ref (Array.length ap = n + 1 && ap.(0) = 0) in
+      for i = 0 to n - 1 do
+        if ap.(i + 1) - ap.(i) <> (if kinds.(i) = Doc.Attribute then 1 else 0) then ok := false
+      done;
+      (* O(1) range counts agree with a linear scan over every window
+         anchored at lo = 0 mod 7 *)
+      for lo = 0 to n - 1 do
+        if lo mod 7 = 0 then begin
+          let hi = n - 1 in
+          let naive = ref 0 in
+          for i = lo to hi do
+            if kinds.(i) = Doc.Attribute then incr naive
+          done;
+          if Doc.attr_count_range d ~lo ~hi <> !naive then ok := false
+        end
+      done;
+      !ok && Doc.attr_count_range d ~lo:3 ~hi:2 = 0)
+
+let prop_append_nonattr_range =
+  QCheck.Test.make ~count:300 ~name:"blit kernel = per-node attribute filter"
+    (QCheck.make
+       ~print:(fun (d, lo, hi) -> Printf.sprintf "%s window=[%d,%d]" (Test_support.doc_print d) lo hi)
+       QCheck.Gen.(
+         Test_support.doc_gen () >>= fun d ->
+         let n = Doc.n_nodes d in
+         int_range 0 (n - 1) >>= fun a ->
+         int_range 0 (n - 1) >>= fun b ->
+         return (d, min a b, max a b)))
+    (fun (d, lo, hi) ->
+      let kinds = Doc.kind_array d in
+      let blit = Scj_bat.Int_col.create () in
+      let appended = Doc.append_nonattr_range d blit ~lo ~hi in
+      let point = Scj_bat.Int_col.create () in
+      for i = lo to hi do
+        if kinds.(i) <> Doc.Attribute then Scj_bat.Int_col.append_unit point i
+      done;
+      Scj_bat.Int_col.equal blit point && appended = Scj_bat.Int_col.length point)
 
 (* ------------------------------------------------------------------ *)
 (* properties over random documents                                    *)
@@ -465,8 +523,8 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_nodeseq_ops; prop_validate; prop_node_count; prop_height; prop_axis_partition;
-      prop_child_parent_dual; prop_desc_anc_dual; prop_size_slice; prop_codec_roundtrip;
-      prop_sax_loader; prop_to_tree_roundtrip;
+      prop_child_parent_dual; prop_desc_anc_dual; prop_size_slice; prop_attr_prefix;
+      prop_append_nonattr_range; prop_codec_roundtrip; prop_sax_loader; prop_to_tree_roundtrip;
     ]
 
 let () =
@@ -495,6 +553,7 @@ let () =
       ( "nodeseq",
         [
           Alcotest.test_case "construction" `Quick test_nodeseq_construction;
+          Alcotest.test_case "of_range" `Quick test_nodeseq_of_range;
           Alcotest.test_case "set operations" `Quick test_nodeseq_set_ops;
         ] );
       ( "codec",

@@ -155,7 +155,39 @@ let prop_parallel_agrees =
           && Nodeseq.equal (Parallel.anc ~exec:(Exec.make ~domains:3 ~mode ()) d ctx) (Sj.anc ~exec:(Exec.make ~mode ()) d ctx)))
     all_modes
 
-let qsuite = List.map QCheck_alcotest.to_alcotest (prop_fragment_steps_agree :: prop_parallel_agrees)
+(* A parallel run must report the counters of a serial one — the prune
+   runs once on the coordinating thread, per-worker counters are plain
+   sums, and the blit copy phases batch their updates identically to the
+   per-node reference.  Check totals against Sj.Reference across all
+   modes and worker counts. *)
+let prop_parallel_counter_parity =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun domains ->
+          QCheck.Test.make ~count:100
+            ~name:
+              (Printf.sprintf "parallel counters = per-node reference (%s, %d domains)"
+                 (Sj.skip_mode_to_string mode) domains)
+            (Test_support.doc_with_context_arbitrary ())
+            (fun (d, ctx) ->
+              let s_par = Stats.create () and s_ref = Stats.create () in
+              let r_par = Parallel.desc ~exec:(Exec.make ~mode ~domains ~stats:s_par ()) d ctx in
+              let r_ref = Sj.Reference.desc ~exec:(Exec.make ~mode ~stats:s_ref ()) d ctx in
+              let a_par = Parallel.anc ~exec:(Exec.make ~mode ~domains ~stats:s_par ()) d ctx in
+              let a_ref = Sj.Reference.anc ~exec:(Exec.make ~mode ~stats:s_ref ()) d ctx in
+              if not (Nodeseq.equal r_par r_ref && Nodeseq.equal a_par a_ref) then
+                QCheck.Test.fail_reportf "results differ"
+              else if Stats.all_assoc s_par <> Stats.all_assoc s_ref then
+                QCheck.Test.fail_reportf "counters differ:@.par %s@.ref %s" (Stats.to_json s_par)
+                  (Stats.to_json s_ref)
+              else true))
+        [ 1; 4 ])
+    all_modes
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    ((prop_fragment_steps_agree :: prop_parallel_agrees) @ prop_parallel_counter_parity)
 
 let () =
   Alcotest.run "scj_frag"

@@ -167,6 +167,29 @@ let test_fault_comparison_on_xmark () =
     true
     (f_desc < 2 * f_ixdesc)
 
+(* the point of storing the attribute column as prefix sums: a pure
+   copy-phase descendant step (root context) never reads the post column
+   past the context node — the bulk fills run entirely against prefix
+   pages *)
+let test_copy_phase_avoids_post_pages () =
+  let d = Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.002 ())) in
+  let n = Doc.n_nodes d in
+  let page_ints = 256 in
+  (* capacity large enough that nothing is evicted *)
+  let pd = Paged_doc.load ~page_ints ~capacity:1000 d in
+  let root = Nodeseq.singleton 0 in
+  let result = Paged_doc.desc pd root in
+  Alcotest.check nodeseq "matches in-memory desc" (Sj.desc d root) result;
+  let pool = Paged_doc.pool pd in
+  (* interior post pages: page 0 holds post(root) (touched by the prune)
+     and the last post page also carries the first prefix entries, so
+     check the pages strictly between them *)
+  let resident_post_pages = ref 0 in
+  for page = 1 to ((n - 1) / page_ints) - 1 do
+    if Buffer_pool.is_resident pool page then incr resident_post_pages
+  done;
+  check_int "interior post pages untouched" 0 !resident_post_pages
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_pool_transparent; prop_paged_desc_agrees; prop_paged_index_desc_agrees; prop_paged_anc_agrees ]
@@ -188,6 +211,7 @@ let () =
         [
           Alcotest.test_case "accessors" `Quick test_paged_accessors;
           Alcotest.test_case "fault comparison (xmark)" `Quick test_fault_comparison_on_xmark;
+          Alcotest.test_case "copy phase avoids post pages" `Quick test_copy_phase_avoids_post_pages;
         ] );
       ("properties", qsuite);
     ]

@@ -349,6 +349,38 @@ let prop_soak_large_docs =
       && Nodeseq.equal (Sj.anc d ctx) (Test_support.spec_step d Axis.Ancestor ctx))
 
 (* ------------------------------------------------------------------ *)
+(* blit kernels vs the per-node reference                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The copy phases of desc/anc run as bulk range fills over the attribute
+   prefix-sum column with batched counter updates; Sj.Reference keeps the
+   per-node loops.  Results *and* every counter must be bit-identical in
+   every skipping mode. *)
+let prop_blit_parity =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun (axis, blit, refr) ->
+          QCheck.Test.make ~count:300
+            ~name:(Printf.sprintf "blit %s = per-node reference (%s)" axis (mode_name mode))
+            (Test_support.doc_with_context_arbitrary ())
+            (fun (d, ctx) ->
+              let s_blit = Stats.create () and s_ref = Stats.create () in
+              let r_blit = blit (Exec.make ~mode ~stats:s_blit ()) d ctx in
+              let r_ref = refr (Exec.make ~mode ~stats:s_ref ()) d ctx in
+              if not (Nodeseq.equal r_blit r_ref) then
+                QCheck.Test.fail_reportf "%s results differ" axis
+              else if Stats.all_assoc s_blit <> Stats.all_assoc s_ref then
+                QCheck.Test.fail_reportf "%s counters differ:@.blit %s@.ref  %s" axis
+                  (Stats.to_json s_blit) (Stats.to_json s_ref)
+              else true))
+        [
+          ("desc", (fun exec d c -> Sj.desc ~exec d c), fun exec d c -> Sj.Reference.desc ~exec d c);
+          ("anc", (fun exec d c -> Sj.anc ~exec d c), fun exec d c -> Sj.Reference.anc ~exec d c);
+        ])
+    all_modes
+
+(* ------------------------------------------------------------------ *)
 (* partitions                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -377,6 +409,13 @@ let prop_partitions_reconstruct =
           done)
         (Sj.desc_partitions d ctx);
       Nodeseq.equal (Nodeseq.of_unsorted !hits) (Sj.desc d ctx))
+
+let prop_partitions_pruned_skip_reprune =
+  QCheck.Test.make ~count:200 ~name:"partitions of a pruned staircase = partitions with re-prune"
+    (Test_support.doc_with_context_arbitrary ())
+    (fun (d, ctx) ->
+      Sj.desc_partitions_pruned d (Sj.prune_desc d ctx) = Sj.desc_partitions d ctx
+      && Sj.anc_partitions_pruned d (Sj.prune_anc d ctx) = Sj.anc_partitions d ctx)
 
 let prop_anc_partitions_reconstruct =
   QCheck.Test.make ~count:200 ~name:"anc partitions reconstruct the join result"
@@ -456,9 +495,11 @@ let qsuite =
        prop_exact_size_no_comparisons;
        prop_partitions_reconstruct;
        prop_anc_partitions_reconstruct;
+       prop_partitions_pruned_skip_reprune;
        prop_soak_large_docs;
      ]
-    @ prop_desc @ prop_anc @ prop_following @ prop_preceding @ prop_view_desc @ prop_view_anc)
+    @ prop_blit_parity @ prop_desc @ prop_anc @ prop_following @ prop_preceding @ prop_view_desc
+    @ prop_view_anc)
 
 let () =
   Alcotest.run "scj_staircase"

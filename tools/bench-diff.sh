@@ -1,0 +1,103 @@
+#!/bin/sh
+# Bench regression gate: runs the smoke benchmark suite and diffs its
+# deterministic work counters against the committed BENCH_baseline.json,
+# flagging any counter that moved by more than 30%.
+#
+# The smoke experiments (bench/main.ml smoke_experiments) count work in
+# Stats counters — nodes scanned/copied/skipped, duplicates, index
+# probes — which are deterministic for a given code revision, unlike
+# ns/run figures.  Spans that contain bechamel measurements (detected by
+# an ns_per_run annotation anywhere below them) accumulate counters per
+# measurement iteration and are excluded from the diff; for those only
+# their annotations are checked (the copykernel experiment must report
+# counter_parity=true).
+#
+# Refreshing the baseline (after an intentional work-profile change):
+#   dune exec bench/main.exe -- --smoke --json | tail -1 > BENCH_baseline.json
+#
+# Skips with success when python3 or the baseline is missing so the
+# script stays runnable in minimal images.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "bench-diff: python3 not installed, skipping bench diff" >&2
+  exit 0
+fi
+
+if [ ! -f BENCH_baseline.json ]; then
+  echo "bench-diff: BENCH_baseline.json missing, skipping (refresh with:" >&2
+  echo "  dune exec bench/main.exe -- --smoke --json | tail -1 > BENCH_baseline.json)" >&2
+  exit 0
+fi
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+
+dune exec bench/main.exe -- --smoke --json 2>/dev/null | tail -1 > "$fresh"
+
+python3 - "$fresh" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 0.30
+
+with open("BENCH_baseline.json") as f:
+    baseline = json.load(f)
+with open(sys.argv[1]) as f:
+    fresh = json.load(f)
+
+
+def has_measurement(span):
+    if "ns_per_run" in (span.get("attrs") or {}):
+        return True
+    return any(has_measurement(c) for c in span.get("children") or [])
+
+
+def counters(span):
+    work = span.get("work")
+    if isinstance(work, str):
+        work = json.loads(work)
+    return work or {}
+
+
+problems = []
+base_by_name = {s["name"]: s for s in baseline}
+for span in fresh:
+    name = span["name"]
+    base = base_by_name.get(name)
+    if base is None:
+        print(f"bench-diff: note: new experiment {name!r} not in baseline")
+        continue
+    attrs = span.get("attrs") or {}
+    if attrs.get("counter_parity", "true") != "true":
+        problems.append(f"{name}: counter_parity is {attrs['counter_parity']}")
+    if "blit_speedup" in attrs:
+        print(f"bench-diff: {name}: blit_speedup {attrs['blit_speedup']}x (informational)")
+    if has_measurement(span):
+        continue  # counters scale with bechamel iterations; not comparable
+    base_work = counters(base)
+    for key, fresh_v in counters(span).items():
+        base_v = base_work.get(key, 0)
+        if base_v == 0:
+            continue
+        drift = abs(fresh_v - base_v) / base_v
+        if drift > THRESHOLD:
+            problems.append(
+                f"{name}: {key} moved {base_v} -> {fresh_v} ({drift:+.0%} vs {THRESHOLD:.0%} threshold)"
+            )
+
+missing = [n for n in base_by_name if n not in {s["name"] for s in fresh}]
+for name in missing:
+    problems.append(f"{name}: present in baseline but missing from fresh run")
+
+if problems:
+    print("bench-diff: work-counter regressions detected:")
+    for p in problems:
+        print(f"  {p}")
+    print("bench-diff: if intentional, refresh the baseline:")
+    print("  dune exec bench/main.exe -- --smoke --json | tail -1 > BENCH_baseline.json")
+    sys.exit(1)
+print("bench-diff: all work counters within threshold")
+EOF
