@@ -411,6 +411,183 @@ let mil_cmd =
        ~doc:"Run a MIL-style plan program (the paper's experiment scripts) against a document.")
     Term.(const run $ input $ program)
 
+(* ------------------------------------------------------------------ *)
+(* serve: a line-oriented front end to the concurrent query service     *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Scj_server.Server
+module Paged_doc = Scj_pager.Paged_doc
+module Buffer_pool = Scj_pager.Buffer_pool
+
+let load_paged ?fault_latency ~page_ints ~capacity doc =
+  let n_pages = (3 * Doc.n_nodes doc / page_ints) + 1 in
+  let capacity = if capacity > 0 then capacity else max 24 (n_pages / 10) in
+  Paged_doc.load ~page_ints ~stripes:8 ?fault_latency ~capacity doc
+
+let print_service_stats (s : Server.service_stats) =
+  Printf.printf "completed=%d timed_out=%d failed=%d rejected=%d\n" s.Server.completed
+    s.Server.timed_out s.Server.failed s.Server.rejected;
+  Printf.printf "latency: %s\n" (Format.asprintf "%a" Scj_stats.Histogram.pp s.Server.latency);
+  Printf.printf "pool traffic (per-query tallies): hits=%d misses=%d\n" s.Server.tally_hits
+    s.Server.tally_misses;
+  Format.printf "work:@.%a@." Stats.pp s.Server.work
+
+let serve_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let workers =
+    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (0 = auto).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
+  in
+  let run input workers deadline_ms =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc ->
+      let paged = load_paged ~page_ints:1024 ~capacity:0 doc in
+      let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
+      let server =
+        Server.create ?workers:(if workers > 0 then Some workers else None) ?deadline ~paged doc
+      in
+      Printf.eprintf
+        "scj serve: %d nodes, %d worker domain(s); one XPath query per line, '\\stats' for \
+         service statistics, EOF to stop\n\
+         %!"
+        (Doc.n_nodes doc) (Server.workers server);
+      let rec loop () =
+        match In_channel.input_line In_channel.stdin with
+        | None -> ()
+        | Some "" -> loop ()
+        | Some "\\stats" ->
+          print_service_stats (Server.stats server);
+          loop ()
+        | Some line ->
+          (match Server.run server (Server.Path line) with
+          | Server.Done r ->
+            Printf.printf "%d node(s) in %.2f ms\n%!" (Nodeseq.length r.Server.result)
+              r.Server.latency_ms
+          | Server.Timed_out -> Printf.printf "timed out\n%!"
+          | Server.Failed e -> Printf.printf "error: %s\n%!" e);
+          loop ()
+      in
+      loop ();
+      Server.shutdown server;
+      print_service_stats (Server.stats server);
+      0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent query service over a document, reading one XPath query per line \
+          from standard input.")
+    Term.(const run $ input $ workers $ deadline_ms)
+
+(* ------------------------------------------------------------------ *)
+(* workload: replay a mixed read workload at several client counts      *)
+(* ------------------------------------------------------------------ *)
+
+let workload_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let clients =
+    Arg.(
+      value & opt string "1,2,4,8"
+      & info [ "clients" ] ~docv:"LIST" ~doc:"Comma-separated client-domain counts.")
+  in
+  let rounds =
+    Arg.(value & opt int 8 & info [ "rounds" ] ~docv:"N" ~doc:"Repetitions of the query mix.")
+  in
+  let fault_us =
+    Arg.(
+      value & opt float 500.0
+      & info [ "fault-latency" ] ~docv:"US"
+          ~doc:"Simulated device latency per page fault, in microseconds.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 0
+      & info [ "capacity" ] ~docv:"FRAMES"
+          ~doc:"Buffer-pool frames (0 = ~10% of the document's pages).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
+  in
+  let run input clients rounds fault_us capacity deadline_ms =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc ->
+      let clients =
+        try List.map int_of_string (String.split_on_char ',' clients)
+        with _ ->
+          prerr_endline "workload: --clients must be a comma-separated list of integers";
+          exit 2
+      in
+      (* the mix: staircase steps over the two largest tag fragments plus
+         the matching XPath queries — reads only, one shared document *)
+      let frag = Scj_frag.Fragmented.build doc in
+      let top_tags =
+        List.filteri (fun i _ -> i < 2) (List.map fst (Scj_frag.Fragmented.tags frag))
+      in
+      let contexts =
+        List.map (fun tag -> Nodeseq.of_sorted_array (Doc.tag_positions doc tag)) top_tags
+      in
+      let mix =
+        Server.Step (`Desc, Nodeseq.singleton (Doc.root doc))
+        :: List.concat_map
+             (fun ctx -> [ Server.Step (`Desc, ctx); Server.Step (`Anc, ctx) ])
+             contexts
+        @ List.map (fun tag -> Server.Path (Printf.sprintf "/descendant::%s" tag)) top_tags
+      in
+      let queries = List.concat (List.init rounds (fun _ -> mix)) in
+      let n_queries = List.length queries in
+      let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
+      Printf.printf "%8s %10s %10s %9s %9s %8s %8s\n" "clients" "time[s]" "q/s" "speedup"
+        "hit-rate" "timeout" "pinned";
+      let serial_qps = ref 0.0 in
+      List.iter
+        (fun workers ->
+          let paged =
+            load_paged ~fault_latency:(fault_us /. 1e6) ~page_ints:256 ~capacity doc
+          in
+          let server = Server.create ~workers ~queue_bound:n_queries ?deadline ~paged doc in
+          let t0 = Unix.gettimeofday () in
+          let handles = List.filter_map (fun q -> Server.submit server q) queries in
+          List.iter (fun h -> ignore (Server.await h)) handles;
+          let dt = Unix.gettimeofday () -. t0 in
+          let stats = Server.stats server in
+          let hits, faults, _ = Buffer_pool.stats (Paged_doc.pool paged) in
+          let pinned = Buffer_pool.pinned (Paged_doc.pool paged) in
+          Server.shutdown server;
+          let qps = float_of_int n_queries /. dt in
+          if !serial_qps = 0.0 then serial_qps := qps;
+          Printf.printf "%8d %10.3f %10.1f %8.2fx %8.1f%% %8d %8d\n" workers dt qps
+            (qps /. !serial_qps)
+            (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + faults)))
+            stats.Server.timed_out pinned;
+          Printf.printf "         latency: %s\n"
+            (Format.asprintf "%a" Scj_stats.Histogram.pp stats.Server.latency))
+        clients;
+      0
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Replay a mixed read workload (paged staircase steps + XPath) through the query \
+          service at increasing client-domain counts, reporting throughput scaling and \
+          buffer-pool hit rates.")
+    Term.(const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms)
+
 let () =
   let open Cmdliner in
   let doc = "staircase join: tree-aware XPath evaluation on a relational encoding" in
@@ -420,5 +597,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; analyze_cmd;
-            xquery_cmd; mil_cmd; validate_cmd;
+            xquery_cmd; mil_cmd; validate_cmd; serve_cmd; workload_cmd;
           ]))

@@ -189,6 +189,7 @@ let desc ?exec doc context =
       end
     in
     for k = 0 to m - 1 do
+      Exec.checkpoint exec;
       let c = ctx.(k) in
       let boundary = posts.(c) in
       let scan_to = if k + 1 < m then ctx.(k + 1) - 1 else n - 1 in
@@ -254,6 +255,7 @@ let anc ?exec doc context =
       done
     in
     for k = 0 to m - 1 do
+      Exec.checkpoint exec;
       let c = ctx.(k) in
       let scan_from = if k = 0 then 0 else ctx.(k - 1) + 1 in
       scan_partition scan_from (c - 1) posts.(c)
@@ -272,6 +274,7 @@ let following ?exec doc context =
   match Nodeseq.first context with
   | None -> Nodeseq.empty
   | Some c ->
+    Exec.checkpoint exec;
     let n = Doc.n_nodes doc in
     let posts = Doc.post_array doc in
     let kinds = Doc.kind_array doc in
@@ -322,6 +325,7 @@ let preceding ?exec doc context =
   match Nodeseq.first context with
   | None -> Nodeseq.empty
   | Some c ->
+    Exec.checkpoint exec;
     let posts = Doc.post_array doc in
     let kinds = Doc.kind_array doc in
     let result = Int_col.create ~capacity:64 () in
@@ -652,4 +656,70 @@ module Reference = struct
       done;
       Nodeseq.of_sorted_array (Int_col.to_array result)
     end
+
+  let following ?exec doc context =
+    let exec = ensure_exec exec in
+    let mode = exec.Exec.mode and stats = exec.Exec.stats in
+    let context = prune_following_st stats doc context in
+    match Nodeseq.first context with
+    | None -> Nodeseq.empty
+    | Some c ->
+      let n = Doc.n_nodes doc in
+      let posts = Doc.post_array doc in
+      let kinds = Doc.kind_array doc in
+      let result = Int_col.create ~capacity:64 () in
+      let append i =
+        if kinds.(i) <> Doc.Attribute then begin
+          Int_col.append_unit result i;
+          stats.Stats.appended <- stats.Stats.appended + 1
+        end
+      in
+      let start =
+        match mode with
+        | No_skipping -> c + 1
+        | Skipping | Estimation ->
+          let i = ref (c + 1 + max 0 (posts.(c) - c)) in
+          stats.Stats.skipped <- stats.Stats.skipped + (!i - (c + 1));
+          while !i < n && posts.(!i) < posts.(c) do
+            stats.Stats.scanned <- stats.Stats.scanned + 1;
+            incr i
+          done;
+          !i
+        | Exact_size ->
+          stats.Stats.skipped <- stats.Stats.skipped + Doc.size doc c;
+          c + Doc.size doc c + 1
+      in
+      (match mode with
+      | No_skipping ->
+        for i = start to n - 1 do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          if posts.(i) > posts.(c) then append i
+        done
+      | Skipping | Estimation | Exact_size ->
+        (* the per-node rendition of the tail blit: one copied bump and
+           one kind test per node *)
+        for i = start to n - 1 do
+          stats.Stats.copied <- stats.Stats.copied + 1;
+          append i
+        done);
+      Nodeseq.of_sorted_array (Int_col.to_array result)
+
+  let preceding ?exec doc context =
+    let exec = ensure_exec exec in
+    let stats = exec.Exec.stats in
+    let context = prune_preceding_st stats doc context in
+    match Nodeseq.first context with
+    | None -> Nodeseq.empty
+    | Some c ->
+      let posts = Doc.post_array doc in
+      let kinds = Doc.kind_array doc in
+      let result = Int_col.create ~capacity:64 () in
+      for i = 0 to c - 1 do
+        stats.Stats.scanned <- stats.Stats.scanned + 1;
+        if posts.(i) < posts.(c) && kinds.(i) <> Doc.Attribute then begin
+          Int_col.append_unit result i;
+          stats.Stats.appended <- stats.Stats.appended + 1
+        end
+      done;
+      Nodeseq.of_sorted_array (Int_col.to_array result)
 end

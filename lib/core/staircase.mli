@@ -168,4 +168,12 @@ module Reference : sig
   val desc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 
   val anc : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+  (** Per-node renditions of {!Staircase.following}/{!preceding} — the
+      skip/copy structure is kept but every append runs through the
+      one-node-at-a-time loop, so results {e and} counter totals must
+      match the blit implementations in every mode. *)
+  val following : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
+
+  val preceding : ?exec:Exec.t -> Doc.t -> Nodeseq.t -> Nodeseq.t
 end

@@ -115,6 +115,9 @@ let run_partitions exec scan partitions =
       let out = Int_col.create ~capacity:256 () in
       let stats = Stats.create () in
       for k = bounds.(w) to bounds.(w + 1) - 1 do
+        (* the cancellation hook must be domain-safe (see Exec): every
+           worker polls it between partition scans *)
+        Exec.checkpoint exec;
         scan parts.(k) out stats
       done;
       (out, stats)
@@ -123,8 +126,20 @@ let run_partitions exec scan partitions =
       if workers = 1 then [| work 0 |]
       else begin
         let handles = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> work (w + 1))) in
-        let first = work 0 in
-        Array.append [| first |] (Array.map Domain.join handles)
+        (* always join every spawned domain, even when the coordinator's
+           own slice aborts (e.g. a deadline checkpoint raising): leaked
+           domains would outlive the query and poison later asserts *)
+        let first =
+          match work 0 with
+          | first -> first
+          | exception e ->
+            Array.iter (fun h -> try ignore (Domain.join h) with _ -> ()) handles;
+            raise e
+        in
+        let joined = Array.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles in
+        Array.iter (function Error e -> raise e | Ok _ -> ()) joined;
+        Array.append [| first |]
+          (Array.map (function Ok r -> r | Error _ -> assert false) joined)
       end
     in
     Array.iter (fun (_, stats) -> Stats.add exec.Exec.stats stats) results;

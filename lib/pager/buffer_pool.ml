@@ -1,9 +1,9 @@
 module Store = struct
-  type t = { data : int array; page_ints : int }
+  type t = { data : int array; page_ints : int; fault_latency : float }
 
-  let create ~page_ints data =
+  let create ?(fault_latency = 0.0) ~page_ints data =
     if page_ints <= 0 then invalid_arg "Buffer_pool.Store.create: page_ints must be positive";
-    { data; page_ints }
+    { data; page_ints; fault_latency = Float.max 0.0 fault_latency }
 
   let page_ints t = t.page_ints
 
@@ -11,78 +11,236 @@ module Store = struct
 
   let length t = Array.length t.data
 
-  (* Simulated disk read: copy the page out of the backing array. *)
+  let fault_latency t = t.fault_latency
+
+  (* Simulated disk read: copy the page out of the backing array, after
+     the simulated device latency.  The sleep models a seek+transfer; it
+     is what concurrent queries overlap. *)
   let read_page t page =
+    if t.fault_latency > 0.0 then Unix.sleepf t.fault_latency;
     let start = page * t.page_ints in
     let len = min t.page_ints (Array.length t.data - start) in
     Array.sub t.data start len
 end
 
-type frame = { page : int; data : int array; mutable last_used : int }
+module Tally = struct
+  type t = { mutable hits : int; mutable misses : int }
+
+  let create () = { hits = 0; misses = 0 }
+
+  let total t = t.hits + t.misses
+end
+
+type frame = {
+  page : int;
+  mutable data : int array;  (* [||] while the page is being read in *)
+  mutable last_used : int;
+  mutable pins : int;
+  mutable loading : bool;
+}
+
+(* One lock stripe: its own latch, frame table, LRU clock and capacity
+   share.  A page maps to stripe [page mod n]; eviction is local to the
+   stripe (set-associative, like hash-bucket latches in a real buffer
+   manager), so two queries faulting pages of different stripes never
+   contend. *)
+type stripe = {
+  lock : Mutex.t;
+  loaded : Condition.t;  (* signalled when an in-flight page finishes loading *)
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  cap : int;
+}
 
 type t = {
   store : Store.t;
   capacity : int;
-  frames : (int, frame) Hashtbl.t;
-  mutable clock : int;
-  mutable hits : int;
-  mutable faults : int;
-  mutable evictions : int;
+  stripes : stripe array;
+  hits : int Atomic.t;
+  faults : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
-let create ~capacity store =
+let create ?(stripes = 1) ~capacity store =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
-  { store; capacity; frames = Hashtbl.create (2 * capacity); clock = 0; hits = 0; faults = 0; evictions = 0 }
-
-let touch t frame =
-  t.clock <- t.clock + 1;
-  frame.last_used <- t.clock
-
-let evict_lru t =
-  let victim =
-    Hashtbl.fold
-      (fun _ frame acc ->
-        match acc with
-        | None -> Some frame
-        | Some best -> if frame.last_used < best.last_used then Some frame else acc)
-      t.frames None
+  let n_stripes = max 1 (min stripes capacity) in
+  let stripe i =
+    (* distribute the capacity as evenly as possible; every stripe gets
+       at least one frame because n_stripes <= capacity *)
+    let cap = (capacity / n_stripes) + if i < capacity mod n_stripes then 1 else 0 in
+    {
+      lock = Mutex.create ();
+      loaded = Condition.create ();
+      frames = Hashtbl.create (2 * cap);
+      clock = 0;
+      cap;
+    }
   in
-  match victim with
+  {
+    store;
+    capacity;
+    stripes = Array.init n_stripes stripe;
+    hits = Atomic.make 0;
+    faults = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let capacity t = t.capacity
+
+let n_stripes t = Array.length t.stripes
+
+let page_ints t = Store.page_ints t.store
+
+let stripe_of t page = t.stripes.(page mod Array.length t.stripes)
+
+let touch s frame =
+  s.clock <- s.clock + 1;
+  frame.last_used <- s.clock
+
+(* Evict unpinned LRU frames until the stripe is under its capacity
+   share.  Pinned (and in-flight) frames are skipped; if every frame is
+   pinned the stripe temporarily overflows rather than wedging — the
+   excess is reclaimed by later faults once pins drain. *)
+let shrink t s =
+  let continue_ = ref true in
+  while !continue_ && Hashtbl.length s.frames >= s.cap do
+    let victim =
+      Hashtbl.fold
+        (fun _ frame acc ->
+          if frame.pins > 0 then acc
+          else
+            match acc with
+            | None -> Some frame
+            | Some best -> if frame.last_used < best.last_used then Some frame else acc)
+        s.frames None
+    in
+    match victim with
+    | None -> continue_ := false
+    | Some frame ->
+      Hashtbl.remove s.frames frame.page;
+      Atomic.incr t.evictions
+  done
+
+let record tally hit =
+  match tally with
   | None -> ()
-  | Some frame ->
-    Hashtbl.remove t.frames frame.page;
-    t.evictions <- t.evictions + 1
+  | Some (tl : Tally.t) ->
+    if hit then tl.Tally.hits <- tl.Tally.hits + 1 else tl.Tally.misses <- tl.Tally.misses + 1
 
-let frame_of_page t page =
-  match Hashtbl.find_opt t.frames page with
-  | Some frame ->
-    t.hits <- t.hits + 1;
-    touch t frame;
-    frame
-  | None ->
-    t.faults <- t.faults + 1;
-    if Hashtbl.length t.frames >= t.capacity then evict_lru t;
-    let frame = { page; data = Store.read_page t.store page; last_used = 0 } in
-    touch t frame;
-    Hashtbl.replace t.frames page frame;
-    frame
+(* Acquire the frame for [page] with one pin held.  The caller must
+   release with [unpin].  The simulated disk read happens with the
+   stripe lock released: the frame is inserted in a loading state (pinned
+   so it cannot be evicted), concurrent readers of the same page wait on
+   the stripe condition, and readers of other pages proceed — concurrent
+   queries overlap their fault latencies. *)
+let pin_frame ?tally t page =
+  let s = stripe_of t page in
+  Mutex.lock s.lock;
+  let rec acquire () =
+    match Hashtbl.find_opt s.frames page with
+    | Some frame ->
+      Atomic.incr t.hits;
+      record tally true;
+      frame.pins <- frame.pins + 1;
+      while frame.loading do
+        Condition.wait s.loaded s.lock
+      done;
+      (* the loader could have failed and dropped the frame: retry *)
+      if not (Hashtbl.mem s.frames page) then begin
+        frame.pins <- frame.pins - 1;
+        acquire ()
+      end
+      else begin
+        touch s frame;
+        Mutex.unlock s.lock;
+        frame
+      end
+    | None ->
+      Atomic.incr t.faults;
+      record tally false;
+      shrink t s;
+      let frame = { page; data = [||]; last_used = 0; pins = 1; loading = true } in
+      touch s frame;
+      Hashtbl.replace s.frames page frame;
+      Mutex.unlock s.lock;
+      (match Store.read_page t.store page with
+      | data ->
+        Mutex.lock s.lock;
+        frame.data <- data;
+        frame.loading <- false;
+        Condition.broadcast s.loaded;
+        Mutex.unlock s.lock
+      | exception e ->
+        (* never leave an unloadable frame behind *)
+        Mutex.lock s.lock;
+        Hashtbl.remove s.frames page;
+        frame.pins <- frame.pins - 1;
+        frame.loading <- false;
+        Condition.broadcast s.loaded;
+        Mutex.unlock s.lock;
+        raise e);
+      frame
+  in
+  acquire ()
 
-let read t i =
+let unpin t frame =
+  let s = stripe_of t frame.page in
+  Mutex.lock s.lock;
+  frame.pins <- frame.pins - 1;
+  Mutex.unlock s.lock
+
+let with_page ?tally t page f =
+  let frame = pin_frame ?tally t page in
+  Fun.protect ~finally:(fun () -> unpin t frame) (fun () -> f frame.data)
+
+let read ?tally t i =
   if i < 0 || i >= Store.length t.store then
     invalid_arg (Printf.sprintf "Buffer_pool.read: index %d out of bounds" i);
-  let page = i / Store.page_ints t.store in
-  let frame = frame_of_page t page in
-  frame.data.(i - (page * Store.page_ints t.store))
+  let page_ints = Store.page_ints t.store in
+  let page = i / page_ints in
+  let frame = pin_frame ?tally t page in
+  let v = frame.data.(i - (page * page_ints)) in
+  unpin t frame;
+  v
 
-let resident t = Hashtbl.length t.frames
+let fold_stripes t f init =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let acc = f acc s in
+      Mutex.unlock s.lock;
+      acc)
+    init t.stripes
 
-let is_resident t page = Hashtbl.mem t.frames page
+let resident t = fold_stripes t (fun acc s -> acc + Hashtbl.length s.frames) 0
 
-let stats t = (t.hits, t.faults, t.evictions)
+let pinned t =
+  fold_stripes t
+    (fun acc s -> Hashtbl.fold (fun _ frame acc -> acc + frame.pins) s.frames acc)
+    0
+
+let is_resident t page =
+  let s = stripe_of t page in
+  Mutex.lock s.lock;
+  let r = Hashtbl.mem s.frames page in
+  Mutex.unlock s.lock;
+  r
+
+let stats t = (Atomic.get t.hits, Atomic.get t.faults, Atomic.get t.evictions)
 
 let reset_stats t =
-  t.hits <- 0;
-  t.faults <- 0;
-  t.evictions <- 0
+  Atomic.set t.hits 0;
+  Atomic.set t.faults 0;
+  Atomic.set t.evictions 0
 
-let flush t = Hashtbl.reset t.frames
+(* Drop every unpinned frame (keeps counters; pinned frames stay). *)
+let flush t =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      let victims =
+        Hashtbl.fold (fun page frame acc -> if frame.pins = 0 then page :: acc else acc) s.frames []
+      in
+      List.iter (Hashtbl.remove s.frames) victims;
+      Mutex.unlock s.lock)
+    t.stripes

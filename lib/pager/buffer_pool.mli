@@ -1,20 +1,47 @@
-(** A buffer pool over a simulated disk of integer pages.
+(** A thread-safe buffer pool over a simulated disk of integer pages.
 
     The paper's staircase join was built into a main-memory kernel; its §6
     future work asks how it behaves in a disk-based RDBMS.  This module
-    provides the substrate for that experiment: a fixed-capacity pool of
-    page frames with LRU replacement in front of a page store, counting
-    hits, faults, and evictions.  The access-pattern contrast — staircase
-    join reads pages strictly sequentially, per-context index scans hop
-    around — then becomes measurable as fault counts. *)
+    provides the substrate for that experiment — and for the concurrent
+    query service built on top of it: a fixed-capacity pool of page
+    frames shared by many reader domains.
+
+    Concurrency design:
+
+    - the frame table is {e striped}: a page maps to stripe
+      [page mod stripes], each stripe has its own latch, LRU clock and
+      capacity share, and eviction is local to the stripe (set-associative,
+      like hash-bucket latches in a real buffer manager);
+    - frames carry {e pin counts}; a pinned frame is never evicted.
+      {!with_page} pins a page across a batch of reads so scan loops pay
+      one latch acquisition per page instead of one per integer;
+    - the simulated disk read happens {e with the stripe latch released}:
+      a faulting reader inserts the frame in a loading state, concurrent
+      readers of the same page wait on the stripe's condition variable,
+      and readers of other pages proceed — concurrent queries overlap
+      their fault latencies;
+    - hit/fault/eviction counters are atomics; per-query accounting goes
+      through an optional {!Tally.t} so a service can attribute pool
+      traffic to individual queries ({e pool hits+faults = Σ per-query
+      tallies}, exactly);
+    - if every frame of a stripe is pinned at fault time the stripe
+      temporarily overflows its capacity share instead of wedging; the
+      excess is reclaimed by later faults once pins drain.
+
+    With [stripes = 1] (the default) and a single thread, the pool
+    behaves exactly like a plain LRU pool: same hit/fault/eviction counts
+    and the same eviction order. *)
 
 module Store : sig
   type t
 
-  (** [create ~page_ints data] wraps [data] as a disk of pages holding
-      [page_ints] integers each (the last page may be partial).
+  (** [create ?fault_latency ~page_ints data] wraps [data] as a disk of
+      pages holding [page_ints] integers each (the last page may be
+      partial).  [fault_latency] (seconds, default 0) is slept on every
+      page read, simulating device latency — the quantity concurrent
+      queries overlap.
       @raise Invalid_argument if [page_ints <= 0]. *)
-  val create : page_ints:int -> int array -> t
+  val create : ?fault_latency:float -> page_ints:int -> int array -> t
 
   val page_ints : t -> int
 
@@ -23,21 +50,55 @@ module Store : sig
 
   (** Total number of integers. *)
   val length : t -> int
+
+  val fault_latency : t -> float
+end
+
+(** Per-query pool-traffic accounting: a tally is owned by one query (one
+    domain) and bumped on every pool access made on its behalf, while the
+    pool's own counters aggregate atomically across all queries. *)
+module Tally : sig
+  type t = { mutable hits : int; mutable misses : int }
+
+  val create : unit -> t
+
+  val total : t -> int
 end
 
 type t
 
-(** [create ~capacity store] — a pool of at most [capacity] resident page
-    frames.  @raise Invalid_argument if [capacity <= 0]. *)
-val create : capacity:int -> Store.t -> t
+(** [create ?stripes ~capacity store] — a pool of at most [capacity]
+    resident page frames, latch-striped [stripes] ways (clamped to
+    [capacity]; default 1).
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : ?stripes:int -> capacity:int -> Store.t -> t
+
+val capacity : t -> int
+
+val n_stripes : t -> int
+
+(** Page size of the underlying store. *)
+val page_ints : t -> int
 
 (** [read pool i] returns the integer at global index [i], faulting the
-    containing page in if needed.
+    containing page in if needed.  [tally] additionally records the
+    hit/miss on the calling query's own counters.
     @raise Invalid_argument when out of bounds. *)
-val read : t -> int -> int
+val read : ?tally:Tally.t -> t -> int -> int
+
+(** [with_page pool page f] pins [page], runs [f] on the page's data
+    (length [page_ints], shorter for the last page), and unpins — the
+    batched-read primitive: one latch acquisition and one hit/miss for
+    the whole batch.  The pin is released even if [f] raises.  [f] must
+    not mutate the array, and must not retain it. *)
+val with_page : ?tally:Tally.t -> t -> int -> (int array -> 'a) -> 'a
 
 (** Number of currently resident pages. *)
 val resident : t -> int
+
+(** Total outstanding pins, over all frames.  0 whenever no query is
+    mid-access — the invariant the service tests assert after timeouts. *)
+val pinned : t -> int
 
 (** [is_resident pool page] — without touching LRU state. *)
 val is_resident : t -> int -> bool
@@ -47,5 +108,5 @@ val stats : t -> int * int * int
 
 val reset_stats : t -> unit
 
-(** Drop every frame (keeps counters). *)
+(** Drop every unpinned frame (keeps counters). *)
 val flush : t -> unit

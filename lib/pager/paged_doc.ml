@@ -1,8 +1,17 @@
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Int_col = Scj_bat.Int_col
+module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
 
-type t = { pool : Buffer_pool.t; n : int; height : int }
+type t = { pool : Buffer_pool.t; n : int; height : int; tally : Buffer_pool.Tally.t option }
+
+let ensure_exec = function None -> Exec.make () | Some e -> e
+
+(* One query's working set: a scan holds a post page pinned while the
+   attribute test reads a prefix page, and the size column may be live as
+   well — three simultaneously needed columns per stripe. *)
+let min_frames_per_stripe = 3
 
 (* column layout on the simulated disk: [post | attr_prefix | size].  The
    attribute column is stored as its prefix sums (n + 1 ints, entry j =
@@ -10,7 +19,14 @@ type t = { pool : Buffer_pool.t; n : int; height : int }
    reads, attribute runs are found by binary search, and the estimation
    copy phase can emit whole runs while faulting only prefix pages —
    never the post column. *)
-let load ?(page_ints = 1024) ~capacity doc =
+let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ~capacity doc =
+  let stripes = max 1 stripes in
+  if capacity < min_frames_per_stripe * stripes then
+    invalid_arg
+      (Printf.sprintf
+         "Paged_doc.load: capacity %d cannot hold one query's working set (post, attr-prefix \
+          and size pages may be live at once: need >= %d frames for %d stripe(s))"
+         capacity (min_frames_per_stripe * stripes) stripes);
   let n = Doc.n_nodes doc in
   let data = Array.make ((3 * n) + 1) 0 in
   let posts = Doc.post_array doc in
@@ -19,22 +35,29 @@ let load ?(page_ints = 1024) ~capacity doc =
   Array.blit posts 0 data 0 n;
   Array.blit prefix 0 data n (n + 1);
   Array.blit sizes 0 data ((2 * n) + 1) n;
-  let store = Buffer_pool.Store.create ~page_ints data in
-  { pool = Buffer_pool.create ~capacity store; n; height = Doc.height doc }
+  let store = Buffer_pool.Store.create ?fault_latency ~page_ints data in
+  { pool = Buffer_pool.create ~stripes ~capacity store; n; height = Doc.height doc; tally = None }
 
 let pool t = t.pool
 
 let n_nodes t = t.n
 
+(* [with_tally t tally] is a view of the same shared pool that attributes
+   this reader's pool traffic to [tally] — how the query service gives
+   every concurrent query its own hit/miss accounting over one pool. *)
+let with_tally t tally = { t with tally = Some tally }
+
 let check t i fn =
   if i < 0 || i >= t.n then invalid_arg (Printf.sprintf "Paged_doc.%s: rank %d out of bounds" fn i)
 
+let read t i = Buffer_pool.read ?tally:t.tally t.pool i
+
 let post t i =
   check t i "post";
-  Buffer_pool.read t.pool i
+  read t i
 
 (* prefix-sum column entry j, 0 <= j <= n *)
-let prefix t j = Buffer_pool.read t.pool (t.n + j)
+let prefix t j = read t (t.n + j)
 
 let is_attribute t i =
   check t i "is_attribute";
@@ -42,14 +65,35 @@ let is_attribute t i =
 
 let size t i =
   check t i "size";
-  Buffer_pool.read t.pool ((2 * t.n) + 1 + i)
+  read t ((2 * t.n) + 1 + i)
+
+(* Scan the post column over ranks [from, upto]: pin each page once and
+   run [f ~base data ~lo ~hi] over the page's slice of the range, where
+   [data.(i - base)] is post i.  [f] returns the next rank to visit;
+   returning a rank past [hi] hops (pages wholly hopped over are never
+   pinned), returning max_int stops the scan.  One latch acquisition and
+   one hit/miss per page instead of one per integer. *)
+let scan_posts t ~from ~upto f =
+  let page_ints = Buffer_pool.page_ints t.pool in
+  let i = ref from in
+  while !i <= upto do
+    let page = !i / page_ints in
+    let base = page * page_ints in
+    let hi = min upto (base + page_ints - 1) in
+    let next =
+      Buffer_pool.with_page ?tally:t.tally t.pool page (fun data -> f ~base data ~lo:!i ~hi)
+    in
+    i := max next (!i + 1)
+  done
 
 (* Bulk copy-phase kernel over the paged prefix column: append every
    non-attribute rank in [lo, hi] with range fills, locating attribute
    runs by binary search on the prefix sums.  Page faults touch the
-   prefix column only. *)
+   prefix column only.  Returns the number of ranks appended. *)
 let append_nonattr_range t col ~lo ~hi =
-  if hi >= lo then begin
+  if hi < lo then 0
+  else begin
+    let appended = (hi - lo + 1) - (prefix t (hi + 1) - prefix t lo) in
     let i = ref lo in
     while !i <= hi do
       let base = prefix t !i in
@@ -71,10 +115,11 @@ let append_nonattr_range t col ~lo ~hi =
         while !j <= hi && prefix t (!j + 1) > prefix t !j do incr j done;
         i := !j
       end
-    done
+    done;
+    appended
   end
 
-let prune t context =
+let prune ?stats t context =
   let out = Int_col.create ~capacity:(max 1 (Nodeseq.length context)) () in
   let prev = ref (-1) in
   Nodeseq.iter
@@ -83,7 +128,11 @@ let prune t context =
       if p > !prev then begin
         Int_col.append_unit out c;
         prev := p
-      end)
+      end
+      else
+        match stats with
+        | Some s -> s.Stats.pruned <- s.Stats.pruned + 1
+        | None -> ())
     context;
   Nodeseq.of_sorted_array (Int_col.to_array out)
 
@@ -91,36 +140,64 @@ let prune t context =
    paged columns: the comparison-free copy phase of [post c - pre c]
    nodes runs as bulk range fills against the prefix column, then the
    short scan phase (at most [height] comparisons) reads the post
-   column until the boundary is crossed *)
-let desc t context =
-  let context = prune t context in
+   column until the boundary is crossed.  Work counters mirror the
+   in-memory [Staircase.desc] in [Estimation] mode line by line, so the
+   differential harness can hold the two implementations' counters
+   against each other; [Exec.checkpoint] runs between partition scans —
+   the abort points for per-query deadlines. *)
+let desc ?exec t context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
+  let context = prune ~stats t context in
   let result = Int_col.create ~capacity:64 () in
   let m = Nodeseq.length context in
   for k = 0 to m - 1 do
+    Exec.checkpoint exec;
     let c = Nodeseq.get context k in
     let boundary = post t c in
     let scan_to = if k + 1 < m then Nodeseq.get context (k + 1) - 1 else t.n - 1 in
     let copy_to = min scan_to boundary in
-    append_nonattr_range t result ~lo:(c + 1) ~hi:copy_to;
-    let i = ref (max (c + 1) (copy_to + 1)) in
-    let break = ref false in
-    while (not !break) && !i <= scan_to do
-      if post t !i < boundary then begin
-        if not (is_attribute t !i) then Int_col.append_unit result !i;
-        incr i
-      end
-      else break := true
-    done
+    if copy_to >= c + 1 then begin
+      let appended = append_nonattr_range t result ~lo:(c + 1) ~hi:copy_to in
+      stats.Stats.copied <- stats.Stats.copied + (copy_to - c);
+      stats.Stats.appended <- stats.Stats.appended + appended
+    end;
+    let from = max (c + 1) (copy_to + 1) in
+    scan_posts t ~from ~upto:scan_to (fun ~base data ~lo ~hi ->
+        let i = ref lo in
+        let next = ref (!i + 1) in
+        let continue_ = ref true in
+        while !continue_ && !i <= hi do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          if data.(!i - base) < boundary then begin
+            if not (is_attribute t !i) then begin
+              Int_col.append_unit result !i;
+              stats.Stats.appended <- stats.Stats.appended + 1
+            end;
+            incr i;
+            next := !i
+          end
+          else begin
+            stats.Stats.skipped <- stats.Stats.skipped + (scan_to - !i);
+            next := max_int;
+            continue_ := false
+          end
+        done;
+        !next)
   done;
   Nodeseq.of_sorted_array (Int_col.to_array result)
 
 (* the tree-unaware plan: per context node, a binary search on the packed
    (pre, post) index — random page probes — followed by the delimited
    range scan; duplicates removed afterwards *)
-let index_desc t context =
+let index_desc ?exec t context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let hits = Int_col.create ~capacity:64 () in
   Nodeseq.iter
     (fun c ->
+      Exec.checkpoint exec;
+      stats.Stats.index_probes <- stats.Stats.index_probes + 1;
       let post_c = post t c in
       (* binary search emulating the B-tree descent over paged leaves *)
       let lo = ref 0 and hi = ref (t.n - 1) in
@@ -128,18 +205,26 @@ let index_desc t context =
         let mid = (!lo + !hi) / 2 in
         (* probe the index page holding mid *)
         let (_ : int) = post t mid in
+        stats.Stats.index_nodes <- stats.Stats.index_nodes + 1;
         if mid <= c then lo := mid + 1 else hi := mid
       done;
       let stop = min (t.n - 1) (post_c + t.height) in
-      for i = c + 1 to stop do
-        if post t i < post_c && not (is_attribute t i) then Int_col.append_unit hits i
-      done)
+      scan_posts t ~from:(c + 1) ~upto:stop (fun ~base data ~lo ~hi ->
+          for i = lo to hi do
+            stats.Stats.scanned <- stats.Stats.scanned + 1;
+            if data.(i - base) < post_c && not (is_attribute t i) then begin
+              Int_col.append_unit hits i;
+              stats.Stats.appended <- stats.Stats.appended + 1
+            end
+          done;
+          hi + 1))
     context;
   let sorted = Int_col.to_array hits in
+  stats.Stats.sorted <- stats.Stats.sorted + Array.length sorted;
   Array.sort Int.compare sorted;
   Nodeseq.of_unsorted (Array.to_list sorted)
 
-let prune_anc t context =
+let prune_anc ?stats t context =
   let m = Nodeseq.length context in
   let keep = Array.make m false in
   let min_post = ref max_int in
@@ -149,6 +234,10 @@ let prune_anc t context =
       keep.(k) <- true;
       min_post := p
     end
+    else
+      match stats with
+      | Some s -> s.Stats.pruned <- s.Stats.pruned + 1
+      | None -> ()
   done;
   let out = Int_col.create ~capacity:(max m 1) () in
   for k = 0 to m - 1 do
@@ -156,39 +245,60 @@ let prune_anc t context =
   done;
   Nodeseq.of_sorted_array (Int_col.to_array out)
 
-let anc t context =
-  let context = prune_anc t context in
+let anc ?exec t context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
+  let context = prune_anc ~stats t context in
   let result = Int_col.create ~capacity:64 () in
   let m = Nodeseq.length context in
   for k = 0 to m - 1 do
+    Exec.checkpoint exec;
     let c = Nodeseq.get context k in
     let boundary = post t c in
     let scan_from = if k = 0 then 0 else Nodeseq.get context (k - 1) + 1 in
-    let i = ref scan_from in
-    while !i <= c - 1 do
-      let p = post t !i in
-      if p > boundary then begin
-        Int_col.append_unit result !i;
-        incr i
-      end
-      else begin
-        let hop = min (max 0 (p - !i)) (c - 1 - !i) in
-        i := !i + hop + 1
-      end
-    done
+    scan_posts t ~from:scan_from ~upto:(c - 1) (fun ~base data ~lo ~hi ->
+        let i = ref lo in
+        while !i <= hi do
+          stats.Stats.scanned <- stats.Stats.scanned + 1;
+          let p = data.(!i - base) in
+          if p > boundary then begin
+            Int_col.append_unit result !i;
+            stats.Stats.appended <- stats.Stats.appended + 1;
+            incr i
+          end
+          else begin
+            (* [!i]'s whole subtree lies in preceding(c): hop over it by
+               the Equation-(1) lower bound *)
+            let hop = min (max 0 (p - !i)) (c - 1 - !i) in
+            stats.Stats.skipped <- stats.Stats.skipped + hop;
+            i := !i + hop + 1
+          end
+        done;
+        !i)
   done;
   Nodeseq.of_sorted_array (Int_col.to_array result)
 
-let index_anc t context =
+let index_anc ?exec t context =
+  let exec = ensure_exec exec in
+  let stats = exec.Exec.stats in
   let hits = Int_col.create ~capacity:64 () in
   Nodeseq.iter
     (fun c ->
+      Exec.checkpoint exec;
+      stats.Stats.index_probes <- stats.Stats.index_probes + 1;
       let post_c = post t c in
       (* the index delimits only on pre: the whole prefix is scanned *)
-      for i = 0 to c - 1 do
-        if post t i > post_c then Int_col.append_unit hits i
-      done)
+      scan_posts t ~from:0 ~upto:(c - 1) (fun ~base data ~lo ~hi ->
+          for i = lo to hi do
+            stats.Stats.scanned <- stats.Stats.scanned + 1;
+            if data.(i - base) > post_c then begin
+              Int_col.append_unit hits i;
+              stats.Stats.appended <- stats.Stats.appended + 1
+            end
+          done;
+          hi + 1))
     context;
   let sorted = Int_col.to_array hits in
+  stats.Stats.sorted <- stats.Stats.sorted + Array.length sorted;
   Array.sort Int.compare sorted;
   Nodeseq.of_unsorted (Array.to_list sorted)

@@ -19,18 +19,39 @@
       scan — the access pattern of the Fig. 3 index plan.
 
     Both return exactly the same node sequence; the interesting output is
-    {!Buffer_pool.stats}. *)
+    {!Buffer_pool.stats}.
+
+    The joins take an optional {!Scj_trace.Exec.t}: work counters mirror
+    the in-memory estimation-mode staircase join line for line (so the
+    differential harness can hold the two against each other), and
+    {!Scj_trace.Exec.checkpoint} runs between partition scans — never
+    while a page is pinned — so a deadline abort always leaves the pool
+    with zero outstanding pins.  A [t] is safe to share across reader
+    domains; use {!with_tally} to give each concurrent query its own
+    pool-traffic accounting over the shared pool. *)
 
 type t
 
-(** [load ?page_ints ~capacity doc] lays the columns out on pages of
-    [page_ints] integers (default 1024 ≈ an 8 KB page of 64-bit ranks) and
-    attaches a pool of [capacity] frames. *)
-val load : ?page_ints:int -> capacity:int -> Scj_encoding.Doc.t -> t
+(** [load ?page_ints ?stripes ?fault_latency ~capacity doc] lays the
+    columns out on pages of [page_ints] integers (default 1024 ≈ an 8 KB
+    page of 64-bit ranks) and attaches a pool of [capacity] frames,
+    latch-striped [stripes] ways (default 1); [fault_latency] is the
+    simulated per-fault device latency in seconds (default 0).
+    @raise Invalid_argument if [capacity] cannot hold one query's working
+    set — post, attr-prefix and size pages may be live at once, so at
+    least 3 frames per stripe are required. *)
+val load :
+  ?page_ints:int -> ?stripes:int -> ?fault_latency:float -> capacity:int -> Scj_encoding.Doc.t -> t
 
 val pool : t -> Buffer_pool.t
 
 val n_nodes : t -> int
+
+(** [with_tally t tally] — a view over the {e same} shared pool that
+    additionally records this reader's hits/misses in [tally].  O(1);
+    how the query service attributes pool traffic to individual
+    queries. *)
+val with_tally : t -> Buffer_pool.Tally.t -> t
 
 (** Paged accessors (each may fault a page in). *)
 val post : t -> int -> int
@@ -40,17 +61,18 @@ val size : t -> int -> int
 val is_attribute : t -> int -> bool
 
 (** Staircase join, descendant axis, with estimation-based skipping
-    (bulk copy phase + bounded scan), over paged columns. *)
-val desc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+    (bulk copy phase + bounded scan), over paged columns.  Counters on
+    [exec.stats] match in-memory [Staircase.desc] in [Estimation] mode. *)
+val desc : ?exec:Scj_trace.Exec.t -> t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
 
 (** The per-context-node index plan over the same pages (range delimited
     by Equation (1), as in §2.1 line 7). *)
-val index_desc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+val index_desc : ?exec:Scj_trace.Exec.t -> t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
 
 (** Staircase join, ancestor axis, with subtree hops. *)
-val anc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+val anc : ?exec:Scj_trace.Exec.t -> t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
 
 (** The tree-unaware ancestor plan: for every context node the index can
     only delimit on pre, so the whole document prefix is scanned — per
     context node.  This is where the disk-based comparison bites. *)
-val index_anc : t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t
+val index_anc : ?exec:Scj_trace.Exec.t -> t -> Scj_encoding.Nodeseq.t -> Scj_encoding.Nodeseq.t

@@ -62,3 +62,8 @@ module Xmark = Scj_xmlgen.Xmark
 module Btree = Scj_btree.Btree
 module Paged_doc = Scj_pager.Paged_doc
 module Buffer_pool = Scj_pager.Buffer_pool
+
+(** {1 Query service} *)
+
+module Server = Scj_server.Server
+module Histogram = Scj_stats.Histogram

@@ -1,0 +1,228 @@
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Histogram = Scj_stats.Histogram
+module Exec = Scj_trace.Exec
+module Eval = Scj_xpath.Eval
+module Paged_doc = Scj_pager.Paged_doc
+module Buffer_pool = Scj_pager.Buffer_pool
+
+type query = Path of string | Step of [ `Desc | `Anc ] * Nodeseq.t
+
+type reply = {
+  result : Nodeseq.t;
+  work : Stats.t;
+  pool_hits : int;
+  pool_misses : int;
+  latency_ms : float;
+}
+
+type outcome = Done of reply | Timed_out | Failed of string
+
+type handle = {
+  query : query;
+  deadline : float;  (* absolute wall-clock; infinity = none *)
+  hm : Mutex.t;
+  hcv : Condition.t;
+  mutable outcome : outcome option;
+}
+
+type service_stats = {
+  completed : int;
+  timed_out : int;
+  failed : int;
+  rejected : int;
+  latency : Histogram.t;
+  work : Stats.t;
+  tally_hits : int;
+  tally_misses : int;
+}
+
+type t = {
+  doc : Doc.t;
+  paged : Paged_doc.t;
+  default_deadline : float;  (* relative seconds; infinity = none *)
+  queue_bound : int;
+  queue : handle Queue.t;
+  qm : Mutex.t;
+  qcv : Condition.t;  (* submit signals; shutdown broadcasts *)
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  n_workers : int;
+  (* service-level accumulators, all under [sm] *)
+  sm : Mutex.t;
+  latency : Histogram.t;
+  work : Stats.t;
+  mutable completed : int;
+  mutable timed_out : int;
+  mutable failed : int;
+  mutable rejected : int;
+  mutable tally_hits : int;
+  mutable tally_misses : int;
+}
+
+(* Raised from the per-query cancellation hook; only ever escapes to the
+   worker loop, never to clients. *)
+exception Deadline
+
+let finish t handle ~tally outcome =
+  Mutex.lock t.sm;
+  (* pool traffic is charged whatever the outcome: an aborted query's
+     faults still happened — the Σ-tallies = pool-counters invariant
+     must hold across timeouts and failures *)
+  t.tally_hits <- t.tally_hits + tally.Buffer_pool.Tally.hits;
+  t.tally_misses <- t.tally_misses + tally.Buffer_pool.Tally.misses;
+  (match outcome with
+  | Done r ->
+    t.completed <- t.completed + 1;
+    Histogram.add t.latency r.latency_ms;
+    Stats.add t.work r.work
+  | Timed_out -> t.timed_out <- t.timed_out + 1
+  | Failed _ -> t.failed <- t.failed + 1);
+  Mutex.unlock t.sm;
+  Mutex.lock handle.hm;
+  handle.outcome <- Some outcome;
+  Condition.broadcast handle.hcv;
+  Mutex.unlock handle.hm
+
+let exec_query t session handle =
+  let start = Unix.gettimeofday () in
+  let tally = Buffer_pool.Tally.create () in
+  let check () = if Unix.gettimeofday () > handle.deadline then raise Deadline in
+  (* fresh counters per query; domains = 1 — workers never nest their own
+     domain pools inside the service's *)
+  let exec = Exec.make ~domains:1 ~check () in
+  match
+    match handle.query with
+    | Path src -> Eval.run_exn ~exec session src
+    | Step (axis, context) ->
+      let paged = Paged_doc.with_tally t.paged tally in
+      (match axis with
+      | `Desc -> Paged_doc.desc ~exec paged context
+      | `Anc -> Paged_doc.anc ~exec paged context)
+  with
+  | result ->
+    let latency_ms = 1000.0 *. (Unix.gettimeofday () -. start) in
+    finish t handle ~tally
+      (Done
+         {
+           result;
+           work = exec.Exec.stats;
+           pool_hits = tally.Buffer_pool.Tally.hits;
+           pool_misses = tally.Buffer_pool.Tally.misses;
+           latency_ms;
+         })
+  | exception Deadline -> finish t handle ~tally Timed_out
+  | exception e -> finish t handle ~tally (Failed (Printexc.to_string e))
+
+(* Worker loop: drain the queue; exit only once stopping *and* empty, so
+   shutdown lets accepted queries finish. *)
+let rec worker_loop t session =
+  Mutex.lock t.qm;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.qcv t.qm
+  done;
+  let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.qm;
+  match job with
+  | None -> ()
+  | Some handle ->
+    exec_query t session handle;
+    worker_loop t session
+
+let create ?workers ?queue_bound ?deadline ~paged doc =
+  let n_workers = match workers with Some w -> max 1 w | None -> Exec.default_domains () in
+  let queue_bound = match queue_bound with Some b -> max 1 b | None -> 4 * n_workers in
+  let default_deadline = match deadline with Some d -> d | None -> infinity in
+  let t =
+    {
+      doc;
+      paged;
+      default_deadline;
+      queue_bound;
+      queue = Queue.create ();
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      stopping = false;
+      domains = [];
+      n_workers;
+      sm = Mutex.create ();
+      latency = Histogram.create ();
+      work = Stats.create ();
+      completed = 0;
+      timed_out = 0;
+      failed = 0;
+      rejected = 0;
+      tally_hits = 0;
+      tally_misses = 0;
+    }
+  in
+  t.domains <-
+    List.init n_workers (fun _ ->
+        Domain.spawn (fun () -> worker_loop t (Eval.session t.doc)));
+  t
+
+let workers t = t.n_workers
+
+let submit ?deadline t query =
+  let rel = match deadline with Some d -> d | None -> t.default_deadline in
+  let abs = if rel = infinity then infinity else Unix.gettimeofday () +. rel in
+  Mutex.lock t.qm;
+  if t.stopping || Queue.length t.queue >= t.queue_bound then begin
+    Mutex.unlock t.qm;
+    Mutex.lock t.sm;
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.sm;
+    None
+  end
+  else begin
+    let handle =
+      { query; deadline = abs; hm = Mutex.create (); hcv = Condition.create (); outcome = None }
+    in
+    Queue.push handle t.queue;
+    Condition.signal t.qcv;
+    Mutex.unlock t.qm;
+    Some handle
+  end
+
+let await handle =
+  Mutex.lock handle.hm;
+  while handle.outcome = None do
+    Condition.wait handle.hcv handle.hm
+  done;
+  let o = Option.get handle.outcome in
+  Mutex.unlock handle.hm;
+  o
+
+let run ?deadline t query =
+  match submit ?deadline t query with
+  | Some h -> await h
+  | None -> Failed "overloaded"
+
+let stats t =
+  Mutex.lock t.sm;
+  let s =
+    {
+      completed = t.completed;
+      timed_out = t.timed_out;
+      failed = t.failed;
+      rejected = t.rejected;
+      latency = Histogram.copy t.latency;
+      work = Stats.copy t.work;
+      tally_hits = t.tally_hits;
+      tally_misses = t.tally_misses;
+    }
+  in
+  Mutex.unlock t.sm;
+  s
+
+let pool_stats t = Buffer_pool.stats (Paged_doc.pool t.paged)
+
+let shutdown t =
+  Mutex.lock t.qm;
+  t.stopping <- true;
+  Condition.broadcast t.qcv;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.qm;
+  List.iter Domain.join domains

@@ -1,0 +1,106 @@
+(** A concurrent query service over one shared read-only document.
+
+    The paper's kernel answers one axis step at a time; a DBMS answers
+    many at once.  This module is the missing service layer: a fixed pool
+    of worker domains drains a bounded submission queue of XPath/axis-step
+    queries, all evaluated against a single shared {!Scj_encoding.Doc.t}
+    and its paged rendition behind one thread-safe {!Scj_pager.Buffer_pool}.
+
+    Isolation and accounting:
+
+    - every query runs under its own {!Scj_trace.Exec.t} (fresh counters,
+      no shared tracer) and its own {!Scj_pager.Buffer_pool.Tally.t}, so
+      per-query work counters and pool traffic never interleave; the
+      service merges them into service-level totals under its own lock —
+      {e pool hits+faults = Σ per-query tallies}, exactly, timed-out and
+      failed queries included (their traffic happened too);
+    - each worker owns a private {!Scj_xpath.Eval.session} (sessions carry
+      mutable caches) over the shared immutable document;
+    - queries carry a {e deadline}: the worker installs a cancellation
+      hook ({!Scj_trace.Exec.checkpoint}) polled between partition scans,
+      so an overrunning query aborts at the next partition boundary —
+      never while a page is pinned — and reports {!outcome-Timed_out}
+      while the pool's pin counts drain back to zero;
+    - submission is {e backpressured}: beyond the queue bound, {!submit}
+      refuses immediately with [None] ({!stats} counts it as rejected)
+      instead of queueing unboundedly. *)
+
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Histogram = Scj_stats.Histogram
+
+type t
+
+(** What a client can ask for. *)
+type query =
+  | Path of string  (** an XPath query, parsed and evaluated per request *)
+  | Step of [ `Desc | `Anc ] * Nodeseq.t
+      (** one staircase-join step over the {e paged} document — the
+          disk-based workload whose fault latencies concurrent queries
+          overlap *)
+
+type reply = {
+  result : Nodeseq.t;
+  work : Stats.t;  (** this query's own work counters *)
+  pool_hits : int;  (** buffer-pool hits charged to this query *)
+  pool_misses : int;
+  latency_ms : float;
+}
+
+type outcome =
+  | Done of reply
+  | Timed_out  (** deadline hit; aborted at a partition boundary *)
+  | Failed of string  (** the query raised (e.g. a syntax error) *)
+
+type handle
+
+(** Merged service-level statistics (a snapshot — safe to read while the
+    service runs). *)
+type service_stats = {
+  completed : int;
+  timed_out : int;
+  failed : int;
+  rejected : int;  (** submissions refused with backpressure *)
+  latency : Histogram.t;  (** per-query latency, completed queries only *)
+  work : Stats.t;  (** summed per-query work counters *)
+  tally_hits : int;  (** Σ per-query pool tallies — compare {!pool_stats} *)
+  tally_misses : int;
+}
+
+(** [create ?workers ?queue_bound ?deadline ~paged doc] starts the worker
+    domains immediately.  [workers] defaults to
+    {!Scj_trace.Exec.default_domains}; [queue_bound] (default
+    [4 * workers]) is the backpressure limit; [deadline] (seconds,
+    default none) applies to queries submitted without their own.
+    [paged] must be a paged rendition of [doc]. *)
+val create :
+  ?workers:int ->
+  ?queue_bound:int ->
+  ?deadline:float ->
+  paged:Scj_pager.Paged_doc.t ->
+  Scj_encoding.Doc.t ->
+  t
+
+val workers : t -> int
+
+(** [submit ?deadline t q] enqueues [q]; [None] means the queue is at its
+    bound (or the service is shutting down) — backpressure, counted in
+    [rejected]. *)
+val submit : ?deadline:float -> t -> query -> handle option
+
+(** [await h] blocks until the query finishes. Idempotent. *)
+val await : handle -> outcome
+
+(** [run ?deadline t q] = submit + await, mapping backpressure to
+    [Failed "overloaded"]. *)
+val run : ?deadline:float -> t -> query -> outcome
+
+val stats : t -> service_stats
+
+(** The shared pool's own (hits, faults, evictions) — the global side of
+    the tally invariant. *)
+val pool_stats : t -> int * int * int
+
+(** [shutdown t] drains the queue (already-accepted queries finish; new
+    submissions are refused) and joins every worker. Idempotent. *)
+val shutdown : t -> unit

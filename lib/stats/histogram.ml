@@ -1,0 +1,96 @@
+(* Log-spaced buckets: bucket i covers [lo * ratio^i, lo * ratio^(i+1)).
+   With lo = 1µs and ratio = 1.2, 96 buckets span 1µs .. ~40s, and a
+   quantile estimate is off by at most one ratio step. *)
+
+let n_buckets = 96
+
+let lo_ms = 0.001
+
+let ratio = 1.2
+
+let log_ratio = Float.log ratio
+
+type t = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+  buckets : int array;
+}
+
+let create () =
+  { count = 0; sum = 0.0; min = infinity; max = neg_infinity; buckets = Array.make n_buckets 0 }
+
+let bucket_of ms =
+  if ms <= lo_ms then 0
+  else
+    let i = int_of_float (Float.log (ms /. lo_ms) /. log_ratio) in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(* geometric midpoint of bucket [i] *)
+let bucket_mid i = lo_ms *. (ratio ** (float_of_int i +. 0.5))
+
+let add t ms =
+  let ms = if Float.is_nan ms || ms < 0.0 then 0.0 else ms in
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. ms;
+  if ms < t.min then t.min <- ms;
+  if ms > t.max then t.max <- ms;
+  let b = t.buckets in
+  let i = bucket_of ms in
+  b.(i) <- b.(i) + 1
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let min_ms t = if t.count = 0 then 0.0 else t.min
+
+let max_ms t = if t.count = 0 then 0.0 else t.max
+
+let percentile t p =
+  if t.count = 0 then 0.0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    (* rank of the wanted sample, 1-based *)
+    let rank = Float.max 1.0 (Float.round (p /. 100.0 *. float_of_int t.count)) in
+    let rank = int_of_float rank in
+    let acc = ref 0 and i = ref 0 in
+    while !i < n_buckets - 1 && !acc + t.buckets.(!i) < rank do
+      acc := !acc + t.buckets.(!i);
+      incr i
+    done;
+    (* sharpen by the observed extremes: the estimate can never leave
+       [min, max] *)
+    Float.max t.min (Float.min t.max (bucket_mid !i))
+  end
+
+let merge dst src =
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.min < dst.min then dst.min <- src.min;
+  if src.max > dst.max then dst.max <- src.max;
+  for i = 0 to n_buckets - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done
+
+let copy t =
+  { count = t.count; sum = t.sum; min = t.min; max = t.max; buckets = Array.copy t.buckets }
+
+let reset t =
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity;
+  Array.fill t.buckets 0 n_buckets 0
+
+let pp ppf t =
+  if t.count = 0 then Format.fprintf ppf "(no samples)"
+  else
+    Format.fprintf ppf "n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms" t.count
+      (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0) (max_ms t)
+
+let to_json t =
+  Printf.sprintf
+    "{\"count\":%d,\"mean_ms\":%.4f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"max_ms\":%.4f}"
+    t.count (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0) (max_ms t)

@@ -1,0 +1,41 @@
+(** Latency histograms for the query service.
+
+    Fixed log-spaced buckets over milliseconds: constant memory, O(1)
+    recording, mergeable across worker domains, and quantile estimates
+    good to one bucket width (~9%) — the usual service-side shape for
+    p50/p95/p99 reporting.  A histogram is single-owner mutable state;
+    the service merges per-worker histograms under its own lock. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t ms] records one sample, in milliseconds (clamped to the
+    bucket range; negative samples count as 0). *)
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val min_ms : t -> float
+
+val max_ms : t -> float
+
+(** [percentile t p] estimates the [p]-th percentile (0 <= p <= 100) in
+    milliseconds: the geometric midpoint of the bucket holding that rank,
+    sharpened by the recorded min/max.  0 when empty. *)
+val percentile : t -> float -> float
+
+(** [merge dst src] accumulates [src] into [dst]. *)
+val merge : t -> t -> unit
+
+val copy : t -> t
+
+val reset : t -> unit
+
+(** One line: [n=… mean=… p50=… p95=… p99=… max=…] (all ms). *)
+val pp : Format.formatter -> t -> unit
+
+(** JSON object with count, mean and the standard quantiles. *)
+val to_json : t -> string

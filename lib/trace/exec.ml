@@ -17,13 +17,21 @@ let skip_mode_of_string = function
 
 let all_skip_modes = [ No_skipping; Skipping; Estimation; Exact_size ]
 
-type t = { mode : skip_mode; stats : Stats.t; trace : Trace.t option; domains : int }
+type t = {
+  mode : skip_mode;
+  stats : Stats.t;
+  trace : Trace.t option;
+  domains : int;
+  check : unit -> unit;
+}
+
+let no_check = ignore
 
 let recommended_domains = lazy (max 1 (min 8 (Domain.recommended_domain_count ())))
 
 let default_domains () = Lazy.force recommended_domains
 
-let make ?(mode = Estimation) ?domains ?stats ?trace () =
+let make ?(mode = Estimation) ?domains ?stats ?trace ?(check = no_check) () =
   let stats =
     match (stats, trace) with
     | Some s, _ -> s
@@ -31,7 +39,7 @@ let make ?(mode = Estimation) ?domains ?stats ?trace () =
     | None, None -> Stats.create ()
   in
   let domains = match domains with Some d -> max 1 d | None -> default_domains () in
-  { mode; stats; trace; domains }
+  { mode; stats; trace; domains; check }
 
 let traced ?mode ?domains () =
   let stats = Stats.create () in
@@ -39,6 +47,14 @@ let traced ?mode ?domains () =
   make ?mode ?domains ~stats ~trace ()
 
 let with_mode t mode = { t with mode }
+
+let with_check t check = { t with check }
+
+let checkpoint t = t.check ()
+
+let isolated ?check t =
+  let check = match check with Some c -> c | None -> t.check in
+  { mode = t.mode; stats = Stats.create (); trace = None; domains = t.domains; check }
 
 let tracing t = Trace.enabled t.trace
 

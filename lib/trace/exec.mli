@@ -36,6 +36,13 @@ type t = {
   stats : Scj_stats.Stats.t;  (** shared work-counter accumulator *)
   trace : Trace.t option;  (** span recorder, [None] when not analyzing *)
   domains : int;  (** worker count for {!Scj_frag.Parallel} *)
+  check : unit -> unit;
+      (** cancellation hook, invoked by the joins between partition scans
+          and by the evaluator between steps ({!checkpoint}).  Raising from
+          it aborts the query at the next checkpoint — how the query
+          service enforces per-query deadlines.  Must be domain-safe: the
+          partition-parallel join calls it from every worker.  Default:
+          a no-op. *)
 }
 
 (** [make ()] — estimation-based skipping, fresh counters, no tracing,
@@ -43,7 +50,13 @@ type t = {
     the context adopts the tracer's own counter set so span deltas stay
     consistent. *)
 val make :
-  ?mode:skip_mode -> ?domains:int -> ?stats:Scj_stats.Stats.t -> ?trace:Trace.t -> unit -> t
+  ?mode:skip_mode ->
+  ?domains:int ->
+  ?stats:Scj_stats.Stats.t ->
+  ?trace:Trace.t ->
+  ?check:(unit -> unit) ->
+  unit ->
+  t
 
 (** [traced ()] — a context with a fresh counter set and a tracer bound to
     it; the blessed constructor for EXPLAIN ANALYZE runs. *)
@@ -53,6 +66,22 @@ val traced : ?mode:skip_mode -> ?domains:int -> unit -> t
 val default_domains : unit -> int
 
 val with_mode : t -> skip_mode -> t
+
+(** [with_check t check] — the same context with a different cancellation
+    hook (counters and tracer keep accumulating in place). *)
+val with_check : t -> (unit -> unit) -> t
+
+(** [checkpoint t] invokes the cancellation hook.  Called by every join
+    between partition scans; free (one indirect call) when no hook is
+    installed. *)
+val checkpoint : t -> unit
+
+(** [isolated t] — a context with the same mode/domains/cancellation hook
+    but a {e fresh} counter set and no tracer: what the query service
+    hands each query so counters and traces never interleave across
+    concurrent queries.  [?check] overrides the hook (per-query
+    deadlines). *)
+val isolated : ?check:(unit -> unit) -> t -> t
 
 (** [tracer t] — [Some] iff this run is being analyzed. *)
 val tracing : t -> bool

@@ -578,6 +578,7 @@ and apply_predicates session exec ~ordered predicates =
 (* Every step — including the steps of nested predicate paths — opens one
    tracing span; the tracer's stack nests them under the enclosing step. *)
 and eval_step session exec context (s : Ast.step) =
+  Exec.checkpoint exec;
   if not (Exec.tracing exec) then eval_step_inner session exec context s
   else
     Exec.span exec

@@ -105,3 +105,6 @@ let spec_step doc axis context =
     if in_result then hits := v :: !hits
   done;
   Nodeseq.of_unsorted !hits
+
+(* Deterministic random documents for the differential fuzzing harness. *)
+module Fuzz = Fuzz

@@ -1,0 +1,159 @@
+(* Differential fuzzing across every axis implementation in the tree.
+
+   A (shape, seed) pair deterministically generates a document and a
+   context (Test_support.Fuzz); every axis step is then evaluated by all
+   the implementations that claim to agree and held against the
+   O(n·|ctx|) specification oracle:
+
+   - results: blit Staircase = Staircase.Reference = Parallel =
+     Paged_doc = Sql_plan index plan = spec_step, for every skip mode;
+   - counters: the blit joins, the per-node Reference and the
+     partition-parallel join must produce identical work-counter totals
+     per mode, and Paged_doc must match the in-memory Estimation run.
+
+   Failures print the (shape, seed) pair — rerun with exactly those to
+   reproduce. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
+module Sj = Scj_core.Staircase
+module Parallel = Scj_frag.Parallel
+module Sql_plan = Scj_engine.Sql_plan
+module Paged_doc = Scj_pager.Paged_doc
+module Fuzz = Test_support.Fuzz
+
+let seeds = List.init 25 Fun.id
+
+let all_modes = [ Sj.No_skipping; Sj.Skipping; Sj.Estimation; Sj.Exact_size ]
+
+let fail_at shape seed fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Alcotest.failf "shape=%s seed=%d: %s" (Fuzz.shape_to_string shape) seed msg)
+    fmt
+
+let check_result shape seed ~what expected actual =
+  if not (Nodeseq.equal expected actual) then
+    fail_at shape seed "%s: expected %s, got %s" what
+      (Format.asprintf "%a" Nodeseq.pp expected)
+      (Format.asprintf "%a" Nodeseq.pp actual)
+
+let check_counters shape seed ~what expected actual =
+  if Stats.all_assoc expected <> Stats.all_assoc actual then
+    fail_at shape seed "%s: counters diverge: expected %s, got %s" what
+      (Stats.to_json expected) (Stats.to_json actual)
+
+let run_counted f =
+  let stats = Stats.create () in
+  let r = f stats in
+  (r, stats)
+
+(* One (shape, seed): every axis, every mode, every implementation. *)
+let differential shape seed =
+  let doc = Fuzz.doc shape seed in
+  let ctx = Fuzz.context doc seed in
+  let idx = Sql_plan.build_index doc in
+  let oracle axis = Test_support.spec_step doc axis ctx in
+  (* descendant / ancestor: blit vs reference vs parallel vs oracle *)
+  List.iter
+    (fun (axis, blit, reference, par) ->
+      let expected = oracle axis in
+      List.iter
+        (fun mode ->
+          let r_blit, s_blit =
+            run_counted (fun stats -> blit (Exec.make ~mode ~stats ()) doc ctx)
+          in
+          let r_ref, s_ref =
+            run_counted (fun stats -> reference (Exec.make ~mode ~stats ()) doc ctx)
+          in
+          let r_par, s_par =
+            run_counted (fun stats -> par (Exec.make ~mode ~stats ~domains:2 ()) doc ctx)
+          in
+          let m = Sj.skip_mode_to_string mode in
+          check_result shape seed ~what:(m ^ " blit vs oracle") expected r_blit;
+          check_result shape seed ~what:(m ^ " reference vs oracle") expected r_ref;
+          check_result shape seed ~what:(m ^ " parallel vs oracle") expected r_par;
+          check_counters shape seed ~what:(m ^ " blit vs reference") s_blit s_ref;
+          check_counters shape seed ~what:(m ^ " blit vs parallel") s_blit s_par)
+        all_modes)
+    [
+      ( Axis.Descendant,
+        (fun e -> Sj.desc ~exec:e),
+        (fun e -> Sj.Reference.desc ~exec:e),
+        fun e -> Parallel.desc ~exec:e );
+      ( Axis.Ancestor,
+        (fun e -> Sj.anc ~exec:e),
+        (fun e -> Sj.Reference.anc ~exec:e),
+        fun e -> Parallel.anc ~exec:e );
+    ];
+  (* following / preceding: blit vs per-node reference vs oracle *)
+  List.iter
+    (fun (axis, blit, reference) ->
+      let expected = oracle axis in
+      List.iter
+        (fun mode ->
+          let r_blit, s_blit =
+            run_counted (fun stats -> blit (Exec.make ~mode ~stats ()) doc ctx)
+          in
+          let r_ref, s_ref =
+            run_counted (fun stats -> reference (Exec.make ~mode ~stats ()) doc ctx)
+          in
+          let m = Sj.skip_mode_to_string mode in
+          check_result shape seed ~what:(m ^ " following/preceding blit") expected r_blit;
+          check_result shape seed ~what:(m ^ " following/preceding reference") expected r_ref;
+          check_counters shape seed ~what:(m ^ " following/preceding counters") s_blit s_ref)
+        all_modes)
+    [
+      ( Axis.Following,
+        (fun e -> Sj.following ~exec:e),
+        fun e -> Sj.Reference.following ~exec:e );
+      ( Axis.Preceding,
+        (fun e -> Sj.preceding ~exec:e),
+        fun e -> Sj.Reference.preceding ~exec:e );
+    ];
+  (* the paged rendition under eviction pressure: results and counters
+     must match the in-memory estimation-mode run *)
+  let paged = Paged_doc.load ~page_ints:16 ~capacity:6 doc in
+  let _, s_mem_d =
+    run_counted (fun stats -> Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats ()) doc ctx)
+  in
+  let r_paged_d, s_paged_d =
+    run_counted (fun stats -> Paged_doc.desc ~exec:(Exec.make ~stats ()) paged ctx)
+  in
+  check_result shape seed ~what:"paged desc" (oracle Axis.Descendant) r_paged_d;
+  check_counters shape seed ~what:"paged desc vs in-memory estimation" s_mem_d s_paged_d;
+  let _, s_mem_a =
+    run_counted (fun stats -> Sj.anc ~exec:(Exec.make ~mode:Sj.Estimation ~stats ()) doc ctx)
+  in
+  let r_paged_a, s_paged_a =
+    run_counted (fun stats -> Paged_doc.anc ~exec:(Exec.make ~stats ()) paged ctx)
+  in
+  check_result shape seed ~what:"paged anc" (oracle Axis.Ancestor) r_paged_a;
+  check_counters shape seed ~what:"paged anc vs in-memory estimation" s_mem_a s_paged_a;
+  (* index plans: result agreement only (their work profile differs by
+     design — that is the paper's point) *)
+  check_result shape seed ~what:"paged index_desc" (oracle Axis.Descendant)
+    (Paged_doc.index_desc paged ctx);
+  check_result shape seed ~what:"paged index_anc" (oracle Axis.Ancestor)
+    (Paged_doc.index_anc paged ctx);
+  check_result shape seed ~what:"sql_plan desc" (oracle Axis.Descendant)
+    (Sql_plan.step idx doc ctx `Descendant);
+  check_result shape seed ~what:"sql_plan anc" (oracle Axis.Ancestor)
+    (Sql_plan.step idx doc ctx `Ancestor)
+
+let test_shape shape () = List.iter (differential shape) seeds
+
+let shape_cases =
+  List.map
+    (fun shape ->
+      Alcotest.test_case
+        (Printf.sprintf "differential fuzz: %s" (Fuzz.shape_to_string shape))
+        `Quick (test_shape shape))
+    Fuzz.all_shapes
+
+let () =
+  Alcotest.run "differential"
+    [ ("axes x implementations x modes", shape_cases) ]

@@ -99,18 +99,146 @@ let prop_pool_transparent =
       List.for_all (fun i -> Buffer_pool.read pool i = data.(i)) accesses)
 
 (* ------------------------------------------------------------------ *)
+(* eviction policy vs a reference LRU simulation                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Plain-list LRU model of one stripe: front of the list = most recently
+   used.  The striped pool must agree exactly — same hit/fault/eviction
+   totals and the same resident set — when driven single-threaded. *)
+let lru_model_run ~stripes ~capacity ~n_pages accesses =
+  let n_stripes = max 1 (min stripes capacity) in
+  let cap i = (capacity / n_stripes) + if i < capacity mod n_stripes then 1 else 0 in
+  let state = Array.init n_stripes (fun _ -> ref []) in
+  let hits = ref 0 and faults = ref 0 and evictions = ref 0 in
+  List.iter
+    (fun page ->
+      let s = page mod n_stripes in
+      let lru = state.(s) in
+      if List.mem page !lru then begin
+        incr hits;
+        lru := page :: List.filter (fun p -> p <> page) !lru
+      end
+      else begin
+        incr faults;
+        if List.length !lru >= cap s then begin
+          lru := List.filteri (fun i _ -> i < cap s - 1) !lru;
+          incr evictions
+        end;
+        lru := page :: !lru
+      end)
+    accesses;
+  let resident = List.concat_map (fun lru -> !lru) (Array.to_list state) in
+  (!hits, !faults, !evictions, List.sort_uniq compare resident, n_pages)
+
+let check_lru_model ~stripes ~capacity accesses =
+  let page_ints = 4 in
+  let n_pages = 16 in
+  let data = Array.init (page_ints * n_pages) Fun.id in
+  let pool =
+    Buffer_pool.create ~stripes ~capacity (Buffer_pool.Store.create ~page_ints data)
+  in
+  List.iter (fun page -> ignore (Buffer_pool.read pool (page * page_ints))) accesses;
+  let hits, faults, evictions = Buffer_pool.stats pool in
+  let m_hits, m_faults, m_evictions, m_resident, _ =
+    lru_model_run ~stripes ~capacity ~n_pages accesses
+  in
+  check_int "model hits" m_hits hits;
+  check_int "model faults" m_faults faults;
+  check_int "model evictions" m_evictions evictions;
+  check_int "model resident count" (List.length m_resident) (Buffer_pool.resident pool);
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "page %d residency" p)
+        (List.mem p m_resident)
+        (Buffer_pool.is_resident pool p))
+    (List.init n_pages Fun.id)
+
+let test_lru_model () =
+  let st = Random.State.make [| 0xeded |] in
+  List.iter
+    (fun (stripes, capacity) ->
+      let accesses = List.init 400 (fun _ -> Random.State.int st 16) in
+      check_lru_model ~stripes ~capacity accesses)
+    [ (1, 1); (1, 3); (1, 5); (2, 5); (4, 8); (8, 8); (3, 7) ]
+
+(* ------------------------------------------------------------------ *)
+(* striped pool under concurrent reader domains                         *)
+(* ------------------------------------------------------------------ *)
+
+(* N domains hammer one pool with independent access patterns: every
+   value must come back right, the global hit+fault totals must equal the
+   summed per-domain tallies exactly, and no pin may survive. *)
+let test_pool_concurrent_readers () =
+  let n = 4096 in
+  let data = Array.init n (fun i -> i * 3) in
+  let store = Buffer_pool.Store.create ~fault_latency:0.00002 ~page_ints:32 data in
+  let pool = Buffer_pool.create ~stripes:4 ~capacity:16 store in
+  let reads_per_domain = 1500 in
+  let reader seed () =
+    let tally = Buffer_pool.Tally.create () in
+    let st = Random.State.make [| seed |] in
+    let ok = ref true in
+    for _ = 1 to reads_per_domain do
+      let i = Random.State.int st n in
+      if Buffer_pool.read ~tally pool i <> i * 3 then ok := false
+    done;
+    (!ok, tally)
+  in
+  let domains = List.init 4 (fun w -> Domain.spawn (reader (w + 1))) in
+  let results = List.map Domain.join domains in
+  List.iter (fun (ok, _) -> check_bool "every value correct" true ok) results;
+  let hits, faults, _ = Buffer_pool.stats pool in
+  let t_hits =
+    List.fold_left (fun acc (_, t) -> acc + t.Buffer_pool.Tally.hits) 0 results
+  in
+  let t_misses =
+    List.fold_left (fun acc (_, t) -> acc + t.Buffer_pool.Tally.misses) 0 results
+  in
+  check_int "pool hits = summed tallies" t_hits hits;
+  check_int "pool faults = summed tallies" t_misses faults;
+  check_int "every access accounted" (4 * reads_per_domain) (hits + faults);
+  check_int "pins drained" 0 (Buffer_pool.pinned pool);
+  check_bool "capacity respected" true (Buffer_pool.resident pool <= 16)
+
+(* ------------------------------------------------------------------ *)
 (* paged document                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let test_paged_accessors () =
   let d = Lazy.force Test_support.paper_doc in
-  let pd = Paged_doc.load ~page_ints:4 ~capacity:2 d in
+  let pd = Paged_doc.load ~page_ints:4 ~capacity:4 d in
   check_int "n_nodes" (Doc.n_nodes d) (Paged_doc.n_nodes pd);
   for v = 0 to Doc.n_nodes d - 1 do
     check_int "post" (Doc.post d v) (Paged_doc.post pd v);
     check_int "size" (Doc.size d v) (Paged_doc.size pd v);
     check_bool "kind" (Doc.kind d v = Doc.Attribute) (Paged_doc.is_attribute pd v)
   done
+
+(* Regression: a pool too small to hold one query's working set (a post
+   page, an attr-prefix page and a size page may be pinned-hot at once)
+   must be refused up front with a clear message, not starve mid-join. *)
+let test_paged_capacity_guard () =
+  let d = Lazy.force Test_support.paper_doc in
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  let expect_refusal ?stripes capacity =
+    match Paged_doc.load ~page_ints:4 ?stripes ~capacity d with
+    | _ -> Alcotest.failf "capacity %d accepted" capacity
+    | exception Invalid_argument msg ->
+      check_bool "message names the working set" true (contains msg "working set");
+      check_bool "message names the capacity" true
+        (contains msg (string_of_int capacity))
+  in
+  expect_refusal 1;
+  expect_refusal 2;
+  (* striping multiplies the floor: each stripe needs its own share *)
+  expect_refusal ~stripes:4 11;
+  ignore (Paged_doc.load ~page_ints:4 ~capacity:3 d);
+  ignore (Paged_doc.load ~page_ints:4 ~stripes:4 ~capacity:12 d)
 
 let prop_paged_desc_agrees =
   QCheck.Test.make ~count:200 ~name:"paged staircase desc = in-memory desc"
@@ -206,10 +334,13 @@ let () =
           Alcotest.test_case "LRU eviction order" `Quick test_pool_lru_order;
           Alcotest.test_case "reset and flush" `Quick test_pool_reset_flush;
           Alcotest.test_case "bounds" `Quick test_pool_bounds;
+          Alcotest.test_case "eviction = plain-list LRU model" `Quick test_lru_model;
+          Alcotest.test_case "concurrent readers" `Quick test_pool_concurrent_readers;
         ] );
       ( "paged document",
         [
           Alcotest.test_case "accessors" `Quick test_paged_accessors;
+          Alcotest.test_case "capacity guard" `Quick test_paged_capacity_guard;
           Alcotest.test_case "fault comparison (xmark)" `Quick test_fault_comparison_on_xmark;
           Alcotest.test_case "copy phase avoids post pages" `Quick test_copy_phase_avoids_post_pages;
         ] );

@@ -1,0 +1,262 @@
+(* Tests for the concurrent query service (Scj_server.Server) and the
+   latency histogram backing its statistics.
+
+   The load-bearing properties:
+
+   - concurrent execution is bit-identical to serial: for every query the
+     service returns the same node sequence and the same work counters as
+     a fresh single-threaded evaluation;
+   - accounting is exact: pool hits+faults = Σ per-query tallies, every
+     submission is counted exactly once, and no pin survives a run —
+     including runs where queries time out mid-join;
+   - backpressure refuses instead of queueing unboundedly. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Histogram = Scj_stats.Histogram
+module Exec = Scj_trace.Exec
+module Eval = Scj_xpath.Eval
+module Paged_doc = Scj_pager.Paged_doc
+module Buffer_pool = Scj_pager.Buffer_pool
+module Server = Scj_server.Server
+module Fuzz = Test_support.Fuzz
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* Serial reference: one fresh session / fresh paged doc per query, no
+   shared state at all. *)
+let serial_eval doc paged q =
+  let stats = Stats.create () in
+  let exec = Exec.make ~stats () in
+  let result =
+    match q with
+    | Server.Path src -> Eval.run_exn ~exec (Eval.session doc) src
+    | Server.Step (`Desc, ctx) -> Paged_doc.desc ~exec paged ctx
+    | Server.Step (`Anc, ctx) -> Paged_doc.anc ~exec paged ctx
+  in
+  (result, stats)
+
+let query_mix doc =
+  let n = Doc.n_nodes doc in
+  let ctx seed k =
+    let st = Random.State.make [| 0xbe; seed |] in
+    Nodeseq.of_unsorted (List.init (min n k) (fun _ -> Random.State.int st n))
+  in
+  [
+    Server.Step (`Desc, ctx 1 5);
+    Server.Step (`Anc, ctx 2 7);
+    Server.Path "/descendant::a";
+    Server.Step (`Desc, Nodeseq.singleton 0);
+    Server.Path "/descendant::item/ancestor::b";
+    Server.Step (`Anc, ctx 3 3);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* concurrent runs = serial runs, and the accounting is exact           *)
+(* ------------------------------------------------------------------ *)
+
+let test_concurrent_matches_serial () =
+  let doc = Fuzz.doc Fuzz.Uniform 7 in
+  let mix = query_mix doc in
+  let queries = List.concat (List.init 4 (fun _ -> mix)) in
+  let n_queries = List.length queries in
+  (* serial oracle over its own paged doc so its pool traffic cannot
+     perturb the service's tally invariant *)
+  let serial_paged = Paged_doc.load ~page_ints:8 ~capacity:6 doc in
+  let expected = List.map (serial_eval doc serial_paged) queries in
+  let paged =
+    Paged_doc.load ~page_ints:8 ~stripes:4 ~capacity:16 ~fault_latency:0.0001 doc
+  in
+  let server = Server.create ~workers:4 ~queue_bound:n_queries ~paged doc in
+  let handles =
+    List.map
+      (fun q ->
+        match Server.submit server q with
+        | Some h -> h
+        | None -> Alcotest.fail "submit refused below the queue bound")
+      queries
+  in
+  let outcomes = List.map Server.await handles in
+  List.iteri
+    (fun i (outcome, (exp_result, exp_stats)) ->
+      match outcome with
+      | Server.Done r ->
+        check_bool
+          (Printf.sprintf "query %d result = serial" i)
+          true
+          (Nodeseq.equal exp_result r.Server.result);
+        Alcotest.(check (list (pair string int)))
+          (Printf.sprintf "query %d counters = serial" i)
+          (Stats.all_assoc exp_stats)
+          (Stats.all_assoc r.Server.work)
+      | Server.Timed_out -> Alcotest.failf "query %d timed out" i
+      | Server.Failed msg -> Alcotest.failf "query %d failed: %s" i msg)
+    (List.combine outcomes expected);
+  let stats = Server.stats server in
+  check_int "all queries completed" n_queries stats.Server.completed;
+  check_int "none rejected" 0 stats.Server.rejected;
+  check_int "latency histogram saw every query" n_queries
+    (Histogram.count stats.Server.latency);
+  let hits, faults, _ = Server.pool_stats server in
+  check_int "pool hits = summed tallies" stats.Server.tally_hits hits;
+  check_int "pool faults = summed tallies" stats.Server.tally_misses faults;
+  check_int "pins drained" 0 (Buffer_pool.pinned (Paged_doc.pool paged));
+  Server.shutdown server;
+  (* shutdown is idempotent and submissions are refused afterwards *)
+  Server.shutdown server;
+  check_bool "submit after shutdown refused" true
+    (Server.submit server (List.hd mix) = None)
+
+(* ------------------------------------------------------------------ *)
+(* deadlines: overrunning queries abort without poisoning the pool      *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeout_does_not_poison_pool () =
+  let doc = Fuzz.doc Fuzz.Uniform 11 in
+  let n = Doc.n_nodes doc in
+  (* slow simulated disk: 5ms per fault, tiny pages, so any real scan
+     overruns a microsecond deadline by orders of magnitude *)
+  let paged = Paged_doc.load ~page_ints:4 ~capacity:8 ~fault_latency:0.005 doc in
+  let server = Server.create ~workers:2 ~paged doc in
+  let all = Nodeseq.of_unsorted (List.init n Fun.id) in
+  (match Server.run ~deadline:1e-6 server (Server.Step (`Desc, all)) with
+  | Server.Timed_out -> ()
+  | Server.Done _ -> Alcotest.fail "expected a timeout, query completed"
+  | Server.Failed msg -> Alcotest.failf "expected a timeout, got failure: %s" msg);
+  check_int "pins drained after timeout" 0 (Buffer_pool.pinned (Paged_doc.pool paged));
+  (* the pool still works: the same query without a deadline succeeds and
+     is correct *)
+  let expected, _ =
+    serial_eval doc (Paged_doc.load ~page_ints:4 ~capacity:8 doc) (Server.Step (`Desc, all))
+  in
+  (match Server.run server (Server.Step (`Desc, all)) with
+  | Server.Done r ->
+    check_bool "post-timeout query correct" true (Nodeseq.equal expected r.Server.result)
+  | Server.Timed_out -> Alcotest.fail "deadline-free query timed out"
+  | Server.Failed msg -> Alcotest.failf "deadline-free query failed: %s" msg);
+  let stats = Server.stats server in
+  check_int "timeout counted" 1 stats.Server.timed_out;
+  check_int "completion counted" 1 stats.Server.completed;
+  let hits, faults, _ = Server.pool_stats server in
+  check_int "tally invariant survives timeouts (hits)" stats.Server.tally_hits hits;
+  check_int "tally invariant survives timeouts (faults)" stats.Server.tally_misses faults;
+  check_int "pins drained at the end" 0 (Buffer_pool.pinned (Paged_doc.pool paged));
+  Server.shutdown server
+
+(* Parse errors are Failed, not crashes, and don't take a worker down. *)
+let test_failed_query_is_isolated () =
+  let doc = Fuzz.doc Fuzz.Tiny 1 in
+  let paged = Paged_doc.load ~page_ints:8 ~capacity:4 doc in
+  let server = Server.create ~workers:1 ~paged doc in
+  (match Server.run server (Server.Path "/::!garbage") with
+  | Server.Failed _ -> ()
+  | Server.Done _ -> Alcotest.fail "garbage query succeeded"
+  | Server.Timed_out -> Alcotest.fail "garbage query timed out");
+  (match Server.run server (Server.Step (`Desc, Nodeseq.singleton 0)) with
+  | Server.Done _ -> ()
+  | _ -> Alcotest.fail "worker did not survive the failed query");
+  let stats = Server.stats server in
+  check_int "failure counted" 1 stats.Server.failed;
+  check_int "completion counted" 1 stats.Server.completed;
+  Server.shutdown server
+
+(* ------------------------------------------------------------------ *)
+(* backpressure                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_backpressure_rejects () =
+  let doc = Fuzz.doc Fuzz.Uniform 5 in
+  let n = Doc.n_nodes doc in
+  (* every query faults many 10ms pages: the single worker is busy for
+     much longer than it takes to flood the queue *)
+  let paged = Paged_doc.load ~page_ints:4 ~capacity:8 ~fault_latency:0.01 doc in
+  let server = Server.create ~workers:1 ~queue_bound:1 ~paged doc in
+  let all = Nodeseq.of_unsorted (List.init n Fun.id) in
+  let n_submitted = 8 in
+  let handles =
+    List.filter_map
+      (fun _ -> Server.submit server (Server.Step (`Desc, all)))
+      (List.init n_submitted Fun.id)
+  in
+  let accepted = List.length handles in
+  check_bool "some submissions rejected" true (accepted < n_submitted);
+  List.iter
+    (fun h ->
+      match Server.await h with
+      | Server.Done _ -> ()
+      | Server.Timed_out -> Alcotest.fail "accepted query timed out"
+      | Server.Failed msg -> Alcotest.failf "accepted query failed: %s" msg)
+    handles;
+  let stats = Server.stats server in
+  check_int "every submission accounted" n_submitted
+    (stats.Server.completed + stats.Server.rejected);
+  check_int "rejections counted" (n_submitted - accepted) stats.Server.rejected;
+  Server.shutdown server
+
+(* ------------------------------------------------------------------ *)
+(* latency histogram                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_basics () =
+  let h = Histogram.create () in
+  check_int "empty count" 0 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "empty percentile" 0.0 (Histogram.percentile h 50.0);
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i)
+  done;
+  check_int "count" 100 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "mean is exact" 50.5 (Histogram.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Histogram.min_ms h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Histogram.max_ms h);
+  (* log-bucketed: each estimate is within one ratio step (1.2x) of the
+     true quantile, and clamped to the observed extremes *)
+  let p50 = Histogram.percentile h 50.0 in
+  let p95 = Histogram.percentile h 95.0 in
+  let p99 = Histogram.percentile h 99.0 in
+  check_bool "p50 within a ratio step" true (p50 >= 50.0 /. 1.44 && p50 <= 50.0 *. 1.44);
+  check_bool "p95 within a ratio step" true (p95 >= 95.0 /. 1.44 && p95 <= 100.0);
+  check_bool "percentiles monotone" true (p50 <= p95 && p95 <= p99);
+  check_bool "p99 clamped by max" true (p99 <= 100.0);
+  check_bool "p0 clamped by min" true (Histogram.percentile h 0.0 >= 1.0)
+
+let test_histogram_merge_copy () =
+  let a = Histogram.create () and b = Histogram.create () in
+  for i = 1 to 50 do
+    Histogram.add a (float_of_int i)
+  done;
+  for i = 51 to 100 do
+    Histogram.add b (float_of_int i)
+  done;
+  let snapshot = Histogram.copy a in
+  Histogram.merge a b;
+  check_int "merged count" 100 (Histogram.count a);
+  Alcotest.(check (float 1e-9)) "merged mean" 50.5 (Histogram.mean a);
+  Alcotest.(check (float 1e-9)) "merged max" 100.0 (Histogram.max_ms a);
+  check_int "copy unaffected by merge" 50 (Histogram.count snapshot);
+  Alcotest.(check (float 1e-9)) "copy max unaffected" 50.0 (Histogram.max_ms snapshot);
+  Histogram.reset a;
+  check_int "reset" 0 (Histogram.count a)
+
+let () =
+  Alcotest.run "scj_server"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "concurrent = serial, exact accounting" `Quick
+            test_concurrent_matches_serial;
+          Alcotest.test_case "timeouts don't poison the pool" `Quick
+            test_timeout_does_not_poison_pool;
+          Alcotest.test_case "failed queries are isolated" `Quick
+            test_failed_query_is_isolated;
+          Alcotest.test_case "backpressure rejects beyond the bound" `Quick
+            test_backpressure_rejects;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "counts, mean, percentiles" `Quick test_histogram_basics;
+          Alcotest.test_case "merge, copy, reset" `Quick test_histogram_merge_copy;
+        ] );
+    ]

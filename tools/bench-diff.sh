@@ -10,7 +10,10 @@
 # an ns_per_run annotation anywhere below them) accumulate counters per
 # measurement iteration and are excluded from the diff; for those only
 # their annotations are checked (the copykernel experiment must report
-# counter_parity=true).
+# counter_parity=true).  The workload experiment additionally reports
+# per-client-count throughput (qps_cN, informational — wall-clock-bound)
+# and gates buffer-pool hit rates (hit_rate_cN, wide absolute tolerance)
+# and the cross-client result/counter parity flag (counter_parity).
 #
 # Refreshing the baseline (after an intentional work-profile change):
 #   dune exec bench/main.exe -- --smoke --json | tail -1 > BENCH_baseline.json
@@ -75,6 +78,21 @@ for span in fresh:
         problems.append(f"{name}: counter_parity is {attrs['counter_parity']}")
     if "blit_speedup" in attrs:
         print(f"bench-diff: {name}: blit_speedup {attrs['blit_speedup']}x (informational)")
+    base_attrs = base.get("attrs") or {}
+    for key, val in sorted(attrs.items()):
+        # workload throughput is wall-clock-bound: report, never gate
+        if key.startswith("qps_c"):
+            base_v = base_attrs.get(key)
+            extra = f", baseline {base_v}" if base_v is not None else ""
+            print(f"bench-diff: {name}: {key} {val}{extra} (informational)")
+        # hit rates depend on scheduling only mildly; gate with a wide
+        # absolute tolerance to catch eviction-policy regressions
+        elif key.startswith("hit_rate_c") and key in base_attrs:
+            drift = abs(float(val) - float(base_attrs[key]))
+            if drift > 0.15:
+                problems.append(
+                    f"{name}: {key} moved {base_attrs[key]} -> {val} (>0.15 absolute tolerance)"
+                )
     if has_measurement(span):
         continue  # counters scale with bechamel iterations; not comparable
     base_work = counters(base)
