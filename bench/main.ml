@@ -37,6 +37,7 @@ module Naive = Scj_engine.Naive
 module Mpmgjn = Scj_engine.Mpmgjn
 module Structjoin = Scj_engine.Structjoin
 module Sql_plan = Scj_engine.Sql_plan
+module Plan = Scj_plan.Plan
 module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
 module Fragmented = Scj_frag.Fragmented
@@ -203,7 +204,7 @@ let fig11b () =
       let doc = doc_at scale in
       let session =
         Eval.session
-          ~strategy:{ Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never }
+          ~strategy:{ Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never }
           doc
       in
       let q2 = "/descendant::increase/ancestor::bidder" in
@@ -276,11 +277,11 @@ let fig11d () =
 (* Fig. 11 (e)/(f): query times against the tree-unaware SQL plan       *)
 (* ------------------------------------------------------------------ *)
 
-let strategy_staircase = { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never }
+let strategy_staircase = { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never }
 
-let strategy_pushdown = { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Always }
+let strategy_pushdown = { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Always }
 
-let strategy_sql = { Eval.algorithm = Eval.Sql { delimiter = true }; pushdown = `Never }
+let strategy_sql = { Eval.backend = `Force (Plan.Btree { delimiter = true }); pushdown = `Never }
 
 let comparison ~fig ~query ~sql_query () =
   header
@@ -525,7 +526,7 @@ let ablation () =
   List.iter
     (fun mode ->
       let time pushdown =
-        let strategy = { Eval.algorithm = Eval.Staircase mode; pushdown } in
+        let strategy = { Eval.backend = `Force (Plan.Serial mode); pushdown } in
         let session = Eval.session ~strategy doc in
         ignore (Eval.run_exn session q1);
         ms_of_ns (measure_ns ~name:"ablation" (fun () -> ignore (Eval.run_exn ~exec:(bench_exec ()) session q1)))
@@ -534,6 +535,92 @@ let ablation () =
         (Sj.skip_mode_to_string mode)
         (time `Never) (time `Always) (time `Cost_based))
     [ Sj.No_skipping; Sj.Skipping; Sj.Estimation; Sj.Exact_size ]
+
+(* ------------------------------------------------------------------ *)
+(* planner: cost-based auto choice vs. every forced backend             *)
+(* ------------------------------------------------------------------ *)
+
+(* Gates the planner on deterministic work counters, not wall-clock:
+   for each query, auto (cost-based backend + pushdown) must return the
+   same node sequence as every forced backend, must never do more work
+   than the worst forced backend, and must beat the best forced backend
+   on at least one query (the pushdown rewrite only the planner applies).
+   Work = scanned + copied + compared + index_nodes — the counters the
+   cost model estimates. *)
+let planner_bench () =
+  header "planner: auto choice vs. forced backends (deterministic work counters)";
+  let scale = List.fold_left max 0.0 (scales ()) in
+  let doc = doc_at scale in
+  let queries =
+    [
+      "/descendant::profile/descendant::education";
+      "/descendant::increase/ancestor::bidder";
+      "//keyword";
+    ]
+  in
+  let forced =
+    [ "staircase-noskip"; "staircase-estimate"; "sql"; "mpmgjn"; "structjoin"; "naive" ]
+  in
+  let work_of stats =
+    stats.Stats.scanned + stats.Stats.copied + stats.Stats.compared + stats.Stats.index_nodes
+  in
+  let run strategy q =
+    let session = Eval.session ~strategy doc in
+    (* warm the session caches (B-tree index, tag views, plan cache)
+       outside the counted run, as the paper builds its index at load *)
+    ignore (Eval.run_exn session q);
+    let stats = Stats.create () in
+    let result = Eval.run_exn ~exec:(Exec.make ~stats ()) session q in
+    Stats.add (bench_exec ()).Exec.stats stats;
+    (Nodeseq.to_array result, work_of stats)
+  in
+  let rec chosen_backends = function
+    | Plan.P_source _ -> []
+    | Plan.P_step (inner, ps) ->
+      chosen_backends inner
+      @ (match ps.Plan.impl with
+        | Plan.Join { backend; _ } -> [ Plan.backend_to_string backend ]
+        | Plan.Structural -> [ "structural" ]
+        | Plan.Select_self -> [ "select" ]
+        | Plan.Empty_result -> [ "empty" ])
+    | Plan.P_union parts -> [ String.concat " | " (List.map chain parts) ]
+  and chain p = String.concat " -> " (chosen_backends p) in
+  let parity = ref true in
+  let auto_beats_best = ref false in
+  Printf.printf "%-44s %12s %12s %12s %8s\n" "query" "auto" "best-forced" "worst-forced"
+    "parity";
+  List.iteri
+    (fun qi q ->
+      let auto_session = Eval.session doc in
+      let auto_plan = Eval.path_plan auto_session (Scj_xpath.Parse.path_exn q) in
+      let auto_result, auto_work = run Eval.default_strategy q in
+      let q_parity = ref true in
+      let forced_work =
+        List.map
+          (fun name ->
+            let s = Option.get (Eval.strategy_of_string name) in
+            let result, work = run { s with Eval.pushdown = `Never } q in
+            if result <> auto_result then begin
+              q_parity := false;
+              Printf.printf "  MISMATCH: %s returned %d node(s), auto %d\n" name
+                (Array.length result) (Array.length auto_result)
+            end;
+            work)
+          forced
+      in
+      let best = List.fold_left min max_int forced_work in
+      let worst = List.fold_left max 0 forced_work in
+      if auto_work > worst then q_parity := false;
+      if auto_work < best then auto_beats_best := true;
+      if not !q_parity then parity := false;
+      Trace.annot !tracer (Printf.sprintf "plan_q%d" (qi + 1)) (chain auto_plan);
+      Printf.printf "%-44s %12d %12d %12d %8b\n" q auto_work best worst !q_parity;
+      Printf.printf "  auto plan: %s\n" (chain auto_plan))
+    queries;
+  let ok = !parity && !auto_beats_best in
+  Trace.annot !tracer "counter_parity" (string_of_bool ok);
+  Printf.printf
+    "parity (results identical, auto <= worst forced, auto beats best forced >= once): %b\n" ok
 
 (* ------------------------------------------------------------------ *)
 (* §3.2/§6: partition-parallel staircase join                           *)
@@ -712,6 +799,7 @@ let experiments =
     ("copyphase", copyphase);
     ("copykernel", copykernel);
     ("baselines", baselines);
+    ("planner", planner_bench);
     ("ablation", ablation);
     ("parallel", parallel);
     ("disk", disk);
@@ -719,7 +807,8 @@ let experiments =
   ]
 
 (* quick non-bechamel subset, used as a CI smoke test *)
-let smoke_experiments = [ "table1"; "fig11a"; "fig11c"; "baselines"; "copykernel"; "workload" ]
+let smoke_experiments =
+  [ "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "workload" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -7,6 +7,7 @@
      scj table   print the doc table (Fig. 2 of the paper)
      scj query   evaluate an XPath query under a chosen strategy
      scj explain show the static evaluation plan with cost-model detail
+     scj plan    print the planner's physical plan (text or --json)
      scj analyze evaluate and print the traced plan (EXPLAIN ANALYZE)
 
    The binary's main module is also called Scj, so it links the component
@@ -18,7 +19,6 @@ module Nodeseq = Scj_encoding.Nodeseq
 module Stats = Scj_stats.Stats
 module Exec = Scj_trace.Exec
 module Trace = Scj_trace.Trace
-module Sj = Scj_core.Staircase
 module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
 
@@ -40,26 +40,50 @@ let load_document path =
 
 let strategy_conv =
   let parse s =
-    let strategy =
-      match s with
-      | "staircase" -> Some { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
-      | "staircase-noskip" -> Some { Eval.algorithm = Eval.Staircase Sj.No_skipping; pushdown = `Never }
-      | "staircase-skip" -> Some { Eval.algorithm = Eval.Staircase Sj.Skipping; pushdown = `Never }
-      | "staircase-estimate" -> Some { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never }
-      | "staircase-exact" -> Some { Eval.algorithm = Eval.Staircase Sj.Exact_size; pushdown = `Cost_based }
-      | "naive" -> Some { Eval.algorithm = Eval.Naive; pushdown = `Never }
-      | "sql" -> Some { Eval.algorithm = Eval.Sql { delimiter = true }; pushdown = `Never }
-      | "sql-nodelimiter" -> Some { Eval.algorithm = Eval.Sql { delimiter = false }; pushdown = `Never }
-      | "mpmgjn" -> Some { Eval.algorithm = Eval.Mpmgjn; pushdown = `Never }
-      | "structjoin" -> Some { Eval.algorithm = Eval.Structjoin; pushdown = `Never }
-      | _ -> None
-    in
-    match strategy with
-    | Some s -> Ok s
-    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+    match Eval.strategy_of_string s with
+    | Some strategy -> Ok strategy
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown strategy %S (expected one of: %s)" s
+             (String.concat ", " Eval.strategy_names)))
   in
   let print ppf s = Format.pp_print_string ppf (Eval.strategy_to_string s) in
   Cmdliner.Arg.conv (parse, print)
+
+let pushdown_conv =
+  let parse = function
+    | "cost" -> Ok `Cost_based
+    | "always" -> Ok `Always
+    | "never" -> Ok `Never
+    | s -> Error (`Msg (Printf.sprintf "unknown pushdown policy %S (cost, always, never)" s))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with `Cost_based -> "cost" | `Always -> "always" | `Never -> "never")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let strategy_doc =
+  "Join-backend strategy: auto (cost-based planner), staircase, staircase-noskip, \
+   staircase-skip, staircase-estimate, staircase-exact, parallel, paged, naive, sql, \
+   sql-nodelimiter, mpmgjn, structjoin."
+
+let strategy_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt strategy_conv Eval.default_strategy
+    & info [ "strategy" ] ~docv:"S" ~doc:strategy_doc)
+
+let pushdown_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt pushdown_conv `Cost_based
+    & info [ "pushdown" ] ~docv:"P" ~doc:"Name-test pushdown policy: cost, always, never.")
+
+let with_pushdown strategy pushdown = { strategy with Eval.pushdown }
 
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
@@ -185,27 +209,18 @@ let query_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
-  let strategy =
-    Arg.(
-      value
-      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
-      & info [ "strategy" ] ~docv:"S"
-          ~doc:
-            "Axis-step strategy: staircase, staircase-noskip, staircase-skip, \
-             staircase-estimate, staircase-exact, naive, sql, sql-nodelimiter, mpmgjn, \
-             structjoin.")
-  in
   let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.") in
   let as_xml =
     Arg.(value & flag & info [ "xml" ] ~doc:"Print each result node's subtree as XML.")
   in
   let limit = Arg.(value & opt int 20 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Result rows to print.") in
-  let run input xpath strategy show_stats as_xml limit =
+  let run input xpath strategy pushdown show_stats as_xml limit =
     match load_document input with
     | Error e ->
       prerr_endline e;
       1
     | Ok doc -> (
+      let strategy = with_pushdown strategy pushdown in
       let session = Eval.session ~strategy doc in
       let exec = Exec.make () in
       let t0 = Unix.gettimeofday () in
@@ -237,7 +252,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Evaluate an XPath query against a document.")
-    Term.(const run $ input $ xpath $ strategy $ show_stats $ as_xml $ limit)
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ show_stats $ as_xml $ limit)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                              *)
@@ -247,13 +262,7 @@ let explain_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
-  let strategy =
-    Arg.(
-      value
-      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
-      & info [ "strategy" ] ~docv:"S" ~doc:"Axis-step strategy (see query --help).")
-  in
-  let run input xpath strategy =
+  let run input xpath strategy pushdown =
     match load_document input with
     | Error e ->
       prerr_endline e;
@@ -264,13 +273,47 @@ let explain_cmd =
         prerr_endline e;
         1
       | Ok path ->
+        let strategy = with_pushdown strategy pushdown in
         let session = Eval.session ~strategy doc in
         print_string (Eval.explain session path);
         0)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the evaluation plan for an XPath query, with cost-model detail.")
-    Term.(const run $ input $ xpath $ strategy)
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the plan as one JSON object.") in
+  let run input xpath strategy pushdown json =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc -> (
+      match Scj_xpath.Parse.path xpath with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok path ->
+        let strategy = with_pushdown strategy pushdown in
+        let session = Eval.session ~strategy doc in
+        if json then print_endline (Eval.plan_json session path)
+        else print_string (Eval.explain session path);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Print the physical plan the planner would execute for an XPath query: per-step \
+          backend choice, pushdown decision, cost estimates and rejected alternatives.")
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
@@ -280,16 +323,10 @@ let analyze_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
-  let strategy =
-    Arg.(
-      value
-      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
-      & info [ "strategy" ] ~docv:"S" ~doc:"Axis-step strategy (see query --help).")
-  in
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the trace as a JSON span tree.")
   in
-  let run input xpath strategy json =
+  let run input xpath strategy pushdown json =
     match load_document input with
     | Error e ->
       prerr_endline e;
@@ -300,6 +337,7 @@ let analyze_cmd =
         prerr_endline e;
         1
       | Ok path ->
+        let strategy = with_pushdown strategy pushdown in
         let session = Eval.session ~strategy doc in
         let result, trace = Eval.analyze session path in
         if json then print_endline (Trace.to_json trace)
@@ -316,7 +354,7 @@ let analyze_cmd =
          "Evaluate an XPath query and print the traced execution plan: one span per step with \
           the algorithm chosen, the pushdown decision, partitions, cardinalities, work \
           counters and wall-clock timings (EXPLAIN ANALYZE).")
-    Term.(const run $ input $ xpath $ strategy $ json)
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json)
 
 (* ------------------------------------------------------------------ *)
 (* xquery                                                               *)
@@ -326,18 +364,13 @@ let xquery_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
-  let strategy =
-    Arg.(
-      value
-      & opt strategy_conv { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based }
-      & info [ "strategy" ] ~docv:"S" ~doc:"Axis-step strategy (see query --help).")
-  in
-  let run input query strategy =
+  let run input query strategy pushdown =
     match load_document input with
     | Error e ->
       prerr_endline e;
       1
     | Ok doc -> (
+      let strategy = with_pushdown strategy pushdown in
       let session = Eval.session ~strategy doc in
       match Scj_xquery.Xq_eval.run session query with
       | Error e ->
@@ -349,7 +382,7 @@ let xquery_cmd =
   in
   Cmd.v
     (Cmd.info "xquery" ~doc:"Evaluate an XQuery-lite (FLWOR) expression against a document.")
-    Term.(const run $ input $ query $ strategy)
+    Term.(const run $ input $ query $ strategy_arg $ pushdown_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                             *)
@@ -596,6 +629,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; analyze_cmd;
-            xquery_cmd; mil_cmd; validate_cmd; serve_cmd; workload_cmd;
+            gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; plan_cmd;
+            analyze_cmd; xquery_cmd; mil_cmd; validate_cmd; serve_cmd; workload_cmd;
           ]))

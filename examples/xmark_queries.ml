@@ -13,16 +13,17 @@ module Eval = Scj.Eval
 module Xmark = Scj.Xmark
 
 let strategies =
+  let module Plan = Scj.Plan in
   [
-    ("staircase (no skip)", { Eval.algorithm = Eval.Staircase Sj.No_skipping; pushdown = `Never });
-    ("staircase (skip)", { Eval.algorithm = Eval.Staircase Sj.Skipping; pushdown = `Never });
-    ("staircase (estimate)", { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never });
-    ("staircase + pushdown", { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Always });
-    ("staircase (cost-based)", { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based });
-    ("naive region queries", { Eval.algorithm = Eval.Naive; pushdown = `Never });
-    ("sql plan (tree-unaware)", { Eval.algorithm = Eval.Sql { delimiter = true }; pushdown = `Never });
-    ("mpmgjn", { Eval.algorithm = Eval.Mpmgjn; pushdown = `Never });
-    ("structural join", { Eval.algorithm = Eval.Structjoin; pushdown = `Never });
+    ("auto (cost-based plan)", Eval.default_strategy);
+    ("staircase (no skip)", { Eval.backend = `Force (Plan.Serial Sj.No_skipping); pushdown = `Never });
+    ("staircase (skip)", { Eval.backend = `Force (Plan.Serial Sj.Skipping); pushdown = `Never });
+    ("staircase (estimate)", { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never });
+    ("staircase + pushdown", { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Always });
+    ("naive region queries", { Eval.backend = `Force Plan.Naive; pushdown = `Never });
+    ("sql plan (tree-unaware)", { Eval.backend = `Force (Plan.Btree { delimiter = true }); pushdown = `Never });
+    ("mpmgjn", { Eval.backend = `Force Plan.Mpmgjn; pushdown = `Never });
+    ("structural join", { Eval.backend = `Force Plan.Structjoin; pushdown = `Never });
   ]
 
 let time f =

@@ -1,0 +1,129 @@
+(** The explicit query plan IR behind the XPath evaluator.
+
+    A query is compiled ({!Scj_xpath.Eval}) into a {e logical} plan — a
+    context source, axis steps with node tests and predicates, unions with
+    duplicate elimination — rewritten by {!Planner.rewrite}, and lowered
+    by {!Planner.plan} into a {e physical} plan whose every partitioning
+    step carries the join backend the cost model selected (serial blit
+    staircase × skip mode, partition-parallel staircase, paged staircase,
+    the B+-tree/SQL plan of Fig. 3, MPMGJN, structural join, or the naive
+    per-context-node region query) together with its cost estimates.  The
+    physical tree is what executes: {!Planner.execute} interprets it
+    operator by operator, and [scj plan] / [EXPLAIN] render the very same
+    tree ({!pp_physical}, {!physical_to_json}).
+
+    The IR is deliberately independent of the XPath front-end: node tests
+    are mirrored structurally, and predicates arrive as opaque compiled
+    closures carrying only the metadata the planner needs (source label,
+    positionality, a cost rank for reordering). *)
+
+module Axis = Scj_encoding.Axis
+module Nodeseq = Scj_encoding.Nodeseq
+module Exec = Scj_trace.Exec
+
+(** {1 Logical plans} *)
+
+type node_test =
+  | Name of string
+  | Wildcard
+  | Any_node
+  | Text_node
+  | Comment_node
+  | Pi_node of string option
+
+(** A predicate compiled by the front-end: the closure evaluates the
+    original expression against one candidate node (with its proximity
+    position and the context size), the metadata drives planning. *)
+type predicate = {
+  label : string;  (** source rendering, for plan display *)
+  positional : bool;  (** mentions position()/last() or is number-valued *)
+  rank : int;  (** reordering key — lower runs first *)
+  eval : Exec.t -> node:int -> pos:int -> last:int -> bool;
+}
+
+type step = { axis : Axis.t; test : node_test; predicates : predicate list }
+
+type source =
+  | Root  (** the root element as a singleton context *)
+  | Document  (** the (virtual) document node, emulated at the root *)
+  | Context  (** the caller-supplied context sequence *)
+
+type logical =
+  | L_source of source
+  | L_step of logical * step
+  | L_union of logical list  (** union + duplicate elimination, doc order *)
+
+(** {1 Physical plans} *)
+
+type backend =
+  | Serial of Exec.skip_mode  (** blit staircase join, §3 *)
+  | Parallel of Exec.skip_mode  (** partition-parallel staircase join *)
+  | Paged  (** staircase join over the buffer pool (estimation mode) *)
+  | Btree of { delimiter : bool }  (** the Fig.-3 B+-tree/SQL plan *)
+  | Mpmgjn  (** multi-predicate merge join *)
+  | Structjoin  (** sorted-list structural join *)
+  | Naive  (** per-context-node region queries *)
+
+type push =
+  | No_push  (** evaluate the node test after the join *)
+  | Push_tag of string  (** join over the tag-name view *)
+  | Push_elements  (** wildcard: join over the element-only view *)
+
+type direction = Desc | Anc | Following | Preceding
+
+type estimate = {
+  card_in : int;  (** estimated context cardinality *)
+  touches : int;  (** nodes the un-pushed join is estimated to touch *)
+  card_out : int;  (** estimated result cardinality *)
+  cost : float;  (** cost of the chosen implementation *)
+}
+
+type impl =
+  | Join of { dir : direction; or_self : bool; backend : backend; push : push }
+      (** a partitioning-axis step (desc/anc/following/preceding, with the
+          [-or-self] variants folded in as a union with the context) *)
+  | Structural
+      (** child/parent/attribute/sibling arithmetic over size/parent *)
+  | Select_self  (** self::T — a pure filter *)
+  | Empty_result  (** statically empty (namespace axis, document corner) *)
+
+type phys_step = {
+  step : step;  (** post-rewrite logical step (predicates reordered) *)
+  impl : impl;
+  est : estimate;
+  alternatives : (string * float) list;
+      (** costed-but-rejected backends, for EXPLAIN *)
+  push_note : string option;
+      (** the pushdown cost comparison, human-readable (EXPLAIN) *)
+  per_node : bool;  (** positional predicates force per-context-node eval *)
+}
+
+type physical =
+  | P_source of source * int  (** estimated source cardinality *)
+  | P_step of physical * phys_step
+  | P_union of physical list
+
+(** {1 Rendering} *)
+
+val test_to_string : node_test -> string
+
+val step_to_string : step -> string
+
+val source_to_string : source -> string
+
+val backend_to_string : backend -> string
+
+val push_to_string : push -> string
+
+(** Logical plan as an XPath-ish path (for the "rewritten:" line). *)
+val logical_to_string : logical -> string
+
+(** The plan tree in execution order (source first), one operator per
+    line with its backend, pushdown decision and estimates indented under
+    it — the same tree {!Planner.execute} walks and [scj analyze] traces. *)
+val pp_physical : Format.formatter -> physical -> unit
+
+val physical_to_string : physical -> string
+
+(** Machine-readable rendition for [scj plan --json]. *)
+val physical_to_json : physical -> string

@@ -1,0 +1,91 @@
+(** The cost-based planner: logical-plan rewrites, a statistics-driven
+    cost model ({!Scj_stats.Doc_stats}), physical backend selection per
+    partitioning step, and the operator-tree interpreter.
+
+    The pipeline is [rewrite] → [plan] → [execute]; the front-end
+    ({!Scj_xpath.Eval}) compiles the AST into {!Plan.logical} and hands
+    the physical tree back to callers so EXPLAIN renders exactly what
+    runs. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Exec = Scj_trace.Exec
+module Doc_stats = Scj_stats.Doc_stats
+module Sj = Scj_core.Staircase
+
+(** {1 Catalog}
+
+    Per-document planning and execution state: memoized document
+    statistics, element-only tag views (name-test pushdown), the
+    element view (wildcard pushdown), the B+-tree index of the SQL
+    baseline, and — when attached — the paged rendition of the
+    document. *)
+
+type t
+
+(** [catalog ?paged ?domains doc] — [domains] (default
+    {!Exec.default_domains}) bounds what the cost model assumes for the
+    parallel backend; [paged] makes the paged staircase join plannable. *)
+val catalog : ?paged:Scj_pager.Paged_doc.t -> ?domains:int -> Doc.t -> t
+
+val doc : t -> Doc.t
+
+(** Memoized one-pass document statistics. *)
+val doc_stats : t -> Doc_stats.t
+
+(** Element-only view of a tag name, built with bulk column ops and
+    memoized — the pushdown fragment. *)
+val tag_view : t -> string -> Sj.View.t
+
+(** All elements as a view — the wildcard-pushdown fragment. *)
+val element_view : t -> Sj.View.t
+
+(** Memoized B+-tree index for the Fig.-3 baseline. *)
+val sql_index : t -> Scj_engine.Sql_plan.index
+
+(** {1 Policy} *)
+
+type choice =
+  | Auto  (** cost-based: cheapest backend per step *)
+  | Force of Plan.backend  (** one backend for every partitioning step *)
+
+type pushdown = [ `Never | `Always | `Cost_based ]
+
+type policy = { choice : choice; pushdown : pushdown }
+
+(** [Auto] with cost-based pushdown. *)
+val default_policy : policy
+
+val policy_to_string : policy -> string
+
+(** {1 Rewrites}
+
+    - step fusion: [descendant-or-self::node()/child::T] →
+      [descendant::T] (when [T]'s predicates are not positional);
+    - prune hoisting: a [descendant(-or-self)::T] step directly after the
+      [//] bridge collapses — Algorithm-1 pruning of the expanded context
+      recovers the original staircase, so the expansion is dead at plan
+      time; [self::node()] steps (no predicates) are dropped likewise;
+    - the absolute ['//x'] corner with positional predicates becomes an
+      explicit union (child-of-document ∪ root-as-self);
+    - predicate reordering: cheapest non-positional predicate first
+      (stable; skipped when any predicate is positional). *)
+val rewrite : Plan.logical -> Plan.logical
+
+(** {1 Planning and execution} *)
+
+(** [plan t policy ?context_card logical] lowers a (rewritten) logical
+    plan: statistics propagate a context-cardinality estimate through the
+    steps, every partitioning step is costed across the available
+    backends, and the winner (or the forced backend) is recorded together
+    with the pushdown decision and the rejected alternatives.
+    [context_card] (default 1) seeds the estimate for [Context]
+    sources. *)
+val plan : t -> policy -> ?context_card:int -> Plan.logical -> Plan.physical
+
+(** [execute t exec ~context phys] interprets the physical tree.  Under a
+    tracing [exec] every operator opens one span annotated with the
+    chosen backend, the pushdown decision, partition counts and in/out
+    cardinalities — the executed trace mirrors {!Plan.pp_physical}
+    one-to-one.  [Exec.checkpoint] runs between operators. *)
+val execute : t -> Exec.t -> context:Nodeseq.t -> Plan.physical -> Nodeseq.t

@@ -35,6 +35,12 @@ module Structjoin = Scj_engine.Structjoin
 module Sql_plan = Scj_engine.Sql_plan
 module Sqlgen = Scj_engine.Sqlgen
 
+(** {1 Planning} *)
+
+module Plan = Scj_plan.Plan
+module Planner = Scj_plan.Planner
+module Doc_stats = Scj_stats.Doc_stats
+
 (** {1 Query languages} *)
 
 module Ast = Scj_xpath.Ast

@@ -159,7 +159,10 @@ let create ?workers ?queue_bound ?deadline ~paged doc =
   in
   t.domains <-
     List.init n_workers (fun _ ->
-        Domain.spawn (fun () -> worker_loop t (Eval.session t.doc)));
+        Domain.spawn (fun () ->
+            (* workers already provide the concurrency: plan single-domain,
+               with the paged rendition visible to the planner *)
+            worker_loop t (Eval.session ~paged:t.paged ~domains:1 t.doc)));
   t
 
 let workers t = t.n_workers

@@ -1,0 +1,103 @@
+module Doc = Scj_encoding.Doc
+
+type tag_stats = { count : int; subtree_sum : int; level_sum : int }
+
+type t = {
+  n_nodes : int;
+  n_elements : int;
+  n_attributes : int;
+  n_texts : int;
+  n_comments : int;
+  n_pis : int;
+  height : int;
+  root_size : int;
+  element_subtree_sum : int;
+  element_level_sum : int;
+  tags : (string, tag_stats) Hashtbl.t;
+}
+
+let zero_tag = { count = 0; subtree_sum = 0; level_sum = 0 }
+
+(* accumulated per interned tag symbol during the scan; resolved to names
+   once at the end (one [tag_name] lookup per distinct symbol) *)
+type acc = {
+  mutable a_count : int;
+  mutable a_subtree : int;
+  mutable a_level : int;
+  representative : int;  (* a pre rank carrying the symbol *)
+}
+
+let build doc =
+  let n = Doc.n_nodes doc in
+  let kinds = Doc.kind_array doc in
+  let sizes = Doc.size_array doc in
+  let levels = Doc.level_array doc in
+  let by_symbol : (int, acc) Hashtbl.t = Hashtbl.create 64 in
+  let n_elements = ref 0
+  and n_attributes = ref 0
+  and n_texts = ref 0
+  and n_comments = ref 0
+  and n_pis = ref 0
+  and element_subtree_sum = ref 0
+  and element_level_sum = ref 0 in
+  for v = 0 to n - 1 do
+    match kinds.(v) with
+    | Doc.Element ->
+      incr n_elements;
+      element_subtree_sum := !element_subtree_sum + sizes.(v);
+      element_level_sum := !element_level_sum + levels.(v);
+      let sym = Doc.tag doc v in
+      let acc =
+        match Hashtbl.find_opt by_symbol sym with
+        | Some acc -> acc
+        | None ->
+          let acc = { a_count = 0; a_subtree = 0; a_level = 0; representative = v } in
+          Hashtbl.add by_symbol sym acc;
+          acc
+      in
+      acc.a_count <- acc.a_count + 1;
+      acc.a_subtree <- acc.a_subtree + sizes.(v);
+      acc.a_level <- acc.a_level + levels.(v)
+    | Doc.Attribute -> incr n_attributes
+    | Doc.Text -> incr n_texts
+    | Doc.Comment -> incr n_comments
+    | Doc.Pi -> incr n_pis
+  done;
+  let tags = Hashtbl.create (Hashtbl.length by_symbol) in
+  Hashtbl.iter
+    (fun _sym acc ->
+      match Doc.tag_name doc acc.representative with
+      | None -> ()
+      | Some name ->
+        Hashtbl.replace tags name
+          { count = acc.a_count; subtree_sum = acc.a_subtree; level_sum = acc.a_level })
+    by_symbol;
+  {
+    n_nodes = n;
+    n_elements = !n_elements;
+    n_attributes = !n_attributes;
+    n_texts = !n_texts;
+    n_comments = !n_comments;
+    n_pis = !n_pis;
+    height = Doc.height doc;
+    root_size = (if n = 0 then 0 else Doc.size doc (Doc.root doc));
+    element_subtree_sum = !element_subtree_sum;
+    element_level_sum = !element_level_sum;
+    tags;
+  }
+
+let tag t name = match Hashtbl.find_opt t.tags name with Some s -> s | None -> zero_tag
+
+let kind_count t = function
+  | Doc.Element -> t.n_elements
+  | Doc.Attribute -> t.n_attributes
+  | Doc.Text -> t.n_texts
+  | Doc.Comment -> t.n_comments
+  | Doc.Pi -> t.n_pis
+
+let selectivity t name =
+  if t.n_nodes = 0 then 0.0 else float_of_int (tag t name).count /. float_of_int t.n_nodes
+
+let pp ppf t =
+  Format.fprintf ppf "nodes=%d elements=%d attributes=%d height=%d tags=%d" t.n_nodes
+    t.n_elements t.n_attributes t.height (Hashtbl.length t.tags)

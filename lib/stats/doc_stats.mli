@@ -1,0 +1,47 @@
+(** Document statistics for the cost-based planner (§6 future work).
+
+    One pass over the encoding summarizes what the planner needs to cost a
+    plan {e before} executing it: per-tag element counts and fragment
+    footprints (Σ subtree sizes / Σ levels — the Equation-(1) quantities
+    the pushdown decision compares), per-kind node counts, and the
+    document height.  Built once per document and memoized by the
+    planner's catalog alongside the tag views. *)
+
+type tag_stats = {
+  count : int;  (** elements carrying this name *)
+  subtree_sum : int;
+      (** Σ size(v) over the fragment — what a descendant step from the
+          whole fragment touches (exact when the fragment does not nest) *)
+  level_sum : int;  (** Σ level(v) — the ancestor-step counterpart *)
+}
+
+type t = {
+  n_nodes : int;
+  n_elements : int;
+  n_attributes : int;
+  n_texts : int;
+  n_comments : int;
+  n_pis : int;
+  height : int;
+  root_size : int;  (** strict descendants of the root = n_nodes - 1 *)
+  element_subtree_sum : int;  (** Σ size(v) over all elements *)
+  element_level_sum : int;  (** Σ level(v) over all elements *)
+  tags : (string, tag_stats) Hashtbl.t;
+}
+
+(** [build doc] scans the encoding columns once. *)
+val build : Scj_encoding.Doc.t -> t
+
+val zero_tag : tag_stats
+
+(** [tag t name] — statistics of the element fragment named [name];
+    {!zero_tag} when no element carries the name. *)
+val tag : t -> string -> tag_stats
+
+(** [kind_count t kind] — number of nodes of [kind]. *)
+val kind_count : t -> Scj_encoding.Doc.kind -> int
+
+(** [selectivity t name] — fraction of document nodes named [name]. *)
+val selectivity : t -> string -> float
+
+val pp : Format.formatter -> t -> unit

@@ -72,6 +72,8 @@ val positional : expr -> bool
 
 val step : ?predicates:expr list -> Scj_encoding.Axis.t -> node_test -> step
 
+val pp_expr : Format.formatter -> expr -> unit
+
 val pp_step : Format.formatter -> step -> unit
 
 val pp_path : Format.formatter -> path -> unit

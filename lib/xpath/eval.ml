@@ -1,304 +1,75 @@
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
-module Int_col = Scj_bat.Int_col
-module Stats = Scj_stats.Stats
 module Trace = Scj_trace.Trace
 module Exec = Scj_trace.Exec
-module Sj = Scj_core.Staircase
-module Naive = Scj_engine.Naive
-module Sql_plan = Scj_engine.Sql_plan
-module Mpmgjn = Scj_engine.Mpmgjn
-module Structjoin = Scj_engine.Structjoin
+module Plan = Scj_plan.Plan
+module Planner = Scj_plan.Planner
 
-type algorithm =
-  | Staircase of Sj.skip_mode
-  | Naive
-  | Sql of { delimiter : bool }
-  | Mpmgjn
-  | Structjoin
+type strategy = {
+  backend : [ `Auto | `Force of Plan.backend ];
+  pushdown : [ `Never | `Always | `Cost_based ];
+}
 
-type pushdown = [ `Never | `Always | `Cost_based ]
+let default_strategy = { backend = `Auto; pushdown = `Cost_based }
 
-type strategy = { algorithm : algorithm; pushdown : pushdown }
+let policy_of_strategy s =
+  {
+    Planner.choice = (match s.backend with `Auto -> Planner.Auto | `Force b -> Planner.Force b);
+    pushdown = s.pushdown;
+  }
 
-let default_strategy = { algorithm = Staircase Sj.Estimation; pushdown = `Cost_based }
+let strategy_to_string s = Planner.policy_to_string (policy_of_strategy s)
 
-let algorithm_to_string = function
-  | Staircase mode -> "staircase/" ^ Sj.skip_mode_to_string mode
-  | Naive -> "naive"
-  | Sql { delimiter } -> if delimiter then "sql+delimiter" else "sql"
-  | Mpmgjn -> "mpmgjn"
-  | Structjoin -> "structjoin"
+(* The CLI / bench spellings of the forced backends. *)
+let strategy_names =
+  [
+    "auto";
+    "staircase";
+    "staircase-noskip";
+    "staircase-skip";
+    "staircase-estimate";
+    "staircase-exact";
+    "parallel";
+    "paged";
+    "sql";
+    "sql-nodelimiter";
+    "mpmgjn";
+    "structjoin";
+    "naive";
+  ]
 
-let strategy_to_string s =
-  let pd =
-    match s.pushdown with `Never -> "never" | `Always -> "always" | `Cost_based -> "cost"
-  in
-  Printf.sprintf "%s(pushdown=%s)" (algorithm_to_string s.algorithm) pd
+let strategy_of_string name =
+  let forced b = Some { default_strategy with backend = `Force b } in
+  match name with
+  | "auto" -> Some default_strategy
+  | "staircase" | "staircase-estimate" -> forced (Plan.Serial Exec.Estimation)
+  | "staircase-noskip" -> forced (Plan.Serial Exec.No_skipping)
+  | "staircase-skip" -> forced (Plan.Serial Exec.Skipping)
+  | "staircase-exact" -> forced (Plan.Serial Exec.Exact_size)
+  | "parallel" -> forced (Plan.Parallel Exec.Estimation)
+  | "paged" -> forced Plan.Paged
+  | "sql" -> forced (Plan.Btree { delimiter = true })
+  | "sql-nodelimiter" -> forced (Plan.Btree { delimiter = false })
+  | "mpmgjn" -> forced Plan.Mpmgjn
+  | "structjoin" -> forced Plan.Structjoin
+  | "naive" -> forced Plan.Naive
+  | _ -> None
 
 type session = {
   doc : Doc.t;
   strategy : strategy;
-  mutable sql_index : Sql_plan.index option;
-  views : (string, Sj.View.t) Hashtbl.t;
+  catalog : Planner.t;
+  plans : (Ast.path * int, Plan.physical) Hashtbl.t;
+      (* planned-once cache, keyed by path and context cardinality *)
 }
 
-let session ?(strategy = default_strategy) doc =
-  { doc; strategy; sql_index = None; views = Hashtbl.create 16 }
+let session ?(strategy = default_strategy) ?paged ?domains doc =
+  { doc; strategy; catalog = Planner.catalog ?paged ?domains doc; plans = Hashtbl.create 16 }
 
 let doc_of_session s = s.doc
 
-let sql_index session =
-  match session.sql_index with
-  | Some idx -> idx
-  | None ->
-    let idx = Sql_plan.build_index session.doc in
-    session.sql_index <- Some idx;
-    idx
-
-(* Element-only view of a tag name (the principal node kind of name tests
-   on non-attribute axes). *)
-let tag_view session name =
-  match Hashtbl.find_opt session.views name with
-  | Some v -> v
-  | None ->
-    let doc = session.doc in
-    let positions = Doc.tag_positions doc name in
-    let kinds = Doc.kind_array doc in
-    let elements = Array.of_seq (Seq.filter (fun p -> kinds.(p) = Doc.Element) (Array.to_seq positions)) in
-    let view = Sj.View.of_nodeseq doc (Nodeseq.of_sorted_array elements) in
-    Hashtbl.add session.views name view;
-    view
-
-(* ------------------------------------------------------------------ *)
-(* cost model                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let estimated_step_touches session context direction =
-  let doc = session.doc in
-  match direction with
-  | `Descendant ->
-    (* pruned subtrees are disjoint, so the Equation-(1) sizes sum to the
-       exact number of nodes the un-pushed join touches *)
-    let pruned = Sj.prune_desc doc context in
-    Nodeseq.fold_left (fun acc c -> acc + Doc.size doc c) 0 pruned
-  | `Ancestor ->
-    let pruned = Sj.prune_anc doc context in
-    Nodeseq.fold_left (fun acc c -> acc + Doc.level doc c) 0 pruned
-
-let decide_pushdown session context direction ~tag =
-  let view = tag_view session tag in
-  Sj.View.length view < estimated_step_touches session context direction
-
-(* ------------------------------------------------------------------ *)
-(* axis evaluation                                                      *)
-(* ------------------------------------------------------------------ *)
-
-(* Walk the element children of [c] (attributes skipped) using subtree
-   sizes: first child of c sits at c+1, siblings hop by size+1. *)
-let iter_children doc stats c f =
-  let sizes = Doc.size_array doc in
-  let kinds = Doc.kind_array doc in
-  let stop = c + sizes.(c) in
-  let i = ref (c + 1) in
-  while !i <= stop do
-    stats.Stats.scanned <- stats.Stats.scanned + 1;
-    if kinds.(!i) <> Doc.Attribute then f !i;
-    i := !i + sizes.(!i) + 1
-  done
-
-let structural_axis session exec context axis =
-  let doc = session.doc in
-  let stats = exec.Exec.stats in
-  let sizes = Doc.size_array doc in
-  let kinds = Doc.kind_array doc in
-  let parents = Doc.parent_array doc in
-  let hits = Int_col.create ~capacity:32 () in
-  let collect c =
-    match axis with
-    | Axis.Child -> iter_children doc stats c (Int_col.append_unit hits)
-    | Axis.Attribute ->
-      let i = ref (c + 1) in
-      while !i < Doc.n_nodes doc && kinds.(!i) = Doc.Attribute && parents.(!i) = c do
-        stats.Stats.scanned <- stats.Stats.scanned + 1;
-        Int_col.append_unit hits !i;
-        incr i
-      done
-    | Axis.Parent -> if parents.(c) >= 0 then Int_col.append_unit hits parents.(c)
-    | Axis.Following_sibling ->
-      let p = parents.(c) in
-      if p >= 0 then begin
-        let stop = p + sizes.(p) in
-        let i = ref (c + sizes.(c) + 1) in
-        while !i <= stop do
-          stats.Stats.scanned <- stats.Stats.scanned + 1;
-          if kinds.(!i) <> Doc.Attribute then Int_col.append_unit hits !i;
-          i := !i + sizes.(!i) + 1
-        done
-      end
-    | Axis.Preceding_sibling ->
-      let p = parents.(c) in
-      if p >= 0 then
-        iter_children doc stats p (fun v -> if v < c then Int_col.append_unit hits v)
-    | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Descendant | Axis.Descendant_or_self
-    | Axis.Following | Axis.Namespace | Axis.Preceding | Axis.Self ->
-      assert false
-  in
-  Nodeseq.iter collect context;
-  (* sibling/child sets of distinct context nodes are disjoint, but they
-     interleave when context nodes are nested — sort once *)
-  Nodeseq.of_unsorted (Int_col.to_list hits)
-
-(* Partitioning-axis dispatch.  Returns the node sequence plus a flag
-   telling the caller that a name test was already applied (pushdown). *)
-let partitioning_axis session exec context axis test =
-  let doc = session.doc in
-  let direction =
-    match axis with
-    | Axis.Descendant -> Some `Descendant
-    | Axis.Ancestor -> Some `Ancestor
-    | Axis.Following | Axis.Preceding | Axis.Ancestor_or_self | Axis.Attribute | Axis.Child
-    | Axis.Descendant_or_self | Axis.Following_sibling | Axis.Namespace | Axis.Parent
-    | Axis.Preceding_sibling | Axis.Self ->
-      None
-  in
-  (if Exec.tracing exec then
-     match (axis, session.strategy.algorithm) with
-     | (Axis.Descendant | Axis.Ancestor), Staircase _ ->
-       () (* annotated below, with partitions and the pushdown decision *)
-     | (Axis.Descendant | Axis.Ancestor), alg -> Exec.annot exec "algorithm" (algorithm_to_string alg)
-     | (Axis.Following | Axis.Preceding), Naive -> Exec.annot exec "algorithm" "naive"
-     | (Axis.Following | Axis.Preceding), (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
-       Exec.annot exec "algorithm" "pruned single region query (§3.1)"
-     | ( ( Axis.Ancestor_or_self | Axis.Attribute | Axis.Child | Axis.Descendant_or_self
-         | Axis.Following_sibling | Axis.Namespace | Axis.Parent | Axis.Preceding_sibling
-         | Axis.Self ),
-         _ ) ->
-       ());
-  match (axis, session.strategy.algorithm) with
-  | (Axis.Descendant | Axis.Ancestor), Staircase mode -> (
-    let direction = Option.get direction in
-    let pushdown_tag =
-      match (test, session.strategy.pushdown) with
-      | Ast.Name_test tag, `Always -> Some tag
-      | Ast.Name_test tag, `Cost_based when decide_pushdown session context direction ~tag ->
-        Some tag
-      | (Ast.Name_test _ | Ast.Wildcard | Ast.Kind_test _), (`Never | `Always | `Cost_based) ->
-        None
-    in
-    if Exec.tracing exec then begin
-      Exec.annot exec "algorithm" ("staircase join (" ^ Sj.skip_mode_to_string mode ^ ")");
-      let partitions =
-        match direction with
-        | `Descendant -> Sj.desc_partitions doc context
-        | `Ancestor -> Sj.anc_partitions doc context
-      in
-      Exec.annot exec "partitions" (string_of_int (List.length partitions));
-      match (test, session.strategy.pushdown) with
-      | Ast.Name_test tag, (`Always | `Cost_based) ->
-        let fragment = Sj.View.length (tag_view session tag) in
-        let estimate = estimated_step_touches session context direction in
-        Exec.annot exec "cost"
-          (Printf.sprintf "tag fragment '%s': %d node(s) vs. estimated scan of %d node(s)" tag
-             fragment estimate);
-        Exec.annot exec "pushdown"
-          (match pushdown_tag with
-          | Some _ -> "yes (join over the tag fragment)"
-          | None -> "no (filter after the join)")
-      | Ast.Name_test _, `Never -> Exec.annot exec "pushdown" "no (disabled)"
-      | (Ast.Wildcard | Ast.Kind_test _), (`Never | `Always | `Cost_based) -> ()
-    end;
-    match (direction, pushdown_tag) with
-    | `Descendant, None -> (Sj.desc ~exec:(Exec.with_mode exec mode) doc context, false)
-    | `Ancestor, None -> (Sj.anc ~exec:(Exec.with_mode exec mode) doc context, false)
-    | `Descendant, Some tag ->
-      (Sj.desc_view ~exec:(Exec.with_mode exec mode) doc (tag_view session tag) context, true)
-    | `Ancestor, Some tag ->
-      (Sj.anc_view ~exec:(Exec.with_mode exec mode) doc (tag_view session tag) context, true))
-  | Axis.Descendant, Naive -> (Naive.step ~exec doc context Axis.Descendant, false)
-  | Axis.Ancestor, Naive -> (Naive.step ~exec doc context Axis.Ancestor, false)
-  | (Axis.Descendant | Axis.Ancestor), Sql { delimiter } ->
-    let options = { Sql_plan.delimiter; early_nametest = None } in
-    let dir = if axis = Axis.Descendant then `Descendant else `Ancestor in
-    (Sql_plan.step ~exec ~options (sql_index session) doc context dir, false)
-  | Axis.Descendant, Mpmgjn -> (Mpmgjn.desc ~exec doc context, false)
-  | Axis.Ancestor, Mpmgjn -> (Mpmgjn.anc ~exec doc context, false)
-  | Axis.Descendant, Structjoin -> (Structjoin.desc ~exec doc context, false)
-  | Axis.Ancestor, Structjoin -> (Structjoin.anc ~exec doc context, false)
-  | Axis.Following, Naive -> (Naive.step ~exec doc context Axis.Following, false)
-  | Axis.Preceding, Naive -> (Naive.step ~exec doc context Axis.Preceding, false)
-  | Axis.Following, (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
-    (* the baselines of §4.4 are descendant/ancestor algorithms; the
-       degenerate single region query serves every strategy here *)
-    (Sj.following ~exec doc context, false)
-  | Axis.Preceding, (Staircase _ | Sql _ | Mpmgjn | Structjoin) ->
-    (Sj.preceding ~exec doc context, false)
-  | ( ( Axis.Ancestor_or_self | Axis.Attribute | Axis.Child | Axis.Descendant_or_self
-      | Axis.Following_sibling | Axis.Namespace | Axis.Parent | Axis.Preceding_sibling
-      | Axis.Self ),
-      _ ) ->
-    assert false
-
-(* ------------------------------------------------------------------ *)
-(* node tests                                                           *)
-(* ------------------------------------------------------------------ *)
-
-let apply_node_test doc axis test nodes =
-  let principal = if axis = Axis.Attribute then Doc.Attribute else Doc.Element in
-  let kinds = Doc.kind_array doc in
-  match test with
-  | Ast.Kind_test Ast.Any_node -> nodes
-  | Ast.Wildcard -> Nodeseq.filter (fun v -> kinds.(v) = principal) nodes
-  | Ast.Name_test name -> (
-    match Doc.tag_symbol doc name with
-    | None -> Nodeseq.empty
-    | Some sym -> Nodeseq.filter (fun v -> kinds.(v) = principal && Doc.tag doc v = sym) nodes)
-  | Ast.Kind_test Ast.Text_node -> Nodeseq.filter (fun v -> kinds.(v) = Doc.Text) nodes
-  | Ast.Kind_test Ast.Comment_node -> Nodeseq.filter (fun v -> kinds.(v) = Doc.Comment) nodes
-  | Ast.Kind_test (Ast.Pi_node target) ->
-    Nodeseq.filter
-      (fun v ->
-        kinds.(v) = Doc.Pi
-        &&
-        match target with
-        | None -> true
-        | Some t -> ( match Doc.tag_name doc v with Some name -> String.equal name t | None -> false))
-      nodes
-
-let eval_axis session exec context axis test =
-  match axis with
-  | Axis.Descendant | Axis.Ancestor | Axis.Following | Axis.Preceding ->
-    partitioning_axis session exec context axis test
-  | Axis.Descendant_or_self ->
-    (* desc-or-self::T = desc::T ∪ self::T — passing the test through
-       keeps name-test pushdown available for the descendant part *)
-    let desc, tested = partitioning_axis session exec context Axis.Descendant test in
-    let self =
-      if tested then apply_node_test session.doc Axis.Descendant_or_self test context
-      else context
-    in
-    (Nodeseq.union desc self, tested)
-  | Axis.Ancestor_or_self ->
-    let anc, tested = partitioning_axis session exec context Axis.Ancestor test in
-    let self =
-      if tested then apply_node_test session.doc Axis.Ancestor_or_self test context else context
-    in
-    (Nodeseq.union anc self, tested)
-  | Axis.Self -> (context, false)
-  | Axis.Namespace -> (Nodeseq.empty, false)
-  | Axis.Child | Axis.Attribute | Axis.Parent | Axis.Following_sibling | Axis.Preceding_sibling
-    ->
-    if Exec.tracing exec then Exec.annot exec "algorithm" "structural size/parent arithmetic";
-    (structural_axis session exec context axis, false)
-
-let reverse_axis = function
-  | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Preceding | Axis.Preceding_sibling | Axis.Parent
-    ->
-    true
-  | Axis.Attribute | Axis.Child | Axis.Descendant | Axis.Descendant_or_self | Axis.Following
-  | Axis.Following_sibling | Axis.Namespace | Axis.Self ->
-    false
+let catalog_of_session s = s.catalog
 
 (* ------------------------------------------------------------------ *)
 (* predicate expressions (XPath 1.0 value model)                        *)
@@ -451,7 +222,43 @@ let rec compare_values doc op left right =
   | (Bool _ | Str _), (Bool _ | Str _) -> cmp_num op (to_num doc left) (to_num doc right)
 
 (* ------------------------------------------------------------------ *)
-(* full path evaluation                                                 *)
+(* compilation: Ast → logical plan                                      *)
+(* ------------------------------------------------------------------ *)
+
+let compile_test = function
+  | Ast.Name_test n -> Plan.Name n
+  | Ast.Wildcard -> Plan.Wildcard
+  | Ast.Kind_test Ast.Any_node -> Plan.Any_node
+  | Ast.Kind_test Ast.Text_node -> Plan.Text_node
+  | Ast.Kind_test Ast.Comment_node -> Plan.Comment_node
+  | Ast.Kind_test (Ast.Pi_node t) -> Plan.Pi_node t
+
+(* Predicate reordering key: embedded path steps dominate the cost of a
+   predicate, everything else is cheap value arithmetic. *)
+let rec expr_rank = function
+  | Ast.Path_expr p | Ast.Count p | Ast.Fn_sum p -> List.length p.Ast.steps
+  | Ast.Fn_name (Some p) | Ast.Fn_local_name (Some p) -> List.length p.Ast.steps
+  | Ast.Fn_name None | Ast.Fn_local_name None -> 0
+  | Ast.Literal _ | Ast.Number _ | Ast.Position | Ast.Last | Ast.Fn_true | Ast.Fn_false -> 0
+  | Ast.Not e | Ast.Fn_boolean e | Ast.Fn_floor e | Ast.Fn_ceiling e | Ast.Fn_round e ->
+    expr_rank e
+  | Ast.Fn_string e | Ast.Fn_number e | Ast.Fn_string_length e | Ast.Fn_normalize_space e -> (
+    match e with None -> 0 | Some e -> expr_rank e)
+  | Ast.And (a, b)
+  | Ast.Or (a, b)
+  | Ast.Compare (_, a, b)
+  | Ast.Fn_contains (a, b)
+  | Ast.Fn_starts_with (a, b)
+  | Ast.Fn_substring_before (a, b)
+  | Ast.Fn_substring_after (a, b) ->
+    expr_rank a + expr_rank b
+  | Ast.Fn_concat es -> List.fold_left (fun acc e -> acc + expr_rank e) 0 es
+  | Ast.Fn_substring (a, b, c) ->
+    expr_rank a + expr_rank b + (match c with None -> 0 | Some c -> expr_rank c)
+  | Ast.Fn_translate (a, b, c) -> expr_rank a + expr_rank b + expr_rank c
+
+(* ------------------------------------------------------------------ *)
+(* evaluation                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let rec eval_expr session exec ~node ~pos ~last = function
@@ -565,145 +372,56 @@ and predicate_holds session exec ~node ~pos ~last expr =
   | Num f -> float_of_int pos = f
   | (Bool _ | Str _ | Nodes _) as v -> to_bool v
 
-(* Apply the predicate list to an ordered candidate list (axis order). *)
-and apply_predicates session exec ~ordered predicates =
-  List.fold_left
-    (fun candidates expr ->
-      let last = List.length candidates in
-      List.filteri
-        (fun i node -> predicate_holds session exec ~node ~pos:(i + 1) ~last expr)
-        candidates)
-    ordered predicates
+and compile_predicate session e =
+  {
+    Plan.label = Format.asprintf "%a" Ast.pp_expr e;
+    positional = Ast.positional e;
+    rank = expr_rank e;
+    eval = (fun exec ~node ~pos ~last -> predicate_holds session exec ~node ~pos ~last e);
+  }
 
-(* Every step — including the steps of nested predicate paths — opens one
-   tracing span; the tracer's stack nests them under the enclosing step. *)
-and eval_step session exec context (s : Ast.step) =
-  Exec.checkpoint exec;
-  if not (Exec.tracing exec) then eval_step_inner session exec context s
-  else
-    Exec.span exec
-      (Format.asprintf "%a" Ast.pp_step s)
-      (fun () ->
-        Exec.annot exec "in" (string_of_int (Nodeseq.length context));
-        if s.Ast.predicates <> [] then
-          Exec.annot exec "predicates"
-            (Printf.sprintf "%d (%s)"
-               (List.length s.Ast.predicates)
-               (if List.exists Ast.positional s.Ast.predicates then
-                  "positional, per-context-node"
-                else "set-at-a-time filter"));
-        let result = eval_step_inner session exec context s in
-        Exec.annot exec "out" (string_of_int (Nodeseq.length result));
-        result)
+and compile_step session (s : Ast.step) =
+  {
+    Plan.axis = s.Ast.axis;
+    test = compile_test s.Ast.test;
+    predicates = List.map (compile_predicate session) s.Ast.predicates;
+  }
 
-and eval_step_inner session exec context (s : Ast.step) =
-  if s.Ast.predicates = [] || not (List.exists Ast.positional s.Ast.predicates) then begin
-    (* set-at-a-time: evaluate the axis for the whole context, filter *)
-    let nodes, tested = eval_axis session exec context s.Ast.axis s.Ast.test in
-    let nodes = if tested then nodes else apply_node_test session.doc s.Ast.axis s.Ast.test nodes in
-    match s.Ast.predicates with
-    | [] -> nodes
-    | predicates ->
-      (* non-positional predicates are per-node boolean filters *)
-      Nodeseq.filter
-        (fun node ->
-          List.for_all (fun e -> predicate_holds session exec ~node ~pos:1 ~last:1 e) predicates)
-        nodes
-  end
-  else begin
-    (* positional predicates: XPath proximity positions are relative to
-       each context node's own axis result, so evaluate per context node *)
-    let results =
-      Nodeseq.fold_left
-        (fun acc c ->
-          let single = Nodeseq.singleton c in
-          let nodes, tested = eval_axis session exec single s.Ast.axis s.Ast.test in
-          let nodes =
-            if tested then nodes else apply_node_test session.doc s.Ast.axis s.Ast.test nodes
-          in
-          let ordered =
-            let l = Nodeseq.to_list nodes in
-            if reverse_axis s.Ast.axis then List.rev l else l
-          in
-          let kept = apply_predicates session exec ~ordered s.Ast.predicates in
-          Nodeseq.of_unsorted kept :: acc)
-        [] context
+and compile_path session (p : Ast.path) =
+  let base = if p.Ast.absolute then Plan.L_source Plan.Document else Plan.L_source Plan.Context in
+  List.fold_left (fun acc s -> Plan.L_step (acc, compile_step session s)) base p.Ast.steps
+
+(* compile → rewrite → plan, cached per (path, context cardinality) *)
+and plan_of_path session (p : Ast.path) ~context_card =
+  let context_card = if p.Ast.absolute then 1 else context_card in
+  let key = (p, context_card) in
+  match Hashtbl.find_opt session.plans key with
+  | Some phys -> phys
+  | None ->
+    let logical = Planner.rewrite (compile_path session p) in
+    let phys =
+      Planner.plan session.catalog (policy_of_strategy session.strategy) ~context_card logical
     in
-    List.fold_left Nodeseq.union Nodeseq.empty results
-  end
-
-(* the '//' abbreviation inserts this bridge step *)
-and is_bridge (s : Ast.step) =
-  s.Ast.axis = Axis.Descendant_or_self
-  && s.Ast.test = Ast.Kind_test Ast.Any_node
-  && s.Ast.predicates = []
-
-(* Standard rewrite: descendant-or-self::node()/child::T = descendant::T
-   — sound whenever T's predicates are not positional (positions in the
-   original are relative to each parent, in the rewrite to the whole
-   descendant set).  This lets '//tag' profit from name-test pushdown. *)
-and rewrite_path (p : Ast.path) =
-  let rec rewrite steps =
-    match steps with
-    | bridge :: (next : Ast.step) :: rest
-      when is_bridge bridge
-           && next.Ast.axis = Axis.Child
-           && not (List.exists Ast.positional next.Ast.predicates) ->
-      rewrite ({ next with Ast.axis = Axis.Descendant } :: rest)
-    | s :: rest -> s :: rewrite rest
-    | [] -> []
-  in
-  { p with Ast.steps = rewrite p.Ast.steps }
-
-(* An absolute path starts at the (virtual) document node, which the
-   encoding does not materialize.  The first step is remapped onto the
-   root element: [child::T] of the document node selects the root element
-   itself; [descendant(-or-self)::T] selects the root element and its
-   descendants; the remaining axes are empty at the document node.  The
-   lone path [/] denotes the root element (divergence from XPath's
-   document node, documented in the README). *)
-and eval_document_step session exec (s : Ast.step) =
-  let root = Nodeseq.singleton (Doc.root session.doc) in
-  let remapped_axis =
-    match s.Ast.axis with
-    | Axis.Child | Axis.Self -> Some Axis.Self
-    | Axis.Descendant | Axis.Descendant_or_self -> Some Axis.Descendant_or_self
-    | Axis.Ancestor_or_self -> Some Axis.Self
-    | Axis.Ancestor | Axis.Attribute | Axis.Following | Axis.Following_sibling | Axis.Namespace
-    | Axis.Parent | Axis.Preceding | Axis.Preceding_sibling ->
-      None
-  in
-  match remapped_axis with
-  | None -> Nodeseq.empty
-  | Some axis -> eval_step session exec root { s with Ast.axis }
+    Hashtbl.add session.plans key phys;
+    phys
 
 and eval_path_inner session exec context (p : Ast.path) =
-  let p = rewrite_path p in
-  if p.Ast.absolute then
-    match p.Ast.steps with
-    | [] -> Nodeseq.singleton (Doc.root session.doc)
-    | bridge :: second :: rest when is_bridge bridge && second.Ast.axis = Axis.Child ->
-      (* '//x': the root element is a child of the document node, so it
-         belongs to the result when it matches — evaluate it via self *)
-      let start = eval_document_step session exec bridge in
-      let via_children = eval_step session exec start second in
-      let via_root =
-        eval_step session exec
-          (Nodeseq.singleton (Doc.root session.doc))
-          { second with Ast.axis = Axis.Self }
-      in
-      List.fold_left
-        (fun ctx s -> eval_step session exec ctx s)
-        (Nodeseq.union via_children via_root)
-        rest
-    | first :: rest ->
-      let start = eval_document_step session exec first in
-      List.fold_left (fun ctx s -> eval_step session exec ctx s) start rest
-  else List.fold_left (fun ctx s -> eval_step session exec ctx s) context p.Ast.steps
+  let phys = plan_of_path session p ~context_card:(Nodeseq.length context) in
+  Planner.execute session.catalog exec ~context phys
 
 let ensure_exec = function None -> Exec.make () | Some e -> e
 
-let step ?exec session context s = eval_step session (ensure_exec exec) context s
+(* One axis step (node test and predicates included) — planned like a
+   single-step relative path, without the chain rewrites. *)
+let step ?exec session context (s : Ast.step) =
+  let exec = ensure_exec exec in
+  let logical = Plan.L_step (Plan.L_source Plan.Context, compile_step session s) in
+  let phys =
+    Planner.plan session.catalog
+      (policy_of_strategy session.strategy)
+      ~context_card:(Nodeseq.length context) logical
+  in
+  Planner.execute session.catalog exec ~context phys
 
 let default_context session = Nodeseq.singleton (Doc.root session.doc)
 
@@ -719,102 +437,81 @@ let eval_query ?exec ?context session q =
     Nodeseq.empty q
 
 (* ------------------------------------------------------------------ *)
-(* explain                                                              *)
+(* plan rendering                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let explain ?context session (p : Ast.path) =
-  let doc = session.doc in
-  let buf = Buffer.create 512 in
-  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  out "path: %s\n" (Ast.path_to_string p);
-  let p =
-    let rewritten = rewrite_path p in
-    if rewritten <> p then
-      out "rewritten: %s   (desc-or-self/child collapsed to descendant)\n"
-        (Ast.path_to_string rewritten);
-    rewritten
-  in
-  out "strategy: %s\n" (strategy_to_string session.strategy);
-  let start =
-    if p.Ast.absolute then Nodeseq.singleton (Doc.root doc)
-    else match context with Some c -> c | None -> Nodeseq.singleton (Doc.root doc)
-  in
-  if p.Ast.absolute then
-    out "start: document node (emulated at the root element, pre=0)\n"
-  else out "start: context of %d node(s)\n" (Nodeseq.length start);
-  let describe_step i ctx (s : Ast.step) =
-    let exec = Exec.make () in
-    let result =
-      if p.Ast.absolute && i = 0 then eval_document_step session exec s
-      else eval_step session exec ctx s
+let path_plan ?(context_card = 1) session p = plan_of_path session p ~context_card
+
+(* The logical chain, when the plan is one (for the SQL appendix). *)
+let rec logical_chain = function
+  | Plan.L_source src -> Some (src, [])
+  | Plan.L_step (input, s) -> (
+    match logical_chain input with
+    | Some (src, steps) -> Some (src, steps @ [ s ])
+    | None -> None)
+  | Plan.L_union _ -> None
+
+(* the pure-SQL rendition of §2.1, when the (rewritten) path consists of
+   predicate-free partitioning steps *)
+let sql_appendix rewritten =
+  match logical_chain rewritten with
+  | None | Some (_, []) -> None
+  | Some (_, steps) ->
+    let sql_steps =
+      List.map
+        (fun (s : Plan.step) ->
+          let name_test =
+            match s.Plan.test with
+            | Plan.Name tag -> Some (Some tag)
+            | Plan.Any_node -> Some None
+            | Plan.Wildcard | Plan.Text_node | Plan.Comment_node | Plan.Pi_node _ -> None
+          in
+          match (s.Plan.axis, name_test, s.Plan.predicates) with
+          | Axis.Descendant, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Descendant; name_test = nt }
+          | Axis.Ancestor, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Ancestor; name_test = nt }
+          | Axis.Following, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Following; name_test = nt }
+          | Axis.Preceding, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Preceding; name_test = nt }
+          | _, _, _ -> None)
+        steps
     in
-    out "step %d: %s\n" (i + 1) (Format.asprintf "%a" Ast.pp_step s);
-    (match (s.Ast.axis, session.strategy.algorithm, s.Ast.test) with
-    | (Axis.Descendant | Axis.Ancestor | Axis.Descendant_or_self | Axis.Ancestor_or_self), Staircase mode, test ->
-      out "  algorithm: staircase join (%s)\n" (Sj.skip_mode_to_string mode);
-      (match test with
-      | Ast.Name_test tag ->
-        let direction =
-          match s.Ast.axis with
-          | Axis.Descendant | Axis.Descendant_or_self -> `Descendant
-          | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Attribute | Axis.Child
-          | Axis.Following | Axis.Following_sibling | Axis.Namespace | Axis.Parent
-          | Axis.Preceding | Axis.Preceding_sibling | Axis.Self ->
-            `Ancestor
-        in
-        let fragment = Sj.View.length (tag_view session tag) in
-        let estimate = estimated_step_touches session ctx direction in
-        let pushed =
-          match session.strategy.pushdown with
-          | `Never -> false
-          | `Always -> true
-          | `Cost_based -> fragment < estimate
-        in
-        out "  name test '%s': fragment %d node(s) vs. estimated scan of %d node(s)\n" tag
-          fragment estimate;
-        out "  pushdown: %s\n" (if pushed then "yes (join over the tag fragment)" else "no (filter after the join)")
-      | Ast.Wildcard | Ast.Kind_test _ -> ())
-    | (Axis.Descendant | Axis.Ancestor), algorithm, _ ->
-      out "  algorithm: %s\n" (algorithm_to_string algorithm)
-    | (Axis.Following | Axis.Preceding), _, _ ->
-      out "  algorithm: pruned single region query (context degenerates, §3.1)\n"
-    | (Axis.Child | Axis.Parent | Axis.Attribute | Axis.Following_sibling
-      | Axis.Preceding_sibling | Axis.Self | Axis.Namespace | Axis.Descendant_or_self
-      | Axis.Ancestor_or_self), _, _ ->
-      out "  algorithm: structural size/parent arithmetic\n");
-    if s.Ast.predicates <> [] then
-      out "  predicates: %d, %s\n"
-        (List.length s.Ast.predicates)
-        (if List.exists Ast.positional s.Ast.predicates then
-           "positional -> per-context-node evaluation"
-        else "non-positional -> set-at-a-time filter");
-    out "  cardinality: %d -> %d   work: %s\n" (Nodeseq.length ctx) (Nodeseq.length result)
-      (Format.asprintf "%a" Stats.pp_inline exec.Exec.stats);
-    result
+    if List.for_all Option.is_some sql_steps then
+      Some (Scj_engine.Sqlgen.of_steps (List.filter_map Fun.id sql_steps))
+    else None
+
+let plan_header ?context_card session p out =
+  out (Printf.sprintf "path: %s\n" (Ast.path_to_string p));
+  out (Printf.sprintf "strategy: %s\n" (strategy_to_string session.strategy));
+  let logical = compile_path session p in
+  let rewritten = Planner.rewrite logical in
+  let before = Plan.logical_to_string logical in
+  let after = Plan.logical_to_string rewritten in
+  if not (String.equal before after) then out (Printf.sprintf "rewritten: %s\n" after);
+  let context_card =
+    if p.Ast.absolute then 1 else match context_card with Some c -> c | None -> 1
   in
-  let _final = List.fold_left (fun (i, ctx) s -> (i + 1, describe_step i ctx s)) (0, start) p.Ast.steps in
-  (* the pure-SQL rendition of §2.1, when the path is translatable *)
-  let sql_steps =
-    List.map
-      (fun (s : Ast.step) ->
-        let name_test =
-          match s.Ast.test with
-          | Ast.Name_test tag -> Some (Some tag)
-          | Ast.Kind_test Ast.Any_node -> Some None
-          | Ast.Wildcard | Ast.Kind_test _ -> None
-        in
-        match (s.Ast.axis, name_test, s.Ast.predicates) with
-        | Axis.Descendant, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Descendant; name_test = nt }
-        | Axis.Ancestor, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Ancestor; name_test = nt }
-        | Axis.Following, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Following; name_test = nt }
-        | Axis.Preceding, Some nt, [] -> Some { Scj_engine.Sqlgen.axis = `Preceding; name_test = nt }
-        | _, _, _ -> None)
-      p.Ast.steps
-  in
-  (if sql_steps <> [] && List.for_all Option.is_some sql_steps then
-     let steps = List.filter_map Fun.id sql_steps in
-     out "\nequivalent pure-SQL translation (§2.1):\n%s\n" (Scj_engine.Sqlgen.of_steps steps));
+  (rewritten, Planner.plan session.catalog (policy_of_strategy session.strategy) ~context_card rewritten)
+
+let explain ?context session (p : Ast.path) =
+  let buf = Buffer.create 512 in
+  let out = Buffer.add_string buf in
+  let context_card = Option.map Nodeseq.length context in
+  let rewritten, phys = plan_header ?context_card session p out in
+  out "plan:\n";
+  String.split_on_char '\n' (Plan.physical_to_string phys)
+  |> List.iter (fun line -> if line <> "" then out ("  " ^ line ^ "\n"));
+  (match sql_appendix rewritten with
+  | Some sql -> out (Printf.sprintf "\nequivalent pure-SQL translation (§2.1):\n%s\n" sql)
+  | None -> ());
   Buffer.contents buf
+
+let plan_json ?context_card session (p : Ast.path) =
+  let phys =
+    plan_of_path session p ~context_card:(match context_card with Some c -> c | None -> 1)
+  in
+  Printf.sprintf "{\"query\":\"%s\",\"strategy\":\"%s\",\"plan\":%s}"
+    (Trace.json_escape (Ast.path_to_string p))
+    (Trace.json_escape (strategy_to_string session.strategy))
+    (Plan.physical_to_json phys)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
@@ -829,9 +526,17 @@ let analyze ?context session (p : Ast.path) =
       ("query: " ^ Ast.path_to_string p)
       (fun () ->
         Exec.annot exec "strategy" (strategy_to_string session.strategy);
-        let rewritten = rewrite_path p in
-        if rewritten <> p then Exec.annot exec "rewritten" (Ast.path_to_string rewritten);
-        eval_path_inner session exec context p)
+        let logical = compile_path session p in
+        let rewritten = Planner.rewrite logical in
+        let before = Plan.logical_to_string logical in
+        let after = Plan.logical_to_string rewritten in
+        if not (String.equal before after) then Exec.annot exec "rewritten" after;
+        let phys =
+          Planner.plan session.catalog
+            (policy_of_strategy session.strategy)
+            ~context_card:(Nodeseq.length context) rewritten
+        in
+        Planner.execute session.catalog exec ~context phys)
   in
   (result, trace)
 

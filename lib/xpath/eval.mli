@@ -1,65 +1,74 @@
-(** XPath evaluation over the pre/post encoding, parameterized by the
-    axis-step algorithm — the experimental harness of §4.4 in library form.
+(** The XPath front-end of the planned evaluation stack.
 
-    A path is evaluated step by step: the node sequence output by step
-    [s_i] is the context sequence of [s_(i+1)] (§2.1).  For the four
-    partitioning axes the evaluator dispatches on {!algorithm}:
+    A path is compiled into the logical plan IR of {!Scj_plan.Plan},
+    rewritten ({!Scj_plan.Planner.rewrite} — step fusion, prune hoisting,
+    predicate reordering), and lowered by the cost-based planner into a
+    physical operator tree that names the join backend of every
+    partitioning step (serial blit staircase × skip mode, the parallel
+    and paged staircase variants, the Fig.-3 B+-tree/SQL plan, MPMGJN,
+    structural join, or naive region queries).  {!eval_path} executes
+    that tree; {!explain}, {!plan_json} and {!analyze} render the very
+    same tree, so EXPLAIN always shows what runs.
 
-    - [Staircase mode] — the paper's operator ({!Scj_core.Staircase});
-    - [Naive] — independent region query per context node (§3.1);
-    - [Sql options] — the tree-unaware B-tree plan of Fig. 3;
-    - [Mpmgjn] — the multi-predicate merge join of Zhang et al.;
-    - [Structjoin] — sorted-list structural joins (stack-tree descendant /
-      parent chasing ancestor).
-
-    The remaining axes ([child], [parent], [attribute], the siblings, the
-    [-or-self] variants, [self]) are evaluated with shared size/parent
-    arithmetic — the paper notes they are "supported by standard RDBMS
-    join algorithms" and puts them outside its focus.
-
-    Name tests can be pushed through the staircase join (§4.4,
-    Experiment 3): [`Always] evaluates [nametest(doc)] first and joins
-    over that view; [`Cost_based] compares the view size against the
-    Equation-(1) estimate of the unfiltered step cardinality — the cost
-    model sketched as future work in §6. *)
+    This module keeps what is XPath-specific: the parser-facing API, the
+    XPath 1.0 value model (node-set/boolean/number/string coercions and
+    the core function library) that predicate closures evaluate, and the
+    Ast → logical compiler.  Everything strategy-like lives in the
+    planner. *)
 
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
+module Plan = Scj_plan.Plan
+module Planner = Scj_plan.Planner
 
-type algorithm =
-  | Staircase of Scj_core.Staircase.skip_mode
-  | Naive
-  | Sql of { delimiter : bool }
-  | Mpmgjn
-  | Structjoin
+(** How the planner picks the join backend: [`Auto] costs every backend
+    per step and takes the cheapest; [`Force b] pins one backend for all
+    partitioning steps (the §4.4 ablation harness).  [pushdown] controls
+    the name-test/wildcard fragment rewrite: [`Cost_based] compares the
+    fragment view size against the estimated un-pushed scan. *)
+type strategy = {
+  backend : [ `Auto | `Force of Plan.backend ];
+  pushdown : [ `Never | `Always | `Cost_based ];
+}
 
-type pushdown = [ `Never | `Always | `Cost_based ]
-
-type strategy = { algorithm : algorithm; pushdown : pushdown }
-
-(** Staircase join with estimation-based skipping, cost-based pushdown. *)
+(** Cost-based backend choice and pushdown. *)
 val default_strategy : strategy
 
 val strategy_to_string : strategy -> string
 
-(** A session caches per-document auxiliary structures (the B-tree index
-    for [Sql], tag views for pushdown) across queries. *)
+(** CLI spellings accepted by {!strategy_of_string}: [auto], [staircase],
+    [staircase-noskip]/[-skip]/[-estimate]/[-exact], [parallel], [paged],
+    [sql], [sql-nodelimiter], [mpmgjn], [structjoin], [naive]. *)
+val strategy_names : string list
+
+val strategy_of_string : string -> strategy option
+
+(** A session owns the planner catalog for one document: memoized
+    statistics, tag/element views, the B+-tree index, and the plan cache.
+    [paged] attaches a buffer-pool rendition so the paged staircase
+    backend becomes plannable; [domains] bounds the parallel backend. *)
 type session
 
-val session : ?strategy:strategy -> Doc.t -> session
+val session :
+  ?strategy:strategy -> ?paged:Scj_pager.Paged_doc.t -> ?domains:int -> Doc.t -> session
 
 val doc_of_session : session -> Doc.t
 
+(** The planner catalog behind the session, for direct planner access. *)
+val catalog_of_session : session -> Planner.t
+
 (** [step ?exec session context s] evaluates one axis step (node test and
-    predicates included).  The {!Scj_trace.Exec.t} carries the work
-    counters and the optional tracer; when tracing is on, every step opens
-    one span annotated with the algorithm chosen, the pushdown decision,
-    the partition count and the in/out cardinalities. *)
+    predicates included) through the planner.  The {!Scj_trace.Exec.t}
+    carries the work counters and the optional tracer; when tracing is
+    on, the step's operator opens one span annotated with the chosen
+    backend, the pushdown decision, the partition count, the estimates
+    and the in/out cardinalities. *)
 val step : ?exec:Scj_trace.Exec.t -> session -> Nodeseq.t -> Ast.step -> Nodeseq.t
 
-(** [eval_path ?exec ?context session path] evaluates a full path.  The
-    default context is the document root (as a singleton sequence); an
-    absolute path resets the context to the root regardless. *)
+(** [eval_path ?exec ?context session path] plans (once, cached) and
+    executes a full path.  The default context is the document root (as a
+    singleton sequence); an absolute path resets the context to the root
+    regardless. *)
 val eval_path :
   ?exec:Scj_trace.Exec.t -> ?context:Nodeseq.t -> session -> Ast.path -> Nodeseq.t
 
@@ -80,38 +89,32 @@ val run :
 val run_exn :
   ?exec:Scj_trace.Exec.t -> ?context:Nodeseq.t -> session -> string -> Nodeseq.t
 
-(** {1 Explain}
+(** {1 Plans}
 
-    EXPLAIN-ANALYZE-style report: the path is evaluated step by step and
-    each step is annotated with the algorithm used, the pushdown decision
-    (with the cost-model numbers behind it), cardinalities, and work
-    counters.  When the whole path consists of predicate-free partitioning
-    steps, the equivalent §2.1 SQL translation is appended. *)
+    The physical plan a path will execute — the exact tree
+    {!eval_path} interprets (same cache). *)
+
+val path_plan : ?context_card:int -> session -> Ast.path -> Plan.physical
+
+(** [explain session path] — EXPLAIN without running: the path, the
+    strategy, the rewritten form (when a rewrite fired), the physical
+    plan tree with per-step backend choices, pushdown decisions, cost
+    estimates and rejected alternatives, and — when the whole path is
+    predicate-free partitioning steps — the equivalent §2.1 SQL
+    translation. *)
 val explain : ?context:Nodeseq.t -> session -> Ast.path -> string
 
-(** [analyze ?context session path] is EXPLAIN ANALYZE proper: the path is
-    evaluated once under a fresh tracing {!Scj_trace.Exec.t}, and the
-    resulting node sequence is returned together with the trace — a span
-    per step (nested predicate paths included), each carrying wall-clock
-    time, the {!Scj_stats.Stats} delta of the work done inside it, and the
-    planner annotations of {!step}.  Render with
-    {!Scj_trace.Trace.pp_tree} or serialize with
-    {!Scj_trace.Trace.to_json}. *)
+(** [plan_json session path] — the same plan as one JSON object
+    ([scj plan --json]). *)
+val plan_json : ?context_card:int -> session -> Ast.path -> string
+
+(** [analyze ?context session path] is EXPLAIN ANALYZE: the path is
+    planned and executed once under a fresh tracing
+    {!Scj_trace.Exec.t}, and the resulting node sequence is returned
+    together with the trace — one span per plan operator (nested
+    predicate paths included), each carrying wall-clock time, the
+    {!Scj_stats.Stats} delta of the work done inside it, and the plan
+    annotations (backend, pushdown, estimates).  The span tree mirrors
+    {!path_plan} one-to-one.  Render with {!Scj_trace.Trace.pp_tree} or
+    serialize with {!Scj_trace.Trace.to_json}. *)
 val analyze : ?context:Nodeseq.t -> session -> Ast.path -> Nodeseq.t * Scj_trace.Trace.t
-
-(** {1 Cost model}
-
-    Exact cardinality arithmetic behind [`Cost_based] pushdown, exposed
-    for the ablation benchmarks. *)
-
-(** [estimated_step_touches session context axis] — nodes the un-pushed
-    staircase join would touch: Σ size(c) over the pruned context for
-    [descendant] (exact, because pruned subtrees are disjoint), bounded by
-    [height × |context|] for [ancestor]. *)
-val estimated_step_touches :
-  session -> Nodeseq.t -> [ `Descendant | `Ancestor ] -> int
-
-(** [decide_pushdown session context axis ~tag] — [true] when joining over
-    the tag view is estimated cheaper than filtering afterwards. *)
-val decide_pushdown :
-  session -> Nodeseq.t -> [ `Descendant | `Ancestor ] -> tag:string -> bool

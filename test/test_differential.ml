@@ -154,6 +154,90 @@ let shape_cases =
         `Quick (test_shape shape))
     Fuzz.all_shapes
 
+(* ------------------------------------------------------------------ *)
+(* multi-step paths through the planner vs. the per-step oracle         *)
+(* ------------------------------------------------------------------ *)
+
+(* Random predicate-free multi-step paths are planned and executed by the
+   cost-based planner (auto backend choice, cost-based pushdown — so the
+   step-fusion and pushdown rewrites fire on real inputs) and held
+   against the naive oracle: fold the specification step over the path,
+   filtering each intermediate by an independent restatement of the node
+   test.  Same (shape, seed) replayability as the axis matrix above. *)
+
+module Ast = Scj_xpath.Ast
+module Eval = Scj_xpath.Eval
+
+let fuzz_axes =
+  [|
+    Axis.Descendant; Axis.Ancestor; Axis.Following; Axis.Preceding; Axis.Child;
+    Axis.Parent; Axis.Attribute; Axis.Self; Axis.Following_sibling;
+    Axis.Preceding_sibling; Axis.Descendant_or_self; Axis.Ancestor_or_self;
+  |]
+
+let fuzz_tests =
+  [|
+    Ast.Kind_test Ast.Any_node; Ast.Name_test "a"; Ast.Name_test "b";
+    Ast.Name_test "item"; Ast.Wildcard; Ast.Kind_test Ast.Text_node;
+  |]
+
+(* independent restatement of the node-test semantics for the oracle *)
+let oracle_test doc axis test v =
+  let principal =
+    match axis with
+    | Axis.Attribute -> Doc.kind doc v = Doc.Attribute
+    | _ -> Doc.kind doc v = Doc.Element
+  in
+  match test with
+  | Ast.Kind_test Ast.Any_node -> true
+  | Ast.Kind_test Ast.Text_node -> Doc.kind doc v = Doc.Text
+  | Ast.Wildcard -> principal
+  | Ast.Name_test n -> principal && Doc.tag_name doc v = Some n
+  | Ast.Kind_test _ -> false
+
+let oracle_path doc ctx steps =
+  List.fold_left
+    (fun seq (s : Ast.step) ->
+      Nodeseq.filter (oracle_test doc s.Ast.axis s.Ast.test)
+        (Test_support.spec_step doc s.Ast.axis seq))
+    ctx steps
+
+let planner_paths shape seed =
+  let doc = Fuzz.doc shape seed in
+  let ctx = Fuzz.context doc seed in
+  let session = Eval.session doc in
+  let st = Random.State.make [| 0xbead; seed; Hashtbl.hash (Fuzz.shape_to_string shape) |] in
+  for _ = 1 to 4 do
+    let len = 1 + Random.State.int st 3 in
+    let steps =
+      List.init len (fun _ ->
+          Ast.step
+            fuzz_axes.(Random.State.int st (Array.length fuzz_axes))
+            fuzz_tests.(Random.State.int st (Array.length fuzz_tests)))
+    in
+    let path = { Ast.absolute = false; steps } in
+    let expected = oracle_path doc ctx steps in
+    let actual = Eval.eval_path ~context:ctx session path in
+    if not (Nodeseq.equal expected actual) then
+      fail_at shape seed "planner path %s: expected %s, got %s"
+        (Ast.path_to_string path)
+        (Format.asprintf "%a" Nodeseq.pp expected)
+        (Format.asprintf "%a" Nodeseq.pp actual)
+  done
+
+let test_planner_shape shape () = List.iter (planner_paths shape) seeds
+
+let planner_cases =
+  List.map
+    (fun shape ->
+      Alcotest.test_case
+        (Printf.sprintf "planner paths: %s" (Fuzz.shape_to_string shape))
+        `Quick (test_planner_shape shape))
+    Fuzz.all_shapes
+
 let () =
   Alcotest.run "differential"
-    [ ("axes x implementations x modes", shape_cases) ]
+    [
+      ("axes x implementations x modes", shape_cases);
+      ("multi-step paths through the planner", planner_cases);
+    ]

@@ -1,0 +1,282 @@
+(* Tests for the plan IR and the cost-based planner (lib/plan) plus the
+   document statistics behind its cost model (lib/stats/doc_stats).
+
+   The golden plan trees are rendered against the deterministic XMark
+   fixture (default seed, scale 0.003), so the cost-model numbers are
+   exact; they pin down the same text 'scj plan' prints and 'scj analyze'
+   traces.  The rewrite unit tests work on hand-built logical plans and
+   need no document at all. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Axis = Scj_encoding.Axis
+module Doc_stats = Scj_stats.Doc_stats
+module Plan = Scj_plan.Plan
+module Planner = Scj_plan.Planner
+module Eval = Scj_xpath.Eval
+
+let check_int = Alcotest.(check int)
+
+let check_string = Alcotest.(check string)
+
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* document statistics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stats_doc () =
+  match
+    Doc.of_string
+      "<r><a x='1'><b>t1</b><b>t2</b></a><a><b>t3</b></a><c/><!--n--></r>"
+  with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "fixture: %s" e
+
+let test_doc_stats_counts () =
+  let d = stats_doc () in
+  let s = Doc_stats.build d in
+  check_int "n_nodes" (Doc.n_nodes d) s.Doc_stats.n_nodes;
+  check_int "elements" 7 s.Doc_stats.n_elements;
+  check_int "attributes" 1 s.Doc_stats.n_attributes;
+  check_int "texts" 3 s.Doc_stats.n_texts;
+  check_int "comments" 1 s.Doc_stats.n_comments;
+  check_int "height" (Doc.height d) s.Doc_stats.height;
+  check_int "root size" (Doc.size d 0) s.Doc_stats.root_size;
+  check_int "tag a" 2 (Doc_stats.tag s "a").Doc_stats.count;
+  check_int "tag b" 3 (Doc_stats.tag s "b").Doc_stats.count;
+  check_int "tag c" 1 (Doc_stats.tag s "c").Doc_stats.count;
+  check_int "unknown tag" 0 (Doc_stats.tag s "zzz").Doc_stats.count;
+  (* subtree sums: the two 'a' subtrees hold 4+1 and 2 descendants *)
+  check_int "a subtree sum" 7 (Doc_stats.tag s "a").Doc_stats.subtree_sum;
+  check_bool "selectivity in (0,1]" true
+    (let sel = Doc_stats.selectivity s "b" in
+     sel > 0.0 && sel <= 1.0)
+
+let test_doc_stats_memoized () =
+  let d = stats_doc () in
+  let cat = Planner.catalog d in
+  check_bool "same stats object" true
+    (Planner.doc_stats cat == Planner.doc_stats cat);
+  (* the memoized tag view is the sorted element fragment *)
+  let view = Planner.tag_view cat "b" in
+  check_int "tag view size" 3 (Planner.Sj.View.length view);
+  check_bool "same view object" true (Planner.tag_view cat "b" == Planner.tag_view cat "b");
+  let elems = Planner.element_view cat in
+  check_int "element view size" 7 (Planner.Sj.View.length elems)
+
+(* ------------------------------------------------------------------ *)
+(* logical rewrites                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let step ?(predicates = []) axis test = { Plan.axis; test; predicates }
+
+let bridge = step Axis.Descendant_or_self (Plan.Any_node)
+
+let named n = Plan.Name n
+
+let pred ?(positional = false) ?(rank = 0) label =
+  { Plan.label; positional; rank; eval = (fun _ ~node:_ ~pos:_ ~last:_ -> true) }
+
+let rewritten l = Plan.logical_to_string (Planner.rewrite l)
+
+let chain src steps =
+  List.fold_left (fun acc s -> Plan.L_step (acc, s)) (Plan.L_source src) steps
+
+let test_rewrite_fuses_bridge_child () =
+  (* //t: descendant-or-self::node()/child::t => descendant::t *)
+  check_string "bridge+child"
+    "/descendant::t"
+    (rewritten (chain Plan.Document [ bridge; step Axis.Child (named "t") ]));
+  (* inner occurrence too *)
+  check_string "inner bridge"
+    "/descendant::a/descendant::b"
+    (rewritten
+       (chain Plan.Document [ bridge; step Axis.Child (named "a"); bridge; step Axis.Child (named "b") ]))
+
+let test_rewrite_drops_bridge_before_descendant () =
+  check_string "bridge+descendant"
+    "/descendant::t"
+    (rewritten (chain Plan.Document [ bridge; step Axis.Descendant (named "t") ]))
+
+let test_rewrite_keeps_positional_child () =
+  (* //t[2] selects per-parent positions: fusing would change semantics, so
+     the absolute corner becomes the explicit document union instead *)
+  let p = pred ~positional:true "2" in
+  check_string "positional blocks fusion"
+    "(/descendant-or-self::node()/child::t[2] | root()/self::t[2])"
+    (rewritten (chain Plan.Document [ bridge; step ~predicates:[ p ] Axis.Child (named "t") ]))
+
+let test_rewrite_drops_self_noop () =
+  check_string "self::node() dropped"
+    "/descendant::t"
+    (rewritten
+       (chain Plan.Document
+          [ bridge; step Axis.Child (named "t"); step Axis.Self Plan.Any_node ]))
+
+let test_rewrite_reorders_predicates () =
+  let cheap = pred ~rank:1 "cheap" in
+  let costly = pred ~rank:9 "costly" in
+  let l = chain Plan.Context [ step ~predicates:[ costly; cheap ] Axis.Child (named "t") ] in
+  match Planner.rewrite l with
+  | Plan.L_step (_, { Plan.predicates = [ p1; p2 ]; _ }) ->
+    check_string "cheap first" "cheap" p1.Plan.label;
+    check_string "costly second" "costly" p2.Plan.label
+  | l' -> Alcotest.failf "unexpected shape: %s" (Plan.logical_to_string l')
+
+let test_rewrite_keeps_positional_order () =
+  (* positional predicates pin the whole list: reordering would change
+     which nodes survive the earlier filters *)
+  let first = pred ~rank:9 "costly" in
+  let second = pred ~positional:true ~rank:1 "last()" in
+  let l = chain Plan.Context [ step ~predicates:[ first; second ] Axis.Child (named "t") ] in
+  match Planner.rewrite l with
+  | Plan.L_step (_, { Plan.predicates = [ p1; p2 ]; _ }) ->
+    check_string "order kept" "costly" p1.Plan.label;
+    check_string "positional last" "last()" p2.Plan.label
+  | l' -> Alcotest.failf "unexpected shape: %s" (Plan.logical_to_string l')
+
+(* ------------------------------------------------------------------ *)
+(* golden plan trees (scj plan) on the XMark fixture                    *)
+(* ------------------------------------------------------------------ *)
+
+let xmark =
+  lazy (Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.003 ())))
+
+let parse_ok s =
+  match Scj_xpath.Parse.path s with Ok p -> p | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let plan_string q =
+  let session = Eval.session (Lazy.force xmark) in
+  Plan.physical_to_string (Eval.path_plan session (parse_ok q))
+
+let golden_plan_q1 =
+  {golden|source: document node (emulated at the root element)  [est card=1]
+join: descendant-or-self::profile
+  backend: staircase join (serial, estimation) + self
+  pushdown: yes (join over the fragment) -- tag fragment 'profile': 28 node(s) vs. estimated scan of 6737 node(s)
+  est: in=1 touches=6737 out=28 cost=39
+  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+join: descendant::education
+  backend: staircase join (serial, estimation)
+  pushdown: yes (join over the fragment) -- tag fragment 'education': 13 node(s) vs. estimated scan of 264 node(s)
+  est: in=28 touches=264 out=13 cost=321
+  rejected: sql-btree cost=3008, mpmgjn cost=7002, structjoin cost=7002, naive cost=188664
+|golden}
+
+let golden_plan_keyword =
+  {golden|source: document node (emulated at the root element)  [est card=1]
+join: descendant-or-self::keyword
+  backend: staircase join (serial, estimation) + self
+  pushdown: yes (join over the fragment) -- tag fragment 'keyword': 54 node(s) vs. estimated scan of 6737 node(s)
+  est: in=1 touches=6737 out=54 cost=65
+  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+|golden}
+
+let golden_plan_wild =
+  {golden|source: document node (emulated at the root element)  [est card=1]
+join: descendant-or-self::*
+  backend: staircase join (serial, estimation) + self
+  pushdown: yes (join over the fragment) -- element view '*': 3673 node(s) vs. estimated scan of 6737 node(s)
+  est: in=1 touches=6737 out=3673 cost=3684
+  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+|golden}
+
+let test_golden_q1 () = check_string "q1" golden_plan_q1 (plan_string "/descendant::profile/descendant::education")
+
+(* the //keyword document-union special case fuses to one descendant join *)
+let test_golden_keyword () = check_string "//keyword" golden_plan_keyword (plan_string "//keyword")
+
+(* satellite: wildcard pushdown over the element-only view, cost-annotated *)
+let test_golden_wildcard () = check_string "/descendant::*" golden_plan_wild (plan_string "/descendant::*")
+
+(* ------------------------------------------------------------------ *)
+(* planner behaviour on the fixture                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_wildcard_pushdown_impl () =
+  let session = Eval.session (Lazy.force xmark) in
+  (* taken from the root: the element view beats the full scan *)
+  (match Eval.path_plan session (parse_ok "/descendant::*") with
+  | Plan.P_step (_, { Plan.impl = Plan.Join { push = Plan.Push_elements; _ }; push_note = Some note; _ }) ->
+    check_bool "note carries the cost comparison" true (contains note "element view")
+  | p -> Alcotest.failf "expected an element-view pushdown, got:\n%s" (Plan.physical_to_string p));
+  (* rejected on a small context: scanning 264 nodes beats a 3673-node view *)
+  match Eval.path_plan session (parse_ok "/descendant::profile/descendant::*") with
+  | Plan.P_step (_, { Plan.impl = Plan.Join { push = Plan.No_push; _ }; push_note = Some _; _ }) -> ()
+  | p -> Alcotest.failf "expected the wildcard push to be rejected, got:\n%s" (Plan.physical_to_string p)
+
+let test_plan_cache () =
+  let session = Eval.session (Lazy.force xmark) in
+  let p = parse_ok "/descendant::profile/descendant::education" in
+  check_bool "same physical plan object" true
+    (Eval.path_plan session p == Eval.path_plan session p)
+
+let test_results_unchanged_by_auto () =
+  let doc = Lazy.force xmark in
+  let auto = Eval.session doc in
+  let forced =
+    Eval.session
+      ~strategy:{ Eval.backend = `Force (Plan.Serial Scj_trace.Exec.Estimation); pushdown = `Never }
+      doc
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) q true
+        (Nodeseq.equal (Eval.run_exn auto q) (Eval.run_exn forced q)))
+    [
+      "/descendant::profile/descendant::education";
+      "/descendant::increase/ancestor::bidder";
+      "//keyword";
+      "/descendant::*";
+      "//open_auction[bidder]/seller";
+    ]
+
+let test_plan_json_shape () =
+  let session = Eval.session (Lazy.force xmark) in
+  let json = Eval.plan_json session (parse_ok "//keyword") in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "json contains %s" needle) true (contains json needle))
+    [ "\"op\":\"join\""; "\"backend\":"; "\"est\":"; "\"rejected\":"; "\"op\":\"source\"" ]
+
+let () =
+  Alcotest.run "scj_plan"
+    [
+      ( "doc stats",
+        [
+          Alcotest.test_case "counts" `Quick test_doc_stats_counts;
+          Alcotest.test_case "memoized views" `Quick test_doc_stats_memoized;
+        ] );
+      ( "rewrites",
+        [
+          Alcotest.test_case "bridge+child fuses" `Quick test_rewrite_fuses_bridge_child;
+          Alcotest.test_case "bridge+descendant drops bridge" `Quick
+            test_rewrite_drops_bridge_before_descendant;
+          Alcotest.test_case "positional child blocks fusion" `Quick
+            test_rewrite_keeps_positional_child;
+          Alcotest.test_case "self noop dropped" `Quick test_rewrite_drops_self_noop;
+          Alcotest.test_case "predicates reordered by rank" `Quick
+            test_rewrite_reorders_predicates;
+          Alcotest.test_case "positional pins predicate order" `Quick
+            test_rewrite_keeps_positional_order;
+        ] );
+      ( "golden plan trees",
+        [
+          Alcotest.test_case "Q1" `Quick test_golden_q1;
+          Alcotest.test_case "//keyword fusion" `Quick test_golden_keyword;
+          Alcotest.test_case "wildcard element view" `Quick test_golden_wildcard;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "wildcard pushdown decision" `Quick test_wildcard_pushdown_impl;
+          Alcotest.test_case "plan cache" `Quick test_plan_cache;
+          Alcotest.test_case "auto = forced results" `Quick test_results_unchanged_by_auto;
+          Alcotest.test_case "plan json" `Quick test_plan_json_shape;
+        ] );
+    ]

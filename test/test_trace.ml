@@ -1,9 +1,10 @@
 (* Golden tests for the EXPLAIN / EXPLAIN ANALYZE subsystem.
 
    The plans are rendered against the deterministic XMark fixture
-   (default seed, scale 0.003), so the work counters and the cost-model
-   numbers in the goldens are exact.  The matrix covers all four
-   partitioning axes, every skipping variant, and the `Cost_based
+   (default seed, scale 0.003), so the cost-model estimates in the
+   goldens are exact.  The matrix covers all four partitioning axes,
+   every skipping variant (as forced backends), the cost-based planner's
+   auto choice with its rejected-alternative lines, and the `Cost_based
    pushdown decision in both directions (taken on the small 'education'
    fragment, rejected when the estimated scan of 13 nodes beats the
    235-node 'text' fragment). *)
@@ -16,6 +17,7 @@ module Trace = Scj_trace.Trace
 module Sj = Scj_core.Staircase
 module Parallel = Scj_frag.Parallel
 module Eval = Scj_xpath.Eval
+module Plan = Scj_plan.Plan
 
 let xmark = lazy (Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.003 ())))
 
@@ -31,17 +33,16 @@ let check_golden name strategy path golden () =
 let golden_mode_no_skipping =
   {golden|path: /descendant::profile/descendant::education
 strategy: staircase/no-skipping(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::profile
-  algorithm: staircase join (no-skipping)
-  name test 'profile': fragment 28 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 28   work: scanned=6737 appended=5924
-step 2: descendant::education
-  algorithm: staircase join (no-skipping)
-  name test 'education': fragment 13 node(s) vs. estimated scan of 264 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 28 -> 13   work: scanned=4235 appended=186
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::profile
+    backend: staircase join (serial, no-skipping) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=28 cost=6749
+  join: descendant::education
+    backend: staircase join (serial, no-skipping)
+    pushdown: no (disabled)
+    est: in=28 touches=264 out=13 cost=7046
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -57,17 +58,16 @@ ORDER BY v2.pre
 let golden_mode_skipping =
   {golden|path: /descendant::profile/descendant::education
 strategy: staircase/skipping(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::profile
-  algorithm: staircase join (skipping)
-  name test 'profile': fragment 28 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 28   work: scanned=6737 appended=5924
-step 2: descendant::education
-  algorithm: staircase join (skipping)
-  name test 'education': fragment 13 node(s) vs. estimated scan of 264 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 28 -> 13   work: scanned=292 skipped=3943 appended=186
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::profile
+    backend: staircase join (serial, skipping) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=28 cost=6748
+  join: descendant::education
+    backend: staircase join (serial, skipping)
+    pushdown: no (disabled)
+    est: in=28 touches=264 out=13 cost=572
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -83,17 +83,16 @@ ORDER BY v2.pre
 let golden_mode_estimation =
   {golden|path: /descendant::profile/descendant::education
 strategy: staircase/estimation(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::profile
-  algorithm: staircase join (estimation)
-  name test 'profile': fragment 28 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 28   work: copied=6737 appended=5924
-step 2: descendant::education
-  algorithm: staircase join (estimation)
-  name test 'education': fragment 13 node(s) vs. estimated scan of 264 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 28 -> 13   work: scanned=112 copied=180 skipped=3943 appended=186
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::profile
+    backend: staircase join (serial, estimation) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=28 cost=6748
+  join: descendant::education
+    backend: staircase join (serial, estimation)
+    pushdown: no (disabled)
+    est: in=28 touches=264 out=13 cost=572
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -109,17 +108,16 @@ ORDER BY v2.pre
 let golden_mode_exact_size =
   {golden|path: /descendant::profile/descendant::education
 strategy: staircase/exact-size(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::profile
-  algorithm: staircase join (exact-size)
-  name test 'profile': fragment 28 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 28   work: copied=6737 appended=5924
-step 2: descendant::education
-  algorithm: staircase join (exact-size)
-  name test 'education': fragment 13 node(s) vs. estimated scan of 264 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 28 -> 13   work: copied=264 skipped=3971 appended=186
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::profile
+    backend: staircase join (serial, exact-size) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=28 cost=6748
+  join: descendant::education
+    backend: staircase join (serial, exact-size)
+    pushdown: no (disabled)
+    est: in=28 touches=264 out=13 cost=572
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -135,17 +133,16 @@ ORDER BY v2.pre
 let golden_anc =
   {golden|path: /descendant::increase/ancestor::bidder
 strategy: staircase/estimation(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::increase
-  algorithm: staircase join (estimation)
-  name test 'increase': fragment 147 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 147   work: copied=6737 appended=5924
-step 2: ancestor::bidder
-  algorithm: staircase join (estimation)
-  name test 'bidder': fragment 147 node(s) vs. estimated scan of 588 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 147 -> 147   work: scanned=1942 skipped=4379 appended=182
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::increase
+    backend: staircase join (serial, estimation) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=147 cost=6748
+  join: ancestor::bidder
+    backend: staircase join (serial, estimation)
+    pushdown: no (disabled)
+    est: in=147 touches=588 out=147 cost=2205
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -161,15 +158,16 @@ ORDER BY v2.pre
 let golden_following =
   {golden|path: /descendant::privacy/following::annotation
 strategy: staircase/estimation(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::privacy
-  algorithm: staircase join (estimation)
-  name test 'privacy': fragment 10 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 10   work: copied=6737 appended=5924
-step 2: following::annotation
-  algorithm: pruned single region query (context degenerates, §3.1)
-  cardinality: 10 -> 44   work: scanned=1 copied=2708 appended=2390 pruned=9
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::privacy
+    backend: staircase join (serial, estimation) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=10 cost=6748
+  join: following::annotation
+    backend: staircase join (serial, estimation)
+    note: context prunes to a single region query (§3.1)
+    est: in=10 touches=6737 out=45 cost=6737
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -185,15 +183,16 @@ ORDER BY v2.pre
 let golden_preceding =
   {golden|path: /descendant::privacy/preceding::annotation
 strategy: staircase/estimation(pushdown=never)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::privacy
-  algorithm: staircase join (estimation)
-  name test 'privacy': fragment 10 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 1 -> 10   work: copied=6737 appended=5924
-step 2: preceding::annotation
-  algorithm: pruned single region query (context degenerates, §3.1)
-  cardinality: 10 -> 35   work: scanned=6471 appended=5694 pruned=9
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::privacy
+    backend: staircase join (serial, estimation) + self
+    pushdown: no (disabled)
+    est: in=1 touches=6737 out=10 cost=6748
+  join: preceding::annotation
+    backend: staircase join (serial, estimation)
+    note: context prunes to a single region query (§3.1)
+    est: in=10 touches=6737 out=45 cost=6737
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -209,17 +208,16 @@ ORDER BY v2.pre
 let golden_cost_taken =
   {golden|path: /descendant::profile/descendant::education
 strategy: staircase/estimation(pushdown=cost)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::profile
-  algorithm: staircase join (estimation)
-  name test 'profile': fragment 28 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: yes (join over the tag fragment)
-  cardinality: 1 -> 28   work: copied=28 appended=28
-step 2: descendant::education
-  algorithm: staircase join (estimation)
-  name test 'education': fragment 13 node(s) vs. estimated scan of 264 node(s)
-  pushdown: yes (join over the tag fragment)
-  cardinality: 28 -> 13   work: copied=13 appended=13
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::profile
+    backend: staircase join (serial, estimation) + self
+    pushdown: yes (join over the fragment) -- tag fragment 'profile': 28 node(s) vs. estimated scan of 6737 node(s)
+    est: in=1 touches=6737 out=28 cost=39
+  join: descendant::education
+    backend: staircase join (serial, estimation)
+    pushdown: yes (join over the fragment) -- tag fragment 'education': 13 node(s) vs. estimated scan of 264 node(s)
+    est: in=28 touches=264 out=13 cost=321
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -235,17 +233,16 @@ ORDER BY v2.pre
 let golden_cost_rejected =
   {golden|path: /descendant::education/descendant::text
 strategy: staircase/estimation(pushdown=cost)
-start: document node (emulated at the root element, pre=0)
-step 1: descendant::education
-  algorithm: staircase join (estimation)
-  name test 'education': fragment 13 node(s) vs. estimated scan of 6737 node(s)
-  pushdown: yes (join over the tag fragment)
-  cardinality: 1 -> 13   work: copied=13 appended=13
-step 2: descendant::text
-  algorithm: staircase join (estimation)
-  name test 'text': fragment 235 node(s) vs. estimated scan of 13 node(s)
-  pushdown: no (filter after the join)
-  cardinality: 13 -> 0   work: scanned=26 skipped=4154 appended=13
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::education
+    backend: staircase join (serial, estimation) + self
+    pushdown: yes (join over the fragment) -- tag fragment 'education': 13 node(s) vs. estimated scan of 6737 node(s)
+    est: in=1 touches=6737 out=13 cost=24
+  join: descendant::text
+    backend: staircase join (serial, estimation)
+    pushdown: no (filter after the join) -- tag fragment 'text': 235 node(s) vs. estimated scan of 13 node(s)
+    est: in=13 touches=13 out=13 cost=156
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
@@ -258,26 +255,55 @@ AND    v2.post < v1.post
 AND    v2.tag = 'text'
 ORDER BY v2.pre
 |golden}
+let golden_auto =
+  {golden|path: /descendant::increase/ancestor::bidder
+strategy: auto(pushdown=cost)
+plan:
+  source: document node (emulated at the root element)  [est card=1]
+  join: descendant-or-self::increase
+    backend: staircase join (serial, estimation) + self
+    pushdown: yes (join over the fragment) -- tag fragment 'increase': 147 node(s) vs. estimated scan of 6737 node(s)
+    est: in=1 touches=6737 out=147 cost=158
+    rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+  join: ancestor::bidder
+    backend: staircase join (serial, estimation)
+    pushdown: yes (join over the fragment) -- tag fragment 'bidder': 147 node(s) vs. estimated scan of 588 node(s)
+    est: in=147 touches=588 out=147 cost=1764
+    rejected: sql-btree cost=8455, mpmgjn cost=7326, structjoin cost=7326, naive cost=990486
+
+equivalent pure-SQL translation (§2.1):
+SELECT DISTINCT v2.pre
+FROM   doc v1, doc v2
+WHERE  v1.pre > pre(:ctx)
+AND    v1.post < post(:ctx)
+AND    v1.tag = 'increase'
+AND    v2.pre < v1.pre
+AND    v2.post > v1.post
+AND    v2.tag = 'bidder'
+ORDER BY v2.pre
+|golden}
 let golden_cases =
   [
     Alcotest.test_case "mode-no-skipping" `Quick
-      (check_golden "mode-no-skipping" { Eval.algorithm = Eval.Staircase Sj.No_skipping; pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_no_skipping);
+      (check_golden "mode-no-skipping" { Eval.backend = `Force (Plan.Serial Sj.No_skipping); pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_no_skipping);
     Alcotest.test_case "mode-skipping" `Quick
-      (check_golden "mode-skipping" { Eval.algorithm = Eval.Staircase Sj.Skipping; pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_skipping);
+      (check_golden "mode-skipping" { Eval.backend = `Force (Plan.Serial Sj.Skipping); pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_skipping);
     Alcotest.test_case "mode-estimation" `Quick
-      (check_golden "mode-estimation" { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_estimation);
+      (check_golden "mode-estimation" { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_estimation);
     Alcotest.test_case "mode-exact-size" `Quick
-      (check_golden "mode-exact-size" { Eval.algorithm = Eval.Staircase Sj.Exact_size; pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_exact_size);
+      (check_golden "mode-exact-size" { Eval.backend = `Force (Plan.Serial Sj.Exact_size); pushdown = `Never } "/descendant::profile/descendant::education" golden_mode_exact_size);
     Alcotest.test_case "anc" `Quick
-      (check_golden "anc" { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never } "/descendant::increase/ancestor::bidder" golden_anc);
+      (check_golden "anc" { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never } "/descendant::increase/ancestor::bidder" golden_anc);
     Alcotest.test_case "following" `Quick
-      (check_golden "following" { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never } "/descendant::privacy/following::annotation" golden_following);
+      (check_golden "following" { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never } "/descendant::privacy/following::annotation" golden_following);
     Alcotest.test_case "preceding" `Quick
-      (check_golden "preceding" { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never } "/descendant::privacy/preceding::annotation" golden_preceding);
+      (check_golden "preceding" { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never } "/descendant::privacy/preceding::annotation" golden_preceding);
     Alcotest.test_case "cost-taken" `Quick
-      (check_golden "cost-taken" { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based } "/descendant::profile/descendant::education" golden_cost_taken);
+      (check_golden "cost-taken" { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Cost_based } "/descendant::profile/descendant::education" golden_cost_taken);
     Alcotest.test_case "cost-rejected" `Quick
-      (check_golden "cost-rejected" { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based } "/descendant::education/descendant::text" golden_cost_rejected);
+      (check_golden "cost-rejected" { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Cost_based } "/descendant::education/descendant::text" golden_cost_rejected);
+    Alcotest.test_case "auto" `Quick
+      (check_golden "auto" Eval.default_strategy "/descendant::increase/ancestor::bidder" golden_auto);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -10,6 +10,7 @@ module Sj = Scj_core.Staircase
 module Ast = Scj_xpath.Ast
 module Parse = Scj_xpath.Parse
 module Eval = Scj_xpath.Eval
+module Plan = Scj_plan.Plan
 
 let nodeseq = Alcotest.testable Nodeseq.pp Nodeseq.equal
 
@@ -25,17 +26,19 @@ let path_str s = Ast.path_to_string (parse_ok s)
 (* strategies under test *)
 let strategies =
   [
-    { Eval.algorithm = Eval.Staircase Sj.No_skipping; pushdown = `Never };
-    { Eval.algorithm = Eval.Staircase Sj.Skipping; pushdown = `Never };
-    { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Never };
-    { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Always };
-    { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown = `Cost_based };
-    { Eval.algorithm = Eval.Staircase Sj.Exact_size; pushdown = `Cost_based };
-    { Eval.algorithm = Eval.Naive; pushdown = `Never };
-    { Eval.algorithm = Eval.Sql { delimiter = true }; pushdown = `Never };
-    { Eval.algorithm = Eval.Sql { delimiter = false }; pushdown = `Never };
-    { Eval.algorithm = Eval.Mpmgjn; pushdown = `Never };
-    { Eval.algorithm = Eval.Structjoin; pushdown = `Never };
+    { Eval.backend = `Force (Plan.Serial Sj.No_skipping); pushdown = `Never };
+    { Eval.backend = `Force (Plan.Serial Sj.Skipping); pushdown = `Never };
+    { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Never };
+    { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Always };
+    { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown = `Cost_based };
+    { Eval.backend = `Force (Plan.Serial Sj.Exact_size); pushdown = `Cost_based };
+    { Eval.backend = `Auto; pushdown = `Cost_based };
+    { Eval.backend = `Force (Plan.Parallel Sj.Estimation); pushdown = `Never };
+    { Eval.backend = `Force Plan.Naive; pushdown = `Never };
+    { Eval.backend = `Force (Plan.Btree { delimiter = true }); pushdown = `Never };
+    { Eval.backend = `Force (Plan.Btree { delimiter = false }); pushdown = `Never };
+    { Eval.backend = `Force Plan.Mpmgjn; pushdown = `Never };
+    { Eval.backend = `Force Plan.Structjoin; pushdown = `Never };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -335,7 +338,7 @@ let test_pushdown_reduces_touches () =
   let d = Lazy.force xmark_doc in
   let run pushdown =
     let stats = Stats.create () in
-    let strategy = { Eval.algorithm = Eval.Staircase Sj.Estimation; pushdown } in
+    let strategy = { Eval.backend = `Force (Plan.Serial Sj.Estimation); pushdown } in
     let r = Eval.run_exn ~exec:(Exec.make ~stats ()) (Eval.session ~strategy d) q1 in
     (r, Stats.touched stats)
   in
@@ -366,8 +369,8 @@ let test_explain () =
         true
         (string_contains ~needle:fragment report))
     [
-      "staircase join"; "pushdown"; "name test 'increase'"; "cardinality";
-      "SELECT DISTINCT v2.pre"; "v2.tag = 'bidder'";
+      "staircase join"; "pushdown"; "tag fragment 'increase'"; "est: in=";
+      "rejected:"; "SELECT DISTINCT v2.pre"; "v2.tag = 'bidder'";
     ];
   (* predicates and non-partitioning axes are reported too *)
   let report2 = Eval.explain session (parse_ok "//open_auction[bidder]/seller") in
@@ -378,12 +381,14 @@ let test_explain () =
 let test_cost_model_decisions () =
   let d = Lazy.force xmark_doc in
   let session = Eval.session d in
-  let root = Nodeseq.singleton (Doc.root d) in
-  (* selective tag below the root: pushdown pays off *)
-  check_bool "selective tag pushed" true
-    (Eval.decide_pushdown session root `Descendant ~tag:"education");
-  (* estimated touches from the root = whole document *)
-  check_int "root estimate" (Doc.size d 0) (Eval.estimated_step_touches session root `Descendant)
+  (* selective tag below the root: pushdown pays off, and the plan says so *)
+  (match Eval.path_plan session (parse_ok q1) with
+  | Plan.P_step (_, { Plan.impl = Plan.Join { push = Plan.Push_tag "education"; _ }; _ }) -> ()
+  | p -> Alcotest.failf "expected a pushed name test, got:\n%s" (Plan.physical_to_string p));
+  (* estimated touches of a root descendant step = whole document *)
+  (match Eval.path_plan session (parse_ok "/descendant::node()") with
+  | Plan.P_step (_, { Plan.est; _ }) -> check_int "root estimate" (Doc.size d 0) est.Plan.touches
+  | p -> Alcotest.failf "unexpected plan shape:\n%s" (Plan.physical_to_string p))
 
 (* ------------------------------------------------------------------ *)
 (* property: strategies agree on random documents and simple paths     *)
