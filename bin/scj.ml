@@ -21,22 +21,46 @@ module Exec = Scj_trace.Exec
 module Trace = Scj_trace.Trace
 module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
+module Store = Scj_store.Store
 
 let ( let* ) = Result.bind
 
 (* ------------------------------------------------------------------ *)
-(* document loading: .scj binary or plain XML                           *)
+(* document loading: a durable store directory, .scj binary, or XML     *)
 (* ------------------------------------------------------------------ *)
 
-let load_document path =
-  let ic = open_in_bin path in
-  let probe = really_input_string ic (min (String.length Codec.magic) (in_channel_length ic)) in
-  close_in ic;
-  if String.equal probe Codec.magic then Codec.read_file path
+let is_store_dir path =
+  Sys.file_exists path && Sys.is_directory path
+  && Sys.file_exists (Filename.concat path "pages.scj")
+
+type source = Mem of Doc.t | Stored of Store.t
+
+(* Opening a store runs WAL recovery; the handle stays open for the
+   lifetime of the (one-shot) command. *)
+let load_source path =
+  if is_store_dir path then
+    match Store.open_ ~path () with
+    | Ok s -> Ok (Stored s)
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
   else begin
-    let content = In_channel.with_open_bin path In_channel.input_all in
-    Doc.of_string content
+    let ic = open_in_bin path in
+    let probe = really_input_string ic (min (String.length Codec.magic) (in_channel_length ic)) in
+    close_in ic;
+    if String.equal probe Codec.magic then Result.map (fun d -> Mem d) (Codec.read_file path)
+    else begin
+      let content = In_channel.with_open_bin path In_channel.input_all in
+      Result.map (fun d -> Mem d) (Doc.of_string content)
+    end
   end
+
+let load_document path =
+  match load_source path with
+  | Error e -> Error e
+  | Ok (Mem doc) -> Ok doc
+  | Ok (Stored s) -> (
+    match Store.doc s with
+    | doc -> Ok doc
+    | exception Store.Corrupt msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 let strategy_conv =
   let parse s =
@@ -391,23 +415,61 @@ let xquery_cmd =
 let validate_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
-  let run input =
-    match load_document input with
+  let validate_store path =
+    match Store.open_ ~path () with
     | Error e ->
-      prerr_endline e;
+      Printf.printf "INCOMPLETE: %s\n" e;
       1
-    | Ok doc -> (
-      match Doc.validate doc with
-      | Ok () ->
-        Printf.printf "ok: %d nodes, height %d, Equation (1) holds everywhere\n"
-          (Doc.n_nodes doc) (Doc.height doc);
-        0
+    | Ok s ->
+      let r = Store.last_recovery s in
+      if r.Scj_store.Wal.committed > 0 || r.Scj_store.Wal.discarded <> None then
+        Printf.printf "recovery: %d transaction(s) replayed (%d page(s))%s\n"
+          r.Scj_store.Wal.committed r.Scj_store.Wal.replayed_pages
+          (match r.Scj_store.Wal.discarded with
+          | None -> ""
+          | Some d -> Printf.sprintf "; discarded: %s" d);
+      (match Store.verify s with
       | Error e ->
-        Printf.printf "INVALID: %s\n" e;
-        1)
+        Printf.printf "CORRUPT: %s\n" e;
+        1
+      | Ok () -> (
+        match Store.doc s with
+        | exception Store.Corrupt e ->
+          Printf.printf "CORRUPT: %s\n" e;
+          1
+        | doc -> (
+          match Doc.validate doc with
+          | Ok () ->
+            Printf.printf
+              "ok: store of %d nodes, height %d; every page checksum and Equation (1) hold\n"
+              (Doc.n_nodes doc) (Doc.height doc);
+            0
+          | Error e ->
+            Printf.printf "INVALID: %s\n" e;
+            1)))
+  in
+  let run input =
+    if is_store_dir input then validate_store input
+    else
+      match load_document input with
+      | Error e ->
+        prerr_endline e;
+        1
+      | Ok doc -> (
+        match Doc.validate doc with
+        | Ok () ->
+          Printf.printf "ok: %d nodes, height %d, Equation (1) holds everywhere\n"
+            (Doc.n_nodes doc) (Doc.height doc);
+          0
+        | Error e ->
+          Printf.printf "INVALID: %s\n" e;
+          1)
   in
   Cmd.v
-    (Cmd.info "validate" ~doc:"Check the pre/post encoding invariants of a document.")
+    (Cmd.info "validate"
+       ~doc:
+         "Check the pre/post encoding invariants of a document, or (for a store directory) run \
+          WAL recovery and verify every page checksum.")
     Term.(const run $ input)
 
 (* ------------------------------------------------------------------ *)
@@ -445,6 +507,70 @@ let mil_cmd =
     Term.(const run $ input $ program)
 
 (* ------------------------------------------------------------------ *)
+(* load: build a durable store                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* crash-testing hook: widen every fsync barrier so an external kill -9
+   lands inside a well-defined window (tools/crash-smoke.sh) *)
+let delayed_io delay =
+  let open Scj_store in
+  if delay <= 0.0 then Io.real
+  else
+    {
+      Io.real with
+      Io.openf =
+        (fun ~path ~rw ~create ->
+          let f = Io.real.Io.openf ~path ~rw ~create in
+          {
+            f with
+            Io.fsync =
+              (fun () ->
+                Unix.sleepf delay;
+                f.Io.fsync ());
+          });
+    }
+
+let load_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Store directory to create.")
+  in
+  let page_ints =
+    Arg.(
+      value & opt int 1024
+      & info [ "page-ints" ] ~docv:"N" ~doc:"Integers per page (default 1024 = 8 KB pages).")
+  in
+  let fsync_delay =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fsync-delay" ] ~docv:"MS"
+          ~doc:"Sleep before every fsync barrier, in milliseconds (crash-testing hook).")
+  in
+  let run input output page_ints fsync_delay =
+    match load_document input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok doc ->
+      let io = delayed_io (fsync_delay /. 1000.0) in
+      let store = Store.create ~io ~page_ints ~path:output doc in
+      Printf.eprintf "stored %d nodes (height %d) in %s: %d-int pages, WAL checkpointed\n"
+        (Store.n_nodes store) (Store.height store) output (Store.page_ints store);
+      Store.close store;
+      0
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Build a durable page-file store (write-ahead logged, checksummed) from an XML or .scj \
+          document; serve it later with scj serve --store or query it directly by directory.")
+    Term.(const run $ input $ output $ page_ints $ fsync_delay)
+
+(* ------------------------------------------------------------------ *)
 (* serve: a line-oriented front end to the concurrent query service     *)
 (* ------------------------------------------------------------------ *)
 
@@ -458,8 +584,8 @@ let load_paged ?fault_latency ~page_ints ~capacity doc =
   Paged_doc.load ~page_ints ~stripes:8 ?fault_latency ~capacity doc
 
 let print_service_stats (s : Server.service_stats) =
-  Printf.printf "completed=%d timed_out=%d failed=%d rejected=%d\n" s.Server.completed
-    s.Server.timed_out s.Server.failed s.Server.rejected;
+  Printf.printf "completed=%d timed_out=%d failed=%d rejected=%d dropped=%d\n" s.Server.completed
+    s.Server.timed_out s.Server.failed s.Server.rejected s.Server.dropped;
   Printf.printf "latency: %s\n" (Format.asprintf "%a" Scj_stats.Histogram.pp s.Server.latency);
   Printf.printf "pool traffic (per-query tallies): hits=%d misses=%d\n" s.Server.tally_hits
     s.Server.tally_misses;
@@ -467,7 +593,15 @@ let print_service_stats (s : Server.service_stats) =
 
 let serve_cmd =
   let open Cmdliner in
-  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Serve from a durable store directory (created by scj load): zero re-encoding, \
+                page faults are real checksum-verified reads.")
+  in
   let workers =
     Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (0 = auto).")
   in
@@ -477,22 +611,38 @@ let serve_cmd =
       & opt (some float) None
       & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
   in
-  let run input workers deadline_ms =
-    match load_document input with
+  let run input store workers deadline_ms =
+    let source =
+      match (store, input) with
+      | Some dir, _ ->
+        if is_store_dir dir then load_source dir
+        else Error (Printf.sprintf "%s: not a store directory (no pages.scj)" dir)
+      | None, Some path -> load_source path
+      | None, None -> Error "serve: provide a DOC argument or --store DIR"
+    in
+    match source with
     | Error e ->
       prerr_endline e;
       1
-    | Ok doc ->
-      let paged = load_paged ~page_ints:1024 ~capacity:0 doc in
+    | Ok source ->
+      (match
+         match source with
+         | Stored s -> (Store.doc s, Store.paged s, "durable store, zero re-encoding")
+         | Mem doc -> (doc, load_paged ~page_ints:1024 ~capacity:0 doc, "in-memory pages")
+       with
+      | exception Store.Corrupt e ->
+        prerr_endline e;
+        1
+      | doc, paged, backing ->
       let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
       let server =
         Server.create ?workers:(if workers > 0 then Some workers else None) ?deadline ~paged doc
       in
       Printf.eprintf
-        "scj serve: %d nodes, %d worker domain(s); one XPath query per line, '\\stats' for \
+        "scj serve: %d nodes (%s), %d worker domain(s); one XPath query per line, '\\stats' for \
          service statistics, EOF to stop\n\
          %!"
-        (Doc.n_nodes doc) (Server.workers server);
+        (Doc.n_nodes doc) backing (Server.workers server);
       let rec loop () =
         match In_channel.input_line In_channel.stdin with
         | None -> ()
@@ -506,20 +656,21 @@ let serve_cmd =
             Printf.printf "%d node(s) in %.2f ms\n%!" (Nodeseq.length r.Server.result)
               r.Server.latency_ms
           | Server.Timed_out -> Printf.printf "timed out\n%!"
-          | Server.Failed e -> Printf.printf "error: %s\n%!" e);
+          | Server.Failed e -> Printf.printf "error: %s\n%!" e
+          | Server.Dropped -> Printf.printf "dropped at shutdown\n%!");
           loop ()
       in
       loop ();
       Server.shutdown server;
       print_service_stats (Server.stats server);
-      0
+      0)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the concurrent query service over a document, reading one XPath query per line \
-          from standard input.")
-    Term.(const run $ input $ workers $ deadline_ms)
+         "Run the concurrent query service over a document or durable store, reading one XPath \
+          query per line from standard input.")
+    Term.(const run $ input $ store_arg $ workers $ deadline_ms)
 
 (* ------------------------------------------------------------------ *)
 (* workload: replay a mixed read workload at several client counts      *)
@@ -554,12 +705,25 @@ let workload_cmd =
       & opt (some float) None
       & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
   in
-  let run input clients rounds fault_us capacity deadline_ms =
-    match load_document input with
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object instead of the table: per-client-count rows with per-client \
+             buffer-pool tally totals and latency-histogram percentiles.")
+  in
+  let run input clients rounds fault_us capacity deadline_ms json =
+    match load_source input with
     | Error e ->
       prerr_endline e;
       1
-    | Ok doc ->
+    | Ok source ->
+    match (match source with Mem d -> d | Stored s -> Store.doc s) with
+    | exception Store.Corrupt e ->
+      prerr_endline e;
+      1
+    | doc ->
       let clients =
         try List.map int_of_string (String.split_on_char ',' clients)
         with _ ->
@@ -585,14 +749,30 @@ let workload_cmd =
       let queries = List.concat (List.init rounds (fun _ -> mix)) in
       let n_queries = List.length queries in
       let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
-      Printf.printf "%8s %10s %10s %9s %9s %8s %8s\n" "clients" "time[s]" "q/s" "speedup"
-        "hit-rate" "timeout" "pinned";
+      if not json then
+        Printf.printf "%8s %10s %10s %9s %9s %8s %8s\n" "clients" "time[s]" "q/s" "speedup"
+          "hit-rate" "timeout" "pinned";
       let serial_qps = ref 0.0 in
+      let rows = ref [] in
+      (* each client count gets a cold pool: simulated pages for in-memory
+         documents, a freshly reopened store (real checksum-verified
+         preads; --fault-latency does not apply) for store directories *)
+      let fresh_paged () =
+        match source with
+        | Mem doc ->
+          (load_paged ~fault_latency:(fault_us /. 1e6) ~page_ints:256 ~capacity doc, ignore)
+        | Stored s -> (
+          match Store.open_ ~path:(Store.path s) () with
+          | Error e -> failwith e
+          | Ok s' ->
+            let paged =
+              Store.paged ?capacity:(if capacity > 0 then Some capacity else None) s'
+            in
+            (paged, fun () -> Store.close s'))
+      in
       List.iter
         (fun workers ->
-          let paged =
-            load_paged ~fault_latency:(fault_us /. 1e6) ~page_ints:256 ~capacity doc
-          in
+          let paged, close_paged = fresh_paged () in
           let server = Server.create ~workers ~queue_bound:n_queries ?deadline ~paged doc in
           let t0 = Unix.gettimeofday () in
           let handles = List.filter_map (fun q -> Server.submit server q) queries in
@@ -602,15 +782,36 @@ let workload_cmd =
           let hits, faults, _ = Buffer_pool.stats (Paged_doc.pool paged) in
           let pinned = Buffer_pool.pinned (Paged_doc.pool paged) in
           Server.shutdown server;
+          close_paged ();
           let qps = float_of_int n_queries /. dt in
           if !serial_qps = 0.0 then serial_qps := qps;
-          Printf.printf "%8d %10.3f %10.1f %8.2fx %8.1f%% %8d %8d\n" workers dt qps
-            (qps /. !serial_qps)
-            (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + faults)))
-            stats.Server.timed_out pinned;
-          Printf.printf "         latency: %s\n"
-            (Format.asprintf "%a" Scj_stats.Histogram.pp stats.Server.latency))
+          if json then
+            (* per-client tallies: this client count ran over its own
+               fresh pool, so Σ tallies = that pool's hits+faults *)
+            rows :=
+              Printf.sprintf
+                {|{"clients":%d,"time_s":%.6f,"qps":%.3f,"speedup":%.4f,"completed":%d,"timed_out":%d,"failed":%d,"rejected":%d,"dropped":%d,"tally_hits":%d,"tally_misses":%d,"hit_rate":%.6f,"pool_hits":%d,"pool_misses":%d,"pinned":%d,"latency":%s}|}
+                workers dt qps (qps /. !serial_qps) stats.Server.completed
+                stats.Server.timed_out stats.Server.failed stats.Server.rejected
+                stats.Server.dropped stats.Server.tally_hits stats.Server.tally_misses
+                (float_of_int stats.Server.tally_hits
+                /. float_of_int (max 1 (stats.Server.tally_hits + stats.Server.tally_misses)))
+                hits faults pinned
+                (Scj_stats.Histogram.to_json stats.Server.latency)
+              :: !rows
+          else begin
+            Printf.printf "%8d %10.3f %10.1f %8.2fx %8.1f%% %8d %8d\n" workers dt qps
+              (qps /. !serial_qps)
+              (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + faults)))
+              stats.Server.timed_out pinned;
+            Printf.printf "         latency: %s\n"
+              (Format.asprintf "%a" Scj_stats.Histogram.pp stats.Server.latency)
+          end)
         clients;
+      if json then
+        Printf.printf {|{"experiment":"workload","rows":[%s]}|}
+          (String.concat "," (List.rev !rows))
+      |> print_newline;
       0
   in
   Cmd.v
@@ -619,7 +820,7 @@ let workload_cmd =
          "Replay a mixed read workload (paged staircase steps + XPath) through the query \
           service at increasing client-domain counts, reporting throughput scaling and \
           buffer-pool hit rates.")
-    Term.(const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms)
+    Term.(const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ json)
 
 let () =
   let open Cmdliner in
@@ -630,5 +831,5 @@ let () =
        (Cmd.group info
           [
             gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; plan_cmd;
-            analyze_cmd; xquery_cmd; mil_cmd; validate_cmd; serve_cmd; workload_cmd;
+            analyze_cmd; xquery_cmd; mil_cmd; validate_cmd; load_cmd; serve_cmd; workload_cmd;
           ]))

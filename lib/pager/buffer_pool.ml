@@ -1,27 +1,38 @@
 module Store = struct
-  type t = { data : int array; page_ints : int; fault_latency : float }
+  type t = { page_ints : int; length : int; fault_latency : float; fetch : int -> int array }
 
-  let create ?(fault_latency = 0.0) ~page_ints data =
+  let of_fn ?(fault_latency = 0.0) ~page_ints ~length fetch =
     if page_ints <= 0 then invalid_arg "Buffer_pool.Store.create: page_ints must be positive";
-    { data; page_ints; fault_latency = Float.max 0.0 fault_latency }
+    if length < 0 then invalid_arg "Buffer_pool.Store.of_fn: length must be non-negative";
+    { page_ints; length; fault_latency = Float.max 0.0 fault_latency; fetch }
+
+  let create ?fault_latency ~page_ints data =
+    of_fn ?fault_latency ~page_ints ~length:(Array.length data) (fun page ->
+        let start = page * page_ints in
+        let len = min page_ints (Array.length data - start) in
+        Array.sub data start len)
 
   let page_ints t = t.page_ints
 
-  let n_pages t = (Array.length t.data + t.page_ints - 1) / t.page_ints
+  let n_pages t = (t.length + t.page_ints - 1) / t.page_ints
 
-  let length t = Array.length t.data
+  let length t = t.length
 
   let fault_latency t = t.fault_latency
 
-  (* Simulated disk read: copy the page out of the backing array, after
-     the simulated device latency.  The sleep models a seek+transfer; it
-     is what concurrent queries overlap. *)
+  (* Disk read: fetch the page from the backing store (an array copy for
+     the simulated disk, a checksum-verified pread for a file-backed
+     store), after the simulated device latency.  The sleep models a
+     seek+transfer; it is what concurrent queries overlap. *)
   let read_page t page =
     if t.fault_latency > 0.0 then Unix.sleepf t.fault_latency;
-    let start = page * t.page_ints in
-    let len = min t.page_ints (Array.length t.data - start) in
-    Array.sub t.data start len
+    t.fetch page
 end
+
+(* A fault found every resident frame of the stripe pinned and the stripe
+   already past its overflow allowance: refusing is the only alternative
+   to unbounded growth or wedging on a latch. *)
+exception Exhausted of string
 
 module Tally = struct
   type t = { mutable hits : int; mutable misses : int }
@@ -55,14 +66,16 @@ type stripe = {
 type t = {
   store : Store.t;
   capacity : int;
+  max_overflow : int;
   stripes : stripe array;
   hits : int Atomic.t;
   faults : int Atomic.t;
   evictions : int Atomic.t;
 }
 
-let create ?(stripes = 1) ~capacity store =
+let create ?(stripes = 1) ?(max_overflow = max_int) ~capacity store =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  if max_overflow < 0 then invalid_arg "Buffer_pool.create: max_overflow must be non-negative";
   let n_stripes = max 1 (min stripes capacity) in
   let stripe i =
     (* distribute the capacity as evenly as possible; every stripe gets
@@ -79,6 +92,7 @@ let create ?(stripes = 1) ~capacity store =
   {
     store;
     capacity;
+    max_overflow;
     stripes = Array.init n_stripes stripe;
     hits = Atomic.make 0;
     faults = Atomic.make 0;
@@ -99,8 +113,9 @@ let touch s frame =
 
 (* Evict unpinned LRU frames until the stripe is under its capacity
    share.  Pinned (and in-flight) frames are skipped; if every frame is
-   pinned the stripe temporarily overflows rather than wedging — the
-   excess is reclaimed by later faults once pins drain. *)
+   pinned the stripe temporarily overflows (up to [max_overflow] extra
+   frames) rather than wedging — the excess is reclaimed by later faults
+   once pins drain.  Past the allowance, the caller raises [Exhausted]. *)
 let shrink t s =
   let continue_ = ref true in
   while !continue_ && Hashtbl.length s.frames >= s.cap do
@@ -159,6 +174,20 @@ let pin_frame ?tally t page =
       Atomic.incr t.faults;
       record tally false;
       shrink t s;
+      if Hashtbl.length s.frames >= s.cap && t.max_overflow < max_int
+         && Hashtbl.length s.frames >= s.cap + t.max_overflow
+      then begin
+        (* the fault is already counted (pool and tally) so the
+           Σ-tallies = pool-counters invariant survives the abort *)
+        Mutex.unlock s.lock;
+        raise
+          (Exhausted
+             (Printf.sprintf
+                "Buffer_pool: stripe %d exhausted faulting page %d: all %d frames pinned \
+                 (capacity %d, max_overflow %d)"
+                (page mod Array.length t.stripes)
+                page (Hashtbl.length s.frames) s.cap t.max_overflow))
+      end;
       let frame = { page; data = [||]; last_used = 0; pins = 1; loading = true } in
       touch s frame;
       Hashtbl.replace s.frames page frame;

@@ -26,7 +26,9 @@
       tallies}, exactly);
     - if every frame of a stripe is pinned at fault time the stripe
       temporarily overflows its capacity share instead of wedging; the
-      excess is reclaimed by later faults once pins drain.
+      excess is reclaimed by later faults once pins drain.  An optional
+      [max_overflow] bounds the excess, turning exhaustion into a clean
+      {!Exhausted} failure instead of unbounded growth.
 
     With [stripes = 1] (the default) and a single thread, the pool
     behaves exactly like a plain LRU pool: same hit/fault/eviction counts
@@ -42,6 +44,16 @@ module Store : sig
       queries overlap.
       @raise Invalid_argument if [page_ints <= 0]. *)
   val create : ?fault_latency:float -> page_ints:int -> int array -> t
+
+  (** [of_fn ?fault_latency ~page_ints ~length fetch] — a store whose
+      pages are produced by [fetch page] (e.g. a checksum-verified pread
+      from a {!Scj_store.Store} page file).  [length] is the total number
+      of integers; [fetch] must return [page_ints] integers (fewer for
+      the last page) and may raise to signal an I/O or checksum error —
+      the pool never caches a failed read.
+      @raise Invalid_argument if [page_ints <= 0] or [length < 0]. *)
+  val of_fn :
+    ?fault_latency:float -> page_ints:int -> length:int -> (int -> int array) -> t
 
   val page_ints : t -> int
 
@@ -65,13 +77,23 @@ module Tally : sig
   val total : t -> int
 end
 
+(** Raised by {!read} / {!with_page} when a fault finds every resident
+    frame of the target stripe pinned and the stripe has already consumed
+    its [max_overflow] allowance.  The faulting access {e is} counted (in
+    the pool counters and the caller's tally) before the raise, so the
+    Σ-tallies = pool-counters invariant holds across the abort. *)
+exception Exhausted of string
+
 type t
 
-(** [create ?stripes ~capacity store] — a pool of at most [capacity]
-    resident page frames, latch-striped [stripes] ways (clamped to
-    [capacity]; default 1).
-    @raise Invalid_argument if [capacity <= 0]. *)
-val create : ?stripes:int -> capacity:int -> Store.t -> t
+(** [create ?stripes ?max_overflow ~capacity store] — a pool of at most
+    [capacity] resident page frames, latch-striped [stripes] ways
+    (clamped to [capacity]; default 1).  [max_overflow] bounds how many
+    frames past its capacity share a stripe may grow when every resident
+    frame is pinned (default: unbounded); past the bound a fault raises
+    {!Exhausted} instead of spinning or growing.
+    @raise Invalid_argument if [capacity <= 0] or [max_overflow < 0]. *)
+val create : ?stripes:int -> ?max_overflow:int -> capacity:int -> Store.t -> t
 
 val capacity : t -> int
 

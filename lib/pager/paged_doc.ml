@@ -4,7 +4,14 @@ module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
 module Exec = Scj_trace.Exec
 
-type t = { pool : Buffer_pool.t; n : int; height : int; tally : Buffer_pool.Tally.t option }
+type t = {
+  pool : Buffer_pool.t;
+  n : int;
+  height : int;
+  prefix_base : int;  (* first integer index of the attr-prefix extent *)
+  size_base : int;  (* first integer index of the size extent *)
+  tally : Buffer_pool.Tally.t option;
+}
 
 let ensure_exec = function None -> Exec.make () | Some e -> e
 
@@ -13,30 +20,63 @@ let ensure_exec = function None -> Exec.make () | Some e -> e
    well — three simultaneously needed columns per stripe. *)
 let min_frames_per_stripe = 3
 
-(* column layout on the simulated disk: [post | attr_prefix | size].  The
-   attribute column is stored as its prefix sums (n + 1 ints, entry j =
-   number of attributes with pre < j): a range's attribute count costs two
-   reads, attribute runs are found by binary search, and the estimation
-   copy phase can emit whole runs while faulting only prefix pages —
-   never the post column. *)
-let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ~capacity doc =
-  let stripes = max 1 stripes in
+let pages_for ~page_ints ints = (ints + page_ints - 1) / page_ints
+
+(* Each column occupies a whole number of pages: post is n ints, the
+   attr-prefix column n + 1, size n; the tail of a column's last page is
+   zero padding.  The same extents are what [Scj_store] lays out in its
+   page file, so a file-backed pool plugs in with identical geometry. *)
+let extents ~page_ints ~n =
+  let prefix_base = pages_for ~page_ints n * page_ints in
+  let size_base = prefix_base + (pages_for ~page_ints (n + 1) * page_ints) in
+  (prefix_base, size_base)
+
+let guard_capacity ~who ~stripes ~capacity =
   if capacity < min_frames_per_stripe * stripes then
     invalid_arg
       (Printf.sprintf
-         "Paged_doc.load: capacity %d cannot hold one query's working set (post, attr-prefix \
-          and size pages may be live at once: need >= %d frames for %d stripe(s))"
-         capacity (min_frames_per_stripe * stripes) stripes);
+         "%s: capacity %d cannot hold one query's working set (post, attr-prefix and size pages \
+          may be live at once: need >= %d frames for %d stripe(s))"
+         who capacity (min_frames_per_stripe * stripes) stripes)
+
+(* column layout on the simulated disk: [post | attr_prefix | size],
+   each extent page-aligned.  The attribute column is stored as its
+   prefix sums (n + 1 ints, entry j = number of attributes with pre < j):
+   a range's attribute count costs two reads, attribute runs are found by
+   binary search, and the estimation copy phase can emit whole runs while
+   faulting only prefix pages — never the post column. *)
+let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ~capacity doc =
+  let stripes = max 1 stripes in
+  guard_capacity ~who:"Paged_doc.load" ~stripes ~capacity;
   let n = Doc.n_nodes doc in
-  let data = Array.make ((3 * n) + 1) 0 in
+  let prefix_base, size_base = extents ~page_ints ~n in
+  let data = Array.make (size_base + n) 0 in
   let posts = Doc.post_array doc in
   let prefix = Doc.attr_prefix_array doc in
   let sizes = Doc.size_array doc in
   Array.blit posts 0 data 0 n;
-  Array.blit prefix 0 data n (n + 1);
-  Array.blit sizes 0 data ((2 * n) + 1) n;
+  Array.blit prefix 0 data prefix_base (n + 1);
+  Array.blit sizes 0 data size_base n;
   let store = Buffer_pool.Store.create ?fault_latency ~page_ints data in
-  { pool = Buffer_pool.create ~stripes ~capacity store; n; height = Doc.height doc; tally = None }
+  {
+    pool = Buffer_pool.create ~stripes ~capacity store;
+    n;
+    height = Doc.height doc;
+    prefix_base;
+    size_base;
+    tally = None;
+  }
+
+(* Attach to a pool whose store already holds the three page-aligned
+   extents — how a durable {!Scj_store} store exposes its page file as a
+   paged document without re-encoding. *)
+let attach ~n ~height pool =
+  guard_capacity ~who:"Paged_doc.attach"
+    ~stripes:(Buffer_pool.n_stripes pool)
+    ~capacity:(Buffer_pool.capacity pool);
+  let page_ints = Buffer_pool.page_ints pool in
+  let prefix_base, size_base = extents ~page_ints ~n in
+  { pool; n; height; prefix_base; size_base; tally = None }
 
 let pool t = t.pool
 
@@ -57,7 +97,7 @@ let post t i =
   read t i
 
 (* prefix-sum column entry j, 0 <= j <= n *)
-let prefix t j = read t (t.n + j)
+let prefix t j = read t (t.prefix_base + j)
 
 let is_attribute t i =
   check t i "is_attribute";
@@ -65,7 +105,7 @@ let is_attribute t i =
 
 let size t i =
   check t i "size";
-  read t ((2 * t.n) + 1 + i)
+  read t (t.size_base + i)
 
 (* Scan the post column over ranks [from, upto]: pin each page once and
    run [f ~base data ~lo ~hi] over the page's slice of the range, where

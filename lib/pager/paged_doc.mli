@@ -1,8 +1,11 @@
 (** A document whose encoding columns live behind a buffer pool — the §6
     "disk-based RDBMS" scenario.
 
-    The post, attribute, and size columns are laid out on consecutive
-    disk pages; every column access goes through a shared {!Buffer_pool}.
+    The post, attribute, and size columns are laid out as page-aligned
+    extents on consecutive disk pages; every column access goes through a
+    shared {!Buffer_pool}.  The same extent geometry is used by the
+    durable page files of [Scj_store], which construct a [t] over a
+    file-backed pool via {!attach}.
     The attribute column is stored as prefix sums (n + 1 entries, entry
     [j] = number of attributes with [pre < j]), so attribute tests cost
     two reads and the copy phase can emit whole attribute-free runs with
@@ -42,6 +45,14 @@ type t
     least 3 frames per stripe are required. *)
 val load :
   ?page_ints:int -> ?stripes:int -> ?fault_latency:float -> capacity:int -> Scj_encoding.Doc.t -> t
+
+(** [attach ~n ~height pool] wraps a pool whose store already holds the
+    three page-aligned extents ([post | attr_prefix | size], each extent
+    starting on a page boundary) for a document of [n] nodes — the hook a
+    durable store uses to expose its page file without re-encoding.
+    @raise Invalid_argument if the pool's capacity cannot hold one
+    query's working set (3 frames per stripe). *)
+val attach : n:int -> height:int -> Buffer_pool.t -> t
 
 val pool : t -> Buffer_pool.t
 

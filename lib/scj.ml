@@ -68,6 +68,9 @@ module Xmark = Scj_xmlgen.Xmark
 module Btree = Scj_btree.Btree
 module Paged_doc = Scj_pager.Paged_doc
 module Buffer_pool = Scj_pager.Buffer_pool
+module Store = Scj_store.Store
+module Store_io = Scj_store.Io
+module Wal = Scj_store.Wal
 
 (** {1 Query service} *)
 

@@ -17,7 +17,7 @@ type reply = {
   latency_ms : float;
 }
 
-type outcome = Done of reply | Timed_out | Failed of string
+type outcome = Done of reply | Timed_out | Failed of string | Dropped
 
 type handle = {
   query : query;
@@ -32,6 +32,7 @@ type service_stats = {
   timed_out : int;
   failed : int;
   rejected : int;
+  dropped : int;
   latency : Histogram.t;
   work : Stats.t;
   tally_hits : int;
@@ -57,6 +58,7 @@ type t = {
   mutable timed_out : int;
   mutable failed : int;
   mutable rejected : int;
+  mutable dropped : int;
   mutable tally_hits : int;
   mutable tally_misses : int;
 }
@@ -78,7 +80,8 @@ let finish t handle ~tally outcome =
     Histogram.add t.latency r.latency_ms;
     Stats.add t.work r.work
   | Timed_out -> t.timed_out <- t.timed_out + 1
-  | Failed _ -> t.failed <- t.failed + 1);
+  | Failed _ -> t.failed <- t.failed + 1
+  | Dropped -> t.dropped <- t.dropped + 1);
   Mutex.unlock t.sm;
   Mutex.lock handle.hm;
   handle.outcome <- Some outcome;
@@ -153,6 +156,7 @@ let create ?workers ?queue_bound ?deadline ~paged doc =
       timed_out = 0;
       failed = 0;
       rejected = 0;
+      dropped = 0;
       tally_hits = 0;
       tally_misses = 0;
     }
@@ -210,6 +214,7 @@ let stats t =
       timed_out = t.timed_out;
       failed = t.failed;
       rejected = t.rejected;
+      dropped = t.dropped;
       latency = Histogram.copy t.latency;
       work = Stats.copy t.work;
       tally_hits = t.tally_hits;
@@ -221,11 +226,26 @@ let stats t =
 
 let pool_stats t = Buffer_pool.stats (Paged_doc.pool t.paged)
 
-let shutdown t =
+(* With [drain] (the default) accepted queries finish before the workers
+   exit (the worker loop only stops on stopping *and* empty).  Without it
+   the still-queued handles are resolved as [Dropped] — counted in
+   [service_stats], never left unresolved for [await] to hang on. *)
+let shutdown ?(drain = true) t =
   Mutex.lock t.qm;
   t.stopping <- true;
+  let abandoned =
+    if drain then []
+    else begin
+      let l = List.of_seq (Queue.to_seq t.queue) in
+      Queue.clear t.queue;
+      l
+    end
+  in
   Condition.broadcast t.qcv;
   let domains = t.domains in
   t.domains <- [];
   Mutex.unlock t.qm;
+  (* a dropped query never ran: its tally is empty, so the Σ-tallies =
+     pool-counters invariant is untouched *)
+  List.iter (fun h -> finish t h ~tally:(Buffer_pool.Tally.create ()) Dropped) abandoned;
   List.iter Domain.join domains

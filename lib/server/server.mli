@@ -51,6 +51,9 @@ type outcome =
   | Done of reply
   | Timed_out  (** deadline hit; aborted at a partition boundary *)
   | Failed of string  (** the query raised (e.g. a syntax error) *)
+  | Dropped
+      (** accepted but never run: the service shut down without draining
+          ({!shutdown} with [~drain:false]) *)
 
 type handle
 
@@ -61,6 +64,7 @@ type service_stats = {
   timed_out : int;
   failed : int;
   rejected : int;  (** submissions refused with backpressure *)
+  dropped : int;  (** accepted queries abandoned by a no-drain shutdown *)
   latency : Histogram.t;  (** per-query latency, completed queries only *)
   work : Stats.t;  (** summed per-query work counters *)
   tally_hits : int;  (** Σ per-query pool tallies — compare {!pool_stats} *)
@@ -102,5 +106,8 @@ val stats : t -> service_stats
 val pool_stats : t -> int * int * int
 
 (** [shutdown t] drains the queue (already-accepted queries finish; new
-    submissions are refused) and joins every worker. Idempotent. *)
-val shutdown : t -> unit
+    submissions are refused) and joins every worker.  With [~drain:false]
+    still-queued queries are not run: their handles resolve to
+    {!outcome-Dropped} (so {!await} never hangs) and [dropped] counts
+    them.  Idempotent. *)
+val shutdown : ?drain:bool -> t -> unit

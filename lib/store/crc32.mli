@@ -1,0 +1,9 @@
+(** CRC-32 (IEEE, polynomial [0xEDB88320]) — the per-page and per-WAL-record
+    checksum of the durable store. *)
+
+(** [digest b ~pos ~len] — the CRC-32 of the byte range. *)
+val digest : Bytes.t -> pos:int -> len:int -> int
+
+(** [update crc b ~pos ~len] extends a running checksum ([digest] is
+    [update 0]); composes incrementally, zlib-style. *)
+val update : int -> Bytes.t -> pos:int -> len:int -> int

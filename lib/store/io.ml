@@ -1,0 +1,62 @@
+type file = {
+  pread : pos:int -> Bytes.t -> int -> int -> int;
+  pwrite : pos:int -> Bytes.t -> int -> int -> unit;
+  fsync : unit -> unit;
+  size : unit -> int;
+  truncate : int -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  openf : path:string -> rw:bool -> create:bool -> file;
+  exists : string -> bool;
+  mkdir : string -> unit;
+  remove : string -> unit;
+}
+
+(* OCaml's Unix module has no pread/pwrite, so positioned access is
+   lseek+read under a per-file mutex — safe to share one [file] across
+   the server's reader domains. *)
+let real_file fd =
+  let m = Mutex.create () in
+  let with_lock f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  {
+    pread =
+      (fun ~pos buf off len ->
+        with_lock (fun () ->
+            ignore (Unix.lseek fd pos Unix.SEEK_SET);
+            let total = ref 0 in
+            let eof = ref false in
+            while (not !eof) && !total < len do
+              let r = Unix.read fd buf (off + !total) (len - !total) in
+              if r = 0 then eof := true else total := !total + r
+            done;
+            !total));
+    pwrite =
+      (fun ~pos buf off len ->
+        with_lock (fun () ->
+            ignore (Unix.lseek fd pos Unix.SEEK_SET);
+            let total = ref 0 in
+            while !total < len do
+              total := !total + Unix.write fd buf (off + !total) (len - !total)
+            done));
+    fsync = (fun () -> Unix.fsync fd);
+    size = (fun () -> (Unix.fstat fd).Unix.st_size);
+    truncate = (fun n -> with_lock (fun () -> Unix.ftruncate fd n));
+    close = (fun () -> Unix.close fd);
+  }
+
+let real =
+  {
+    openf =
+      (fun ~path ~rw ~create ->
+        let flags = if rw then [ Unix.O_RDWR ] else [ Unix.O_RDONLY ] in
+        let flags = if create then Unix.O_CREAT :: flags else flags in
+        real_file (Unix.openfile path flags 0o644));
+    exists = Sys.file_exists;
+    mkdir = (fun p -> if not (Sys.file_exists p) then Unix.mkdir p 0o755);
+    remove = (fun p -> if Sys.file_exists p then Sys.remove p);
+  }

@@ -1,0 +1,35 @@
+(** The store's pluggable I/O layer.
+
+    Every byte the durable store reads or writes goes through one of
+    these records of closures, so the fault-injection harness
+    ([test/support/faultfs.ml]) can interpose short writes, torn pages
+    and crash points without the store knowing.  {!real} is the
+    production implementation over [Unix]. *)
+
+(** An open file with positioned access.  All operations are
+    thread-safe: one [file] may be shared across the server's reader
+    domains. *)
+type file = {
+  pread : pos:int -> Bytes.t -> int -> int -> int;
+      (** [pread ~pos buf off len] reads up to [len] bytes at file offset
+          [pos] into [buf] at [off]; returns the number read (short only
+          at end of file). *)
+  pwrite : pos:int -> Bytes.t -> int -> int -> unit;
+      (** [pwrite ~pos buf off len] writes [len] bytes at offset [pos],
+          extending the file if needed. *)
+  fsync : unit -> unit;  (** Durability barrier. *)
+  size : unit -> int;
+  truncate : int -> unit;
+  close : unit -> unit;
+}
+
+type t = {
+  openf : path:string -> rw:bool -> create:bool -> file;
+  exists : string -> bool;
+  mkdir : string -> unit;  (** No-op if the directory exists. *)
+  remove : string -> unit;  (** No-op if the file does not exist. *)
+}
+
+(** The [Unix] implementation.  OCaml exposes no [pread]/[pwrite], so
+    positioned access is lseek+read/write under a per-file mutex. *)
+val real : t

@@ -1,0 +1,500 @@
+module Doc = Scj_encoding.Doc
+module Buffer_pool = Scj_pager.Buffer_pool
+module Paged_doc = Scj_pager.Paged_doc
+
+exception Corrupt of string
+
+(* ------------------------------------------------------------------ *)
+(* On-disk format                                                      *)
+(*                                                                     *)
+(* A store is a directory holding two files:                           *)
+(*                                                                     *)
+(*   pages.scj   [superblock | post | attr_prefix | size | meta]       *)
+(*   wal.scj     the write-ahead log (see Wal)                         *)
+(*                                                                     *)
+(* Every file page has the same stride: page_ints * 8 data bytes plus  *)
+(* an 8-byte little-endian CRC-32 trailer.  File page 0 is the         *)
+(* superblock; the three column extents follow, page-aligned with the  *)
+(* geometry Paged_doc.attach expects, so pool page p maps to file page *)
+(* p + 1.  The meta extent carries the non-columnar remainder of the   *)
+(* document (level/parent/kind columns, tag dictionary, text contents) *)
+(* as one length-prefixed blob packed into pages.                      *)
+(* ------------------------------------------------------------------ *)
+
+let pages_file = "pages.scj"
+
+let wal_file = "wal.scj"
+
+let version = 1
+
+(* "SCJSTOR1" as a little-endian int64 *)
+let magic_int = Int64.to_int (Bytes.get_int64_le (Bytes.of_string "SCJSTOR1") 0)
+
+let min_page_ints = 16
+
+let max_page_ints = 1 lsl 20
+
+let superblock_ints = 10
+
+let set_int b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_int b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let stride ~page_ints = (page_ints * 8) + 8
+
+let pages_for ~page_ints ints = (ints + page_ints - 1) / page_ints
+
+type geometry = {
+  page_ints : int;
+  n_nodes : int;
+  height : int;
+  post_pages : int;
+  prefix_pages : int;
+  size_pages : int;
+  meta_pages : int;
+  meta_bytes : int;
+}
+
+let geometry ~page_ints ~n_nodes ~height ~meta_bytes =
+  {
+    page_ints;
+    n_nodes;
+    height;
+    post_pages = pages_for ~page_ints n_nodes;
+    prefix_pages = pages_for ~page_ints (n_nodes + 1);
+    size_pages = pages_for ~page_ints n_nodes;
+    meta_pages = (meta_bytes + (page_ints * 8) - 1) / (page_ints * 8);
+    meta_bytes;
+  }
+
+(* pool pages = the three column extents Paged_doc reads *)
+let pool_pages g = g.post_pages + g.prefix_pages + g.size_pages
+
+let file_pages g = 1 + pool_pages g + g.meta_pages
+
+(* pool logical length in integers: matches Paged_doc's extent layout *)
+let pool_length g = ((g.post_pages + g.prefix_pages) * g.page_ints) + g.n_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Page encode/decode                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* encode [ints.(off .. off+len-1)] (zero-padded to page_ints) as one
+   checksummed file page *)
+let encode_page ~page_ints ints off len =
+  let b = Bytes.make (stride ~page_ints) '\000' in
+  for i = 0 to len - 1 do
+    set_int b (8 * i) ints.(off + i)
+  done;
+  set_int b (page_ints * 8) (Crc32.digest b ~pos:0 ~len:(page_ints * 8));
+  b
+
+(* encode a slice of a raw byte blob as one checksummed file page *)
+let encode_meta_page ~page_ints blob off len =
+  let b = Bytes.make (stride ~page_ints) '\000' in
+  Bytes.blit blob off b 0 len;
+  set_int b (page_ints * 8) (Crc32.digest b ~pos:0 ~len:(page_ints * 8));
+  b
+
+let check_page ~page_ints ~what b =
+  let stored = get_int b (page_ints * 8) in
+  let computed = Crc32.digest b ~pos:0 ~len:(page_ints * 8) in
+  if stored <> computed then
+    raise
+      (Corrupt (Printf.sprintf "checksum mismatch on %s (stored %d, computed %d)" what stored
+                  computed))
+
+(* ------------------------------------------------------------------ *)
+(* Meta blob: the non-columnar document fields, Codec-style            *)
+(* ------------------------------------------------------------------ *)
+
+let kind_code = function
+  | Doc.Element -> 0
+  | Doc.Attribute -> 1
+  | Doc.Text -> 2
+  | Doc.Comment -> 3
+  | Doc.Pi -> 4
+
+let kind_of_code = function
+  | 0 -> Doc.Element
+  | 1 -> Doc.Attribute
+  | 2 -> Doc.Text
+  | 3 -> Doc.Comment
+  | 4 -> Doc.Pi
+  | c -> raise (Corrupt (Printf.sprintf "corrupt kind code %d in meta extent" c))
+
+let buf_int buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let buf_string buf s =
+  buf_int buf (String.length s);
+  Buffer.add_string buf s
+
+let encode_meta doc =
+  let n = Doc.n_nodes doc in
+  let buf = Buffer.create (n * 24) in
+  Array.iter (buf_int buf) (Doc.level_array doc);
+  Array.iter (buf_int buf) (Doc.parent_array doc);
+  Array.iter (fun k -> buf_int buf (kind_code k)) (Doc.kind_array doc);
+  for pre = 0 to n - 1 do
+    match Doc.tag_name doc pre with
+    | None -> buf_int buf 0
+    | Some name ->
+      buf_int buf 1;
+      buf_string buf name
+  done;
+  for pre = 0 to n - 1 do
+    match (Doc.kind doc pre, Doc.content doc pre) with
+    | (Doc.Text | Doc.Comment | Doc.Attribute | Doc.Pi), Some s ->
+      buf_int buf 1;
+      buf_string buf s
+    | _, _ -> buf_int buf 0
+  done;
+  Buffer.to_bytes buf
+
+type cursor = { blob : Bytes.t; mutable pos : int }
+
+let cur_int c =
+  if c.pos + 8 > Bytes.length c.blob then raise (Corrupt "meta extent truncated");
+  let v = get_int c.blob c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let cur_string c =
+  let len = cur_int c in
+  if len < 0 || c.pos + len > Bytes.length c.blob then
+    raise (Corrupt "corrupt string length in meta extent");
+  let s = Bytes.sub_string c.blob c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let decode_meta ~n ~height ~post blob =
+  let c = { blob; pos = 0 } in
+  let level = Array.init n (fun _ -> cur_int c) in
+  let parent = Array.init n (fun _ -> cur_int c) in
+  let kind = Array.init n (fun _ -> kind_of_code (cur_int c)) in
+  let tags = Array.init n (fun _ -> if cur_int c = 1 then Some (cur_string c) else None) in
+  let contents = Array.init n (fun _ -> if cur_int c = 1 then Some (cur_string c) else None) in
+  let doc = Doc.Internal.assemble ~post ~level ~parent ~kind ~tags ~contents ~height in
+  match Doc.validate doc with
+  | Ok () -> doc
+  | Error e -> raise (Corrupt (Printf.sprintf "recovered document is inconsistent: %s" e))
+
+(* ------------------------------------------------------------------ *)
+(* Store handle                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  io : Io.t;
+  path : string;
+  pages : Io.file;
+  walf : Io.file;
+  wal : Wal.t;
+  geo : geometry;
+  last_recovery : Wal.recovery;
+  bytes_read : int Atomic.t;
+  lock : Mutex.t;  (* guards the memos below *)
+  mutable doc : Doc.t option;
+  mutable paged : Paged_doc.t option;
+}
+
+let page_ints t = t.geo.page_ints
+
+let n_nodes t = t.geo.n_nodes
+
+let height t = t.geo.height
+
+let path t = t.path
+
+let last_recovery t = t.last_recovery
+
+let bytes_read t = Atomic.get t.bytes_read
+
+(* read + checksum-verify one file page; every byte is counted *)
+let read_file_page t fpage =
+  let page_ints = t.geo.page_ints in
+  let st = stride ~page_ints in
+  let b = Bytes.create st in
+  let got = t.pages.Io.pread ~pos:(fpage * st) b 0 st in
+  Atomic.fetch_and_add t.bytes_read got |> ignore;
+  if got < st then
+    raise (Corrupt (Printf.sprintf "short read on file page %d (%d of %d bytes)" fpage got st));
+  check_page ~page_ints ~what:(Printf.sprintf "file page %d" fpage) b;
+  b
+
+(* decode a column page into ints; [len] trims the pool's last page *)
+let ints_of_page b len = Array.init len (fun i -> get_int b (8 * i))
+
+(* the Buffer_pool store: pool page p lives on file page p + 1 *)
+let pool_store t =
+  let g = t.geo in
+  let length = pool_length g in
+  Buffer_pool.Store.of_fn ~page_ints:g.page_ints ~length (fun p ->
+      let b = read_file_page t (p + 1) in
+      let len = min g.page_ints (length - (p * g.page_ints)) in
+      ints_of_page b len)
+
+let default_capacity g = max 24 (pool_pages g / 10)
+
+let paged ?(stripes = 8) ?capacity t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.paged with
+      | Some p -> p
+      | None ->
+        let capacity = match capacity with Some c -> c | None -> default_capacity t.geo in
+        let stripes = max 1 (min stripes (capacity / 3)) in
+        let pool = Buffer_pool.create ~stripes ~capacity (pool_store t) in
+        let p = Paged_doc.attach ~n:t.geo.n_nodes ~height:t.geo.height pool in
+        t.paged <- Some p;
+        p)
+
+let pool t = Paged_doc.pool (paged t)
+
+(* Materialize the in-memory document: post extent + meta extent, read
+   directly (checksum-verified) — deliberately not through the buffer
+   pool, whose stats stay pure query traffic. *)
+let doc t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      match t.doc with
+      | Some d -> d
+      | None ->
+        let g = t.geo in
+        let post = Array.make g.n_nodes 0 in
+        for p = 0 to g.post_pages - 1 do
+          let b = read_file_page t (1 + p) in
+          let len = min g.page_ints (g.n_nodes - (p * g.page_ints)) in
+          for i = 0 to len - 1 do
+            post.((p * g.page_ints) + i) <- get_int b (8 * i)
+          done
+        done;
+        let blob = Bytes.create g.meta_bytes in
+        let meta_base = 1 + pool_pages g in
+        for p = 0 to g.meta_pages - 1 do
+          let b = read_file_page t (meta_base + p) in
+          let len = min (g.page_ints * 8) (g.meta_bytes - (p * g.page_ints * 8)) in
+          Bytes.blit b 0 blob (p * g.page_ints * 8) len
+        done;
+        let d = decode_meta ~n:g.n_nodes ~height:g.height ~post blob in
+        t.doc <- Some d;
+        d)
+
+let verify t =
+  try
+    for fpage = 0 to file_pages t.geo - 1 do
+      ignore (read_file_page t fpage)
+    done;
+    Ok ()
+  with Corrupt msg -> Error msg
+
+let checkpoint t =
+  t.pages.Io.fsync ();
+  Wal.truncate t.wal
+
+let close t =
+  t.pages.Io.close ();
+  t.walf.Io.close ()
+
+(* ------------------------------------------------------------------ *)
+(* Creation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let superblock_page g =
+  let ints =
+    [|
+      magic_int;
+      version;
+      g.page_ints;
+      g.n_nodes;
+      g.height;
+      g.post_pages;
+      g.prefix_pages;
+      g.size_pages;
+      g.meta_pages;
+      g.meta_bytes;
+    |]
+  in
+  encode_page ~page_ints:g.page_ints ints 0 superblock_ints
+
+(* iterate (file_page, encoded page) over one column's extent *)
+let iter_column_pages g ~base column len f =
+  let n_pages = pages_for ~page_ints:g.page_ints len in
+  for p = 0 to n_pages - 1 do
+    let off = p * g.page_ints in
+    let page_len = min g.page_ints (len - off) in
+    f (base + p) (encode_page ~page_ints:g.page_ints column off page_len)
+  done
+
+let iter_meta_pages g ~base blob f =
+  for p = 0 to g.meta_pages - 1 do
+    let off = p * g.page_ints * 8 in
+    let len = min (g.page_ints * 8) (g.meta_bytes - off) in
+    f (base + p) (encode_meta_page ~page_ints:g.page_ints blob off len)
+  done
+
+(* every (file_page, bytes) of the store, in file order, one callback per
+   transaction: (txid, iter) list *)
+let creation_transactions g doc meta =
+  let post_base = 1 in
+  let prefix_base = post_base + g.post_pages in
+  let size_base = prefix_base + g.prefix_pages in
+  let meta_base = size_base + g.size_pages in
+  [
+    (1, fun f -> iter_column_pages g ~base:post_base (Doc.post_array doc) g.n_nodes f);
+    (2, fun f -> iter_column_pages g ~base:prefix_base (Doc.attr_prefix_array doc) (g.n_nodes + 1) f);
+    (3, fun f -> iter_column_pages g ~base:size_base (Doc.size_array doc) g.n_nodes f);
+    (4, fun f -> iter_meta_pages g ~base:meta_base meta f);
+    (* the superblock commits creation: until it is durable the store is
+       incomplete and open_ refuses it *)
+    (5, fun f -> f 0 (superblock_page g));
+  ]
+
+let open_files io ~path ~create =
+  if create then io.Io.mkdir path;
+  let pages = io.Io.openf ~path:(Filename.concat path pages_file) ~rw:true ~create in
+  let wal = io.Io.openf ~path:(Filename.concat path wal_file) ~rw:true ~create in
+  (pages, wal)
+
+let make_handle io ~path ~pages ~walf ~wal ~geo ~recovery =
+  {
+    io;
+    path;
+    pages;
+    walf;
+    wal;
+    geo;
+    last_recovery = recovery;
+    bytes_read = Atomic.make 0;
+    lock = Mutex.create ();
+    doc = None;
+    paged = None;
+  }
+
+(* Parse and sanity-check the superblock; Error means "not a complete
+   store" (creation never committed), Corrupt means it lies. *)
+let read_superblock t =
+  let st_size = t.pages.Io.size () in
+  (* peek page_ints before we know the stride *)
+  let peek = Bytes.create 24 in
+  let got = t.pages.Io.pread ~pos:0 peek 0 24 in
+  Atomic.fetch_and_add t.bytes_read got |> ignore;
+  if got < 24 then Error "store incomplete: no superblock (creation never committed)"
+  else begin
+    let magic = get_int peek 0 and ver = get_int peek 8 and page_ints = get_int peek 16 in
+    if magic <> magic_int then Error "store incomplete or foreign: bad superblock magic"
+    else if ver <> version then Error (Printf.sprintf "unsupported store format version %d" ver)
+    else if page_ints < min_page_ints || page_ints > max_page_ints then
+      Error (Printf.sprintf "corrupt superblock: implausible page_ints %d" page_ints)
+    else if st_size < stride ~page_ints then
+      Error "store incomplete: superblock page torn (creation never committed)"
+    else begin
+      match read_file_page { t with geo = { t.geo with page_ints } } 0 with
+      | exception Corrupt msg -> Error msg
+      | b ->
+        let f i = get_int b (8 * i) in
+        let g =
+          {
+            page_ints;
+            n_nodes = f 3;
+            height = f 4;
+            post_pages = f 5;
+            prefix_pages = f 6;
+            size_pages = f 7;
+            meta_pages = f 8;
+            meta_bytes = f 9;
+          }
+        in
+        let expect = geometry ~page_ints ~n_nodes:g.n_nodes ~height:g.height ~meta_bytes:g.meta_bytes in
+        if g.n_nodes <= 0 || g.height < 0 || g.meta_bytes < 0 then
+          Error "corrupt superblock: implausible document dimensions"
+        else if g <> expect then Error "corrupt superblock: extent geometry inconsistent"
+        else if t.pages.Io.size () < file_pages g * stride ~page_ints then
+          Error "store incomplete: page file shorter than its extents"
+        else Ok g
+    end
+  end
+
+let open_ ?(io = Io.real) ~path () =
+  if not (io.Io.exists path) then Error (Printf.sprintf "no store at %s" path)
+  else if not (io.Io.exists (Filename.concat path pages_file)) then
+    Error (Printf.sprintf "no store at %s: missing %s" path pages_file)
+  else begin
+    let pages, walf = open_files io ~path ~create:false in
+    let wal = Wal.attach walf in
+    let cleanup () =
+      pages.Io.close ();
+      walf.Io.close ()
+    in
+    (* redo pass first: a committed creation/checkpoint whose page writes
+       never landed is completed here.  Every logged image is a full page
+       (stride bytes), so its file offset is page * image length. *)
+    match
+      Wal.recover wal ~apply:(fun ~page img ->
+          pages.Io.pwrite ~pos:(page * Bytes.length img) img 0 (Bytes.length img))
+    with
+    | exception e ->
+      cleanup ();
+      Error (Printf.sprintf "WAL recovery failed: %s" (Printexc.to_string e))
+    | recovery ->
+      if recovery.Wal.replayed_pages > 0 then pages.Io.fsync ();
+      Wal.truncate wal;
+      let t0 =
+        make_handle io ~path ~pages ~walf ~wal
+          ~geo:(geometry ~page_ints:min_page_ints ~n_nodes:1 ~height:0 ~meta_bytes:0)
+          ~recovery
+      in
+      (match read_superblock t0 with
+      | Error e ->
+        cleanup ();
+        Error e
+      | Ok geo -> Ok { t0 with geo })
+  end
+
+let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
+  if page_ints < min_page_ints || page_ints > max_page_ints then
+    invalid_arg
+      (Printf.sprintf "Store.create: page_ints must be in [%d, %d]" min_page_ints max_page_ints);
+  (match Doc.validate doc with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "Store.create: document invalid: %s" e));
+  let meta = encode_meta doc in
+  let g =
+    geometry ~page_ints ~n_nodes:(Doc.n_nodes doc) ~height:(Doc.height doc)
+      ~meta_bytes:(Bytes.length meta)
+  in
+  let pages, walf = open_files io ~path ~create:true in
+  let wal = Wal.attach walf in
+  Fun.protect
+    ~finally:(fun () ->
+      pages.Io.close ();
+      walf.Io.close ())
+    (fun () ->
+      (* clean slate: a retried creation after a crash starts over *)
+      pages.Io.truncate 0;
+      Wal.truncate wal;
+      let txns = creation_transactions g doc meta in
+      (* 1. log everything, one transaction per extent; each commit is an
+         fsync barrier *)
+      List.iter
+        (fun (txid, iter) ->
+          Wal.begin_ wal ~txid;
+          iter (fun fpage img -> Wal.page_image wal ~txid ~page:fpage img);
+          Wal.commit wal ~txid)
+        txns;
+      (* 2. apply to the page file — safe in any order now: the whole log
+         is durable, so a crash here replays it *)
+      let st = stride ~page_ints in
+      List.iter (fun (_, iter) -> iter (fun fpage img -> pages.Io.pwrite ~pos:(fpage * st) img 0 st)) txns;
+      pages.Io.fsync ();
+      (* 3. checkpoint: the log has done its job *)
+      Wal.truncate wal);
+  match open_ ~io ~path () with
+  | Ok t -> t
+  | Error e -> raise (Corrupt (Printf.sprintf "store just created failed to open: %s" e))

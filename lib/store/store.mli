@@ -1,0 +1,91 @@
+(** The durable document store: real page files behind the buffer pool.
+
+    A store is a directory holding a page file and a write-ahead log:
+
+    {v
+      pages.scj   [superblock | post | attr_prefix | size | meta]
+      wal.scj     begin / page-image / commit records (see Wal)
+    v}
+
+    Every file page has the same stride — [page_ints * 8] data bytes
+    plus an 8-byte CRC-32 trailer.  File page 0 is the superblock
+    (format magic/version and the extent geometry); the three column
+    extents follow with exactly the page-aligned geometry
+    {!Scj_pager.Paged_doc.attach} expects, so pool page [p] is file page
+    [p + 1] and a {!paged} rendition serves queries with {e zero
+    re-encoding}: every buffer-pool fault is a checksum-verified pread.
+    The meta extent holds the non-columnar remainder of the document
+    (level/parent/kind columns, tag dictionary, text contents) used only
+    by {!doc}.
+
+    Durability: {!create} logs each extent as a WAL transaction (commit
+    = fsync barrier), applies the images to the page file, fsyncs it and
+    truncates the log — so a crash at {e any} point either leaves a log
+    that {!open_} replays to the complete store, or no committed
+    superblock, which {!open_} reports as a clean "store incomplete"
+    error.  Never a half-readable store. *)
+
+(** Raised when a checksum, a short read, or an inconsistent recovered
+    document proves the store is lying — distinct from the clean
+    [Error _] results of {!open_}, which mean "not a (complete) store".
+    Raised lazily: page faults verify on read, so a corrupt page
+    surfaces when a query first touches it. *)
+exception Corrupt of string
+
+type t
+
+(** [create ?io ?page_ints ~path doc] builds a store for [doc] at
+    directory [path] (created if missing; an existing store there is
+    overwritten) and reopens it.  [page_ints] is the page payload in
+    integers (default 1024 ≈ 8 KB pages).
+    @raise Invalid_argument if [doc] fails validation or [page_ints] is
+    out of range.
+    @raise Corrupt if the just-written store fails its own reopen. *)
+val create : ?io:Io.t -> ?page_ints:int -> path:string -> Scj_encoding.Doc.t -> t
+
+(** [open_ ?io ~path ()] runs WAL recovery (replaying committed
+    transactions, discarding torn tails), truncates the log, then
+    verifies the superblock.  [Error _] carries the torn-tail/incomplete
+    diagnosis; it never invents a document. *)
+val open_ : ?io:Io.t -> path:string -> unit -> (t, string) result
+
+(** What recovery found when this handle was opened. *)
+val last_recovery : t -> Wal.recovery
+
+(** The paged rendition over this store's page file, memoized — one
+    buffer pool per store, shared by all readers (the server's worker
+    domains, the planner catalog).  [stripes] (default 8) and
+    [capacity] (default [max 24 (pool_pages/10)]) apply to the first
+    call only. *)
+val paged : ?stripes:int -> ?capacity:int -> t -> Scj_pager.Paged_doc.t
+
+(** The memoized pool behind {!paged} — its hit/fault stats are real
+    page-file reads. *)
+val pool : t -> Scj_pager.Buffer_pool.t
+
+(** Materialize the full in-memory document (post + meta extents, read
+    directly and checksum-verified, {e not} through the buffer pool —
+    pool stats stay pure query traffic).  Memoized.
+    @raise Corrupt on checksum mismatch or failed validation. *)
+val doc : t -> Scj_encoding.Doc.t
+
+(** Checksum-walk every page of the file.  [Error] carries the first
+    mismatch. *)
+val verify : t -> (unit, string) result
+
+(** Fsync the page file and truncate the WAL to its bare header. *)
+val checkpoint : t -> unit
+
+val close : t -> unit
+
+val path : t -> string
+
+val page_ints : t -> int
+
+val n_nodes : t -> int
+
+val height : t -> int
+
+(** Total bytes pread from the page file through this handle (pool
+    faults, {!doc}, {!verify}, superblock). *)
+val bytes_read : t -> int

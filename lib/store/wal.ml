@@ -1,0 +1,157 @@
+(* Write-ahead log: an 8-byte magic header followed by a flat sequence of
+   records
+
+     [kind:8][txid:8][page:8][len:8][crc:8][payload: len bytes]
+
+   (all integers little-endian; kind 1 = begin, 2 = page image with the
+   target file-page index in [page], 3 = commit; the CRC-32 covers the
+   first 32 header bytes plus the payload).  Commit is the durability
+   point: its record is fsynced before the caller touches the page file —
+   redo-only, ARIES style.  Recovery replays the page images of committed
+   transactions in commit order and discards everything from the first
+   torn or corrupt record on, plus any transaction without a commit. *)
+
+let header_magic = "SCJWAL01"
+
+let header_bytes = String.length header_magic
+
+let record_header_bytes = 40
+
+(* sanity bound on a page-image payload: a torn length field must not
+   make recovery attempt a huge allocation before the CRC check *)
+let max_payload = 1 lsl 26
+
+let kind_begin = 1
+
+let kind_image = 2
+
+let kind_commit = 3
+
+type t = { file : Io.file; mutable pos : int }
+
+let set_int b off v = Bytes.set_int64_le b off (Int64.of_int v)
+
+let get_int b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let attach file = { file; pos = file.Io.size () }
+
+let append t ~kind ~txid ~page payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (record_header_bytes + len) in
+  set_int b 0 kind;
+  set_int b 8 txid;
+  set_int b 16 page;
+  set_int b 24 len;
+  Bytes.blit payload 0 b record_header_bytes len;
+  let crc = Crc32.update (Crc32.digest b ~pos:0 ~len:32) b ~pos:record_header_bytes ~len in
+  set_int b 32 crc;
+  t.file.Io.pwrite ~pos:t.pos b 0 (Bytes.length b);
+  t.pos <- t.pos + Bytes.length b
+
+let begin_ t ~txid = append t ~kind:kind_begin ~txid ~page:0 Bytes.empty
+
+let page_image t ~txid ~page img = append t ~kind:kind_image ~txid ~page img
+
+(* the fsync is the commit barrier: after it returns the transaction's
+   redo images are durable *)
+let commit t ~txid =
+  append t ~kind:kind_commit ~txid ~page:0 Bytes.empty;
+  t.file.Io.fsync ()
+
+type recovery = { committed : int; replayed_pages : int; discarded : string option }
+
+let clean_recovery = { committed = 0; replayed_pages = 0; discarded = None }
+
+let recover t ~apply =
+  let size = t.file.Io.size () in
+  let committed = ref 0 and replayed = ref 0 in
+  let discarded = ref None in
+  let in_flight : (int, (int * Bytes.t) list ref) Hashtbl.t = Hashtbl.create 8 in
+  if size = 0 then ()
+  else begin
+    let hdr = Bytes.create header_bytes in
+    let hlen = t.file.Io.pread ~pos:0 hdr 0 header_bytes in
+    if hlen < header_bytes || not (String.equal (Bytes.to_string hdr) header_magic) then
+      discarded := Some "WAL header torn or invalid; log discarded"
+    else begin
+      let pos = ref header_bytes in
+      let stop = ref false in
+      while not !stop do
+        if !pos + record_header_bytes > size then begin
+          if !pos < size then
+            discarded :=
+              Some (Printf.sprintf "torn record header at WAL offset %d; tail discarded" !pos);
+          stop := true
+        end
+        else begin
+          let h = Bytes.create record_header_bytes in
+          ignore (t.file.Io.pread ~pos:!pos h 0 record_header_bytes);
+          let kind = get_int h 0
+          and txid = get_int h 8
+          and page = get_int h 16
+          and len = get_int h 24
+          and crc = get_int h 32 in
+          if kind < kind_begin || kind > kind_commit || len < 0 || len > max_payload || page < 0
+          then begin
+            discarded :=
+              Some (Printf.sprintf "corrupt record at WAL offset %d; tail discarded" !pos);
+            stop := true
+          end
+          else if !pos + record_header_bytes + len > size then begin
+            discarded :=
+              Some (Printf.sprintf "torn page image at WAL offset %d; tail discarded" !pos);
+            stop := true
+          end
+          else begin
+            let payload = Bytes.create len in
+            ignore (t.file.Io.pread ~pos:(!pos + record_header_bytes) payload 0 len);
+            let crc' = Crc32.update (Crc32.digest h ~pos:0 ~len:32) payload ~pos:0 ~len in
+            if crc' <> crc then begin
+              discarded :=
+                Some
+                  (Printf.sprintf "checksum mismatch in record at WAL offset %d; tail discarded"
+                     !pos);
+              stop := true
+            end
+            else begin
+              (if kind = kind_begin then Hashtbl.replace in_flight txid (ref [])
+               else
+                 match Hashtbl.find_opt in_flight txid with
+                 | Some images ->
+                   if kind = kind_image then images := (page, payload) :: !images
+                   else begin
+                     (* commit: replay this transaction's images in order *)
+                     List.iter
+                       (fun (page, img) ->
+                         apply ~page img;
+                         incr replayed)
+                       (List.rev !images);
+                     Hashtbl.remove in_flight txid;
+                     incr committed
+                   end
+                 | None ->
+                   discarded :=
+                     Some
+                       (Printf.sprintf
+                          "record for unknown transaction %d at WAL offset %d; tail discarded"
+                          txid !pos);
+                   stop := true);
+              pos := !pos + record_header_bytes + len
+            end
+          end
+        end
+      done;
+      let uncommitted = Hashtbl.length in_flight in
+      if uncommitted > 0 && !discarded = None then
+        discarded := Some (Printf.sprintf "%d uncommitted transaction(s) discarded" uncommitted)
+    end
+  end;
+  { committed = !committed; replayed_pages = !replayed; discarded = !discarded }
+
+(* checkpoint: everything the log protected has been applied and fsynced
+   to the page file, so reset the log to its bare header *)
+let truncate t =
+  t.file.Io.truncate header_bytes;
+  t.file.Io.pwrite ~pos:0 (Bytes.of_string header_magic) 0 header_bytes;
+  t.file.Io.fsync ();
+  t.pos <- header_bytes

@@ -1,0 +1,53 @@
+(** Write-ahead log with redo-only (ARIES-style) recovery.
+
+    Record format (integers little-endian, CRC-32 over the first 32
+    header bytes plus the payload):
+
+    {v [kind:8][txid:8][page:8][len:8][crc:8][payload: len bytes] v}
+
+    with kinds [1 = begin], [2 = page image] (target file-page index in
+    [page]), [3 = commit].  {!commit} fsyncs — the durability barrier:
+    page-file writes happen only after the covering transaction's commit
+    record is on disk, so {!recover} can always redo them.  Recovery
+    replays committed transactions in commit order and discards the tail
+    from the first torn or corrupt record, plus any uncommitted
+    transaction. *)
+
+type t
+
+(** Attach to an open log file; appends go at the current end.  Call
+    {!truncate} (fresh store) or {!recover} + {!truncate} (reopen)
+    before appending. *)
+val attach : Io.file -> t
+
+val begin_ : t -> txid:int -> unit
+
+(** [page_image t ~txid ~page img] logs the full after-image of file
+    page [page] (data plus checksum trailer, exactly the bytes the page
+    file will hold). *)
+val page_image : t -> txid:int -> page:int -> Bytes.t -> unit
+
+(** Append the commit record and fsync — after return the transaction is
+    durable. *)
+val commit : t -> txid:int -> unit
+
+type recovery = {
+  committed : int;  (** transactions replayed *)
+  replayed_pages : int;  (** page images written back *)
+  discarded : string option;
+      (** diagnosis when a torn/corrupt tail or uncommitted transaction
+          was discarded; [None] for a clean log *)
+}
+
+val clean_recovery : recovery
+
+(** [recover t ~apply] scans the log, calling [apply ~page img] for each
+    page image of each committed transaction, in commit order.  Never
+    raises on a corrupt log — corruption terminates the scan and is
+    reported in [discarded].  Caller must fsync the applied pages and
+    then {!truncate}. *)
+val recover : t -> apply:(page:int -> Bytes.t -> unit) -> recovery
+
+(** Reset the log to its bare header and fsync — the checkpoint
+    operation, valid once the protected pages are durably applied. *)
+val truncate : t -> unit

@@ -1,0 +1,144 @@
+(* Fault-injection I/O for the durable store: an [Scj_store.Io.t] that
+   buffers writes until the next fsync (like an OS page cache under a
+   power failure) and can crash at a chosen I/O event, applying only a
+   random prefix of the buffered writes — the last one possibly torn
+   mid-page — before cutting every file off.
+
+   Event numbering is deterministic for a fixed workload: a dry run
+   (no [crash_at]) records how many events the workload performs and
+   which of them were fsync barriers; the fuzz driver then replays the
+   workload once per interesting crash point. *)
+
+module Io = Scj_store.Io
+
+exception Crash
+
+type pending = { wpos : int; data : Bytes.t }
+
+type fstate = {
+  real : Io.file;
+  mutable pending : pending list;  (* newest first *)
+  mutable vsize : int;  (* size including buffered writes *)
+  mutable closed : bool;
+}
+
+type t = {
+  rng : Random.State.t;
+  crash_at : int option;
+  mutable events : int;
+  mutable fsyncs : int list;  (* event indices that were fsync barriers, newest first *)
+  mutable files : fstate list;
+  mutable crashed : bool;
+}
+
+let create ?(seed = 0) ?crash_at () =
+  {
+    rng = Random.State.make [| 0xfa; seed |];
+    crash_at;
+    events = 0;
+    fsyncs = [];
+    files = [];
+    crashed = false;
+  }
+
+let events t = t.events
+
+let fsync_events t = List.rev t.fsyncs
+
+(* flush [fs.pending] up to the crash horizon: a random count of whole
+   writes, then a random prefix of the next one (the short/torn write) *)
+let crash_file rng fs =
+  if not fs.closed then begin
+    let writes = List.rev fs.pending in
+    let keep = Random.State.int rng (List.length writes + 1) in
+    List.iteri
+      (fun i { wpos; data } ->
+        if i < keep then fs.real.Io.pwrite ~pos:wpos data 0 (Bytes.length data)
+        else if i = keep then begin
+          let part = Random.State.int rng (Bytes.length data + 1) in
+          if part > 0 then fs.real.Io.pwrite ~pos:wpos data 0 part
+        end)
+      writes;
+    fs.pending <- [];
+    fs.closed <- true;
+    fs.real.Io.close ()
+  end
+
+let check_alive t = if t.crashed then raise Crash
+
+(* one fault-eligible event: pwrite, fsync or truncate *)
+let event t ~is_fsync =
+  check_alive t;
+  t.events <- t.events + 1;
+  if is_fsync then t.fsyncs <- t.events :: t.fsyncs;
+  match t.crash_at with
+  | Some k when t.events = k ->
+    t.crashed <- true;
+    List.iter (crash_file t.rng) t.files;
+    raise Crash
+  | _ -> ()
+
+let flush fs =
+  List.iter (fun { wpos; data } -> fs.real.Io.pwrite ~pos:wpos data 0 (Bytes.length data))
+    (List.rev fs.pending);
+  fs.pending <- []
+
+let wrap_file t fs =
+  {
+    Io.pread =
+      (fun ~pos buf off len ->
+        check_alive t;
+        (* base bytes, a zero gap for holes, then the write overlay *)
+        let avail = max 0 (min len (fs.vsize - pos)) in
+        let r = fs.real.Io.pread ~pos buf off avail in
+        if r < avail then Bytes.fill buf (off + r) (avail - r) '\000';
+        List.iter
+          (fun { wpos; data } ->
+            let lo = max pos wpos and hi = min (pos + avail) (wpos + Bytes.length data) in
+            if lo < hi then Bytes.blit data (lo - wpos) buf (off + lo - pos) (hi - lo))
+          (List.rev fs.pending);
+        avail);
+    pwrite =
+      (fun ~pos buf off len ->
+        event t ~is_fsync:false;
+        fs.pending <- { wpos = pos; data = Bytes.sub buf off len } :: fs.pending;
+        fs.vsize <- max fs.vsize (pos + len));
+    fsync =
+      (fun () ->
+        event t ~is_fsync:true;
+        flush fs;
+        fs.real.Io.fsync ());
+    size =
+      (fun () ->
+        check_alive t;
+        fs.vsize);
+    truncate =
+      (fun n ->
+        event t ~is_fsync:false;
+        flush fs;
+        fs.real.Io.truncate n;
+        fs.vsize <- n);
+    close =
+      (fun () ->
+        (* a post-crash close is the cleanup path of the code under test:
+           the real fd is already gone, stay quiet *)
+        if (not t.crashed) && not fs.closed then begin
+          flush fs;
+          fs.closed <- true;
+          fs.real.Io.close ()
+        end);
+  }
+
+let io t =
+  {
+    Io.openf =
+      (fun ~path ~rw ~create ->
+        check_alive t;
+        let real = Io.real.Io.openf ~path ~rw ~create in
+        let fs = { real; pending = []; vsize = real.Io.size (); closed = false } in
+        t.files <- fs :: t.files;
+        wrap_file t fs);
+    exists = Io.real.Io.exists;
+    mkdir = Io.real.Io.mkdir;
+    remove = Io.real.Io.remove;
+  }

@@ -108,3 +108,6 @@ let spec_step doc axis context =
 
 (* Deterministic random documents for the differential fuzzing harness. *)
 module Fuzz = Fuzz
+
+(* Fault-injection I/O for the durable-store recovery fuzz. *)
+module Faultfs = Faultfs

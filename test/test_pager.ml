@@ -202,6 +202,49 @@ let test_pool_concurrent_readers () =
   check_bool "capacity respected" true (Buffer_pool.resident pool <= 16)
 
 (* ------------------------------------------------------------------ *)
+(* pin exhaustion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let contains msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+(* Every frame pinned and no overflow allowance left: the fault must fail
+   fast with a diagnosis, not spin — and the aborted access is still
+   counted, so Σ-tallies = pool-counters survives the abort. *)
+let test_pool_pin_exhaustion () =
+  let store = Buffer_pool.Store.create ~page_ints:4 (Array.init 32 Fun.id) in
+  let pool = Buffer_pool.create ~max_overflow:0 ~capacity:2 store in
+  let tally = Buffer_pool.Tally.create () in
+  let msg = ref None in
+  Buffer_pool.with_page ~tally pool 0 (fun _ ->
+      Buffer_pool.with_page ~tally pool 1 (fun _ ->
+          match Buffer_pool.read ~tally pool 8 with
+          | _ -> Alcotest.fail "fault over a fully pinned pool returned a value"
+          | exception Buffer_pool.Exhausted m -> msg := Some m));
+  (match !msg with
+  | None -> Alcotest.fail "Exhausted not raised"
+  | Some m ->
+    check_bool "diagnosis names the pins" true (contains m "pinned");
+    check_bool "diagnosis names the faulting page" true (contains m "page 2"));
+  let hits, faults, _ = Buffer_pool.stats pool in
+  check_int "aborted fault still counted" 3 (hits + faults);
+  check_int "pool counters = tally after abort" (hits + faults) (Buffer_pool.Tally.total tally);
+  check_int "pins drained after abort" 0 (Buffer_pool.pinned pool);
+  (* with the pins gone the same access succeeds *)
+  check_int "pool usable after abort" 8 (Buffer_pool.read ~tally pool 8)
+
+(* A positive overflow allowance absorbs the same pressure instead. *)
+let test_pool_pin_overflow_allowance () =
+  let store = Buffer_pool.Store.create ~page_ints:4 (Array.init 32 Fun.id) in
+  let pool = Buffer_pool.create ~max_overflow:1 ~capacity:2 store in
+  Buffer_pool.with_page pool 0 (fun _ ->
+      Buffer_pool.with_page pool 1 (fun _ ->
+          check_int "overflow frame serves the fault" 8 (Buffer_pool.read pool 8)));
+  check_int "pins drained" 0 (Buffer_pool.pinned pool)
+
+(* ------------------------------------------------------------------ *)
 (* paged document                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -309,11 +352,11 @@ let test_copy_phase_avoids_post_pages () =
   let result = Paged_doc.desc pd root in
   Alcotest.check nodeseq "matches in-memory desc" (Sj.desc d root) result;
   let pool = Paged_doc.pool pd in
-  (* interior post pages: page 0 holds post(root) (touched by the prune)
-     and the last post page also carries the first prefix entries, so
-     check the pages strictly between them *)
+  (* page 0 holds post(root) (touched by the prune); every other post page
+     must stay untouched — the column extents are page-aligned, so no
+     post page shares a frame with the prefix column *)
   let resident_post_pages = ref 0 in
-  for page = 1 to ((n - 1) / page_ints) - 1 do
+  for page = 1 to (n - 1) / page_ints do
     if Buffer_pool.is_resident pool page then incr resident_post_pages
   done;
   check_int "interior post pages untouched" 0 !resident_post_pages
@@ -336,6 +379,8 @@ let () =
           Alcotest.test_case "bounds" `Quick test_pool_bounds;
           Alcotest.test_case "eviction = plain-list LRU model" `Quick test_lru_model;
           Alcotest.test_case "concurrent readers" `Quick test_pool_concurrent_readers;
+          Alcotest.test_case "pin exhaustion" `Quick test_pool_pin_exhaustion;
+          Alcotest.test_case "pin overflow allowance" `Quick test_pool_pin_overflow_allowance;
         ] );
       ( "paged document",
         [

@@ -93,7 +93,8 @@ let test_concurrent_matches_serial () =
           (Stats.all_assoc exp_stats)
           (Stats.all_assoc r.Server.work)
       | Server.Timed_out -> Alcotest.failf "query %d timed out" i
-      | Server.Failed msg -> Alcotest.failf "query %d failed: %s" i msg)
+      | Server.Failed msg -> Alcotest.failf "query %d failed: %s" i msg
+      | Server.Dropped -> Alcotest.failf "query %d dropped" i)
     (List.combine outcomes expected);
   let stats = Server.stats server in
   check_int "all queries completed" n_queries stats.Server.completed;
@@ -125,7 +126,8 @@ let test_timeout_does_not_poison_pool () =
   (match Server.run ~deadline:1e-6 server (Server.Step (`Desc, all)) with
   | Server.Timed_out -> ()
   | Server.Done _ -> Alcotest.fail "expected a timeout, query completed"
-  | Server.Failed msg -> Alcotest.failf "expected a timeout, got failure: %s" msg);
+  | Server.Failed msg -> Alcotest.failf "expected a timeout, got failure: %s" msg
+  | Server.Dropped -> Alcotest.fail "expected a timeout, query dropped" );
   check_int "pins drained after timeout" 0 (Buffer_pool.pinned (Paged_doc.pool paged));
   (* the pool still works: the same query without a deadline succeeds and
      is correct *)
@@ -136,7 +138,8 @@ let test_timeout_does_not_poison_pool () =
   | Server.Done r ->
     check_bool "post-timeout query correct" true (Nodeseq.equal expected r.Server.result)
   | Server.Timed_out -> Alcotest.fail "deadline-free query timed out"
-  | Server.Failed msg -> Alcotest.failf "deadline-free query failed: %s" msg);
+  | Server.Failed msg -> Alcotest.failf "deadline-free query failed: %s" msg
+  | Server.Dropped -> Alcotest.fail "deadline-free query dropped" );
   let stats = Server.stats server in
   check_int "timeout counted" 1 stats.Server.timed_out;
   check_int "completion counted" 1 stats.Server.completed;
@@ -154,7 +157,8 @@ let test_failed_query_is_isolated () =
   (match Server.run server (Server.Path "/::!garbage") with
   | Server.Failed _ -> ()
   | Server.Done _ -> Alcotest.fail "garbage query succeeded"
-  | Server.Timed_out -> Alcotest.fail "garbage query timed out");
+  | Server.Timed_out -> Alcotest.fail "garbage query timed out"
+  | Server.Dropped -> Alcotest.fail "garbage query dropped");
   (match Server.run server (Server.Step (`Desc, Nodeseq.singleton 0)) with
   | Server.Done _ -> ()
   | _ -> Alcotest.fail "worker did not survive the failed query");
@@ -188,13 +192,62 @@ let test_backpressure_rejects () =
       match Server.await h with
       | Server.Done _ -> ()
       | Server.Timed_out -> Alcotest.fail "accepted query timed out"
-      | Server.Failed msg -> Alcotest.failf "accepted query failed: %s" msg)
+      | Server.Failed msg -> Alcotest.failf "accepted query failed: %s" msg
+      | Server.Dropped -> Alcotest.fail "accepted query dropped")
     handles;
   let stats = Server.stats server in
   check_int "every submission accounted" n_submitted
     (stats.Server.completed + stats.Server.rejected);
   check_int "rejections counted" (n_submitted - accepted) stats.Server.rejected;
   Server.shutdown server
+
+(* ------------------------------------------------------------------ *)
+(* shutdown: drain vs drop                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The default shutdown drains: every accepted query still completes.
+   [~drain:false] abandons the queued ones instead — their awaits resolve
+   to [Dropped] (never hang) and the service stats count them. *)
+let test_shutdown_drains_or_drops () =
+  let doc = Fuzz.doc Fuzz.Uniform 9 in
+  let n = Doc.n_nodes doc in
+  let all = Nodeseq.of_unsorted (List.init n Fun.id) in
+  let submit_slow_batch () =
+    let paged = Paged_doc.load ~page_ints:4 ~capacity:8 ~fault_latency:0.01 doc in
+    let server = Server.create ~workers:1 ~queue_bound:16 ~paged doc in
+    let handles =
+      List.filter_map (fun _ -> Server.submit server (Server.Step (`Desc, all))) (List.init 6 Fun.id)
+    in
+    check_int "all accepted below the bound" 6 (List.length handles);
+    (server, handles)
+  in
+  (* drain (the default) *)
+  let server, handles = submit_slow_batch () in
+  Server.shutdown server;
+  List.iter
+    (fun h ->
+      match Server.await h with
+      | Server.Done _ -> ()
+      | Server.Dropped -> Alcotest.fail "draining shutdown dropped a query"
+      | Server.Timed_out | Server.Failed _ -> Alcotest.fail "drained query did not complete")
+    handles;
+  let stats = Server.stats server in
+  check_int "drained all" 6 stats.Server.completed;
+  check_int "nothing dropped" 0 stats.Server.dropped;
+  (* no drain *)
+  let server, handles = submit_slow_batch () in
+  Server.shutdown ~drain:false server;
+  let outcomes = List.map Server.await handles in
+  let completed = List.length (List.filter (function Server.Done _ -> true | _ -> false) outcomes) in
+  let dropped = List.length (List.filter (function Server.Dropped -> true | _ -> false) outcomes) in
+  check_int "every accepted query resolved" 6 (completed + dropped);
+  check_bool "queued queries were dropped" true (dropped > 0);
+  let stats = Server.stats server in
+  check_int "completions counted" completed stats.Server.completed;
+  check_int "drops counted" dropped stats.Server.dropped;
+  let hits, faults, _ = Server.pool_stats server in
+  check_int "tally invariant survives drops (hits)" stats.Server.tally_hits hits;
+  check_int "tally invariant survives drops (faults)" stats.Server.tally_misses faults
 
 (* ------------------------------------------------------------------ *)
 (* latency histogram                                                    *)
@@ -251,6 +304,7 @@ let () =
             test_timeout_does_not_poison_pool;
           Alcotest.test_case "failed queries are isolated" `Quick
             test_failed_query_is_isolated;
+          Alcotest.test_case "shutdown drains or drops" `Quick test_shutdown_drains_or_drops;
           Alcotest.test_case "backpressure rejects beyond the bound" `Quick
             test_backpressure_rejects;
         ] );

@@ -1,0 +1,293 @@
+(* The durable document store: on-disk roundtrip, real-pread pool
+   traffic, checksum verification, torn-tail WAL recovery, checkpoint
+   truncation — and the recovery fuzz: for every injected crash point
+   across (shape, seed, crash-schedule) runs, reopening either recovers
+   a store whose desc/anc/following/preceding results and work counters
+   are bit-identical to the in-memory oracle, or fails cleanly with a
+   diagnosis.  Never a wrong answer, never an unhandled crash. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Stats = Scj_stats.Stats
+module Exec = Scj_trace.Exec
+module Sj = Scj_core.Staircase
+module Paged_doc = Scj_pager.Paged_doc
+module Buffer_pool = Scj_pager.Buffer_pool
+module Store = Scj_store.Store
+module Wal = Scj_store.Wal
+module Fuzz = Test_support.Fuzz
+module Faultfs = Test_support.Faultfs
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "scj_store_test_%d_%d" (Unix.getpid ()) !dir_counter)
+
+let wipe dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> wipe dir) (fun () -> f dir)
+
+let wal_size dir = (Unix.stat (Filename.concat dir "wal.scj")).Unix.st_size
+
+(* flip one byte of a store file in place *)
+let flip_byte dir file pos =
+  let fd = Unix.openfile (Filename.concat dir file) [ Unix.O_RDWR ] 0o644 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let contains_sub s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let run_counted f =
+  let stats = Stats.create () in
+  let r = f stats in
+  (Nodeseq.to_list r, Stats.all_assoc stats)
+
+(* Axis parity of an opened store against the in-memory oracle document:
+   raw columns, paged desc/anc vs the estimation-mode staircase (results
+   and counters bit-identical), and following/preceding on the
+   materialized recovered document vs the oracle. *)
+let check_parity ~what oracle store =
+  let recovered = Store.doc store in
+  if Doc.post_array recovered <> Doc.post_array oracle then
+    Alcotest.failf "%s: recovered post column differs" what;
+  if Doc.size_array recovered <> Doc.size_array oracle then
+    Alcotest.failf "%s: recovered size column differs" what;
+  if Doc.attr_prefix_array recovered <> Doc.attr_prefix_array oracle then
+    Alcotest.failf "%s: recovered attr-prefix column differs" what;
+  let paged = Store.paged store in
+  let contexts =
+    [
+      ("root", Nodeseq.singleton (Doc.root oracle));
+      ("fuzz", Fuzz.context oracle 7);
+    ]
+  in
+  List.iter
+    (fun (cname, ctx) ->
+      let estimation stats = Exec.make ~mode:Sj.Estimation ~stats () in
+      let pairs =
+        [
+          ( "desc",
+            run_counted (fun s -> Sj.desc ~exec:(estimation s) oracle ctx),
+            run_counted (fun s -> Paged_doc.desc ~exec:(Exec.make ~stats:s ()) paged ctx) );
+          ( "anc",
+            run_counted (fun s -> Sj.anc ~exec:(estimation s) oracle ctx),
+            run_counted (fun s -> Paged_doc.anc ~exec:(Exec.make ~stats:s ()) paged ctx) );
+          ( "following",
+            run_counted (fun s -> Sj.following ~exec:(estimation s) oracle ctx),
+            run_counted (fun s -> Sj.following ~exec:(estimation s) recovered ctx) );
+          ( "preceding",
+            run_counted (fun s -> Sj.preceding ~exec:(estimation s) oracle ctx),
+            run_counted (fun s -> Sj.preceding ~exec:(estimation s) recovered ctx) );
+        ]
+      in
+      List.iter
+        (fun (axis, (exp_r, exp_c), (got_r, got_c)) ->
+          if exp_r <> got_r then
+            Alcotest.failf "%s: %s/%s results diverge from oracle" what axis cname;
+          if exp_c <> got_c then
+            Alcotest.failf "%s: %s/%s work counters diverge from oracle" what axis cname)
+        pairs)
+    contexts
+
+(* ------------------------------------------------------------------ *)
+(* roundtrip                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  with_dir (fun dir ->
+      let doc = Lazy.force Test_support.paper_doc in
+      let store = Store.create ~page_ints:16 ~path:dir doc in
+      Alcotest.(check (result unit string)) "verify" (Ok ()) (Store.verify store);
+      check_parity ~what:"fresh store" doc store;
+      Alcotest.(check int) "WAL checkpointed after create" 8 (wal_size dir);
+      Store.close store;
+      match Store.open_ ~path:dir () with
+      | Error e -> Alcotest.failf "reopen failed: %s" e
+      | Ok store2 ->
+        Alcotest.(check bool) "clean reopen has no recovery work" true
+          (Store.last_recovery store2 = Wal.clean_recovery);
+        check_parity ~what:"reopened store" doc store2;
+        Store.close store2)
+
+(* Pool faults over a store are real preads: counted in the pool stats,
+   attributable per query through tallies, and visible as bytes read. *)
+let test_real_preads () =
+  with_dir (fun dir ->
+      let doc = Fuzz.doc Fuzz.Uniform 3 in
+      let store = Store.create ~page_ints:16 ~path:dir doc in
+      Store.close store;
+      match Store.open_ ~path:dir () with
+      | Error e -> Alcotest.failf "reopen failed: %s" e
+      | Ok store ->
+        let paged = Store.paged ~capacity:24 store in
+        let pool = Paged_doc.pool paged in
+        let before = Store.bytes_read store in
+        let tally = Buffer_pool.Tally.create () in
+        let ctx = Nodeseq.singleton (Doc.root doc) in
+        ignore (Paged_doc.desc (Paged_doc.with_tally paged tally) ctx);
+        let hits, faults, _ = Buffer_pool.stats pool in
+        Alcotest.(check bool) "faults happened" true (faults > 0);
+        Alcotest.(check int) "tally = pool counters" (hits + faults)
+          (Buffer_pool.Tally.total tally);
+        Alcotest.(check bool) "faults were real page-file reads" true
+          (Store.bytes_read store > before);
+        Store.close store)
+
+(* ------------------------------------------------------------------ *)
+(* corruption                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_checksum_corruption () =
+  with_dir (fun dir ->
+      let doc = Fuzz.doc Fuzz.Uniform 1 in
+      let store = Store.create ~page_ints:16 ~path:dir doc in
+      Store.close store;
+      (* a flipped byte inside the first post page: open still succeeds
+         (the superblock is fine) but verification and any query touching
+         the page report Corrupt *)
+      let stride = (16 * 8) + 8 in
+      flip_byte dir "pages.scj" (stride + 4);
+      (match Store.open_ ~path:dir () with
+      | Error e -> Alcotest.failf "open after data corruption should succeed, got: %s" e
+      | Ok store ->
+        (match Store.verify store with
+        | Ok () -> Alcotest.fail "verify missed a flipped byte"
+        | Error e ->
+          Alcotest.(check bool) "diagnosis names the checksum" true
+            (contains_sub e "checksum"));
+        let paged = Store.paged store in
+        (match Paged_doc.desc paged (Nodeseq.singleton 0) with
+        | exception Store.Corrupt _ -> ()
+        | _ -> Alcotest.fail "query over a corrupt page returned an answer");
+        Store.close store);
+      (* a flipped byte inside the superblock refuses the whole store *)
+      flip_byte dir "pages.scj" 100;
+      match Store.open_ ~path:dir () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "open accepted a corrupt superblock")
+
+let test_torn_wal_tail () =
+  with_dir (fun dir ->
+      let doc = Fuzz.doc Fuzz.Attr_heavy 2 in
+      let store = Store.create ~page_ints:16 ~path:dir doc in
+      Store.close store;
+      (* garbage appended past the checkpointed header: recovery must
+         diagnose and discard it, leaving the store intact *)
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 (Filename.concat dir "wal.scj")
+      in
+      output_string oc (String.make 23 '\xab');
+      close_out oc;
+      match Store.open_ ~path:dir () with
+      | Error e -> Alcotest.failf "torn WAL tail should not refuse the store: %s" e
+      | Ok store ->
+        (match (Store.last_recovery store).Wal.discarded with
+        | Some _ -> ()
+        | None -> Alcotest.fail "recovery silently swallowed a torn tail");
+        Alcotest.(check int) "WAL truncated back to its header" 8 (wal_size dir);
+        check_parity ~what:"store after torn-tail recovery" doc store;
+        Store.close store)
+
+let test_checkpoint () =
+  with_dir (fun dir ->
+      let doc = Fuzz.doc Fuzz.Wide 4 in
+      let store = Store.create ~page_ints:16 ~path:dir doc in
+      Store.checkpoint store;
+      Alcotest.(check int) "checkpoint truncates the WAL" 8 (wal_size dir);
+      Alcotest.(check (result unit string)) "store intact" (Ok ()) (Store.verify store);
+      Store.close store)
+
+(* ------------------------------------------------------------------ *)
+(* recovery fuzz                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* every fsync barrier plus a deterministic sample of other I/O events *)
+let crash_points ~total ~fsyncs seed =
+  let st = Random.State.make [| 0xc4a5; seed |] in
+  let extra = List.init 8 (fun _ -> 1 + Random.State.int st (max total 1)) in
+  List.sort_uniq compare (fsyncs @ extra)
+
+let fuzz_one ~runs shape seed =
+  let oracle = Fuzz.doc shape seed in
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> wipe dir)
+    (fun () ->
+      (* dry run: learn the workload's event schedule *)
+      let f = Faultfs.create ~seed () in
+      let store = Store.create ~io:(Faultfs.io f) ~page_ints:16 ~path:dir oracle in
+      check_parity ~what:"dry run" oracle store;
+      Store.close store;
+      let total = Faultfs.events f in
+      let fsyncs = Faultfs.fsync_events f in
+      List.iter
+        (fun k ->
+          incr runs;
+          wipe dir;
+          let f = Faultfs.create ~seed:((seed * 1000) + k) ~crash_at:k () in
+          (match Store.create ~io:(Faultfs.io f) ~page_ints:16 ~path:dir oracle with
+          | exception Faultfs.Crash -> ()
+          | store ->
+            (* the crash point fell after the last event of this run *)
+            Store.close store);
+          match Store.open_ ~path:dir () with
+          | Ok store ->
+            (* recovery claims success: results must be bit-identical *)
+            check_parity
+              ~what:
+                (Printf.sprintf "shape=%s seed=%d crash@%d/%d"
+                   (Fuzz.shape_to_string shape) seed k total)
+              oracle store;
+            Store.close store
+          | Error msg ->
+            if String.length msg = 0 then
+              Alcotest.failf "shape=%s seed=%d crash@%d: empty diagnosis"
+                (Fuzz.shape_to_string shape) seed k;
+            (* a clean refusal: re-running the load must succeed *)
+            let store = Store.create ~page_ints:16 ~path:dir oracle in
+            check_parity
+              ~what:
+                (Printf.sprintf "shape=%s seed=%d crash@%d retry" (Fuzz.shape_to_string shape)
+                   seed k)
+              oracle store;
+            Store.close store)
+        (crash_points ~total ~fsyncs seed))
+
+let test_recovery_fuzz () =
+  let runs = ref 0 in
+  List.iter
+    (fun shape -> List.iter (fun seed -> fuzz_one ~runs shape seed) [ 0; 1 ])
+    Fuzz.all_shapes;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough crash-schedule runs (%d)" !runs)
+    true (!runs >= 100)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "real preads" `Quick test_real_preads;
+          Alcotest.test_case "checksum corruption" `Quick test_checksum_corruption;
+          Alcotest.test_case "torn WAL tail" `Quick test_torn_wal_tail;
+          Alcotest.test_case "checkpoint" `Quick test_checkpoint;
+          Alcotest.test_case "recovery fuzz" `Slow test_recovery_fuzz;
+        ] );
+    ]

@@ -86,13 +86,24 @@ for span in fresh:
             extra = f", baseline {base_v}" if base_v is not None else ""
             print(f"bench-diff: {name}: {key} {val}{extra} (informational)")
         # hit rates depend on scheduling only mildly; gate with a wide
-        # absolute tolerance to catch eviction-policy regressions
-        elif key.startswith("hit_rate_c") and key in base_attrs:
+        # absolute tolerance to catch eviction-policy regressions (covers
+        # both pool-level hit_rate_cN and per-query hit_rate_tally_cN)
+        elif key.startswith("hit_rate") and key in base_attrs:
             drift = abs(float(val) - float(base_attrs[key]))
             if drift > 0.15:
                 problems.append(
                     f"{name}: {key} moved {base_attrs[key]} -> {val} (>0.15 absolute tolerance)"
                 )
+        # deterministic integer counts exported as annotations (store
+        # faults, bytes read): gate like work counters, 30% relative
+        elif key.startswith("count_") and key in base_attrs:
+            base_v = float(base_attrs[key])
+            if base_v != 0:
+                drift = abs(float(val) - base_v) / base_v
+                if drift > THRESHOLD:
+                    problems.append(
+                        f"{name}: {key} moved {base_attrs[key]} -> {val} ({drift:+.0%} vs {THRESHOLD:.0%} threshold)"
+                    )
     if has_measurement(span):
         continue  # counters scale with bechamel iterations; not comparable
     base_work = counters(base)
