@@ -722,9 +722,18 @@ let workload () =
   let clients = if !smoke_mode then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
   let run_at workers =
     let paged = Paged_doc.load ~page_ints ~stripes:8 ~fault_latency ~capacity doc in
-    let server = Server.create ~workers ~queue_bound:n_queries ~paged doc in
+    let db = Scj_db.Db.of_doc doc in
+    Scj_db.Db.attach_paged db paged;
+    let server = Server.create ~workers ~queue_bound:n_queries db in
     let t0 = Unix.gettimeofday () in
-    let handles = List.map (fun q -> Option.get (Server.submit server q)) queries in
+    let handles =
+      List.map
+        (fun q ->
+          match Server.submit server q with
+          | Server.Accepted h -> h
+          | Server.Overloaded | Server.Stopped -> failwith "server bench: submission refused")
+        queries
+    in
     let outcomes = List.map Server.await handles in
     let dt = Unix.gettimeofday () -. t0 in
     let stats = Server.stats server in
@@ -835,9 +844,9 @@ let store_bench () =
       | Ok _ | Error _ -> failwith "store bench: XML re-encode does not reproduce the document");
       let store, open_ms =
         time (fun () ->
-            match Store.open_ ~path:dir () with
+            match Store.open_ dir with
             | Ok s -> s
-            | Error e -> failwith ("store bench: reopen failed: " ^ e))
+            | Error e -> failwith ("store bench: reopen failed: " ^ Scj_error.Error.to_string e))
       in
       Fun.protect
         ~finally:(fun () -> Store.close store)
@@ -878,6 +887,146 @@ let store_bench () =
             \ store both skip the XML parse and pre/post encode entirely)"))
 
 (* ------------------------------------------------------------------ *)
+(* mutate: WAL-logged commits and snapshot-pinned readers               *)
+(* ------------------------------------------------------------------ *)
+
+(* The writable engine, both layers: Store.apply (one WAL transaction
+   per mutation, commit record fsynced before the acknowledgement) and
+   the server's snapshot isolation (a single writer installs renditions
+   while readers stay pinned to the epoch they started on).  The commit
+   counts, node counts and reader-consistency flag are deterministic and
+   gated by bench-diff; the throughput figures are informational. *)
+let mutate_bench () =
+  header "updates: WAL-logged commits and snapshot-pinned readers";
+  let module Store = Scj_store.Store in
+  let module Server = Scj_server.Server in
+  let module Update = Scj_encoding.Update in
+  let module Db = Scj_db.Db in
+  let module Paged_doc = Scj_pager.Paged_doc in
+  let scale = List.fold_left max 0.0 (scales ()) in
+  let doc = doc_at scale in
+  let fragment = Scj_xml.Tree.elem "hotspot" [ Scj_xml.Tree.elem "hotentry" [] ] in
+  let root = Doc.root doc in
+  (* --- durable commit path ------------------------------------------ *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "scj_bench_mutate_%d" (Unix.getpid ()))
+  in
+  let wipe () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  wipe ();
+  let parity = ref true in
+  Fun.protect ~finally:wipe (fun () ->
+      let store = Store.create ~page_ints:256 ~path:dir doc in
+      let triples = if !smoke_mode then 8 else 32 in
+      let apply op =
+        match Store.apply store op with
+        | Ok a -> a
+        | Error e -> failwith ("mutate bench: " ^ Scj_error.Error.to_string e)
+      in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to triples do
+        let ins = apply (Update.Insert { parent = root; before = None; fragment }) in
+        let pre = ins.Update.splice in
+        ignore (apply (Update.Rename { pre; name = "hotspot2" }));
+        ignore (apply (Update.Delete { pre }))
+      done;
+      let commit_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let n_commits = 3 * triples in
+      if Store.pending_mutations store <> n_commits then parity := false;
+      if Store.n_nodes store <> Doc.n_nodes doc then parity := false;
+      let t1 = Unix.gettimeofday () in
+      Store.checkpoint store;
+      let checkpoint_ms = (Unix.gettimeofday () -. t1) *. 1000.0 in
+      if Store.pending_mutations store <> 0 then parity := false;
+      (match Store.verify store with Ok () -> () | Error _ -> parity := false);
+      Store.close store;
+      Printf.printf "%-22s %6d commits in %8.1f ms (%.2f ms/commit, fsync-bound)\n"
+        "WAL-logged Store.apply" n_commits commit_ms
+        (commit_ms /. float_of_int n_commits);
+      Printf.printf "%-22s %6s %10.1f ms (folds %d mutations, truncates the WAL)\n" "checkpoint"
+        "" checkpoint_ms n_commits;
+      Trace.annot !tracer "count_wal_commits" (string_of_int n_commits);
+      Trace.annot !tracer "commit_ms_per_op"
+        (Printf.sprintf "%.3f" (commit_ms /. float_of_int n_commits)));
+  (* --- snapshot-pinned readers racing the writer -------------------- *)
+  let db = Db.of_doc doc in
+  Db.attach_paged db
+    (Paged_doc.load ~page_ints:256 ~stripes:8 ~fault_latency:0.0002
+       ~capacity:(max 24 (((3 * Doc.n_nodes doc / 256) + 1) / 10))
+       doc);
+  let server = Server.create ~workers:2 ~queue_bound:4096 db in
+  let _, profiles = q1_contexts doc in
+  let reader_queries =
+    [ "/descendant::hotspot"; "/descendant::hotentry"; "/descendant::profile" ]
+  in
+  let n_profiles = Nodeseq.length profiles in
+  let rounds = if !smoke_mode then 6 else 24 in
+  let handles = ref [] in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    List.iter
+      (fun q ->
+        match Server.submit server (Server.Path q) with
+        | Server.Accepted h -> handles := (q, h) :: !handles
+        | Server.Overloaded | Server.Stopped -> parity := false)
+      reader_queries;
+    (match
+       Server.run server
+         (Server.Write { op = Update.Insert { parent = root; before = None; fragment }; expect = None })
+     with
+    | Server.Done r when Nodeseq.length r.Server.result = 1 ->
+      let pre = Nodeseq.get r.Server.result 0 in
+      (match
+         Server.run server
+           (Server.Write { op = Update.Rename { pre; name = "hotspot2" }; expect = None })
+       with
+      | Server.Done _ -> ()
+      | _ -> parity := false);
+      (match Server.run server (Server.Write { op = Update.Delete { pre }; expect = None }) with
+      | Server.Done _ -> ()
+      | _ -> parity := false)
+    | _ -> parity := false)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (* every reader's answer must be fully explained by the epoch it
+     pinned: snapshot isolation means no other outcome is possible *)
+  List.iter
+    (fun (q, h) ->
+      match Server.await h with
+      | Server.Done r ->
+        let expect =
+          match (q, r.Server.epoch mod 3) with
+          | "/descendant::hotspot", 1 -> 1
+          | "/descendant::hotspot", _ -> 0
+          | "/descendant::hotentry", (1 | 2) -> 1
+          | "/descendant::hotentry", _ -> 0
+          | _ -> n_profiles
+        in
+        if Nodeseq.length r.Server.result <> expect then parity := false
+      | Server.Timed_out | Server.Failed _ | Server.Dropped -> parity := false)
+    (List.rev !handles);
+  let stats = Server.stats server in
+  if stats.Server.commits <> 3 * rounds then parity := false;
+  if stats.Server.epoch <> 3 * rounds then parity := false;
+  Server.shutdown server;
+  Printf.printf "%-22s %6d commits, %d snapshot reads in %.3f s (%.0f commits/s)\n"
+    "server single-writer" stats.Server.commits (3 * rounds) dt
+    (float_of_int stats.Server.commits /. dt);
+  Trace.annot !tracer "count_server_commits" (string_of_int stats.Server.commits);
+  Trace.annot !tracer "commits_per_s"
+    (Printf.sprintf "%.1f" (float_of_int stats.Server.commits /. dt));
+  Trace.annot !tracer "counter_parity" (string_of_bool !parity);
+  Printf.printf "parity (pending counts, verify, reader epoch-consistency): %b\n" !parity;
+  print_endline
+    "(every commit is one WAL transaction whose fsync precedes the acknowledgement;\n\
+    \ readers answer from the rendition they pinned, however many commits land meanwhile)"
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -900,11 +1049,15 @@ let experiments =
     ("disk", disk);
     ("workload", workload);
     ("store", store_bench);
+    ("mutate", mutate_bench);
   ]
 
 (* quick non-bechamel subset, used as a CI smoke test *)
 let smoke_experiments =
-  [ "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "workload"; "store" ]
+  [
+    "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "workload"; "store";
+    "mutate";
+  ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -16,51 +16,38 @@
 module Doc = Scj_encoding.Doc
 module Codec = Scj_encoding.Codec
 module Nodeseq = Scj_encoding.Nodeseq
+module Update = Scj_encoding.Update
 module Stats = Scj_stats.Stats
 module Exec = Scj_trace.Exec
 module Trace = Scj_trace.Trace
 module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
 module Store = Scj_store.Store
+module Db = Scj_db.Db
+module Error_ = Scj_error.Error
 
 let ( let* ) = Result.bind
 
 (* ------------------------------------------------------------------ *)
-(* document loading: a durable store directory, .scj binary, or XML     *)
+(* document loading: every subcommand goes through the unified handle   *)
 (* ------------------------------------------------------------------ *)
 
-let is_store_dir path =
-  Sys.file_exists path && Sys.is_directory path
-  && Sys.file_exists (Filename.concat path "pages.scj")
+(* Db.open_ dispatches on the path itself: a store directory (WAL
+   recovery, pending-mutation replay), a codec file, or XML. *)
+let load_db path =
+  match Db.open_ path with
+  | Ok db -> Ok db
+  | Error e -> Error (Printf.sprintf "%s: %s" path (Error_.to_string e))
 
-type source = Mem of Doc.t | Stored of Store.t
-
-(* Opening a store runs WAL recovery; the handle stays open for the
-   lifetime of the (one-shot) command. *)
-let load_source path =
-  if is_store_dir path then
-    match Store.open_ ~path () with
-    | Ok s -> Ok (Stored s)
-    | Error e -> Error (Printf.sprintf "%s: %s" path e)
-  else begin
-    let ic = open_in_bin path in
-    let probe = really_input_string ic (min (String.length Codec.magic) (in_channel_length ic)) in
-    close_in ic;
-    if String.equal probe Codec.magic then Result.map (fun d -> Mem d) (Codec.read_file path)
-    else begin
-      let content = In_channel.with_open_bin path In_channel.input_all in
-      Result.map (fun d -> Mem d) (Doc.of_string content)
-    end
-  end
-
+(* Read-only commands want the bare document; the handle can be closed
+   immediately because Doc.t is fully materialized. *)
 let load_document path =
-  match load_source path with
+  match load_db path with
   | Error e -> Error e
-  | Ok (Mem doc) -> Ok doc
-  | Ok (Stored s) -> (
-    match Store.doc s with
-    | doc -> Ok doc
-    | exception Store.Corrupt msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | Ok db ->
+    let doc = Db.doc db in
+    Db.close db;
+    Ok doc
 
 let strategy_conv =
   let parse s =
@@ -250,7 +237,7 @@ let query_cmd =
       let t0 = Unix.gettimeofday () in
       match Eval.run ~exec session xpath with
       | Error e ->
-        prerr_endline e;
+        prerr_endline (Scj_error.Error.to_string e);
         1
       | Ok result ->
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
@@ -416,9 +403,9 @@ let validate_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let validate_store path =
-    match Store.open_ ~path () with
+    match Store.open_ path with
     | Error e ->
-      Printf.printf "INCOMPLETE: %s\n" e;
+      Printf.printf "%s\n" (Scj_error.Error.to_string e);
       1
     | Ok s ->
       let r = Store.last_recovery s in
@@ -430,7 +417,7 @@ let validate_cmd =
           | Some d -> Printf.sprintf "; discarded: %s" d);
       (match Store.verify s with
       | Error e ->
-        Printf.printf "CORRUPT: %s\n" e;
+        Printf.printf "%s\n" (Scj_error.Error.to_string e);
         1
       | Ok () -> (
         match Store.doc s with
@@ -449,7 +436,7 @@ let validate_cmd =
             1)))
   in
   let run input =
-    if is_store_dir input then validate_store input
+    if Db.is_store_dir input then validate_store input
     else
       match load_document input with
       | Error e ->
@@ -571,6 +558,155 @@ let load_cmd =
     Term.(const run $ input $ output $ page_ints $ fsync_delay)
 
 (* ------------------------------------------------------------------ *)
+(* mutate: structural updates through the unified handle                *)
+(* ------------------------------------------------------------------ *)
+
+let mutate_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let insert =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "insert" ] ~docv:"XML"
+          ~doc:"Insert this XML fragment as a child of the node selected by --parent.")
+  in
+  let parent =
+    Arg.(
+      value & opt string "/"
+      & info [ "parent" ] ~docv:"XPATH"
+          ~doc:"Target element for --insert (first node of the result; default the root).")
+  in
+  let before =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "before" ] ~docv:"XPATH"
+          ~doc:"Sibling to insert in front of (default: append as last child).")
+  in
+  let delete =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delete" ] ~docv:"XPATH" ~doc:"Delete the subtree of the first matching node.")
+  in
+  let rename =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rename" ] ~docv:"XPATH" ~doc:"Rename the first matching node (see --to).")
+  in
+  let to_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "to" ] ~docv:"NAME" ~doc:"The new name for --rename.")
+  in
+  let checkpoint =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:"After committing, fold the store's pending WAL mutations into its page file.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "For non-store documents: write the mutated document here (.scj codec if the name \
+             ends in .scj, XML otherwise).  Without it the mutation stays in memory only.")
+  in
+  (* resolve an XPath to the first node of its result *)
+  let resolve db expr =
+    match Db.query db expr with
+    | Error e -> Error (Printf.sprintf "%s: %s" expr (Error_.to_string e))
+    | Ok ns when Nodeseq.length ns = 0 -> Error (Printf.sprintf "%s: no matching node" expr)
+    | Ok ns -> Ok (Nodeseq.get ns 0)
+  in
+  let build_op db ~insert ~parent ~before ~delete ~rename ~to_name =
+    match (insert, delete, rename) with
+    | Some xml, None, None ->
+      let* fragment =
+        Result.map_error Scj_xml.Parser.error_to_string (Scj_xml.Parser.parse_string xml)
+      in
+      let* parent = resolve db parent in
+      let* before =
+        match before with
+        | None -> Ok None
+        | Some expr -> Result.map (fun pre -> Some pre) (resolve db expr)
+      in
+      Ok (Update.Insert { parent; before; fragment })
+    | None, Some expr, None ->
+      let* pre = resolve db expr in
+      Ok (Update.Delete { pre })
+    | None, None, Some expr -> (
+      match to_name with
+      | None -> Error "mutate: --rename requires --to NAME"
+      | Some name ->
+        let* pre = resolve db expr in
+        Ok (Update.Rename { pre; name }))
+    | None, None, None -> Error "mutate: provide exactly one of --insert, --delete, --rename"
+    | _ -> Error "mutate: provide exactly one of --insert, --delete, --rename"
+  in
+  let run input insert parent before delete rename to_name checkpoint output =
+    match load_db input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok db -> (
+      let result =
+        let* op = build_op db ~insert ~parent ~before ~delete ~rename ~to_name in
+        match Db.apply db op with
+        | Error e -> Error (Error_.to_string e)
+        | Ok applied -> Ok (op, applied)
+      in
+      match result with
+      | Error e ->
+        prerr_endline e;
+        Db.close db;
+        1
+      | Ok (op, applied) ->
+        Printf.printf "applied %s: splice at pre %d, %+d node(s); document now %d nodes\n"
+          (Update.op_to_string op) applied.Update.splice applied.Update.delta
+          (Doc.n_nodes (Db.doc db));
+        (match Db.store db with
+        | Some _ ->
+          if checkpoint then begin
+            Db.checkpoint db;
+            print_endline "checkpointed: mutation folded into the page file, WAL truncated"
+          end
+          else
+            Printf.printf "durable: %d mutation(s) pending in the WAL (replayed on reopen)\n"
+              (Db.pending_mutations db)
+        | None -> (
+          match output with
+          | Some path ->
+            let doc = Db.doc db in
+            if Filename.check_suffix path ".scj" then Codec.write_file path doc
+            else
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc
+                    (Scj_xml.Printer.to_string ~decl:true (Doc.to_tree doc (Doc.root doc))));
+            Printf.printf "wrote mutated document to %s\n" path
+          | None ->
+            prerr_endline
+              "note: in-memory document — the mutation is not persisted (use -o FILE, or a \
+               store directory created by scj load)"));
+        Db.close db;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Apply a structural update (subtree insert, subtree delete, rename) to a document.  On \
+          a durable store the mutation is WAL-logged before it is acknowledged and replayed by \
+          recovery on the next open; --checkpoint folds it into the page file immediately.")
+    Term.(
+      const run $ input $ insert $ parent $ before $ delete $ rename $ to_name $ checkpoint
+      $ output)
+
+(* ------------------------------------------------------------------ *)
 (* serve: a line-oriented front end to the concurrent query service     *)
 (* ------------------------------------------------------------------ *)
 
@@ -584,8 +720,9 @@ let load_paged ?fault_latency ~page_ints ~capacity doc =
   Paged_doc.load ~page_ints ~stripes:8 ?fault_latency ~capacity doc
 
 let print_service_stats (s : Server.service_stats) =
-  Printf.printf "completed=%d timed_out=%d failed=%d rejected=%d dropped=%d\n" s.Server.completed
-    s.Server.timed_out s.Server.failed s.Server.rejected s.Server.dropped;
+  Printf.printf "completed=%d timed_out=%d failed=%d rejected=%d dropped=%d commits=%d epoch=%d\n"
+    s.Server.completed s.Server.timed_out s.Server.failed s.Server.rejected s.Server.dropped
+    s.Server.commits s.Server.epoch;
   Printf.printf "latency: %s\n" (Format.asprintf "%a" Scj_stats.Histogram.pp s.Server.latency);
   Printf.printf "pool traffic (per-query tallies): hits=%d misses=%d\n" s.Server.tally_hits
     s.Server.tally_misses;
@@ -612,37 +749,28 @@ let serve_cmd =
       & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
   in
   let run input store workers deadline_ms =
-    let source =
+    let path =
       match (store, input) with
       | Some dir, _ ->
-        if is_store_dir dir then load_source dir
+        if Db.is_store_dir dir then Ok dir
         else Error (Printf.sprintf "%s: not a store directory (no pages.scj)" dir)
-      | None, Some path -> load_source path
+      | None, Some path -> Ok path
       | None, None -> Error "serve: provide a DOC argument or --store DIR"
     in
-    match source with
+    match Result.bind path load_db with
     | Error e ->
       prerr_endline e;
       1
-    | Ok source ->
-      (match
-         match source with
-         | Stored s -> (Store.doc s, Store.paged s, "durable store, zero re-encoding")
-         | Mem doc -> (doc, load_paged ~page_ints:1024 ~capacity:0 doc, "in-memory pages")
-       with
-      | exception Store.Corrupt e ->
-        prerr_endline e;
-        1
-      | doc, paged, backing ->
+    | Ok db ->
       let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
       let server =
-        Server.create ?workers:(if workers > 0 then Some workers else None) ?deadline ~paged doc
+        Server.create ?workers:(if workers > 0 then Some workers else None) ?deadline db
       in
       Printf.eprintf
         "scj serve: %d nodes (%s), %d worker domain(s); one XPath query per line, '\\stats' for \
          service statistics, EOF to stop\n\
          %!"
-        (Doc.n_nodes doc) backing (Server.workers server);
+        (Doc.n_nodes (Db.doc db)) (Db.describe db) (Server.workers server);
       let rec loop () =
         match In_channel.input_line In_channel.stdin with
         | None -> ()
@@ -653,17 +781,18 @@ let serve_cmd =
         | Some line ->
           (match Server.run server (Server.Path line) with
           | Server.Done r ->
-            Printf.printf "%d node(s) in %.2f ms\n%!" (Nodeseq.length r.Server.result)
-              r.Server.latency_ms
+            Printf.printf "%d node(s) in %.2f ms (epoch %d)\n%!" (Nodeseq.length r.Server.result)
+              r.Server.latency_ms r.Server.epoch
           | Server.Timed_out -> Printf.printf "timed out\n%!"
-          | Server.Failed e -> Printf.printf "error: %s\n%!" e
+          | Server.Failed e -> Printf.printf "error: %s\n%!" (Error_.to_string e)
           | Server.Dropped -> Printf.printf "dropped at shutdown\n%!");
           loop ()
       in
       loop ();
       Server.shutdown server;
       print_service_stats (Server.stats server);
-      0)
+      Db.close db;
+      0
   in
   Cmd.v
     (Cmd.info "serve"
@@ -713,17 +842,24 @@ let workload_cmd =
             "Emit one JSON object instead of the table: per-client-count rows with per-client \
              buffer-pool tally totals and latency-histogram percentiles.")
   in
-  let run input clients rounds fault_us capacity deadline_ms json =
-    match load_source input with
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Interleave a single-writer mutation stream (insert/rename/delete triples under the \
+             document root) with the draining reads: readers pin immutable renditions, every \
+             commit bumps the epoch.  Each triple nets zero nodes, so the document ends \
+             structurally unchanged (a store accumulates the WAL records).")
+  in
+  let run input clients rounds fault_us capacity deadline_ms mutate json =
+    match load_db input with
     | Error e ->
       prerr_endline e;
       1
-    | Ok source ->
-    match (match source with Mem d -> d | Stored s -> Store.doc s) with
-    | exception Store.Corrupt e ->
-      prerr_endline e;
-      1
-    | doc ->
+    | Ok db0 ->
+      let doc = Db.doc db0 in
+      Db.close db0;
       let clients =
         try List.map int_of_string (String.split_on_char ',' clients)
         with _ ->
@@ -746,43 +882,93 @@ let workload_cmd =
              contexts
         @ List.map (fun tag -> Server.Path (Printf.sprintf "/descendant::%s" tag)) top_tags
       in
-      let queries = List.concat (List.init rounds (fun _ -> mix)) in
-      let n_queries = List.length queries in
+      let n_queries = rounds * List.length mix in
       let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
       if not json then
-        Printf.printf "%8s %10s %10s %9s %9s %8s %8s\n" "clients" "time[s]" "q/s" "speedup"
-          "hit-rate" "timeout" "pinned";
+        Printf.printf "%8s %10s %10s %9s %9s %8s %8s %8s\n" "clients" "time[s]" "q/s" "speedup"
+          "hit-rate" "timeout" "pinned" "commits";
       let serial_qps = ref 0.0 in
       let rows = ref [] in
-      (* each client count gets a cold pool: simulated pages for in-memory
-         documents, a freshly reopened store (real checksum-verified
-         preads; --fault-latency does not apply) for store directories *)
-      let fresh_paged () =
-        match source with
-        | Mem doc ->
-          (load_paged ~fault_latency:(fault_us /. 1e6) ~page_ints:256 ~capacity doc, ignore)
-        | Stored s -> (
-          match Store.open_ ~path:(Store.path s) () with
-          | Error e -> failwith e
-          | Ok s' ->
-            let paged =
-              Store.paged ?capacity:(if capacity > 0 then Some capacity else None) s'
-            in
-            (paged, fun () -> Store.close s'))
+      (* each client count gets a cold handle: simulated pages for
+         in-memory documents, a freshly reopened store (real
+         checksum-verified preads; --fault-latency does not apply) for
+         store directories *)
+      let fresh_db () =
+        if Db.is_store_dir input then
+          match Db.open_ input with
+          | Error e -> failwith (Error_.to_string e)
+          | Ok db ->
+            if capacity > 0 then ignore (Db.paged ~capacity db);
+            db
+        else begin
+          let db = Db.of_doc doc in
+          Db.attach_paged db
+            (load_paged ~fault_latency:(fault_us /. 1e6) ~page_ints:256 ~capacity doc);
+          db
+        end
+      in
+      (* the single-writer stream: insert a fragment as the root's last
+         child, rename it, delete it — each write awaited, so commits are
+         serialized while the read mix drains concurrently *)
+      let fragment =
+        Scj_xml.Tree.elem "hotspot" [ Scj_xml.Tree.elem "entry" [ Scj_xml.Tree.text "w" ] ]
+      in
+      let writer_triple server =
+        let root = Doc.root doc in
+        match
+          Server.run server
+            (Server.Write { op = Update.Insert { parent = root; before = None; fragment }; expect = None })
+        with
+        | Server.Done r when Nodeseq.length r.Server.result = 1 ->
+          let pre = Nodeseq.get r.Server.result 0 in
+          let f1 =
+            match
+              Server.run server
+                (Server.Write { op = Update.Rename { pre; name = "hotspot2" }; expect = None })
+            with
+            | Server.Done _ -> 0
+            | _ -> 1
+          in
+          let f2 =
+            match
+              Server.run server (Server.Write { op = Update.Delete { pre }; expect = None })
+            with
+            | Server.Done _ -> 0
+            | _ -> 1
+          in
+          f1 + f2
+        | _ -> 1
       in
       List.iter
         (fun workers ->
-          let paged, close_paged = fresh_paged () in
-          let server = Server.create ~workers ~queue_bound:n_queries ?deadline ~paged doc in
+          let db = fresh_db () in
+          let server = Server.create ~workers ~queue_bound:(n_queries + 1) ?deadline db in
+          let paged = Db.paged db in
           let t0 = Unix.gettimeofday () in
-          let handles = List.filter_map (fun q -> Server.submit server q) queries in
-          List.iter (fun h -> ignore (Server.await h)) handles;
+          (* submit the mix round by round; with --mutate one writer
+             triple lands between rounds, so commits interleave with the
+             draining reads instead of queueing behind all of them *)
+          let handles = ref [] in
+          let write_failures = ref 0 in
+          for _ = 1 to rounds do
+            List.iter
+              (fun q ->
+                match Server.submit server q with
+                | Server.Accepted h -> handles := h :: !handles
+                | Server.Overloaded | Server.Stopped -> ())
+              mix;
+            if mutate then write_failures := !write_failures + writer_triple server
+          done;
+          let write_failures = !write_failures in
+          List.iter (fun h -> ignore (Server.await h)) (List.rev !handles);
           let dt = Unix.gettimeofday () -. t0 in
           let stats = Server.stats server in
           let hits, faults, _ = Buffer_pool.stats (Paged_doc.pool paged) in
           let pinned = Buffer_pool.pinned (Paged_doc.pool paged) in
+          if write_failures > 0 then
+            Printf.eprintf "workload: %d write(s) failed\n%!" write_failures;
           Server.shutdown server;
-          close_paged ();
+          Db.close db;
           let qps = float_of_int n_queries /. dt in
           if !serial_qps = 0.0 then serial_qps := qps;
           if json then
@@ -790,20 +976,21 @@ let workload_cmd =
                fresh pool, so Σ tallies = that pool's hits+faults *)
             rows :=
               Printf.sprintf
-                {|{"clients":%d,"time_s":%.6f,"qps":%.3f,"speedup":%.4f,"completed":%d,"timed_out":%d,"failed":%d,"rejected":%d,"dropped":%d,"tally_hits":%d,"tally_misses":%d,"hit_rate":%.6f,"pool_hits":%d,"pool_misses":%d,"pinned":%d,"latency":%s}|}
+                {|{"clients":%d,"time_s":%.6f,"qps":%.3f,"speedup":%.4f,"completed":%d,"timed_out":%d,"failed":%d,"rejected":%d,"dropped":%d,"commits":%d,"epoch":%d,"write_failures":%d,"tally_hits":%d,"tally_misses":%d,"hit_rate":%.6f,"pool_hits":%d,"pool_misses":%d,"pinned":%d,"latency":%s}|}
                 workers dt qps (qps /. !serial_qps) stats.Server.completed
                 stats.Server.timed_out stats.Server.failed stats.Server.rejected
-                stats.Server.dropped stats.Server.tally_hits stats.Server.tally_misses
+                stats.Server.dropped stats.Server.commits stats.Server.epoch write_failures
+                stats.Server.tally_hits stats.Server.tally_misses
                 (float_of_int stats.Server.tally_hits
                 /. float_of_int (max 1 (stats.Server.tally_hits + stats.Server.tally_misses)))
                 hits faults pinned
                 (Scj_stats.Histogram.to_json stats.Server.latency)
               :: !rows
           else begin
-            Printf.printf "%8d %10.3f %10.1f %8.2fx %8.1f%% %8d %8d\n" workers dt qps
+            Printf.printf "%8d %10.3f %10.1f %8.2fx %8.1f%% %8d %8d %8d\n" workers dt qps
               (qps /. !serial_qps)
               (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + faults)))
-              stats.Server.timed_out pinned;
+              stats.Server.timed_out pinned stats.Server.commits;
             Printf.printf "         latency: %s\n"
               (Format.asprintf "%a" Scj_stats.Histogram.pp stats.Server.latency)
           end)
@@ -820,7 +1007,7 @@ let workload_cmd =
          "Replay a mixed read workload (paged staircase steps + XPath) through the query \
           service at increasing client-domain counts, reporting throughput scaling and \
           buffer-pool hit rates.")
-    Term.(const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ json)
+    Term.(const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ mutate $ json)
 
 let () =
   let open Cmdliner in
@@ -831,5 +1018,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; plan_cmd;
-            analyze_cmd; xquery_cmd; mil_cmd; validate_cmd; load_cmd; serve_cmd; workload_cmd;
+            analyze_cmd; xquery_cmd; mil_cmd; validate_cmd; load_cmd; mutate_cmd; serve_cmd;
+            workload_cmd;
           ]))

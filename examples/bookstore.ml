@@ -32,7 +32,7 @@ let () =
   let session = Eval.session doc in
   let show_titles label query =
     match Eval.run session query with
-    | Error e -> Printf.printf "%-46s error: %s\n" label e
+    | Error e -> Printf.printf "%-46s error: %s\n" label (Scj.Error.to_string e)
     | Ok books ->
       let titles =
         List.filter_map
@@ -59,4 +59,4 @@ let () =
   match Eval.run session "//book[@id = 'b3']/ancestor::section/@name" with
   | Ok attrs ->
     Nodeseq.iter (fun v -> Printf.printf "b3 lives in section %S\n" (Doc.string_value doc v)) attrs
-  | Error e -> prerr_endline e
+  | Error e -> prerr_endline (Scj.Error.to_string e)

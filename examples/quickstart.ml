@@ -57,7 +57,7 @@ let () =
     (fun q ->
       match Eval.run session q with
       | Ok result -> Printf.printf "%-28s -> %s\n" q (describe doc result)
-      | Error e -> Printf.printf "%-28s -> error: %s\n" q e)
+      | Error e -> Printf.printf "%-28s -> error: %s\n" q (Scj.Error.to_string e))
     queries;
 
   (* 3. observe the work the staircase join did *)

@@ -67,7 +67,7 @@ let () =
       let exec = Scj.Exec.make () in
       let t0 = Unix.gettimeofday () in
       match Eval.run ~exec session query with
-      | Error e -> Printf.printf "%-6s error: %s\n" name e
+      | Error e -> Printf.printf "%-6s error: %s\n" name (Scj.Error.to_string e)
       | Ok result ->
         let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
         Printf.printf "%-6s %8d %10d %10.2f  %s\n" name (Nodeseq.length result)

@@ -87,7 +87,7 @@ let read_channel ic =
     let contents =
       Array.init n (fun _ -> if read_int ic = 1 then Some (read_string ic) else None)
     in
-    let doc = Doc.Internal.assemble ~post ~level ~parent ~kind ~tags ~contents ~height in
+    let doc = Doc.Internal.assemble ~post ~level ~parent ~kind ~tags ~contents ~height () in
     match Doc.validate doc with
     | Ok () -> Ok doc
     | Error e -> Error (Printf.sprintf "loaded document is inconsistent: %s" e)

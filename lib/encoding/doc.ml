@@ -458,9 +458,18 @@ let validate t =
   with Bad msg -> Error msg
 
 module Internal = struct
-  let assemble ~post ~level ~parent ~kind ~tags ~contents ~height =
+  let assemble ?seed_names ~post ~level ~parent ~kind ~tags ~contents ~height () =
     let n = Array.length post in
     let names = Dict.create () in
+    (* seeding keeps symbol ids stable across renditions so structures
+       caching interned tags (the B+-tree index values) stay valid for
+       rows the splice did not touch *)
+    (match seed_names with
+    | None -> ()
+    | Some d ->
+      for sym = 0 to Dict.size d - 1 do
+        ignore (Dict.intern names (Dict.name d sym))
+      done);
     let texts = Str_col.create ~capacity:(max 16 (n / 4)) () in
     let tag =
       Array.mapi (fun _ name -> match name with None -> -1 | Some s -> Dict.intern names s) tags

@@ -172,10 +172,14 @@ val pp_table : Format.formatter -> t -> unit
 
 (**/**)
 
-(** For {!Codec} only: reassemble a document from raw columns.  Subtree
-    sizes are recomputed from Equation (1); callers should {!validate}. *)
+(** For {!Codec} and {!Update} only: reassemble a document from raw
+    columns.  Subtree sizes are recomputed from Equation (1); callers
+    should {!validate}.  [seed_names] pre-interns another document's
+    dictionary in symbol order, keeping symbol ids stable across
+    renditions of the same document. *)
 module Internal : sig
   val assemble :
+    ?seed_names:Scj_bat.Dict.t ->
     post:int array ->
     level:int array ->
     parent:int array ->
@@ -183,5 +187,6 @@ module Internal : sig
     tags:string option array ->
     contents:string option array ->
     height:int ->
+    unit ->
     t
 end

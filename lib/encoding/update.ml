@@ -1,0 +1,309 @@
+module Tree = Scj_xml.Tree
+module Error = Scj_error.Error
+
+type op =
+  | Insert of { parent : int; before : int option; fragment : Tree.t }
+  | Delete of { pre : int }
+  | Rename of { pre : int; name : string }
+
+type applied = { doc : Doc.t; splice : int; delta : int }
+
+let op_to_string = function
+  | Insert { parent; before; fragment } ->
+    Printf.sprintf "insert(parent=%d%s, %d nodes)" parent
+      (match before with None -> "" | Some b -> Printf.sprintf ", before=%d" b)
+      (Tree.node_count fragment)
+  | Delete { pre } -> Printf.sprintf "delete(pre=%d)" pre
+  | Rename { pre; name } -> Printf.sprintf "rename(pre=%d, %s)" pre name
+
+let ancestors doc pre =
+  let rec up acc v = if v < 0 then List.rev acc else up (v :: acc) (Doc.parent doc v) in
+  up [] (Doc.parent doc pre)
+
+let fail fmt = Format.kasprintf (fun s -> Error (Error.Validation s)) fmt
+
+(* Rebuild a document from freshly spliced columns.  [size] is
+   authoritative here; [post] is derived via Equation (1), and
+   [Doc.validate] double-checks the whole encoding before the rendition
+   is allowed to escape. *)
+let reassemble ~seed_names ~level ~parent ~kind ~tags ~contents ~size ~height =
+  let post = Array.init (Array.length size) (fun pre -> size.(pre) + pre - level.(pre)) in
+  let doc = Doc.Internal.assemble ~seed_names ~post ~level ~parent ~kind ~tags ~contents ~height () in
+  match Doc.validate doc with
+  | Ok () -> Ok doc
+  | Error msg -> Error (Error.Validation ("mutation broke the encoding: " ^ msg))
+
+let insert doc ~parent:p ~before ~fragment =
+  let n = Doc.n_nodes doc in
+  if p < 0 || p >= n then fail "insert: parent pre %d out of bounds [0,%d)" p n
+  else if Doc.kind doc p <> Doc.Element then
+    fail "insert: parent %d is a %s, not an element" p (Doc.kind_to_string (Doc.kind doc p))
+  else
+    let pos_result =
+      match before with
+      | None -> Ok (p + Doc.size doc p + 1)
+      | Some b ->
+        if b < 0 || b >= n then fail "insert: before pre %d out of bounds [0,%d)" b n
+        else if Doc.parent doc b <> p then
+          fail "insert: before pre %d is not a child of parent %d" b p
+        else if Doc.kind doc b = Doc.Attribute then
+          fail "insert: cannot splice before attribute %d (attributes lead the subtree)" b
+        else Ok b
+    in
+    match pos_result with
+    | Error _ as e -> e
+    | Ok pos ->
+      let frag = Doc.of_tree fragment in
+      let k = Doc.n_nodes frag in
+      let m = n + k in
+      let level = Array.make m 0
+      and parent = Array.make m 0
+      and kind = Array.make m Doc.Element
+      and tags = Array.make m None
+      and contents = Array.make m None
+      and size = Array.make m 0 in
+      let old_level = Doc.level_array doc
+      and old_parent = Doc.parent_array doc
+      and old_kind = Doc.kind_array doc
+      and old_size = Doc.size_array doc in
+      (* rows before the splice keep rank; ancestors of the insertion
+         point grow by [k] *)
+      let bumped = Array.make pos false in
+      List.iter (fun a -> bumped.(a) <- true) (p :: ancestors doc p);
+      for i = 0 to pos - 1 do
+        level.(i) <- old_level.(i);
+        parent.(i) <- old_parent.(i);
+        kind.(i) <- old_kind.(i);
+        tags.(i) <- Doc.tag_name doc i;
+        contents.(i) <- Doc.content doc i;
+        size.(i) <- (old_size.(i) + if bumped.(i) then k else 0)
+      done;
+      (* the fragment lands at [pos, pos + k): shift its local ranks *)
+      let base_level = old_level.(p) + 1 in
+      for j = 0 to k - 1 do
+        let i = pos + j in
+        level.(i) <- Doc.level frag j + base_level;
+        parent.(i) <- (match Doc.parent frag j with -1 -> p | q -> q + pos);
+        kind.(i) <- Doc.kind frag j;
+        tags.(i) <- Doc.tag_name frag j;
+        contents.(i) <- Doc.content frag j;
+        size.(i) <- Doc.size frag j
+      done;
+      (* rows at and after the splice shift by [k]; levels and sizes are
+         rank-free so they carry over verbatim *)
+      for i = pos to n - 1 do
+        let i' = i + k in
+        level.(i') <- old_level.(i);
+        parent.(i') <- (if old_parent.(i) < pos then old_parent.(i) else old_parent.(i) + k);
+        kind.(i') <- old_kind.(i);
+        tags.(i') <- Doc.tag_name doc i;
+        contents.(i') <- Doc.content doc i;
+        size.(i') <- old_size.(i)
+      done;
+      let height = max (Doc.height doc) (base_level + Doc.height frag) in
+      Result.map
+        (fun doc -> { doc; splice = pos; delta = k })
+        (reassemble ~seed_names:(Doc.names doc) ~level ~parent ~kind ~tags ~contents ~size ~height)
+
+let delete doc ~pre:d =
+  let n = Doc.n_nodes doc in
+  if d < 0 || d >= n then fail "delete: pre %d out of bounds [0,%d)" d n
+  else if d = 0 then fail "delete: cannot delete the document root"
+  else begin
+    let k = Doc.size doc d + 1 in
+    let m = n - k in
+    let level = Array.make m 0
+    and parent = Array.make m 0
+    and kind = Array.make m Doc.Element
+    and tags = Array.make m None
+    and contents = Array.make m None
+    and size = Array.make m 0 in
+    let old_level = Doc.level_array doc
+    and old_parent = Doc.parent_array doc
+    and old_kind = Doc.kind_array doc
+    and old_size = Doc.size_array doc in
+    let bumped = Array.make d false in
+    List.iter (fun a -> bumped.(a) <- true) (ancestors doc d);
+    for i = 0 to d - 1 do
+      level.(i) <- old_level.(i);
+      parent.(i) <- old_parent.(i);
+      kind.(i) <- old_kind.(i);
+      tags.(i) <- Doc.tag_name doc i;
+      contents.(i) <- Doc.content doc i;
+      size.(i) <- (old_size.(i) - if bumped.(i) then k else 0)
+    done;
+    (* survivors after the subtree: their parents are outside [d, d+k)
+       because subtrees are contiguous pre ranges *)
+    for i = d + k to n - 1 do
+      let i' = i - k in
+      level.(i') <- old_level.(i);
+      parent.(i') <- (if old_parent.(i) < d then old_parent.(i) else old_parent.(i) - k);
+      kind.(i') <- old_kind.(i);
+      tags.(i') <- Doc.tag_name doc i;
+      contents.(i') <- Doc.content doc i;
+      size.(i') <- old_size.(i)
+    done;
+    (* a delete can lower the tree: recompute the height in one pass *)
+    let height = Array.fold_left max 0 level in
+    Result.map
+      (fun doc -> { doc; splice = d; delta = -k })
+      (reassemble ~seed_names:(Doc.names doc) ~level ~parent ~kind ~tags ~contents ~size ~height)
+  end
+
+let rename doc ~pre:r ~name =
+  let n = Doc.n_nodes doc in
+  if r < 0 || r >= n then fail "rename: pre %d out of bounds [0,%d)" r n
+  else if name = "" then fail "rename: empty name"
+  else
+    match Doc.kind doc r with
+    | Doc.Text | Doc.Comment ->
+      fail "rename: pre %d is a %s and has no name" r (Doc.kind_to_string (Doc.kind doc r))
+    | Doc.Element | Doc.Attribute | Doc.Pi ->
+      let tags = Array.init n (fun i -> if i = r then Some name else Doc.tag_name doc i) in
+      let contents = Array.init n (fun i -> Doc.content doc i) in
+      Result.map
+        (fun doc -> { doc; splice = r; delta = 0 })
+        (reassemble ~seed_names:(Doc.names doc)
+           ~level:(Array.copy (Doc.level_array doc))
+           ~parent:(Array.copy (Doc.parent_array doc))
+           ~kind:(Array.copy (Doc.kind_array doc))
+           ~tags ~contents
+           ~size:(Array.copy (Doc.size_array doc))
+           ~height:(Doc.height doc))
+
+let apply doc op =
+  match op with
+  | Insert { parent; before; fragment } -> insert doc ~parent ~before ~fragment
+  | Delete { pre } -> delete doc ~pre
+  | Rename { pre; name } -> rename doc ~pre ~name
+
+(* ------------------------------------------------------------------ *)
+(* WAL payload                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Format: [version:1][op:1][body].  Integers are 8-byte little-endian,
+   strings length-prefixed.  Fragments are serialized structurally (not
+   as XML text) so whitespace-only text nodes and comment/PI fragments
+   survive the round trip exactly. *)
+
+let format_version = 1
+
+let add_int buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let rec add_tree buf = function
+  | Tree.Element { name; attributes; children } ->
+    Buffer.add_char buf '\000';
+    add_str buf name;
+    add_int buf (List.length attributes);
+    List.iter
+      (fun (k, v) ->
+        add_str buf k;
+        add_str buf v)
+      attributes;
+    add_int buf (List.length children);
+    List.iter (add_tree buf) children
+  | Tree.Text s ->
+    Buffer.add_char buf '\001';
+    add_str buf s
+  | Tree.Comment s ->
+    Buffer.add_char buf '\002';
+    add_str buf s
+  | Tree.Pi { target; data } ->
+    Buffer.add_char buf '\003';
+    add_str buf target;
+    add_str buf data
+
+let encode op =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf (Char.chr format_version);
+  (match op with
+  | Insert { parent; before; fragment } ->
+    Buffer.add_char buf '\001';
+    add_int buf parent;
+    add_int buf (match before with None -> -1 | Some b -> b);
+    add_tree buf fragment
+  | Delete { pre } ->
+    Buffer.add_char buf '\002';
+    add_int buf pre
+  | Rename { pre; name } ->
+    Buffer.add_char buf '\003';
+    add_int buf pre;
+    add_str buf name);
+  Buffer.contents buf
+
+exception Malformed of string
+
+let decode s =
+  let pos = ref 0 in
+  let need k what =
+    if !pos + k > String.length s then raise (Malformed ("truncated " ^ what))
+  in
+  let get_byte what =
+    need 1 what;
+    let c = Char.code s.[!pos] in
+    incr pos;
+    c
+  in
+  let get_int what =
+    need 8 what;
+    let v = Int64.to_int (String.get_int64_le s !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let get_str what =
+    let len = get_int (what ^ " length") in
+    if len < 0 then raise (Malformed (what ^ " negative length"));
+    need len what;
+    let v = String.sub s !pos len in
+    pos := !pos + len;
+    v
+  in
+  let rec get_tree () =
+    match get_byte "node kind" with
+    | 0 ->
+      let name = get_str "element name" in
+      let n_attrs = get_int "attribute count" in
+      if n_attrs < 0 then raise (Malformed "negative attribute count");
+      let attributes =
+        List.init n_attrs (fun _ ->
+            let k = get_str "attribute name" in
+            let v = get_str "attribute value" in
+            (k, v))
+      in
+      let n_children = get_int "child count" in
+      if n_children < 0 then raise (Malformed "negative child count");
+      let children = List.init n_children (fun _ -> get_tree ()) in
+      Tree.Element { name; attributes; children }
+    | 1 -> Tree.Text (get_str "text")
+    | 2 -> Tree.Comment (get_str "comment")
+    | 3 ->
+      let target = get_str "pi target" in
+      let data = get_str "pi data" in
+      Tree.Pi { target; data }
+    | k -> raise (Malformed (Printf.sprintf "unknown tree node kind %d" k))
+  in
+  try
+    let version = get_byte "format version" in
+    if version <> format_version then
+      raise (Malformed (Printf.sprintf "unsupported mutation format version %d" version));
+    let op =
+      match get_byte "op kind" with
+      | 1 ->
+        let parent = get_int "parent" in
+        let before = get_int "before" in
+        let fragment = get_tree () in
+        Insert { parent; before = (if before < 0 then None else Some before); fragment }
+      | 2 -> Delete { pre = get_int "pre" }
+      | 3 ->
+        let pre = get_int "pre" in
+        let name = get_str "name" in
+        Rename { pre; name }
+      | k -> raise (Malformed (Printf.sprintf "unknown mutation op kind %d" k))
+    in
+    if !pos <> String.length s then raise (Malformed "trailing bytes");
+    Ok op
+  with Malformed msg -> Error ("mutation record: " ^ msg)

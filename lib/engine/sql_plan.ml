@@ -9,7 +9,7 @@ module Exec = Scj_trace.Exec
 
 let ensure_exec = function None -> Exec.make () | Some e -> e
 
-type index = { tree : int Btree.Int.t; height : int }
+type index = { tree : int Btree.Int.t; mutable height : int }
 
 let build_index ?(order = 64) doc =
   let n = Doc.n_nodes doc in
@@ -21,6 +21,38 @@ let build_index ?(order = 64) doc =
   { tree = Btree.Int.of_sorted_array ~order pairs; height = Doc.height doc }
 
 let index_pages idx = Btree.Int.node_counts idx.tree
+let index_bindings idx = Btree.Int.to_list idx.tree
+
+(* The (pre, post) keys a splice invalidates are exactly the rows at and
+   after the splice point (rank shift moves pre) plus the O(height)
+   ancestors of the splice (size change moves post, pre stays).  Rows
+   before the splice keep both ranks, and their tag values stay valid
+   because renditions share dictionary numbering (assemble's
+   [seed_names]).  Cost is O((n - splice + height) log n) against O(n)
+   for a rebuild — O(height log n) for the append-at-end case. *)
+let maintain idx ~old_doc ~doc ~splice ~delta =
+  let n_old = Doc.n_nodes old_doc and n_new = Doc.n_nodes doc in
+  let chain_doc = if delta < 0 then old_doc else doc in
+  let rec ancestors acc v =
+    if v < 0 then acc else ancestors (v :: acc) (Doc.parent chain_doc v)
+  in
+  let chain =
+    if delta = 0 || splice >= Doc.n_nodes chain_doc then []
+    else ancestors [] (Doc.parent chain_doc splice)
+  in
+  for pre = splice to n_old - 1 do
+    ignore (Btree.Int.delete idx.tree (Packed.make ~pre ~post:(Doc.post old_doc pre)))
+  done;
+  List.iter
+    (fun a -> ignore (Btree.Int.delete idx.tree (Packed.make ~pre:a ~post:(Doc.post old_doc a))))
+    chain;
+  for pre = splice to n_new - 1 do
+    Btree.Int.insert idx.tree (Packed.make ~pre ~post:(Doc.post doc pre)) (Doc.tag doc pre)
+  done;
+  List.iter
+    (fun a -> Btree.Int.insert idx.tree (Packed.make ~pre:a ~post:(Doc.post doc a)) (Doc.tag doc a))
+    chain;
+  idx.height <- Doc.height doc
 
 type options = { delimiter : bool; early_nametest : string option }
 

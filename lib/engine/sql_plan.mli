@@ -26,6 +26,21 @@ val build_index : ?order:int -> Scj_encoding.Doc.t -> index
 (** Number of B-tree pages (internal, leaf). *)
 val index_pages : index -> int * int
 
+(** Every (packed key, tag symbol) binding in key order — the content
+    the update fuzz suite compares against a fresh {!build_index}. *)
+val index_bindings : index -> (int * int) list
+
+(** [maintain idx ~old_doc ~doc ~splice ~delta] carries the index across
+    a mutation that renumbered [old_doc] into [doc] (see
+    {!Scj_encoding.Update.applied}): deletes the keys of the old rows at
+    and after [splice] and of the splice's ancestors (their [post]
+    moved), reinserts their new-rendition counterparts, and refreshes the
+    Equation-(1) delimiter height.  After the call the index is
+    bit-identical to [build_index doc] — the update fuzz suite checks
+    this — at O((n - splice + height) log n) cost instead of a rebuild. *)
+val maintain :
+  index -> old_doc:Scj_encoding.Doc.t -> doc:Scj_encoding.Doc.t -> splice:int -> delta:int -> unit
+
 type options = {
   delimiter : bool;  (** apply the Equation-(1) pre-range delimiter (§2.1, line 7) *)
   early_nametest : string option;

@@ -67,13 +67,17 @@ type t = {
   store : Store.t;
   capacity : int;
   max_overflow : int;
+  epoch : int;
+      (* which rendition these pages belong to: every page frame in this
+         pool carries the tag implicitly, so a reader holding the pool
+         can never observe a page of another rendition *)
   stripes : stripe array;
   hits : int Atomic.t;
   faults : int Atomic.t;
   evictions : int Atomic.t;
 }
 
-let create ?(stripes = 1) ?(max_overflow = max_int) ~capacity store =
+let create ?(stripes = 1) ?(max_overflow = max_int) ?(epoch = 0) ~capacity store =
   if capacity <= 0 then invalid_arg "Buffer_pool.create: capacity must be positive";
   if max_overflow < 0 then invalid_arg "Buffer_pool.create: max_overflow must be non-negative";
   let n_stripes = max 1 (min stripes capacity) in
@@ -93,6 +97,7 @@ let create ?(stripes = 1) ?(max_overflow = max_int) ~capacity store =
     store;
     capacity;
     max_overflow;
+    epoch;
     stripes = Array.init n_stripes stripe;
     hits = Atomic.make 0;
     faults = Atomic.make 0;
@@ -100,6 +105,8 @@ let create ?(stripes = 1) ?(max_overflow = max_int) ~capacity store =
   }
 
 let capacity t = t.capacity
+
+let epoch t = t.epoch
 
 let n_stripes t = Array.length t.stripes
 

@@ -45,7 +45,7 @@ let guard_capacity ~who ~stripes ~capacity =
    a range's attribute count costs two reads, attribute runs are found by
    binary search, and the estimation copy phase can emit whole runs while
    faulting only prefix pages — never the post column. *)
-let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ~capacity doc =
+let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ?(epoch = 0) ~capacity doc =
   let stripes = max 1 stripes in
   guard_capacity ~who:"Paged_doc.load" ~stripes ~capacity;
   let n = Doc.n_nodes doc in
@@ -59,7 +59,7 @@ let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ~capacity doc =
   Array.blit sizes 0 data size_base n;
   let store = Buffer_pool.Store.create ?fault_latency ~page_ints data in
   {
-    pool = Buffer_pool.create ~stripes ~capacity store;
+    pool = Buffer_pool.create ~stripes ~epoch ~capacity store;
     n;
     height = Doc.height doc;
     prefix_base;

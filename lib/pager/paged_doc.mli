@@ -39,12 +39,20 @@ type t
     columns out on pages of [page_ints] integers (default 1024 ≈ an 8 KB
     page of 64-bit ranks) and attaches a pool of [capacity] frames,
     latch-striped [stripes] ways (default 1); [fault_latency] is the
-    simulated per-fault device latency in seconds (default 0).
+    simulated per-fault device latency in seconds (default 0); [epoch]
+    tags the pool with the rendition the pages belong to (default 0, see
+    {!Buffer_pool.create}).
     @raise Invalid_argument if [capacity] cannot hold one query's working
     set — post, attr-prefix and size pages may be live at once, so at
     least 3 frames per stripe are required. *)
 val load :
-  ?page_ints:int -> ?stripes:int -> ?fault_latency:float -> capacity:int -> Scj_encoding.Doc.t -> t
+  ?page_ints:int ->
+  ?stripes:int ->
+  ?fault_latency:float ->
+  ?epoch:int ->
+  capacity:int ->
+  Scj_encoding.Doc.t ->
+  t
 
 (** [attach ~n ~height pool] wraps a pool whose store already holds the
     three page-aligned extents ([post | attr_prefix | size], each extent

@@ -42,6 +42,36 @@ let catalog ?paged ?domains doc =
 
 let doc t = t.cat_doc
 
+(* Carry a catalog across a mutation (see Update.applied): statistics are
+   patched in place of a rescan, the B+-tree index is spliced key-by-key
+   instead of rebuilt, and the tag/element views — cheap single-scan
+   structures — are dropped for lazy rebuild.  Ownership of the mutable
+   index transfers to the new catalog: the old one must not serve
+   queries afterwards (the server retires a rendition's session before
+   evolving it). *)
+let evolve ?paged t ~doc ~splice ~delta =
+  let dstats =
+    match t.dstats with
+    | None -> None
+    | Some s -> Some (Doc_stats.update s ~old_doc:t.cat_doc ~doc ~splice ~delta)
+  in
+  let index =
+    match t.index with
+    | None -> None
+    | Some idx ->
+      Sql_plan.maintain idx ~old_doc:t.cat_doc ~doc ~splice ~delta;
+      Some idx
+  in
+  {
+    cat_doc = doc;
+    paged;
+    domains = t.domains;
+    views = Hashtbl.create 16;
+    elements = None;
+    dstats;
+    index;
+  }
+
 let doc_stats t =
   match t.dstats with
   | Some s -> s

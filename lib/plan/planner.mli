@@ -30,6 +30,17 @@ val catalog : ?paged:Scj_pager.Paged_doc.t -> ?domains:int -> Doc.t -> t
 
 val doc : t -> Doc.t
 
+(** [evolve ?paged t ~doc ~splice ~delta] carries the catalog across a
+    mutation that renumbered [doc t] into [doc] (see
+    {!Scj_encoding.Update.applied}): memoized statistics are patched with
+    {!Doc_stats.update}, the B+-tree index is spliced with
+    {!Scj_engine.Sql_plan.maintain}, and the single-scan tag/element
+    views are dropped for lazy rebuild.  Structures never materialized
+    stay unmaterialized — evolving costs nothing until the planner asked
+    for something.  The mutable index transfers to the returned catalog;
+    the old catalog must not execute queries afterwards. *)
+val evolve : ?paged:Scj_pager.Paged_doc.t -> t -> doc:Doc.t -> splice:int -> delta:int -> t
+
 (** Memoized one-pass document statistics. *)
 val doc_stats : t -> Doc_stats.t
 

@@ -13,12 +13,17 @@
     context & observability, join algorithms, query languages,
     fragmentation/parallelism, storage. *)
 
+(** {1 Errors} *)
+
+module Error = Scj_error.Error
+
 (** {1 Document encoding} *)
 
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Axis = Scj_encoding.Axis
 module Codec = Scj_encoding.Codec
+module Update = Scj_encoding.Update
 
 (** {1 Execution context & observability} *)
 
@@ -72,7 +77,8 @@ module Store = Scj_store.Store
 module Store_io = Scj_store.Io
 module Wal = Scj_store.Wal
 
-(** {1 Query service} *)
+(** {1 Unified handle & query service} *)
 
+module Db = Scj_db.Db
 module Server = Scj_server.Server
 module Histogram = Scj_stats.Histogram

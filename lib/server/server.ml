@@ -1,13 +1,19 @@
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
+module Update = Scj_encoding.Update
+module Error = Scj_error.Error
 module Stats = Scj_stats.Stats
 module Histogram = Scj_stats.Histogram
 module Exec = Scj_trace.Exec
 module Eval = Scj_xpath.Eval
 module Paged_doc = Scj_pager.Paged_doc
 module Buffer_pool = Scj_pager.Buffer_pool
+module Db = Scj_db.Db
 
-type query = Path of string | Step of [ `Desc | `Anc ] * Nodeseq.t
+type query =
+  | Path of string
+  | Step of [ `Desc | `Anc ] * Nodeseq.t
+  | Write of { op : Update.op; expect : int option }
 
 type reply = {
   result : Nodeseq.t;
@@ -15,9 +21,10 @@ type reply = {
   pool_hits : int;
   pool_misses : int;
   latency_ms : float;
+  epoch : int;
 }
 
-type outcome = Done of reply | Timed_out | Failed of string | Dropped
+type outcome = Done of reply | Timed_out | Failed of Error.t | Dropped
 
 type handle = {
   query : query;
@@ -27,21 +34,35 @@ type handle = {
   mutable outcome : outcome option;
 }
 
+type admission = Accepted of handle | Overloaded | Stopped
+
 type service_stats = {
   completed : int;
   timed_out : int;
   failed : int;
   rejected : int;
   dropped : int;
+  commits : int;
+  epoch : int;
   latency : Histogram.t;
   work : Stats.t;
   tally_hits : int;
   tally_misses : int;
 }
 
+(* One immutable rendition of the document under snapshot isolation:
+   the doc, its paged image (pool tagged with the epoch), and the delta
+   that produced it — the chain lets a worker carry its session forward
+   incrementally instead of replanning from scratch. *)
+type rendition = {
+  repoch : int;
+  rdoc : Doc.t;
+  rpaged : Paged_doc.t;
+  prev : (rendition * Update.applied) option;
+}
+
 type t = {
-  doc : Doc.t;
-  paged : Paged_doc.t;
+  db : Db.t;
   default_deadline : float;  (* relative seconds; infinity = none *)
   queue_bound : int;
   queue : handle Queue.t;
@@ -50,6 +71,12 @@ type t = {
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
   n_workers : int;
+  (* the rendition pointer: one word, swapped under [rm] at commit —
+     readers grab it once per query and never see a partial rendition *)
+  rm : Mutex.t;
+  mutable current : rendition;
+  (* the single-writer mutex: serializes Db.apply + the epoch swap *)
+  wm : Mutex.t;
   (* service-level accumulators, all under [sm] *)
   sm : Mutex.t;
   latency : Histogram.t;
@@ -59,6 +86,7 @@ type t = {
   mutable failed : int;
   mutable rejected : int;
   mutable dropped : int;
+  mutable commits : int;
   mutable tally_hits : int;
   mutable tally_misses : int;
 }
@@ -66,6 +94,20 @@ type t = {
 (* Raised from the per-query cancellation hook; only ever escapes to the
    worker loop, never to clients. *)
 exception Deadline
+
+let current t =
+  Mutex.lock t.rm;
+  let r = t.current in
+  Mutex.unlock t.rm;
+  r
+
+(* in-memory paged image for a post-mutation rendition *)
+let rendition_pool ~epoch doc =
+  let page_ints = 1024 in
+  let n = Doc.n_nodes doc in
+  let pages_for ints = (ints + page_ints - 1) / page_ints in
+  let capacity = max 24 ((pages_for n + pages_for (n + 1) + pages_for n) / 10) in
+  Paged_doc.load ~page_ints ~epoch ~capacity doc
 
 let finish t handle ~tally outcome =
   Mutex.lock t.sm;
@@ -88,39 +130,143 @@ let finish t handle ~tally outcome =
   Condition.broadcast handle.hcv;
   Mutex.unlock handle.hm
 
-let exec_query t session handle =
+(* ------------------------------------------------------------------ *)
+(* Per-worker sessions along the rendition chain                       *)
+(* ------------------------------------------------------------------ *)
+
+type worker_state = { mutable wrend : rendition; mutable wsession : Eval.session }
+
+(* renditions [target+1 .. r.repoch] with their deltas, oldest first;
+   None when the chain doesn't reach back (shouldn't happen — the chain
+   is only ever extended) *)
+let rec chain_back r target acc =
+  if r.repoch = target then Some acc
+  else
+    match r.prev with None -> None | Some (p, d) -> chain_back p target ((r, d) :: acc)
+
+let max_evolve_steps = 8
+
+let fresh_session t r =
+  Eval.session ?strategy:(Db.strategy t.db) ~paged:r.rpaged ~domains:1 r.rdoc
+
+(* the session this worker should use for rendition [r]: evolved
+   incrementally when the delta chain is short, rebuilt otherwise *)
+let session_for t ws r =
+  if ws.wrend == r then ws.wsession
+  else begin
+    let session =
+      match chain_back r ws.wrend.repoch [] with
+      | Some steps when List.length steps <= max_evolve_steps ->
+        List.fold_left
+          (fun s (r', delta) -> Eval.evolve ~paged:r'.rpaged s delta)
+          ws.wsession steps
+      | Some _ | None -> fresh_session t r
+    in
+    ws.wrend <- r;
+    ws.wsession <- session;
+    session
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exec_write t op expect =
+  let start = Unix.gettimeofday () in
+  (* single writer: validate + WAL-commit + swap, serialized *)
+  Mutex.lock t.wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.wm)
+    (fun () ->
+      let cur = current t in
+      match expect with
+      | Some e when e <> cur.repoch ->
+        Error (Error.Conflict { expected = e; actual = cur.repoch })
+      | _ -> (
+        match Db.apply t.db op with
+        | Error _ as e -> e
+        | Ok applied ->
+          let epoch = cur.repoch + 1 in
+          let doc = applied.Update.doc in
+          let r =
+            { repoch = epoch; rdoc = doc; rpaged = rendition_pool ~epoch doc;
+              prev = Some (cur, applied) }
+          in
+          (* the commit point: one pointer swap — readers either see the
+             whole old rendition or the whole new one *)
+          Mutex.lock t.rm;
+          t.current <- r;
+          Mutex.unlock t.rm;
+          Mutex.lock t.sm;
+          t.commits <- t.commits + 1;
+          Mutex.unlock t.sm;
+          let result =
+            match op with
+            | Update.Insert _ -> Nodeseq.singleton applied.Update.splice
+            | Update.Delete _ -> Nodeseq.empty
+            | Update.Rename { pre; _ } -> Nodeseq.singleton pre
+          in
+          let latency_ms = 1000.0 *. (Unix.gettimeofday () -. start) in
+          Ok
+            {
+              result;
+              work = Stats.create ();
+              pool_hits = 0;
+              pool_misses = 0;
+              latency_ms;
+              epoch;
+            }))
+
+let exec_query t ws handle =
   let start = Unix.gettimeofday () in
   let tally = Buffer_pool.Tally.create () in
-  let check () = if Unix.gettimeofday () > handle.deadline then raise Deadline in
-  (* fresh counters per query; domains = 1 — workers never nest their own
-     domain pools inside the service's *)
-  let exec = Exec.make ~domains:1 ~check () in
-  match
-    match handle.query with
-    | Path src -> Eval.run_exn ~exec session src
-    | Step (axis, context) ->
-      let paged = Paged_doc.with_tally t.paged tally in
-      (match axis with
-      | `Desc -> Paged_doc.desc ~exec paged context
-      | `Anc -> Paged_doc.anc ~exec paged context)
-  with
-  | result ->
-    let latency_ms = 1000.0 *. (Unix.gettimeofday () -. start) in
-    finish t handle ~tally
-      (Done
-         {
-           result;
-           work = exec.Exec.stats;
-           pool_hits = tally.Buffer_pool.Tally.hits;
-           pool_misses = tally.Buffer_pool.Tally.misses;
-           latency_ms;
-         })
-  | exception Deadline -> finish t handle ~tally Timed_out
-  | exception e -> finish t handle ~tally (Failed (Printexc.to_string e))
+  match handle.query with
+  | Write { op; expect } -> (
+    match exec_write t op expect with
+    | Ok reply -> finish t handle ~tally (Done reply)
+    | Error e -> finish t handle ~tally (Failed e))
+  | Path _ | Step _ -> (
+    (* pin the rendition once: everything below reads this immutable
+       snapshot, however many commits land meanwhile *)
+    let r = current t in
+    let check () = if Unix.gettimeofday () > handle.deadline then raise Deadline in
+    (* fresh counters per query; domains = 1 — workers never nest their
+       own domain pools inside the service's *)
+    let exec = Exec.make ~domains:1 ~check () in
+    match
+      match handle.query with
+      | Path src -> (
+        match Eval.run ~exec (session_for t ws r) src with
+        | Ok result -> Ok result
+        | Error e -> Error e)
+      | Step (axis, context) ->
+        let paged = Paged_doc.with_tally r.rpaged tally in
+        Ok
+          (match axis with
+          | `Desc -> Paged_doc.desc ~exec paged context
+          | `Anc -> Paged_doc.anc ~exec paged context)
+      | Write _ -> assert false
+    with
+    | Ok result ->
+      let latency_ms = 1000.0 *. (Unix.gettimeofday () -. start) in
+      finish t handle ~tally
+        (Done
+           {
+             result;
+             work = exec.Exec.stats;
+             pool_hits = tally.Buffer_pool.Tally.hits;
+             pool_misses = tally.Buffer_pool.Tally.misses;
+             latency_ms;
+             epoch = r.repoch;
+           })
+    | Error e -> finish t handle ~tally (Failed e)
+    | exception Deadline -> finish t handle ~tally Timed_out
+    | exception Scj_store.Store.Corrupt msg -> finish t handle ~tally (Failed (Error.corrupt msg))
+    | exception e -> finish t handle ~tally (Failed (Error.io (Printexc.to_string e))))
 
 (* Worker loop: drain the queue; exit only once stopping *and* empty, so
    shutdown lets accepted queries finish. *)
-let rec worker_loop t session =
+let rec worker_loop t ws =
   Mutex.lock t.qm;
   while Queue.is_empty t.queue && not t.stopping do
     Condition.wait t.qcv t.qm
@@ -130,17 +276,19 @@ let rec worker_loop t session =
   match job with
   | None -> ()
   | Some handle ->
-    exec_query t session handle;
-    worker_loop t session
+    exec_query t ws handle;
+    worker_loop t ws
 
-let create ?workers ?queue_bound ?deadline ~paged doc =
+let create ?workers ?queue_bound ?deadline db =
   let n_workers = match workers with Some w -> max 1 w | None -> Exec.default_domains () in
   let queue_bound = match queue_bound with Some b -> max 1 b | None -> 4 * n_workers in
   let default_deadline = match deadline with Some d -> d | None -> infinity in
+  let initial =
+    { repoch = 0; rdoc = Db.doc db; rpaged = Db.paged db; prev = None }
+  in
   let t =
     {
-      doc;
-      paged;
+      db;
       default_deadline;
       queue_bound;
       queue = Queue.create ();
@@ -149,6 +297,9 @@ let create ?workers ?queue_bound ?deadline ~paged doc =
       stopping = false;
       domains = [];
       n_workers;
+      rm = Mutex.create ();
+      current = initial;
+      wm = Mutex.create ();
       sm = Mutex.create ();
       latency = Histogram.create ();
       work = Stats.create ();
@@ -157,6 +308,7 @@ let create ?workers ?queue_bound ?deadline ~paged doc =
       failed = 0;
       rejected = 0;
       dropped = 0;
+      commits = 0;
       tally_hits = 0;
       tally_misses = 0;
     }
@@ -165,22 +317,34 @@ let create ?workers ?queue_bound ?deadline ~paged doc =
     List.init n_workers (fun _ ->
         Domain.spawn (fun () ->
             (* workers already provide the concurrency: plan single-domain,
-               with the paged rendition visible to the planner *)
-            worker_loop t (Eval.session ~paged:t.paged ~domains:1 t.doc)));
+               with the rendition's paged image visible to the planner *)
+            let r = current t in
+            worker_loop t { wrend = r; wsession = fresh_session t r }));
   t
 
 let workers t = t.n_workers
+
+let epoch t = (current t).repoch
+
+let db t = t.db
 
 let submit ?deadline t query =
   let rel = match deadline with Some d -> d | None -> t.default_deadline in
   let abs = if rel = infinity then infinity else Unix.gettimeofday () +. rel in
   Mutex.lock t.qm;
-  if t.stopping || Queue.length t.queue >= t.queue_bound then begin
+  if t.stopping then begin
     Mutex.unlock t.qm;
     Mutex.lock t.sm;
     t.rejected <- t.rejected + 1;
     Mutex.unlock t.sm;
-    None
+    Stopped
+  end
+  else if Queue.length t.queue >= t.queue_bound then begin
+    Mutex.unlock t.qm;
+    Mutex.lock t.sm;
+    t.rejected <- t.rejected + 1;
+    Mutex.unlock t.sm;
+    Overloaded
   end
   else begin
     let handle =
@@ -189,7 +353,7 @@ let submit ?deadline t query =
     Queue.push handle t.queue;
     Condition.signal t.qcv;
     Mutex.unlock t.qm;
-    Some handle
+    Accepted handle
   end
 
 let await handle =
@@ -203,10 +367,12 @@ let await handle =
 
 let run ?deadline t query =
   match submit ?deadline t query with
-  | Some h -> await h
-  | None -> Failed "overloaded"
+  | Accepted h -> await h
+  | Overloaded -> Failed Error.Overloaded
+  | Stopped -> Failed Error.Shutdown
 
 let stats t =
+  let epoch = epoch t in
   Mutex.lock t.sm;
   let s =
     {
@@ -215,6 +381,8 @@ let stats t =
       failed = t.failed;
       rejected = t.rejected;
       dropped = t.dropped;
+      commits = t.commits;
+      epoch;
       latency = Histogram.copy t.latency;
       work = Stats.copy t.work;
       tally_hits = t.tally_hits;
@@ -224,7 +392,7 @@ let stats t =
   Mutex.unlock t.sm;
   s
 
-let pool_stats t = Buffer_pool.stats (Paged_doc.pool t.paged)
+let pool_stats t = Buffer_pool.stats (Paged_doc.pool (current t).rpaged)
 
 (* With [drain] (the default) accepted queries finish before the workers
    exit (the worker loop only stops on stopping *and* empty).  Without it

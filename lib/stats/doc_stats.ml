@@ -88,6 +88,84 @@ let build doc =
 
 let tag t name = match Hashtbl.find_opt t.tags name with Some s -> s | None -> zero_tag
 
+(* Patch statistics across a splice: subtract the old rendition's rows at
+   and after the splice point, add the new rendition's, then adjust the
+   subtree sums of the splice's ancestors (the only prefix rows whose
+   size changed).  Rows before the splice kept rank, level, kind and name
+   in both renditions, so their contributions cancel without a rescan. *)
+let update t ~old_doc ~doc ~splice ~delta =
+  let tags = Hashtbl.copy t.tags in
+  let n_elements = ref t.n_elements
+  and n_attributes = ref t.n_attributes
+  and n_texts = ref t.n_texts
+  and n_comments = ref t.n_comments
+  and n_pis = ref t.n_pis
+  and element_subtree_sum = ref t.element_subtree_sum
+  and element_level_sum = ref t.element_level_sum in
+  let touch_tag name f =
+    let cur = match Hashtbl.find_opt tags name with Some s -> s | None -> zero_tag in
+    let next = f cur in
+    if next = zero_tag then Hashtbl.remove tags name else Hashtbl.replace tags name next
+  in
+  let row sign d v =
+    match Doc.kind d v with
+    | Doc.Element ->
+      let size = Doc.size d v and level = Doc.level d v in
+      n_elements := !n_elements + sign;
+      element_subtree_sum := !element_subtree_sum + (sign * size);
+      element_level_sum := !element_level_sum + (sign * level);
+      (match Doc.tag_name d v with
+      | None -> ()
+      | Some name ->
+        touch_tag name (fun s ->
+            {
+              count = s.count + sign;
+              subtree_sum = s.subtree_sum + (sign * size);
+              level_sum = s.level_sum + (sign * level);
+            }))
+    | Doc.Attribute -> n_attributes := !n_attributes + sign
+    | Doc.Text -> n_texts := !n_texts + sign
+    | Doc.Comment -> n_comments := !n_comments + sign
+    | Doc.Pi -> n_pis := !n_pis + sign
+  in
+  for v = splice to Doc.n_nodes old_doc - 1 do
+    row (-1) old_doc v
+  done;
+  for v = splice to Doc.n_nodes doc - 1 do
+    row 1 doc v
+  done;
+  (* ancestors of the splice point: pre < splice in both renditions, size
+     changed by [delta]; walk the chain in whichever rendition still
+     contains the splice row *)
+  if delta <> 0 then begin
+    let chain_doc = if delta > 0 then doc else old_doc in
+    let rec up v =
+      if v >= 0 then begin
+        element_subtree_sum := !element_subtree_sum + delta;
+        (match Doc.tag_name chain_doc v with
+        | None -> ()
+        | Some name ->
+          touch_tag name (fun s -> { s with subtree_sum = s.subtree_sum + delta }));
+        up (Doc.parent chain_doc v)
+      end
+    in
+    up (Doc.parent chain_doc splice)
+  end;
+  let n = Doc.n_nodes doc in
+  {
+    n_nodes = n;
+    n_elements = !n_elements;
+    n_attributes = !n_attributes;
+    n_texts = !n_texts;
+    n_comments = !n_comments;
+    n_pis = !n_pis;
+    height = Doc.height doc;
+    root_size = (if n = 0 then 0 else Doc.size doc (Doc.root doc));
+    element_subtree_sum = !element_subtree_sum;
+    element_level_sum = !element_level_sum;
+    tags;
+  }
+
 let kind_count t = function
   | Doc.Element -> t.n_elements
   | Doc.Attribute -> t.n_attributes

@@ -32,6 +32,18 @@ type t = {
 (** [build doc] scans the encoding columns once. *)
 val build : Scj_encoding.Doc.t -> t
 
+(** [update t ~old_doc ~doc ~splice ~delta] patches statistics across a
+    mutation that renumbered [old_doc] into [doc] (see
+    {!Scj_encoding.Update.applied}): rows at and after [splice] of the
+    old rendition leave the sums, their counterparts of the new rendition
+    enter, and the O(height) ancestors of the splice point adjust their
+    subtree sums by [delta].  Equivalent to [build doc] (the fuzz suite
+    checks bit-equality) at O(n - splice + height) instead of O(n) —
+    O(height) for the append-at-end case.  [t] is not modified; the
+    returned statistics are fresh. *)
+val update :
+  t -> old_doc:Scj_encoding.Doc.t -> doc:Scj_encoding.Doc.t -> splice:int -> delta:int -> t
+
 val zero_tag : tag_stats
 
 (** [tag t name] — statistics of the element fragment named [name];

@@ -1,4 +1,6 @@
 module Doc = Scj_encoding.Doc
+module Update = Scj_encoding.Update
+module Error = Scj_error.Error
 module Buffer_pool = Scj_pager.Buffer_pool
 module Paged_doc = Scj_pager.Paged_doc
 
@@ -19,13 +21,20 @@ exception Corrupt of string
 (* p + 1.  The meta extent carries the non-columnar remainder of the   *)
 (* document (level/parent/kind columns, tag dictionary, text contents) *)
 (* as one length-prefixed blob packed into pages.                      *)
+(*                                                                     *)
+(* Format version 2 adds logical mutation records (Wal kind 4) to the  *)
+(* log: a committed mutation lives only in the WAL until the next      *)
+(* checkpoint rewrites the extents.  The page file layout is unchanged *)
+(* and version-1 stores open fine.                                     *)
 (* ------------------------------------------------------------------ *)
 
 let pages_file = "pages.scj"
 
 let wal_file = "wal.scj"
 
-let version = 1
+let version = 2
+
+let supported_version v = v = 1 || v = 2
 
 (* "SCJSTOR1" as a little-endian int64 *)
 let magic_int = Int64.to_int (Bytes.get_int64_le (Bytes.of_string "SCJSTOR1") 0)
@@ -177,7 +186,7 @@ let decode_meta ~n ~height ~post blob =
   let kind = Array.init n (fun _ -> kind_of_code (cur_int c)) in
   let tags = Array.init n (fun _ -> if cur_int c = 1 then Some (cur_string c) else None) in
   let contents = Array.init n (fun _ -> if cur_int c = 1 then Some (cur_string c) else None) in
-  let doc = Doc.Internal.assemble ~post ~level ~parent ~kind ~tags ~contents ~height in
+  let doc = Doc.Internal.assemble ~post ~level ~parent ~kind ~tags ~contents ~height () in
   match Doc.validate doc with
   | Ok () -> doc
   | Error e -> raise (Corrupt (Printf.sprintf "recovered document is inconsistent: %s" e))
@@ -192,25 +201,32 @@ type t = {
   pages : Io.file;
   walf : Io.file;
   wal : Wal.t;
-  geo : geometry;
+  mutable geo : geometry;  (* rewritten by a checkpoint with mutations *)
   last_recovery : Wal.recovery;
   bytes_read : int Atomic.t;
-  lock : Mutex.t;  (* guards the memos below *)
+  lock : Mutex.t;  (* guards the memos, the pending list and the WAL *)
   mutable doc : Doc.t option;
   mutable paged : Paged_doc.t option;
+  mutable pending : Update.op list;  (* committed, not yet checkpointed; oldest first *)
+  mutable next_txid : int;
 }
 
 let page_ints t = t.geo.page_ints
-
-let n_nodes t = t.geo.n_nodes
-
-let height t = t.geo.height
 
 let path t = t.path
 
 let last_recovery t = t.last_recovery
 
 let bytes_read t = Atomic.get t.bytes_read
+
+let pending_mutations t = List.length t.pending
+
+(* current-rendition dimensions: the geometry describes the page file,
+   which lags behind committed logical mutations until checkpoint *)
+let n_nodes t =
+  match t.doc with Some d when t.pending <> [] -> Doc.n_nodes d | _ -> t.geo.n_nodes
+
+let height t = match t.doc with Some d when t.pending <> [] -> Doc.height d | _ -> t.geo.height
 
 (* read + checksum-verify one file page; every byte is counted *)
 let read_file_page t fpage =
@@ -238,53 +254,76 @@ let pool_store t =
 
 let default_capacity g = max 24 (pool_pages g / 10)
 
-let paged ?(stripes = 8) ?capacity t =
+(* Materialize the base (page-file) rendition: post extent + meta
+   extent, read directly (checksum-verified) — deliberately not through
+   the buffer pool, whose stats stay pure query traffic.  Caller holds
+   the lock. *)
+let materialize_base t =
+  let g = t.geo in
+  let post = Array.make g.n_nodes 0 in
+  for p = 0 to g.post_pages - 1 do
+    let b = read_file_page t (1 + p) in
+    let len = min g.page_ints (g.n_nodes - (p * g.page_ints)) in
+    for i = 0 to len - 1 do
+      post.((p * g.page_ints) + i) <- get_int b (8 * i)
+    done
+  done;
+  let blob = Bytes.create g.meta_bytes in
+  let meta_base = 1 + pool_pages g in
+  for p = 0 to g.meta_pages - 1 do
+    let b = read_file_page t (meta_base + p) in
+    let len = min (g.page_ints * 8) (g.meta_bytes - (p * g.page_ints * 8)) in
+    Bytes.blit b 0 blob (p * g.page_ints * 8) len
+  done;
+  decode_meta ~n:g.n_nodes ~height:g.height ~post blob
+
+let doc_locked t =
+  match t.doc with
+  | Some d -> d
+  | None ->
+    let d = materialize_base t in
+    t.doc <- Some d;
+    d
+
+let with_lock t f =
   Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let doc t = with_lock t (fun () -> doc_locked t)
+
+let paged ?(stripes = 8) ?capacity t =
+  with_lock t (fun () ->
       match t.paged with
       | Some p -> p
       | None ->
-        let capacity = match capacity with Some c -> c | None -> default_capacity t.geo in
-        let stripes = max 1 (min stripes (capacity / 3)) in
-        let pool = Buffer_pool.create ~stripes ~capacity (pool_store t) in
-        let p = Paged_doc.attach ~n:t.geo.n_nodes ~height:t.geo.height pool in
+        let p =
+          if t.pending = [] then begin
+            (* clean store: serve queries straight off the page file *)
+            let capacity =
+              match capacity with Some c -> c | None -> default_capacity t.geo
+            in
+            let stripes = max 1 (min stripes (capacity / 3)) in
+            let pool = Buffer_pool.create ~stripes ~capacity (pool_store t) in
+            Paged_doc.attach ~n:t.geo.n_nodes ~height:t.geo.height pool
+          end
+          else begin
+            (* the page file lags the committed mutations: page an
+               in-memory image of the current rendition instead of the
+               stale extents *)
+            let d = doc_locked t in
+            let g =
+              geometry ~page_ints:t.geo.page_ints ~n_nodes:(Doc.n_nodes d)
+                ~height:(Doc.height d) ~meta_bytes:0
+            in
+            let capacity = match capacity with Some c -> c | None -> default_capacity g in
+            let stripes = max 1 (min stripes (capacity / 3)) in
+            Paged_doc.load ~page_ints:g.page_ints ~stripes ~capacity d
+          end
+        in
         t.paged <- Some p;
         p)
 
 let pool t = Paged_doc.pool (paged t)
-
-(* Materialize the in-memory document: post extent + meta extent, read
-   directly (checksum-verified) — deliberately not through the buffer
-   pool, whose stats stay pure query traffic. *)
-let doc t =
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
-      match t.doc with
-      | Some d -> d
-      | None ->
-        let g = t.geo in
-        let post = Array.make g.n_nodes 0 in
-        for p = 0 to g.post_pages - 1 do
-          let b = read_file_page t (1 + p) in
-          let len = min g.page_ints (g.n_nodes - (p * g.page_ints)) in
-          for i = 0 to len - 1 do
-            post.((p * g.page_ints) + i) <- get_int b (8 * i)
-          done
-        done;
-        let blob = Bytes.create g.meta_bytes in
-        let meta_base = 1 + pool_pages g in
-        for p = 0 to g.meta_pages - 1 do
-          let b = read_file_page t (meta_base + p) in
-          let len = min (g.page_ints * 8) (g.meta_bytes - (p * g.page_ints * 8)) in
-          Bytes.blit b 0 blob (p * g.page_ints * 8) len
-        done;
-        let d = decode_meta ~n:g.n_nodes ~height:g.height ~post blob in
-        t.doc <- Some d;
-        d)
 
 let verify t =
   try
@@ -292,18 +331,14 @@ let verify t =
       ignore (read_file_page t fpage)
     done;
     Ok ()
-  with Corrupt msg -> Error msg
-
-let checkpoint t =
-  t.pages.Io.fsync ();
-  Wal.truncate t.wal
+  with Corrupt msg -> Error (Error.corrupt msg)
 
 let close t =
   t.pages.Io.close ();
   t.walf.Io.close ()
 
 (* ------------------------------------------------------------------ *)
-(* Creation                                                            *)
+(* Page-image transactions (creation and checkpoint)                   *)
 (* ------------------------------------------------------------------ *)
 
 let superblock_page g =
@@ -339,22 +374,92 @@ let iter_meta_pages g ~base blob f =
     f (base + p) (encode_meta_page ~page_ints:g.page_ints blob off len)
   done
 
-(* every (file_page, bytes) of the store, in file order, one callback per
-   transaction: (txid, iter) list *)
-let creation_transactions g doc meta =
+(* every (file_page, bytes) of a complete store image, in file order,
+   split into one iterator per extent (superblock last: applying it is
+   the commit point of the image, and during recovery it rebases away
+   any logical mutations logged before it) *)
+let store_image_iters g doc meta =
   let post_base = 1 in
   let prefix_base = post_base + g.post_pages in
   let size_base = prefix_base + g.prefix_pages in
   let meta_base = size_base + g.size_pages in
   [
-    (1, fun f -> iter_column_pages g ~base:post_base (Doc.post_array doc) g.n_nodes f);
-    (2, fun f -> iter_column_pages g ~base:prefix_base (Doc.attr_prefix_array doc) (g.n_nodes + 1) f);
-    (3, fun f -> iter_column_pages g ~base:size_base (Doc.size_array doc) g.n_nodes f);
-    (4, fun f -> iter_meta_pages g ~base:meta_base meta f);
-    (* the superblock commits creation: until it is durable the store is
-       incomplete and open_ refuses it *)
-    (5, fun f -> f 0 (superblock_page g));
+    (fun f -> iter_column_pages g ~base:post_base (Doc.post_array doc) g.n_nodes f);
+    (fun f -> iter_column_pages g ~base:prefix_base (Doc.attr_prefix_array doc) (g.n_nodes + 1) f);
+    (fun f -> iter_column_pages g ~base:size_base (Doc.size_array doc) g.n_nodes f);
+    (fun f -> iter_meta_pages g ~base:meta_base meta f);
+    (fun f -> f 0 (superblock_page g));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Commit one structural update: validate it against the current
+   rendition, log it as a single-record WAL transaction (the commit
+   fsync is the durability barrier), then install the new rendition in
+   the memo.  The page file is untouched — the mutation lives in the
+   log until the next checkpoint. *)
+let apply t op =
+  with_lock t (fun () ->
+      let base = doc_locked t in
+      match Update.apply base op with
+      | Error e -> Error e
+      | Ok applied ->
+        let txid = t.next_txid in
+        t.next_txid <- txid + 1;
+        Wal.begin_ t.wal ~txid;
+        Wal.mutation t.wal ~txid (Bytes.of_string (Update.encode op));
+        Wal.commit t.wal ~txid;
+        t.doc <- Some applied.Update.doc;
+        t.pending <- t.pending @ [ op ];
+        (* readers holding the previous paged rendition keep it; the
+           memo now points at nothing until someone asks again *)
+        t.paged <- None;
+        Ok applied)
+
+(* Checkpoint.  Clean store: fsync + reset the log.  With pending
+   mutations: write the complete current rendition as ONE WAL
+   transaction (extents + superblock, one commit fsync), apply it to
+   the page file, fsync, then truncate the log.  Crash-safe in every
+   window: before the commit record is durable, recovery still has the
+   old extents + the logical mutations; after it, recovery replays the
+   images and the applied superblock rebases the mutations away. *)
+let checkpoint t =
+  with_lock t (fun () ->
+      if t.pending = [] then begin
+        t.pages.Io.fsync ();
+        Wal.truncate t.wal
+      end
+      else begin
+        let d = doc_locked t in
+        let meta = encode_meta d in
+        let g =
+          geometry ~page_ints:t.geo.page_ints ~n_nodes:(Doc.n_nodes d) ~height:(Doc.height d)
+            ~meta_bytes:(Bytes.length meta)
+        in
+        let iters = store_image_iters g d meta in
+        let txid = t.next_txid in
+        t.next_txid <- txid + 1;
+        Wal.begin_ t.wal ~txid;
+        List.iter (fun iter -> iter (fun fpage img -> Wal.page_image t.wal ~txid ~page:fpage img)) iters;
+        Wal.commit t.wal ~txid;
+        let st = stride ~page_ints:g.page_ints in
+        List.iter
+          (fun iter -> iter (fun fpage img -> t.pages.Io.pwrite ~pos:(fpage * st) img 0 st))
+          iters;
+        t.pages.Io.truncate (file_pages g * st);
+        t.pages.Io.fsync ();
+        Wal.truncate t.wal;
+        t.geo <- g;
+        t.pending <- [];
+        (* the file-backed pool (if any) addressed the old extents *)
+        t.paged <- None
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Creation and opening                                                *)
+(* ------------------------------------------------------------------ *)
 
 let open_files io ~path ~create =
   if create then io.Io.mkdir path;
@@ -375,28 +480,32 @@ let make_handle io ~path ~pages ~walf ~wal ~geo ~recovery =
     lock = Mutex.create ();
     doc = None;
     paged = None;
+    pending = [];
+    next_txid = 100 + recovery.Wal.committed;
   }
 
-(* Parse and sanity-check the superblock; Error means "not a complete
-   store" (creation never committed), Corrupt means it lies. *)
+(* Parse and sanity-check the superblock.  Incomplete means "creation
+   never committed" (a clean state, not damage); Corrupt means the
+   store lies. *)
 let read_superblock t =
   let st_size = t.pages.Io.size () in
   (* peek page_ints before we know the stride *)
   let peek = Bytes.create 24 in
   let got = t.pages.Io.pread ~pos:0 peek 0 24 in
   Atomic.fetch_and_add t.bytes_read got |> ignore;
-  if got < 24 then Error "store incomplete: no superblock (creation never committed)"
+  if got < 24 then Error (Error.incomplete "no superblock (creation never committed)")
   else begin
     let magic = get_int peek 0 and ver = get_int peek 8 and page_ints = get_int peek 16 in
-    if magic <> magic_int then Error "store incomplete or foreign: bad superblock magic"
-    else if ver <> version then Error (Printf.sprintf "unsupported store format version %d" ver)
+    if magic <> magic_int then Error (Error.incomplete "bad superblock magic (incomplete or foreign)")
+    else if not (supported_version ver) then
+      Error (Error.validation (Printf.sprintf "unsupported store format version %d" ver))
     else if page_ints < min_page_ints || page_ints > max_page_ints then
-      Error (Printf.sprintf "corrupt superblock: implausible page_ints %d" page_ints)
+      Error (Error.corrupt (Printf.sprintf "corrupt superblock: implausible page_ints %d" page_ints))
     else if st_size < stride ~page_ints then
-      Error "store incomplete: superblock page torn (creation never committed)"
+      Error (Error.incomplete "superblock page torn (creation never committed)")
     else begin
       match read_file_page { t with geo = { t.geo with page_ints } } 0 with
-      | exception Corrupt msg -> Error msg
+      | exception Corrupt msg -> Error (Error.corrupt msg)
       | b ->
         let f i = get_int b (8 * i) in
         let g =
@@ -413,18 +522,18 @@ let read_superblock t =
         in
         let expect = geometry ~page_ints ~n_nodes:g.n_nodes ~height:g.height ~meta_bytes:g.meta_bytes in
         if g.n_nodes <= 0 || g.height < 0 || g.meta_bytes < 0 then
-          Error "corrupt superblock: implausible document dimensions"
-        else if g <> expect then Error "corrupt superblock: extent geometry inconsistent"
+          Error (Error.corrupt "corrupt superblock: implausible document dimensions")
+        else if g <> expect then Error (Error.corrupt "corrupt superblock: extent geometry inconsistent")
         else if t.pages.Io.size () < file_pages g * stride ~page_ints then
-          Error "store incomplete: page file shorter than its extents"
+          Error (Error.incomplete "page file shorter than its extents")
         else Ok g
     end
   end
 
-let open_ ?(io = Io.real) ~path () =
-  if not (io.Io.exists path) then Error (Printf.sprintf "no store at %s" path)
+let open_ ?(io = Io.real) path =
+  if not (io.Io.exists path) then Error (Error.io (Printf.sprintf "no store at %s" path))
   else if not (io.Io.exists (Filename.concat path pages_file)) then
-    Error (Printf.sprintf "no store at %s: missing %s" path pages_file)
+    Error (Error.io (Printf.sprintf "no store at %s: missing %s" path pages_file))
   else begin
     let pages, walf = open_files io ~path ~create:false in
     let wal = Wal.attach walf in
@@ -432,29 +541,74 @@ let open_ ?(io = Io.real) ~path () =
       pages.Io.close ();
       walf.Io.close ()
     in
-    (* redo pass first: a committed creation/checkpoint whose page writes
-       never landed is completed here.  Every logged image is a full page
-       (stride bytes), so its file offset is page * image length. *)
+    (* Redo pass first: a committed creation/checkpoint whose page
+       writes never landed is completed here.  Every logged image is a
+       full page (stride bytes), so its file offset is page * image
+       length.  Committed logical mutations are collected for replay
+       on top of the base document — unless a later committed
+       superblock image (a completed checkpoint) rebases them away. *)
+    let mutations = ref [] in
     match
-      Wal.recover wal ~apply:(fun ~page img ->
-          pages.Io.pwrite ~pos:(page * Bytes.length img) img 0 (Bytes.length img))
+      Wal.recover wal
+        ~apply:(fun ~page img ->
+          pages.Io.pwrite ~pos:(page * Bytes.length img) img 0 (Bytes.length img);
+          if page = 0 then mutations := [])
+        ~apply_mutation:(fun payload -> mutations := Bytes.to_string payload :: !mutations)
     with
     | exception e ->
       cleanup ();
-      Error (Printf.sprintf "WAL recovery failed: %s" (Printexc.to_string e))
+      Error (Error.recovery (Printf.sprintf "WAL recovery failed: %s" (Printexc.to_string e)))
     | recovery ->
       if recovery.Wal.replayed_pages > 0 then pages.Io.fsync ();
-      Wal.truncate wal;
-      let t0 =
+      let pending_payloads = List.rev !mutations in
+      (* a log with pending mutations must survive the next crash; a
+         clean one resets to its bare header *)
+      if pending_payloads = [] then Wal.truncate wal
+      else Wal.trim wal ~pos:recovery.Wal.committed_end;
+      let t =
         make_handle io ~path ~pages ~walf ~wal
           ~geo:(geometry ~page_ints:min_page_ints ~n_nodes:1 ~height:0 ~meta_bytes:0)
           ~recovery
       in
-      (match read_superblock t0 with
+      (match read_superblock t with
       | Error e ->
         cleanup ();
         Error e
-      | Ok geo -> Ok { t0 with geo })
+      | Ok geo ->
+        t.geo <- geo;
+        if pending_payloads = [] then Ok t
+        else begin
+          (* replay the logical mutations on the base rendition *)
+          match
+            List.fold_left
+              (fun acc payload ->
+                match acc with
+                | Error _ as e -> e
+                | Ok (d, ops) -> (
+                  match Update.decode payload with
+                  | Error e ->
+                    Error (Error.recovery (Printf.sprintf "undecodable mutation record: %s" e))
+                  | Ok op -> (
+                    match Update.apply d op with
+                    | Error e ->
+                      Error
+                        (Error.recovery
+                           (Printf.sprintf "logged mutation no longer applies (%s): %s"
+                              (Update.op_to_string op) (Error.to_string e)))
+                    | Ok applied -> Ok (applied.Update.doc, op :: ops))))
+              (match materialize_base t with
+              | d -> Ok (d, [])
+              | exception Corrupt msg -> Error (Error.corrupt msg))
+              pending_payloads
+          with
+          | Error e ->
+            cleanup ();
+            Error e
+          | Ok (d, rev_ops) ->
+            t.doc <- Some d;
+            t.pending <- List.rev rev_ops;
+            Ok t
+        end)
   end
 
 let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
@@ -479,9 +633,11 @@ let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
       (* clean slate: a retried creation after a crash starts over *)
       pages.Io.truncate 0;
       Wal.truncate wal;
-      let txns = creation_transactions g doc meta in
-      (* 1. log everything, one transaction per extent; each commit is an
-         fsync barrier *)
+      (* one transaction per extent; each commit is an fsync barrier.
+         The superblock goes last: it commits creation — until it is
+         durable, open_ refuses the store as incomplete. *)
+      let txns = List.mapi (fun i iter -> (i + 1, iter)) (store_image_iters g doc meta) in
+      (* 1. log everything *)
       List.iter
         (fun (txid, iter) ->
           Wal.begin_ wal ~txid;
@@ -495,6 +651,7 @@ let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
       pages.Io.fsync ();
       (* 3. checkpoint: the log has done its job *)
       Wal.truncate wal);
-  match open_ ~io ~path () with
+  match open_ ~io path with
   | Ok t -> t
-  | Error e -> raise (Corrupt (Printf.sprintf "store just created failed to open: %s" e))
+  | Error e ->
+    raise (Corrupt (Printf.sprintf "store just created failed to open: %s" (Error.to_string e)))

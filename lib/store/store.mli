@@ -4,7 +4,7 @@
 
     {v
       pages.scj   [superblock | post | attr_prefix | size | meta]
-      wal.scj     begin / page-image / commit records (see Wal)
+      wal.scj     begin / page-image / mutation / commit records (see Wal)
     v}
 
     Every file page has the same stride — [page_ints * 8] data bytes
@@ -22,17 +22,26 @@
     = fsync barrier), applies the images to the page file, fsyncs it and
     truncates the log — so a crash at {e any} point either leaves a log
     that {!open_} replays to the complete store, or no committed
-    superblock, which {!open_} reports as a clean "store incomplete"
-    error.  Never a half-readable store. *)
+    superblock, which {!open_} reports as a clean {!Scj_error.Error.Incomplete}.
+    Never a half-readable store.
+
+    Writes: {!apply} commits a structural update as a logical WAL record
+    (format version 2); the page file lags behind until {!checkpoint}
+    rewrites it as one atomic image transaction.  On reopen, {!open_}
+    replays pending mutations on top of the base rendition — unless a
+    committed checkpoint's superblock image already folded them in. *)
 
 (** Raised when a checksum, a short read, or an inconsistent recovered
     document proves the store is lying — distinct from the clean
-    [Error _] results of {!open_}, which mean "not a (complete) store".
-    Raised lazily: page faults verify on read, so a corrupt page
-    surfaces when a query first touches it. *)
+    [Error _] results of {!open_}.  Raised lazily: page faults verify on
+    read, so a corrupt page surfaces when a query first touches it. *)
 exception Corrupt of string
 
 type t
+
+(** The page-file name inside a store directory ("pages.scj") — the
+    marker callers probe to detect a store. *)
+val pages_file : string
 
 (** [create ?io ?page_ints ~path doc] builds a store for [doc] at
     directory [path] (created if missing; an existing store there is
@@ -43,37 +52,61 @@ type t
     @raise Corrupt if the just-written store fails its own reopen. *)
 val create : ?io:Io.t -> ?page_ints:int -> path:string -> Scj_encoding.Doc.t -> t
 
-(** [open_ ?io ~path ()] runs WAL recovery (replaying committed
-    transactions, discarding torn tails), truncates the log, then
-    verifies the superblock.  [Error _] carries the torn-tail/incomplete
-    diagnosis; it never invents a document. *)
-val open_ : ?io:Io.t -> path:string -> unit -> (t, string) result
+(** [open_ ?io path] runs WAL recovery (replaying committed page images
+    and collecting committed logical mutations, discarding torn tails),
+    resets or trims the log, verifies the superblock, and replays
+    pending mutations.  Errors: [Io] (no store there), [Incomplete]
+    (creation never committed), [Validation] (unsupported format
+    version), [Corrupt] (the store lies), [Recovery] (the log could not
+    be replayed).  It never invents a document. *)
+val open_ : ?io:Io.t -> string -> (t, Scj_error.Error.t) result
 
 (** What recovery found when this handle was opened. *)
 val last_recovery : t -> Wal.recovery
 
-(** The paged rendition over this store's page file, memoized — one
-    buffer pool per store, shared by all readers (the server's worker
-    domains, the planner catalog).  [stripes] (default 8) and
-    [capacity] (default [max 24 (pool_pages/10)]) apply to the first
-    call only. *)
+(** [apply t op] validates [op] against the current rendition, commits
+    it as a logical WAL transaction (the commit fsync is the durability
+    barrier) and installs the new rendition.  The page file is untouched
+    until {!checkpoint}.  Serialized with every other accessor on the
+    handle's lock: one writer at a time. *)
+val apply : t -> Scj_encoding.Update.op -> (Scj_encoding.Update.applied, Scj_error.Error.t) result
+
+(** Committed mutations not yet folded into the page file. *)
+val pending_mutations : t -> int
+
+(** The paged rendition of the {e current} document, memoized.  On a
+    clean store this is a buffer pool straight over the page file — one
+    pool per store, shared by all readers.  With pending mutations the
+    page file is stale, so the current rendition is paged from an
+    in-memory image instead; each {!apply} drops the memo (readers
+    holding the previous rendition keep it).  [stripes] (default 8) and
+    [capacity] (default [max 24 (pool_pages/10)]) apply per
+    memoization. *)
 val paged : ?stripes:int -> ?capacity:int -> t -> Scj_pager.Paged_doc.t
 
-(** The memoized pool behind {!paged} — its hit/fault stats are real
-    page-file reads. *)
+(** The memoized pool behind {!paged} — on a clean store its hit/fault
+    stats are real page-file reads. *)
 val pool : t -> Scj_pager.Buffer_pool.t
 
-(** Materialize the full in-memory document (post + meta extents, read
-    directly and checksum-verified, {e not} through the buffer pool —
-    pool stats stay pure query traffic).  Memoized.
+(** Materialize the current in-memory document (post + meta extents,
+    read directly and checksum-verified, {e not} through the buffer
+    pool — pool stats stay pure query traffic — plus any pending
+    mutations).  Memoized.
     @raise Corrupt on checksum mismatch or failed validation. *)
 val doc : t -> Scj_encoding.Doc.t
 
 (** Checksum-walk every page of the file.  [Error] carries the first
-    mismatch. *)
-val verify : t -> (unit, string) result
+    mismatch as {!Scj_error.Error.Corrupt}.  Note this checks the
+    durable {e base} rendition; pending mutations live in the WAL. *)
+val verify : t -> (unit, Scj_error.Error.t) result
 
-(** Fsync the page file and truncate the WAL to its bare header. *)
+(** Fold pending mutations into the page file.  Clean store: fsync +
+    reset the log.  Dirty store: the complete current rendition is
+    logged as {e one} WAL transaction (extents then superblock, one
+    commit fsync), applied, fsynced, and the log is reset — crash-safe
+    in every window.  Concurrent readers of the {e file-backed} paged
+    rendition must be quiesced first (the extents move); in-memory
+    renditions held by readers are unaffected. *)
 val checkpoint : t -> unit
 
 val close : t -> unit
@@ -82,6 +115,7 @@ val path : t -> string
 
 val page_ints : t -> int
 
+(** Dimensions of the current rendition (pending mutations included). *)
 val n_nodes : t -> int
 
 val height : t -> int

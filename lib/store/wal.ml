@@ -4,12 +4,14 @@
      [kind:8][txid:8][page:8][len:8][crc:8][payload: len bytes]
 
    (all integers little-endian; kind 1 = begin, 2 = page image with the
-   target file-page index in [page], 3 = commit; the CRC-32 covers the
-   first 32 header bytes plus the payload).  Commit is the durability
-   point: its record is fsynced before the caller touches the page file —
-   redo-only, ARIES style.  Recovery replays the page images of committed
-   transactions in commit order and discards everything from the first
-   torn or corrupt record on, plus any transaction without a commit. *)
+   target file-page index in [page], 3 = commit, 4 = logical mutation
+   with a format-versioned payload; the CRC-32 covers the first 32 header
+   bytes plus the payload).  Commit is the durability point: its record
+   is fsynced before the caller touches the page file — redo-only, ARIES
+   style.  Recovery replays the page images and logical mutations of
+   committed transactions in commit order and discards everything from
+   the first torn or corrupt record on, plus any transaction without a
+   commit. *)
 
 let header_magic = "SCJWAL01"
 
@@ -26,6 +28,8 @@ let kind_begin = 1
 let kind_image = 2
 
 let kind_commit = 3
+
+let kind_mutation = 4
 
 type t = { file : Io.file; mutable pos : int }
 
@@ -52,22 +56,41 @@ let begin_ t ~txid = append t ~kind:kind_begin ~txid ~page:0 Bytes.empty
 
 let page_image t ~txid ~page img = append t ~kind:kind_image ~txid ~page img
 
+let mutation t ~txid payload = append t ~kind:kind_mutation ~txid ~page:0 payload
+
 (* the fsync is the commit barrier: after it returns the transaction's
    redo images are durable *)
 let commit t ~txid =
   append t ~kind:kind_commit ~txid ~page:0 Bytes.empty;
   t.file.Io.fsync ()
 
-type recovery = { committed : int; replayed_pages : int; discarded : string option }
+type recovery = {
+  committed : int;
+  replayed_pages : int;
+  replayed_mutations : int;
+  discarded : string option;
+  committed_end : int;
+}
 
-let clean_recovery = { committed = 0; replayed_pages = 0; discarded = None }
+let clean_recovery =
+  {
+    committed = 0;
+    replayed_pages = 0;
+    replayed_mutations = 0;
+    discarded = None;
+    committed_end = header_bytes;
+  }
 
-let recover t ~apply =
+(* buffered record of an in-flight transaction *)
+type pending = Image of int * Bytes.t | Mutation of Bytes.t
+
+let recover ?(apply_mutation = fun _ -> ()) t ~apply =
   let size = t.file.Io.size () in
-  let committed = ref 0 and replayed = ref 0 in
+  let committed = ref 0 and replayed = ref 0 and replayed_mut = ref 0 in
+  let committed_end = ref header_bytes in
   let discarded = ref None in
-  let in_flight : (int, (int * Bytes.t) list ref) Hashtbl.t = Hashtbl.create 8 in
-  if size = 0 then ()
+  let in_flight : (int, pending list ref) Hashtbl.t = Hashtbl.create 8 in
+  if size = 0 then committed_end := 0
   else begin
     let hdr = Bytes.create header_bytes in
     let hlen = t.file.Io.pread ~pos:0 hdr 0 header_bytes in
@@ -91,7 +114,7 @@ let recover t ~apply =
           and page = get_int h 16
           and len = get_int h 24
           and crc = get_int h 32 in
-          if kind < kind_begin || kind > kind_commit || len < 0 || len > max_payload || page < 0
+          if kind < kind_begin || kind > kind_mutation || len < 0 || len > max_payload || page < 0
           then begin
             discarded :=
               Some (Printf.sprintf "corrupt record at WAL offset %d; tail discarded" !pos);
@@ -117,17 +140,23 @@ let recover t ~apply =
               (if kind = kind_begin then Hashtbl.replace in_flight txid (ref [])
                else
                  match Hashtbl.find_opt in_flight txid with
-                 | Some images ->
-                   if kind = kind_image then images := (page, payload) :: !images
+                 | Some records ->
+                   if kind = kind_image then records := Image (page, payload) :: !records
+                   else if kind = kind_mutation then records := Mutation payload :: !records
                    else begin
-                     (* commit: replay this transaction's images in order *)
+                     (* commit: replay this transaction's records in order *)
                      List.iter
-                       (fun (page, img) ->
-                         apply ~page img;
-                         incr replayed)
-                       (List.rev !images);
+                       (function
+                         | Image (page, img) ->
+                           apply ~page img;
+                           incr replayed
+                         | Mutation payload ->
+                           apply_mutation payload;
+                           incr replayed_mut)
+                       (List.rev !records);
                      Hashtbl.remove in_flight txid;
-                     incr committed
+                     incr committed;
+                     committed_end := !pos + record_header_bytes + len
                    end
                  | None ->
                    discarded :=
@@ -146,7 +175,13 @@ let recover t ~apply =
         discarded := Some (Printf.sprintf "%d uncommitted transaction(s) discarded" uncommitted)
     end
   end;
-  { committed = !committed; replayed_pages = !replayed; discarded = !discarded }
+  {
+    committed = !committed;
+    replayed_pages = !replayed;
+    replayed_mutations = !replayed_mut;
+    discarded = !discarded;
+    committed_end = !committed_end;
+  }
 
 (* checkpoint: everything the log protected has been applied and fsynced
    to the page file, so reset the log to its bare header *)
@@ -155,3 +190,16 @@ let truncate t =
   t.file.Io.pwrite ~pos:0 (Bytes.of_string header_magic) 0 header_bytes;
   t.file.Io.fsync ();
   t.pos <- header_bytes
+
+(* trim to the end of the last committed transaction: keeps the records
+   recovery accepted (a store with pending logical mutations must keep
+   its log) while dropping a torn tail so fresh appends extend a valid
+   prefix *)
+let trim t ~pos =
+  let pos = max pos header_bytes in
+  if pos = header_bytes then truncate t
+  else begin
+    t.file.Io.truncate pos;
+    t.file.Io.fsync ();
+    t.pos <- pos
+  end

@@ -6,18 +6,19 @@
     {v [kind:8][txid:8][page:8][len:8][crc:8][payload: len bytes] v}
 
     with kinds [1 = begin], [2 = page image] (target file-page index in
-    [page]), [3 = commit].  {!commit} fsyncs — the durability barrier:
-    page-file writes happen only after the covering transaction's commit
-    record is on disk, so {!recover} can always redo them.  Recovery
-    replays committed transactions in commit order and discards the tail
-    from the first torn or corrupt record, plus any uncommitted
-    transaction. *)
+    [page]), [3 = commit], [4 = logical mutation] (format-versioned
+    payload, see [Scj_encoding.Update.encode]).  {!commit} fsyncs — the
+    durability barrier: page-file writes happen only after the covering
+    transaction's commit record is on disk, so {!recover} can always
+    redo them.  Recovery replays committed transactions in commit order
+    and discards the tail from the first torn or corrupt record, plus
+    any uncommitted transaction. *)
 
 type t
 
 (** Attach to an open log file; appends go at the current end.  Call
-    {!truncate} (fresh store) or {!recover} + {!truncate} (reopen)
-    before appending. *)
+    {!truncate} (fresh store) or {!recover} + {!truncate}/{!trim}
+    (reopen) before appending. *)
 val attach : Io.file -> t
 
 val begin_ : t -> txid:int -> unit
@@ -27,6 +28,13 @@ val begin_ : t -> txid:int -> unit
     file will hold). *)
 val page_image : t -> txid:int -> page:int -> Bytes.t -> unit
 
+(** [mutation t ~txid payload] logs a logical mutation record — a
+    structural update expressed against the document encoding rather
+    than as page images.  Replayed (in order, interleaved with page
+    images of the same transaction) at {!recover} via
+    [apply_mutation]. *)
+val mutation : t -> txid:int -> Bytes.t -> unit
+
 (** Append the commit record and fsync — after return the transaction is
     durable. *)
 val commit : t -> txid:int -> unit
@@ -34,20 +42,35 @@ val commit : t -> txid:int -> unit
 type recovery = {
   committed : int;  (** transactions replayed *)
   replayed_pages : int;  (** page images written back *)
+  replayed_mutations : int;  (** logical mutation records replayed *)
   discarded : string option;
       (** diagnosis when a torn/corrupt tail or uncommitted transaction
           was discarded; [None] for a clean log *)
+  committed_end : int;
+      (** file offset one past the last committed transaction's commit
+          record — the position {!trim} should cut at to keep exactly
+          the accepted prefix *)
 }
 
 val clean_recovery : recovery
 
 (** [recover t ~apply] scans the log, calling [apply ~page img] for each
-    page image of each committed transaction, in commit order.  Never
-    raises on a corrupt log — corruption terminates the scan and is
-    reported in [discarded].  Caller must fsync the applied pages and
-    then {!truncate}. *)
-val recover : t -> apply:(page:int -> Bytes.t -> unit) -> recovery
+    page image and [apply_mutation payload] for each logical mutation of
+    each committed transaction, in commit order (records of one
+    transaction replay in append order).  Never raises on a corrupt
+    log — corruption terminates the scan and is reported in
+    [discarded].  Caller must fsync the applied pages and then
+    {!truncate} (no mutations outstanding) or {!trim} (mutations must
+    stay logged until the next checkpoint). *)
+val recover :
+  ?apply_mutation:(Bytes.t -> unit) -> t -> apply:(page:int -> Bytes.t -> unit) -> recovery
 
 (** Reset the log to its bare header and fsync — the checkpoint
     operation, valid once the protected pages are durably applied. *)
 val truncate : t -> unit
+
+(** [trim t ~pos] truncates the log to [pos] (clamped to the header) and
+    fsyncs: drops a torn tail and uncommitted transactions while keeping
+    the committed prefix — used on reopen when logical mutations are
+    still pending, so they survive the next crash too. *)
+val trim : t -> pos:int -> unit

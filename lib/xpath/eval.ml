@@ -543,9 +543,25 @@ let analyze ?context session (p : Ast.path) =
 let run ?exec ?context session input =
   match Parse.query input with
   | Ok q -> Ok (eval_query ?exec ?context session q)
-  | Error _ as e -> e
+  | Error e -> Error (Scj_error.Error.Parse e)
 
 let run_exn ?exec ?context session input =
   match run ?exec ?context session input with
   | Ok r -> r
-  | Error e -> invalid_arg ("Eval.run_exn: " ^ e)
+  | Error e -> invalid_arg ("Eval.run_exn: " ^ Scj_error.Error.to_string e)
+
+(* Carrying a session across a mutation: the catalog evolves (statistics
+   patched, B+-tree index spliced — see Planner.evolve) and the plan
+   cache drops, because cached physical plans hold predicate closures
+   over the retired rendition.  The old session must not run queries
+   afterwards — its catalog's index now describes the new rendition. *)
+let evolve ?paged session (applied : Scj_encoding.Update.applied) =
+  let doc = applied.Scj_encoding.Update.doc in
+  {
+    doc;
+    strategy = session.strategy;
+    catalog =
+      Planner.evolve ?paged session.catalog ~doc ~splice:applied.Scj_encoding.Update.splice
+        ~delta:applied.Scj_encoding.Update.delta;
+    plans = Hashtbl.create 16;
+  }

@@ -57,6 +57,16 @@ val doc_of_session : session -> Doc.t
 (** The planner catalog behind the session, for direct planner access. *)
 val catalog_of_session : session -> Planner.t
 
+(** [evolve ?paged session applied] carries the session across a
+    mutation: the catalog evolves incrementally ({!Planner.evolve} —
+    statistics patched, B+-tree index spliced, views dropped for lazy
+    rebuild) and the plan cache is discarded (cached plans close over the
+    retired rendition).  [paged] attaches the new rendition's pool.
+    Ownership transfer: the old session must not run queries after
+    [evolve] — under snapshot isolation each reader evolves its own
+    session when it adopts the new rendition. *)
+val evolve : ?paged:Scj_pager.Paged_doc.t -> session -> Scj_encoding.Update.applied -> session
+
 (** [step ?exec session context s] evaluates one axis step (node test and
     predicates included) through the planner.  The {!Scj_trace.Exec.t}
     carries the work counters and the optional tracer; when tracing is
@@ -76,13 +86,14 @@ val eval_path :
 val eval_query :
   ?exec:Scj_trace.Exec.t -> ?context:Nodeseq.t -> session -> Ast.query -> Nodeseq.t
 
-(** [run ?exec ?context session input] parses and evaluates [input]. *)
+(** [run ?exec ?context session input] parses and evaluates [input].
+    Syntax errors come back as {!Scj_error.Error.Parse}. *)
 val run :
   ?exec:Scj_trace.Exec.t ->
   ?context:Nodeseq.t ->
   session ->
   string ->
-  (Nodeseq.t, string) result
+  (Nodeseq.t, Scj_error.Error.t) result
 
 (** [run_exn session input] is {!run}, raising [Invalid_argument] on a
     syntax error. *)

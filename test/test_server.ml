@@ -20,7 +20,21 @@ module Eval = Scj_xpath.Eval
 module Paged_doc = Scj_pager.Paged_doc
 module Buffer_pool = Scj_pager.Buffer_pool
 module Server = Scj_server.Server
+module Db = Scj_db.Db
+module Err = Scj_error.Error
 module Fuzz = Test_support.Fuzz
+
+(* a service over [doc] reading through [paged] (the epoch-0 rendition) *)
+let server_over ?workers ?queue_bound ?deadline doc paged =
+  let db = Db.of_doc doc in
+  Db.attach_paged db paged;
+  Server.create ?workers ?queue_bound ?deadline db
+
+let submit_exn server q =
+  match Server.submit server q with
+  | Server.Accepted h -> Some h
+  | Server.Overloaded -> None
+  | Server.Stopped -> Alcotest.fail "submit answered Stopped on a live service"
 
 let check_int = Alcotest.(check int)
 
@@ -36,6 +50,7 @@ let serial_eval doc paged q =
     | Server.Path src -> Eval.run_exn ~exec (Eval.session doc) src
     | Server.Step (`Desc, ctx) -> Paged_doc.desc ~exec paged ctx
     | Server.Step (`Anc, ctx) -> Paged_doc.anc ~exec paged ctx
+    | Server.Write _ -> Alcotest.fail "serial oracle cannot run writes"
   in
   (result, stats)
 
@@ -70,13 +85,14 @@ let test_concurrent_matches_serial () =
   let paged =
     Paged_doc.load ~page_ints:8 ~stripes:4 ~capacity:16 ~fault_latency:0.0001 doc
   in
-  let server = Server.create ~workers:4 ~queue_bound:n_queries ~paged doc in
+  let server = server_over ~workers:4 ~queue_bound:n_queries doc paged in
   let handles =
     List.map
       (fun q ->
         match Server.submit server q with
-        | Some h -> h
-        | None -> Alcotest.fail "submit refused below the queue bound")
+        | Server.Accepted h -> h
+        | Server.Overloaded | Server.Stopped ->
+          Alcotest.fail "submit refused below the queue bound")
       queries
   in
   let outcomes = List.map Server.await handles in
@@ -93,7 +109,7 @@ let test_concurrent_matches_serial () =
           (Stats.all_assoc exp_stats)
           (Stats.all_assoc r.Server.work)
       | Server.Timed_out -> Alcotest.failf "query %d timed out" i
-      | Server.Failed msg -> Alcotest.failf "query %d failed: %s" i msg
+      | Server.Failed e -> Alcotest.failf "query %d failed: %s" i (Err.to_string e)
       | Server.Dropped -> Alcotest.failf "query %d dropped" i)
     (List.combine outcomes expected);
   let stats = Server.stats server in
@@ -108,8 +124,10 @@ let test_concurrent_matches_serial () =
   Server.shutdown server;
   (* shutdown is idempotent and submissions are refused afterwards *)
   Server.shutdown server;
-  check_bool "submit after shutdown refused" true
-    (Server.submit server (List.hd mix) = None)
+  (match Server.submit server (List.hd mix) with
+  | Server.Stopped -> ()
+  | Server.Accepted _ -> Alcotest.fail "submit accepted after shutdown"
+  | Server.Overloaded -> Alcotest.fail "shutdown misreported as backpressure")
 
 (* ------------------------------------------------------------------ *)
 (* deadlines: overrunning queries abort without poisoning the pool      *)
@@ -121,12 +139,12 @@ let test_timeout_does_not_poison_pool () =
   (* slow simulated disk: 5ms per fault, tiny pages, so any real scan
      overruns a microsecond deadline by orders of magnitude *)
   let paged = Paged_doc.load ~page_ints:4 ~capacity:8 ~fault_latency:0.005 doc in
-  let server = Server.create ~workers:2 ~paged doc in
+  let server = server_over ~workers:2 doc paged in
   let all = Nodeseq.of_unsorted (List.init n Fun.id) in
   (match Server.run ~deadline:1e-6 server (Server.Step (`Desc, all)) with
   | Server.Timed_out -> ()
   | Server.Done _ -> Alcotest.fail "expected a timeout, query completed"
-  | Server.Failed msg -> Alcotest.failf "expected a timeout, got failure: %s" msg
+  | Server.Failed e -> Alcotest.failf "expected a timeout, got failure: %s" (Err.to_string e)
   | Server.Dropped -> Alcotest.fail "expected a timeout, query dropped" );
   check_int "pins drained after timeout" 0 (Buffer_pool.pinned (Paged_doc.pool paged));
   (* the pool still works: the same query without a deadline succeeds and
@@ -138,7 +156,7 @@ let test_timeout_does_not_poison_pool () =
   | Server.Done r ->
     check_bool "post-timeout query correct" true (Nodeseq.equal expected r.Server.result)
   | Server.Timed_out -> Alcotest.fail "deadline-free query timed out"
-  | Server.Failed msg -> Alcotest.failf "deadline-free query failed: %s" msg
+  | Server.Failed e -> Alcotest.failf "deadline-free query failed: %s" (Err.to_string e)
   | Server.Dropped -> Alcotest.fail "deadline-free query dropped" );
   let stats = Server.stats server in
   check_int "timeout counted" 1 stats.Server.timed_out;
@@ -153,7 +171,7 @@ let test_timeout_does_not_poison_pool () =
 let test_failed_query_is_isolated () =
   let doc = Fuzz.doc Fuzz.Tiny 1 in
   let paged = Paged_doc.load ~page_ints:8 ~capacity:4 doc in
-  let server = Server.create ~workers:1 ~paged doc in
+  let server = server_over ~workers:1 doc paged in
   (match Server.run server (Server.Path "/::!garbage") with
   | Server.Failed _ -> ()
   | Server.Done _ -> Alcotest.fail "garbage query succeeded"
@@ -177,12 +195,12 @@ let test_backpressure_rejects () =
   (* every query faults many 10ms pages: the single worker is busy for
      much longer than it takes to flood the queue *)
   let paged = Paged_doc.load ~page_ints:4 ~capacity:8 ~fault_latency:0.01 doc in
-  let server = Server.create ~workers:1 ~queue_bound:1 ~paged doc in
+  let server = server_over ~workers:1 ~queue_bound:1 doc paged in
   let all = Nodeseq.of_unsorted (List.init n Fun.id) in
   let n_submitted = 8 in
   let handles =
     List.filter_map
-      (fun _ -> Server.submit server (Server.Step (`Desc, all)))
+      (fun _ -> submit_exn server (Server.Step (`Desc, all)))
       (List.init n_submitted Fun.id)
   in
   let accepted = List.length handles in
@@ -192,7 +210,7 @@ let test_backpressure_rejects () =
       match Server.await h with
       | Server.Done _ -> ()
       | Server.Timed_out -> Alcotest.fail "accepted query timed out"
-      | Server.Failed msg -> Alcotest.failf "accepted query failed: %s" msg
+      | Server.Failed e -> Alcotest.failf "accepted query failed: %s" (Err.to_string e)
       | Server.Dropped -> Alcotest.fail "accepted query dropped")
     handles;
   let stats = Server.stats server in
@@ -214,9 +232,9 @@ let test_shutdown_drains_or_drops () =
   let all = Nodeseq.of_unsorted (List.init n Fun.id) in
   let submit_slow_batch () =
     let paged = Paged_doc.load ~page_ints:4 ~capacity:8 ~fault_latency:0.01 doc in
-    let server = Server.create ~workers:1 ~queue_bound:16 ~paged doc in
+    let server = server_over ~workers:1 ~queue_bound:16 doc paged in
     let handles =
-      List.filter_map (fun _ -> Server.submit server (Server.Step (`Desc, all))) (List.init 6 Fun.id)
+      List.filter_map (fun _ -> submit_exn server (Server.Step (`Desc, all))) (List.init 6 Fun.id)
     in
     check_int "all accepted below the bound" 6 (List.length handles);
     (server, handles)
@@ -248,6 +266,146 @@ let test_shutdown_drains_or_drops () =
   let hits, faults, _ = Server.pool_stats server in
   check_int "tally invariant survives drops (hits)" stats.Server.tally_hits hits;
   check_int "tally invariant survives drops (faults)" stats.Server.tally_misses faults
+
+(* ------------------------------------------------------------------ *)
+(* snapshot isolation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Update = Scj_encoding.Update
+module Tree = Scj_xml.Tree
+
+let fragment = Tree.elem "hot" [ Tree.elem "entry" [] ]
+
+(* one serialized writer transaction: insert <hot><entry/></hot> under
+   the root (-> epoch 3t+1), rename it to warm (-> 3t+2), delete it
+   (-> 3t+3); returns the spliced pre *)
+let writer_triple server =
+  let root = 0 in
+  match
+    Server.run server
+      (Server.Write { op = Update.Insert { parent = root; before = None; fragment }; expect = None })
+  with
+  | Server.Done r when Nodeseq.length r.Server.result = 1 ->
+    let pre = Nodeseq.get r.Server.result 0 in
+    (match
+       Server.run server (Server.Write { op = Update.Rename { pre; name = "warm" }; expect = None })
+     with
+    | Server.Done _ -> ()
+    | _ -> Alcotest.fail "rename write failed");
+    (match Server.run server (Server.Write { op = Update.Delete { pre }; expect = None }) with
+    | Server.Done _ -> ()
+    | _ -> Alcotest.fail "delete write failed")
+  | _ -> Alcotest.fail "insert write failed"
+
+(* Readers pinned to any rendition must see a document that is exactly
+   one committed state: the reply's epoch determines the answer to
+   //hot, //warm and //entry completely.  A reader that observed a
+   partially renumbered rendition would break this bijection (or crash
+   the staircase on an Equation-(1) violation). *)
+let test_snapshot_isolation () =
+  let doc = Fuzz.doc Fuzz.Uniform 13 in
+  let paged = Paged_doc.load ~page_ints:8 ~capacity:16 ~fault_latency:0.0002 doc in
+  let server = server_over ~workers:4 ~queue_bound:1024 doc paged in
+  let reader_queries =
+    [ "/descendant::hot"; "/descendant::warm"; "/descendant::entry"; "/descendant::a" ]
+  in
+  let base_a = Nodeseq.length (Eval.run_exn (Eval.session doc) "/descendant::a") in
+  let handles = ref [] in
+  let triples = 5 in
+  for _ = 1 to triples do
+    (* a burst of readers racing the writer's next transaction *)
+    List.iter
+      (fun q ->
+        match submit_exn server (Server.Path q) with
+        | Some h -> handles := (q, h) :: !handles
+        | None -> Alcotest.fail "reader rejected below the bound")
+      (List.concat (List.init 3 (fun _ -> reader_queries)));
+    writer_triple server
+  done;
+  List.iter
+    (fun (q, h) ->
+      match Server.await h with
+      | Server.Done r ->
+        let n = Nodeseq.length r.Server.result in
+        let expect =
+          match (q, r.Server.epoch mod 3) with
+          | "/descendant::hot", 1 -> 1
+          | "/descendant::hot", _ -> 0
+          | "/descendant::warm", 2 -> 1
+          | "/descendant::warm", _ -> 0
+          | "/descendant::entry", (1 | 2) -> 1
+          | "/descendant::entry", _ -> 0
+          | _ -> base_a
+        in
+        if n <> expect then
+          Alcotest.failf "reader of %s pinned to epoch %d saw %d node(s), wanted %d" q
+            r.Server.epoch n expect
+      | Server.Timed_out -> Alcotest.fail "reader timed out"
+      | Server.Failed e -> Alcotest.failf "reader failed: %s" (Err.to_string e)
+      | Server.Dropped -> Alcotest.fail "reader dropped")
+    (List.rev !handles);
+  let stats = Server.stats server in
+  check_int "every write committed" (3 * triples) stats.Server.commits;
+  check_int "epoch = commits" (3 * triples) stats.Server.epoch;
+  check_int "epoch accessor agrees" (3 * triples) (Server.epoch server);
+  Server.shutdown server
+
+(* Optimistic concurrency: [expect] is compare-and-swap on the epoch;
+   invalid updates fail without committing; worker sessions survive
+   arbitrarily long commit chains (past the incremental-evolution
+   bound). *)
+let test_write_conflicts () =
+  let doc = Fuzz.doc Fuzz.Uniform 17 in
+  let paged = Paged_doc.load ~page_ints:8 ~capacity:16 doc in
+  let server = server_over ~workers:2 doc paged in
+  (* a write conditioned on the current epoch commits *)
+  (match
+     Server.run server
+       (Server.Write
+          { op = Update.Insert { parent = 0; before = None; fragment }; expect = Some 0 })
+   with
+  | Server.Done r ->
+    check_int "first commit is epoch 1" 1 r.Server.epoch;
+    check_int "insert reply is the spliced root" 1 (Nodeseq.length r.Server.result)
+  | _ -> Alcotest.fail "conditional write at the right epoch failed");
+  (* the same expectation now conflicts — and commits nothing *)
+  (match
+     Server.run server
+       (Server.Write
+          { op = Update.Insert { parent = 0; before = None; fragment }; expect = Some 0 })
+   with
+  | Server.Failed (Err.Conflict { expected = 0; actual = 1 }) -> ()
+  | Server.Failed e -> Alcotest.failf "wrong failure: %s" (Err.to_string e)
+  | _ -> Alcotest.fail "stale conditional write did not conflict");
+  (* an invalid update fails cleanly without moving the epoch *)
+  (match Server.run server (Server.Write { op = Update.Delete { pre = 0 }; expect = None }) with
+  | Server.Failed (Err.Validation _) -> ()
+  | _ -> Alcotest.fail "deleting the root through the server was accepted");
+  check_int "failed writes did not commit" 1 (Server.epoch server);
+  (* long commit chains: far past the incremental session-evolution
+     bound, readers must still answer from the latest rendition *)
+  for _ = 1 to 12 do
+    writer_triple server
+  done;
+  (match Server.run server (Server.Path "/descendant::hot") with
+  | Server.Done r ->
+    check_int "late reader epoch" (1 + 36) r.Server.epoch;
+    (* the epoch-1 insert is still there; every triple cleaned up after
+       itself *)
+    check_int "one hot fragment left" 1 (Nodeseq.length r.Server.result)
+  | _ -> Alcotest.fail "reader after long commit chain failed");
+  let stats = Server.stats server in
+  check_int "commit count" 37 stats.Server.commits;
+  check_int "failures counted" 2 stats.Server.failed;
+  Server.shutdown server;
+  (* writes after shutdown answer Stopped, distinct from Overloaded *)
+  match
+    Server.submit server
+      (Server.Write { op = Update.Rename { pre = 0; name = "r" }; expect = None })
+  with
+  | Server.Stopped -> ()
+  | Server.Accepted _ -> Alcotest.fail "write accepted after shutdown"
+  | Server.Overloaded -> Alcotest.fail "shutdown misreported as backpressure"
 
 (* ------------------------------------------------------------------ *)
 (* latency histogram                                                    *)
@@ -307,6 +465,10 @@ let () =
           Alcotest.test_case "shutdown drains or drops" `Quick test_shutdown_drains_or_drops;
           Alcotest.test_case "backpressure rejects beyond the bound" `Quick
             test_backpressure_rejects;
+          Alcotest.test_case "snapshot isolation under concurrent commits" `Quick
+            test_snapshot_isolation;
+          Alcotest.test_case "write conflicts, invalid writes, long chains" `Quick
+            test_write_conflicts;
         ] );
       ( "histogram",
         [
