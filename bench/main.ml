@@ -20,6 +20,7 @@
      §5           -> baselines   nodes touched: scj vs MPMGJN/structural/SQL
      (ablation)   -> ablation    skip modes x pushdown policies
      §3.2/§6      -> parallel    partition-parallel staircase join
+     (morsel)     -> morsel      morsel scheduler vs serial/parallel, 1-8 workers
 
    Absolute numbers differ from the paper (OCaml in a container vs. tuned
    C in MonetDB on a 2003 Xeon); the reproduced claims are the *shapes*:
@@ -42,6 +43,7 @@ module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
 module Fragmented = Scj_frag.Fragmented
 module Parallel = Scj_frag.Parallel
+module Morsel = Scj_frag.Morsel
 
 (* ------------------------------------------------------------------ *)
 (* measurement helpers (bechamel)                                       *)
@@ -471,6 +473,92 @@ let copykernel () =
   print_endline
     "(the copy phase is comparison-free -- Equation (1) turns it into bulk range fills;\n\
     \ parallel rows pay one Domain.spawn per worker per run, which dominates at small scales)"
+
+(* ------------------------------------------------------------------ *)
+(* morsel-driven execution: shared pool vs per-step domain spawns       *)
+(* ------------------------------------------------------------------ *)
+
+(* The morsel scheduler against the serial blit join and the per-step
+   Parallel join at 1/2/4/8 workers over the multi-partition Q1 profile
+   context.  Parity gate: at a morsel size small enough that every
+   partition splits into many chunks, results and counters must stay
+   bit-identical to the per-node Reference oracle for all four skip
+   modes.  The speedup annotations are achieved/required ratios (>= 1.0
+   means the target holds): at 4 workers on a host that really has >= 4
+   cores they are emitted as gated speedup_floor_* keys (morsel >= 2x
+   serial, morsel >= parallel); on smaller hosts the same ratios go out
+   as informational speedup_info_* keys, because a single-core container
+   cannot exhibit CPU parallelism at all. *)
+let morsel_bench () =
+  header "morsel-driven staircase join (Q1 step 2, estimation): serial vs parallel vs morsel";
+  let scale = List.fold_left max 0.0 (scales ()) in
+  let doc = doc_at scale in
+  let _, profiles = q1_contexts doc in
+  let parity =
+    List.for_all
+      (fun mode ->
+        let s_mor = Stats.create () and s_ref = Stats.create () in
+        let r_mor =
+          Morsel.desc ~morsel_size:512
+            ~exec:(Exec.make ~mode ~stats:s_mor ~domains:4 ())
+            doc profiles
+        in
+        let r_ref = Sj.Reference.desc ~exec:(Exec.make ~mode ~stats:s_ref ()) doc profiles in
+        Nodeseq.equal r_mor r_ref && Stats.all_assoc s_mor = Stats.all_assoc s_ref)
+      [ Sj.No_skipping; Sj.Skipping; Sj.Estimation; Sj.Exact_size ]
+  in
+  Trace.annot !tracer "counter_parity" (string_of_bool parity);
+  let ctx_stats = Stats.create () in
+  let (_ : Nodeseq.t) =
+    Sj.desc ~exec:(Exec.make ~mode:Sj.Estimation ~stats:ctx_stats ()) doc profiles
+  in
+  let work = ctx_stats.Stats.copied + ctx_stats.Stats.scanned in
+  Printf.printf "%14s %12s %12s %12s\n" "impl" "time[ms]" "Mnodes/s" "speedup";
+  let line name ns base_ns =
+    let mnps = float_of_int work /. (ns /. 1e9) /. 1e6 in
+    Printf.printf "%14s %12.3f %12.1f %11.2fx\n" name (ms_of_ns ns) mnps (base_ns /. ns)
+  in
+  let serial_ns =
+    measure_ns ~name:"serial" (fun () ->
+        ignore (Sj.desc ~exec:(bench_exec ~mode:Sj.Estimation ()) doc profiles))
+  in
+  line "serial" serial_ns serial_ns;
+  let cores = Domain.recommended_domain_count () in
+  List.iter
+    (fun workers ->
+      let par_ns =
+        measure_ns
+          ~name:(Printf.sprintf "parallel%d" workers)
+          (fun () ->
+            ignore
+              (Parallel.desc ~exec:(bench_exec ~mode:Sj.Estimation ~domains:workers ()) doc
+                 profiles))
+      in
+      line (Printf.sprintf "parallel %dw" workers) par_ns serial_ns;
+      let mor_ns =
+        measure_ns
+          ~name:(Printf.sprintf "morsel%d" workers)
+          (fun () ->
+            ignore
+              (Morsel.desc ~exec:(bench_exec ~mode:Sj.Estimation ~domains:workers ()) doc
+                 profiles))
+      in
+      line (Printf.sprintf "morsel %dw" workers) mor_ns serial_ns;
+      let vs_serial = serial_ns /. mor_ns /. 2.0 in
+      let vs_parallel = par_ns /. mor_ns in
+      let tag = if workers = 4 && cores >= 4 then "floor" else "info" in
+      Trace.annot !tracer
+        (Printf.sprintf "speedup_%s_morsel2x_serial_w%d" tag workers)
+        (Printf.sprintf "%.3f" vs_serial);
+      Trace.annot !tracer
+        (Printf.sprintf "speedup_%s_morsel_vs_parallel_w%d" tag workers)
+        (Printf.sprintf "%.3f" vs_parallel))
+    [ 1; 2; 4; 8 ];
+  Printf.printf "counter parity vs per-node reference (all skip modes, morsel_size=512): %b\n"
+    parity;
+  print_endline
+    "(one pool batch per join vs one Domain.spawn per worker per step; the speedup_*\n\
+    \ annotations are achieved/required ratios -- bench-diff gates the floor keys)"
 
 (* ------------------------------------------------------------------ *)
 (* §5: nodes touched, staircase vs. related joins                       *)
@@ -1046,6 +1134,7 @@ let experiments =
     ("planner", planner_bench);
     ("ablation", ablation);
     ("parallel", parallel);
+    ("morsel", morsel_bench);
     ("disk", disk);
     ("workload", workload);
     ("store", store_bench);
@@ -1055,8 +1144,8 @@ let experiments =
 (* quick non-bechamel subset, used as a CI smoke test *)
 let smoke_experiments =
   [
-    "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "workload"; "store";
-    "mutate";
+    "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "morsel"; "workload";
+    "store"; "mutate";
   ]
 
 let () =

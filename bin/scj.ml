@@ -740,7 +740,12 @@ let serve_cmd =
                 page faults are real checksum-verified reads.")
   in
   let workers =
-    Arg.(value & opt int 0 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains (0 = auto).")
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains (0 = auto: \\$(b,SCJ_DOMAINS) or the hardware count, capped at 8). \
+             Clamped to what the hardware supports.")
   in
   let deadline_ms =
     Arg.(
@@ -764,7 +769,9 @@ let serve_cmd =
     | Ok db ->
       let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
       let server =
-        Server.create ?workers:(if workers > 0 then Some workers else None) ?deadline db
+        Server.create
+          ?workers:(if workers > 0 then Some (Exec.clamp_domains workers) else None)
+          ?deadline db
       in
       Printf.eprintf
         "scj serve: %d nodes (%s), %d worker domain(s); one XPath query per line, '\\stats' for \
@@ -834,6 +841,15 @@ let workload_cmd =
       & opt (some float) None
       & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Fix the service's worker-domain count for every row (0 = one worker per client). \
+             Clamped to what the hardware supports; the client counts then only vary the \
+             submission pressure.")
+  in
   let json =
     Arg.(
       value & flag
@@ -852,7 +868,7 @@ let workload_cmd =
              commit bumps the epoch.  Each triple nets zero nodes, so the document ends \
              structurally unchanged (a store accumulates the WAL records).")
   in
-  let run input clients rounds fault_us capacity deadline_ms mutate json =
+  let run input clients rounds fault_us capacity deadline_ms workers_flag mutate json =
     match load_db input with
     | Error e ->
       prerr_endline e;
@@ -942,7 +958,12 @@ let workload_cmd =
       List.iter
         (fun workers ->
           let db = fresh_db () in
-          let server = Server.create ~workers ~queue_bound:(n_queries + 1) ?deadline db in
+          let domains =
+            if workers_flag > 0 then Exec.clamp_domains workers_flag else workers
+          in
+          let server =
+            Server.create ~workers:domains ~queue_bound:(n_queries + 1) ?deadline db
+          in
           let paged = Db.paged db in
           let t0 = Unix.gettimeofday () in
           (* submit the mix round by round; with --mutate one writer
@@ -1007,7 +1028,9 @@ let workload_cmd =
          "Replay a mixed read workload (paged staircase steps + XPath) through the query \
           service at increasing client-domain counts, reporting throughput scaling and \
           buffer-pool hit rates.")
-    Term.(const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ mutate $ json)
+    Term.(
+      const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ workers_arg
+      $ mutate $ json)
 
 let () =
   let open Cmdliner in

@@ -3,9 +3,17 @@
     This is the workhorse of the Monet-style storage layer: the [doc] table
     holding the pre/post XML encoding is a handful of these columns, and
     staircase join's inner loops are sequential scans over them.  All
-    accessors are O(1); [append] is amortized O(1). *)
+    accessors are O(1); [append] is amortized O(1).
+
+    The payload is a [Bigarray.Array1] of native ints: unboxed, outside the
+    OCaml heap (never scanned or moved by the GC, so read-only sharing
+    across worker domains is safe), with column-to-column bulk moves
+    compiled down to [memcpy]. *)
 
 type t
+
+(** The unboxed backing store. *)
+type buffer = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 (** [create ?capacity ()] makes an empty column.  [capacity] pre-allocates
     room for that many values (default 16). *)
@@ -26,6 +34,10 @@ val unsafe_get : t -> int -> int
     [i] is out of bounds. *)
 val set : t -> int -> int -> unit
 
+(** [unsafe_set col i v] skips the bounds check; only for verified-hot
+    loops writing inside the live prefix. *)
+val unsafe_set : t -> int -> int -> unit
+
 (** [append col v] adds [v] at the end and returns its index. *)
 val append : t -> int -> int
 
@@ -40,6 +52,11 @@ val reserve : t -> int -> unit
     one blit.  @raise Invalid_argument when the slice is out of bounds. *)
 val append_slice : t -> int array -> pos:int -> len:int -> unit
 
+(** [append_col col src ~pos ~len] appends a slice of another column with
+    one unboxed blit ([memcpy], no intermediate [int array]).
+    @raise Invalid_argument when the slice is out of bounds. *)
+val append_col : t -> t -> pos:int -> len:int -> unit
+
 (** [append_range col ~lo ~hi] appends the consecutive run
     [lo; lo+1; ...; hi] with one fill; no-op when [hi < lo].  This is the
     comparison-free copy-phase primitive: a run of pre ranks materializes
@@ -50,6 +67,11 @@ val append_range : t -> lo:int -> hi:int -> unit
     [dst_pos] with one blit — zero-copy merge of per-worker buffers.
     @raise Invalid_argument when [dst] is too small. *)
 val blit_into : t -> int array -> dst_pos:int -> unit
+
+(** [blit_into_col col dst ~dst_pos] copies the live prefix into the live
+    prefix of another column with one unboxed blit.
+    @raise Invalid_argument when [dst]'s live prefix is too small. *)
+val blit_into_col : t -> t -> dst_pos:int -> unit
 
 (** [last col] is the most recently appended value.
     @raise Invalid_argument on an empty column. *)
@@ -66,9 +88,9 @@ val to_array : t -> int array
 
 val to_list : t -> int list
 
-(** [unsafe_data col] exposes the backing array; indices [>= length col]
-    hold garbage.  Only for read-only hot loops. *)
-val unsafe_data : t -> int array
+(** [unsafe_data col] exposes the unboxed backing store; indices
+    [>= length col] hold garbage.  Only for read-only hot loops. *)
+val unsafe_data : t -> buffer
 
 val iter : (int -> unit) -> t -> unit
 

@@ -1,0 +1,77 @@
+(** Morsel-driven intra-query parallelism for the staircase join.
+
+    A join is split into fixed-size morsels (~16–64K document nodes);
+    worker domains from a shared, persistent pool claim morsels one at a
+    time, so a multi-step plan keeps every core busy end-to-end with no
+    per-step fork/join, and concurrent queries interleave on the same
+    domains.  Each morsel tallies work into a private {!Scj_stats.Stats}
+    whose merge is bit-identical to a serial run (the Σ-tallies counter
+    parity invariant); [Staircase.Reference] remains the oracle. *)
+
+module Pool : sig
+  (** A work pool of OCaml domains shared by queries (which submit
+      batches of morsels) and the server (which submits queries). *)
+  type t
+
+  (** [create ()] makes an empty pool; grow it with {!ensure}. *)
+  val create : ?workers:int -> unit -> t
+
+  (** Current number of worker domains. *)
+  val size : t -> int
+
+  (** [ensure t n] grows the pool to at least [n] worker domains
+      (never shrinks). *)
+  val ensure : t -> int -> unit
+
+  (** [submit t ~width ~n run] executes [run 0 .. run (n-1)], at most
+      [width] domains wide, and returns once all tasks settle.  The
+      submitting domain helps execute the batch, so progress is
+      guaranteed on a zero-worker pool and nested submission from a pool
+      worker cannot deadlock.  If a task raises, the unclaimed remainder
+      is cancelled and the first exception is re-raised here after every
+      in-flight task has finished — worker exceptions are never
+      swallowed. *)
+  val submit : t -> width:int -> n:int -> (int -> unit) -> unit
+
+  (** [async t run] schedules [run] on a pool domain and returns
+      immediately, growing the pool to at least one worker.  [run] must
+      handle its own exceptions. *)
+  val async : t -> (unit -> unit) -> unit
+
+  (** Stop and join all worker domains.  Claimable work already
+      submitted is finished first. *)
+  val shutdown : t -> unit
+
+  (** The process-wide shared pool, created on first use with
+      [Exec.default_domains () - 1] workers. *)
+  val shared : unit -> t
+
+  (** [ensure_shared n] grows the shared pool to at least [n] workers. *)
+  val ensure_shared : int -> unit
+end
+
+(** Morsel granularity in document nodes (32K, middle of the 16–64K
+    band). *)
+val default_morsel_size : int
+
+(** [desc ?pool ?morsel_size ?exec doc context] — the descendant
+    staircase join, morselized over [pool] (default: the shared pool) at
+    most [exec.domains] wide.  Results and work counters are
+    bit-identical to the serial join. *)
+val desc :
+  ?pool:Pool.t ->
+  ?morsel_size:int ->
+  ?exec:Scj_trace.Exec.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t
+
+(** [anc ?pool ?morsel_size ?exec doc context] — the ancestor join,
+    morselized like {!desc}. *)
+val anc :
+  ?pool:Pool.t ->
+  ?morsel_size:int ->
+  ?exec:Scj_trace.Exec.t ->
+  Scj_encoding.Doc.t ->
+  Scj_encoding.Nodeseq.t ->
+  Scj_encoding.Nodeseq.t

@@ -110,38 +110,23 @@ let run_partitions exec scan partitions =
     let bounds = weighted_boundaries parts workers in
     (* each worker owns a private result buffer and a private counter set;
        the counters are merged into the context after the join (they are
-       plain sums, so the merged totals equal a serial run's) *)
-    let work w =
-      let out = Int_col.create ~capacity:256 () in
-      let stats = Stats.create () in
-      for k = bounds.(w) to bounds.(w + 1) - 1 do
-        (* the cancellation hook must be domain-safe (see Exec): every
-           worker polls it between partition scans *)
-        Exec.checkpoint exec;
-        scan parts.(k) out stats
-      done;
-      (out, stats)
-    in
-    let results =
-      if workers = 1 then [| work 0 |]
-      else begin
-        let handles = Array.init (workers - 1) (fun w -> Domain.spawn (fun () -> work (w + 1))) in
-        (* always join every spawned domain, even when the coordinator's
-           own slice aborts (e.g. a deadline checkpoint raising): leaked
-           domains would outlive the query and poison later asserts *)
-        let first =
-          match work 0 with
-          | first -> first
-          | exception e ->
-            Array.iter (fun h -> try ignore (Domain.join h) with _ -> ()) handles;
-            raise e
-        in
-        let joined = Array.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles in
-        Array.iter (function Error e -> raise e | Ok _ -> ()) joined;
-        Array.append [| first |]
-          (Array.map (function Ok r -> r | Error _ -> assert false) joined)
-      end
-    in
+       plain sums, so the merged totals equal a serial run's).
+
+       The per-worker slices run as one batch on the shared domain pool
+       instead of spawning fresh domains per step: the submitting thread
+       helps execute the batch, and Pool.submit re-raises the first
+       worker exception only after every in-flight slice has settled —
+       an aborting coordinator can neither leak a domain nor swallow a
+       worker's failure. *)
+    let results = Array.init workers (fun _ -> (Int_col.create ~capacity:256 (), Stats.create ())) in
+    Morsel.Pool.submit (Morsel.Pool.shared ()) ~width:workers ~n:workers (fun w ->
+        let out, stats = results.(w) in
+        for k = bounds.(w) to bounds.(w + 1) - 1 do
+          (* the cancellation hook must be domain-safe (see Exec): every
+             worker polls it between partition scans *)
+          Exec.checkpoint exec;
+          scan parts.(k) out stats
+        done);
     Array.iter (fun (_, stats) -> Stats.add exec.Exec.stats stats) results;
     let total = Array.fold_left (fun acc (c, _) -> acc + Int_col.length c) 0 results in
     (* zero-copy merge: blit each worker's live prefix straight into the

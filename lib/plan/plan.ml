@@ -27,6 +27,7 @@ type logical = L_source of source | L_step of logical * step | L_union of logica
 type backend =
   | Serial of Exec.skip_mode
   | Parallel of Exec.skip_mode
+  | Morsel of Exec.skip_mode
   | Paged
   | Btree of { delimiter : bool }
   | Mpmgjn
@@ -90,6 +91,7 @@ let skip_mode_to_string = Exec.skip_mode_to_string
 let backend_to_string = function
   | Serial mode -> Printf.sprintf "staircase join (serial, %s)" (skip_mode_to_string mode)
   | Parallel mode -> Printf.sprintf "staircase join (parallel, %s)" (skip_mode_to_string mode)
+  | Morsel mode -> Printf.sprintf "staircase join (morsel, %s)" (skip_mode_to_string mode)
   | Paged -> "staircase join (paged, estimation)"
   | Btree { delimiter } ->
     if delimiter then "sql b-tree plan (fig. 3, eq.-1 delimiter)" else "sql b-tree plan (fig. 3)"

@@ -58,6 +58,7 @@ type logical =
 type backend =
   | Serial of Exec.skip_mode  (** blit staircase join, §3 *)
   | Parallel of Exec.skip_mode  (** partition-parallel staircase join *)
+  | Morsel of Exec.skip_mode  (** morsel-driven join over the shared pool *)
   | Paged  (** staircase join over the buffer pool (estimation mode) *)
   | Btree of { delimiter : bool }  (** the Fig.-3 B+-tree/SQL plan *)
   | Mpmgjn  (** multi-predicate merge join *)

@@ -7,6 +7,7 @@ module Axis = Scj_encoding.Axis
 module Int_col = Scj_bat.Int_col
 module Stats = Scj_stats.Stats
 module Parallel_join = Scj_frag.Parallel
+module Morsel_join = Scj_frag.Morsel
 module Paged_doc = Scj_pager.Paged_doc
 module Naive_join = Scj_engine.Naive
 module Sql_plan = Scj_engine.Sql_plan
@@ -138,6 +139,7 @@ let policy_to_string p =
     | Auto -> "auto"
     | Force (Serial mode) -> "staircase/" ^ Exec.skip_mode_to_string mode
     | Force (Parallel mode) -> "parallel/" ^ Exec.skip_mode_to_string mode
+    | Force (Morsel mode) -> "morsel/" ^ Exec.skip_mode_to_string mode
     | Force Paged -> "paged"
     | Force (Btree { delimiter }) -> if delimiter then "sql+delimiter" else "sql"
     | Force Mpmgjn -> "mpmgjn"
@@ -280,6 +282,11 @@ let out_tag sum (s : step) =
    units — keeps it from winning tiny joins. *)
 let spawn_cost = 8192.
 
+(* Per-join overhead charged to the morsel backend: the pool is
+   persistent (no spawns), so one batch costs only its submit/claim
+   traffic — why Auto prefers morsels over per-step forked domains. *)
+let batch_cost = 1024.
+
 let log2 x = log (max 2. x) /. log 2.
 
 (* ------------------------------------------------------------------ *)
@@ -308,7 +315,8 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
     let cost =
       match backend with
       | Naive -> float_of_int sum.card *. float_of_int st.n_nodes
-      | Serial _ | Parallel _ | Paged | Btree _ | Mpmgjn | Structjoin -> float_of_int touches
+      | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
+        float_of_int touches
     in
     let out = with_preds (min cap touches) in
     ( {
@@ -371,6 +379,7 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
       ((serial_scan mode +. tail) /. float_of_int cat.domains)
       +. (spawn_cost *. float_of_int cat.domains)
     in
+    let morsel_cost mode = ((serial_scan mode +. tail) /. float_of_int cat.domains) +. batch_cost in
     let btree_cost = (kf *. log2 n) +. (2. *. tf) +. (tf *. log2 tf) in
     let merge_cost = n +. tf in
     let naive_cost = kf *. n in
@@ -381,6 +390,7 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
           match b with
           | Serial mode -> serial_cost mode
           | Parallel mode -> parallel_cost mode
+          | Morsel mode -> morsel_cost mode
           | Paged -> 4. *. serial_cost Exec.Estimation
           | Btree _ -> btree_cost
           | Mpmgjn | Structjoin -> merge_cost
@@ -400,6 +410,9 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
                       ( "staircase(parallel/estimation)",
                         Parallel Exec.Estimation,
                         parallel_cost Exec.Estimation );
+                      ( "staircase(morsel/estimation)",
+                        Morsel Exec.Estimation,
+                        morsel_cost Exec.Estimation );
                     ]
                   else []);
                  [
@@ -658,12 +671,12 @@ let run_join cat exec ~dir ~backend ~push context =
   | Following -> (
     match backend with
     | Naive -> (Naive_join.step ~exec doc context Axis.Following, false)
-    | Serial _ | Parallel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
+    | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
       (Sj.following ~exec doc context, false))
   | Preceding -> (
     match backend with
     | Naive -> (Naive_join.step ~exec doc context Axis.Preceding, false)
-    | Serial _ | Parallel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
+    | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
       (Sj.preceding ~exec doc context, false))
   | (Desc | Anc) as dir -> (
     let descending = dir = Desc in
@@ -681,6 +694,9 @@ let run_join cat exec ~dir ~backend ~push context =
     | Parallel mode ->
       let exec = Exec.with_mode exec mode in
       ((if descending then Parallel_join.desc else Parallel_join.anc) ~exec doc context, false)
+    | Morsel mode ->
+      let exec = Exec.with_mode exec mode in
+      ((if descending then Morsel_join.desc else Morsel_join.anc) ~exec doc context, false)
     | Paged -> (
       match cat.paged with
       | Some p -> ((if descending then Paged_doc.desc else Paged_doc.anc) ~exec p context, false)
@@ -775,7 +791,8 @@ let exec_step cat exec context (ps : phys_step) =
         | Select_self -> Exec.annot exec "algorithm" "context filter (self)"
         | Empty_result -> Exec.annot exec "algorithm" "statically empty");
         (match ps.impl with
-        | Join { dir = (Desc | Anc) as dir; backend = Serial _ | Parallel _ | Paged; _ } ->
+        | Join { dir = (Desc | Anc) as dir; backend = Serial _ | Parallel _ | Morsel _ | Paged; _ }
+          ->
           let partitions =
             match dir with
             | Desc -> Sj.desc_partitions doc context

@@ -61,16 +61,29 @@ type rendition = {
   prev : (rendition * Update.applied) option;
 }
 
+type worker_state = { mutable wrend : rendition; mutable wsession : Eval.session }
+
 type t = {
   db : Db.t;
   default_deadline : float;  (* relative seconds; infinity = none *)
   queue_bound : int;
   queue : handle Queue.t;
   qm : Mutex.t;
-  qcv : Condition.t;  (* submit signals; shutdown broadcasts *)
+  qcv : Condition.t;  (* drainer exits signal; shutdown waits *)
   mutable stopping : bool;
-  mutable domains : unit Domain.t list;
+  (* Queries run as jobs on the shared morsel pool — the server submits
+     queries, queries submit morsels, one scheduler under both.
+     [inflight] (under [qm]) counts the drainer jobs currently working
+     this queue; it never exceeds [n_workers], preserving the dedicated
+     worker-domain concurrency bound.  Invariant: a non-empty queue
+     always has at least one drainer in flight. *)
+  mutable inflight : int;
+  pool : Scj_frag.Morsel.Pool.t;
   n_workers : int;
+  (* per-domain sessions, lazily built: whichever pool domain picks up a
+     drainer job gets (or creates) its own session chain *)
+  wsm : Mutex.t;
+  wstates : (int, worker_state) Hashtbl.t;
   (* the rendition pointer: one word, swapped under [rm] at commit —
      readers grab it once per query and never see a partial rendition *)
   rm : Mutex.t;
@@ -133,8 +146,6 @@ let finish t handle ~tally outcome =
 (* ------------------------------------------------------------------ *)
 (* Per-worker sessions along the rendition chain                       *)
 (* ------------------------------------------------------------------ *)
-
-type worker_state = { mutable wrend : rendition; mutable wsession : Eval.session }
 
 (* renditions [target+1 .. r.repoch] with their deltas, oldest first;
    None when the chain doesn't reach back (shouldn't happen — the chain
@@ -264,20 +275,43 @@ let exec_query t ws handle =
     | exception Scj_store.Store.Corrupt msg -> finish t handle ~tally (Failed (Error.corrupt msg))
     | exception e -> finish t handle ~tally (Failed (Error.io (Printexc.to_string e))))
 
-(* Worker loop: drain the queue; exit only once stopping *and* empty, so
-   shutdown lets accepted queries finish. *)
-let rec worker_loop t ws =
+(* The session for whichever pool domain is running this job. *)
+let worker_state_for t =
+  let id = (Domain.self () :> int) in
+  Mutex.lock t.wsm;
+  let ws =
+    match Hashtbl.find_opt t.wstates id with
+    | Some ws -> ws
+    | None ->
+      let r = current t in
+      let ws = { wrend = r; wsession = fresh_session t r } in
+      Hashtbl.add t.wstates id ws;
+      ws
+  in
+  Mutex.unlock t.wsm;
+  ws
+
+(* Drainer job: pop-and-execute until the queue is empty, then retire.
+   Shutdown relies on the exit broadcast; drain semantics (accepted
+   queries finish) hold because a drainer only retires on an empty
+   queue. *)
+let rec drain_loop t ws =
   Mutex.lock t.qm;
-  while Queue.is_empty t.queue && not t.stopping do
-    Condition.wait t.qcv t.qm
-  done;
   let job = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  (match job with
+  | None ->
+    t.inflight <- t.inflight - 1;
+    Condition.broadcast t.qcv
+  | Some _ -> ());
   Mutex.unlock t.qm;
   match job with
   | None -> ()
   | Some handle ->
     exec_query t ws handle;
-    worker_loop t ws
+    drain_loop t ws
+
+let spawn_drainer t =
+  Scj_frag.Morsel.Pool.async t.pool (fun () -> drain_loop t (worker_state_for t))
 
 let create ?workers ?queue_bound ?deadline db =
   let n_workers = match workers with Some w -> max 1 w | None -> Exec.default_domains () in
@@ -295,8 +329,11 @@ let create ?workers ?queue_bound ?deadline db =
       qm = Mutex.create ();
       qcv = Condition.create ();
       stopping = false;
-      domains = [];
+      inflight = 0;
+      pool = Scj_frag.Morsel.Pool.shared ();
       n_workers;
+      wsm = Mutex.create ();
+      wstates = Hashtbl.create 8;
       rm = Mutex.create ();
       current = initial;
       wm = Mutex.create ();
@@ -313,13 +350,10 @@ let create ?workers ?queue_bound ?deadline db =
       tally_misses = 0;
     }
   in
-  t.domains <-
-    List.init n_workers (fun _ ->
-        Domain.spawn (fun () ->
-            (* workers already provide the concurrency: plan single-domain,
-               with the rendition's paged image visible to the planner *)
-            let r = current t in
-            worker_loop t { wrend = r; wsession = fresh_session t r }));
+  (* grow the shared pool so this server's concurrency bound is real
+     parallelism; the pool never shrinks, other servers and queries keep
+     drawing from it *)
+  Scj_frag.Morsel.Pool.ensure t.pool n_workers;
   t
 
 let workers t = t.n_workers
@@ -351,8 +385,12 @@ let submit ?deadline t query =
       { query; deadline = abs; hm = Mutex.create (); hcv = Condition.create (); outcome = None }
     in
     Queue.push handle t.queue;
-    Condition.signal t.qcv;
+    (* dispatch a drainer unless the concurrency bound is already met;
+       an in-flight drainer will pick this query up itself *)
+    let dispatch = t.inflight < t.n_workers in
+    if dispatch then t.inflight <- t.inflight + 1;
     Mutex.unlock t.qm;
+    if dispatch then spawn_drainer t;
     Accepted handle
   end
 
@@ -394,10 +432,12 @@ let stats t =
 
 let pool_stats t = Buffer_pool.stats (Paged_doc.pool (current t).rpaged)
 
-(* With [drain] (the default) accepted queries finish before the workers
-   exit (the worker loop only stops on stopping *and* empty).  Without it
-   the still-queued handles are resolved as [Dropped] — counted in
-   [service_stats], never left unresolved for [await] to hang on. *)
+(* With [drain] (the default) accepted queries finish before shutdown
+   returns (a drainer only retires on an empty queue).  Without it the
+   still-queued handles are resolved as [Dropped] — counted in
+   [service_stats], never left unresolved for [await] to hang on.  The
+   shared pool's domains are left running: other servers and queries
+   draw from them. *)
 let shutdown ?(drain = true) t =
   Mutex.lock t.qm;
   t.stopping <- true;
@@ -409,11 +449,14 @@ let shutdown ?(drain = true) t =
       l
     end
   in
-  Condition.broadcast t.qcv;
-  let domains = t.domains in
-  t.domains <- [];
   Mutex.unlock t.qm;
   (* a dropped query never ran: its tally is empty, so the Σ-tallies =
      pool-counters invariant is untouched *)
   List.iter (fun h -> finish t h ~tally:(Buffer_pool.Tally.create ()) Dropped) abandoned;
-  List.iter Domain.join domains
+  (* wait for the in-flight drainers: stopping blocks new submissions,
+     so [inflight] only falls from here *)
+  Mutex.lock t.qm;
+  while not (Queue.is_empty t.queue && t.inflight = 0) do
+    Condition.wait t.qcv t.qm
+  done;
+  Mutex.unlock t.qm

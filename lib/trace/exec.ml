@@ -27,7 +27,23 @@ type t = {
 
 let no_check = ignore
 
-let recommended_domains = lazy (max 1 (min 8 (Domain.recommended_domain_count ())))
+(* [n] clamped to what the hardware supports: at least 1, at most
+   [Domain.recommended_domain_count] (the runtime's view of usable
+   cores). *)
+let clamp_domains n = max 1 (min n (Domain.recommended_domain_count ()))
+
+(* The default domain budget: the hardware count, capped at 8 unless the
+   [SCJ_DOMAINS] env var overrides the cap (still clamped to the
+   hardware count — oversubscribing domains only adds scheduling
+   noise). *)
+let recommended_domains =
+  lazy
+    (let cap =
+       match Option.bind (Sys.getenv_opt "SCJ_DOMAINS") int_of_string_opt with
+       | Some n when n >= 1 -> n
+       | Some _ | None -> 8
+     in
+     clamp_domains cap)
 
 let default_domains () = Lazy.force recommended_domains
 

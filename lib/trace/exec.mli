@@ -62,8 +62,15 @@ val make :
     it; the blessed constructor for EXPLAIN ANALYZE runs. *)
 val traced : ?mode:skip_mode -> ?domains:int -> unit -> t
 
-(** [Domain.recommended_domain_count], capped at 8. *)
+(** [Domain.recommended_domain_count], capped at 8 by default; the cap is
+    configurable via the [SCJ_DOMAINS] env var (still clamped to the
+    hardware count). *)
 val default_domains : unit -> int
+
+(** [clamp_domains n] — [n] forced into [1 ..
+    Domain.recommended_domain_count]; what the CLI applies to [--workers]
+    before sizing pools. *)
+val clamp_domains : int -> int
 
 val with_mode : t -> skip_mode -> t
 

@@ -31,6 +31,7 @@ let strategy_names =
     "staircase-estimate";
     "staircase-exact";
     "parallel";
+    "morsel";
     "paged";
     "sql";
     "sql-nodelimiter";
@@ -48,6 +49,7 @@ let strategy_of_string name =
   | "staircase-skip" -> forced (Plan.Serial Exec.Skipping)
   | "staircase-exact" -> forced (Plan.Serial Exec.Exact_size)
   | "parallel" -> forced (Plan.Parallel Exec.Estimation)
+  | "morsel" -> forced (Plan.Morsel Exec.Estimation)
   | "paged" -> forced Plan.Paged
   | "sql" -> forced (Plan.Btree { delimiter = true })
   | "sql-nodelimiter" -> forced (Plan.Btree { delimiter = false })

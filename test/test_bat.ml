@@ -174,6 +174,113 @@ let prop_first_ge =
       Int_col.first_ge c key = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Bigarray backing: the column must keep the exact semantics it had    *)
+(* when it sat on a plain [int array], so every property below runs the *)
+(* same operation against an [int array] reference model.               *)
+(* ------------------------------------------------------------------ *)
+
+(* Column-to-column bulk moves (Array1 blits underneath) agree with the
+   Array.blit reference, including len = 0 slices and whole-column moves,
+   while the destination grows from capacity 1 so each doubling edge is
+   crossed mid-blit. *)
+let prop_col_blit =
+  QCheck.Test.make ~count:300 ~name:"append_col/blit_into_col = Array.blit reference"
+    QCheck.(triple (array small_signed_int) (array small_signed_int) (pair small_nat small_nat))
+    (fun (dst0, src0, (p, l)) ->
+      let pos = if Array.length src0 = 0 then 0 else p mod (Array.length src0 + 1) in
+      let len = min l (Array.length src0 - pos) in
+      let dst = Int_col.create ~capacity:1 () in
+      Array.iter (Int_col.append_unit dst) dst0;
+      let src = Int_col.of_array src0 in
+      Int_col.append_col dst src ~pos ~len;
+      let expected = Array.append dst0 (Array.sub src0 pos len) in
+      let ok_append = Int_col.to_array dst = expected in
+      let ok_blit =
+        Array.length dst0 < Array.length src0
+        ||
+        let d = Int_col.of_array dst0 in
+        Int_col.blit_into_col src d ~dst_pos:0;
+        let exp = Array.copy dst0 in
+        Array.blit src0 0 exp 0 (Array.length src0);
+        Int_col.to_array d = exp
+      in
+      ok_append && ok_blit)
+
+(* Slices and copies materialize fresh buffers that match Array.sub and
+   stay independent of the source (no aliasing through the Bigarray). *)
+let prop_sub_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"sub/copy = Array.sub, no aliasing"
+    QCheck.(triple (array small_signed_int) small_nat small_nat)
+    (fun (a, p, l) ->
+      let n = Array.length a in
+      let pos = if n = 0 then 0 else p mod (n + 1) in
+      let len = min l (n - pos) in
+      let c = Int_col.of_array a in
+      let s = Int_col.sub c ~pos ~len in
+      let expected = Array.sub a pos len in
+      let ok_slice = Int_col.to_array s = expected in
+      let ok_independent =
+        len = 0
+        ||
+        (Int_col.set s 0 max_int;
+         Int_col.get c pos = a.(pos))
+      in
+      let d = Int_col.copy c in
+      let ok_copy =
+        Int_col.to_array d = a
+        && (n = 0
+           ||
+           (Int_col.set d 0 min_int;
+            Int_col.get c 0 = a.(0)))
+      in
+      ok_slice && ok_independent && ok_copy)
+
+(* Sort + binary searches agree with the sorted-array reference for every
+   probe, and set/unsafe_set write through to the same cell. *)
+let prop_search_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"sort/first_ge/first_gt/mem_sorted = sorted array"
+    QCheck.(pair (list small_signed_int) small_signed_int)
+    (fun (values, key) ->
+      let c = Int_col.of_list values in
+      Int_col.sort c;
+      let sorted = Array.of_list (List.sort compare values) in
+      let count p = Array.fold_left (fun n v -> if p v then n + 1 else n) 0 sorted in
+      Int_col.to_array c = sorted
+      && Int_col.first_ge c key = count (fun v -> v < key)
+      && Int_col.first_gt c key = count (fun v -> v <= key)
+      && Int_col.mem_sorted c key = Array.exists (( = ) key) sorted)
+
+let test_unsafe_set () =
+  let c = Int_col.of_list [ 1; 2; 3 ] in
+  Int_col.unsafe_set c 1 42;
+  check_int "unsafe_set writes the cell" 42 (Int_col.get c 1);
+  check_int "neighbours untouched" 1 (Int_col.get c 0);
+  check_int "neighbours untouched" 3 (Int_col.get c 2)
+
+let test_col_blit_edges () =
+  (* len = 0 against an empty destination, then whole-column appends
+     across capacity doublings from 1 *)
+  let dst = Int_col.create ~capacity:1 () in
+  let empty = Int_col.create () in
+  Int_col.append_col dst empty ~pos:0 ~len:0;
+  check_int "empty-into-empty is a no-op" 0 (Int_col.length dst);
+  let src = Int_col.of_list [ 1; 2; 3; 4; 5 ] in
+  Int_col.append_col dst src ~pos:0 ~len:(Int_col.length src);
+  Int_col.append_col dst src ~pos:4 ~len:1;
+  check_int_list "append_col" [ 1; 2; 3; 4; 5; 5 ] (Int_col.to_list dst);
+  Int_col.append_col dst dst ~pos:0 ~len:0;
+  check_int "self len-0 is a no-op" 6 (Int_col.length dst);
+  Alcotest.check_raises "bad col slice"
+    (Invalid_argument "Int_col.append_col: slice [4,7) out of bounds [0,5)") (fun () ->
+      Int_col.append_col dst src ~pos:4 ~len:3);
+  let wide = Int_col.of_list [ 0; 0; 0; 0; 0; 0; 0 ] in
+  Int_col.blit_into_col dst wide ~dst_pos:1;
+  check_int_list "blit_into_col" [ 0; 1; 2; 3; 4; 5; 5 ] (Int_col.to_list wide);
+  Alcotest.check_raises "bad col blit"
+    (Invalid_argument "Int_col.blit_into_col: [2,8) out of bounds [0,7)") (fun () ->
+      Int_col.blit_into_col dst wide ~dst_pos:2)
+
+(* ------------------------------------------------------------------ *)
 (* Str_col and Dict                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -255,7 +362,10 @@ let test_bat_mismatch () =
 
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_model; prop_first_ge; prop_bulk_matches_pointwise; prop_dict_bijection ]
+    [
+      prop_model; prop_first_ge; prop_bulk_matches_pointwise; prop_col_blit;
+      prop_sub_roundtrip; prop_search_roundtrip; prop_dict_bijection;
+    ]
 
 let () =
   Alcotest.run "scj_bat"
@@ -274,6 +384,8 @@ let () =
           Alcotest.test_case "equal/copy" `Quick test_equal_copy;
           Alcotest.test_case "bulk appends and blit" `Quick test_bulk_ops;
           Alcotest.test_case "reserve" `Quick test_reserve;
+          Alcotest.test_case "unsafe_set" `Quick test_unsafe_set;
+          Alcotest.test_case "column-to-column blit edges" `Quick test_col_blit_edges;
         ] );
       ( "str_col+dict",
         [

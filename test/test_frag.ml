@@ -9,6 +9,7 @@ module Stats = Scj_stats.Stats
 module Sj = Scj_core.Staircase
 module Fragmented = Scj_frag.Fragmented
 module Parallel = Scj_frag.Parallel
+module Morsel = Scj_frag.Morsel
 
 let nodeseq = Alcotest.testable Nodeseq.pp Nodeseq.equal
 
@@ -185,9 +186,118 @@ let prop_parallel_counter_parity =
         [ 1; 4 ])
     all_modes
 
+(* ------------------------------------------------------------------ *)
+(* morsel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_morsel_paper () =
+  let d = doc () in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun mode ->
+          Alcotest.check nodeseq
+            (Printf.sprintf "desc domains=%d mode=%s" domains (Sj.skip_mode_to_string mode))
+            (Sj.desc d (seq [ "b"; "e" ]))
+            (Morsel.desc ~exec:(Exec.make ~domains ~mode ()) d (seq [ "b"; "e" ]));
+          Alcotest.check nodeseq
+            (Printf.sprintf "anc domains=%d mode=%s" domains (Sj.skip_mode_to_string mode))
+            (Sj.anc d (seq [ "g"; "j" ]))
+            (Morsel.anc ~exec:(Exec.make ~domains ~mode ()) d (seq [ "g"; "j" ])))
+        all_modes)
+    [ 1; 2; 4 ]
+
+let test_morsel_empty_context () =
+  let d = doc () in
+  Alcotest.check nodeseq "empty" Nodeseq.empty
+    (Morsel.desc ~exec:(Exec.make ~domains:4 ()) d Nodeseq.empty)
+
+let test_morsel_xmark () =
+  let d = Lazy.force xmark in
+  let increases = Nodeseq.of_sorted_array (Doc.tag_positions d "increase") in
+  Alcotest.check nodeseq "morsel anc on xmark" (Sj.anc d increases)
+    (Morsel.anc ~exec:(Exec.make ~domains:4 ()) d increases);
+  let profiles = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
+  Alcotest.check nodeseq "morsel desc on xmark" (Sj.desc d profiles)
+    (Morsel.desc ~exec:(Exec.make ~domains:4 ()) d profiles)
+
+(* Worker exceptions surface at the submitter: a batch whose task raises
+   must cancel the remainder and re-raise the first failure — this is
+   the abort-path contract Parallel shares via the pool. *)
+let test_pool_propagates_exceptions () =
+  let pool = Morsel.Pool.create ~workers:2 () in
+  let hits = Atomic.make 0 in
+  (try
+     Morsel.Pool.submit pool ~width:4 ~n:64 (fun i ->
+         if i = 3 then failwith "boom" else Atomic.incr hits);
+     Alcotest.fail "expected the worker exception to re-raise"
+   with Failure msg -> Alcotest.(check string) "first worker exception" "boom" msg);
+  check_bool "remainder cancelled" true (Atomic.get hits < 64);
+  (* the pool survives a failed batch *)
+  let ran = Atomic.make 0 in
+  Morsel.Pool.submit pool ~width:4 ~n:8 (fun _ -> Atomic.incr ran);
+  check_int "pool alive after failure" 8 (Atomic.get ran);
+  Morsel.Pool.shutdown pool
+
+(* Deadline cancellation polls Exec.check at morsel boundaries. *)
+let test_morsel_deadline () =
+  let d = Lazy.force xmark in
+  let profiles = Nodeseq.of_sorted_array (Doc.tag_positions d "profile") in
+  let exception Deadline in
+  let polls = Atomic.make 0 in
+  let check () = if Atomic.fetch_and_add polls 1 > 0 then raise Deadline in
+  (match Morsel.desc ~morsel_size:64 ~exec:(Exec.make ~domains:2 ~check ()) d profiles with
+  | _ -> Alcotest.fail "expected the deadline to abort the join"
+  | exception Deadline -> ());
+  check_bool "polled at morsel boundaries" true (Atomic.get polls > 1)
+
+let prop_morsel_agrees =
+  List.map
+    (fun mode ->
+      QCheck.Test.make ~count:100
+        ~name:(Printf.sprintf "morsel = sequential (%s)" (Sj.skip_mode_to_string mode))
+        (Test_support.doc_with_context_arbitrary ())
+        (fun (d, ctx) ->
+          Nodeseq.equal
+            (Morsel.desc ~exec:(Exec.make ~domains:3 ~mode ()) d ctx)
+            (Sj.desc ~exec:(Exec.make ~mode ()) d ctx)
+          && Nodeseq.equal
+               (Morsel.anc ~exec:(Exec.make ~domains:3 ~mode ()) d ctx)
+               (Sj.anc ~exec:(Exec.make ~mode ()) d ctx)))
+    all_modes
+
+(* Σ-tallies parity: morsel counters must merge to the per-node
+   reference bit for bit, across modes, widths and morsel sizes — a
+   tiny morsel size forces partition chunking on every doc. *)
+let prop_morsel_counter_parity =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun (domains, morsel_size) ->
+          QCheck.Test.make ~count:100
+            ~name:
+              (Printf.sprintf "morsel counters = per-node reference (%s, %d domains, %d-node morsels)"
+                 (Sj.skip_mode_to_string mode) domains morsel_size)
+            (Test_support.doc_with_context_arbitrary ())
+            (fun (d, ctx) ->
+              let s_m = Stats.create () and s_ref = Stats.create () in
+              let r_m = Morsel.desc ~morsel_size ~exec:(Exec.make ~mode ~domains ~stats:s_m ()) d ctx in
+              let r_ref = Sj.Reference.desc ~exec:(Exec.make ~mode ~stats:s_ref ()) d ctx in
+              let a_m = Morsel.anc ~morsel_size ~exec:(Exec.make ~mode ~domains ~stats:s_m ()) d ctx in
+              let a_ref = Sj.Reference.anc ~exec:(Exec.make ~mode ~stats:s_ref ()) d ctx in
+              if not (Nodeseq.equal r_m r_ref && Nodeseq.equal a_m a_ref) then
+                QCheck.Test.fail_reportf "results differ"
+              else if Stats.all_assoc s_m <> Stats.all_assoc s_ref then
+                QCheck.Test.fail_reportf "counters differ:@.morsel %s@.ref %s" (Stats.to_json s_m)
+                  (Stats.to_json s_ref)
+              else true))
+        [ (1, 4); (4, 4); (4, 32768) ])
+    all_modes
+
 let qsuite =
   List.map QCheck_alcotest.to_alcotest
-    ((prop_fragment_steps_agree :: prop_parallel_agrees) @ prop_parallel_counter_parity)
+    ((prop_fragment_steps_agree :: (prop_parallel_agrees @ prop_morsel_agrees))
+    @ prop_parallel_counter_parity @ prop_morsel_counter_parity)
 
 let () =
   Alcotest.run "scj_frag"
@@ -206,6 +316,15 @@ let () =
           Alcotest.test_case "paper doc, all modes/domains" `Quick test_parallel_paper;
           Alcotest.test_case "empty context" `Quick test_parallel_empty_context;
           Alcotest.test_case "xmark steps" `Quick test_parallel_xmark;
+        ] );
+      ( "morsel",
+        [
+          Alcotest.test_case "paper doc, all modes/domains" `Quick test_morsel_paper;
+          Alcotest.test_case "empty context" `Quick test_morsel_empty_context;
+          Alcotest.test_case "xmark steps" `Quick test_morsel_xmark;
+          Alcotest.test_case "pool re-raises worker exceptions" `Quick
+            test_pool_propagates_exceptions;
+          Alcotest.test_case "deadline at morsel boundaries" `Quick test_morsel_deadline;
         ] );
       ("properties", qsuite);
     ]

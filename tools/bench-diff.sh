@@ -15,6 +15,12 @@
 # and gates buffer-pool hit rates (hit_rate_cN, wide absolute tolerance)
 # and the cross-client result/counter parity flag (counter_parity).
 #
+# Speedup annotations (the morsel experiment) are achieved/required
+# ratios: speedup_floor_* keys are gated absolutely (the ratio must stay
+# >= 0.9 — the bench only emits them on hosts with enough cores for the
+# target to be physically reachable), speedup_info_* keys are reported
+# but never gate.
+#
 # Refreshing the baseline (after an intentional work-profile change):
 #   dune exec bench/main.exe -- --smoke --json | tail -1 > BENCH_baseline.json
 #
@@ -94,6 +100,19 @@ for span in fresh:
                 problems.append(
                     f"{name}: {key} moved {base_attrs[key]} -> {val} (>0.15 absolute tolerance)"
                 )
+        # speedup floors are achieved/required ratios, only emitted when
+        # the host has enough cores to reach the target: gate absolutely
+        elif key.startswith("speedup_floor"):
+            if float(val) < 0.9:
+                problems.append(
+                    f"{name}: {key} = {val} (achieved/required ratio below the 0.9 floor)"
+                )
+        # the same ratios on under-provisioned hosts or off-target
+        # worker counts: report only
+        elif key.startswith("speedup_info"):
+            base_v = base_attrs.get(key)
+            extra = f", baseline {base_v}" if base_v is not None else ""
+            print(f"bench-diff: {name}: {key} {val}{extra} (informational)")
         # deterministic integer counts exported as annotations (store
         # faults, bytes read): gate like work counters, 30% relative
         elif key.startswith("count_") and key in base_attrs:
