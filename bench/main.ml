@@ -1115,6 +1115,93 @@ let mutate_bench () =
     \ readers answer from the rendition they pinned, however many commits land meanwhile)"
 
 (* ------------------------------------------------------------------ *)
+(* sharded serving: scan resistance of the shared buffer pool           *)
+(* ------------------------------------------------------------------ *)
+
+(* Three tenants behind one Catalog pool: a cold tenant sequentially
+   scanning a document ~8x the hot working set, interleaved with a hot
+   tenant replaying the same full-document step every round.  The rounds
+   are serial and deterministic — the victim's hit rate is read off the
+   shared pool's counters around its query alone — so LRU vs 2Q is an
+   exact A/B: under LRU the scan churn evicts the victim's loop and it
+   thrashes; under 2Q the scan never leaves the A1in probation queue and
+   the victim's pages, promoted to Am via ghost hits, stay resident. *)
+let shard_bench () =
+  let module Catalog = Scj_db.Catalog in
+  let module Paged_doc = Scj_pager.Paged_doc in
+  let module Buffer_pool = Scj_pager.Buffer_pool in
+  header "sharded serving: cold tenant scan vs hot tenant working set (shared pool, LRU vs 2Q)";
+  let scale = List.fold_left min infinity (scales ()) in
+  let hot = doc_at scale in
+  let cold = doc_at (scale *. 8.) in
+  let page_ints = 256 in
+  let v_pages = ((Doc.n_nodes hot - 1) / page_ints) + 1 in
+  let c_pages = ((Doc.n_nodes cold - 1) / page_ints) + 1 in
+  (* the victim's loop plus a one-chunk probation queue, nothing spare *)
+  let capacity = v_pages + 9 in
+  let chunk = 10 in
+  let root_ctx d = Nodeseq.singleton (Doc.root d) in
+  let expect = Nodeseq.length (Sj.desc hot (root_ctx hot)) in
+  let rounds = 10 and warmup = 2 in
+  let parity = ref true in
+  let run policy =
+    let catalog =
+      Catalog.of_docs ~policy ~page_ints ~capacity
+        [ ("cold", cold); ("hot-a", hot); ("hot-b", hot) ]
+    in
+    let pool = Catalog.pool catalog in
+    let pd_hot = Option.get (Catalog.paged catalog "hot-a") in
+    let pd_cold = Option.get (Catalog.paged catalog "cold") in
+    let cursor = ref 0 in
+    (* one probe per page: the next [chunk] pages of the cold tenant's
+       sequential sweep through its post array *)
+    let scan_chunk () =
+      for _ = 1 to chunk do
+        ignore (Paged_doc.post pd_cold (!cursor * page_ints));
+        cursor := (!cursor + 1) mod c_pages
+      done
+    in
+    (* page-level hit rate: the victim touches the same page set every
+       round (its round-1 cold faults count that set), so resident pages
+       are exactly the accesses that do not refault *)
+    let pages_touched = ref 0 and victim_faults = ref 0 in
+    for r = 1 to rounds do
+      scan_chunk ();
+      let _, f0, _ = Buffer_pool.stats pool in
+      let res = Paged_doc.desc pd_hot (root_ctx hot) in
+      let _, f1, _ = Buffer_pool.stats pool in
+      if Nodeseq.length res <> expect then parity := false;
+      if r = 1 then pages_touched := f1 - f0
+      else if r > warmup then victim_faults := !victim_faults + (f1 - f0)
+    done;
+    let _, faults, evictions = Buffer_pool.stats pool in
+    let accesses = (rounds - warmup) * max 1 !pages_touched in
+    let rate = 1.0 -. (float_of_int !victim_faults /. float_of_int accesses) in
+    Printf.printf
+      "%-6s victim: %d pages/round, refaults=%4d page-hit-rate=%5.3f   pool: faults=%6d \
+       evictions=%6d\n"
+      (Buffer_pool.policy_to_string policy)
+      !pages_touched !victim_faults rate faults evictions;
+    Catalog.close catalog;
+    (rate, !victim_faults)
+  in
+  Printf.printf
+    "corpus: cold=%d pages, hot=%d pages x2 tenants; shared pool %d frames, %d-page scan chunk \
+     per round, victim measured over rounds %d..%d\n"
+    c_pages v_pages capacity chunk (warmup + 1) rounds;
+  let lru, lru_faults = run Buffer_pool.Lru in
+  let twoq, twoq_faults = run Buffer_pool.Two_q in
+  if twoq < lru || twoq_faults > lru_faults then parity := false;
+  Trace.annot !tracer "hit_rate_victim_lru" (Printf.sprintf "%.6f" lru);
+  Trace.annot !tracer "hit_rate_victim_2q" (Printf.sprintf "%.6f" twoq);
+  Trace.annot !tracer "count_victim_nodes" (string_of_int expect);
+  Trace.annot !tracer "counter_parity" (string_of_bool !parity);
+  Printf.printf "parity (victim results identical every round, 2Q hit rate >= LRU): %b\n" !parity;
+  print_endline
+    "(one tenant's cold scan flows through the 2Q probation queue and never displaces the\n\
+    \ other tenants' main-queue working sets; LRU gives the scan the whole pool)"
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1139,13 +1226,14 @@ let experiments =
     ("workload", workload);
     ("store", store_bench);
     ("mutate", mutate_bench);
+    ("shard", shard_bench);
   ]
 
 (* quick non-bechamel subset, used as a CI smoke test *)
 let smoke_experiments =
   [
     "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "morsel"; "workload";
-    "store"; "mutate";
+    "store"; "mutate"; "shard";
   ]
 
 let () =

@@ -711,6 +711,8 @@ let mutate_cmd =
 (* ------------------------------------------------------------------ *)
 
 module Server = Scj_server.Server
+module Shard = Scj_server.Shard
+module Catalog = Scj_db.Catalog
 module Paged_doc = Scj_pager.Paged_doc
 module Buffer_pool = Scj_pager.Buffer_pool
 
@@ -727,6 +729,107 @@ let print_service_stats (s : Server.service_stats) =
   Printf.printf "pool traffic (per-query tallies): hits=%d misses=%d\n" s.Server.tally_hits
     s.Server.tally_misses;
   Format.printf "work:@.%a@." Stats.pp s.Server.work
+
+let policy_conv =
+  let parse s =
+    match Buffer_pool.policy_of_string s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown eviction policy %S (expected lru or 2q)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Buffer_pool.policy_to_string p) in
+  Cmdliner.Arg.conv (parse, print)
+
+let policy_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & opt policy_conv Buffer_pool.Two_q
+    & info [ "policy" ] ~docv:"P"
+        ~doc:
+          "Eviction policy of the shared buffer pool in multi-document mode: 2q (scan-resistant \
+           2Q, the default — one tenant's cold scan cannot evict another's working set) or lru \
+           (classic LRU, for A/B comparison).")
+
+let print_tenant_stats shard =
+  let hits, faults, evictions = Shard.pool_stats shard in
+  Printf.printf "shared pool: hits=%d faults=%d evictions=%d policy=%s\n" hits faults evictions
+    (Buffer_pool.policy_to_string (Buffer_pool.policy (Catalog.pool (Shard.catalog shard))));
+  List.iter
+    (fun (id, s) ->
+      let tally = s.Server.tally_hits + s.Server.tally_misses in
+      Printf.printf
+        "%-12s completed=%d failed=%d commits=%d epoch=%d hit_rate=%.3f latency: %s\n" id
+        s.Server.completed s.Server.failed s.Server.commits s.Server.epoch
+        (float_of_int s.Server.tally_hits /. float_of_int (max 1 tally))
+        (Format.asprintf "%a" Scj_stats.Histogram.pp s.Server.latency))
+    (Shard.stats shard)
+
+(* One request line in --docs mode: "DOC-ID QUERY" routes to one
+   document, "* QUERY" scatter-gathers over the whole corpus. *)
+let serve_docs_line shard line =
+  match String.index_opt line ' ' with
+  | None -> Printf.printf "error: expected 'DOC-ID QUERY' or '* QUERY' (got %S)\n%!" line
+  | Some sp ->
+    let target = String.sub line 0 sp in
+    let query = String.sub line (sp + 1) (String.length line - sp - 1) in
+    let print_outcome prefix = function
+      | Server.Done r ->
+        Printf.printf "%s%d node(s) in %.2f ms (epoch %d)\n%!" prefix
+          (Nodeseq.length r.Server.result) r.Server.latency_ms r.Server.epoch
+      | Server.Timed_out -> Printf.printf "%stimed out\n%!" prefix
+      | Server.Failed e -> Printf.printf "%serror: %s\n%!" prefix (Error_.to_string e)
+      | Server.Dropped -> Printf.printf "%sdropped at shutdown\n%!" prefix
+    in
+    if String.equal target "*" then begin
+      let outcomes = Shard.run_all shard (Server.Path query) in
+      let total =
+        List.fold_left
+          (fun acc (_, o) ->
+            match o with Server.Done r -> acc + Nodeseq.length r.Server.result | _ -> acc)
+          0 outcomes
+      in
+      List.iter (fun (id, o) -> print_outcome (Printf.sprintf "%-12s " id) o) outcomes;
+      Printf.printf "* %d node(s) over %d document(s)\n%!" total (List.length outcomes)
+    end
+    else print_outcome "" (Shard.run shard ~doc:target (Server.Path query))
+
+let serve_docs dir workers deadline policy capacity =
+  match
+    Catalog.open_dir ~policy ?capacity:(if capacity > 0 then Some capacity else None) ~stripes:8
+      dir
+  with
+  | Error e ->
+    prerr_endline (Printf.sprintf "%s: %s" dir (Error_.to_string e));
+    1
+  | Ok catalog ->
+    let shard = Shard.create ?workers ?deadline catalog in
+    Printf.eprintf
+      "scj serve: %d document(s) behind one %s pool (%d frames); 'DOC-ID QUERY' or '* QUERY' \
+       per line, '\\stats' for per-tenant statistics, EOF to stop\n"
+      (Shard.n_docs shard)
+      (Buffer_pool.policy_to_string policy)
+      (Buffer_pool.capacity (Catalog.pool catalog));
+    List.iter
+      (fun (id, db) ->
+        Printf.eprintf "  %-12s %d nodes (%s)\n" id (Doc.n_nodes (Db.doc db)) (Db.describe db))
+      (Catalog.to_list catalog);
+    Printf.eprintf "%!";
+    let rec loop () =
+      match In_channel.input_line In_channel.stdin with
+      | None -> ()
+      | Some "" -> loop ()
+      | Some "\\stats" ->
+        print_tenant_stats shard;
+        loop ()
+      | Some line ->
+        serve_docs_line shard line;
+        loop ()
+    in
+    loop ();
+    Shard.shutdown shard;
+    print_tenant_stats shard;
+    Catalog.close catalog;
+    0
 
 let serve_cmd =
   let open Cmdliner in
@@ -753,26 +856,37 @@ let serve_cmd =
       & opt (some float) None
       & info [ "deadline" ] ~docv:"MS" ~doc:"Per-query deadline in milliseconds.")
   in
-  let run input store workers deadline_ms =
+  let docs_arg =
+    Arg.(
+      value
+      & opt (some dir) None
+      & info [ "docs" ] ~docv:"DIR"
+          ~doc:
+            "Serve every document in $(docv) (store directories, .xml and .scj files) behind one \
+             shared buffer pool; request lines become 'DOC-ID QUERY', with '*' fanning out to \
+             the whole corpus.")
+  in
+  let pool_capacity =
+    Arg.(
+      value & opt int 0
+      & info [ "capacity" ] ~docv:"FRAMES"
+          ~doc:"Shared buffer-pool frames in --docs mode (0 = ~10% of the corpus' pages).")
+  in
+  let serve_one input store workers deadline =
     let path =
       match (store, input) with
       | Some dir, _ ->
         if Db.is_store_dir dir then Ok dir
         else Error (Printf.sprintf "%s: not a store directory (no pages.scj)" dir)
       | None, Some path -> Ok path
-      | None, None -> Error "serve: provide a DOC argument or --store DIR"
+      | None, None -> Error "serve: provide a DOC argument, --store DIR or --docs DIR"
     in
     match Result.bind path load_db with
     | Error e ->
       prerr_endline e;
       1
     | Ok db ->
-      let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
-      let server =
-        Server.create
-          ?workers:(if workers > 0 then Some (Exec.clamp_domains workers) else None)
-          ?deadline db
-      in
+      let server = Server.create ?workers ?deadline db in
       Printf.eprintf
         "scj serve: %d nodes (%s), %d worker domain(s); one XPath query per line, '\\stats' for \
          service statistics, EOF to stop\n\
@@ -801,12 +915,21 @@ let serve_cmd =
       Db.close db;
       0
   in
+  let run input store docs workers deadline_ms policy pool_capacity =
+    let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
+    let workers = if workers > 0 then Some (Exec.clamp_domains workers) else None in
+    match docs with
+    | Some dir -> serve_docs dir workers deadline policy pool_capacity
+    | None -> serve_one input store workers deadline
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the concurrent query service over a document or durable store, reading one XPath \
-          query per line from standard input.")
-    Term.(const run $ input $ store_arg $ workers $ deadline_ms)
+         "Run the concurrent query service over a document, a durable store, or (with --docs) a \
+          whole directory of documents behind one shared buffer pool, reading one query per line \
+          from standard input.")
+    Term.(const run $ input $ store_arg $ docs_arg $ workers $ deadline_ms $ policy_arg
+          $ pool_capacity)
 
 (* ------------------------------------------------------------------ *)
 (* workload: replay a mixed read workload at several client counts      *)
@@ -868,7 +991,203 @@ let workload_cmd =
              commit bumps the epoch.  Each triple nets zero nodes, so the document ends \
              structurally unchanged (a store accumulates the WAL records).")
   in
-  let run input clients rounds fault_us capacity deadline_ms workers_flag mutate json =
+  let open_loop_flag =
+    Arg.(
+      value & flag
+      & info [ "open-loop" ]
+          ~doc:
+            "Open-loop multi-tenant mode: serve --docs copies of DOC behind one shared buffer \
+             pool, pace arrivals at --rate per tenant regardless of completions, and report \
+             per-tenant qps, hit rate and p99/p999 client-observed latency (queueing included).  \
+             Tenant t00 is a cold scanner (full-document descendant steps); the others replay \
+             the hot mix.")
+  in
+  let docs_n =
+    Arg.(
+      value & opt int 0
+      & info [ "docs" ] ~docv:"N"
+          ~doc:"Tenant documents in --open-loop mode (0 = 3: one scanner, two hot tenants).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.0
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:"Open-loop arrival rate per tenant, in queries per second.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 2.0
+      & info [ "duration" ] ~docv:"S" ~doc:"Open-loop run length in seconds.")
+  in
+  (* One open-loop tenant: a submitter (this function, in its own
+     domain) paces arrivals on the wall clock — never waiting for
+     completions, the defining property of an open-loop load — while a
+     reaper domain awaits the handles FIFO and records client-observed
+     latency: completion time minus the *scheduled* arrival, so queueing
+     delay under overload shows up in p99/p999 instead of silently
+     throttling the client. *)
+  let open_loop_tenant server queries ~rate ~duration =
+    let hist = Scj_stats.Histogram.create () in
+    let pending = Queue.create () in
+    let m = Mutex.create () in
+    let cv = Condition.create () in
+    let closed = ref false in
+    let completed = ref 0 and failed = ref 0 in
+    let reaper =
+      Domain.spawn (fun () ->
+          let rec next () =
+            Mutex.lock m;
+            while Queue.is_empty pending && not !closed do
+              Condition.wait cv m
+            done;
+            let item = Queue.take_opt pending in
+            Mutex.unlock m;
+            match item with
+            | None -> ()
+            | Some (scheduled, h) ->
+              (match Server.await h with
+              | Server.Done _ ->
+                incr completed;
+                Scj_stats.Histogram.add hist ((Unix.gettimeofday () -. scheduled) *. 1000.0)
+              | Server.Timed_out | Server.Failed _ | Server.Dropped -> incr failed);
+              next ()
+          in
+          next ())
+    in
+    let t0 = Unix.gettimeofday () in
+    let interval = 1.0 /. rate in
+    let submitted = ref 0 and rejected = ref 0 in
+    let k = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      let scheduled = t0 +. (float_of_int !k *. interval) in
+      if scheduled -. t0 >= duration then finished := true
+      else begin
+        let now = Unix.gettimeofday () in
+        if scheduled > now then Unix.sleepf (scheduled -. now);
+        (match Server.submit server queries.(!k mod Array.length queries) with
+        | Server.Accepted h ->
+          incr submitted;
+          Mutex.lock m;
+          Queue.push (scheduled, h) pending;
+          Condition.signal cv;
+          Mutex.unlock m
+        | Server.Overloaded | Server.Stopped -> incr rejected);
+        incr k
+      end
+    done;
+    Mutex.lock m;
+    closed := true;
+    Condition.signal cv;
+    Mutex.unlock m;
+    Domain.join reaper;
+    (hist, !submitted, !rejected, !completed, !failed)
+  in
+  let run_open_loop input docs_n rate duration fault_us capacity deadline workers_flag policy
+      json =
+    match load_db input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok db0 ->
+      let doc = Db.doc db0 in
+      Db.close db0;
+      let n = if docs_n > 0 then max 2 docs_n else 3 in
+      let ids = List.init n (Printf.sprintf "t%02d") in
+      let catalog =
+        Catalog.of_docs ~policy ~page_ints:256 ~stripes:4 ~fault_latency:(fault_us /. 1e6)
+          ?capacity:(if capacity > 0 then Some capacity else None)
+          (List.map (fun id -> (id, doc)) ids)
+      in
+      let shard =
+        Shard.create
+          ?workers:(if workers_flag > 0 then Some (Exec.clamp_domains workers_flag) else None)
+          ?deadline catalog
+      in
+      let frag = Scj_frag.Fragmented.build doc in
+      let top_tags =
+        List.filteri (fun i _ -> i < 2) (List.map fst (Scj_frag.Fragmented.tags frag))
+      in
+      let contexts =
+        List.map (fun tag -> Nodeseq.of_sorted_array (Doc.tag_positions doc tag)) top_tags
+      in
+      let hot_mix =
+        Array.of_list
+          (List.concat_map
+             (fun ctx -> [ Server.Step (`Desc, ctx); Server.Step (`Anc, ctx) ])
+             contexts
+          @ List.map (fun tag -> Server.Path (Printf.sprintf "/descendant::%s" tag)) top_tags)
+      in
+      let scan_mix = [| Server.Step (`Desc, Nodeseq.singleton (Doc.root doc)) |] in
+      let tenants =
+        List.map
+          (fun id ->
+            let server = Option.get (Shard.server shard id) in
+            let queries = if String.equal id "t00" then scan_mix else hot_mix in
+            (id, Domain.spawn (fun () -> open_loop_tenant server queries ~rate ~duration)))
+          ids
+      in
+      let results = List.map (fun (id, d) -> (id, Domain.join d)) tenants in
+      let tenant_stats = Shard.stats shard in
+      Shard.shutdown shard;
+      let pool_hits, pool_faults, pool_evictions = Shard.pool_stats shard in
+      let row id =
+        let hist, submitted, rejected, completed, failed = List.assoc id results in
+        let s = List.assoc id tenant_stats in
+        let tally = s.Server.tally_hits + s.Server.tally_misses in
+        let hit_rate = float_of_int s.Server.tally_hits /. float_of_int (max 1 tally) in
+        (hist, submitted, rejected, completed, failed, hit_rate)
+      in
+      if json then begin
+        let tenant_rows =
+          List.map
+            (fun id ->
+              let hist, submitted, rejected, completed, failed, hit_rate = row id in
+              Printf.sprintf
+                {|{"tenant":"%s","role":"%s","submitted":%d,"rejected":%d,"completed":%d,"failed":%d,"qps":%.3f,"hit_rate":%.6f,"latency":%s}|}
+                id
+                (if String.equal id "t00" then "scan" else "hot")
+                submitted rejected completed failed
+                (float_of_int completed /. duration)
+                hit_rate
+                (Scj_stats.Histogram.to_json hist))
+            ids
+        in
+        Printf.printf
+          {|{"experiment":"workload_open_loop","policy":"%s","docs":%d,"rate":%.1f,"duration_s":%.3f,"pool_hits":%d,"pool_faults":%d,"pool_evictions":%d,"tenants":[%s]}|}
+          (Buffer_pool.policy_to_string policy)
+          n rate duration pool_hits pool_faults pool_evictions
+          (String.concat "," tenant_rows)
+        |> print_newline
+      end
+      else begin
+        Printf.printf
+          "open loop: %d tenant(s), %.0f arrivals/s each for %.1fs, policy=%s, shared pool: \
+           hits=%d faults=%d evictions=%d\n"
+          n rate duration
+          (Buffer_pool.policy_to_string policy)
+          pool_hits pool_faults pool_evictions;
+        Printf.printf "%6s %5s %9s %9s %8s %9s %10s %10s %10s\n" "tenant" "role" "arrivals"
+          "completed" "q/s" "hit-rate" "p50[ms]" "p99[ms]" "p999[ms]";
+        List.iter
+          (fun id ->
+            let hist, submitted, rejected, completed, failed, hit_rate = row id in
+            ignore rejected;
+            ignore failed;
+            Printf.printf "%6s %5s %9d %9d %8.1f %8.1f%% %10.3f %10.3f %10.3f\n" id
+              (if String.equal id "t00" then "scan" else "hot")
+              submitted completed
+              (float_of_int completed /. duration)
+              (100.0 *. hit_rate)
+              (Scj_stats.Histogram.percentile hist 50.0)
+              (Scj_stats.Histogram.percentile hist 99.0)
+              (Scj_stats.Histogram.percentile hist 99.9))
+          ids
+      end;
+      Catalog.close catalog;
+      0
+  in
+  let run_closed input clients rounds fault_us capacity deadline_ms workers_flag mutate json =
     match load_db input with
     | Error e ->
       prerr_endline e;
@@ -1022,15 +1341,24 @@ let workload_cmd =
       |> print_newline;
       0
   in
+  let run input clients rounds fault_us capacity deadline_ms workers_flag mutate json open_loop
+      docs_n rate duration policy =
+    if open_loop || docs_n > 0 then
+      run_open_loop input docs_n rate duration fault_us capacity
+        (Option.map (fun ms -> ms /. 1000.0) deadline_ms)
+        workers_flag policy json
+    else run_closed input clients rounds fault_us capacity deadline_ms workers_flag mutate json
+  in
   Cmd.v
     (Cmd.info "workload"
        ~doc:
          "Replay a mixed read workload (paged staircase steps + XPath) through the query \
-          service at increasing client-domain counts, reporting throughput scaling and \
-          buffer-pool hit rates.")
+          service at increasing client-domain counts (closed loop), or — with --open-loop — \
+          pace a fixed per-tenant arrival rate over several documents behind one shared buffer \
+          pool, reporting per-tenant qps, hit rate and p99/p999 latency.")
     Term.(
       const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ workers_arg
-      $ mutate $ json)
+      $ mutate $ json $ open_loop_flag $ docs_n $ rate $ duration $ policy_arg)
 
 let () =
   let open Cmdliner in

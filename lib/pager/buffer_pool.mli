@@ -30,9 +30,35 @@
       [max_overflow] bounds the excess, turning exhaustion into a clean
       {!Exhausted} failure instead of unbounded growth.
 
-    With [stripes = 1] (the default) and a single thread, the pool
-    behaves exactly like a plain LRU pool: same hit/fault/eviction counts
-    and the same eviction order. *)
+    With [stripes = 1] (the default), the default {!policy-Lru} policy
+    and a single thread, the pool behaves exactly like a plain LRU pool:
+    same hit/fault/eviction counts and the same eviction order.
+
+    {2 Eviction policies}
+
+    The pool runs one of two replacement policies, chosen at {!create}:
+
+    - {!policy-Lru} — the classic least-recently-used order (per
+      stripe).  Simple, but a single cold sequential scan of a large
+      document flushes every other tenant's working set;
+    - {!policy-Two_q} — scan-resistant 2Q (Johnson & Shasha, simplified
+      2Q), per stripe.  A faulting page first enters the FIFO queue
+      {e A1in} (bounded to [max 1 (cap / 4)] frames, pinned frames
+      included in the count); hits inside A1in neither reorder nor
+      promote it.  When A1in exceeds its bound, its oldest frame is
+      evicted and its page id goes into the {e A1out} ghost FIFO
+      (bounded to [max 1 (cap / 2)] ids, lazily pruned); a page faulting
+      back while its ghost entry is live has proven reuse beyond one
+      scan window and is admitted into the main LRU queue {e Am}.
+      Otherwise eviction takes the Am LRU tail (without a ghost entry).
+      If the preferred queue has no unpinned frame the other queue is
+      tried before overflowing.  Net effect: one tenant's cold scan
+      churns only its small A1in share and can never displace another
+      tenant's Am working set.
+
+    The counting contract (hits/faults/evictions, tallies, the
+    Σ-tallies = pool-counters invariant, [max_overflow] exhaustion) is
+    policy-independent. *)
 
 module Store : sig
   type t
@@ -64,6 +90,18 @@ module Store : sig
   val length : t -> int
 
   val fault_latency : t -> float
+
+  (** [concat stores] glues several stores into one page-aligned address
+      space and returns (combined store, base page of each component, in
+      order) — how a multi-document catalog serves every tenant's
+      extents out of one shared pool.  Component [i]'s page [p] is
+      combined page [base_i + p]; each component occupies a whole number
+      of pages (the padding tail of a partial last page is
+      unaddressable).  A fault routes to the owning component and pays
+      {e its} fault latency.
+      @raise Invalid_argument on an empty list or mismatched
+      [page_ints]. *)
+  val concat : t list -> t * int list
 end
 
 (** Per-query pool-traffic accounting: a tally is owned by one query (one
@@ -86,12 +124,25 @@ exception Exhausted of string
 
 type t
 
-(** [create ?stripes ?max_overflow ~capacity store] — a pool of at most
-    [capacity] resident page frames, latch-striped [stripes] ways
-    (clamped to [capacity]; default 1).  [max_overflow] bounds how many
-    frames past its capacity share a stripe may grow when every resident
-    frame is pinned (default: unbounded); past the bound a fault raises
-    {!Exhausted} instead of spinning or growing.
+(** The replacement policy (see the module preamble): [Lru] is the
+    historical default, [Two_q] the scan-resistant alternative.  The
+    two are selectable per pool for A/B comparison under identical
+    workloads. *)
+type policy = Lru | Two_q
+
+val policy_to_string : policy -> string
+
+(** ["lru"], ["2q"] (also ["two_q"]/["twoq"]); [None] otherwise. *)
+val policy_of_string : string -> policy option
+
+(** [create ?policy ?stripes ?max_overflow ~capacity store] — a pool of
+    at most [capacity] resident page frames, latch-striped [stripes]
+    ways (clamped to [capacity]; default 1), evicting in [policy] order
+    (default [Lru] — existing callers see bit-identical behavior).
+    [max_overflow] bounds how many frames past its capacity share a
+    stripe may grow when every resident frame is pinned (default:
+    unbounded); past the bound a fault raises {!Exhausted} instead of
+    spinning or growing.
 
     [epoch] tags the pool with the rendition of the document its pages
     belong to (default 0): under snapshot isolation every rendition gets
@@ -99,9 +150,12 @@ type t
     two renditions.
 
     @raise Invalid_argument if [capacity <= 0] or [max_overflow < 0]. *)
-val create : ?stripes:int -> ?max_overflow:int -> ?epoch:int -> capacity:int -> Store.t -> t
+val create :
+  ?policy:policy -> ?stripes:int -> ?max_overflow:int -> ?epoch:int -> capacity:int -> Store.t -> t
 
 val capacity : t -> int
+
+val policy : t -> policy
 
 (** Rendition tag this pool's pages belong to. *)
 val epoch : t -> int

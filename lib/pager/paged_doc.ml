@@ -6,6 +6,8 @@ module Exec = Scj_trace.Exec
 
 type t = {
   pool : Buffer_pool.t;
+  off : int;  (* integer offset of this document's extents in the pool
+                 (base_page * page_ints); 0 for a single-document pool *)
   n : int;
   height : int;
   prefix_base : int;  (* first integer index of the attr-prefix extent *)
@@ -45,9 +47,11 @@ let guard_capacity ~who ~stripes ~capacity =
    a range's attribute count costs two reads, attribute runs are found by
    binary search, and the estimation copy phase can emit whole runs while
    faulting only prefix pages — never the post column. *)
-let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ?(epoch = 0) ~capacity doc =
-  let stripes = max 1 stripes in
-  guard_capacity ~who:"Paged_doc.load" ~stripes ~capacity;
+(* The three extents of [doc] as a simulated-disk store — the in-memory
+   page image behind [load], exposed separately so a multi-document
+   catalog can concatenate several images (and file-backed stores)
+   behind one shared pool. *)
+let image_store ?(page_ints = 1024) ?fault_latency doc =
   let n = Doc.n_nodes doc in
   let prefix_base, size_base = extents ~page_ints ~n in
   let data = Array.make (size_base + n) 0 in
@@ -57,9 +61,17 @@ let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ?(epoch = 0) ~capacit
   Array.blit posts 0 data 0 n;
   Array.blit prefix 0 data prefix_base (n + 1);
   Array.blit sizes 0 data size_base n;
-  let store = Buffer_pool.Store.create ?fault_latency ~page_ints data in
+  Buffer_pool.Store.create ?fault_latency ~page_ints data
+
+let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ?(epoch = 0) ~capacity doc =
+  let stripes = max 1 stripes in
+  guard_capacity ~who:"Paged_doc.load" ~stripes ~capacity;
+  let store = image_store ~page_ints ?fault_latency doc in
+  let n = Doc.n_nodes doc in
+  let prefix_base, size_base = extents ~page_ints ~n in
   {
     pool = Buffer_pool.create ~stripes ~epoch ~capacity store;
+    off = 0;
     n;
     height = Doc.height doc;
     prefix_base;
@@ -69,14 +81,18 @@ let load ?(page_ints = 1024) ?(stripes = 1) ?fault_latency ?(epoch = 0) ~capacit
 
 (* Attach to a pool whose store already holds the three page-aligned
    extents — how a durable {!Scj_store} store exposes its page file as a
-   paged document without re-encoding. *)
-let attach ~n ~height pool =
+   paged document without re-encoding, and, with [base_page], how every
+   document of a multi-document catalog views its own slice of one
+   shared pool. *)
+let attach ?(base_page = 0) ~n ~height pool =
   guard_capacity ~who:"Paged_doc.attach"
     ~stripes:(Buffer_pool.n_stripes pool)
     ~capacity:(Buffer_pool.capacity pool);
+  if base_page < 0 then invalid_arg "Paged_doc.attach: base_page must be non-negative";
   let page_ints = Buffer_pool.page_ints pool in
+  let off = base_page * page_ints in
   let prefix_base, size_base = extents ~page_ints ~n in
-  { pool; n; height; prefix_base; size_base; tally = None }
+  { pool; off; n; height; prefix_base = off + prefix_base; size_base = off + size_base; tally = None }
 
 let pool t = t.pool
 
@@ -94,7 +110,7 @@ let read t i = Buffer_pool.read ?tally:t.tally t.pool i
 
 let post t i =
   check t i "post";
-  read t i
+  read t (t.off + i)
 
 (* prefix-sum column entry j, 0 <= j <= n *)
 let prefix t j = read t (t.prefix_base + j)
@@ -115,13 +131,17 @@ let size t i =
    one hit/miss per page instead of one per integer. *)
 let scan_posts t ~from ~upto f =
   let page_ints = Buffer_pool.page_ints t.pool in
+  (* [off] is page-aligned, so rank-space page boundaries coincide with
+     pool-page boundaries shifted by [base_page] *)
+  let base_page = t.off / page_ints in
   let i = ref from in
   while !i <= upto do
-    let page = !i / page_ints in
-    let base = page * page_ints in
+    let base = !i / page_ints * page_ints in
     let hi = min upto (base + page_ints - 1) in
     let next =
-      Buffer_pool.with_page ?tally:t.tally t.pool page (fun data -> f ~base data ~lo:!i ~hi)
+      Buffer_pool.with_page ?tally:t.tally t.pool
+        (base_page + (!i / page_ints))
+        (fun data -> f ~base data ~lo:!i ~hi)
     in
     i := max next (!i + 1)
   done

@@ -54,13 +54,23 @@ val load :
   Scj_encoding.Doc.t ->
   t
 
-(** [attach ~n ~height pool] wraps a pool whose store already holds the
-    three page-aligned extents ([post | attr_prefix | size], each extent
-    starting on a page boundary) for a document of [n] nodes — the hook a
-    durable store uses to expose its page file without re-encoding.
+(** [image_store ?page_ints ?fault_latency doc] — the three page-aligned
+    extents of [doc] laid out as an in-memory simulated-disk store
+    (what {!load} builds its pool over).  Exposed so a multi-document
+    catalog can {!Buffer_pool.Store.concat} several images (and
+    file-backed stores) behind one shared pool. *)
+val image_store : ?page_ints:int -> ?fault_latency:float -> Scj_encoding.Doc.t -> Buffer_pool.Store.t
+
+(** [attach ?base_page ~n ~height pool] wraps a pool whose store holds
+    the three page-aligned extents ([post | attr_prefix | size], each
+    extent starting on a page boundary) for a document of [n] nodes
+    starting at pool page [base_page] (default 0) — the hook a durable
+    store uses to expose its page file without re-encoding, and the hook
+    a multi-document catalog uses to give each document a view of its
+    own slice of one shared pool.
     @raise Invalid_argument if the pool's capacity cannot hold one
-    query's working set (3 frames per stripe). *)
-val attach : n:int -> height:int -> Buffer_pool.t -> t
+    query's working set (3 frames per stripe) or [base_page < 0]. *)
+val attach : ?base_page:int -> n:int -> height:int -> Buffer_pool.t -> t
 
 val pool : t -> Buffer_pool.t
 

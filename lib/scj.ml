@@ -80,5 +80,7 @@ module Wal = Scj_store.Wal
 (** {1 Unified handle & query service} *)
 
 module Db = Scj_db.Db
+module Catalog = Scj_db.Catalog
 module Server = Scj_server.Server
+module Shard = Scj_server.Shard
 module Histogram = Scj_stats.Histogram

@@ -1,0 +1,76 @@
+module Error = Scj_error.Error
+module Catalog = Scj_db.Catalog
+
+type tenant = { tid : string; tserver : Server.t }
+
+type t = { catalog : Catalog.t; tenants : tenant array (* document order *) }
+
+let create ?workers ?queue_bound ?deadline catalog =
+  let tenants =
+    List.map
+      (fun (id, db) -> { tid = id; tserver = Server.create ?workers ?queue_bound ?deadline db })
+      (Catalog.to_list catalog)
+  in
+  { catalog; tenants = Array.of_list tenants }
+
+let catalog t = t.catalog
+
+let n_docs t = Array.length t.tenants
+
+let ids t = Array.to_list (Array.map (fun ten -> ten.tid) t.tenants)
+
+let find t id =
+  let n = Array.length t.tenants in
+  let rec go lo hi =
+    if lo >= hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      let ten = t.tenants.(mid) in
+      let c = String.compare id ten.tid in
+      if c = 0 then Some ten else if c < 0 then go lo mid else go (mid + 1) hi
+    end
+  in
+  go 0 n
+
+let server t id = Option.map (fun ten -> ten.tserver) (find t id)
+
+let epoch t id = Option.map (fun ten -> Server.epoch ten.tserver) (find t id)
+
+let unknown id = Error.validation (Printf.sprintf "unknown document id: %s" id)
+
+let submit ?deadline t ~doc query =
+  Option.map (fun ten -> Server.submit ?deadline ten.tserver query) (find t doc)
+
+let run ?deadline t ~doc query =
+  match find t doc with
+  | None -> Server.Failed (unknown doc)
+  | Some ten -> Server.run ?deadline ten.tserver query
+
+(* Cross-corpus scatter-gather: submit to every tenant first — each
+   accepted query is drained by [Pool.async] jobs on the shared morsel
+   pool, so the fan-out runs concurrently across documents — then await
+   in document order.  The merged answer is one outcome per document,
+   (doc id, document-order): concatenating the replies' node sequences
+   yields exactly the per-document serial evaluation, concatenated in
+   document order (the differential harness's oracle). *)
+let run_all ?deadline t query =
+  let admissions =
+    Array.map (fun ten -> (ten.tid, Server.submit ?deadline ten.tserver query)) t.tenants
+  in
+  Array.to_list
+    (Array.map
+       (fun (id, adm) ->
+         match adm with
+         | Server.Accepted h -> (id, Server.await h)
+         | Server.Overloaded -> (id, Server.Failed Error.Overloaded)
+         | Server.Stopped -> (id, Server.Failed Error.Shutdown))
+       admissions)
+
+let stats t =
+  Array.to_list (Array.map (fun ten -> (ten.tid, Server.stats ten.tserver)) t.tenants)
+
+(* The shared pool's counters — the global side of the cross-tenant
+   Σ-tallies invariant (every tenant's tally traffic lands here). *)
+let pool_stats t = Scj_pager.Buffer_pool.stats (Catalog.pool t.catalog)
+
+let shutdown ?drain t = Array.iter (fun ten -> Server.shutdown ?drain ten.tserver) t.tenants

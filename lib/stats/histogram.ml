@@ -87,10 +87,12 @@ let reset t =
 let pp ppf t =
   if t.count = 0 then Format.fprintf ppf "(no samples)"
   else
-    Format.fprintf ppf "n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms max=%.3fms" t.count
-      (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0) (max_ms t)
+    Format.fprintf ppf "n=%d mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms p999=%.3fms max=%.3fms"
+      t.count (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
+      (percentile t 99.9) (max_ms t)
 
 let to_json t =
   Printf.sprintf
-    "{\"count\":%d,\"mean_ms\":%.4f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"max_ms\":%.4f}"
-    t.count (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0) (max_ms t)
+    "{\"count\":%d,\"mean_ms\":%.4f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"p999_ms\":%.4f,\"max_ms\":%.4f}"
+    t.count (mean t) (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
+    (percentile t 99.9) (max_ms t)

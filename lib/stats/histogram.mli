@@ -34,8 +34,10 @@ val copy : t -> t
 
 val reset : t -> unit
 
-(** One line: [n=… mean=… p50=… p95=… p99=… max=…] (all ms). *)
+(** One line: [n=… mean=… p50=… p95=… p99=… p999=… max=…] (all ms). *)
 val pp : Format.formatter -> t -> unit
 
-(** JSON object with count, mean and the standard quantiles. *)
+(** JSON object with count, mean and the standard quantiles (p50, p95,
+    p99, p999 — the tail quantile an open-loop tenant workload
+    reports). *)
 val to_json : t -> string

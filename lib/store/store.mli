@@ -88,6 +88,14 @@ val paged : ?stripes:int -> ?capacity:int -> t -> Scj_pager.Paged_doc.t
     stats are real page-file reads. *)
 val pool : t -> Scj_pager.Buffer_pool.t
 
+(** The page file's column extents as a raw buffer-pool store (every
+    fetch a checksum-verified pread) — the hook a multi-document catalog
+    uses to put several stores behind {e one} shared pool
+    ({!Scj_pager.Buffer_pool.Store.concat}).  Describes the durable
+    {e base} rendition: with pending mutations the extents lag the
+    current document, so catalogs fall back to an in-memory image. *)
+val pool_store : t -> Scj_pager.Buffer_pool.Store.t
+
 (** Materialize the current in-memory document (post + meta extents,
     read directly and checksum-verified, {e not} through the buffer
     pool — pool stats stay pure query traffic — plus any pending

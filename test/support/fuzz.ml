@@ -110,6 +110,23 @@ let tree shape seed =
 
 let doc shape seed = Doc.of_tree (tree shape seed)
 
+(* Replay hook shared by every property/fuzz suite: failures print their
+   (shape, seed) pair, and SCJ_FUZZ_SEED=<seed> narrows a suite to that
+   single seed so the quoted failure replays directly. *)
+let env_seed () =
+  match Sys.getenv_opt "SCJ_FUZZ_SEED" with None -> None | Some s -> int_of_string_opt s
+
+let seeds default_count =
+  match env_seed () with Some s -> [ s ] | None -> List.init default_count Fun.id
+
+(* A small multi-document corpus: 2-4 documents of the same shape family
+   under independent sub-seeds, named in their catalog document order
+   ("doc00" < "doc01" < ...). *)
+let corpus shape seed =
+  let st = Random.State.make [| 0xd0c5; seed; Hashtbl.hash (shape_to_string shape) |] in
+  let n = 2 + Random.State.int st 3 in
+  List.init n (fun i -> (Printf.sprintf "doc%02d" i, doc shape (seed + (31 * (i + 1)))))
+
 (* A random context over [doc]'s nodes, deterministic in [seed]:
    sometimes empty, sometimes a single node, usually a small unsorted
    pick (Nodeseq sorts and dedups). *)

@@ -28,7 +28,7 @@ module Sql_plan = Scj_engine.Sql_plan
 module Paged_doc = Scj_pager.Paged_doc
 module Fuzz = Test_support.Fuzz
 
-let seeds = List.init 25 Fun.id
+let seeds = Fuzz.seeds 25
 
 let all_modes = [ Sj.No_skipping; Sj.Skipping; Sj.Estimation; Sj.Exact_size ]
 
@@ -248,9 +248,81 @@ let planner_cases =
         `Quick (test_planner_shape shape))
     Fuzz.all_shapes
 
+(* ------------------------------------------------------------------ *)
+(* multi-document scatter-gather vs the per-document serial oracle      *)
+(* ------------------------------------------------------------------ *)
+
+(* A fuzzed corpus of 2-4 documents behind one shared 2Q pool
+   (Catalog + Shard): the cross-corpus wildcard [Shard.run_all] must
+   equal evaluating the same query on each document through its own
+   isolated single-worker server, concatenated in document order — the
+   results node for node and the per-query work counters bit for bit
+   (the shared pool changes fault timing, never the join's work). *)
+
+module Catalog = Scj_db.Catalog
+module Db = Scj_db.Db
+module Server = Scj_server.Server
+module Shard = Scj_server.Shard
+
+let corpus_queries = [ "/descendant::item"; "/descendant::a/ancestor::b"; "//x" ]
+
+let reply_of shape seed ~what = function
+  | Server.Done r -> r
+  | Server.Timed_out -> fail_at shape seed "%s: timed out" what
+  | Server.Failed e -> fail_at shape seed "%s: failed: %s" what (Scj_error.Error.to_string e)
+  | Server.Dropped -> fail_at shape seed "%s: dropped" what
+
+let corpus_differential shape seed =
+  let entries = Fuzz.corpus shape seed in
+  let catalog =
+    Catalog.of_docs ~policy:Scj_pager.Buffer_pool.Two_q ~page_ints:16 ~capacity:8 entries
+  in
+  let shard = Shard.create ~workers:2 catalog in
+  let oracles =
+    List.map (fun (id, doc) -> (id, Server.create ~workers:1 (Db.of_doc doc))) entries
+  in
+  List.iter
+    (fun q ->
+      let outcomes = Shard.run_all shard (Server.Path q) in
+      if List.map fst outcomes <> List.map fst entries then
+        fail_at shape seed "query %s: wildcard order %s, document order %s" q
+          (String.concat "," (List.map fst outcomes))
+          (String.concat "," (List.map fst entries));
+      List.iter2
+        (fun (id, outcome) (id', oracle) ->
+          assert (id = id');
+          let r = reply_of shape seed ~what:(q ^ " scatter-gather " ^ id) outcome in
+          let r' =
+            reply_of shape seed ~what:(q ^ " serial oracle " ^ id)
+              (Server.run oracle (Server.Path q))
+          in
+          check_result shape seed
+            ~what:(q ^ " " ^ id ^ " scatter-gather vs serial")
+            r'.Server.result r.Server.result;
+          check_counters shape seed
+            ~what:(q ^ " " ^ id ^ " work counters")
+            r'.Server.work r.Server.work)
+        outcomes oracles)
+    corpus_queries;
+  List.iter (fun (_, s) -> Server.shutdown s) oracles;
+  Shard.shutdown shard;
+  Catalog.close catalog
+
+let corpus_seeds = Fuzz.seeds 8
+
+let corpus_cases =
+  List.map
+    (fun shape ->
+      Alcotest.test_case
+        (Printf.sprintf "corpus scatter-gather: %s" (Fuzz.shape_to_string shape))
+        `Quick
+        (fun () -> List.iter (corpus_differential shape) corpus_seeds))
+    Fuzz.all_shapes
+
 let () =
   Alcotest.run "differential"
     [
       ("axes x implementations x modes", shape_cases);
       ("multi-step paths through the planner", planner_cases);
+      ("multi-document scatter-gather", corpus_cases);
     ]

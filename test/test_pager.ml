@@ -163,6 +163,311 @@ let test_lru_model () =
     [ (1, 1); (1, 3); (1, 5); (2, 5); (4, 8); (8, 8); (3, 7) ]
 
 (* ------------------------------------------------------------------ *)
+(* 2Q eviction vs a reference model                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Plain-list model of one 2Q stripe, mirroring lib/pager/buffer_pool.ml:
+   [am] is an LRU list (MRU first), [a1in] a FIFO of first-touch pages
+   (newest admitted first, hits do not reorder), [ghost] the bounded
+   A1out FIFO of page ids evicted from A1in.  Eviction happens before
+   admission, skips pinned pages, and overflows (admits anyway) when
+   every frame is pinned. *)
+type twoq_model = {
+  mutable am : int list;
+  mutable a1in : int list;
+  mutable ghost : int list;
+  pins : (int, int) Hashtbl.t;
+  cap : int;
+  kin : int;
+  kout : int;
+  mutable m_hits : int;
+  mutable m_faults : int;
+  mutable m_evictions : int;
+}
+
+let twoq_model_create cap =
+  {
+    am = [];
+    a1in = [];
+    ghost = [];
+    pins = Hashtbl.create 8;
+    cap;
+    kin = max 1 (cap / 4);
+    kout = max 1 (cap / 2);
+    m_hits = 0;
+    m_faults = 0;
+    m_evictions = 0;
+  }
+
+let model_pins m p = Option.value ~default:0 (Hashtbl.find_opt m.pins p)
+
+(* last unpinned element of [l] = the oldest/least-recent evictable *)
+let last_unpinned m l =
+  List.fold_left (fun acc p -> if model_pins m p = 0 then Some p else acc) None l
+
+let twoq_model_access m page =
+  if List.mem page m.am then begin
+    m.m_hits <- m.m_hits + 1;
+    m.am <- page :: List.filter (fun p -> p <> page) m.am
+  end
+  else if List.mem page m.a1in then m.m_hits <- m.m_hits + 1
+  else begin
+    m.m_faults <- m.m_faults + 1;
+    let continue_ = ref true in
+    while !continue_ && List.length m.am + List.length m.a1in >= m.cap do
+      let from_a1in = last_unpinned m m.a1in in
+      let from_am = last_unpinned m m.am in
+      let victim =
+        if List.length m.a1in > m.kin then
+          match from_a1in with Some _ -> `A1in from_a1in | None -> `Am from_am
+        else match from_am with Some _ -> `Am from_am | None -> `A1in from_a1in
+      in
+      match victim with
+      | `A1in None | `Am None -> continue_ := false
+      | `A1in (Some p) ->
+        m.a1in <- List.filter (fun q -> q <> p) m.a1in;
+        m.ghost <- p :: List.filter (fun q -> q <> p) m.ghost;
+        m.ghost <- List.filteri (fun i _ -> i < m.kout) m.ghost;
+        m.m_evictions <- m.m_evictions + 1
+      | `Am (Some p) ->
+        m.am <- List.filter (fun q -> q <> p) m.am;
+        m.m_evictions <- m.m_evictions + 1
+    done;
+    if List.mem page m.ghost then begin
+      m.ghost <- List.filter (fun p -> p <> page) m.ghost;
+      m.am <- page :: m.am
+    end
+    else m.a1in <- page :: m.a1in
+  end
+
+let model_resident m page = List.mem page m.am || List.mem page m.a1in
+
+(* Nested random traces: plain reads, sequential scan bursts, and
+   pinned spans (with_page held across the inner ops) — the access mix a
+   multi-tenant pool actually sees. *)
+type trace_op = Access of int | Scan of int * int | Pinned of int * trace_op list
+
+let gen_trace ~n_pages seed =
+  let st = Random.State.make [| 0x2b0f; seed |] in
+  let rec ops depth budget =
+    if !budget <= 0 then []
+    else begin
+      decr budget;
+      let op =
+        match Random.State.int st 10 with
+        | 0 | 1 ->
+          let start = Random.State.int st n_pages in
+          Scan (start, 1 + Random.State.int st (n_pages / 2))
+        | 2 when depth < 2 ->
+          let inner_budget = ref (1 + Random.State.int st 6) in
+          Pinned (Random.State.int st n_pages, ops (depth + 1) inner_budget)
+        | _ -> Access (Random.State.int st n_pages)
+      in
+      op :: ops depth budget
+    end
+  in
+  ops 0 (ref (120 + Random.State.int st 120))
+
+(* Drive the same trace through a real pool and through one model per
+   stripe; every access goes through a tally so the run also checks the
+   Σ-tallies = pool-counters invariant under the 2Q policy. *)
+let check_twoq_model ~stripes ~capacity seed =
+  let page_ints = 4 in
+  let n_pages = 16 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Alcotest.failf "2q-model cap=%d stripes=%d seed=%d: %s" capacity stripes seed msg)
+      fmt
+  in
+  let data = Array.init (page_ints * n_pages) Fun.id in
+  let pool =
+    Buffer_pool.create ~policy:Buffer_pool.Two_q ~stripes ~capacity
+      (Buffer_pool.Store.create ~page_ints data)
+  in
+  let n_stripes = max 1 (min stripes capacity) in
+  let models =
+    Array.init n_stripes (fun i ->
+        twoq_model_create ((capacity / n_stripes) + if i < capacity mod n_stripes then 1 else 0))
+  in
+  let model_of page = models.(page mod n_stripes) in
+  let tally = Buffer_pool.Tally.create () in
+  let access page =
+    let v = Buffer_pool.read ~tally pool (page * page_ints) in
+    if v <> page * page_ints then fail "page %d read %d" page v;
+    twoq_model_access (model_of page) page
+  in
+  let rec run_ops = function
+    | [] -> ()
+    | Access p :: rest ->
+      access p;
+      run_ops rest
+    | Scan (start, len) :: rest ->
+      for i = 0 to len - 1 do
+        access ((start + i) mod n_pages)
+      done;
+      run_ops rest
+    | Pinned (p, inner) :: rest ->
+      Buffer_pool.with_page ~tally pool p (fun _ ->
+          let m = model_of p in
+          twoq_model_access m p;
+          Hashtbl.replace m.pins p (model_pins m p + 1);
+          run_ops inner;
+          Hashtbl.replace m.pins p (model_pins m p - 1));
+      run_ops rest
+  in
+  run_ops (gen_trace ~n_pages seed);
+  let hits, faults, evictions = Buffer_pool.stats pool in
+  let sum f = Array.fold_left (fun acc m -> acc + f m) 0 models in
+  if hits <> sum (fun m -> m.m_hits) then fail "hits %d, model %d" hits (sum (fun m -> m.m_hits));
+  if faults <> sum (fun m -> m.m_faults) then
+    fail "faults %d, model %d" faults (sum (fun m -> m.m_faults));
+  if evictions <> sum (fun m -> m.m_evictions) then
+    fail "evictions %d, model %d" evictions (sum (fun m -> m.m_evictions));
+  for page = 0 to n_pages - 1 do
+    if Buffer_pool.is_resident pool page <> model_resident (model_of page) page then
+      fail "page %d residency: pool %b, model %b" page
+        (Buffer_pool.is_resident pool page)
+        (model_resident (model_of page) page)
+  done;
+  if Buffer_pool.pinned pool <> 0 then fail "pins leaked: %d" (Buffer_pool.pinned pool);
+  if Buffer_pool.Tally.total tally <> hits + faults then
+    fail "tally %d <> pool counters %d" (Buffer_pool.Tally.total tally) (hits + faults)
+
+let test_twoq_model () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (stripes, capacity) -> check_twoq_model ~stripes ~capacity seed)
+        [ (1, 4); (1, 5); (1, 8); (1, 12); (2, 4); (2, 9) ])
+    (Test_support.Fuzz.seeds 40)
+
+(* The same random trace under both policies: the counting machinery is
+   policy-independent, so Σ-tallies = pool-counters must survive an
+   eviction-policy swap even though the hit/fault split differs. *)
+let test_policy_swap_tally_invariant () =
+  List.iter
+    (fun seed ->
+      let page_ints = 4 in
+      let n_pages = 16 in
+      let data = Array.init (page_ints * n_pages) Fun.id in
+      let trace = gen_trace ~n_pages seed in
+      let totals =
+        List.map
+          (fun policy ->
+            let pool =
+              Buffer_pool.create ~policy ~stripes:2 ~capacity:5
+                (Buffer_pool.Store.create ~page_ints data)
+            in
+            let tally = Buffer_pool.Tally.create () in
+            let rec run_ops = function
+              | [] -> ()
+              | Access p :: rest ->
+                ignore (Buffer_pool.read ~tally pool (p * page_ints));
+                run_ops rest
+              | Scan (start, len) :: rest ->
+                for i = 0 to len - 1 do
+                  ignore (Buffer_pool.read ~tally pool ((start + i) mod n_pages * page_ints))
+                done;
+                run_ops rest
+              | Pinned (p, inner) :: rest ->
+                Buffer_pool.with_page ~tally pool p (fun _ -> run_ops inner);
+                run_ops rest
+            in
+            run_ops trace;
+            let hits, faults, _ = Buffer_pool.stats pool in
+            check_int
+              (Printf.sprintf "seed=%d %s: tally = pool counters" seed
+                 (Buffer_pool.policy_to_string policy))
+              (hits + faults)
+              (Buffer_pool.Tally.total tally);
+            check_int
+              (Printf.sprintf "seed=%d %s: pins drained" seed
+                 (Buffer_pool.policy_to_string policy))
+              0 (Buffer_pool.pinned pool);
+            hits + faults
+          )
+          [ Buffer_pool.Lru; Buffer_pool.Two_q ]
+      in
+      match totals with
+      | [ lru_total; twoq_total ] ->
+        check_int
+          (Printf.sprintf "seed=%d: same access count under both policies" seed)
+          lru_total twoq_total
+      | _ -> assert false)
+    (Test_support.Fuzz.seeds 20)
+
+(* Pin exhaustion mid-scan under 2Q: the aborted fault stays counted
+   (the invariant survives), the diagnosis points at the pins, and the
+   pool works again once the pins drain. *)
+let test_twoq_pin_exhaustion_mid_scan () =
+  let contains msg sub =
+    let n = String.length msg and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+    go 0
+  in
+  let store = Buffer_pool.Store.create ~page_ints:4 (Array.init 64 Fun.id) in
+  let pool = Buffer_pool.create ~policy:Buffer_pool.Two_q ~max_overflow:0 ~capacity:2 store in
+  let tally = Buffer_pool.Tally.create () in
+  let aborted = ref 0 in
+  Buffer_pool.with_page ~tally pool 0 (fun _ ->
+      Buffer_pool.with_page ~tally pool 1 (fun _ ->
+          (* a sequential scan arrives while both frames are pinned *)
+          for page = 2 to 5 do
+            match Buffer_pool.read ~tally pool (page * 4) with
+            | _ -> Alcotest.fail "fault over a fully pinned 2Q pool returned a value"
+            | exception Buffer_pool.Exhausted msg ->
+              incr aborted;
+              check_bool "diagnosis names the pins" true (contains msg "pinned")
+          done));
+  check_int "every scan fault aborted" 4 !aborted;
+  let hits, faults, _ = Buffer_pool.stats pool in
+  check_int "aborted faults still counted" (hits + faults) (Buffer_pool.Tally.total tally);
+  check_int "pins drained" 0 (Buffer_pool.pinned pool);
+  (* pins gone: the same scan succeeds and lands in A1in *)
+  for page = 2 to 5 do
+    check_int "scan readable after pins drain" (page * 4) (Buffer_pool.read ~tally pool (page * 4))
+  done;
+  let hits2, faults2, _ = Buffer_pool.stats pool in
+  check_int "invariant holds after recovery" (hits2 + faults2) (Buffer_pool.Tally.total tally)
+
+(* The scan-resistance headline at pool sizes down to 4 frames: a hot
+   page re-referenced through the ghost queue survives an arbitrarily
+   long one-pass scan that would flush any LRU pool. *)
+let test_twoq_scan_resistance () =
+  List.iter
+    (fun capacity ->
+      let page_ints = 4 in
+      let n_pages = 64 in
+      let data = Array.init (page_ints * n_pages) Fun.id in
+      let run policy =
+        let pool =
+          Buffer_pool.create ~policy ~capacity (Buffer_pool.Store.create ~page_ints data)
+        in
+        let touch page = ignore (Buffer_pool.read pool (page * page_ints)) in
+        (* promote page 0 into Am: fault, get evicted into the ghost
+           queue, ghost-hit re-fault (the re-touch comes right after the
+           eviction, while the ghost entry is still live) *)
+        touch 0;
+        for p = 1 to capacity do
+          touch p
+        done;
+        touch 0;
+        (* one-pass cold scan over everything else *)
+        for p = capacity + 1 to n_pages - 1 do
+          touch p
+        done;
+        Buffer_pool.is_resident pool 0
+      in
+      check_bool
+        (Printf.sprintf "capacity %d: 2Q keeps the hot page through a cold scan" capacity)
+        true (run Buffer_pool.Two_q);
+      check_bool
+        (Printf.sprintf "capacity %d: LRU loses it (the A/B control)" capacity)
+        false (run Buffer_pool.Lru))
+    [ 4; 5; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
 (* striped pool under concurrent reader domains                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -378,6 +683,13 @@ let () =
           Alcotest.test_case "reset and flush" `Quick test_pool_reset_flush;
           Alcotest.test_case "bounds" `Quick test_pool_bounds;
           Alcotest.test_case "eviction = plain-list LRU model" `Quick test_lru_model;
+          Alcotest.test_case "2Q eviction = plain-list 2Q model" `Quick test_twoq_model;
+          Alcotest.test_case "tally invariant survives policy swap" `Quick
+            test_policy_swap_tally_invariant;
+          Alcotest.test_case "2Q pin exhaustion mid-scan" `Quick
+            test_twoq_pin_exhaustion_mid_scan;
+          Alcotest.test_case "2Q scan resistance (vs LRU control)" `Quick
+            test_twoq_scan_resistance;
           Alcotest.test_case "concurrent readers" `Quick test_pool_concurrent_readers;
           Alcotest.test_case "pin exhaustion" `Quick test_pool_pin_exhaustion;
           Alcotest.test_case "pin overflow allowance" `Quick test_pool_pin_overflow_allowance;

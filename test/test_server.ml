@@ -408,6 +408,172 @@ let test_write_conflicts () =
   | Server.Overloaded -> Alcotest.fail "shutdown misreported as backpressure"
 
 (* ------------------------------------------------------------------ *)
+(* sharded serving over one shared pool                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Shard = Scj_server.Shard
+module Catalog = Scj_db.Catalog
+
+(* root + [n] element children: a flat document whose descendant step
+   from the root touches exactly the posts extent, page by page *)
+let flat_doc n =
+  Doc.of_tree (Tree.elem "root" (List.init n (fun _ -> Tree.elem "x" [])))
+
+let cold_parts = 26
+
+let part_size = 190
+
+(* [cold_parts] independent subtrees; scanning them part by part gives
+   the cold tenant a deterministic chunked scan whose per-chunk churn
+   stays below the ghost window (so this is the adversarial-but-fair
+   access pattern 2Q is designed for) while the per-round footprint
+   still exceeds the pool capacity (so LRU loop-thrashes the victim) *)
+let cold_doc () =
+  Doc.of_tree
+    (Tree.elem "root"
+       (List.init cold_parts (fun _ ->
+            Tree.elem "part" (List.init part_size (fun _ -> Tree.elem "x" [])))))
+
+let part_pre i = 1 + (i * (part_size + 1))
+
+let outcome_done what = function
+  | Server.Done r -> r
+  | Server.Timed_out -> Alcotest.failf "%s timed out" what
+  | Server.Failed e -> Alcotest.failf "%s failed: %s" what (Err.to_string e)
+  | Server.Dropped -> Alcotest.failf "%s dropped" what
+
+(* Drive one (cold chunk; hot query) round-robin trace through a shard
+   and return the hot tenant's page hit rate over the measured rounds.
+   Everything is serial (one worker, one stripe), so the trace — and the
+   rate — is deterministic per policy. *)
+let fairness_hot_rate policy =
+  let hot_n = 48 in
+  let chunks_per_round = 12 in
+  let cat =
+    Catalog.of_docs ~policy ~page_ints:16 ~capacity:24
+      [ ("cold", cold_doc ()); ("hot", flat_doc hot_n) ]
+  in
+  let shard = Shard.create ~workers:1 cat in
+  let hot_tally () =
+    match Shard.stats shard with
+    | [ _; ("hot", s) ] -> (s.Server.tally_hits, s.Server.tally_misses)
+    | _ -> Alcotest.fail "shard stats not in document order"
+  in
+  let cursor = ref 0 in
+  let round () =
+    for _ = 1 to chunks_per_round do
+      let chunk =
+        Shard.run shard ~doc:"cold"
+          (Server.Step (`Desc, Nodeseq.singleton (part_pre (!cursor mod cold_parts))))
+      in
+      incr cursor;
+      check_int "cold chunk scans one part" part_size
+        (Nodeseq.length (outcome_done "cold chunk" chunk).Server.result)
+    done;
+    let hot = Shard.run shard ~doc:"hot" (Server.Step (`Desc, Nodeseq.singleton 0)) in
+    check_int "hot query sees its document" hot_n
+      (Nodeseq.length (outcome_done "hot query" hot).Server.result)
+  in
+  let warmup = 3 and measured = 8 in
+  for _ = 1 to warmup do
+    round ()
+  done;
+  let h0, m0 = hot_tally () in
+  for _ = 1 to measured do
+    round ()
+  done;
+  let h1, m1 = hot_tally () in
+  (* the tally invariant holds across tenants: the shared pool's totals
+     are exactly the sum of every tenant's per-query tallies *)
+  let hits, faults, _ = Shard.pool_stats shard in
+  let sum_hits, sum_misses =
+    List.fold_left
+      (fun (h, m) (_, s) -> (h + s.Server.tally_hits, m + s.Server.tally_misses))
+      (0, 0) (Shard.stats shard)
+  in
+  check_int "pool hits = sum of tenant tallies" hits sum_hits;
+  check_int "pool faults = sum of tenant tallies" faults sum_misses;
+  Shard.shutdown shard;
+  Catalog.close cat;
+  let accesses = h1 - h0 + (m1 - m0) in
+  check_bool "hot tenant did page work" true (accesses > 0);
+  float_of_int (h1 - h0) /. float_of_int accesses
+
+(* The fairness property behind the shared pool: a tenant that does
+   nothing but cold-scan must not evict another tenant's working set.
+   Under 2Q the scan lives and dies in A1in and the hot tenant keeps
+   (essentially) a 100% hit rate; under LRU the same trace loop-thrashes
+   the hot tenant.  Both rates are deterministic. *)
+let test_shared_pool_fairness () =
+  let twoq = fairness_hot_rate Buffer_pool.Two_q in
+  let lru = fairness_hot_rate Buffer_pool.Lru in
+  if twoq < 0.95 then
+    Alcotest.failf "hot tenant hit rate %.3f under 2Q fell below the 0.95 floor" twoq;
+  if twoq < lru +. 0.2 then
+    Alcotest.failf "2Q (%.3f) does not clearly beat LRU (%.3f) for the scanned-against tenant"
+      twoq lru
+
+(* Per-document epochs: a CAS [expect] on one tenant is checked against
+   that tenant's epoch only — commits and conflicts on document A are
+   invisible to document B's rendition chain, counters included. *)
+let test_per_doc_epoch_isolation () =
+  let cat =
+    Catalog.of_docs ~page_ints:16 ~capacity:16
+      [ ("a", Fuzz.doc Fuzz.Uniform 21); ("b", Fuzz.doc Fuzz.Wide 22) ]
+  in
+  let shard = Shard.create ~workers:1 cat in
+  let epoch_of id =
+    match Shard.epoch shard id with
+    | Some e -> e
+    | None -> Alcotest.failf "no epoch for %s" id
+  in
+  let write ?expect doc =
+    Shard.run shard ~doc
+      (Server.Write { op = Update.Insert { parent = 0; before = None; fragment }; expect })
+  in
+  (* a CAS at a's epoch commits on a and moves only a's chain *)
+  check_int "a's first commit" 1 (outcome_done "write a@0" (write ~expect:0 "a")).Server.epoch;
+  check_int "a advanced" 1 (epoch_of "a");
+  check_int "b untouched" 0 (epoch_of "b");
+  (* b's CAS at epoch 0 is still valid — a's commit is not b's *)
+  check_int "b's first commit" 1 (outcome_done "write b@0" (write ~expect:0 "b")).Server.epoch;
+  (* a stale CAS on a conflicts against a's epoch... *)
+  (match write ~expect:0 "a" with
+  | Server.Failed (Err.Conflict { expected = 0; actual = 1 }) -> ()
+  | Server.Failed e -> Alcotest.failf "wrong failure: %s" (Err.to_string e)
+  | _ -> Alcotest.fail "stale CAS on a did not conflict");
+  (* ...and moves neither epoch *)
+  check_int "conflict did not move a" 1 (epoch_of "a");
+  check_int "conflict did not disturb b" 1 (epoch_of "b");
+  (* a long unconditional commit chain on a never invalidates b's CAS *)
+  for i = 1 to 5 do
+    check_int "a chain" (1 + i) (outcome_done "write a" (write "a")).Server.epoch
+  done;
+  check_int "b's CAS at its own epoch still commits" 2
+    (outcome_done "write b@1" (write ~expect:1 "b")).Server.epoch;
+  (* the wildcard read-out answers from each tenant's own rendition *)
+  (match Shard.run_all shard (Server.Path "/descendant::hot") with
+  | [ ("a", oa); ("b", ob) ] ->
+    check_int "a's hot fragments" 6 (Nodeseq.length (outcome_done "read a" oa).Server.result);
+    check_int "b's hot fragments" 2 (Nodeseq.length (outcome_done "read b" ob).Server.result)
+  | _ -> Alcotest.fail "wildcard fan-out not in document order");
+  (* accounting is per tenant: the conflict is a's failure, nobody else's *)
+  (match Shard.stats shard with
+  | [ ("a", sa); ("b", sb) ] ->
+    check_int "a commits" 6 sa.Server.commits;
+    check_int "a failed" 1 sa.Server.failed;
+    check_int "b commits" 2 sb.Server.commits;
+    check_int "b failed" 0 sb.Server.failed
+  | _ -> Alcotest.fail "shard stats not in document order");
+  (* routing to an unknown id fails cleanly without touching any tenant *)
+  (match Shard.run shard ~doc:"nope" (Server.Path "/descendant::hot") with
+  | Server.Failed (Err.Validation _) -> ()
+  | _ -> Alcotest.fail "unknown document id was served");
+  check_bool "unknown id has no epoch" true (Shard.epoch shard "nope" = None);
+  Shard.shutdown shard;
+  Catalog.close cat
+
+(* ------------------------------------------------------------------ *)
 (* latency histogram                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +635,13 @@ let () =
             test_snapshot_isolation;
           Alcotest.test_case "write conflicts, invalid writes, long chains" `Quick
             test_write_conflicts;
+        ] );
+      ( "sharded serving",
+        [
+          Alcotest.test_case "scan-resistant fairness across tenants" `Quick
+            test_shared_pool_fairness;
+          Alcotest.test_case "per-document epoch CAS isolation" `Quick
+            test_per_doc_epoch_isolation;
         ] );
       ( "histogram",
         [

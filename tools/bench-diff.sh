@@ -86,14 +86,15 @@ for span in fresh:
         print(f"bench-diff: {name}: blit_speedup {attrs['blit_speedup']}x (informational)")
     base_attrs = base.get("attrs") or {}
     for key, val in sorted(attrs.items()):
-        # workload throughput is wall-clock-bound: report, never gate
-        if key.startswith("qps_c"):
+        # throughput is wall-clock-bound: report, never gate
+        if key.startswith("qps_"):
             base_v = base_attrs.get(key)
             extra = f", baseline {base_v}" if base_v is not None else ""
             print(f"bench-diff: {name}: {key} {val}{extra} (informational)")
         # hit rates depend on scheduling only mildly; gate with a wide
         # absolute tolerance to catch eviction-policy regressions (covers
-        # both pool-level hit_rate_cN and per-query hit_rate_tally_cN)
+        # pool-level hit_rate_cN, per-query hit_rate_tally_cN, and the
+        # shard experiment's per-policy victim rates hit_rate_victim_*)
         elif key.startswith("hit_rate") and key in base_attrs:
             drift = abs(float(val) - float(base_attrs[key]))
             if drift > 0.15:
