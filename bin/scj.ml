@@ -96,6 +96,18 @@ let pushdown_arg =
 
 let with_pushdown strategy pushdown = { strategy with Eval.pushdown }
 
+(* Shared by query/explain/plan/analyze: route the query text through the
+   compiled XQuery pipeline instead of the XPath parser. *)
+let xquery_arg =
+  let open Cmdliner in
+  Arg.(
+    value
+    & flag
+    & info [ "xquery" ]
+        ~doc:
+          "Treat the query as an XQuery-lite (FLWOR) expression: compile it into the plan IR \
+           (loop-lifting, value-join isolation) and run the operator program.")
+
 (* ------------------------------------------------------------------ *)
 (* gen                                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -225,45 +237,67 @@ let query_cmd =
     Arg.(value & flag & info [ "xml" ] ~doc:"Print each result node's subtree as XML.")
   in
   let limit = Arg.(value & opt int 20 & info [ "n"; "limit" ] ~docv:"N" ~doc:"Result rows to print.") in
-  let run input xpath strategy pushdown show_stats as_xml limit =
+  let run input xpath strategy pushdown show_stats as_xml limit xquery =
     match load_document input with
     | Error e ->
       prerr_endline e;
       1
-    | Ok doc -> (
+    | Ok doc ->
       let strategy = with_pushdown strategy pushdown in
       let session = Eval.session ~strategy doc in
       let exec = Exec.make () in
       let t0 = Unix.gettimeofday () in
-      match Eval.run ~exec session xpath with
-      | Error e ->
-        prerr_endline (Scj_error.Error.to_string e);
-        1
-      | Ok result ->
-        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-        Printf.printf "%d nodes in %.2f ms (%s)\n" (Nodeseq.length result) ms
-          (Eval.strategy_to_string strategy);
-        let shown = min limit (Nodeseq.length result) in
-        for i = 0 to shown - 1 do
-          let v = Nodeseq.get result i in
-          if as_xml then
-            print_endline (Scj_xml.Printer.to_string (Doc.to_tree doc v))
-          else
-            Printf.printf "  pre=%-8d %s %s\n" v
-              (Doc.kind_to_string (Doc.kind doc v))
-              (match Doc.tag_name doc v with
-              | Some n -> n
-              | None -> (
-                match Doc.content doc v with Some s -> Printf.sprintf "%S" s | None -> ""))
-        done;
-        if shown < Nodeseq.length result then
-          Printf.printf "  ... (%d more)\n" (Nodeseq.length result - shown);
-        if show_stats then Format.printf "work:@.%a@." Stats.pp exec.Exec.stats;
-        0)
+      if xquery then (
+        match Scj_xquery.Xq_eval.run ~exec session xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok value ->
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          let n = List.length value in
+          Printf.printf "%d item(s) in %.2f ms (%s, compiled)\n" n ms
+            (Eval.strategy_to_string strategy);
+          let shown = min limit n in
+          List.iteri
+            (fun i item ->
+              if i < shown then
+                print_endline (Scj_xquery.Xq_eval.serialize session [ item ]))
+            value;
+          if shown < n then Printf.printf "  ... (%d more)\n" (n - shown);
+          if show_stats then Format.printf "work:@.%a@." Stats.pp exec.Exec.stats;
+          0)
+      else (
+        match Eval.run ~exec session xpath with
+        | Error e ->
+          prerr_endline (Scj_error.Error.to_string e);
+          1
+        | Ok result ->
+          let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          Printf.printf "%d nodes in %.2f ms (%s)\n" (Nodeseq.length result) ms
+            (Eval.strategy_to_string strategy);
+          let shown = min limit (Nodeseq.length result) in
+          for i = 0 to shown - 1 do
+            let v = Nodeseq.get result i in
+            if as_xml then
+              print_endline (Scj_xml.Printer.to_string (Doc.to_tree doc v))
+            else
+              Printf.printf "  pre=%-8d %s %s\n" v
+                (Doc.kind_to_string (Doc.kind doc v))
+                (match Doc.tag_name doc v with
+                | Some n -> n
+                | None -> (
+                  match Doc.content doc v with Some s -> Printf.sprintf "%S" s | None -> ""))
+          done;
+          if shown < Nodeseq.length result then
+            Printf.printf "  ... (%d more)\n" (Nodeseq.length result - shown);
+          if show_stats then Format.printf "work:@.%a@." Stats.pp exec.Exec.stats;
+          0)
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Evaluate an XPath query against a document.")
-    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ show_stats $ as_xml $ limit)
+    (Cmd.info "query" ~doc:"Evaluate an XPath query (or, with --xquery, a FLWOR expression) against a document.")
+    Term.(
+      const run $ input $ xpath $ strategy_arg $ pushdown_arg $ show_stats $ as_xml $ limit
+      $ xquery_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain                                                              *)
@@ -273,25 +307,34 @@ let explain_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
-  let run input xpath strategy pushdown =
+  let run input xpath strategy pushdown xquery =
     match load_document input with
     | Error e ->
       prerr_endline e;
       1
-    | Ok doc -> (
-      match Scj_xpath.Parse.path xpath with
-      | Error e ->
-        prerr_endline e;
-        1
-      | Ok path ->
-        let strategy = with_pushdown strategy pushdown in
-        let session = Eval.session ~strategy doc in
-        print_string (Eval.explain session path);
-        0)
+    | Ok doc ->
+      let strategy = with_pushdown strategy pushdown in
+      let session = Eval.session ~strategy doc in
+      if xquery then (
+        match Scj_xquery.Xq_compile.compile_string session xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok compiled ->
+          print_string (Scj_xquery.Xq_compile.explain compiled);
+          0)
+      else (
+        match Scj_xpath.Parse.path xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok path ->
+          print_string (Eval.explain session path);
+          0)
   in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Show the evaluation plan for an XPath query, with cost-model detail.")
-    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg)
+    (Cmd.info "explain" ~doc:"Show the evaluation plan for an XPath or FLWOR query, with cost-model detail.")
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ xquery_arg)
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                 *)
@@ -302,29 +345,40 @@ let plan_cmd =
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let xpath = Arg.(required & pos 1 (some string) None & info [] ~docv:"XPATH") in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the plan as one JSON object.") in
-  let run input xpath strategy pushdown json =
+  let run input xpath strategy pushdown json xquery =
     match load_document input with
     | Error e ->
       prerr_endline e;
       1
-    | Ok doc -> (
-      match Scj_xpath.Parse.path xpath with
-      | Error e ->
-        prerr_endline e;
-        1
-      | Ok path ->
-        let strategy = with_pushdown strategy pushdown in
-        let session = Eval.session ~strategy doc in
-        if json then print_endline (Eval.plan_json session path)
-        else print_string (Eval.explain session path);
-        0)
+    | Ok doc ->
+      let strategy = with_pushdown strategy pushdown in
+      let session = Eval.session ~strategy doc in
+      if xquery then (
+        match Scj_xquery.Xq_compile.compile_string session xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok compiled ->
+          if json then print_endline (Scj_xquery.Xq_compile.plan_json compiled)
+          else print_string (Scj_xquery.Xq_compile.explain compiled);
+          0)
+      else (
+        match Scj_xpath.Parse.path xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok path ->
+          if json then print_endline (Eval.plan_json session path)
+          else print_string (Eval.explain session path);
+          0)
   in
   Cmd.v
     (Cmd.info "plan"
        ~doc:
-         "Print the physical plan the planner would execute for an XPath query: per-step \
-          backend choice, pushdown decision, cost estimates and rejected alternatives.")
-    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json)
+         "Print the physical plan the planner would execute for an XPath query (or, with \
+          --xquery, the loop-lifted FLWOR operator program): per-step backend choice, \
+          pushdown decision, cost estimates and rejected alternatives.")
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json $ xquery_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
@@ -337,35 +391,55 @@ let analyze_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the trace as a JSON span tree.")
   in
-  let run input xpath strategy pushdown json =
+  let run input xpath strategy pushdown json xquery =
     match load_document input with
     | Error e ->
       prerr_endline e;
       1
-    | Ok doc -> (
-      match Scj_xpath.Parse.path xpath with
-      | Error e ->
-        prerr_endline e;
-        1
-      | Ok path ->
-        let strategy = with_pushdown strategy pushdown in
-        let session = Eval.session ~strategy doc in
-        let result, trace = Eval.analyze session path in
-        if json then print_endline (Trace.to_json trace)
-        else begin
-          Format.printf "%a@." Trace.pp_tree trace;
-          Printf.printf "result: %d node(s)\n" (Nodeseq.length result);
-          Format.printf "totals:@.%a@." Stats.pp (Trace.stats trace)
-        end;
-        0)
+    | Ok doc ->
+      let strategy = with_pushdown strategy pushdown in
+      let session = Eval.session ~strategy doc in
+      if xquery then (
+        match Scj_xquery.Xq_compile.compile_string session xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok compiled -> (
+          match Scj_xquery.Xq_compile.analyze compiled with
+          | exception Scj_plan.Flwor.Error e ->
+            prerr_endline e;
+            1
+          | value, trace ->
+            if json then print_endline (Trace.to_json trace)
+            else begin
+              Format.printf "%a@." Trace.pp_tree trace;
+              Printf.printf "result: %d item(s)\n" (List.length value);
+              Format.printf "totals:@.%a@." Stats.pp (Trace.stats trace)
+            end;
+            0))
+      else (
+        match Scj_xpath.Parse.path xpath with
+        | Error e ->
+          prerr_endline e;
+          1
+        | Ok path ->
+          let result, trace = Eval.analyze session path in
+          if json then print_endline (Trace.to_json trace)
+          else begin
+            Format.printf "%a@." Trace.pp_tree trace;
+            Printf.printf "result: %d node(s)\n" (Nodeseq.length result);
+            Format.printf "totals:@.%a@." Stats.pp (Trace.stats trace)
+          end;
+          0)
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Evaluate an XPath query and print the traced execution plan: one span per step with \
-          the algorithm chosen, the pushdown decision, partitions, cardinalities, work \
-          counters and wall-clock timings (EXPLAIN ANALYZE).")
-    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json)
+         "Evaluate an XPath query (or, with --xquery, a compiled FLWOR program) and print the \
+          traced execution plan: one span per step/operator with the algorithm chosen, the \
+          pushdown decision, partitions, cardinalities, work counters and wall-clock timings \
+          (EXPLAIN ANALYZE).")
+    Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json $ xquery_arg)
 
 (* ------------------------------------------------------------------ *)
 (* xquery                                                               *)
@@ -375,7 +449,17 @@ let xquery_cmd =
   let open Cmdliner in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
   let query = Arg.(required & pos 1 (some string) None & info [] ~docv:"XQUERY") in
-  let run input query strategy pushdown =
+  let interpret =
+    Arg.(
+      value
+      & flag
+      & info [ "interpret" ]
+          ~doc:
+            "Use the tuple-at-a-time interpreter (the differential oracle) instead of the \
+             compiled operator pipeline.")
+  in
+  let show_stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.") in
+  let run input query strategy pushdown interpret show_stats =
     match load_document input with
     | Error e ->
       prerr_endline e;
@@ -383,17 +467,29 @@ let xquery_cmd =
     | Ok doc -> (
       let strategy = with_pushdown strategy pushdown in
       let session = Eval.session ~strategy doc in
-      match Scj_xquery.Xq_eval.run session query with
+      let exec = Exec.make () in
+      let result =
+        if interpret then
+          match Scj_xquery.Xq_parse.parse query with
+          | Error _ as e -> e
+          | Ok expr -> Scj_xquery.Xq_eval.interpret ~exec session expr
+        else Scj_xquery.Xq_eval.run ~exec session query
+      in
+      match result with
       | Error e ->
         prerr_endline e;
         1
       | Ok value ->
         print_endline (Scj_xquery.Xq_eval.serialize session value);
+        if show_stats then Format.printf "work:@.%a@." Stats.pp exec.Exec.stats;
         0)
   in
   Cmd.v
-    (Cmd.info "xquery" ~doc:"Evaluate an XQuery-lite (FLWOR) expression against a document.")
-    Term.(const run $ input $ query $ strategy_arg $ pushdown_arg)
+    (Cmd.info "xquery"
+       ~doc:
+         "Evaluate an XQuery-lite (FLWOR) expression against a document through the compiled \
+          plan-IR pipeline (or, with --interpret, the retained oracle interpreter).")
+    Term.(const run $ input $ query $ strategy_arg $ pushdown_arg $ interpret $ show_stats)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                             *)
@@ -458,40 +554,6 @@ let validate_cmd =
          "Check the pre/post encoding invariants of a document, or (for a store directory) run \
           WAL recovery and verify every page checksum.")
     Term.(const run $ input)
-
-(* ------------------------------------------------------------------ *)
-(* mil                                                                  *)
-(* ------------------------------------------------------------------ *)
-
-let mil_cmd =
-  let open Cmdliner in
-  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
-  let program =
-    Arg.(required & pos 1 (some string) None & info [] ~docv:"PROGRAM"
-           ~doc:"MIL program text, or a path to a .mil file.")
-  in
-  let run input program =
-    let program =
-      if Sys.file_exists program then In_channel.with_open_bin program In_channel.input_all
-      else program
-    in
-    match load_document input with
-    | Error e ->
-      prerr_endline e;
-      1
-    | Ok doc -> (
-      match Scj_mil.Mil.run doc program with
-      | Error e ->
-        prerr_endline e;
-        1
-      | Ok outcome ->
-        List.iter print_endline outcome.Scj_mil.Mil.printed;
-        0)
-  in
-  Cmd.v
-    (Cmd.info "mil"
-       ~doc:"Run a MIL-style plan program (the paper's experiment scripts) against a document.")
-    Term.(const run $ input $ program)
 
 (* ------------------------------------------------------------------ *)
 (* load: build a durable store                                          *)
@@ -764,6 +826,15 @@ let print_tenant_stats shard =
         (Format.asprintf "%a" Scj_stats.Histogram.pp s.Server.latency))
     (Shard.stats shard)
 
+(* A request line is XPath by default; an "xquery " prefix routes it
+   through the compiled FLWOR pipeline instead. *)
+let query_of_line line =
+  let prefix = "xquery " in
+  let plen = String.length prefix in
+  if String.length line > plen && String.equal (String.sub line 0 plen) prefix then
+    Server.Xquery (String.sub line plen (String.length line - plen))
+  else Server.Path line
+
 (* One request line in --docs mode: "DOC-ID QUERY" routes to one
    document, "* QUERY" scatter-gathers over the whole corpus. *)
 let serve_docs_line shard line =
@@ -781,7 +852,7 @@ let serve_docs_line shard line =
       | Server.Dropped -> Printf.printf "%sdropped at shutdown\n%!" prefix
     in
     if String.equal target "*" then begin
-      let outcomes = Shard.run_all shard (Server.Path query) in
+      let outcomes = Shard.run_all shard (query_of_line query) in
       let total =
         List.fold_left
           (fun acc (_, o) ->
@@ -791,7 +862,7 @@ let serve_docs_line shard line =
       List.iter (fun (id, o) -> print_outcome (Printf.sprintf "%-12s " id) o) outcomes;
       Printf.printf "* %d node(s) over %d document(s)\n%!" total (List.length outcomes)
     end
-    else print_outcome "" (Shard.run shard ~doc:target (Server.Path query))
+    else print_outcome "" (Shard.run shard ~doc:target (query_of_line query))
 
 let serve_docs dir workers deadline policy capacity =
   match
@@ -888,8 +959,8 @@ let serve_cmd =
     | Ok db ->
       let server = Server.create ?workers ?deadline db in
       Printf.eprintf
-        "scj serve: %d nodes (%s), %d worker domain(s); one XPath query per line, '\\stats' for \
-         service statistics, EOF to stop\n\
+        "scj serve: %d nodes (%s), %d worker domain(s); one XPath query per line ('xquery EXPR' \
+         for FLWOR), '\\stats' for service statistics, EOF to stop\n\
          %!"
         (Doc.n_nodes (Db.doc db)) (Db.describe db) (Server.workers server);
       let rec loop () =
@@ -900,7 +971,7 @@ let serve_cmd =
           print_service_stats (Server.stats server);
           loop ()
         | Some line ->
-          (match Server.run server (Server.Path line) with
+          (match Server.run server (query_of_line line) with
           | Server.Done r ->
             Printf.printf "%d node(s) in %.2f ms (epoch %d)\n%!" (Nodeseq.length r.Server.result)
               r.Server.latency_ms r.Server.epoch
@@ -1008,6 +1079,14 @@ let workload_cmd =
       & info [ "docs" ] ~docv:"N"
           ~doc:"Tenant documents in --open-loop mode (0 = 3: one scanner, two hot tenants).")
   in
+  let flwor_flag =
+    Arg.(
+      value & flag
+      & info [ "flwor" ]
+          ~doc:
+            "Add compiled FLWOR queries over the two largest tag fragments (including a value \
+             join) to the read mix; the per-worker query cache compiles each one once.")
+  in
   let rate =
     Arg.(
       value & opt float 200.0
@@ -1018,6 +1097,23 @@ let workload_cmd =
     Arg.(
       value & opt float 2.0
       & info [ "duration" ] ~docv:"S" ~doc:"Open-loop run length in seconds.")
+  in
+  (* the FLWOR additions to the read mix: a compiled scan per top tag
+     plus a value join between the two largest fragments (possibly
+     empty-resulted on documents without matching keys — the merge-join
+     machinery still runs) *)
+  let flwor_mix top_tags =
+    List.map
+      (fun tag -> Server.Xquery (Printf.sprintf "for $x in //%s return $x" tag))
+      top_tags
+    @
+    match top_tags with
+    | t1 :: t2 :: _ ->
+      [
+        Server.Xquery
+          (Printf.sprintf "for $x in //%s for $y in //%s where $y/@id = $x/@id return $x" t1 t2);
+      ]
+    | _ -> []
   in
   (* One open-loop tenant: a submitter (this function, in its own
      domain) paces arrivals on the wall clock — never waiting for
@@ -1084,7 +1180,7 @@ let workload_cmd =
     (hist, !submitted, !rejected, !completed, !failed)
   in
   let run_open_loop input docs_n rate duration fault_us capacity deadline workers_flag policy
-      json =
+      flwor json =
     match load_db input with
     | Error e ->
       prerr_endline e;
@@ -1116,7 +1212,8 @@ let workload_cmd =
           (List.concat_map
              (fun ctx -> [ Server.Step (`Desc, ctx); Server.Step (`Anc, ctx) ])
              contexts
-          @ List.map (fun tag -> Server.Path (Printf.sprintf "/descendant::%s" tag)) top_tags)
+          @ List.map (fun tag -> Server.Path (Printf.sprintf "/descendant::%s" tag)) top_tags
+          @ (if flwor then flwor_mix top_tags else []))
       in
       let scan_mix = [| Server.Step (`Desc, Nodeseq.singleton (Doc.root doc)) |] in
       let tenants =
@@ -1187,7 +1284,8 @@ let workload_cmd =
       Catalog.close catalog;
       0
   in
-  let run_closed input clients rounds fault_us capacity deadline_ms workers_flag mutate json =
+  let run_closed input clients rounds fault_us capacity deadline_ms workers_flag mutate flwor
+      json =
     match load_db input with
     | Error e ->
       prerr_endline e;
@@ -1216,6 +1314,7 @@ let workload_cmd =
              (fun ctx -> [ Server.Step (`Desc, ctx); Server.Step (`Anc, ctx) ])
              contexts
         @ List.map (fun tag -> Server.Path (Printf.sprintf "/descendant::%s" tag)) top_tags
+        @ (if flwor then flwor_mix top_tags else [])
       in
       let n_queries = rounds * List.length mix in
       let deadline = Option.map (fun ms -> ms /. 1000.0) deadline_ms in
@@ -1341,13 +1440,15 @@ let workload_cmd =
       |> print_newline;
       0
   in
-  let run input clients rounds fault_us capacity deadline_ms workers_flag mutate json open_loop
-      docs_n rate duration policy =
+  let run input clients rounds fault_us capacity deadline_ms workers_flag mutate flwor json
+      open_loop docs_n rate duration policy =
     if open_loop || docs_n > 0 then
       run_open_loop input docs_n rate duration fault_us capacity
         (Option.map (fun ms -> ms /. 1000.0) deadline_ms)
-        workers_flag policy json
-    else run_closed input clients rounds fault_us capacity deadline_ms workers_flag mutate json
+        workers_flag policy flwor json
+    else
+      run_closed input clients rounds fault_us capacity deadline_ms workers_flag mutate flwor
+        json
   in
   Cmd.v
     (Cmd.info "workload"
@@ -1358,7 +1459,7 @@ let workload_cmd =
           pool, reporting per-tenant qps, hit rate and p99/p999 latency.")
     Term.(
       const run $ input $ clients $ rounds $ fault_us $ capacity $ deadline_ms $ workers_arg
-      $ mutate $ json $ open_loop_flag $ docs_n $ rate $ duration $ policy_arg)
+      $ mutate $ flwor_flag $ json $ open_loop_flag $ docs_n $ rate $ duration $ policy_arg)
 
 let () =
   let open Cmdliner in
@@ -1369,6 +1470,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; plan_cmd;
-            analyze_cmd; xquery_cmd; mil_cmd; validate_cmd; load_cmd; mutate_cmd; serve_cmd;
+            analyze_cmd; xquery_cmd; validate_cmd; load_cmd; mutate_cmd; serve_cmd;
             workload_cmd;
           ]))

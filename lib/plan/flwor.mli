@@ -1,0 +1,188 @@
+(** Loop-lifted FLWOR operators over the plan IR.
+
+    The XQuery front-end ({!Scj_xquery.Xq_compile}) lowers for/let/
+    where/order-by/return into this operator IR instead of interpreting
+    the AST tuple-at-a-time.  The shape follows Pathfinder-style loop
+    lifting: an iteration scope is a table of variable-binding rows
+    ([value array], one slot per compile-resolved variable), [for]
+    multiplies rows against its source sequence, [let] adds a column,
+    and a [where] conjunct whose two sides are path keys over distinct
+    [for] variables is isolated into an explicit {e value join} executed
+    as a sort-merge join over atomized keys (the MPMGJN shape of the
+    paper, applied to value predicates) — see "XQuery Join Graph
+    Isolation" (Grust et al.).
+
+    Embedded path steps stay planned staircase joins: they arrive here
+    as opaque {!path_op} closures carrying the physical plan chosen by
+    {!Planner} (for rendering) and an evaluator that routes through the
+    session plan cache, so EXPLAIN shows exactly the operator trees that
+    run and work counters stay comparable with the retained interpreter
+    oracle.
+
+    The module also owns the XQuery value model (atoms, items, EBV,
+    atomization) shared by the compiled executor and the oracle, so the
+    two pipelines cannot drift on coercion rules or on number
+    formatting. *)
+
+module Doc = Scj_encoding.Doc
+module Nodeseq = Scj_encoding.Nodeseq
+module Tree = Scj_xml.Tree
+module Exec = Scj_trace.Exec
+
+(** {1 The XQuery value model} *)
+
+type atom = Str of string | Num of float | Bool of bool
+
+type item = Node of int | Atom of atom | Tree of Tree.t
+
+type value = item list
+
+exception Error of string
+
+(** [fail fmt] raises {!Error} with a formatted message (the dynamic
+    error channel shared with the interpreter oracle). *)
+val fail : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Shortest round-trip rendition: integral doubles print without
+    exponent or trailing dot ([3], [1000000000000000]), everything else
+    prints the shortest decimal string that parses back to the same
+    double ([0.3], [0.30000000000000004], [1e+21]); NaN and the
+    infinities print the XQuery spellings [NaN], [Infinity],
+    [-Infinity]. *)
+val float_to_string : float -> string
+
+val atom_to_string : atom -> string
+
+val number_of_atom : atom -> float
+
+(** Effective boolean value; fails on a multi-atom sequence. *)
+val ebv : value -> bool
+
+val atomize : Doc.t -> item -> atom
+
+(** Value comparison operators (general comparison is existential over
+    atomized operands; see {!compare_atoms}). *)
+type cmp = Eq | Neq | Lt | Le | Gt | Ge
+
+val cmp_to_string : cmp -> string
+
+val compare_atoms : cmp -> atom -> atom -> bool
+
+(** [node_context v] checks every item is a node and builds the context
+    sequence for an embedded path step. *)
+val node_context : value -> Nodeseq.t
+
+(** Element-constructor content: adjacent atoms merge into one
+    space-separated text node, attribute nodes become attributes. *)
+val content_of_value : Doc.t -> value -> (string * string) list * Tree.t list
+
+val serialize : Doc.t -> value -> string
+
+(** {1 The loop-lifted operator IR} *)
+
+type fn =
+  | Count
+  | Exists
+  | Empty
+  | Not
+  | String_fn
+  | Number_fn
+  | Sum
+  | Name_fn
+  | Data
+  | Distinct_values
+  | Concat_fn
+
+val fn_name : fn -> string
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type order = Ascending | Descending
+
+(** An embedded path step, already planned: [phys] is the physical tree
+    chosen by the cost-based planner (rendered by EXPLAIN), [run]
+    executes it through the owning session's plan cache ([None] context
+    means the document root). *)
+type path_op = {
+  psrc : string;  (** source rendering of the path *)
+  phys : Plan.physical;  (** representative plan, for display *)
+  run : Exec.t -> Nodeseq.t option -> Nodeseq.t;
+}
+
+type slot = { id : int; sname : string }
+
+type expr =
+  | Const of atom
+  | Slot of slot  (** compile-resolved variable reference *)
+  | Doc_path of path_op  (** absolute path *)
+  | Rel_path of expr * path_op  (** [e/path] *)
+  | Seq_ctor of expr list
+  | Block of block  (** a FLWOR iteration scope *)
+  | Cond of expr * expr * expr
+  | Elem_ctor of string * expr
+  | Text_ctor of expr
+  | Fn_call of fn * expr list
+  | Arith of arith * expr * expr
+  | Compare of cmp * expr * expr  (** existential general comparison *)
+  | And_ebv of expr * expr
+  | Or_ebv of expr * expr
+
+and block = {
+  ops : op list;  (** iteration-scope builders, in clause order *)
+  where : expr option;  (** residual EBV filter (after join isolation) *)
+  order_by : (expr * order) option;
+  return : expr;
+  notes : string list;  (** planner notes (e.g. a rejected value join) *)
+}
+
+and op =
+  | For_op of binder
+  | Let_op of { slot : slot; def : expr }
+  | Join_op of join
+
+and binder = {
+  slot : slot;
+  at : slot option;  (** positional [at $i] binding *)
+  source : expr;
+}
+
+(** A value join isolated from a [where] conjunct: the build side
+    [inner] is a [for] binder with a loop-invariant source, evaluated
+    once; both key tables are atomized, sorted and merged in one pass
+    (equality keys as strings, range keys numerically).  [alternatives]
+    records the costed-but-rejected nested-loop filter for EXPLAIN. *)
+and join = {
+  outer_key : expr;
+  inner : binder;
+  inner_key : expr;
+  jcmp : cmp;
+  est_outer : int;
+  est_inner : int;
+  cost : float;
+  alternatives : (string * float) list;
+}
+
+(** A compiled query: [width] slots per row, [body] the root expression,
+    [query]/[strategy] for plan headers. *)
+type program = { width : int; body : expr; query : string; strategy : string }
+
+(** {1 Execution} *)
+
+(** [execute ~doc ?exec p] runs the operator program and returns the
+    result sequence.  Work counters accumulate into [exec]'s stats;
+    when [exec] carries a tracer, every block operator opens a span
+    (EXPLAIN ANALYZE).  Raises {!Error} on dynamic errors, with the
+    same messages as the interpreter oracle. *)
+val execute : doc:Doc.t -> ?exec:Exec.t -> program -> value
+
+(** {1 Rendering} *)
+
+(** XQuery-ish rendition of an IR expression (labels in plans/spans). *)
+val expr_label : expr -> string
+
+(** The compiled plan as an indented operator tree, embedded staircase
+    plans included — the FLWOR analogue of {!Plan.physical_to_string}. *)
+val program_to_string : program -> string
+
+(** Machine-readable plan for [scj plan --xquery --json]. *)
+val program_to_json : program -> string

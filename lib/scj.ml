@@ -44,6 +44,7 @@ module Sqlgen = Scj_engine.Sqlgen
 
 module Plan = Scj_plan.Plan
 module Planner = Scj_plan.Planner
+module Flwor = Scj_plan.Flwor
 module Doc_stats = Scj_stats.Doc_stats
 
 (** {1 Query languages} *)
@@ -54,7 +55,7 @@ module Eval = Scj_xpath.Eval
 module Xq_ast = Scj_xquery.Xq_ast
 module Xq_parse = Scj_xquery.Xq_parse
 module Xq_eval = Scj_xquery.Xq_eval
-module Mil = Scj_mil.Mil
+module Xq_compile = Scj_xquery.Xq_compile
 
 (** {1 Fragmentation & parallelism} *)
 

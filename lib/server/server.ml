@@ -6,12 +6,14 @@ module Stats = Scj_stats.Stats
 module Histogram = Scj_stats.Histogram
 module Exec = Scj_trace.Exec
 module Eval = Scj_xpath.Eval
+module Xq_compile = Scj_xquery.Xq_compile
 module Paged_doc = Scj_pager.Paged_doc
 module Buffer_pool = Scj_pager.Buffer_pool
 module Db = Scj_db.Db
 
 type query =
   | Path of string
+  | Xquery of string
   | Step of [ `Desc | `Anc ] * Nodeseq.t
   | Write of { op : Update.op; expect : int option }
 
@@ -61,7 +63,14 @@ type rendition = {
   prev : (rendition * Update.applied) option;
 }
 
-type worker_state = { mutable wrend : rendition; mutable wsession : Eval.session }
+(* [wsvc] is the per-worker query cache (parsed XPath / compiled FLWOR
+   programs, keyed by language + strategy + source); it closes over
+   [wsession], so it is rebuilt whenever the session changes. *)
+type worker_state = {
+  mutable wrend : rendition;
+  mutable wsession : Eval.session;
+  mutable wsvc : Xq_compile.service;
+}
 
 type t = {
   db : Db.t;
@@ -161,7 +170,9 @@ let fresh_session t r =
   Eval.session ?strategy:(Db.strategy t.db) ~paged:r.rpaged ~domains:1 r.rdoc
 
 (* the session this worker should use for rendition [r]: evolved
-   incrementally when the delta chain is short, rebuilt otherwise *)
+   incrementally when the delta chain is short, rebuilt otherwise.
+   Either way the query cache is invalidated — its compiled programs
+   close over the superseded session. *)
 let session_for t ws r =
   if ws.wrend == r then ws.wsession
   else begin
@@ -175,8 +186,13 @@ let session_for t ws r =
     in
     ws.wrend <- r;
     ws.wsession <- session;
+    ws.wsvc <- Xq_compile.service session;
     session
   end
+
+let service_for t ws r =
+  ignore (session_for t ws r : Eval.session);
+  ws.wsvc
 
 (* ------------------------------------------------------------------ *)
 (* Execution                                                           *)
@@ -236,7 +252,7 @@ let exec_query t ws handle =
     match exec_write t op expect with
     | Ok reply -> finish t handle ~tally (Done reply)
     | Error e -> finish t handle ~tally (Failed e))
-  | Path _ | Step _ -> (
+  | Path _ | Xquery _ | Step _ -> (
     (* pin the rendition once: everything below reads this immutable
        snapshot, however many commits land meanwhile *)
     let r = current t in
@@ -247,8 +263,16 @@ let exec_query t ws handle =
     match
       match handle.query with
       | Path src -> (
-        match Eval.run ~exec (session_for t ws r) src with
-        | Ok result -> Ok result
+        (* through the worker's query cache: repeated sources skip the
+           parse, and both languages share one keyed cache *)
+        let svc = service_for t ws r in
+        match Xq_compile.prepare svc ~lang:`Xpath src with
+        | Ok p -> Ok (Xq_compile.run_prepared ~exec svc p)
+        | Error e -> Error e)
+      | Xquery src -> (
+        let svc = service_for t ws r in
+        match Xq_compile.prepare svc ~lang:`Xquery src with
+        | Ok p -> Ok (Xq_compile.run_prepared ~exec svc p)
         | Error e -> Error e)
       | Step (axis, context) ->
         let paged = Paged_doc.with_tally r.rpaged tally in
@@ -272,6 +296,9 @@ let exec_query t ws handle =
            })
     | Error e -> finish t handle ~tally (Failed e)
     | exception Deadline -> finish t handle ~tally Timed_out
+    | exception Scj_plan.Flwor.Error msg ->
+      (* dynamic XQuery errors (arity, coercion): the query is at fault *)
+      finish t handle ~tally (Failed (Error.parse msg))
     | exception Scj_store.Store.Corrupt msg -> finish t handle ~tally (Failed (Error.corrupt msg))
     | exception e -> finish t handle ~tally (Failed (Error.io (Printexc.to_string e))))
 
@@ -284,7 +311,8 @@ let worker_state_for t =
     | Some ws -> ws
     | None ->
       let r = current t in
-      let ws = { wrend = r; wsession = fresh_session t r } in
+      let session = fresh_session t r in
+      let ws = { wrend = r; wsession = session; wsvc = Xq_compile.service session } in
       Hashtbl.add t.wstates id ws;
       ws
   in

@@ -47,7 +47,14 @@ type t
 
 (** What a client can ask for. *)
 type query =
-  | Path of string  (** an XPath query, parsed and evaluated per request *)
+  | Path of string
+      (** an XPath query; parsed once per worker — workers cache
+          prepared queries per (language, strategy, source) *)
+  | Xquery of string
+      (** an XQuery-lite FLWOR expression, compiled through the plan IR
+          ({!Scj_xquery.Xq_compile}) and cached like [Path]; the reply
+          holds the document nodes of the result (atoms and constructed
+          trees are not addressable and are dropped) *)
   | Step of [ `Desc | `Anc ] * Nodeseq.t
       (** one staircase-join step over the pinned rendition's {e paged}
           image — the disk-based workload whose fault latencies

@@ -73,6 +73,8 @@ let doc_of_session s = s.doc
 
 let catalog_of_session s = s.catalog
 
+let strategy_of_session s = s.strategy
+
 (* ------------------------------------------------------------------ *)
 (* predicate expressions (XPath 1.0 value model)                        *)
 (* ------------------------------------------------------------------ *)

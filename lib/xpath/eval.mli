@@ -57,6 +57,11 @@ val doc_of_session : session -> Doc.t
 (** The planner catalog behind the session, for direct planner access. *)
 val catalog_of_session : session -> Planner.t
 
+(** The strategy the session plans under — what front-end compilers
+    (e.g. {!Scj_xquery.Xq_compile}) put in plan headers and cache
+    keys. *)
+val strategy_of_session : session -> strategy
+
 (** [evolve ?paged session applied] carries the session across a
     mutation: the catalog evolves incrementally ({!Planner.evolve} —
     statistics patched, B+-tree index spliced, views dropped for lazy

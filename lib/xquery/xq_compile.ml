@@ -1,0 +1,523 @@
+(* AST → loop-lifted operator programs.  Variables become row slots
+   (static scoping), embedded paths are planned once through the
+   session's cost-based planner (and the shared plan cache), and the
+   where clause is split into conjuncts so that value comparisons
+   between two for-variables' path keys can be isolated into explicit
+   sort-merge value joins when the cost model beats the nested-loop
+   filter.  Everything the isolation leaves behind is recompiled
+   verbatim, so a program without an isolated join performs exactly the
+   interpreter oracle's work (bit-identical counters). *)
+
+module Ast = Scj_xpath.Ast
+module Parse = Scj_xpath.Parse
+module Eval = Scj_xpath.Eval
+module Plan = Scj_plan.Plan
+module Flwor = Scj_plan.Flwor
+module Exec = Scj_trace.Exec
+module Trace = Scj_trace.Trace
+module Nodeseq = Scj_encoding.Nodeseq
+module Error = Scj_error.Error
+
+type compiled = { csession : Eval.session; program : Flwor.program }
+
+let session_of_compiled c = c.csession
+
+let program_of_compiled c = c.program
+
+(* ------------------------------------------------------------------ *)
+(* free variables (FLWOR scoping: for/let bind sequentially, the at
+   binder after its source)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec fv bound acc (e : Xq_ast.expr) =
+  match e with
+  | Xq_ast.Literal _ | Xq_ast.Number _ | Xq_ast.Path _ -> acc
+  | Xq_ast.Var x -> if List.mem x bound then acc else x :: acc
+  | Xq_ast.Apply (e, _) -> fv bound acc e
+  | Xq_ast.Seq es -> List.fold_left (fv bound) acc es
+  | Xq_ast.Flwor f ->
+    let bound', acc' =
+      List.fold_left
+        (fun (bound, acc) c ->
+          match c with
+          | Xq_ast.For (x, at, e) ->
+            let acc = fv bound acc e in
+            ((match at with None -> x :: bound | Some i -> i :: x :: bound), acc)
+          | Xq_ast.Let (x, e) -> (x :: bound, fv bound acc e))
+        (bound, acc) f.Xq_ast.clauses
+    in
+    let acc' =
+      match f.Xq_ast.where with None -> acc' | Some w -> fv bound' acc' w
+    in
+    let acc' =
+      match f.Xq_ast.order_by with None -> acc' | Some (k, _) -> fv bound' acc' k
+    in
+    fv bound' acc' f.Xq_ast.return
+  | Xq_ast.If (a, b, c) -> fv bound (fv bound (fv bound acc a) b) c
+  | Xq_ast.Element (_, b) | Xq_ast.Text b -> fv bound acc b
+  | Xq_ast.Call (_, args) -> List.fold_left (fv bound) acc args
+  | Xq_ast.Binop (_, a, b) | Xq_ast.Cmp (_, a, b) | Xq_ast.And (a, b) | Xq_ast.Or (a, b)
+    ->
+    fv bound (fv bound acc a) b
+
+let closed e = fv [] [] e = []
+
+(* ------------------------------------------------------------------ *)
+(* AST → IR name mappings                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fn_of_ast = function
+  | Xq_ast.Count -> Flwor.Count
+  | Xq_ast.Exists -> Flwor.Exists
+  | Xq_ast.Empty -> Flwor.Empty
+  | Xq_ast.Not -> Flwor.Not
+  | Xq_ast.String_fn -> Flwor.String_fn
+  | Xq_ast.Number_fn -> Flwor.Number_fn
+  | Xq_ast.Sum -> Flwor.Sum
+  | Xq_ast.Name_fn -> Flwor.Name_fn
+  | Xq_ast.Data -> Flwor.Data
+  | Xq_ast.Concat_fn -> Flwor.Concat_fn
+  | Xq_ast.Distinct_values -> Flwor.Distinct_values
+
+let arith_of_ast = function
+  | Xq_ast.Add -> Flwor.Add
+  | Xq_ast.Sub -> Flwor.Sub
+  | Xq_ast.Mul -> Flwor.Mul
+  | Xq_ast.Div -> Flwor.Div
+  | Xq_ast.Mod -> Flwor.Mod
+
+let cmp_of_ast = function
+  | Ast.Eq -> Flwor.Eq
+  | Ast.Neq -> Flwor.Neq
+  | Ast.Lt -> Flwor.Lt
+  | Ast.Le -> Flwor.Le
+  | Ast.Gt -> Flwor.Gt
+  | Ast.Ge -> Flwor.Ge
+
+let flip_cmp = function
+  | Flwor.Eq -> Flwor.Eq
+  | Flwor.Neq -> Flwor.Neq
+  | Flwor.Lt -> Flwor.Gt
+  | Flwor.Le -> Flwor.Ge
+  | Flwor.Gt -> Flwor.Lt
+  | Flwor.Ge -> Flwor.Le
+
+(* ------------------------------------------------------------------ *)
+(* compilation state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type st = { sess : Eval.session; next : int ref }
+
+let alloc st name =
+  let id = !(st.next) in
+  incr st.next;
+  { Flwor.id; sname = name }
+
+let path_op st (p : Ast.path) =
+  let phys = Eval.path_plan st.sess p in
+  {
+    Flwor.psrc = Ast.path_to_string p;
+    phys;
+    run =
+      (fun exec ctx ->
+        match ctx with
+        | None -> Eval.eval_path ~exec st.sess p
+        | Some context -> Eval.eval_path ~exec ~context st.sess p);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* the value-join cost model                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec phys_card = function
+  | Plan.P_source (_, c) -> c
+  | Plan.P_step (_, ps) -> ps.Plan.est.Plan.card_out
+  | Plan.P_union ps -> List.fold_left (fun a p -> a + phys_card p) 0 ps
+
+let rec phys_cost = function
+  | Plan.P_source _ -> 0.0
+  | Plan.P_step (input, ps) -> phys_cost input +. ps.Plan.est.Plan.cost
+  | Plan.P_union ps -> List.fold_left (fun a p -> a +. phys_cost p) 0.0 ps
+
+let default_card = 8
+
+let default_cost = 16.0
+
+(* estimated cardinality and one-evaluation cost of a for-source *)
+let source_card_cost st = function
+  | Xq_ast.Path p ->
+    let phys = Eval.path_plan st.sess p in
+    (max 1 (phys_card phys), Float.max 1.0 (phys_cost phys))
+  | _ -> (default_card, default_cost)
+
+let log2 n = if n <= 1 then 0.0 else Float.log (float_of_int n) /. Float.log 2.0
+
+(* the interpreter re-evaluates the inner source per outer row and
+   compares every pair *)
+let nl_cost ~src_cost ~outer ~inner =
+  float_of_int outer *. (src_cost +. float_of_int inner)
+
+(* one source evaluation, two sorted key tables, one merge pass *)
+let merge_cost ~src_cost ~outer ~inner =
+  src_cost
+  +. (float_of_int outer *. log2 outer)
+  +. (float_of_int inner *. log2 inner)
+  +. (2.0 *. float_of_int (outer + inner))
+
+(* ------------------------------------------------------------------ *)
+(* where-clause analysis                                                *)
+(* ------------------------------------------------------------------ *)
+
+let conjuncts w =
+  let rec go acc = function Xq_ast.And (a, b) -> go (go acc a) b | e -> e :: acc in
+  List.rev (go [] w)
+
+let conjoin = function
+  | [] -> None
+  | c :: cs -> Some (List.fold_left (fun a b -> Xq_ast.And (a, b)) c cs)
+
+(* a join key is [$v] or [$v/path] *)
+let key_shape = function
+  | Xq_ast.Var v -> Some (v, None)
+  | Xq_ast.Apply (Xq_ast.Var v, p) -> Some (v, Some p)
+  | _ -> None
+
+type join_plan = {
+  jp_cmp : Flwor.cmp;  (** oriented so the inner key is on the right *)
+  jp_outer : Xq_ast.expr;  (** the outer key side, verbatim *)
+  jp_inner_path : Ast.path option;
+  jp_outer_card : int;
+  jp_inner_card : int;
+  jp_cost : float;
+  jp_nl : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* the compiler                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec compile_expr st env (e : Xq_ast.expr) : Flwor.expr =
+  match e with
+  | Xq_ast.Literal s -> Flwor.Const (Flwor.Str s)
+  | Xq_ast.Number f -> Flwor.Const (Flwor.Num f)
+  | Xq_ast.Var x -> (
+    match List.assoc_opt x env with
+    | Some s -> Flwor.Slot s
+    | None -> Flwor.fail "unbound variable $%s" x)
+  | Xq_ast.Path p -> Flwor.Doc_path (path_op st p)
+  | Xq_ast.Apply (e, p) -> Flwor.Rel_path (compile_expr st env e, path_op st p)
+  | Xq_ast.Seq es -> Flwor.Seq_ctor (List.map (compile_expr st env) es)
+  | Xq_ast.Flwor f -> Flwor.Block (compile_flwor st env f)
+  | Xq_ast.If (c, t, e) ->
+    Flwor.Cond (compile_expr st env c, compile_expr st env t, compile_expr st env e)
+  | Xq_ast.Element (name, body) -> Flwor.Elem_ctor (name, compile_expr st env body)
+  | Xq_ast.Text body -> Flwor.Text_ctor (compile_expr st env body)
+  | Xq_ast.Call (fn, args) ->
+    Flwor.Fn_call (fn_of_ast fn, List.map (compile_expr st env) args)
+  | Xq_ast.Binop (op, a, b) ->
+    Flwor.Arith (arith_of_ast op, compile_expr st env a, compile_expr st env b)
+  | Xq_ast.Cmp (op, a, b) ->
+    Flwor.Compare (cmp_of_ast op, compile_expr st env a, compile_expr st env b)
+  | Xq_ast.And (a, b) -> Flwor.And_ebv (compile_expr st env a, compile_expr st env b)
+  | Xq_ast.Or (a, b) -> Flwor.Or_ebv (compile_expr st env a, compile_expr st env b)
+
+and compile_flwor st env (f : Xq_ast.flwor) : Flwor.block =
+  let clauses = Array.of_list f.Xq_ast.clauses in
+  let names_of = function
+    | Xq_ast.For (x, at, _) -> x :: Option.to_list at
+    | Xq_ast.Let (x, _) -> [ x ]
+  in
+  let all_names = List.concat_map names_of (Array.to_list clauses) in
+  let shadowed =
+    (* intra-block rebinding makes name-based positions ambiguous; skip
+       join isolation in that (rare) corner *)
+    List.length all_names <> List.length (List.sort_uniq String.compare all_names)
+  in
+  let bind_pos v =
+    let pos = ref (-1) in
+    Array.iteri (fun i c -> if List.mem v (names_of c) then pos := i) clauses;
+    !pos
+  in
+  let for_main v =
+    match bind_pos v with
+    | -1 -> None
+    | i -> (
+      match clauses.(i) with Xq_ast.For (x, _, _) when x = v -> Some i | _ -> None)
+  in
+  let bound_in_scope v = bind_pos v >= 0 || List.mem_assoc v env in
+  (* estimated rows feeding clause [idx]: product of the earlier
+     for-sources' cardinalities *)
+  let outer_card_before idx =
+    let card = ref 1 in
+    Array.iteri
+      (fun i c ->
+        match c with
+        | Xq_ast.For (_, _, src) when i < idx ->
+          card := min 1_000_000 (!card * fst (source_card_cost st src))
+        | Xq_ast.For _ | Xq_ast.Let _ -> ())
+      clauses;
+    !card
+  in
+  (* --- join-graph isolation --- *)
+  let joins : (int, join_plan) Hashtbl.t = Hashtbl.create 4 in
+  let notes = ref [] in
+  let residual = ref [] in
+  let isolated = ref false in
+  let try_isolate conj =
+    if shadowed then false
+    else
+      match conj with
+      | Xq_ast.Cmp (op, l, r) when op <> Ast.Neq -> (
+        match (key_shape l, key_shape r) with
+        | Some (vl, pl), Some (vr, pr)
+          when vl <> vr && bound_in_scope vl && bound_in_scope vr -> (
+          let oriented =
+            (* inner = the later-bound block variable; the key pair is
+               oriented so the inner key sits on the right *)
+            if bind_pos vl > bind_pos vr then
+              Some (vl, pl, r, flip_cmp (cmp_of_ast op))
+            else if bind_pos vr > bind_pos vl then Some (vr, pr, l, cmp_of_ast op)
+            else None
+          in
+          match oriented with
+          | None -> false
+          | Some (iv, ipath, outer_side, jcmp) -> (
+            match for_main iv with
+            | None -> false
+            | Some idx when Hashtbl.mem joins idx -> false
+            | Some idx -> (
+              match clauses.(idx) with
+              | Xq_ast.Let _ -> false
+              | Xq_ast.For (_, _, src) ->
+                if not (closed src) then false
+                else begin
+                  (* every other variable of the conjunct must be bound
+                     before the inner for *)
+                  let outer_ok =
+                    List.for_all
+                      (fun v -> bind_pos v < idx)
+                      (fv [] [] outer_side)
+                  in
+                  if not outer_ok then false
+                  else begin
+                    let inner_card, src_cost = source_card_cost st src in
+                    let outer_card = outer_card_before idx in
+                    let nl = nl_cost ~src_cost ~outer:outer_card ~inner:inner_card in
+                    let mg =
+                      merge_cost ~src_cost ~outer:outer_card ~inner:inner_card
+                    in
+                    if mg < nl then begin
+                      Hashtbl.add joins idx
+                        {
+                          jp_cmp = jcmp;
+                          jp_outer = outer_side;
+                          jp_inner_path = ipath;
+                          jp_outer_card = outer_card;
+                          jp_inner_card = inner_card;
+                          jp_cost = mg;
+                          jp_nl = nl;
+                        };
+                      true
+                    end
+                    else begin
+                      notes :=
+                        Printf.sprintf
+                          "value join rejected for $%s: nested-loop filter \
+                           cost=%.0f beat merge cost=%.0f (outer=%d inner=%d)"
+                          iv nl mg outer_card inner_card
+                        :: !notes;
+                      false
+                    end
+                  end
+                end)))
+        | _ -> false)
+      | _ -> false
+  in
+  (match f.Xq_ast.where with
+  | None -> ()
+  | Some w ->
+    List.iter
+      (fun conj ->
+        if try_isolate conj then isolated := true else residual := conj :: !residual)
+      (conjuncts w));
+  (* --- lower the clauses --- *)
+  let ops = ref [] in
+  let envr = ref env in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | Xq_ast.Let (x, e) ->
+        let def = compile_expr st !envr e in
+        let slot = alloc st x in
+        envr := (x, slot) :: !envr;
+        ops := Flwor.Let_op { slot; def } :: !ops
+      | Xq_ast.For (x, at, e) -> (
+        let source = compile_expr st !envr e in
+        let slot = alloc st x in
+        let at_slot = Option.map (alloc st) at in
+        envr := (x, slot) :: !envr;
+        (match (at, at_slot) with
+        | Some ix, Some s -> envr := (ix, s) :: !envr
+        | _ -> ());
+        let binder = { Flwor.slot; at = at_slot; source } in
+        match Hashtbl.find_opt joins i with
+        | None -> ops := Flwor.For_op binder :: !ops
+        | Some jp ->
+          let outer_key = compile_expr st !envr jp.jp_outer in
+          let inner_key =
+            match jp.jp_inner_path with
+            | None -> Flwor.Slot slot
+            | Some p -> Flwor.Rel_path (Flwor.Slot slot, path_op st p)
+          in
+          ops :=
+            Flwor.Join_op
+              {
+                Flwor.outer_key;
+                inner = binder;
+                inner_key;
+                jcmp = jp.jp_cmp;
+                est_outer = jp.jp_outer_card;
+                est_inner = jp.jp_inner_card;
+                cost = jp.jp_cost;
+                alternatives = [ ("nested-loop filter", jp.jp_nl) ];
+              }
+            :: !ops))
+    clauses;
+  let where =
+    (* when nothing was isolated, keep the original expression so the
+       evaluation order (and the counters) match the oracle exactly *)
+    if !isolated then Option.map (compile_expr st !envr) (conjoin (List.rev !residual))
+    else Option.map (compile_expr st !envr) f.Xq_ast.where
+  in
+  let order_by =
+    Option.map
+      (fun (k, dir) ->
+        ( compile_expr st !envr k,
+          match dir with
+          | Xq_ast.Ascending -> Flwor.Ascending
+          | Xq_ast.Descending -> Flwor.Descending ))
+      f.Xq_ast.order_by
+  in
+  {
+    Flwor.ops = List.rev !ops;
+    where;
+    order_by;
+    return = compile_expr st !envr f.Xq_ast.return;
+    notes = List.rev !notes;
+  }
+
+let compile session expr =
+  let st = { sess = session; next = ref 0 } in
+  let body = compile_expr st [] expr in
+  {
+    csession = session;
+    program =
+      {
+        Flwor.width = !(st.next);
+        body;
+        query = Xq_ast.to_string expr;
+        strategy = Eval.strategy_to_string (Eval.strategy_of_session session);
+      };
+  }
+
+let compile_string session src =
+  match Xq_parse.parse src with
+  | Error _ as e -> e
+  | Ok expr -> ( try Ok (compile session expr) with Flwor.Error msg -> Error msg)
+
+let execute ?exec c = Flwor.execute ~doc:(Eval.doc_of_session c.csession) ?exec c.program
+
+let eval ?exec session expr =
+  try Ok (execute ?exec (compile session expr)) with Flwor.Error msg -> Error msg
+
+let run ?exec session src =
+  match Xq_parse.parse src with
+  | Error _ as e -> e
+  | Ok expr -> eval ?exec session expr
+
+(* ------------------------------------------------------------------ *)
+(* introspection                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_has_join = function
+  | Flwor.Block b ->
+    List.exists op_has_join b.Flwor.ops
+    || Option.fold ~none:false ~some:expr_has_join b.Flwor.where
+    || Option.fold ~none:false ~some:(fun (k, _) -> expr_has_join k) b.Flwor.order_by
+    || expr_has_join b.Flwor.return
+  | Flwor.Seq_ctor es -> List.exists expr_has_join es
+  | Flwor.Cond (a, b, c) -> expr_has_join a || expr_has_join b || expr_has_join c
+  | Flwor.Elem_ctor (_, e) | Flwor.Text_ctor e | Flwor.Rel_path (e, _) -> expr_has_join e
+  | Flwor.Fn_call (_, es) -> List.exists expr_has_join es
+  | Flwor.Arith (_, a, b) | Flwor.Compare (_, a, b) | Flwor.And_ebv (a, b)
+  | Flwor.Or_ebv (a, b) ->
+    expr_has_join a || expr_has_join b
+  | Flwor.Const _ | Flwor.Slot _ | Flwor.Doc_path _ -> false
+
+and op_has_join = function
+  | Flwor.Join_op _ -> true
+  | Flwor.For_op b -> expr_has_join b.Flwor.source
+  | Flwor.Let_op { def; _ } -> expr_has_join def
+
+let has_value_join c = expr_has_join c.program.Flwor.body
+
+let explain c = Flwor.program_to_string c.program
+
+let plan_json c = Flwor.program_to_json c.program
+
+let analyze c =
+  let exec = Exec.traced () in
+  let v =
+    Exec.span exec
+      ("xquery: " ^ c.program.Flwor.query)
+      (fun () ->
+        Exec.annot exec "strategy" c.program.Flwor.strategy;
+        execute ~exec c)
+  in
+  match exec.Exec.trace with Some t -> (v, t) | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* the per-session query cache                                          *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = Xpath_query of Scj_xpath.Ast.query | Xquery_prog of compiled
+
+type service = { ssession : Eval.session; cache : (string, prepared) Hashtbl.t }
+
+let service session = { ssession = session; cache = Hashtbl.create 16 }
+
+let session_of_service s = s.ssession
+
+let lang_tag = function `Xpath -> "xpath" | `Xquery -> "xquery"
+
+let cache_key ~lang ~strategy src =
+  Printf.sprintf "%s\x00%s\x00%s" (lang_tag lang) strategy src
+
+let cached_queries s = Hashtbl.length s.cache
+
+let prepare svc ~lang src =
+  let strategy = Eval.strategy_to_string (Eval.strategy_of_session svc.ssession) in
+  let key = cache_key ~lang ~strategy src in
+  match Hashtbl.find_opt svc.cache key with
+  | Some p -> Ok p
+  | None ->
+    let prep =
+      match lang with
+      | `Xpath -> (
+        match Parse.query src with
+        | Ok q -> Ok (Xpath_query q)
+        | Error msg -> Result.Error (Error.parse msg))
+      | `Xquery -> (
+        match compile_string svc.ssession src with
+        | Ok c -> Ok (Xquery_prog c)
+        | Error msg -> Result.Error (Error.parse msg))
+    in
+    (match prep with Ok p -> Hashtbl.add svc.cache key p | Error _ -> ());
+    prep
+
+let run_prepared ?exec ?context svc = function
+  | Xpath_query q -> Eval.eval_query ?exec ?context svc.ssession q
+  | Xquery_prog c ->
+    let v = execute ?exec c in
+    Nodeseq.of_unsorted
+      (List.filter_map (function Flwor.Node v -> Some v | _ -> None) v)

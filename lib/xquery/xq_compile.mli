@@ -1,0 +1,108 @@
+(** The FLWOR compiler: {!Xq_ast} → {!Scj_plan.Flwor} operator programs.
+
+    This is the planned half of the XQuery stack: parse → compile →
+    execute, mirroring the XPath pipeline.  Compilation loop-lifts
+    for/let/where/order-by/return into the iteration-scope operator IR,
+    resolves every variable to a row slot (static scoping — an unbound
+    variable is a compile-time error with the interpreter's message,
+    even in dead code), plans every embedded path through the session's
+    cost-based planner (staircase/MPMGJN/… backends, shared plan
+    cache), and isolates value-join graphs: a [where] conjunct
+    [$a/k = $b/k] whose inner side is a [for] variable with a
+    loop-invariant source becomes an explicit sort-merge value join
+    when the cost model beats the nested-loop filter — the "XQuery
+    Join Graph Isolation" rewrite (Grust et al.) over this engine's
+    MPMGJN machinery.  Rejected joins stay in [where] and leave a
+    costed note in the plan.
+
+    The retained tuple-at-a-time interpreter ({!Xq_eval.interpret}) is
+    the differential oracle: for plans without an isolated join the
+    compiled executor performs bit-identical work (same counters), and
+    a join may only change {e how much} work is done, never the
+    result. *)
+
+module Eval = Scj_xpath.Eval
+module Flwor = Scj_plan.Flwor
+module Exec = Scj_trace.Exec
+module Trace = Scj_trace.Trace
+module Nodeseq = Scj_encoding.Nodeseq
+
+(** The shared comparison-operator mapping (also used by the
+    interpreter oracle, so both pipelines compare through
+    {!Flwor.compare_atoms}). *)
+val cmp_of_ast : Scj_xpath.Ast.cmp -> Flwor.cmp
+
+(** A compiled query, bound to the session whose plan cache and
+    document it closes over. *)
+type compiled
+
+val session_of_compiled : compiled -> Eval.session
+
+val program_of_compiled : compiled -> Flwor.program
+
+(** [compile session expr] lowers the AST.  Raises {!Flwor.Error} on
+    static errors (unbound variables). *)
+val compile : Eval.session -> Xq_ast.expr -> compiled
+
+(** [compile_string session src] parses and compiles. *)
+val compile_string : Eval.session -> string -> (compiled, string) result
+
+(** [execute ?exec c] runs the program; counters accumulate into
+    [exec], spans open per operator when [exec] traces.  Raises
+    {!Flwor.Error} on dynamic errors. *)
+val execute : ?exec:Exec.t -> compiled -> Flwor.value
+
+(** [eval ?exec session expr] — compile-then-execute with errors as a
+    result (the {!Xq_eval.eval} shape). *)
+val eval : ?exec:Exec.t -> Eval.session -> Xq_ast.expr -> (Flwor.value, string) result
+
+val run : ?exec:Exec.t -> Eval.session -> string -> (Flwor.value, string) result
+
+(** True iff the program contains an isolated value join (the bench
+    gate asserts this for the XMark-style join queries). *)
+val has_value_join : compiled -> bool
+
+(** {1 EXPLAIN} *)
+
+(** The compiled operator tree, embedded staircase plans and rejected
+    alternatives included ([scj plan --xquery]). *)
+val explain : compiled -> string
+
+(** Machine-readable plan ([scj plan --xquery --json]). *)
+val plan_json : compiled -> string
+
+(** EXPLAIN ANALYZE: execute once under a tracing context; one span per
+    block operator plus the usual per-axis-step spans underneath. *)
+val analyze : compiled -> Flwor.value * Trace.t
+
+(** {1 The per-session query cache}
+
+    One string-keyed cache for {e both} query languages.  Keys embed
+    the language and the planning strategy, so identical source strings
+    can never collide across languages or strategies (an XPath [//a]
+    and an XQuery [//a] are different cache entries). *)
+
+type prepared = Xpath_query of Scj_xpath.Ast.query | Xquery_prog of compiled
+
+type service
+
+val service : Eval.session -> service
+
+val session_of_service : service -> Eval.session
+
+(** The exact key [prepare] files a query under (exposed for tests). *)
+val cache_key : lang:[ `Xpath | `Xquery ] -> strategy:string -> string -> string
+
+val cached_queries : service -> int
+
+(** [prepare svc ~lang src] — parse/compile once, cached.  Parse and
+    compile errors come back as {!Scj_error.Error.Parse}. *)
+val prepare :
+  service -> lang:[ `Xpath | `Xquery ] -> string -> (prepared, Scj_error.Error.t) result
+
+(** [run_prepared ?exec ?context svc p] executes a prepared query and
+    returns its result as a node sequence — atoms and constructed trees
+    are not addressable as document nodes and are dropped; use
+    {!execute} when the full XQuery value is needed.  Raises
+    {!Flwor.Error} on dynamic errors. *)
+val run_prepared : ?exec:Exec.t -> ?context:Nodeseq.t -> service -> prepared -> Nodeseq.t

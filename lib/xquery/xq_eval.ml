@@ -1,124 +1,65 @@
+(* The XQuery entry points.  Since the loop-lifting refactor the
+   default pipeline is parse → compile → execute ({!Xq_compile} over
+   {!Scj_plan.Flwor}); this module keeps the public value-level API and
+   the original tuple-at-a-time interpreter, which survives as the
+   differential oracle ({!interpret}) the fuzz suites compare the
+   compiled pipeline against — the same Reference-oracle shape used by
+   the axis-step algorithms.
+
+   The value model (atoms, EBV, atomization, number formatting) lives
+   in {!Scj_plan.Flwor} and is shared by both pipelines, so they cannot
+   drift on coercion rules. *)
+
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Eval = Scj_xpath.Eval
+module Exec = Scj_trace.Exec
 module Tree = Scj_xml.Tree
+module Flwor = Scj_plan.Flwor
 
-type atom = Str of string | Num of float | Bool of bool
+type atom = Flwor.atom = Str of string | Num of float | Bool of bool
 
-type item = Node of int | Atom of atom | Tree of Tree.t
+type item = Flwor.item = Node of int | Atom of atom | Tree of Tree.t
 
 type value = item list
 
 type error = string
 
-exception Error of string
+let fail fmt = Flwor.fail fmt
 
-let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let atom_to_string = Flwor.atom_to_string
 
-type env = { session : Eval.session; vars : (string * value) list }
+(* ------------------------------------------------------------------ *)
+(* the interpreter oracle                                               *)
+(* ------------------------------------------------------------------ *)
+
+type env = { session : Eval.session; exec : Exec.t option; vars : (string * value) list }
 
 let lookup env x =
   match List.assoc_opt x env.vars with
   | Some v -> v
   | None -> fail "unbound variable $%s" x
 
-let atom_to_string = function
-  | Str s -> s
-  | Bool b -> if b then "true" else "false"
-  | Num f ->
-    if Float.is_nan f then "NaN"
-    else if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
-    else string_of_float f
+let doc_of env = Eval.doc_of_session env.session
 
-(* atomization: data() *)
-let atomize_item env = function
-  | Atom a -> a
-  | Node v -> Str (Doc.string_value (Eval.doc_of_session env.session) v)
-  | Tree t -> Str (Tree.string_value t)
+let atomize_item env item = Flwor.atomize (doc_of env) item
 
-let number_of_atom = function
-  | Num f -> f
-  | Bool b -> if b then 1.0 else 0.0
-  | Str s -> ( match float_of_string_opt (String.trim s) with Some f -> f | None -> Float.nan)
+let number_of_atom = Flwor.number_of_atom
 
-(* effective boolean value *)
-let ebv = function
-  | [] -> false
-  | Node _ :: _ | Tree _ :: _ -> true
-  | [ Atom (Bool b) ] -> b
-  | [ Atom (Num f) ] -> f <> 0.0 && not (Float.is_nan f)
-  | [ Atom (Str s) ] -> String.length s > 0
-  | Atom _ :: _ :: _ -> fail "effective boolean value of a multi-atom sequence"
+let ebv = Flwor.ebv
 
-let node_context _env value =
-  let pres =
-    List.map
-      (function
-        | Node v -> v
-        | Atom _ -> fail "path step applied to an atomic value"
-        | Tree _ -> fail "path step applied to a constructed tree")
-      value
-  in
-  Nodeseq.of_unsorted pres
-
-let compare_atoms op a b =
-  let num_cmp x y =
-    match op with
-    | Scj_xpath.Ast.Eq -> x = y
-    | Scj_xpath.Ast.Neq -> x <> y
-    | Scj_xpath.Ast.Lt -> x < y
-    | Scj_xpath.Ast.Le -> x <= y
-    | Scj_xpath.Ast.Gt -> x > y
-    | Scj_xpath.Ast.Ge -> x >= y
-  in
-  match (a, b) with
-  | Num x, y | y, Num x ->
-    (* numeric comparison when either side is a number *)
-    let other = number_of_atom y in
-    if a = Num x then num_cmp x other else num_cmp other x
-  | Bool _, _ | _, Bool _ -> num_cmp (number_of_atom a) (number_of_atom b)
-  | Str x, Str y -> (
-    match op with
-    | Scj_xpath.Ast.Eq -> String.equal x y
-    | Scj_xpath.Ast.Neq -> not (String.equal x y)
-    | Scj_xpath.Ast.Lt | Scj_xpath.Ast.Le | Scj_xpath.Ast.Gt | Scj_xpath.Ast.Ge ->
-      num_cmp (number_of_atom a) (number_of_atom b))
-
-(* turn a value into element-constructor content: adjacent atoms merge
-   into one text node separated by spaces (XQuery 3.7.1), and attribute
-   nodes become attributes of the constructed element *)
-let content_of_value env value =
-  let doc = Eval.doc_of_session env.session in
-  let attributes = ref [] in
-  let flush_atoms atoms acc =
-    match atoms with
-    | [] -> acc
-    | _ -> Tree.Text (String.concat " " (List.rev_map atom_to_string atoms)) :: acc
-  in
-  let rec walk atoms acc = function
-    | [] -> List.rev (flush_atoms atoms acc)
-    | Atom a :: rest -> walk (a :: atoms) acc rest
-    | Node v :: rest when Doc.kind doc v = Doc.Attribute ->
-      let name = Option.value ~default:"" (Doc.tag_name doc v) in
-      let value = Option.value ~default:"" (Doc.content doc v) in
-      attributes := (name, value) :: !attributes;
-      walk atoms acc rest
-    | Node v :: rest -> walk [] (Doc.to_tree doc v :: flush_atoms atoms acc) rest
-    | Tree t :: rest -> walk [] (t :: flush_atoms atoms acc) rest
-  in
-  let children = walk [] [] value in
-  (List.rev !attributes, children)
+let compare_atoms op = Flwor.compare_atoms (Xq_compile.cmp_of_ast op)
 
 let rec eval_expr env (e : Xq_ast.expr) : value =
   match e with
   | Xq_ast.Literal s -> [ Atom (Str s) ]
   | Xq_ast.Number f -> [ Atom (Num f) ]
   | Xq_ast.Var x -> lookup env x
-  | Xq_ast.Path p -> nodes_of (Eval.eval_path env.session p)
+  | Xq_ast.Path p -> nodes_of (Eval.eval_path ?exec:env.exec env.session p)
   | Xq_ast.Apply (e, p) ->
-    let ctx = node_context env (eval_expr env e) in
+    let ctx = Flwor.node_context (eval_expr env e) in
     if Nodeseq.is_empty ctx then []
-    else nodes_of (Eval.eval_path ~context:ctx env.session p)
+    else nodes_of (Eval.eval_path ?exec:env.exec ~context:ctx env.session p)
   | Xq_ast.Seq es -> List.concat_map (eval_expr env) es
   | Xq_ast.Flwor { Xq_ast.clauses; where; order_by; return } ->
     let envs = List.fold_left bind_clause [ env ] clauses in
@@ -161,13 +102,17 @@ let rec eval_expr env (e : Xq_ast.expr) : value =
           | `Str x, `Str y -> String.compare x y
         in
         let sorted = List.stable_sort (fun (a, _) (b, _) -> compare_keys a b) keyed in
-        let sorted = match direction with Xq_ast.Ascending -> sorted | Xq_ast.Descending -> List.rev sorted in
+        let sorted =
+          match direction with
+          | Xq_ast.Ascending -> sorted
+          | Xq_ast.Descending -> List.rev sorted
+        in
         List.map snd sorted
     in
     List.concat_map (fun env -> eval_expr env return) envs
   | Xq_ast.If (c, t, e) -> if ebv (eval_expr env c) then eval_expr env t else eval_expr env e
   | Xq_ast.Element (name, body) ->
-    let attributes, children = content_of_value env (eval_expr env body) in
+    let attributes, children = Flwor.content_of_value (doc_of env) (eval_expr env body) in
     [ Tree (Tree.elem ~attributes name children) ]
   | Xq_ast.Text body ->
     let atoms = List.map (atomize_item env) (eval_expr env body) in
@@ -262,7 +207,7 @@ and eval_call env fn args =
     arity 1;
     match eval_expr env (List.hd args) with
     | Node v :: _ -> (
-      match Doc.tag_name (Eval.doc_of_session env.session) v with
+      match Doc.tag_name (doc_of env) v with
       | Some n -> [ Atom (Str n) ]
       | None -> [ Atom (Str "") ])
     | Tree (Tree.Element { name; _ }) :: _ -> [ Atom (Str name) ]
@@ -295,22 +240,15 @@ and eval_call env fn args =
     in
     [ Atom (Str (String.concat "" parts)) ]
 
-let eval session expr =
-  try Ok (eval_expr { session; vars = [] } expr) with Error msg -> Result.Error msg
+let interpret ?exec session expr =
+  try Ok (eval_expr { session; exec; vars = [] } expr) with Flwor.Error msg -> Error msg
 
-let run session input =
-  match Xq_parse.parse input with
-  | Ok expr -> eval session expr
-  | Error _ as e -> e
+(* ------------------------------------------------------------------ *)
+(* the default (compiled) pipeline                                      *)
+(* ------------------------------------------------------------------ *)
 
-let serialize session value =
-  let buf = Buffer.create 256 in
-  List.iteri
-    (fun i item ->
-      if i > 0 then Buffer.add_char buf '\n';
-      match item with
-      | Atom a -> Buffer.add_string buf (atom_to_string a)
-      | Node v -> Buffer.add_string buf (Scj_xml.Printer.to_string (Doc.to_tree (Eval.doc_of_session session) v))
-      | Tree t -> Buffer.add_string buf (Scj_xml.Printer.to_string t))
-    value;
-  Buffer.contents buf
+let eval ?exec session expr = Xq_compile.eval ?exec session expr
+
+let run ?exec session input = Xq_compile.run ?exec session input
+
+let serialize session value = Flwor.serialize (Eval.doc_of_session session) value

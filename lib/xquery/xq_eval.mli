@@ -2,11 +2,16 @@
 
     Values are item sequences in the XQuery sense: document nodes
     (preorder ranks of the session's document), atomic values, or newly
-    constructed trees.  Every embedded path expression is evaluated by
-    {!Scj_xpath.Eval} — i.e. with the staircase join under the session's
-    strategy — which is precisely the Pathfinder runtime scenario the
-    paper was built for: FLWOR iteration computes arbitrary context
-    sequences, the axis steps traverse from there.
+    constructed trees.  The value model is shared with the compiled
+    pipeline ({!Scj_plan.Flwor}), so the two evaluators cannot drift on
+    coercions or number formatting.
+
+    {!eval} and {!run} are the default pipeline since the loop-lifting
+    refactor: the expression is compiled by {!Xq_compile} into the plan
+    IR (embedded paths planned, value joins isolated) and executed by
+    the operator interpreter.  {!interpret} is the retained
+    tuple-at-a-time interpreter — the differential oracle the fuzz
+    suites compare the compiled pipeline against bit-for-bit.
 
     Deliberate simplifications (documented divergences from XQuery 1.0):
     no schema types (node atomization yields strings), general comparisons
@@ -14,9 +19,9 @@
     empty sequence yields the empty sequence, and paths cannot be applied
     to constructed trees. *)
 
-type atom = Str of string | Num of float | Bool of bool
+type atom = Scj_plan.Flwor.atom = Str of string | Num of float | Bool of bool
 
-type item =
+type item = Scj_plan.Flwor.item =
   | Node of int  (** a node of the session document, by preorder rank *)
   | Atom of atom
   | Tree of Scj_xml.Tree.t  (** a constructed element/text *)
@@ -25,17 +30,27 @@ type value = item list
 
 type error = string
 
-(** [eval session expr] evaluates a parsed expression with no variables in
-    scope. *)
-val eval : Scj_xpath.Eval.session -> Xq_ast.expr -> (value, error) result
+(** [eval ?exec session expr] compiles and executes an expression with
+    no variables in scope; work counters accumulate into [exec]. *)
+val eval :
+  ?exec:Scj_trace.Exec.t -> Scj_xpath.Eval.session -> Xq_ast.expr -> (value, error) result
 
-(** [run session input] parses and evaluates. *)
-val run : Scj_xpath.Eval.session -> string -> (value, error) result
+(** [run session input] parses, compiles and executes. *)
+val run :
+  ?exec:Scj_trace.Exec.t -> Scj_xpath.Eval.session -> string -> (value, error) result
+
+(** [interpret ?exec session expr] — the retained tuple-at-a-time
+    interpreter (the differential oracle).  Semantically equivalent to
+    {!eval}; performs the work the compiled pipeline is measured
+    against. *)
+val interpret :
+  ?exec:Scj_trace.Exec.t -> Scj_xpath.Eval.session -> Xq_ast.expr -> (value, error) result
 
 (** [serialize session v] renders the sequence: nodes and constructed
     trees as XML, atoms as their string values, items separated by
     newlines. *)
 val serialize : Scj_xpath.Eval.session -> value -> string
 
-(** [atom_to_string a] is the XPath string value of an atom. *)
+(** [atom_to_string a] is the XPath string value of an atom
+    ({!Scj_plan.Flwor.atom_to_string}: shortest round-trip floats). *)
 val atom_to_string : atom -> string

@@ -319,10 +319,124 @@ let corpus_cases =
         (fun () -> List.iter (corpus_differential shape) corpus_seeds))
     Fuzz.all_shapes
 
+(* ------------------------------------------------------------------ *)
+(* FLWOR: compiled operator programs vs the tuple-at-a-time oracle      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random FLWOR programs over the fuzz documents' vocabulary (element
+   names a/b/item/x/y, attributes k0..k3 holding numeric strings).  The
+   compiled pipeline (Xq_compile: loop-lifting, embedded planned paths,
+   value-join isolation) must agree with the retained tuple-at-a-time
+   interpreter on the serialized result for every query, and — whenever
+   the compiled plan contains no isolated value join — on every work
+   counter bit for bit: that is the counter-parity invariant EXPLAIN
+   ANALYZE is built on.  An isolated join may change how much work is
+   done, never the answer.  Same (shape, seed) replayability and
+   SCJ_FUZZ_SEED narrowing as the suites above. *)
+
+module Xq_parse = Scj_xquery.Xq_parse
+module Xq_compile = Scj_xquery.Xq_compile
+module Xq_eval = Scj_xquery.Xq_eval
+
+let flwor_names = [| "a"; "b"; "item"; "x"; "y" |]
+
+let gen_flwor st =
+  let name () = flwor_names.(Random.State.int st (Array.length flwor_names)) in
+  let attr () = Printf.sprintf "k%d" (Random.State.int st 4) in
+  let src () =
+    match Random.State.int st 3 with
+    | 0 -> "//" ^ name ()
+    | 1 -> "/descendant::" ^ name ()
+    | _ -> "/descendant-or-self::node()/child::" ^ name ()
+  in
+  match Random.State.int st 8 with
+  | 0 -> Printf.sprintf "for $v in %s return $v" (src ())
+  | 1 ->
+    Printf.sprintf "for $v in %s where exists($v/child::%s) return $v" (src ()) (name ())
+  | 2 ->
+    Printf.sprintf "for $v in %s let $k := $v/attribute::%s where $k = '%d' return $v"
+      (src ()) (attr ())
+      (Random.State.int st 100)
+  | 3 ->
+    Printf.sprintf
+      "for $v in %s order by string($v/attribute::%s) descending return element row { $v }"
+      (src ()) (attr ())
+  | 4 ->
+    Printf.sprintf "for $v at $p in %s where $p <= %d return $p" (src ())
+      (1 + Random.State.int st 5)
+  | 5 -> Printf.sprintf "for $v in %s return count($v/child::%s)" (src ()) (name ())
+  | 6 ->
+    (* div by 3..9: non-integral quotients exercise the shortest
+       round-trip float serialization through both pipelines *)
+    Printf.sprintf "for $v in %s let $n := count($v/child::node()) return ($n div %d)"
+      (src ())
+      (3 + Random.State.int st 7)
+  | _ ->
+    (* a value-join candidate: isolated or rejected depending on what
+       the cost model sees in this document — both must be right *)
+    Printf.sprintf
+      "for $o in //%s for $i in //%s where $i/attribute::%s = $o/attribute::%s return $o"
+      (name ()) (name ()) (attr ()) (attr ())
+
+let flwor_differential shape seed =
+  let doc = Fuzz.doc shape seed in
+  let session = Eval.session doc in
+  let st = Random.State.make [| 0xf10; seed; Hashtbl.hash (Fuzz.shape_to_string shape) |] in
+  let check q =
+    let ast =
+      match Xq_parse.parse q with
+      | Ok ast -> ast
+      | Error e -> fail_at shape seed "%s: parse error: %s" q e
+    in
+    let compiled =
+      match Xq_compile.compile session ast with
+      | c -> c
+      | exception Scj_plan.Flwor.Error e -> fail_at shape seed "%s: compile error: %s" q e
+    in
+    let r_c, s_c =
+      run_counted (fun stats -> Xq_compile.eval ~exec:(Exec.make ~stats ()) session ast)
+    in
+    let r_i, s_i =
+      run_counted (fun stats -> Xq_eval.interpret ~exec:(Exec.make ~stats ()) session ast)
+    in
+    match (r_c, r_i) with
+    | Ok vc, Ok vi ->
+      let sc = Xq_eval.serialize session vc and si = Xq_eval.serialize session vi in
+      if sc <> si then fail_at shape seed "%s: compiled %S, interpreter %S" q sc si;
+      if
+        (not (Xq_compile.has_value_join compiled))
+        && Stats.all_assoc s_c <> Stats.all_assoc s_i
+      then
+        fail_at shape seed "%s: join-free counters diverge: compiled %s, interpreter %s" q
+          (Stats.to_json s_c) (Stats.to_json s_i)
+    | Error ec, Error ei ->
+      if ec <> ei then
+        fail_at shape seed "%s: error messages diverge: compiled %S, interpreter %S" q ec ei
+    | Ok _, Error e -> fail_at shape seed "%s: interpreter failed (%s), compiled succeeded" q e
+    | Error e, Ok _ -> fail_at shape seed "%s: compiled failed (%s), interpreter succeeded" q e
+  in
+  (* one guaranteed join candidate, then the random mix *)
+  check "for $o in //a for $i in //b where $i/attribute::k0 = $o/attribute::k0 return ($o, $i)";
+  for _ = 1 to 8 do
+    check (gen_flwor st)
+  done
+
+let flwor_seeds = Fuzz.seeds 15
+
+let flwor_cases =
+  List.map
+    (fun shape ->
+      Alcotest.test_case
+        (Printf.sprintf "flwor compiled vs interpreter: %s" (Fuzz.shape_to_string shape))
+        `Quick
+        (fun () -> List.iter (flwor_differential shape) flwor_seeds))
+    Fuzz.all_shapes
+
 let () =
   Alcotest.run "differential"
     [
       ("axes x implementations x modes", shape_cases);
       ("multi-step paths through the planner", planner_cases);
       ("multi-document scatter-gather", corpus_cases);
+      ("flwor compiled vs interpreter", flwor_cases);
     ]

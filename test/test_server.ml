@@ -48,6 +48,12 @@ let serial_eval doc paged q =
   let result =
     match q with
     | Server.Path src -> Eval.run_exn ~exec (Eval.session doc) src
+    | Server.Xquery src -> (
+      match Scj_xquery.Xq_eval.run ~exec (Eval.session doc) src with
+      | Error e -> Alcotest.fail e
+      | Ok v ->
+        Nodeseq.of_unsorted
+          (List.filter_map (function Scj_xquery.Xq_eval.Node n -> Some n | _ -> None) v))
     | Server.Step (`Desc, ctx) -> Paged_doc.desc ~exec paged ctx
     | Server.Step (`Anc, ctx) -> Paged_doc.anc ~exec paged ctx
     | Server.Write _ -> Alcotest.fail "serial oracle cannot run writes"
@@ -66,6 +72,7 @@ let query_mix doc =
     Server.Path "/descendant::a";
     Server.Step (`Desc, Nodeseq.singleton 0);
     Server.Path "/descendant::item/ancestor::b";
+    Server.Xquery "for $i in /descendant::item where exists($i/child::a) return $i";
     Server.Step (`Anc, ctx 3 3);
   ]
 

@@ -5,7 +5,11 @@
 module Doc = Scj_encoding.Doc
 module Nodeseq = Scj_encoding.Nodeseq
 module Eval = Scj_xpath.Eval
+module Exec = Scj_trace.Exec
+module Stats = Scj_stats.Stats
+module Flwor = Scj_plan.Flwor
 module Xq = Scj_xquery.Xq_eval
+module Xqc = Scj_xquery.Xq_compile
 module Xq_parse = Scj_xquery.Xq_parse
 module Xq_ast = Scj_xquery.Xq_ast
 
@@ -290,6 +294,231 @@ let qsuite =
   List.map QCheck_alcotest.to_alcotest
     [ prop_path_agrees_with_xpath; prop_flwor_matches_xpath_step ]
 
+(* ------------------------------------------------------------------ *)
+(* number formatting: shortest round-trip floats                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_float_format () =
+  let f = Flwor.float_to_string in
+  check_string "integral drops the point" "3" (f 3.0);
+  check_string "negative integral" "-42" (f (-42.0));
+  check_string "negative zero keeps its sign" "-0" (f (-0.0));
+  check_string "plain fraction" "1.5" (f 1.5);
+  check_string "shortest round-trip, not %.17g noise" "0.1" (f 0.1);
+  check_string "classic accumulation artifact survives" "0.30000000000000004" (f (0.1 +. 0.2));
+  check_string "third" "0.3333333333333333" (f (1.0 /. 3.0));
+  check_string "large integral stays expanded" "1000000000000000" (f 1e15);
+  check_string "very large goes exponential" "1e+21" (f 1e21);
+  check_string "NaN" "NaN" (f Float.nan);
+  check_string "infinities" "Infinity -Infinity"
+    (Printf.sprintf "%s %s" (f Float.infinity) (f Float.neg_infinity));
+  (* every finite output must parse back to the identical double *)
+  List.iter
+    (fun x ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "round-trip %h" x)
+        x
+        (float_of_string (f x)))
+    [ 0.1; 0.1 +. 0.2; 1.0 /. 3.0; 1e15; 1e21; 1.5; 39.95 +. 49.0 +. 25.5; 6.02214076e23 ]
+
+(* ------------------------------------------------------------------ *)
+(* compiled pipeline vs the interpreter oracle                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Join-free programs must be bit-identical in results AND work
+   counters; programs with an isolated value join agree on results (the
+   join changes how much work is done, never the answer). *)
+let test_compiled_parity () =
+  let session = session () in
+  let both q =
+    let expr = parse_ok q in
+    let c_exec = Exec.make () and i_exec = Exec.make () in
+    let compiled =
+      match Xqc.eval ~exec:c_exec session expr with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "compiled %S: %s" q e
+    in
+    let interpreted =
+      match Xq.interpret ~exec:i_exec session expr with
+      | Ok v -> v
+      | Error e -> Alcotest.failf "interpreter %S: %s" q e
+    in
+    check_string q (Xq.serialize session interpreted) (Xq.serialize session compiled);
+    (Stats.all_assoc c_exec.Exec.stats, Stats.all_assoc i_exec.Exec.stats)
+  in
+  List.iter
+    (fun q ->
+      let c, i = both q in
+      Alcotest.(check (list (pair string int))) (q ^ " (counters)") i c)
+    [
+      "for $b in //book where $b/price > 40 return $b/title";
+      "for $b at $i in //book order by $b/price descending return ($i, $b/title)";
+      "let $n := count(//book) return element c { $n }";
+      "for $b in //book return element row { ($b/@id, string($b/title)) }";
+      "sum(//book/price)";
+      "distinct-values(//book/year)";
+      "for $a in //book for $b in //book where $a/year != $b/year return 1";
+      (* joinable in shape, but the cost model refuses 3x3 books — the
+         where clause survives verbatim, so counters stay identical *)
+      "for $a in //book for $b in //book where $a/year = $b/year return ($a/@id, $b/@id)";
+    ]
+
+(* dynamic and static errors keep the interpreter's messages *)
+let test_compiled_errors () =
+  let session = session () in
+  let err_of run q =
+    match run q with Ok _ -> Alcotest.failf "expected %S to fail" q | Error e -> e
+  in
+  List.iter
+    (fun q ->
+      let compiled = err_of (Xq.run session) q in
+      let interpreted =
+        err_of
+          (fun q ->
+            match Xq_parse.parse q with
+            | Error _ as e -> e
+            | Ok expr -> Xq.interpret session expr)
+          q
+      in
+      check_string q interpreted compiled)
+    [ "$nope"; "count(1, 2)"; "for $x in (1, 2) return $x/title" ]
+
+(* ------------------------------------------------------------------ *)
+(* the per-session query cache: language and strategy in the key       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_keys () =
+  (* the same source string filed under each language must be two
+     distinct entries — //book parses as both XPath and XQuery *)
+  let svc = Xqc.service (session ()) in
+  let prep lang =
+    match Xqc.prepare svc ~lang "//book" with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "prepare: %s" (Scj_error.Error.to_string e)
+  in
+  (match prep `Xpath with
+  | Xqc.Xpath_query _ -> ()
+  | Xqc.Xquery_prog _ -> Alcotest.fail "xpath prepare answered an xquery program");
+  check_int "one entry" 1 (Xqc.cached_queries svc);
+  (match prep `Xquery with
+  | Xqc.Xquery_prog _ -> ()
+  | Xqc.Xpath_query _ -> Alcotest.fail "xquery prepare answered an xpath query");
+  check_int "same source, second language, second entry" 2 (Xqc.cached_queries svc);
+  ignore (prep `Xpath);
+  ignore (prep `Xquery);
+  check_int "re-preparing hits the cache" 2 (Xqc.cached_queries svc);
+  (* both results execute to the same nodes *)
+  let run p = Nodeseq.to_list (Xqc.run_prepared svc p) in
+  Alcotest.(check (list int)) "identical results" (run (prep `Xpath)) (run (prep `Xquery));
+  (* the key besides the source embeds language and strategy *)
+  let k l s = Xqc.cache_key ~lang:l ~strategy:s "//book" in
+  check_bool "languages get distinct keys" false (String.equal (k `Xpath "auto") (k `Xquery "auto"));
+  check_bool "strategies get distinct keys" false
+    (String.equal (k `Xquery "auto") (k `Xquery "staircase"))
+
+(* ------------------------------------------------------------------ *)
+(* golden plans: EXPLAIN and --json for a compiled value join           *)
+(* ------------------------------------------------------------------ *)
+
+let xmark_session =
+  lazy
+    (Eval.session
+       (Doc.of_tree (Scj_xmlgen.Xmark.generate (Scj_xmlgen.Xmark.config ~scale:0.003 ()))))
+
+let xmark_join_query =
+  "for $p in //person for $a in //closed_auction where $a/buyer/@person = $p/@id return $p/name"
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1)) in
+  go 0
+
+let check_contains what hay needle =
+  if not (contains hay needle) then
+    Alcotest.failf "%s: expected to find %S in:\n%s" what needle hay
+
+let test_plan_golden_text () =
+  let compiled =
+    match Xqc.compile_string (Lazy.force xmark_session) xmark_join_query with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  check_bool "value join isolated" true (Xqc.has_value_join compiled);
+  let plan = Xqc.explain compiled in
+  List.iter
+    (check_contains "explain" plan)
+    [
+      "xquery: for $p in";
+      "strategy: auto(pushdown=cost)";
+      "flwor:";
+      "for: $p in /descendant-or-self::node()/child::person";
+      "value join: $p/attribute::id = $a/child::buyer/attribute::person";
+      "backend: value merge join (mpmgjn over atomized keys)";
+      "rejected: nested-loop filter cost=";
+      "build: for $a in /descendant-or-self::node()/child::closed_auction  [evaluated once]";
+      "backend: staircase join";
+      "est: outer=";
+      "return: $p/child::name";
+    ]
+
+let test_plan_golden_json () =
+  let compiled =
+    match Xqc.compile_string (Lazy.force xmark_session) xmark_join_query with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  let json = Xqc.plan_json compiled in
+  List.iter
+    (check_contains "plan_json" json)
+    [
+      {|"query":|};
+      {|"strategy":"auto(pushdown=cost)"|};
+      {|"op":"flwor"|};
+      {|"op":"value-join"|};
+      {|"backend":"value merge join (mpmgjn over atomized keys)"|};
+      {|"cmp":"="|};
+      {|"rejected":[{"backend":"nested-loop filter","cost":|};
+      {|"backend":"staircase|};
+    ];
+  check_bool "object shaped" true
+    (String.length json > 2 && json.[0] = '{' && json.[String.length json - 1] = '}')
+
+(* an isolated join changes the work, never the answer: compiled (merge
+   join) vs interpreter (nested re-evaluation) on the XMark value join *)
+let test_join_parity () =
+  let session = Lazy.force xmark_session in
+  let expr = parse_ok xmark_join_query in
+  let compiled =
+    match Xqc.eval session expr with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "compiled: %s" e
+  in
+  let interpreted =
+    match Xq.interpret session expr with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "interpreter: %s" e
+  in
+  check_bool "join produced sales" true (List.length compiled > 0);
+  check_string "results identical"
+    (Xq.serialize session interpreted)
+    (Xq.serialize session compiled)
+
+(* a join the cost model must refuse (3x3 books): the conjunct stays in
+   where and the plan carries the costed rejection note *)
+let test_plan_rejected_join () =
+  let compiled =
+    match
+      Xqc.compile_string (session ())
+        "for $a in //book for $b in //book where $a/year = $b/year return $a/@id"
+    with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "compile: %s" e
+  in
+  check_bool "no join isolated" false (Xqc.has_value_join compiled);
+  let plan = Xqc.explain compiled in
+  check_contains "explain" plan "note: value join rejected for $b";
+  check_contains "explain" plan "where: $a/child::year = $b/child::year"
+
 let () =
   Alcotest.run "scj_xquery"
     [
@@ -316,5 +545,21 @@ let () =
           Alcotest.test_case "evaluation errors" `Quick test_eval_errors;
         ] );
       ("xmark", [ Alcotest.test_case "pathfinder scenario" `Quick test_xmark_flwor ]);
+      ( "formatting",
+        [ Alcotest.test_case "shortest round-trip floats" `Quick test_float_format ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "join-free counter parity" `Quick test_compiled_parity;
+          Alcotest.test_case "error message parity" `Quick test_compiled_errors;
+          Alcotest.test_case "value join parity" `Quick test_join_parity;
+        ] );
+      ( "cache",
+        [ Alcotest.test_case "language and strategy in the key" `Quick test_cache_keys ] );
+      ( "plans",
+        [
+          Alcotest.test_case "golden value-join explain" `Quick test_plan_golden_text;
+          Alcotest.test_case "golden value-join json" `Quick test_plan_golden_json;
+          Alcotest.test_case "rejected join leaves a note" `Quick test_plan_rejected_join;
+        ] );
       ("properties", qsuite);
     ]

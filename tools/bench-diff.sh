@@ -15,11 +15,15 @@
 # and gates buffer-pool hit rates (hit_rate_cN, wide absolute tolerance)
 # and the cross-client result/counter parity flag (counter_parity).
 #
-# Speedup annotations (the morsel experiment) are achieved/required
-# ratios: speedup_floor_* keys are gated absolutely (the ratio must stay
-# >= 0.9 — the bench only emits them on hosts with enough cores for the
-# target to be physically reachable), speedup_info_* keys are reported
-# but never gate.
+# Speedup annotations (the morsel and flwor experiments) are
+# achieved/required ratios: speedup_floor_* keys are gated absolutely
+# (the ratio must stay >= 0.9 — morsel only emits them on hosts with
+# enough cores for the target to be physically reachable; the flwor
+# floor is a deterministic work ratio, compiled vs interpreter, and is
+# always gated), speedup_info_* keys are reported but never gate.  The
+# flwor experiment also gates counter_parity (compiled results =
+# interpreter results; join-free programs counter-identical) and its
+# count_work_* / count_flwor_result keys like any other counts.
 #
 # Refreshing the baseline (after an intentional work-profile change):
 #   dune exec bench/main.exe -- --smoke --json | tail -1 > BENCH_baseline.json
