@@ -428,48 +428,75 @@ and eval_join rt rows (j : join) =
     (match j.jcmp with
     | Neq -> fail "internal: != is not a mergeable join predicate"
     | Eq ->
-      (* equality keys compare as strings (general comparison over two
-         untyped node values); distinct keys per tuple, so a multi-key
-         tuple never yields a duplicate pair twice per key *)
+      (* general-comparison semantics, exactly as [compare_atoms]: a
+         pair of atoms compares numerically when either side is a Num
+         or Bool, and as strings only when both are Str.  Each side
+         therefore feeds two merge tables — a string table (Str atoms
+         verbatim) and a numeric table (every atom's numeric value,
+         tagged with whether it came from a Str so a Str–Str pair,
+         which only matches by string, is skipped in the numeric merge:
+         '1.0' = '1' must stay false).  Per-tuple dedup keeps a
+         multi-atom key from emitting a pair twice per table; a pair
+         found by both tables collapses in the final sort_uniq. *)
       let entries side_keys n =
-        let acc = ref [] in
+        let strs = ref [] and nums = ref [] in
         for i = n - 1 downto 0 do
+          let keys = side_keys i in
           List.iter
-            (fun k -> acc := (k, i) :: !acc)
-            (List.sort_uniq String.compare (List.map atom_to_string (side_keys i)))
+            (fun s -> strs := (s, i) :: !strs)
+            (List.sort_uniq String.compare
+               (List.filter_map
+                  (function Str s -> Some s | Num _ | Bool _ -> None)
+                  keys));
+          List.iter
+            (fun (f, from_str) -> nums := (f, (from_str, i)) :: !nums)
+            (List.sort_uniq compare
+               (List.filter_map
+                  (fun a ->
+                    let f = number_of_atom a in
+                    if Float.is_nan f then None
+                    else Some (f, match a with Str _ -> true | Num _ | Bool _ -> false))
+                  keys))
         done;
-        Array.of_list !acc
+        (Array.of_list !strs, Array.of_list !nums)
       in
       let rows_arr = Array.of_list rows in
-      let la = entries (fun i -> outer_key_atoms rows_arr.(i)) n_rows in
-      let ra = entries inner_key_atoms (Array.length items) in
-      stats.Stats.sorted <- stats.Stats.sorted + Array.length la + Array.length ra;
-      let by_key (a, _) (b, _) = String.compare a b in
-      Array.sort by_key la;
-      Array.sort by_key ra;
-      let i = ref 0 and jp = ref 0 in
-      let nl = Array.length la and nr = Array.length ra in
-      while !i < nl && !jp < nr do
-        stats.Stats.compared <- stats.Stats.compared + 1;
-        let ka = fst la.(!i) and kb = fst ra.(!jp) in
-        let c = String.compare ka kb in
-        if c < 0 then incr i
-        else if c > 0 then incr jp
-        else begin
-          let jend = ref !jp in
-          while !jend < nr && String.equal (fst ra.(!jend)) ka do
-            incr jend
-          done;
-          while !i < nl && String.equal (fst la.(!i)) ka do
-            let ri = snd la.(!i) in
-            for g = !jp to !jend - 1 do
-              matched.(ri) <- snd ra.(g) :: matched.(ri)
+      let ls, ln = entries (fun i -> outer_key_atoms rows_arr.(i)) n_rows in
+      let rs, rn = entries inner_key_atoms (Array.length items) in
+      stats.Stats.sorted <-
+        stats.Stats.sorted + Array.length ls + Array.length rs + Array.length ln
+        + Array.length rn;
+      (* one pass over two key-sorted tables; [emit] sees the payloads
+         of every equal-key pair *)
+      let merge_pass cmp la ra emit =
+        Array.sort (fun (a, _) (b, _) -> cmp a b) la;
+        Array.sort (fun (a, _) (b, _) -> cmp a b) ra;
+        let i = ref 0 and jp = ref 0 in
+        let nl = Array.length la and nr = Array.length ra in
+        while !i < nl && !jp < nr do
+          stats.Stats.compared <- stats.Stats.compared + 1;
+          let ka = fst la.(!i) and kb = fst ra.(!jp) in
+          let c = cmp ka kb in
+          if c < 0 then incr i
+          else if c > 0 then incr jp
+          else begin
+            let jend = ref !jp in
+            while !jend < nr && cmp (fst ra.(!jend)) ka = 0 do
+              incr jend
             done;
-            incr i
-          done;
-          jp := !jend
-        end
-      done
+            while !i < nl && cmp (fst la.(!i)) ka = 0 do
+              for g = !jp to !jend - 1 do
+                emit (snd la.(!i)) (snd ra.(g))
+              done;
+              incr i
+            done;
+            jp := !jend
+          end
+        done
+      in
+      merge_pass String.compare ls rs (fun ri jx -> matched.(ri) <- jx :: matched.(ri));
+      merge_pass Float.compare ln rn (fun (o_str, ri) (i_str, jx) ->
+          if not (o_str && i_str) then matched.(ri) <- jx :: matched.(ri))
     | (Lt | Le | Gt | Ge) as op ->
       (* range keys compare numerically: reduce each tuple's key set to
          the one scalar that decides the existential comparison, sort
@@ -568,9 +595,16 @@ and sort_rows rt key dir rows =
     | `Str _, `Num _ -> 1
     | `Str x, `Str y -> String.compare x y
   in
-  let sorted = List.stable_sort (fun (a, _) (b, _) -> compare_keys a b) keyed in
-  let sorted = match dir with Ascending -> sorted | Descending -> List.rev sorted in
-  List.map snd sorted
+  (* descending flips the comparator rather than reversing the
+     ascending result: equal-key rows keep their iteration order
+     (stable sort) and () stays the least value — last in descending
+     output *)
+  let cmp =
+    match dir with
+    | Ascending -> fun (a, _) (b, _) -> compare_keys a b
+    | Descending -> fun (a, _) (b, _) -> compare_keys b a
+  in
+  List.map snd (List.stable_sort cmp keyed)
 
 and eval_fn rt row fn args =
   let arity n =

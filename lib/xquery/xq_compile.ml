@@ -484,6 +484,11 @@ type prepared = Xpath_query of Scj_xpath.Ast.query | Xquery_prog of compiled
 
 type service = { ssession : Eval.session; cache : (string, prepared) Hashtbl.t }
 
+(* prepared entries are cheap to rebuild, but ad-hoc or generated query
+   streams must not grow a worker's memory without bound: past this many
+   distinct keys the cache is dropped wholesale and re-fills *)
+let max_cached_queries = 256
+
 let service session = { ssession = session; cache = Hashtbl.create 16 }
 
 let session_of_service s = s.ssession
@@ -512,7 +517,11 @@ let prepare svc ~lang src =
         | Ok c -> Ok (Xquery_prog c)
         | Error msg -> Result.Error (Error.parse msg))
     in
-    (match prep with Ok p -> Hashtbl.add svc.cache key p | Error _ -> ());
+    (match prep with
+    | Ok p ->
+      if Hashtbl.length svc.cache >= max_cached_queries then Hashtbl.reset svc.cache;
+      Hashtbl.add svc.cache key p
+    | Error _ -> ());
     prep
 
 let run_prepared ?exec ?context svc = function

@@ -95,6 +95,11 @@ val cache_key : lang:[ `Xpath | `Xquery ] -> strategy:string -> string -> string
 
 val cached_queries : service -> int
 
+(** The cache holds at most this many prepared queries; filing one
+    past the cap clears it first (clear-on-full), so ad-hoc query
+    streams cannot grow a worker's memory without bound. *)
+val max_cached_queries : int
+
 (** [prepare svc ~lang src] — parse/compile once, cached.  Parse and
     compile errors come back as {!Scj_error.Error.Parse}. *)
 val prepare :

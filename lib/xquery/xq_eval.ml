@@ -101,13 +101,16 @@ let rec eval_expr env (e : Xq_ast.expr) : value =
           | `Str _, `Num _ -> 1
           | `Str x, `Str y -> String.compare x y
         in
-        let sorted = List.stable_sort (fun (a, _) (b, _) -> compare_keys a b) keyed in
-        let sorted =
+        (* descending flips the comparator rather than reversing the
+           ascending result: equal-key rows keep their iteration order
+           (stable sort) and () stays the least value — last in
+           descending output *)
+        let cmp =
           match direction with
-          | Xq_ast.Ascending -> sorted
-          | Xq_ast.Descending -> List.rev sorted
+          | Xq_ast.Ascending -> fun (a, _) (b, _) -> compare_keys a b
+          | Xq_ast.Descending -> fun (a, _) (b, _) -> compare_keys b a
         in
-        List.map snd sorted
+        List.map snd (List.stable_sort cmp keyed)
     in
     List.concat_map (fun env -> eval_expr env return) envs
   | Xq_ast.If (c, t, e) -> if ebv (eval_expr env c) then eval_expr env t else eval_expr env e

@@ -31,7 +31,19 @@ let attrs st ~p_attr ~max_attrs =
   else
     List.init
       (1 + Random.State.int st (max max_attrs 1))
-      (fun i -> (Printf.sprintf "k%d" i, string_of_int (Random.State.int st 100)))
+      (fun i ->
+        let v = Random.State.int st 100 in
+        (* numeric strings in mixed spellings: a general comparison is
+           numeric whenever the other side is a number, so "07" and
+           "7.0" must behave like 7 against an at/let-bound key — the
+           FLWOR join suite relies on these non-canonical forms *)
+        let s =
+          match Random.State.int st 4 with
+          | 0 -> Printf.sprintf "%02d" v
+          | 1 -> Printf.sprintf "%d.0" v
+          | _ -> string_of_int v
+        in
+        (Printf.sprintf "k%d" i, s))
 
 let leaf st ~p_attr ~max_attrs =
   match Random.State.int st 4 with

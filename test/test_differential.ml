@@ -324,7 +324,8 @@ let corpus_cases =
 (* ------------------------------------------------------------------ *)
 
 (* Random FLWOR programs over the fuzz documents' vocabulary (element
-   names a/b/item/x/y, attributes k0..k3 holding numeric strings).  The
+   names a/b/item/x/y, attributes k0..k3 holding numeric strings in
+   mixed spellings — "7", "07", "7.0").  The
    compiled pipeline (Xq_compile: loop-lifting, embedded planned paths,
    value-join isolation) must agree with the retained tuple-at-a-time
    interpreter on the serialized result for every query, and — whenever
@@ -349,7 +350,7 @@ let gen_flwor st =
     | 1 -> "/descendant::" ^ name ()
     | _ -> "/descendant-or-self::node()/child::" ^ name ()
   in
-  match Random.State.int st 8 with
+  match Random.State.int st 10 with
   | 0 -> Printf.sprintf "for $v in %s return $v" (src ())
   | 1 ->
     Printf.sprintf "for $v in %s where exists($v/child::%s) return $v" (src ()) (name ())
@@ -371,6 +372,22 @@ let gen_flwor st =
     Printf.sprintf "for $v in %s let $n := count($v/child::node()) return ($n div %d)"
       (src ())
       (3 + Random.State.int st 7)
+  | 7 ->
+    (* numeric outer key: a position variable is a Num, so the general
+       comparison is numeric against the attribute's string — "07" and
+       "7.0" spellings must pair with $p = 7 even through an isolated
+       merge join *)
+    Printf.sprintf
+      "for $o at $p in //%s for $i in //%s where $p = $i/attribute::%s return $i"
+      (name ()) (name ()) (attr ())
+  | 8 ->
+    (* let-bound arithmetic key: also a Num on the outer side *)
+    Printf.sprintf
+      "for $o in //%s let $n := count($o/child::node()) + %d for $i in //%s where $n = \
+       $i/attribute::%s return ($o, $i)"
+      (name ())
+      (Random.State.int st 3)
+      (name ()) (attr ())
   | _ ->
     (* a value-join candidate: isolated or rejected depending on what
        the cost model sees in this document — both must be right *)
@@ -415,8 +432,10 @@ let flwor_differential shape seed =
     | Ok _, Error e -> fail_at shape seed "%s: interpreter failed (%s), compiled succeeded" q e
     | Error e, Ok _ -> fail_at shape seed "%s: compiled failed (%s), interpreter succeeded" q e
   in
-  (* one guaranteed join candidate, then the random mix *)
+  (* guaranteed join candidates — one string-keyed, one numeric-keyed
+     (a position variable binds Num atoms) — then the random mix *)
   check "for $o in //a for $i in //b where $i/attribute::k0 = $o/attribute::k0 return ($o, $i)";
+  check "for $x at $i in //a for $b in //b where $i = $b/attribute::k0 return $b";
   for _ = 1 to 8 do
     check (gen_flwor st)
   done

@@ -156,6 +156,18 @@ let test_order_by_and_at () =
   Alcotest.(check (list string)) "order by price descending"
     [ "XQuery"; "Data on the Web"; "XML Databases" ]
     (atoms (run "for $b in //book order by $b/price descending return string($b/title)"));
+  (* descending is a stable flipped-comparator sort, not a reversal:
+     equal keys (year 2003 for b2 and b3) keep iteration order *)
+  Alcotest.(check (list string)) "descending keeps equal-key order stable"
+    [ "b2"; "b3"; "b1" ]
+    (atoms (run "for $b in //book order by $b/year descending return string($b/@id)"));
+  (* "empty least" holds in both directions: () sorts last when descending *)
+  Alcotest.(check (list string)) "descending sorts empty keys last"
+    [ "b1"; "b3"; "b2" ]
+    (atoms
+       (run
+          "for $b in //book order by (if ($b/@id = 'b2') then () else $b/price) \
+           descending return string($b/@id)"));
   Alcotest.(check (list string)) "positional variable" [ "1"; "2"; "3" ]
     (atoms (run "for $b at $i in //book return $i"));
   Alcotest.(check (list string)) "at with where" [ "2" ]
@@ -416,6 +428,25 @@ let test_cache_keys () =
   check_bool "strategies get distinct keys" false
     (String.equal (k `Xquery "auto") (k `Xquery "staircase"))
 
+(* an adversarial stream of distinct query strings must not grow the
+   cache (and the worker's memory) without bound *)
+let test_cache_bound () =
+  let svc = Xqc.service (session ()) in
+  for i = 1 to (2 * Xqc.max_cached_queries) + 10 do
+    match Xqc.prepare svc ~lang:`Xquery (Printf.sprintf "%d + %d" i i) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "prepare %d: %s" i (Scj_error.Error.to_string e)
+  done;
+  check_bool "cache stays bounded" true
+    (Xqc.cached_queries svc <= Xqc.max_cached_queries);
+  check_bool "cache re-fills after clearing" true (Xqc.cached_queries svc > 0);
+  (* a cleared entry is re-prepared, not lost *)
+  match Xqc.prepare svc ~lang:`Xquery "1 + 1" with
+  | Ok p ->
+    check_int "re-prepared query still runs" 0
+      (Nodeseq.length (Xqc.run_prepared svc p))
+  | Error e -> Alcotest.failf "re-prepare: %s" (Scj_error.Error.to_string e)
+
 (* ------------------------------------------------------------------ *)
 (* golden plans: EXPLAIN and --json for a compiled value join           *)
 (* ------------------------------------------------------------------ *)
@@ -503,6 +534,62 @@ let test_join_parity () =
     (Xq.serialize session interpreted)
     (Xq.serialize session compiled)
 
+(* the Eq merge join must keep compare_atoms' general-comparison
+   semantics: a pair of atoms compares numerically when either side is
+   a Num or Bool, as strings only when both are Str.  Regression: the
+   merge used to compare every key as a string, so a numeric outer key
+   (an at-variable here) silently dropped "1.0"/"03"-style attribute
+   spellings that the interpreter matched. *)
+let join_doc xml =
+  match Doc.of_string xml with Ok d -> d | Error e -> failwith e
+
+let check_join_agreement session q ~expect_rows =
+  let expr = parse_ok q in
+  check_bool "join isolated (the merge path is exercised)" true
+    (Xqc.has_value_join (Xqc.compile session expr));
+  let compiled =
+    match Xqc.eval session expr with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "compiled %S: %s" q e
+  in
+  let interpreted =
+    match Xq.interpret session expr with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "interpreter %S: %s" q e
+  in
+  check_string (q ^ " (compiled = interpreter)")
+    (Xq.serialize session interpreted)
+    (Xq.serialize session compiled);
+  check_int (q ^ " (row count)") expect_rows (List.length compiled)
+
+let test_join_numeric_keys () =
+  let doc =
+    join_doc
+      ("<doc>"
+      ^ String.concat "" (List.init 12 (fun _ -> "<a/>"))
+      ^ String.concat "" (List.init 4 (fun _ -> "<b k='1.0'/><b k='03'/><b k='2'/>"))
+      ^ "</doc>")
+  in
+  (* $i = 1 matches k='1.0', 2 matches k='2', 3 matches k='03' — four
+     copies of each spelling, so 12 pairs, same as the interpreter *)
+  check_join_agreement (Eval.session doc)
+    "for $x at $i in //a for $b in //b where $i = $b/attribute::k return $b"
+    ~expect_rows:12
+
+let test_join_string_keys_stay_strings () =
+  let doc =
+    join_doc
+      ("<doc>"
+      ^ String.concat "" (List.init 12 (fun _ -> "<a n='1'/>"))
+      ^ String.concat "" (List.init 4 (fun _ -> "<b k='1.0'/><b k='1'/><b k='01'/>"))
+      ^ "</doc>")
+  in
+  (* both keys are untyped node values (Str–Str): '1' pairs only with
+     the four k='1' spellings, never numerically with '1.0' or '01' *)
+  check_join_agreement (Eval.session doc)
+    "for $x in //a for $b in //b where $x/attribute::n = $b/attribute::k return $b"
+    ~expect_rows:48
+
 (* a join the cost model must refuse (3x3 books): the conjunct stays in
    where and the plan carries the costed rejection note *)
 let test_plan_rejected_join () =
@@ -552,9 +639,15 @@ let () =
           Alcotest.test_case "join-free counter parity" `Quick test_compiled_parity;
           Alcotest.test_case "error message parity" `Quick test_compiled_errors;
           Alcotest.test_case "value join parity" `Quick test_join_parity;
+          Alcotest.test_case "numeric join keys" `Quick test_join_numeric_keys;
+          Alcotest.test_case "string join keys stay strings" `Quick
+            test_join_string_keys_stay_strings;
         ] );
       ( "cache",
-        [ Alcotest.test_case "language and strategy in the key" `Quick test_cache_keys ] );
+        [
+          Alcotest.test_case "language and strategy in the key" `Quick test_cache_keys;
+          Alcotest.test_case "bounded size" `Quick test_cache_bound;
+        ] );
       ( "plans",
         [
           Alcotest.test_case "golden value-join explain" `Quick test_plan_golden_text;
