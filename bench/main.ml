@@ -712,6 +712,83 @@ let planner_bench () =
     "parity (results identical, auto <= worst forced, auto beats best forced >= once): %b\n" ok
 
 (* ------------------------------------------------------------------ *)
+(* guide: path-partitioned auto vs flat-statistics auto                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Deep fully-qualified XMark paths whose trailing descendant step owns
+   a path partition strictly smaller than its tag fragment (items under
+   europe vs all items, keywords under closed auctions vs all keywords):
+   the guide-enabled auto planner must return the same node sequence as
+   the flat-statistics auto and every forced backend, must never do more
+   deterministic work than the flat auto, and must do strictly less on
+   at least one path — the partition scan the guide alone can justify. *)
+let guide_bench () =
+  header "guide: path-partitioned auto vs flat-statistics auto (deterministic work counters)";
+  let scale = List.fold_left max 0.0 (scales ()) in
+  let doc = doc_at scale in
+  let queries =
+    [
+      "/site/regions/europe/descendant::item";
+      "/site/people/person/profile/descendant::education";
+      "/site/closed_auctions/closed_auction/descendant::keyword";
+    ]
+  in
+  let forced = [ "guide"; "staircase-noskip"; "staircase-estimate"; "structjoin"; "naive" ] in
+  let work_of stats =
+    stats.Stats.scanned + stats.Stats.copied + stats.Stats.compared + stats.Stats.index_nodes
+  in
+  let run strategy q =
+    let session = Eval.session ~strategy doc in
+    ignore (Eval.run_exn session q);
+    let stats = Stats.create () in
+    let result = Eval.run_exn ~exec:(Exec.make ~stats ()) session q in
+    Stats.add (bench_exec ()).Exec.stats stats;
+    (Nodeseq.to_array result, work_of stats)
+  in
+  let parity = ref true in
+  let guide_beats_flat = ref false in
+  Printf.printf "%-52s %12s %12s %8s\n" "query" "auto+guide" "auto-flat" "parity";
+  List.iteri
+    (fun qi q ->
+      let auto_result, auto_work = run Eval.default_strategy q in
+      let flat_result, flat_work =
+        run (Option.get (Eval.strategy_of_string "auto-flat")) q
+      in
+      let q_parity = ref true in
+      if flat_result <> auto_result then begin
+        q_parity := false;
+        Printf.printf "  MISMATCH: auto-flat returned %d node(s), auto+guide %d\n"
+          (Array.length flat_result) (Array.length auto_result)
+      end;
+      List.iter
+        (fun name ->
+          let s = Option.get (Eval.strategy_of_string name) in
+          let result, _ = run { s with Eval.pushdown = `Never } q in
+          if result <> auto_result then begin
+            q_parity := false;
+            Printf.printf "  MISMATCH: %s returned %d node(s), auto+guide %d\n" name
+              (Array.length result) (Array.length auto_result)
+          end)
+        forced;
+      if auto_work > flat_work then q_parity := false;
+      if auto_work < flat_work then guide_beats_flat := true;
+      if not !q_parity then parity := false;
+      Trace.annot !tracer
+        (Printf.sprintf "count_guide_work_q%d" (qi + 1))
+        (string_of_int auto_work);
+      Trace.annot !tracer
+        (Printf.sprintf "count_flat_work_q%d" (qi + 1))
+        (string_of_int flat_work);
+      Printf.printf "%-52s %12d %12d %8b\n" q auto_work flat_work !q_parity)
+    queries;
+  let ok = !parity && !guide_beats_flat in
+  Trace.annot !tracer "counter_parity" (string_of_bool ok);
+  Printf.printf
+    "parity (results identical, guide-auto <= flat-auto everywhere, strictly less >= once): \
+     %b\n"
+    ok
+
+(* ------------------------------------------------------------------ *)
 (* §3.2/§6: partition-parallel staircase join                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1313,6 +1390,7 @@ let experiments =
     ("copykernel", copykernel);
     ("baselines", baselines);
     ("planner", planner_bench);
+    ("guide", guide_bench);
     ("ablation", ablation);
     ("parallel", parallel);
     ("morsel", morsel_bench);
@@ -1327,8 +1405,8 @@ let experiments =
 (* quick non-bechamel subset, used as a CI smoke test *)
 let smoke_experiments =
   [
-    "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "copykernel"; "morsel"; "workload";
-    "store"; "mutate"; "shard"; "flwor";
+    "table1"; "fig11a"; "fig11c"; "baselines"; "planner"; "guide"; "copykernel"; "morsel";
+    "workload"; "store"; "mutate"; "shard"; "flwor";
   ]
 
 let () =

@@ -8,6 +8,7 @@
      scj query   evaluate an XPath query under a chosen strategy
      scj explain show the static evaluation plan with cost-model detail
      scj plan    print the planner's physical plan (text or --json)
+     scj guide   print the strong dataguide (path summary) of a document
      scj analyze evaluate and print the traced plan (EXPLAIN ANALYZE)
 
    The binary's main module is also called Scj, so it links the component
@@ -24,6 +25,7 @@ module Eval = Scj_xpath.Eval
 module Xmark = Scj_xmlgen.Xmark
 module Store = Scj_store.Store
 module Db = Scj_db.Db
+module Guide = Scj_guide.Guide
 module Error_ = Scj_error.Error
 
 let ( let* ) = Result.bind
@@ -76,9 +78,10 @@ let pushdown_conv =
   Cmdliner.Arg.conv (parse, print)
 
 let strategy_doc =
-  "Join-backend strategy: auto (cost-based planner), staircase, staircase-noskip, \
-   staircase-skip, staircase-estimate, staircase-exact, parallel, paged, naive, sql, \
-   sql-nodelimiter, mpmgjn, structjoin."
+  "Join-backend strategy: auto (cost-based planner), auto-flat (planner without the \
+   dataguide), guide (force path partitions), staircase, staircase-noskip, staircase-skip, \
+   staircase-estimate, staircase-exact, parallel, paged, naive, sql, sql-nodelimiter, \
+   mpmgjn, structjoin."
 
 let strategy_arg =
   let open Cmdliner in
@@ -381,8 +384,65 @@ let plan_cmd =
     Term.(const run $ input $ xpath $ strategy_arg $ pushdown_arg $ json $ xquery_arg)
 
 (* ------------------------------------------------------------------ *)
+(* guide                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let guide_cmd =
+  let open Cmdliner in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC") in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the dataguide as one JSON object.")
+  in
+  let run input json =
+    match load_db input with
+    | Error e ->
+      prerr_endline e;
+      1
+    | Ok db ->
+      let g = Db.guide db in
+      if json then print_endline (Guide.to_json g) else Format.printf "%a@?" Guide.pp g;
+      Db.close db;
+      0
+  in
+  Cmd.v
+    (Cmd.info "guide"
+       ~doc:
+         "Print the document's strong dataguide (path summary): one line per distinct root \
+          path with its node count, pre extent and attribute children — the statistics the \
+          cost-based planner uses for near-exact cardinalities and path-partitioned scans. \
+          Store-backed documents read the persisted guide extent; pre-guide stores rebuild \
+          it in memory.")
+    Term.(const run $ input $ json)
+
+(* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
 (* ------------------------------------------------------------------ *)
+
+(* The planner annotates every traced step span with its estimated vs
+   actual output cardinality ratio ("q_error"); surface the worst one as
+   a summary line so estimation drift is visible without reading the
+   whole tree. *)
+let max_q_error trace =
+  let worst = ref None in
+  let rec walk (s : Trace.span) =
+    (match List.assoc_opt "q_error" s.Trace.attrs with
+    | Some v -> (
+      match float_of_string_opt v with
+      | Some q -> (
+        match !worst with
+        | Some (q0, _) when q0 >= q -> ()
+        | _ -> worst := Some (q, s.Trace.name))
+      | None -> ())
+    | None -> ());
+    List.iter walk s.Trace.children
+  in
+  List.iter walk (Trace.roots trace);
+  !worst
+
+let print_max_q_error trace =
+  match max_q_error trace with
+  | Some (q, name) -> Printf.printf "max q-error: %.2f (%s)\n" q name
+  | None -> ()
 
 let analyze_cmd =
   let open Cmdliner in
@@ -414,6 +474,7 @@ let analyze_cmd =
             else begin
               Format.printf "%a@." Trace.pp_tree trace;
               Printf.printf "result: %d item(s)\n" (List.length value);
+              print_max_q_error trace;
               Format.printf "totals:@.%a@." Stats.pp (Trace.stats trace)
             end;
             0))
@@ -428,6 +489,7 @@ let analyze_cmd =
           else begin
             Format.printf "%a@." Trace.pp_tree trace;
             Printf.printf "result: %d node(s)\n" (Nodeseq.length result);
+            print_max_q_error trace;
             Format.printf "totals:@.%a@." Stats.pp (Trace.stats trace)
           end;
           0)
@@ -1470,6 +1532,6 @@ let () =
        (Cmd.group info
           [
             gen_cmd; encode_cmd; info_cmd; table_cmd; query_cmd; explain_cmd; plan_cmd;
-            analyze_cmd; xquery_cmd; validate_cmd; load_cmd; mutate_cmd; serve_cmd;
+            guide_cmd; analyze_cmd; xquery_cmd; validate_cmd; load_cmd; mutate_cmd; serve_cmd;
             workload_cmd;
           ]))

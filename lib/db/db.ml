@@ -6,6 +6,7 @@ module Error = Scj_error.Error
 module Paged_doc = Scj_pager.Paged_doc
 module Store = Scj_store.Store
 module Eval = Scj_xpath.Eval
+module Guide = Scj_guide.Guide
 
 type backing = Memory | File of string | Stored of Store.t
 
@@ -17,6 +18,7 @@ type t = {
   mutable doc : Doc.t;
   mutable paged : Paged_doc.t option;
   mutable session : Eval.session option;
+  mutable guide : Guide.t option;  (* non-store backings only; stores keep their own memo *)
 }
 
 let with_lock t f =
@@ -24,7 +26,8 @@ let with_lock t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let make ?strategy ?domains backing doc =
-  { strategy; domains; backing; lock = Mutex.create (); doc; paged = None; session = None }
+  { strategy; domains; backing; lock = Mutex.create (); doc; paged = None; session = None;
+    guide = None }
 
 let of_doc ?strategy ?domains doc = make ?strategy ?domains Memory doc
 
@@ -65,6 +68,22 @@ let doc t = with_lock t (fun () -> t.doc)
 let store t = match t.backing with Stored s -> Some s | Memory | File _ -> None
 
 let strategy t = t.strategy
+
+(* Store-backed handles read the persisted guide extent (or its
+   rebuilt-in-memory stand-in); others build once over the current
+   rendition and maintain the memo across [apply]. *)
+let guide_locked t =
+  match t.backing with
+  | Stored s -> Store.guide s
+  | Memory | File _ ->
+    (match t.guide with
+     | Some g -> g
+     | None ->
+       let g = Guide.build t.doc in
+       t.guide <- Some g;
+       g)
+
+let guide t = with_lock t (fun () -> guide_locked t)
 
 let describe t =
   match t.backing with
@@ -108,7 +127,11 @@ let session t =
       match t.session with
       | Some s -> s
       | None ->
-        let s = Eval.session ?strategy:t.strategy ?paged:t.paged ?domains:t.domains t.doc in
+        (* seed the planner with the backing's guide so a store open
+           never rescans the document for path statistics; a corrupt
+           guide extent falls back to the planner's own lazy build *)
+        let guide = try Some (guide_locked t) with Store.Corrupt _ -> None in
+        let s = Eval.session ?strategy:t.strategy ?paged:t.paged ?domains:t.domains ?guide t.doc in
         t.session <- Some s;
         s)
 
@@ -124,7 +147,14 @@ let apply t op =
       match result with
       | Error _ as e -> e
       | Ok applied ->
+        let old_doc = t.doc in
         t.doc <- applied.Update.doc;
+        t.guide <-
+          Option.map
+            (fun g ->
+              Guide.update g ~old_doc ~doc:applied.Update.doc ~splice:applied.Update.splice
+                ~delta:applied.Update.delta)
+            t.guide;
         (* the paged memo belongs to the retired rendition; the session
            evolves incrementally (statistics patched, index spliced) *)
         t.paged <- None;

@@ -59,6 +59,13 @@ val store : t -> Scj_store.Store.t option
 (** The strategy the handle was opened with, if any. *)
 val strategy : t -> Scj_xpath.Eval.strategy option
 
+(** The strong dataguide (path summary) for the current rendition.
+    Store-backed handles serve {!Scj_store.Store.guide} (deserialized
+    from the persisted extent, no document rescan); others build once
+    and maintain the memo incrementally across {!apply}.  The planner
+    {!session} is seeded with this guide. *)
+val guide : t -> Scj_guide.Guide.t
+
 (** One human-readable line about the backing ("durable store, zero
     re-encoding", …). *)
 val describe : t -> string

@@ -33,8 +33,9 @@ type backend =
   | Mpmgjn
   | Structjoin
   | Naive
+  | Guide_partition
 
-type push = No_push | Push_tag of string | Push_elements
+type push = No_push | Push_tag of string | Push_elements | Push_guide of string
 
 type direction = Desc | Anc | Following | Preceding
 
@@ -52,6 +53,7 @@ type phys_step = {
   est : estimate;
   alternatives : (string * float) list;
   push_note : string option;
+  guide_note : string option;
   per_node : bool;
 }
 
@@ -98,11 +100,13 @@ let backend_to_string = function
   | Mpmgjn -> "mpmgjn"
   | Structjoin -> "structural join"
   | Naive -> "naive region queries"
+  | Guide_partition -> "staircase join (guide path partition)"
 
 let push_to_string = function
   | No_push -> "none"
   | Push_tag t -> "tag '" ^ t ^ "'"
   | Push_elements -> "element view"
+  | Push_guide key -> "guide partition " ^ key
 
 let direction_to_string = function
   | Desc -> "descendant"
@@ -153,6 +157,9 @@ let render_step buf indent ps =
   | Empty_result -> add_line buf (indent + 2) "impl: statically empty");
   (match ps.push_note with
   | Some note -> add_line buf (indent + 2) ("pushdown: " ^ note)
+  | None -> ());
+  (match ps.guide_note with
+  | Some note -> add_line buf (indent + 2) ("guide: " ^ note)
   | None -> ());
   (match ps.step.predicates with
   | [] -> ()
@@ -235,9 +242,27 @@ let rec physical_to_json = function
                alts)
         ^ "]"
     in
+    let guide =
+      match ps.guide_note with
+      | None -> ""
+      | Some note -> ",\"guide\":" ^ json_str note
+    in
     Printf.sprintf
-      "{\"op\":%s,\"step\":%s%s,\"per_node\":%b,\"est\":%s%s,\"input\":%s}" (json_str kind)
+      "{\"op\":%s,\"step\":%s%s,\"per_node\":%b,\"est\":%s%s%s,\"input\":%s}" (json_str kind)
       (json_str (step_to_string ps.step))
-      extra ps.per_node (est_to_json ps.est) alts (physical_to_json input)
+      extra ps.per_node (est_to_json ps.est) alts guide (physical_to_json input)
   | P_union ps ->
     "{\"op\":\"union\",\"branches\":[" ^ String.concat "," (List.map physical_to_json ps) ^ "]}"
+
+(* the guide annotations in execution order, for the plan-JSON section *)
+let physical_guide_notes p =
+  let rec go acc = function
+    | P_source _ -> acc
+    | P_step (input, ps) ->
+      let acc = go acc input in
+      (match ps.guide_note with
+      | Some note -> (step_to_string ps.step, note) :: acc
+      | None -> acc)
+    | P_union branches -> List.fold_left go acc branches
+  in
+  List.rev (go [] p)

@@ -64,11 +64,17 @@ type backend =
   | Mpmgjn  (** multi-predicate merge join *)
   | Structjoin  (** sorted-list structural join *)
   | Naive  (** per-context-node region queries *)
+  | Guide_partition
+      (** staircase join over the dataguide path partition: the step's
+          fully-qualified path set selects only its partition's pre
+          extents instead of the whole document table *)
 
 type push =
   | No_push  (** evaluate the node test after the join *)
   | Push_tag of string  (** join over the tag-name view *)
   | Push_elements  (** wildcard: join over the element-only view *)
+  | Push_guide of string
+      (** join over a dataguide path partition (the catalog's memo key) *)
 
 type direction = Desc | Anc | Following | Preceding
 
@@ -96,6 +102,9 @@ type phys_step = {
       (** costed-but-rejected backends, for EXPLAIN *)
   push_note : string option;
       (** the pushdown cost comparison, human-readable (EXPLAIN) *)
+  guide_note : string option;
+      (** how the dataguide sized this step — exact/upper-bound path
+          cardinality, or why it fell back to flat statistics *)
   per_node : bool;  (** positional predicates force per-context-node eval *)
 }
 
@@ -128,3 +137,7 @@ val physical_to_string : physical -> string
 
 (** Machine-readable rendition for [scj plan --json]. *)
 val physical_to_json : physical -> string
+
+(** The [guide:] annotations in execution order, as (step, note) pairs —
+    the [guide] section of [scj plan --json]. *)
+val physical_guide_notes : physical -> (string * string) list

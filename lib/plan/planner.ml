@@ -13,6 +13,7 @@ module Naive_join = Scj_engine.Naive
 module Sql_plan = Scj_engine.Sql_plan
 module Mpmgjn_join = Scj_engine.Mpmgjn
 module Structjoin_join = Scj_engine.Structjoin
+module Guide = Scj_guide.Guide
 open Plan
 
 (* ------------------------------------------------------------------ *)
@@ -24,20 +25,24 @@ type t = {
   paged : Paged_doc.t option;
   domains : int;
   views : (string, Sj.View.t) Hashtbl.t;
+  guide_views : (string, Sj.View.t) Hashtbl.t;
   mutable elements : Sj.View.t option;
   mutable dstats : Doc_stats.t option;
+  mutable cat_guide : Guide.t option;
   mutable index : Sql_plan.index option;
 }
 
-let catalog ?paged ?domains doc =
+let catalog ?paged ?domains ?guide doc =
   let domains = match domains with Some d -> max 1 d | None -> Exec.default_domains () in
   {
     cat_doc = doc;
     paged;
     domains;
     views = Hashtbl.create 16;
+    guide_views = Hashtbl.create 16;
     elements = None;
     dstats = None;
+    cat_guide = guide;
     index = None;
   }
 
@@ -56,6 +61,11 @@ let evolve ?paged t ~doc ~splice ~delta =
     | None -> None
     | Some s -> Some (Doc_stats.update s ~old_doc:t.cat_doc ~doc ~splice ~delta)
   in
+  let cat_guide =
+    match t.cat_guide with
+    | None -> None
+    | Some g -> Some (Guide.update g ~old_doc:t.cat_doc ~doc ~splice ~delta)
+  in
   let index =
     match t.index with
     | None -> None
@@ -68,8 +78,10 @@ let evolve ?paged t ~doc ~splice ~delta =
     paged;
     domains = t.domains;
     views = Hashtbl.create 16;
+    guide_views = Hashtbl.create 16;
     elements = None;
     dstats;
+    cat_guide;
     index;
   }
 
@@ -113,6 +125,25 @@ let element_view t =
     t.elements <- Some view;
     view
 
+let guide t =
+  match t.cat_guide with
+  | Some g -> g
+  | None ->
+    let g = Guide.build t.cat_doc in
+    t.cat_guide <- Some g;
+    g
+
+(* The path partition as a staircase-join fragment view, memoized under
+   the cursor's canonical key — [Sj.desc_view]/[anc_view] then scan only
+   the partition's pre extents instead of the whole document table. *)
+let guide_partition_view t cur key =
+  match Hashtbl.find_opt t.guide_views key with
+  | Some v -> v
+  | None ->
+    let v = Sj.View.of_nodeseq t.cat_doc (Guide.members (guide t) cur) in
+    Hashtbl.add t.guide_views key v;
+    v
+
 let sql_index t =
   match t.index with
   | Some idx -> idx
@@ -129,14 +160,24 @@ type choice = Auto | Force of Plan.backend
 
 type pushdown = [ `Never | `Always | `Cost_based ]
 
-type policy = { choice : choice; pushdown : pushdown }
+type policy = { choice : choice; pushdown : pushdown; guide : bool }
 
-let default_policy = { choice = Auto; pushdown = `Cost_based }
+let default_policy = { choice = Auto; pushdown = `Cost_based; guide = true }
+
+(* The guide participates only where it cannot destabilize a forced
+   choice: cost-based planning (when the policy enables it) and the
+   explicitly forced guide-partition backend. *)
+let guide_active p =
+  match p.choice with
+  | Auto -> p.guide
+  | Force Guide_partition -> true
+  | Force _ -> false
 
 let policy_to_string p =
   let alg =
     match p.choice with
-    | Auto -> "auto"
+    | Auto -> if p.guide then "auto" else "auto-flat"
+    | Force Guide_partition -> "guide"
     | Force (Serial mode) -> "staircase/" ^ Exec.skip_mode_to_string mode
     | Force (Parallel mode) -> "parallel/" ^ Exec.skip_mode_to_string mode
     | Force (Morsel mode) -> "morsel/" ^ Exec.skip_mode_to_string mode
@@ -226,8 +267,20 @@ let rewrite l =
 (* cost model                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* What the planner knows about a context sequence before running it. *)
-type summary = { card : int; tag : string option; at_root : bool }
+(* What the planner knows about a context sequence before running it.
+   [gcur] is the dataguide cursor covering the context (every context
+   node's root path is a cursor path — a superset invariant the steps
+   preserve); [gexact] additionally promises the context is {e exactly}
+   the cursor's member set, which makes downstream downward-step
+   cardinalities exact.  [gcur = None] means the guide is off or the
+   chain passed through a step it cannot match. *)
+type summary = {
+  card : int;
+  tag : string option;
+  at_root : bool;
+  gcur : Guide.cursor option;
+  gexact : bool;
+}
 
 let scaled total part whole =
   if whole <= 0 then 0 else if part >= whole then total else total * part / whole
@@ -300,10 +353,11 @@ let empty_step sum s ~per_node =
     est = { card_in = sum.card; touches = 0; card_out = 0; cost = 0. };
     alternatives = [];
     push_note = None;
+    guide_note = None;
     per_node;
   }
 
-let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds =
+let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds ~gpart =
   let st = doc_stats cat in
   match dir with
   | Following | Preceding ->
@@ -315,7 +369,8 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
     let cost =
       match backend with
       | Naive -> float_of_int sum.card *. float_of_int st.n_nodes
-      | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
+      | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin
+      | Guide_partition ->
         float_of_int touches
     in
     let out = with_preds (min cap touches) in
@@ -325,6 +380,7 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
         est = { card_in = sum.card; touches; card_out = out; cost };
         alternatives = [];
         push_note = None;
+        guide_note = None;
         per_node;
       },
       out )
@@ -335,6 +391,21 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
     let tf = float_of_int touches in
     let tail = kf *. float_of_int (max 1 st.height) in
     let serial_scan mode = match mode with Exec.No_skipping -> n | _ -> tf in
+    (* guide path partition: the step's matched paths name exactly the
+       pre extents worth scanning — a fragment view like tag pushdown,
+       but qualified by the whole path, not just the last tag *)
+    let gpart_info =
+      match gpart with
+      | Some cur when not (Guide.is_empty cur) ->
+        let g = guide cat in
+        Some (cur, Guide.cursor_key g cur, Guide.card g cur)
+      | Some _ | None -> None
+    in
+    let guide_cost size = float_of_int size +. tail in
+    let guide_push_note size =
+      Printf.sprintf "yes (guide path partition) -- %d node(s) vs. estimated scan of %d node(s)"
+        size touches
+    in
     (* name-test / wildcard pushdown: a fragment view cheaper than the
        estimated scan replaces the post-join filter *)
     let candidate =
@@ -371,7 +442,7 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
         match push with
         | Push_tag tag -> float_of_int (Doc_stats.tag st tag).count
         | Push_elements -> float_of_int st.n_elements
-        | No_push -> serial_scan mode
+        | Push_guide _ | No_push -> serial_scan mode
       in
       scan +. tail
     in
@@ -385,6 +456,15 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
     let naive_cost = kf *. n in
     let backend, cost, alternatives, push, push_note =
       match policy.choice with
+      | Force Guide_partition -> (
+        match gpart_info with
+        | Some (cur, key, size) ->
+          ignore (guide_partition_view cat cur key);
+          (Guide_partition, guide_cost size, [], Push_guide key, Some (guide_push_note size))
+        | None ->
+          (* no (or an empty) partition for this step — the serial
+             staircase is the graceful degradation *)
+          (Serial Exec.Estimation, serial_cost Exec.Estimation, [], push, push_note))
       | Force b ->
         let cost =
           match b with
@@ -395,6 +475,7 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
           | Btree _ -> btree_cost
           | Mpmgjn | Structjoin -> merge_cost
           | Naive -> naive_cost
+          | Guide_partition -> serial_cost Exec.Estimation
         in
         let push, push_note =
           match b with Serial _ -> (push, push_note) | _ -> (No_push, None)
@@ -421,6 +502,13 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
                    ("structjoin", Structjoin, merge_cost);
                    ("naive", Naive, naive_cost);
                  ];
+                 (* appended last: on a cost tie the earlier candidate
+                    wins, so the partition only displaces a backend it
+                    strictly beats *)
+                 (match gpart_info with
+                 | Some (_, _, size) when policy.pushdown <> `Never ->
+                   [ ("staircase(guide-partition)", Guide_partition, guide_cost size) ]
+                 | Some _ | None -> []);
                ]
         in
         let (wname, wbackend, wcost) =
@@ -434,7 +522,15 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
             candidates
         in
         let push, push_note =
-          match wbackend with Serial _ -> (push, push_note) | _ -> (No_push, None)
+          match wbackend with
+          | Serial _ -> (push, push_note)
+          | Guide_partition -> (
+            match gpart_info with
+            | Some (cur, key, size) ->
+              ignore (guide_partition_view cat cur key);
+              (Push_guide key, Some (guide_push_note size))
+            | None -> (No_push, None))
+          | _ -> (No_push, None)
         in
         (wbackend, wcost, alternatives, push, push_note)
     in
@@ -449,6 +545,7 @@ let plan_join cat policy sum (s : step) ~dir ~or_self ~per_node ~cap ~with_preds
         est = { card_in = sum.card; touches; card_out = out; cost };
         alternatives;
         push_note;
+        guide_note = None;
         per_node;
       },
       out )
@@ -477,9 +574,37 @@ let plan_structural (st : Doc_stats.t) sum (s : step) ~per_node ~cap ~with_preds
       est = { card_in = sum.card; touches; card_out = out; cost = float_of_int touches };
       alternatives = [];
       push_note = None;
+      guide_note = None;
       per_node;
     },
     out )
+
+(* Advance the dataguide cursor through one step.  [None] = the step is
+   outside the guide's vocabulary (wildcards, node-kind residue, the
+   sibling/following axes) — the chain falls back to flat statistics
+   from here on. *)
+let guide_advance g cur (s : step) =
+  match (s.axis, s.test) with
+  | Axis.Self, Any_node -> Some cur
+  | Axis.Self, Name n -> Some (Guide.self_step g cur ~kind:Doc.Element ~name:n)
+  | Axis.Child, Name n -> Some (Guide.child_step g cur ~kind:Doc.Element ~name:n)
+  | Axis.Child, Text_node -> Some (Guide.child_step g cur ~kind:Doc.Text ~name:"")
+  | Axis.Attribute, Name n -> Some (Guide.child_step g cur ~kind:Doc.Attribute ~name:n)
+  | (Axis.Descendant | Axis.Descendant_or_self), Name n ->
+    Some (Guide.descendant_step g ~or_self:(s.axis = Axis.Descendant_or_self) cur ~name:n)
+  | (Axis.Ancestor | Axis.Ancestor_or_self), Name n ->
+    Some (Guide.ancestor_step g ~or_self:(s.axis = Axis.Ancestor_or_self) cur ~name:n)
+  | _ -> None
+
+(* Steps whose guide image is the exact result path set (given an exact
+   context): the downward axes.  Ancestor steps only bound from above —
+   a prefix-path node need not have a descendant on the full path. *)
+let guide_step_exact (s : step) =
+  match s.axis with
+  | Axis.Self | Axis.Child | Axis.Attribute | Axis.Descendant | Axis.Descendant_or_self -> true
+  | Axis.Ancestor | Axis.Ancestor_or_self | Axis.Following | Axis.Following_sibling
+  | Axis.Namespace | Axis.Parent | Axis.Preceding | Axis.Preceding_sibling ->
+    false
 
 let plan_step cat policy sum (s : step) ~forced_empty =
   let st = doc_stats cat in
@@ -488,8 +613,36 @@ let plan_step cat policy sum (s : step) ~forced_empty =
   let with_preds n =
     if s.predicates = [] then n else if n <= 1 then n else max 1 (n / 2)
   in
+  (* dataguide: advance the cursor, derive the cardinality bound *)
+  let gnext =
+    match sum.gcur with
+    | None -> None
+    | Some cur -> guide_advance (guide cat) cur s
+  in
+  let gexact_out = sum.gexact && guide_step_exact s && s.predicates = [] in
+  let gcard = match gnext with Some cur -> Some (Guide.card (guide cat) cur) | None -> None in
+  let cap = match gcard with Some c -> min cap c | None -> cap in
+  let statically_empty =
+    match gnext with Some cur -> Guide.is_empty cur | None -> false
+  in
+  let guide_note =
+    if forced_empty || s.axis = Axis.Namespace then None
+    else
+      match (sum.gcur, gnext) with
+      | None, _ -> None
+      | Some _, None -> Some "fallback to flat statistics (step outside the path summary)"
+      | Some _, Some cur when Guide.is_empty cur ->
+        Some "statically empty -- no document path matches"
+      | Some _, Some cur ->
+        let g = guide cat in
+        let c = Guide.card g cur in
+        let np = Guide.cursor_size cur in
+        if gexact_out then Some (Printf.sprintf "exact card=%d over %d path(s)" c np)
+        else Some (Printf.sprintf "upper bound card<=%d over %d path(s)" c np)
+  in
   let ps, out =
-    if forced_empty || s.axis = Axis.Namespace then (empty_step sum s ~per_node, 0)
+    if forced_empty || s.axis = Axis.Namespace || statically_empty then
+      (empty_step sum s ~per_node, 0)
     else
       match s.axis with
       | Axis.Self ->
@@ -506,24 +659,44 @@ let plan_step cat policy sum (s : step) ~forced_empty =
               };
             alternatives = [];
             push_note = None;
+            guide_note = None;
             per_node;
           },
           out )
       | Axis.Child | Axis.Attribute | Axis.Parent | Axis.Following_sibling
       | Axis.Preceding_sibling ->
         plan_structural st sum s ~per_node ~cap ~with_preds
-      | Axis.Descendant -> plan_join cat policy sum s ~dir:Desc ~or_self:false ~per_node ~cap ~with_preds
+      | Axis.Descendant ->
+        plan_join cat policy sum s ~dir:Desc ~or_self:false ~per_node ~cap ~with_preds
+          ~gpart:gnext
       | Axis.Descendant_or_self ->
         plan_join cat policy sum s ~dir:Desc ~or_self:true ~per_node ~cap ~with_preds
-      | Axis.Ancestor -> plan_join cat policy sum s ~dir:Anc ~or_self:false ~per_node ~cap ~with_preds
+          ~gpart:gnext
+      | Axis.Ancestor ->
+        plan_join cat policy sum s ~dir:Anc ~or_self:false ~per_node ~cap ~with_preds
+          ~gpart:gnext
       | Axis.Ancestor_or_self ->
         plan_join cat policy sum s ~dir:Anc ~or_self:true ~per_node ~cap ~with_preds
-      | Axis.Following -> plan_join cat policy sum s ~dir:Following ~or_self:false ~per_node ~cap ~with_preds
-      | Axis.Preceding -> plan_join cat policy sum s ~dir:Preceding ~or_self:false ~per_node ~cap ~with_preds
+          ~gpart:gnext
+      | Axis.Following ->
+        plan_join cat policy sum s ~dir:Following ~or_self:false ~per_node ~cap ~with_preds
+          ~gpart:None
+      | Axis.Preceding ->
+        plan_join cat policy sum s ~dir:Preceding ~or_self:false ~per_node ~cap ~with_preds
+          ~gpart:None
       | Axis.Namespace -> assert false
   in
+  (* an exact cursor pins the output cardinality to the member count *)
+  let ps, out =
+    match (ps.impl, gcard) with
+    | Empty_result, _ | _, None -> (ps, out)
+    | (Join _ | Structural | Select_self), Some c when gexact_out ->
+      ({ ps with est = { ps.est with card_out = c } }, c)
+    | (Join _ | Structural | Select_self), Some _ -> (ps, out)
+  in
+  let ps = { ps with guide_note } in
   let at_root = sum.at_root && s.axis = Axis.Self && s.test = Any_node in
-  (ps, { card = out; tag = out_tag sum s; at_root })
+  (ps, { card = out; tag = out_tag sum s; at_root; gcur = gnext; gexact = gexact_out })
 
 (* An absolute path starts at the (virtual) document node, which the
    encoding does not materialize; the first step off it is remapped onto
@@ -545,13 +718,21 @@ let plan cat policy ?(context_card = 1) l =
     | Force Paged, None -> { policy with choice = Force (Serial Exec.Estimation) }
     | _ -> policy
   in
+  let groot =
+    lazy (if guide_active policy then Some (Guide.root_cursor (guide cat)) else None)
+  in
   let rec go l =
     match l with
-    | L_source Root -> (P_source (Root, 1), { card = 1; tag = None; at_root = true })
-    | L_source Document -> (P_source (Document, 1), { card = 1; tag = None; at_root = true })
+    | L_source Root ->
+      ( P_source (Root, 1),
+        { card = 1; tag = None; at_root = true; gcur = Lazy.force groot; gexact = true } )
+    | L_source Document ->
+      ( P_source (Document, 1),
+        { card = 1; tag = None; at_root = true; gcur = Lazy.force groot; gexact = true } )
     | L_source Context ->
       ( P_source (Context, context_card),
-        { card = max 0 context_card; tag = None; at_root = false } )
+        { card = max 0 context_card; tag = None; at_root = false; gcur = None; gexact = false }
+      )
     | L_step (input, s) ->
       let p_in, sum = go input in
       let s, forced_empty =
@@ -570,7 +751,21 @@ let plan cat policy ?(context_card = 1) l =
         | (_, s0) :: rest when List.for_all (fun (_, s) -> s.tag = s0.tag) rest -> s0.tag
         | _ -> None
       in
-      (P_union (List.map fst planned), { card; tag; at_root = false })
+      (* member sets of distinct summary nodes are disjoint, so the
+         cursor union is exact when every branch is *)
+      let gcur =
+        match planned with
+        | [] -> None
+        | (_, s0) :: rest ->
+          List.fold_left
+            (fun acc (_, si) ->
+              match (acc, si.gcur) with
+              | Some a, Some b -> Some (Guide.cursor_union a b)
+              | (None | Some _), _ -> None)
+            s0.gcur rest
+      in
+      let gexact = gcur <> None && List.for_all (fun (_, s) -> s.gexact) planned in
+      (P_union (List.map fst planned), { card; tag; at_root = false; gcur; gexact })
   in
   fst (go l)
 
@@ -671,12 +866,14 @@ let run_join cat exec ~dir ~backend ~push context =
   | Following -> (
     match backend with
     | Naive -> (Naive_join.step ~exec doc context Axis.Following, false)
-    | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
+    | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin
+    | Guide_partition ->
       (Sj.following ~exec doc context, false))
   | Preceding -> (
     match backend with
     | Naive -> (Naive_join.step ~exec doc context Axis.Preceding, false)
-    | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin ->
+    | Serial _ | Parallel _ | Morsel _ | Paged | Btree _ | Mpmgjn | Structjoin
+    | Guide_partition ->
       (Sj.preceding ~exec doc context, false))
   | (Desc | Anc) as dir -> (
     let descending = dir = Desc in
@@ -684,13 +881,26 @@ let run_join cat exec ~dir ~backend ~push context =
     | Serial mode -> (
       let exec = Exec.with_mode exec mode in
       match push with
-      | No_push -> ((if descending then Sj.desc else Sj.anc) ~exec doc context, false)
+      | No_push | Push_guide _ ->
+        ((if descending then Sj.desc else Sj.anc) ~exec doc context, false)
       | Push_tag tag ->
         ( (if descending then Sj.desc_view else Sj.anc_view) ~exec doc (tag_view cat tag) context,
           true )
       | Push_elements ->
         ( (if descending then Sj.desc_view else Sj.anc_view) ~exec doc (element_view cat) context,
           true ))
+    | Guide_partition -> (
+      let exec = Exec.with_mode exec Exec.Estimation in
+      match push with
+      | Push_guide key -> (
+        match Hashtbl.find_opt cat.guide_views key with
+        | Some view ->
+          (* partition members all satisfy the step's node test by
+             construction — the scan is pre-filtered *)
+          ((if descending then Sj.desc_view else Sj.anc_view) ~exec doc view context, true)
+        | None -> ((if descending then Sj.desc else Sj.anc) ~exec doc context, false))
+      | No_push | Push_tag _ | Push_elements ->
+        ((if descending then Sj.desc else Sj.anc) ~exec doc context, false))
     | Parallel mode ->
       let exec = Exec.with_mode exec mode in
       ((if descending then Parallel_join.desc else Parallel_join.anc) ~exec doc context, false)
@@ -791,8 +1001,12 @@ let exec_step cat exec context (ps : phys_step) =
         | Select_self -> Exec.annot exec "algorithm" "context filter (self)"
         | Empty_result -> Exec.annot exec "algorithm" "statically empty");
         (match ps.impl with
-        | Join { dir = (Desc | Anc) as dir; backend = Serial _ | Parallel _ | Morsel _ | Paged; _ }
-          ->
+        | Join
+            {
+              dir = (Desc | Anc) as dir;
+              backend = Serial _ | Parallel _ | Morsel _ | Paged | Guide_partition;
+              _;
+            } ->
           let partitions =
             match dir with
             | Desc -> Sj.desc_partitions doc context
@@ -803,6 +1017,9 @@ let exec_step cat exec context (ps : phys_step) =
         (match ps.push_note with
         | Some note -> Exec.annot exec "pushdown" note
         | None -> ());
+        (match ps.guide_note with
+        | Some note -> Exec.annot exec "guide" note
+        | None -> ());
         if ps.step.predicates <> [] then
           Exec.annot exec "predicates"
             (Printf.sprintf "%d (%s)"
@@ -812,7 +1029,13 @@ let exec_step cat exec context (ps : phys_step) =
           (Printf.sprintf "in=%d touches=%d out=%d cost=%.0f" ps.est.card_in ps.est.touches
              ps.est.card_out ps.est.cost);
         let result = run () in
-        Exec.annot exec "out" (string_of_int (Nodeseq.length result));
+        let actual = Nodeseq.length result in
+        Exec.annot exec "out" (string_of_int actual);
+        (* Q-error of the cardinality estimate: max(est/act, act/est),
+           1-floored — the drift metric [scj analyze] aggregates *)
+        let e = float_of_int (max 1 ps.est.card_out) in
+        let a = float_of_int (max 1 actual) in
+        Exec.annot exec "q_error" (Printf.sprintf "%.2f" (Float.max (e /. a) (a /. e)));
         result)
 
 let rec execute cat exec ~context p =

@@ -23,19 +23,24 @@ module Sj = Scj_core.Staircase
 
 type t
 
-(** [catalog ?paged ?domains doc] — [domains] (default
+(** [catalog ?paged ?domains ?guide doc] — [domains] (default
     {!Exec.default_domains}) bounds what the cost model assumes for the
-    parallel backend; [paged] makes the paged staircase join plannable. *)
-val catalog : ?paged:Scj_pager.Paged_doc.t -> ?domains:int -> Doc.t -> t
+    parallel backend; [paged] makes the paged staircase join plannable;
+    [guide] seeds the dataguide (e.g. one deserialized from a store)
+    instead of the lazy first-use build. *)
+val catalog :
+  ?paged:Scj_pager.Paged_doc.t -> ?domains:int -> ?guide:Scj_guide.Guide.t -> Doc.t -> t
 
 val doc : t -> Doc.t
 
 (** [evolve ?paged t ~doc ~splice ~delta] carries the catalog across a
     mutation that renumbered [doc t] into [doc] (see
     {!Scj_encoding.Update.applied}): memoized statistics are patched with
-    {!Doc_stats.update}, the B+-tree index is spliced with
+    {!Doc_stats.update}, the dataguide with {!Scj_guide.Guide.update},
+    the B+-tree index is spliced with
     {!Scj_engine.Sql_plan.maintain}, and the single-scan tag/element
-    views are dropped for lazy rebuild.  Structures never materialized
+    views (including guide partition views) are dropped for lazy
+    rebuild.  Structures never materialized
     stay unmaterialized — evolving costs nothing until the planner asked
     for something.  The mutable index transfers to the returned catalog;
     the old catalog must not execute queries afterwards. *)
@@ -43,6 +48,10 @@ val evolve : ?paged:Scj_pager.Paged_doc.t -> t -> doc:Doc.t -> splice:int -> del
 
 (** Memoized one-pass document statistics. *)
 val doc_stats : t -> Doc_stats.t
+
+(** Memoized strong dataguide (path summary) — built on first use
+    unless seeded through [catalog ?guide]. *)
+val guide : t -> Scj_guide.Guide.t
 
 (** Element-only view of a tag name, built with bulk column ops and
     memoized — the pushdown fragment. *)
@@ -62,9 +71,16 @@ type choice =
 
 type pushdown = [ `Never | `Always | `Cost_based ]
 
-type policy = { choice : choice; pushdown : pushdown }
+type policy = {
+  choice : choice;
+  pushdown : pushdown;
+  guide : bool;
+      (** match structural step prefixes against the dataguide: exact
+          cardinalities and the guide-partition backend.  Off, the
+          planner estimates from flat [Doc_stats] alone. *)
+}
 
-(** [Auto] with cost-based pushdown. *)
+(** [Auto] with cost-based pushdown and guide cardinalities. *)
 val default_policy : policy
 
 val policy_to_string : policy -> string

@@ -46,6 +46,7 @@ module Plan = Scj_plan.Plan
 module Planner = Scj_plan.Planner
 module Flwor = Scj_plan.Flwor
 module Doc_stats = Scj_stats.Doc_stats
+module Guide = Scj_guide.Guide
 
 (** {1 Query languages} *)
 

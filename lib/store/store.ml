@@ -3,6 +3,7 @@ module Update = Scj_encoding.Update
 module Error = Scj_error.Error
 module Buffer_pool = Scj_pager.Buffer_pool
 module Paged_doc = Scj_pager.Paged_doc
+module Guide = Scj_guide.Guide
 
 exception Corrupt of string
 
@@ -26,15 +27,23 @@ exception Corrupt of string
 (* log: a committed mutation lives only in the WAL until the next      *)
 (* checkpoint rewrites the extents.  The page file layout is unchanged *)
 (* and version-1 stores open fine.                                     *)
+(*                                                                     *)
+(* Format version 3 appends a dataguide extent after the meta extent   *)
+(* (the serialized path summary, packed into CRC-trailed pages like    *)
+(* meta) and two superblock ints for its page/byte counts.  Pre-guide  *)
+(* stores (v1/v2) open fine: the guide is rebuilt lazily from the      *)
+(* document and persisted at the next checkpoint.  A v3 store with no  *)
+(* guide extent is written as v2 — the two formats differ only in the  *)
+(* extent's presence.                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let pages_file = "pages.scj"
 
 let wal_file = "wal.scj"
 
-let version = 2
+let version = 3
 
-let supported_version v = v = 1 || v = 2
+let supported_version v = v = 1 || v = 2 || v = 3
 
 (* "SCJSTOR1" as a little-endian int64 *)
 let magic_int = Int64.to_int (Bytes.get_int64_le (Bytes.of_string "SCJSTOR1") 0)
@@ -43,7 +52,7 @@ let min_page_ints = 16
 
 let max_page_ints = 1 lsl 20
 
-let superblock_ints = 10
+let superblock_ints = 12
 
 let set_int b off v = Bytes.set_int64_le b off (Int64.of_int v)
 
@@ -62,9 +71,13 @@ type geometry = {
   size_pages : int;
   meta_pages : int;
   meta_bytes : int;
+  guide_pages : int;
+  guide_bytes : int;
 }
 
-let geometry ~page_ints ~n_nodes ~height ~meta_bytes =
+let blob_pages ~page_ints bytes = (bytes + (page_ints * 8) - 1) / (page_ints * 8)
+
+let geometry ~page_ints ~n_nodes ~height ~meta_bytes ~guide_bytes =
   {
     page_ints;
     n_nodes;
@@ -72,14 +85,16 @@ let geometry ~page_ints ~n_nodes ~height ~meta_bytes =
     post_pages = pages_for ~page_ints n_nodes;
     prefix_pages = pages_for ~page_ints (n_nodes + 1);
     size_pages = pages_for ~page_ints n_nodes;
-    meta_pages = (meta_bytes + (page_ints * 8) - 1) / (page_ints * 8);
+    meta_pages = blob_pages ~page_ints meta_bytes;
     meta_bytes;
+    guide_pages = blob_pages ~page_ints guide_bytes;
+    guide_bytes;
   }
 
 (* pool pages = the three column extents Paged_doc reads *)
 let pool_pages g = g.post_pages + g.prefix_pages + g.size_pages
 
-let file_pages g = 1 + pool_pages g + g.meta_pages
+let file_pages g = 1 + pool_pages g + g.meta_pages + g.guide_pages
 
 (* pool logical length in integers: matches Paged_doc's extent layout *)
 let pool_length g = ((g.post_pages + g.prefix_pages) * g.page_ints) + g.n_nodes
@@ -207,6 +222,7 @@ type t = {
   lock : Mutex.t;  (* guards the memos, the pending list and the WAL *)
   mutable doc : Doc.t option;
   mutable paged : Paged_doc.t option;
+  mutable guide_memo : Guide.t option;  (* maintained incrementally by apply *)
   mutable pending : Update.op list;  (* committed, not yet checkpointed; oldest first *)
   mutable next_txid : int;
 }
@@ -291,6 +307,56 @@ let with_lock t f =
 
 let doc t = with_lock t (fun () -> doc_locked t)
 
+(* read the serialized dataguide extent of the base rendition *)
+let read_guide_blob t =
+  let g = t.geo in
+  let blob = Bytes.create g.guide_bytes in
+  let guide_base = 1 + pool_pages g + g.meta_pages in
+  for p = 0 to g.guide_pages - 1 do
+    let b = read_file_page t (guide_base + p) in
+    let len = min (g.page_ints * 8) (g.guide_bytes - (p * g.page_ints * 8)) in
+    Bytes.blit b 0 blob (p * g.page_ints * 8) len
+  done;
+  blob
+
+let guide_banner t reason =
+  Printf.eprintf "[scj] store %s: %s -- rebuilt the dataguide in memory; the next checkpoint persists it\n%!"
+    t.path reason
+
+(* The store's dataguide.  Clean v3 store: deserialized straight from
+   its extent (no document rescan).  Pre-guide (v1/v2) store, a corrupt
+   guide extent, or a base rendition lagging committed mutations: rebuilt
+   from the current document — one banner line in the pre-guide/corrupt
+   cases, and the next checkpoint writes the extent.  Once materialized,
+   [apply] maintains the memo incrementally. *)
+let guide_locked t =
+  match t.guide_memo with
+  | Some g -> g
+  | None ->
+    let d = doc_locked t in
+    let g =
+      if t.geo.guide_pages = 0 then begin
+        guide_banner t "pre-guide store format";
+        Guide.build d
+      end
+      else if t.pending <> [] then
+        (* the extent describes the base rendition, not the pending one *)
+        Guide.build d
+      else
+        match Guide.deserialize (read_guide_blob t) with
+        | Ok g when Guide.doc_nodes g = Doc.n_nodes d -> g
+        | Ok _ ->
+          guide_banner t "guide extent disagrees with the document";
+          Guide.build d
+        | Error msg ->
+          guide_banner t (Printf.sprintf "guide extent invalid (%s)" msg);
+          Guide.build d
+    in
+    t.guide_memo <- Some g;
+    g
+
+let guide t = with_lock t (fun () -> guide_locked t)
+
 let paged ?(stripes = 8) ?capacity t =
   with_lock t (fun () ->
       match t.paged with
@@ -313,7 +379,7 @@ let paged ?(stripes = 8) ?capacity t =
             let d = doc_locked t in
             let g =
               geometry ~page_ints:t.geo.page_ints ~n_nodes:(Doc.n_nodes d)
-                ~height:(Doc.height d) ~meta_bytes:0
+                ~height:(Doc.height d) ~meta_bytes:0 ~guide_bytes:0
             in
             let capacity = match capacity with Some c -> c | None -> default_capacity g in
             let stripes = max 1 (min stripes (capacity / 3)) in
@@ -342,10 +408,12 @@ let close t =
 (* ------------------------------------------------------------------ *)
 
 let superblock_page g =
+  (* no guide extent ⇒ the image is bit-identical to a version-2 store *)
+  let ver = if g.guide_pages = 0 then 2 else version in
   let ints =
     [|
       magic_int;
-      version;
+      ver;
       g.page_ints;
       g.n_nodes;
       g.height;
@@ -354,6 +422,8 @@ let superblock_page g =
       g.size_pages;
       g.meta_pages;
       g.meta_bytes;
+      g.guide_pages;
+      g.guide_bytes;
     |]
   in
   encode_page ~page_ints:g.page_ints ints 0 superblock_ints
@@ -367,27 +437,35 @@ let iter_column_pages g ~base column len f =
     f (base + p) (encode_page ~page_ints:g.page_ints column off page_len)
   done
 
-let iter_meta_pages g ~base blob f =
-  for p = 0 to g.meta_pages - 1 do
+let iter_blob_pages g ~base ~pages ~bytes blob f =
+  for p = 0 to pages - 1 do
     let off = p * g.page_ints * 8 in
-    let len = min (g.page_ints * 8) (g.meta_bytes - off) in
+    let len = min (g.page_ints * 8) (bytes - off) in
     f (base + p) (encode_meta_page ~page_ints:g.page_ints blob off len)
   done
+
+let iter_meta_pages g ~base blob f =
+  iter_blob_pages g ~base ~pages:g.meta_pages ~bytes:g.meta_bytes blob f
+
+let iter_guide_pages g ~base blob f =
+  iter_blob_pages g ~base ~pages:g.guide_pages ~bytes:g.guide_bytes blob f
 
 (* every (file_page, bytes) of a complete store image, in file order,
    split into one iterator per extent (superblock last: applying it is
    the commit point of the image, and during recovery it rebases away
    any logical mutations logged before it) *)
-let store_image_iters g doc meta =
+let store_image_iters g doc meta gblob =
   let post_base = 1 in
   let prefix_base = post_base + g.post_pages in
   let size_base = prefix_base + g.prefix_pages in
   let meta_base = size_base + g.size_pages in
+  let guide_base = meta_base + g.meta_pages in
   [
     (fun f -> iter_column_pages g ~base:post_base (Doc.post_array doc) g.n_nodes f);
     (fun f -> iter_column_pages g ~base:prefix_base (Doc.attr_prefix_array doc) (g.n_nodes + 1) f);
     (fun f -> iter_column_pages g ~base:size_base (Doc.size_array doc) g.n_nodes f);
     (fun f -> iter_meta_pages g ~base:meta_base meta f);
+    (fun f -> iter_guide_pages g ~base:guide_base gblob f);
     (fun f -> f 0 (superblock_page g));
   ]
 
@@ -411,6 +489,15 @@ let apply t op =
         Wal.begin_ t.wal ~txid;
         Wal.mutation t.wal ~txid (Bytes.of_string (Update.encode op));
         Wal.commit t.wal ~txid;
+        (* splice the materialized path summary alongside the document,
+           so Store.guide never pays a rescan after writes *)
+        (match t.guide_memo with
+        | None -> ()
+        | Some g ->
+          t.guide_memo <-
+            Some
+              (Guide.update g ~old_doc:base ~doc:applied.Update.doc
+                 ~splice:applied.Update.splice ~delta:applied.Update.delta));
         t.doc <- Some applied.Update.doc;
         t.pending <- t.pending @ [ op ];
         (* readers holding the previous paged rendition keep it; the
@@ -427,18 +514,21 @@ let apply t op =
    images and the applied superblock rebases the mutations away. *)
 let checkpoint t =
   with_lock t (fun () ->
-      if t.pending = [] then begin
+      (* a clean pre-guide store still rewrites once, to gain its guide
+         extent (the format upgrade promised by the open-time banner) *)
+      if t.pending = [] && t.geo.guide_pages > 0 then begin
         t.pages.Io.fsync ();
         Wal.truncate t.wal
       end
       else begin
         let d = doc_locked t in
         let meta = encode_meta d in
+        let gblob = Guide.serialize (guide_locked t) in
         let g =
           geometry ~page_ints:t.geo.page_ints ~n_nodes:(Doc.n_nodes d) ~height:(Doc.height d)
-            ~meta_bytes:(Bytes.length meta)
+            ~meta_bytes:(Bytes.length meta) ~guide_bytes:(Bytes.length gblob)
         in
-        let iters = store_image_iters g d meta in
+        let iters = store_image_iters g d meta gblob in
         let txid = t.next_txid in
         t.next_txid <- txid + 1;
         Wal.begin_ t.wal ~txid;
@@ -480,6 +570,7 @@ let make_handle io ~path ~pages ~walf ~wal ~geo ~recovery =
     lock = Mutex.create ();
     doc = None;
     paged = None;
+    guide_memo = None;
     pending = [];
     next_txid = 100 + recovery.Wal.committed;
   }
@@ -508,6 +599,8 @@ let read_superblock t =
       | exception Corrupt msg -> Error (Error.corrupt msg)
       | b ->
         let f i = get_int b (8 * i) in
+        (* pre-guide formats (v1/v2) carry no guide ints; the zero-pad
+           reads back as an absent extent either way *)
         let g =
           {
             page_ints;
@@ -518,10 +611,15 @@ let read_superblock t =
             size_pages = f 7;
             meta_pages = f 8;
             meta_bytes = f 9;
+            guide_pages = (if ver >= 3 then f 10 else 0);
+            guide_bytes = (if ver >= 3 then f 11 else 0);
           }
         in
-        let expect = geometry ~page_ints ~n_nodes:g.n_nodes ~height:g.height ~meta_bytes:g.meta_bytes in
-        if g.n_nodes <= 0 || g.height < 0 || g.meta_bytes < 0 then
+        let expect =
+          geometry ~page_ints ~n_nodes:g.n_nodes ~height:g.height ~meta_bytes:g.meta_bytes
+            ~guide_bytes:g.guide_bytes
+        in
+        if g.n_nodes <= 0 || g.height < 0 || g.meta_bytes < 0 || g.guide_bytes < 0 then
           Error (Error.corrupt "corrupt superblock: implausible document dimensions")
         else if g <> expect then Error (Error.corrupt "corrupt superblock: extent geometry inconsistent")
         else if t.pages.Io.size () < file_pages g * stride ~page_ints then
@@ -567,7 +665,7 @@ let open_ ?(io = Io.real) path =
       else Wal.trim wal ~pos:recovery.Wal.committed_end;
       let t =
         make_handle io ~path ~pages ~walf ~wal
-          ~geo:(geometry ~page_ints:min_page_ints ~n_nodes:1 ~height:0 ~meta_bytes:0)
+          ~geo:(geometry ~page_ints:min_page_ints ~n_nodes:1 ~height:0 ~meta_bytes:0 ~guide_bytes:0)
           ~recovery
       in
       (match read_superblock t with
@@ -611,7 +709,7 @@ let open_ ?(io = Io.real) path =
         end)
   end
 
-let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
+let create ?(io = Io.real) ?(page_ints = 1024) ?(guide = true) ~path doc =
   if page_ints < min_page_ints || page_ints > max_page_ints then
     invalid_arg
       (Printf.sprintf "Store.create: page_ints must be in [%d, %d]" min_page_ints max_page_ints);
@@ -619,9 +717,13 @@ let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
   | Ok () -> ()
   | Error e -> invalid_arg (Printf.sprintf "Store.create: document invalid: %s" e));
   let meta = encode_meta doc in
+  (* ~guide:false writes a bona-fide version-2 (pre-guide) store — the
+     compatibility fixture the tests open to exercise the lazy-rebuild
+     path *)
+  let gblob = if guide then Guide.serialize (Guide.build doc) else Bytes.empty in
   let g =
     geometry ~page_ints ~n_nodes:(Doc.n_nodes doc) ~height:(Doc.height doc)
-      ~meta_bytes:(Bytes.length meta)
+      ~meta_bytes:(Bytes.length meta) ~guide_bytes:(Bytes.length gblob)
   in
   let pages, walf = open_files io ~path ~create:true in
   let wal = Wal.attach walf in
@@ -636,7 +738,7 @@ let create ?(io = Io.real) ?(page_ints = 1024) ~path doc =
       (* one transaction per extent; each commit is an fsync barrier.
          The superblock goes last: it commits creation — until it is
          durable, open_ refuses the store as incomplete. *)
-      let txns = List.mapi (fun i iter -> (i + 1, iter)) (store_image_iters g doc meta) in
+      let txns = List.mapi (fun i iter -> (i + 1, iter)) (store_image_iters g doc meta gblob) in
       (* 1. log everything *)
       List.iter
         (fun (txid, iter) ->

@@ -3,7 +3,7 @@
     A store is a directory holding a page file and a write-ahead log:
 
     {v
-      pages.scj   [superblock | post | attr_prefix | size | meta]
+      pages.scj   [superblock | post | attr_prefix | size | meta | guide]
       wal.scj     begin / page-image / mutation / commit records (see Wal)
     v}
 
@@ -29,7 +29,14 @@
     (format version 2); the page file lags behind until {!checkpoint}
     rewrites it as one atomic image transaction.  On reopen, {!open_}
     replays pending mutations on top of the base rendition — unless a
-    committed checkpoint's superblock image already folded them in. *)
+    committed checkpoint's superblock image already folded them in.
+
+    Format version 3 appends the serialized strong dataguide
+    ({!Scj_guide.Guide}) as a page-aligned, CRC-trailed extent after
+    meta, so {!guide} reopens without rescanning the document.
+    Pre-guide (v1/v2) stores open unchanged: the guide is rebuilt
+    lazily (one banner line on stderr) and the next {!checkpoint}
+    upgrades the file in place. *)
 
 (** Raised when a checksum, a short read, or an inconsistent recovered
     document proves the store is lying — distinct from the clean
@@ -43,14 +50,17 @@ type t
     marker callers probe to detect a store. *)
 val pages_file : string
 
-(** [create ?io ?page_ints ~path doc] builds a store for [doc] at
+(** [create ?io ?page_ints ?guide ~path doc] builds a store for [doc] at
     directory [path] (created if missing; an existing store there is
     overwritten) and reopens it.  [page_ints] is the page payload in
-    integers (default 1024 ≈ 8 KB pages).
+    integers (default 1024 ≈ 8 KB pages).  [guide] (default [true])
+    includes the dataguide extent; [~guide:false] writes a bona-fide
+    pre-guide (version-2) store — the compatibility fixture for
+    exercising the lazy-rebuild path.
     @raise Invalid_argument if [doc] fails validation or [page_ints] is
     out of range.
     @raise Corrupt if the just-written store fails its own reopen. *)
-val create : ?io:Io.t -> ?page_ints:int -> path:string -> Scj_encoding.Doc.t -> t
+val create : ?io:Io.t -> ?page_ints:int -> ?guide:bool -> path:string -> Scj_encoding.Doc.t -> t
 
 (** [open_ ?io path] runs WAL recovery (replaying committed page images
     and collecting committed logical mutations, discarding torn tails),
@@ -107,6 +117,16 @@ val doc : t -> Scj_encoding.Doc.t
     mismatch as {!Scj_error.Error.Corrupt}.  Note this checks the
     durable {e base} rendition; pending mutations live in the WAL. *)
 val verify : t -> (unit, Scj_error.Error.t) result
+
+(** The store's strong dataguide (path summary), memoized.  On a clean
+    version-3 store it deserializes straight from the guide extent — no
+    document rescan.  A pre-guide store, a corrupt guide extent, or a
+    base rendition lagging pending mutations rebuilds from the current
+    document instead (one stderr banner in the first two cases); the
+    next {!checkpoint} persists the rebuilt guide.  Once materialized,
+    {!apply} maintains the memo incrementally across mutations.
+    @raise Corrupt if reading the extent hits a checksum mismatch. *)
+val guide : t -> Scj_guide.Guide.t
 
 (** Fold pending mutations into the page file.  Clean store: fsync +
     reset the log.  Dirty store: the complete current rendition is

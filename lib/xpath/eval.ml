@@ -7,7 +7,7 @@ module Plan = Scj_plan.Plan
 module Planner = Scj_plan.Planner
 
 type strategy = {
-  backend : [ `Auto | `Force of Plan.backend ];
+  backend : [ `Auto | `Auto_flat | `Force of Plan.backend ];
   pushdown : [ `Never | `Always | `Cost_based ];
 }
 
@@ -15,8 +15,12 @@ let default_strategy = { backend = `Auto; pushdown = `Cost_based }
 
 let policy_of_strategy s =
   {
-    Planner.choice = (match s.backend with `Auto -> Planner.Auto | `Force b -> Planner.Force b);
+    Planner.choice =
+      (match s.backend with
+      | `Auto | `Auto_flat -> Planner.Auto
+      | `Force b -> Planner.Force b);
     pushdown = s.pushdown;
+    guide = (match s.backend with `Auto_flat -> false | `Auto | `Force _ -> true);
   }
 
 let strategy_to_string s = Planner.policy_to_string (policy_of_strategy s)
@@ -25,6 +29,8 @@ let strategy_to_string s = Planner.policy_to_string (policy_of_strategy s)
 let strategy_names =
   [
     "auto";
+    "auto-flat";
+    "guide";
     "staircase";
     "staircase-noskip";
     "staircase-skip";
@@ -44,6 +50,8 @@ let strategy_of_string name =
   let forced b = Some { default_strategy with backend = `Force b } in
   match name with
   | "auto" -> Some default_strategy
+  | "auto-flat" -> Some { default_strategy with backend = `Auto_flat }
+  | "guide" -> forced Plan.Guide_partition
   | "staircase" | "staircase-estimate" -> forced (Plan.Serial Exec.Estimation)
   | "staircase-noskip" -> forced (Plan.Serial Exec.No_skipping)
   | "staircase-skip" -> forced (Plan.Serial Exec.Skipping)
@@ -66,8 +74,8 @@ type session = {
       (* planned-once cache, keyed by path and context cardinality *)
 }
 
-let session ?(strategy = default_strategy) ?paged ?domains doc =
-  { doc; strategy; catalog = Planner.catalog ?paged ?domains doc; plans = Hashtbl.create 16 }
+let session ?(strategy = default_strategy) ?paged ?domains ?guide doc =
+  { doc; strategy; catalog = Planner.catalog ?paged ?domains ?guide doc; plans = Hashtbl.create 16 }
 
 let doc_of_session s = s.doc
 
@@ -512,10 +520,21 @@ let plan_json ?context_card session (p : Ast.path) =
   let phys =
     plan_of_path session p ~context_card:(match context_card with Some c -> c | None -> 1)
   in
-  Printf.sprintf "{\"query\":\"%s\",\"strategy\":\"%s\",\"plan\":%s}"
+  let guide_section =
+    let enabled = match session.strategy.backend with `Auto_flat -> false | `Auto | `Force _ -> true in
+    let notes =
+      Plan.physical_guide_notes phys
+      |> List.map (fun (step, note) ->
+             Printf.sprintf "{\"step\":\"%s\",\"note\":\"%s\"}" (Trace.json_escape step)
+               (Trace.json_escape note))
+      |> String.concat ","
+    in
+    Printf.sprintf "{\"enabled\":%b,\"steps\":[%s]}" enabled notes
+  in
+  Printf.sprintf "{\"query\":\"%s\",\"strategy\":\"%s\",\"guide\":%s,\"plan\":%s}"
     (Trace.json_escape (Ast.path_to_string p))
     (Trace.json_escape (strategy_to_string session.strategy))
-    (Plan.physical_to_json phys)
+    guide_section (Plan.physical_to_json phys)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)

@@ -22,12 +22,15 @@ module Plan = Scj_plan.Plan
 module Planner = Scj_plan.Planner
 
 (** How the planner picks the join backend: [`Auto] costs every backend
-    per step and takes the cheapest; [`Force b] pins one backend for all
-    partitioning steps (the §4.4 ablation harness).  [pushdown] controls
-    the name-test/wildcard fragment rewrite: [`Cost_based] compares the
+    per step and takes the cheapest; [`Auto_flat] is [`Auto] with the
+    dataguide disabled — cardinalities come from flat
+    {!Scj_stats.Doc_stats} alone (the ablation baseline for the path
+    summary); [`Force b] pins one backend for all partitioning steps
+    (the §4.4 ablation harness).  [pushdown] controls the
+    name-test/wildcard fragment rewrite: [`Cost_based] compares the
     fragment view size against the estimated un-pushed scan. *)
 type strategy = {
-  backend : [ `Auto | `Force of Plan.backend ];
+  backend : [ `Auto | `Auto_flat | `Force of Plan.backend ];
   pushdown : [ `Never | `Always | `Cost_based ];
 }
 
@@ -36,7 +39,8 @@ val default_strategy : strategy
 
 val strategy_to_string : strategy -> string
 
-(** CLI spellings accepted by {!strategy_of_string}: [auto], [staircase],
+(** CLI spellings accepted by {!strategy_of_string}: [auto], [auto-flat],
+    [guide], [staircase],
     [staircase-noskip]/[-skip]/[-estimate]/[-exact], [parallel], [paged],
     [sql], [sql-nodelimiter], [mpmgjn], [structjoin], [naive]. *)
 val strategy_names : string list
@@ -46,11 +50,18 @@ val strategy_of_string : string -> strategy option
 (** A session owns the planner catalog for one document: memoized
     statistics, tag/element views, the B+-tree index, and the plan cache.
     [paged] attaches a buffer-pool rendition so the paged staircase
-    backend becomes plannable; [domains] bounds the parallel backend. *)
+    backend becomes plannable; [domains] bounds the parallel backend;
+    [guide] seeds the catalog's dataguide (e.g. one a store
+    deserialized) instead of the lazy first-use build. *)
 type session
 
 val session :
-  ?strategy:strategy -> ?paged:Scj_pager.Paged_doc.t -> ?domains:int -> Doc.t -> session
+  ?strategy:strategy ->
+  ?paged:Scj_pager.Paged_doc.t ->
+  ?domains:int ->
+  ?guide:Scj_guide.Guide.t ->
+  Doc.t ->
+  session
 
 val doc_of_session : session -> Doc.t
 

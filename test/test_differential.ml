@@ -249,6 +249,102 @@ let planner_cases =
     Fuzz.all_shapes
 
 (* ------------------------------------------------------------------ *)
+(* guide-enabled planning vs flat statistics vs the oracle              *)
+(* ------------------------------------------------------------------ *)
+
+(* Random absolute structural paths (the region where the dataguide
+   drives cardinalities and path partitions) evaluated three ways —
+   auto with the guide, auto restricted to flat statistics, and the
+   forced guide-partition backend — must all be bit-identical to the
+   spec oracle folded from the root. *)
+
+module Guide = Scj_guide.Guide
+
+let guide_axes = [| Axis.Child; Axis.Descendant; Axis.Descendant_or_self; Axis.Ancestor |]
+
+let guide_strategies =
+  List.filter_map
+    (fun name -> Option.map (fun s -> (name, s)) (Eval.strategy_of_string name))
+    [ "auto"; "auto-flat"; "guide" ]
+
+(* Absolute paths start at a virtual document node above the root
+   element: its one child is pre 0, its descendants are the whole tree,
+   and it has no ancestors — restate that for the oracle's first step. *)
+let oracle_absolute doc steps =
+  match steps with
+  | [] -> Nodeseq.of_unsorted []
+  | (first : Ast.step) :: rest ->
+    let root = Nodeseq.of_unsorted [ 0 ] in
+    let seed_seq =
+      match first.Ast.axis with
+      | Axis.Child -> root
+      | Axis.Descendant | Axis.Descendant_or_self ->
+        Test_support.spec_step doc Axis.Descendant_or_self root
+      | _ -> Nodeseq.of_unsorted []
+    in
+    oracle_path doc
+      (Nodeseq.filter (oracle_test doc first.Ast.axis first.Ast.test) seed_seq)
+      rest
+
+let guide_paths shape seed =
+  let doc = Fuzz.doc shape seed in
+  let sessions = List.map (fun (n, s) -> (n, Eval.session ~strategy:s doc)) guide_strategies in
+  let st = Random.State.make [| 0x6d1e; seed; Hashtbl.hash (Fuzz.shape_to_string shape) |] in
+  for _ = 1 to 4 do
+    let len = 1 + Random.State.int st 3 in
+    let steps =
+      List.init len (fun _ ->
+          Ast.step
+            guide_axes.(Random.State.int st (Array.length guide_axes))
+            (Ast.Name_test (Fuzz.pick_name st)))
+    in
+    let path = { Ast.absolute = true; steps } in
+    let expected = oracle_absolute doc steps in
+    List.iter
+      (fun (what, session) ->
+        let actual = Eval.eval_path session path in
+        if not (Nodeseq.equal expected actual) then
+          fail_at shape seed "%s under %s: expected %s, got %s" (Ast.path_to_string path) what
+            (Format.asprintf "%a" Nodeseq.pp expected)
+            (Format.asprintf "%a" Nodeseq.pp actual))
+      sessions
+  done
+
+(* Structural downward prefixes are where the guide promises {e exact}
+   cardinalities: a single-step absolute descendant probe must execute
+   with estimated = actual (q-error 1.00) on every span that reports
+   one. *)
+let guide_exactness shape seed =
+  let doc = Fuzz.doc shape seed in
+  let session = Eval.session doc in
+  Array.iter
+    (fun name ->
+      let path =
+        { Ast.absolute = true; steps = [ Ast.step Axis.Descendant (Ast.Name_test name) ] }
+      in
+      let _, trace = Eval.analyze session path in
+      let rec walk (s : Scj_trace.Trace.span) =
+        (match List.assoc_opt "q_error" s.Scj_trace.Trace.attrs with
+        | Some q when q <> "1.00" ->
+          fail_at shape seed "//%s: span %s drifted (q-error %s)" name s.Scj_trace.Trace.name q
+        | Some _ | None -> ());
+        List.iter walk s.Scj_trace.Trace.children
+      in
+      List.iter walk (Scj_trace.Trace.roots trace))
+    Fuzz.names
+
+let guide_cases =
+  List.map
+    (fun shape ->
+      Alcotest.test_case
+        (Printf.sprintf "guide-planned paths: %s" (Fuzz.shape_to_string shape))
+        `Quick
+        (fun () ->
+          List.iter (guide_paths shape) seeds;
+          List.iter (guide_exactness shape) seeds))
+    Fuzz.all_shapes
+
+(* ------------------------------------------------------------------ *)
 (* multi-document scatter-gather vs the per-document serial oracle      *)
 (* ------------------------------------------------------------------ *)
 
@@ -456,6 +552,7 @@ let () =
     [
       ("axes x implementations x modes", shape_cases);
       ("multi-step paths through the planner", planner_cases);
+      ("guide-enabled planning", guide_cases);
       ("multi-document scatter-gather", corpus_cases);
       ("flwor compiled vs interpreter", flwor_cases);
     ]

@@ -160,13 +160,15 @@ let golden_plan_q1 =
 join: descendant-or-self::profile
   backend: staircase join (serial, estimation) + self
   pushdown: yes (join over the fragment) -- tag fragment 'profile': 28 node(s) vs. estimated scan of 6737 node(s)
+  guide: exact card=28 over 1 path(s)
   est: in=1 touches=6737 out=28 cost=39
-  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738, staircase(guide-partition) cost=39
 join: descendant::education
   backend: staircase join (serial, estimation)
   pushdown: yes (join over the fragment) -- tag fragment 'education': 13 node(s) vs. estimated scan of 264 node(s)
+  guide: exact card=13 over 1 path(s)
   est: in=28 touches=264 out=13 cost=321
-  rejected: sql-btree cost=3008, mpmgjn cost=7002, structjoin cost=7002, naive cost=188664
+  rejected: sql-btree cost=3008, mpmgjn cost=7002, structjoin cost=7002, naive cost=188664, staircase(guide-partition) cost=321
 |golden}
 
 let golden_plan_keyword =
@@ -174,8 +176,9 @@ let golden_plan_keyword =
 join: descendant-or-self::keyword
   backend: staircase join (serial, estimation) + self
   pushdown: yes (join over the fragment) -- tag fragment 'keyword': 54 node(s) vs. estimated scan of 6737 node(s)
+  guide: exact card=54 over 18 path(s)
   est: in=1 touches=6737 out=54 cost=65
-  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+  rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738, staircase(guide-partition) cost=65
 |golden}
 
 let golden_plan_wild =
@@ -183,6 +186,7 @@ let golden_plan_wild =
 join: descendant-or-self::*
   backend: staircase join (serial, estimation) + self
   pushdown: yes (join over the fragment) -- element view '*': 3673 node(s) vs. estimated scan of 6737 node(s)
+  guide: fallback to flat statistics (step outside the path summary)
   est: in=1 touches=6737 out=3673 cost=3684
   rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
 |golden}

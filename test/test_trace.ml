@@ -263,13 +263,15 @@ plan:
   join: descendant-or-self::increase
     backend: staircase join (serial, estimation) + self
     pushdown: yes (join over the fragment) -- tag fragment 'increase': 147 node(s) vs. estimated scan of 6737 node(s)
+    guide: exact card=147 over 1 path(s)
     est: in=1 touches=6737 out=147 cost=158
-    rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738
+    rejected: sql-btree cost=99167, mpmgjn cost=13475, structjoin cost=13475, naive cost=6738, staircase(guide-partition) cost=158
   join: ancestor::bidder
     backend: staircase join (serial, estimation)
     pushdown: yes (join over the fragment) -- tag fragment 'bidder': 147 node(s) vs. estimated scan of 588 node(s)
+    guide: upper bound card<=147 over 1 path(s)
     est: in=147 touches=588 out=147 cost=1764
-    rejected: sql-btree cost=8455, mpmgjn cost=7326, structjoin cost=7326, naive cost=990486
+    rejected: sql-btree cost=8455, mpmgjn cost=7326, structjoin cost=7326, naive cost=990486, staircase(guide-partition) cost=1764
 
 equivalent pure-SQL translation (§2.1):
 SELECT DISTINCT v2.pre
